@@ -1,0 +1,109 @@
+// Command arraysim runs a single disk-array simulation and prints a full
+// per-disk report.
+//
+//	arraysim -policy read -disks 12
+//	arraysim -policy maid -disks 8 -requests 100000 -intensity 6
+//	arraysim -policy pdc -trace day.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	diskarray "repro"
+	"repro/internal/experiment"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("arraysim: ")
+	var (
+		policyName = flag.String("policy", "read", "policy: read | maid | pdc | always-on | drpm")
+		disks      = flag.Int("disks", 10, "number of disks")
+		requests   = flag.Int("requests", 50000, "synthetic trace length (ignored with -trace)")
+		intensity  = flag.Float64("intensity", diskarray.LightIntensity, "arrival intensity multiplier")
+		tracePath  = flag.String("trace", "", "replay a trace file instead of generating one")
+		seed       = flag.Int64("seed", 1, "generator seed")
+		epochs     = flag.Int("epochs", 24, "policy epochs across the trace")
+		verbose    = flag.Bool("v", true, "print the per-disk table")
+		timeline   = flag.Bool("timeline", false, "print a power/speed/queue timeline")
+	)
+	flag.Parse()
+
+	var trace *diskarray.Trace
+	if *tracePath != "" {
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tr, err := diskarray.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		trace = tr
+	} else {
+		cfg := diskarray.DefaultGenConfig()
+		cfg.NumRequests = *requests
+		cfg.MeanInterarrival /= *intensity
+		cfg.Seed = *seed
+		cfg.DiurnalProfile = diskarray.DefaultDiurnalProfile()
+		duration := float64(cfg.NumRequests) * cfg.MeanInterarrival
+		cfg.PhaseSeconds = duration / 12
+		cfg.PhaseRotate = 0.10
+		tr, err := diskarray.GenerateTrace(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		trace = tr
+	}
+	stats, err := trace.ComputeStats()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	pol, err := experiment.NewPolicy(diskarray.PolicyKind(*policyName))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	simCfg := diskarray.SimConfig{
+		Disks:        *disks,
+		Trace:        trace,
+		Policy:       pol,
+		EpochSeconds: stats.Duration / float64(*epochs),
+	}
+	if *timeline {
+		simCfg.SampleInterval = stats.Duration / 48
+	}
+	res, err := diskarray.Simulate(simCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("policy %s on %d disks — %d requests over %.0f s\n\n",
+		res.PolicyName, res.Disks, res.Requests, res.Duration)
+	fmt.Printf("mean response:  %.2f ms (p95 %.2f, p99 %.2f, max %.0f ms)\n",
+		res.MeanResponse*1e3, res.P95Response*1e3, res.P99Response*1e3, res.MaxResponse*1e3)
+	fmt.Printf("energy:         %.1f kJ\n", res.EnergyJ/1e3)
+	fmt.Printf("array AFR:      %.3f%% (worst disk %d)\n", res.ArrayAFR, res.WorstDisk)
+	fmt.Printf("migrations:     %d   background ops: %d   epochs: %d\n",
+		res.Migrations, res.BackgroundOps, res.Epochs)
+
+	if *timeline {
+		fmt.Println()
+		diskarray.RenderTimeline(os.Stdout, res.Timeline, 24)
+	}
+
+	if *verbose {
+		fmt.Printf("\n%4s %8s %6s %11s %8s %8s %9s %7s\n",
+			"disk", "util%", "trans", "trans/day", "temp°C", "AFR%", "requests", "final")
+		for _, d := range res.PerDisk {
+			fmt.Printf("%4d %8.2f %6d %11.1f %8.1f %8.3f %9d %7s\n",
+				d.ID, d.Utilization*100, d.Transitions, d.TransitionsPerDay,
+				d.MeanTempC, d.AFR, d.RequestsServed, d.FinalSpeed)
+		}
+	}
+}

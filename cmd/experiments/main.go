@@ -1,0 +1,241 @@
+// Command experiments regenerates every table and figure in the paper's
+// evaluation section.
+//
+//	experiments -fig all                 # everything, interactive scale
+//	experiments -fig 7a -scale 0.2       # one panel, bigger trace
+//	experiments -fig 7 -heavy            # Figure 7 under the heavy workload
+//	experiments -fig 7b -csv out.csv     # machine-readable series
+//	experiments -fig all -full           # the full paper-size day (slow)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiment"
+	"repro/internal/reliability"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	var (
+		fig     = flag.String("fig", "all", "figure to regenerate: 2b | 3b | 4a | 4b | 5 | derive | 7 | 7a | 7b | 7c | ablations | calibration | all")
+		scale   = flag.Float64("scale", 0.05, "trace scale for Figure 7 sweeps (1 = full day)")
+		full    = flag.Bool("full", false, "shorthand for -scale 1 (the full 1.48M-request day)")
+		heavy   = flag.Bool("heavy", false, "run Figure 7 under the heavy workload condition")
+		both    = flag.Bool("both", false, "run Figure 7 under both workload conditions")
+		csvPath = flag.String("csv", "", "also write machine-readable output to this file")
+		steps   = flag.Int("steps", 13, "samples per axis for the function figures")
+	)
+	flag.Parse()
+
+	if *full {
+		*scale = 1
+	}
+
+	var csvW io.Writer
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		csvW = f
+	}
+
+	model := reliability.NewModel()
+	want := func(names ...string) bool {
+		if *fig == "all" {
+			return true
+		}
+		for _, n := range names {
+			if *fig == n {
+				return true
+			}
+		}
+		return false
+	}
+
+	if want("2b") {
+		pts, err := experiment.Fig2bTemperatureFunction(model, *steps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiment.RenderFunctionTable(os.Stdout, pts, "temp_C",
+			"Figure 2b — temperature-reliability function (3-year-old drives)")
+		fmt.Println()
+		if csvW != nil {
+			if err := experiment.WriteFunctionCSV(csvW, pts, "temp_c"); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	if want("3b") {
+		pts, err := experiment.Fig3bUtilizationFunction(model, *steps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiment.RenderFunctionTable(os.Stdout, pts, "util",
+			"Figure 3b — utilization-reliability function (4-year-old drives)")
+		fmt.Println()
+		if csvW != nil {
+			if err := experiment.WriteFunctionCSV(csvW, pts, "utilization"); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	if want("4a") {
+		pts, err := experiment.Fig4aIDEMAAdder(model, *steps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiment.RenderFunctionTable(os.Stdout, pts, "startstops/day",
+			"Figure 4a — IDEMA spindle start/stop failure-rate adder")
+		fmt.Println()
+	}
+	if want("4b") {
+		pts, err := experiment.Fig4bFrequencyFunction(model, *steps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiment.RenderFunctionTable(os.Stdout, pts, "transitions/day",
+			"Figure 4b — frequency-reliability function (Eq. 3, ½ × Figure 4a)")
+		fmt.Println()
+		if csvW != nil {
+			if err := experiment.WriteFunctionCSV(csvW, pts, "transitions_per_day"); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	if want("5") {
+		at40, at50, err := experiment.Fig5Surfaces(model, 7, 9)
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiment.RenderSurfaceTable(os.Stdout, at40, "Figure 5a — PRESS surface at 40 °C (AFR%)")
+		fmt.Println()
+		experiment.RenderSurfaceTable(os.Stdout, at50, "Figure 5b — PRESS surface at 50 °C (AFR%)")
+		fmt.Println()
+	}
+	if want("derive") {
+		fmt.Println("§3.4 — modified Coffin-Manson derivation")
+		experiment.RenderDerivation(os.Stdout, experiment.DerivationConstants())
+		fmt.Println()
+	}
+
+	if want("7", "7a", "7b", "7c") {
+		conditions := []struct {
+			name      string
+			intensity float64
+		}{}
+		switch {
+		case *both:
+			conditions = append(conditions,
+				struct {
+					name      string
+					intensity float64
+				}{"light", experiment.LightIntensity},
+				struct {
+					name      string
+					intensity float64
+				}{"heavy", experiment.HeavyIntensity})
+		case *heavy:
+			conditions = append(conditions, struct {
+				name      string
+				intensity float64
+			}{"heavy", experiment.HeavyIntensity})
+		default:
+			conditions = append(conditions, struct {
+				name      string
+				intensity float64
+			}{"light", experiment.LightIntensity})
+		}
+		for _, cond := range conditions {
+			cfg := experiment.DefaultSweepConfig()
+			cfg.Scale = *scale
+			cfg.Intensity = cond.intensity
+			start := time.Now()
+			res, err := experiment.RunSweep(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("Figure 7 — %s workload (scale %.3g, %s)\n\n",
+				cond.name, *scale, time.Since(start).Round(time.Millisecond))
+			panels := []struct {
+				id     string
+				metric experiment.Metric
+				title  string
+			}{
+				{"7a", experiment.MetricAFR, "Figure 7a — reliability (array AFR)"},
+				{"7b", experiment.MetricEnergy, "Figure 7b — energy consumption"},
+				{"7c", experiment.MetricResponse, "Figure 7c — mean response time"},
+			}
+			for _, p := range panels {
+				if *fig != "all" && *fig != "7" && *fig != p.id {
+					continue
+				}
+				if err := experiment.RenderSweepTable(os.Stdout, res, p.metric, p.title); err != nil {
+					log.Fatal(err)
+				}
+				if err := experiment.RenderImprovements(os.Stdout, res, p.metric, experiment.KindREAD); err != nil {
+					log.Fatal(err)
+				}
+				fmt.Println()
+			}
+			if csvW != nil {
+				fmt.Fprintf(csvW, "# figure 7, %s workload\n", cond.name)
+				if err := experiment.WriteSweepCSV(csvW, res); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+	}
+
+	if want("calibration") {
+		pts, err := experiment.IntensityScan(experiment.AblationConfig{Scale: *scale}, nil, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiment.RenderIntensityScan(os.Stdout, pts,
+			"Calibration — metrics vs arrival intensity (10 disks)")
+		fmt.Println()
+	}
+
+	if want("ablations") {
+		acfg := experiment.AblationConfig{Scale: *scale}
+		if *heavy {
+			acfg.Intensity = experiment.HeavyIntensity
+		}
+		caps, err := experiment.TransitionCapAblation(acfg, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiment.RenderVariants(os.Stdout, caps,
+			"Ablation — READ transition cap S (the 65/day question)")
+		fmt.Println()
+		design, err := experiment.READDesignAblation(acfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiment.RenderVariants(os.Stdout, design, "Ablation — READ design elements")
+		fmt.Println()
+		panel, err := experiment.BaselinePanelAblation(acfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiment.RenderVariants(os.Stdout, panel, "Panel — every policy, one workload")
+		fmt.Println()
+	}
+
+	if !want("2b") && !want("3b") && !want("4a") && !want("4b") && !want("5") &&
+		!want("derive") && !want("ablations") && !want("calibration") && !want("7", "7a", "7b", "7c") {
+		log.Fatalf("unknown figure %q; valid: %s", *fig,
+			strings.Join([]string{"2b", "3b", "4a", "4b", "5", "derive", "7", "7a", "7b", "7c", "ablations", "calibration", "all"}, " | "))
+	}
+}

@@ -1,0 +1,71 @@
+// Command pressctl evaluates the PRESS reliability model from the command
+// line: per-factor AFRs, the integrated per-disk AFR, the §3.4 Coffin-Manson
+// derivation, and safe transition budgets.
+//
+// Examples:
+//
+//	pressctl -temp 50 -util 0.8 -freq 120
+//	pressctl -derive
+//	pressctl -budget 0.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiment"
+	"repro/internal/reliability"
+)
+
+func main() {
+	var (
+		tempC  = flag.Float64("temp", 50, "operating temperature in °C")
+		util   = flag.Float64("util", 0.5, "disk utilization in [0,1]")
+		freq   = flag.Float64("freq", 0, "speed transitions per day")
+		mode   = flag.String("mode", "shared-baseline", "integration mode: shared-baseline | max-factor | mean-factor")
+		derive = flag.Bool("derive", false, "print the paper's §3.4 Coffin-Manson derivation and exit")
+		budget = flag.Float64("budget", 0, "print the max transitions/day whose AFR adder stays under this many points, then exit")
+		ocr    = flag.Bool("ocr-eq3", false, "use the literal OCR reading of Equation 3 instead of the reconstructed fit")
+	)
+	flag.Parse()
+
+	if *derive {
+		experiment.RenderDerivation(os.Stdout, experiment.DerivationConstants())
+		return
+	}
+
+	var opts []reliability.Option
+	if *ocr {
+		opts = append(opts, reliability.WithFreqFunction(reliability.PaperEq3OCRQuadratic()))
+	}
+	switch *mode {
+	case "shared-baseline":
+		opts = append(opts, reliability.WithIntegrationMode(reliability.SharedBaseline))
+	case "max-factor":
+		opts = append(opts, reliability.WithIntegrationMode(reliability.MaxFactor))
+	case "mean-factor":
+		opts = append(opts, reliability.WithIntegrationMode(reliability.MeanFactor))
+	default:
+		fmt.Fprintf(os.Stderr, "pressctl: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+	model := reliability.NewModel(opts...)
+
+	if *budget > 0 {
+		f := model.FreqFunction().SolveBudget(*budget)
+		fmt.Printf("transitions/day staying under +%.3f AFR points: %.1f\n", *budget, f)
+		return
+	}
+
+	factors := reliability.Factors{TempC: *tempC, Utilization: *util, TransitionsPerDay: *freq}
+	afr, err := model.DiskAFR(factors)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pressctl: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("temperature %.1f °C      -> AFR %.3f%%\n", *tempC, model.TempAFR(*tempC))
+	fmt.Printf("utilization %.1f%%       -> AFR %.3f%%\n", *util*100, model.UtilAFR(*util))
+	fmt.Printf("transitions %.1f /day    -> AFR adder %.3f points\n", *freq, model.FreqAFR(*freq))
+	fmt.Printf("integrated (%s) -> AFR %.3f%%\n", model.Mode(), afr)
+}

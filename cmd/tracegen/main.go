@@ -1,0 +1,117 @@
+// Command tracegen generates, inspects, and converts synthetic
+// WorldCup98-like workload traces.
+//
+// Examples:
+//
+//	tracegen -requests 100000 -out day.trace
+//	tracegen -stats -in day.trace
+//	tracegen -stats                      # stats of a freshly generated trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		files    = flag.Int("files", 4079, "number of files (paper: 4079)")
+		requests = flag.Int("requests", 1480081, "number of requests (paper: 1480081)")
+		inter    = flag.Float64("interarrival", 0.0584, "mean inter-arrival seconds (paper: 0.0584)")
+		alpha    = flag.Float64("alpha", 0.75, "Zipf popularity skew")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		churn    = flag.Bool("churn", false, "enable popularity churn (12 phases/day, 10% rotation)")
+		diurnal  = flag.Bool("diurnal", false, "enable the default hourly diurnal rate profile")
+		out      = flag.String("out", "", "write the trace to this file")
+		in       = flag.String("in", "", "read a trace from this file instead of generating")
+		convert  = flag.String("convert", "", "convert a Common Log Format access log into a trace")
+		stats    = flag.Bool("stats", false, "print summary statistics")
+	)
+	flag.Parse()
+
+	var tr *workload.Trace
+	var err error
+	if *convert != "" {
+		f, err := os.Open(*convert)
+		if err != nil {
+			fatal(err)
+		}
+		var skipped int
+		tr, skipped, err = workload.ParseCommonLog(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		if skipped > 0 {
+			fmt.Fprintf(os.Stderr, "skipped %d unparsable lines\n", skipped)
+		}
+	} else if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		tr, err = workload.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		cfg := workload.GenConfig{
+			NumFiles:         *files,
+			NumRequests:      *requests,
+			MeanInterarrival: *inter,
+			ZipfAlpha:        *alpha,
+			SizeMedianMB:     workload.DefaultGenConfig().SizeMedianMB,
+			SizeSigma:        workload.DefaultGenConfig().SizeSigma,
+			MaxSizeMB:        workload.DefaultGenConfig().MaxSizeMB,
+			Seed:             *seed,
+		}
+		if *churn {
+			cfg.PhaseSeconds = 7200
+			cfg.PhaseRotate = 0.10
+		}
+		if *diurnal {
+			cfg.DiurnalProfile = workload.DefaultDiurnalProfile()
+		}
+		tr, err = workload.Generate(cfg)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	if *stats || *out == "" {
+		st, err := tr.ComputeStats()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("files:              %d\n", st.Files)
+		fmt.Printf("requests:           %d\n", st.Requests)
+		fmt.Printf("duration:           %.1f s\n", st.Duration)
+		fmt.Printf("mean inter-arrival: %.4f s\n", st.MeanInterarrival)
+		fmt.Printf("requests/s:         %.2f\n", st.RequestsPerSecond)
+		fmt.Printf("total volume:       %.1f MB\n", st.TotalBytesMB)
+		fmt.Printf("mean file size:     %.4f MB\n", st.MeanFileSizeMB)
+		fmt.Printf("skew theta:         %.3f\n", st.AccessTheta)
+		fmt.Printf("top-20%% share:      %.1f%%\n", st.TopTwentyShare*100)
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := workload.WriteTrace(f, tr); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,76 @@
+package diskarray_test
+
+import (
+	"fmt"
+
+	diskarray "repro"
+)
+
+// ExampleNewPRESS evaluates the PRESS model for one disk's operating
+// conditions.
+func ExampleNewPRESS() {
+	m := diskarray.NewPRESS()
+	afr, err := m.DiskAFR(diskarray.Factors{
+		TempC:             50,
+		Utilization:       0.8,
+		TransitionsPerDay: 65,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("temperature alone: %.1f%%\n", m.TempAFR(50))
+	fmt.Printf("integrated AFR:    %.2f%%\n", afr)
+	// Output:
+	// temperature alone: 13.0%
+	// integrated AFR:    15.43%
+}
+
+// ExampleDefaultCoffinManson reproduces the paper's §3.4 transition budget.
+func ExampleDefaultCoffinManson() {
+	d := diskarray.DefaultCoffinManson().Derive()
+	fmt.Printf("transitions to failure: %.0fk\n", d.TransitionsToFailure/1000)
+	fmt.Printf("5-year daily budget:    %.0f/day\n", d.DailyBudget5yr)
+	// Output:
+	// transitions to failure: 120k
+	// 5-year daily budget:    65/day
+}
+
+// ExampleSimulate runs a tiny simulation end to end.
+func ExampleSimulate() {
+	cfg := diskarray.DefaultGenConfig()
+	cfg.NumRequests = 2000
+	trace, err := diskarray.GenerateTrace(cfg)
+	if err != nil {
+		panic(err)
+	}
+	res, err := diskarray.Simulate(diskarray.SimConfig{
+		Disks:  6,
+		Trace:  trace,
+		Policy: diskarray.NewREAD(diskarray.READConfig{}),
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("served %d requests on %d disks\n", res.Requests, res.Disks)
+	fmt.Printf("array AFR is the least reliable disk's: disk %d\n", res.WorstDisk)
+	// Output:
+	// served 2000 requests on 6 disks
+	// array AFR is the least reliable disk's: disk 0
+}
+
+// ExampleCompareCost prices the title question for a synthetic pair of
+// results.
+func ExampleCompareCost() {
+	cfg := diskarray.DefaultGenConfig()
+	cfg.NumRequests = 2000
+	trace, _ := diskarray.GenerateTrace(cfg)
+	base, _ := diskarray.Simulate(diskarray.SimConfig{Disks: 6, Trace: trace, Policy: diskarray.NewAlwaysOn()})
+	read, _ := diskarray.Simulate(diskarray.SimConfig{Disks: 6, Trace: trace, Policy: diskarray.NewREAD(diskarray.READConfig{})})
+	v, err := diskarray.CompareCost(diskarray.DefaultCostModel(), read, base)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("energy saving positive: %v\n", v.EnergySavingPerYear > 0)
+	// Output:
+	// energy saving positive: true
+}

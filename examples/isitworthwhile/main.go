@@ -1,0 +1,94 @@
+// Isitworthwhile: the paper's title, answered in dollars. Runs every
+// policy on the same day, prices the energy saved against the expected
+// failure cost (PRESS AFR × replacement + data-loss cost), and prints the
+// verdict the paper's §3.5 reasons about qualitatively.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	diskarray "repro"
+)
+
+func main() {
+	disks := flag.Int("disks", 12, "array size")
+	requests := flag.Int("requests", 148008, "requests in the compressed day")
+	kwh := flag.Float64("kwh", 0.10, "electricity price $/kWh")
+	diskCost := flag.Float64("disk", 300, "replacement cost per failed drive $")
+	lossCost := flag.Float64("loss", 1000, "expected data-loss cost per failure $")
+	flag.Parse()
+
+	cfg := diskarray.DefaultGenConfig()
+	cfg.NumRequests = *requests
+	cfg.DiurnalProfile = diskarray.DefaultDiurnalProfile()
+	duration := float64(cfg.NumRequests) * cfg.MeanInterarrival
+	cfg.PhaseSeconds = duration / 12
+	cfg.PhaseRotate = 0.10
+	trace, err := diskarray.GenerateTrace(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	model := diskarray.CostModel{
+		EnergyPerKWh:       *kwh,
+		DiskReplacement:    *diskCost,
+		DataLossPerFailure: *lossCost,
+	}
+
+	run := func(p diskarray.Policy) *diskarray.SimResult {
+		res, err := diskarray.Simulate(diskarray.SimConfig{
+			Disks: *disks, Trace: trace, Policy: p, EpochSeconds: duration / 24,
+		})
+		if err != nil {
+			log.Fatalf("%s: %v", p.Name(), err)
+		}
+		return res
+	}
+
+	baseline := run(diskarray.NewAlwaysOn())
+	base, err := diskarray.AssessCost(model, baseline)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("array of %d disks, one synthetic WorldCup98-like day, prices: %.2f $/kWh, %g $/disk, %g $/loss\n\n",
+		*disks, *kwh, *diskCost, *lossCost)
+	fmt.Printf("baseline always-on: %.0f kWh/yr = $%.0f/yr energy, %.3f failures/yr = $%.0f/yr risk\n\n",
+		base.EnergyKWhPerYear, base.EnergyCostPerYear,
+		base.ExpectedFailuresPerYear, base.FailureCostPerYear)
+
+	fmt.Printf("%-14s %13s %16s %11s %12s\n",
+		"scheme", "energy $/yr", "saves vs base", "risk $/yr", "net $/yr")
+	schemes := []diskarray.Policy{
+		diskarray.NewREAD(diskarray.READConfig{}),
+		diskarray.NewMAID(diskarray.MAIDConfig{}),
+		diskarray.NewPDC(diskarray.PDCConfig{}),
+		diskarray.NewDRPM(diskarray.DRPMConfig{}),
+	}
+	for _, p := range schemes {
+		res := run(p)
+		v, err := diskarray.CompareCost(model, res, baseline)
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := "NOT worthwhile"
+		if v.Worthwhile {
+			verdict = "worthwhile"
+		}
+		fmt.Printf("%-14s %13.0f %16.0f %11.0f %12.0f   %s\n",
+			p.Name(), v.Scheme.EnergyCostPerYear, v.EnergySavingPerYear,
+			v.Scheme.FailureCostPerYear, v.NetPerYear, verdict)
+	}
+
+	fmt.Println("\nfailure-probability check (Monte Carlo, 5-year horizon):")
+	for _, p := range []diskarray.Policy{diskarray.NewREAD(diskarray.READConfig{}), diskarray.NewDRPM(diskarray.DRPMConfig{})} {
+		res := run(p)
+		sim, err := diskarray.SimulateFailures(res, 5, 50000, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-12s P(>=1 failure) = %.1f%%   P(>=2) = %.1f%%   E[failures] = %.2f\n",
+			p.Name(), sim.PAtLeastOne*100, sim.PAtLeastTwo*100, sim.MeanFailures)
+	}
+}

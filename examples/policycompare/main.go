@@ -1,0 +1,61 @@
+// Policycompare: a miniature of the paper's Figure 7 — READ vs MAID vs PDC
+// over a sweep of array sizes, printed as the three panels (reliability,
+// energy, mean response time) plus the headline improvement lines.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	diskarray "repro"
+	"repro/internal/experiment"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.01, "trace scale (1 = the full paper-size day)")
+	heavy := flag.Bool("heavy", false, "use the heavy-workload intensity")
+	drpm := flag.Bool("drpm", false, "include the uncapped DRPM ablation policy")
+	flag.Parse()
+
+	cfg := diskarray.DefaultSweepConfig()
+	cfg.Scale = *scale
+	if *heavy {
+		cfg.Intensity = diskarray.HeavyIntensity
+	}
+	if *drpm {
+		cfg.Policies = append(cfg.Policies, diskarray.KindDRPM)
+	}
+
+	res, err := diskarray.RunSweep(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cond := "light"
+	if *heavy {
+		cond = "heavy"
+	}
+	fmt.Printf("policy comparison, %s workload, trace scale %.3g\n\n", cond, *scale)
+	if err := experiment.RenderSweepTable(os.Stdout, res, diskarray.MetricAFR,
+		"Figure 7a — array AFR (least reliable disk)"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	if err := experiment.RenderSweepTable(os.Stdout, res, diskarray.MetricEnergy,
+		"Figure 7b — energy consumption"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	if err := experiment.RenderSweepTable(os.Stdout, res, diskarray.MetricResponse,
+		"Figure 7c — mean response time"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	for _, m := range []diskarray.Metric{diskarray.MetricAFR, diskarray.MetricEnergy, diskarray.MetricResponse} {
+		if err := experiment.RenderImprovements(os.Stdout, res, m, diskarray.KindREAD); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

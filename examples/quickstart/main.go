@@ -1,0 +1,52 @@
+// Quickstart: simulate a 10-disk two-speed array serving a synthetic
+// WorldCup98-like day under the paper's READ policy and print the three
+// headline metrics (mean response time, energy, PRESS array AFR).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	diskarray "repro"
+)
+
+func main() {
+	// A scaled-down day: same arrival intensity, 2% of the requests.
+	cfg := diskarray.DefaultGenConfig()
+	cfg.NumRequests = cfg.NumRequests / 50
+	cfg.DiurnalProfile = diskarray.DefaultDiurnalProfile()
+
+	trace, err := diskarray.GenerateTrace(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats, err := trace.ComputeStats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: %d files, %d requests over %.0f s (θ = %.2f)\n",
+		stats.Files, stats.Requests, stats.Duration, stats.AccessTheta)
+
+	read := diskarray.NewREAD(diskarray.READConfig{})
+	res, err := diskarray.Simulate(diskarray.SimConfig{
+		Disks:        10,
+		Trace:        trace,
+		Policy:       read,
+		EpochSeconds: stats.Duration / 24,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nREAD on %d disks (%d hot / %d cold):\n", res.Disks, read.HotDisks(), res.Disks-read.HotDisks())
+	fmt.Printf("  mean response: %.2f ms (p95 %.2f ms)\n", res.MeanResponse*1e3, res.P95Response*1e3)
+	fmt.Printf("  energy:        %.1f kJ\n", res.EnergyJ/1e3)
+	fmt.Printf("  array AFR:     %.2f%% (worst disk %d)\n", res.ArrayAFR, res.WorstDisk)
+	fmt.Printf("  migrations:    %d\n", res.Migrations)
+
+	fmt.Println("\nper-disk view:")
+	for _, d := range res.PerDisk {
+		fmt.Printf("  disk %2d: util %5.1f%%  %3d transitions  %.1f °C mean  AFR %5.2f%%  final %s\n",
+			d.ID, d.Utilization*100, d.Transitions, d.MeanTempC, d.AFR, d.FinalSpeed)
+	}
+}

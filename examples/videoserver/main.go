@@ -1,0 +1,89 @@
+// Videoserver: the paper's §6 future-work scenario — a media library of
+// large files (video clips, audio segments) where striping pays off.
+// Compares the plain always-on layout against RAID-0-style striping and
+// shows both sides of the trade: large-file latency collapses, while the
+// array performs more positioning work.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+
+	diskarray "repro"
+)
+
+func main() {
+	disks := flag.Int("disks", 8, "array size")
+	width := flag.Int("width", 4, "stripe width")
+	clips := flag.Int("clips", 120, "number of video clips")
+	requests := flag.Int("requests", 3000, "requests to simulate")
+	flag.Parse()
+
+	// A media library: clips of 20-120 MB with mildly skewed popularity.
+	rng := rand.New(rand.NewSource(7))
+	var files diskarray.FileSet
+	for i := 0; i < *clips; i++ {
+		files = append(files, diskarray.File{
+			ID:         i,
+			SizeMB:     20 + rng.Float64()*100,
+			AccessRate: 1 / float64(i+1),
+		})
+	}
+	var total float64
+	for _, f := range files {
+		total += f.AccessRate
+	}
+	var reqs []diskarray.Request
+	clock := 0.0
+	for i := 0; i < *requests; i++ {
+		clock += rng.ExpFloat64() * 2.0
+		// Zipf-ish pick by cumulative rate.
+		x := rng.Float64() * total
+		id := 0
+		for _, f := range files {
+			x -= f.AccessRate
+			if x <= 0 {
+				id = f.ID
+				break
+			}
+		}
+		reqs = append(reqs, diskarray.Request{Arrival: clock, FileID: id})
+	}
+	trace := &diskarray.Trace{Files: files, Requests: reqs}
+
+	plain, err := diskarray.Simulate(diskarray.SimConfig{
+		Disks: *disks, Trace: trace, Policy: diskarray.NewAlwaysOn(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	striped, err := diskarray.Simulate(diskarray.SimConfig{
+		Disks: *disks, Trace: trace,
+		Policy: diskarray.NewStripedAlwaysOn(diskarray.StripedConfig{Width: *width}),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	busy := func(r *diskarray.SimResult) float64 {
+		var sum float64
+		for _, d := range r.PerDisk {
+			sum += d.BusyTime
+		}
+		return sum
+	}
+
+	fmt.Printf("media library: %d clips, %d requests, %d disks\n\n", *clips, *requests, *disks)
+	fmt.Printf("%-24s %12s %14s\n", "", "sequential", fmt.Sprintf("striped x%d", *width))
+	fmt.Printf("%-24s %9.0f ms %11.0f ms\n", "mean response", plain.MeanResponse*1e3, striped.MeanResponse*1e3)
+	fmt.Printf("%-24s %9.0f ms %11.0f ms\n", "p95 response", plain.P95Response*1e3, striped.P95Response*1e3)
+	fmt.Printf("%-24s %10.1f s %12.1f s\n", "total disk busy time", busy(plain), busy(striped))
+	fmt.Printf("%-24s %9.1f kJ %11.1f kJ\n", "energy", plain.EnergyJ/1e3, striped.EnergyJ/1e3)
+
+	speedup := plain.MeanResponse / striped.MeanResponse
+	overhead := 100 * (busy(striped) - busy(plain)) / busy(plain)
+	fmt.Printf("\nstriping cuts mean latency %.1fx at +%.1f%% positioning overhead —\n", speedup, overhead)
+	fmt.Println("worth it here, and exactly why the paper skips striping for small web files.")
+}

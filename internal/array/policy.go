@@ -1,0 +1,63 @@
+// Package array simulates a parallel array of two-speed disks serving a
+// whole-file request trace under a pluggable energy-saving policy, and
+// reports the performance / energy / reliability triple the paper evaluates
+// (mean response time, energy consumed, PRESS array AFR).
+//
+// The simulator is execution-driven in the paper's sense: every request
+// occupies a specific disk for its computed service time, requests queue
+// FCFS per disk, speed transitions block service, and file migrations are
+// real background transfers that compete with foreground work.
+package array
+
+// Policy is an energy-saving strategy for a two-speed disk array. The array
+// calls the hooks below; the policy steers behaviour exclusively through the
+// Context it receives (placement, speed-transition requests, background
+// transfers, idle timeouts).
+//
+// Implementations live in internal/policy: READ (the paper's contribution),
+// MAID, PDC, and the always-on baseline.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+
+	// Init is called once at virtual time zero. The policy must place
+	// every file (Context.SetPlacement) and may set initial disk speeds
+	// and idle timeouts.
+	Init(ctx *Context) error
+
+	// TargetDisk picks the disk that will serve a request for fileID,
+	// normally the placement disk. A policy may redirect (MAID's cache
+	// hit), trigger a spin-up of the target before service
+	// (Context.RequestTransition), or start background copies.
+	TargetDisk(ctx *Context, fileID int) int
+
+	// OnRequestComplete is called when a user request finishes service.
+	OnRequestComplete(ctx *Context, fileID, disk int)
+
+	// OnEpoch is called every Config.EpochSeconds of virtual time (if
+	// non-zero). Policies re-evaluate popularity and migrate files here.
+	// The array resets per-epoch access counts after this hook returns.
+	OnEpoch(ctx *Context)
+
+	// OnIdleTimeout is called when a disk has been continuously idle for
+	// its configured idle timeout. Policies typically request a
+	// transition to low speed here.
+	OnIdleTimeout(ctx *Context, disk int)
+}
+
+// StripePolicy optionally extends Policy with striped placement (the
+// paper's §6 future work: large files — video clips, audio segments —
+// benefit from striping while small web objects do not). When a policy
+// implements it and returns two or more target disks for a file, each
+// request for that file is split into equal chunks served in parallel, one
+// per disk; the request completes when its last chunk does. Each chunk pays
+// its own positioning overhead, which is exactly why striping only pays off
+// for large files.
+//
+// Returning nil or a single disk falls back to Policy.TargetDisk.
+type StripePolicy interface {
+	Policy
+
+	// StripeTargets returns the disks serving fileID's chunks.
+	StripeTargets(ctx *Context, fileID int) []int
+}

@@ -1,0 +1,636 @@
+package array
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/des"
+	"repro/internal/diskmodel"
+	"repro/internal/reliability"
+	"repro/internal/stats"
+	"repro/internal/thermal"
+	"repro/internal/workload"
+)
+
+// Config describes one simulation run.
+type Config struct {
+	// Disks is the array size (paper sweep: 6..16).
+	Disks int
+	// DiskParams describes the two-speed drives; zero value means
+	// diskmodel.DefaultParams().
+	DiskParams diskmodel.Params
+	// Thermal describes the temperature model; zero value means
+	// thermal.Default().
+	Thermal thermal.Model
+	// Trace is the workload to replay.
+	Trace *workload.Trace
+	// Policy is the energy-saving strategy under test.
+	Policy Policy
+	// EpochSeconds is the period of Policy.OnEpoch; zero disables epochs.
+	EpochSeconds float64
+	// Press is the reliability model used for the final AFR; nil means
+	// reliability.NewModel().
+	Press *reliability.Model
+	// MaxQueue guards against runaway simulations: a per-disk queue
+	// exceeding it aborts the run with an error. Zero means 1,000,000.
+	MaxQueue int
+	// SampleInterval, when positive, records a timeline Sample of array
+	// power, speeds, and queues every that many seconds of virtual time.
+	SampleInterval float64
+}
+
+func (c *Config) setDefaults() {
+	if c.DiskParams == (diskmodel.Params{}) {
+		c.DiskParams = diskmodel.DefaultParams()
+	}
+	if c.Thermal == (thermal.Model{}) {
+		c.Thermal = thermal.Default()
+	}
+	if c.Press == nil {
+		c.Press = reliability.NewModel()
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 1_000_000
+	}
+}
+
+// Validate reports the first configuration error.
+func (c *Config) Validate() error {
+	switch {
+	case c.Disks < 2:
+		return errors.New("array: need at least 2 disks")
+	case c.Trace == nil:
+		return errors.New("array: nil trace")
+	case c.Policy == nil:
+		return errors.New("array: nil policy")
+	case c.EpochSeconds < 0:
+		return errors.New("array: negative epoch")
+	case c.MaxQueue < 0:
+		return errors.New("array: negative max queue")
+	case c.SampleInterval < 0:
+		return errors.New("array: negative sample interval")
+	}
+	if err := c.DiskParams.Validate(); err != nil {
+		return err
+	}
+	if err := c.Thermal.Validate(); err != nil {
+		return err
+	}
+	return c.Trace.Validate()
+}
+
+// DiskResult is the per-disk outcome of a run.
+type DiskResult struct {
+	ID                int
+	EnergyJ           float64
+	Utilization       float64
+	Transitions       int
+	TransitionsPerDay float64
+	MeanTempC         float64
+	BusyTime          float64
+	RequestsServed    int
+	BytesServedMB     float64
+	AFR               float64
+	FinalSpeed        diskmodel.Speed
+}
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	PolicyName string
+	Disks      int
+
+	// Duration is the virtual time at which the run finished (last
+	// completion, including drain).
+	Duration float64
+
+	// Response-time statistics over user requests (seconds).
+	MeanResponse float64
+	P95Response  float64
+	P99Response  float64
+	MaxResponse  float64
+	Requests     int
+
+	// EnergyJ is total array energy over Duration.
+	EnergyJ float64
+
+	// ArrayAFR is the PRESS integrator output: the AFR of the least
+	// reliable disk, in percent.
+	ArrayAFR float64
+
+	// WorstDisk is the index of the disk that set ArrayAFR.
+	WorstDisk int
+
+	PerDisk []DiskResult
+
+	// Bookkeeping counters.
+	Migrations    int
+	BackgroundOps int
+	Epochs        int
+
+	// Timeline holds periodic samples when Config.SampleInterval > 0.
+	Timeline []Sample
+}
+
+type opKind int
+
+const (
+	opUser opKind = iota
+	opBackground
+	opChunk
+)
+
+type op struct {
+	kind    opKind
+	fileID  int
+	sizeMB  float64
+	arrival float64 // user request arrival time
+	onDone  func(now float64)
+	stripe  *stripeJob // for opChunk: the parent request
+}
+
+// stripeJob tracks one striped user request across its chunks.
+type stripeJob struct {
+	fileID    int
+	arrival   float64
+	remaining int
+}
+
+// fifo is a slice-backed queue with amortized compaction.
+type fifo struct {
+	buf  []op
+	head int
+}
+
+func (q *fifo) len() int { return len(q.buf) - q.head }
+
+func (q *fifo) push(o op) { q.buf = append(q.buf, o) }
+
+func (q *fifo) pop() op {
+	o := q.buf[q.head]
+	q.buf[q.head] = op{} // release references
+	q.head++
+	if q.head > 64 && q.head*2 >= len(q.buf) {
+		n := copy(q.buf, q.buf[q.head:])
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	return o
+}
+
+// diskState is the scheduler state the array keeps per disk on top of the
+// physical diskmodel.Disk. User requests and background transfers live in
+// separate queues: foreground work always dispatches first, so migrations
+// and cache copies soak up idle capacity instead of inflating user response
+// times.
+type diskState struct {
+	disk        *diskmodel.Disk
+	temp        *thermal.Tracker
+	fg          fifo
+	bg          fifo
+	pending     *diskmodel.Speed // requested transition target
+	idleTimeout float64          // 0 = disabled
+	idleArmed   bool
+}
+
+func (ds *diskState) queueLen() int { return ds.fg.len() + ds.bg.len() }
+
+func (ds *diskState) push(o op) {
+	if o.kind == opBackground {
+		ds.bg.push(o)
+		return
+	}
+	ds.fg.push(o)
+}
+
+func (ds *diskState) pop() op {
+	if ds.fg.len() > 0 {
+		return ds.fg.pop()
+	}
+	return ds.bg.pop()
+}
+
+// sim is the running simulation.
+type sim struct {
+	cfg     Config
+	eng     *des.Engine
+	disks   []*diskState
+	files   map[int]workload.File
+	place   map[int]int // fileID -> disk
+	counts  map[int]int // per-epoch access counts
+	nextReq int
+
+	respStream stats.Stream
+	respHist   *stats.LatencyHistogram
+
+	migrations    int
+	backgroundOps int
+	epochs        int
+	migrating     map[int]bool // fileID -> migration in flight
+	migsThisEpoch int          // for staggering migration starts
+	timeline      []Sample
+
+	failure error // sticky abort (queue explosion etc.)
+}
+
+// Run executes one simulation and returns its result.
+func Run(cfg Config) (*Result, error) {
+	cfg.setDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	hist, err := stats.NewLatencyHistogram(-6, 5, 50)
+	if err != nil {
+		return nil, err
+	}
+	s := &sim{
+		cfg:       cfg,
+		eng:       des.New(),
+		files:     make(map[int]workload.File, len(cfg.Trace.Files)),
+		place:     make(map[int]int, len(cfg.Trace.Files)),
+		counts:    make(map[int]int),
+		respHist:  hist,
+		migrating: make(map[int]bool),
+	}
+	for _, f := range cfg.Trace.Files {
+		s.files[f.ID] = f
+	}
+	s.disks = make([]*diskState, cfg.Disks)
+	for i := range s.disks {
+		s.disks[i] = &diskState{
+			disk: diskmodel.New(i, cfg.DiskParams, diskmodel.High),
+			temp: thermal.NewTracker(cfg.Thermal, diskmodel.High),
+		}
+	}
+
+	ctx := &Context{s: s}
+	if err := cfg.Policy.Init(ctx); err != nil {
+		return nil, fmt.Errorf("array: policy init: %w", err)
+	}
+	// Every file must be placed.
+	for id := range s.files {
+		if _, ok := s.place[id]; !ok {
+			return nil, fmt.Errorf("array: policy %q left file %d unplaced", cfg.Policy.Name(), id)
+		}
+	}
+	// Apply initial speeds instantly: Init-time transitions model the
+	// configuration of the array before the workload starts, not run-time
+	// transitions, so they are free and uncounted.
+	for i, ds := range s.disks {
+		if ds.pending != nil && *ds.pending != ds.disk.Speed() {
+			target := *ds.pending
+			ds.disk = diskmodel.New(i, cfg.DiskParams, target)
+			ds.temp = thermal.NewTracker(cfg.Thermal, target)
+		}
+		ds.pending = nil
+	}
+
+	// Arm initial idle timers.
+	for i := range s.disks {
+		s.armIdleTimer(i)
+	}
+
+	// Schedule the first arrival and epochs.
+	if len(cfg.Trace.Requests) > 0 {
+		first := cfg.Trace.Requests[0].Arrival
+		if _, err := s.eng.At(first, s.onArrival); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.EpochSeconds > 0 {
+		s.eng.MustSchedule(cfg.EpochSeconds, s.onEpoch)
+	}
+	s.installSampler()
+
+	s.eng.Run()
+	if s.failure != nil {
+		return nil, s.failure
+	}
+	return s.collect()
+}
+
+// onArrival injects the next trace request and schedules its successor.
+func (s *sim) onArrival(e *des.Engine) {
+	if s.failure != nil {
+		return
+	}
+	req := s.cfg.Trace.Requests[s.nextReq]
+	s.nextReq++
+	if s.nextReq < len(s.cfg.Trace.Requests) {
+		next := s.cfg.Trace.Requests[s.nextReq].Arrival
+		if next < e.Now() {
+			next = e.Now()
+		}
+		if _, err := e.At(next, s.onArrival); err != nil {
+			s.fail(err)
+			return
+		}
+	}
+
+	f, ok := s.files[req.FileID]
+	if !ok {
+		s.fail(fmt.Errorf("array: request for unknown file %d", req.FileID))
+		return
+	}
+	s.counts[req.FileID]++
+	ctx := &Context{s: s}
+
+	if sp, ok := s.cfg.Policy.(StripePolicy); ok {
+		targets := sp.StripeTargets(ctx, req.FileID)
+		if len(targets) >= 2 {
+			s.dispatchStriped(req.FileID, f.SizeMB, req.Arrival, targets)
+			return
+		}
+	}
+	target := s.cfg.Policy.TargetDisk(ctx, req.FileID)
+	if target < 0 || target >= len(s.disks) {
+		s.fail(fmt.Errorf("array: policy %q targeted invalid disk %d", s.cfg.Policy.Name(), target))
+		return
+	}
+	s.enqueue(target, op{kind: opUser, fileID: req.FileID, sizeMB: f.SizeMB, arrival: req.Arrival})
+}
+
+// dispatchStriped fans a request out as equal chunks, one per target disk.
+func (s *sim) dispatchStriped(fileID int, sizeMB, arrival float64, targets []int) {
+	for _, d := range targets {
+		if d < 0 || d >= len(s.disks) {
+			s.fail(fmt.Errorf("array: policy %q striped file %d to invalid disk %d",
+				s.cfg.Policy.Name(), fileID, d))
+			return
+		}
+	}
+	job := &stripeJob{fileID: fileID, arrival: arrival, remaining: len(targets)}
+	chunk := sizeMB / float64(len(targets))
+	for _, d := range targets {
+		s.enqueue(d, op{kind: opChunk, fileID: fileID, sizeMB: chunk, arrival: arrival, stripe: job})
+		if s.failure != nil {
+			return
+		}
+	}
+}
+
+func (s *sim) fail(err error) {
+	if s.failure == nil {
+		s.failure = err
+	}
+	s.eng.Stop()
+}
+
+func (s *sim) enqueue(disk int, o op) {
+	ds := s.disks[disk]
+	ds.push(o)
+	if ds.queueLen() > s.cfg.MaxQueue {
+		s.fail(fmt.Errorf("array: disk %d queue exceeded %d (overload); policy %q cannot sustain this workload",
+			disk, s.cfg.MaxQueue, s.cfg.Policy.Name()))
+		return
+	}
+	s.kick(disk)
+}
+
+// kick lets disk d start its next action if it is free.
+func (s *sim) kick(d int) {
+	ds := s.disks[d]
+	if ds.disk.State() != diskmodel.Idle {
+		return
+	}
+	now := s.eng.Now()
+	if ds.pending != nil {
+		target := *ds.pending
+		switch {
+		case target == ds.disk.Speed():
+			ds.pending = nil
+		case target == diskmodel.Low && ds.queueLen() > 0:
+			// Work arrived after a spin-down was requested: cancel it.
+			ds.pending = nil
+		default:
+			ds.pending = nil
+			dur := ds.disk.BeginTransition(now, target)
+			s.eng.MustSchedule(dur, func(*des.Engine) {
+				ds.disk.EndTransition(s.eng.Now())
+				ds.temp.SetSpeed(s.eng.Now(), ds.disk.Speed())
+				s.kick(d)
+			})
+			return
+		}
+	}
+	if ds.queueLen() > 0 {
+		o := ds.pop()
+		var dur float64
+		if seek := s.cfg.DiskParams.Seek; seek.Enabled() {
+			dur = ds.disk.BeginServiceAt(now, o.sizeMB, seek.CylinderOf(o.fileID))
+		} else {
+			dur = ds.disk.BeginService(now, o.sizeMB)
+		}
+		s.eng.MustSchedule(dur, func(*des.Engine) {
+			end := s.eng.Now()
+			ds.disk.EndService(end)
+			s.complete(d, o, end)
+			s.kick(d)
+		})
+		return
+	}
+	// Disk idle with empty queue: arm idle timer.
+	s.armIdleTimer(d)
+}
+
+func (s *sim) complete(d int, o op, now float64) {
+	switch o.kind {
+	case opUser:
+		resp := now - o.arrival
+		s.respStream.Add(resp)
+		s.respHist.Add(resp)
+		ctx := &Context{s: s}
+		s.cfg.Policy.OnRequestComplete(ctx, o.fileID, d)
+	case opChunk:
+		o.stripe.remaining--
+		if o.stripe.remaining == 0 {
+			// The striped request completes with its slowest chunk.
+			resp := now - o.stripe.arrival
+			s.respStream.Add(resp)
+			s.respHist.Add(resp)
+			ctx := &Context{s: s}
+			s.cfg.Policy.OnRequestComplete(ctx, o.stripe.fileID, d)
+		}
+	case opBackground:
+		s.backgroundOps++
+	}
+	if o.onDone != nil {
+		o.onDone(now)
+	}
+}
+
+// workRemains reports whether the simulation can still produce activity:
+// undelivered trace arrivals or queued/in-service operations. Idle timers
+// are pointless (and would keep the event loop alive forever) once it is
+// false.
+func (s *sim) workRemains() bool {
+	if s.nextReq < len(s.cfg.Trace.Requests) {
+		return true
+	}
+	return s.busyDisks() > 0
+}
+
+func (s *sim) armIdleTimer(d int) {
+	ds := s.disks[d]
+	if ds.idleTimeout <= 0 || ds.idleArmed {
+		return
+	}
+	if !s.workRemains() {
+		return
+	}
+	if ds.disk.State() != diskmodel.Idle || ds.queueLen() > 0 {
+		return
+	}
+	ds.idleArmed = true
+	timeout := ds.idleTimeout
+	deadline := s.eng.Now() + timeout
+	s.eng.MustSchedule(timeout, func(*des.Engine) {
+		ds.idleArmed = false
+		now := s.eng.Now()
+		// Still idle and has been since before the timer was armed?
+		if ds.disk.State() != diskmodel.Idle || ds.queueLen() > 0 {
+			return
+		}
+		if ds.disk.IdleSince() > deadline-timeout {
+			// Activity happened since arming; rearm relative to the
+			// most recent idle start.
+			remaining := ds.disk.IdleSince() + timeout - now
+			if remaining > 0 {
+				s.rearmIdleTimer(d, remaining)
+				return
+			}
+		}
+		ctx := &Context{s: s}
+		s.cfg.Policy.OnIdleTimeout(ctx, d)
+		s.kick(d)
+	})
+}
+
+func (s *sim) rearmIdleTimer(d int, delay float64) {
+	ds := s.disks[d]
+	if ds.idleArmed || !s.workRemains() {
+		return
+	}
+	ds.idleArmed = true
+	timeout := ds.idleTimeout
+	s.eng.MustSchedule(delay, func(*des.Engine) {
+		ds.idleArmed = false
+		now := s.eng.Now()
+		if ds.disk.State() != diskmodel.Idle || ds.queueLen() > 0 {
+			return
+		}
+		if now-ds.disk.IdleSince() < timeout {
+			remaining := ds.disk.IdleSince() + timeout - now
+			if remaining > 0 {
+				s.rearmIdleTimer(d, remaining)
+				return
+			}
+		}
+		ctx := &Context{s: s}
+		s.cfg.Policy.OnIdleTimeout(ctx, d)
+		s.kick(d)
+	})
+}
+
+func (s *sim) onEpoch(e *des.Engine) {
+	if s.failure != nil {
+		return
+	}
+	// Epochs exist to adapt placement to the live request stream; once
+	// the trace is exhausted there is nothing to adapt to, and post-trace
+	// migrations would only stretch the run and dilute utilization.
+	if s.nextReq >= len(s.cfg.Trace.Requests) {
+		return
+	}
+	s.epochs++
+	s.migsThisEpoch = 0
+	ctx := &Context{s: s}
+	s.cfg.Policy.OnEpoch(ctx)
+	// Fresh popularity window per epoch (the paper's FPT records counts
+	// "during the current epoch").
+	s.counts = make(map[int]int)
+	e.MustSchedule(s.cfg.EpochSeconds, s.onEpoch)
+}
+
+func (s *sim) busyDisks() int {
+	n := 0
+	for _, ds := range s.disks {
+		if ds.disk.State() != diskmodel.Idle || ds.queueLen() > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func (s *sim) collect() (*Result, error) {
+	now := s.eng.Now()
+	if last := len(s.cfg.Trace.Requests); last > 0 {
+		// Account at least the full trace span even if the last
+		// completions landed earlier (possible when the tail of the
+		// trace hits an already-warm disk).
+		if t := s.cfg.Trace.Requests[last-1].Arrival; t > now {
+			now = t
+		}
+	}
+	res := &Result{
+		PolicyName:    s.cfg.Policy.Name(),
+		Disks:         len(s.disks),
+		Duration:      now,
+		Requests:      int(s.respStream.N()),
+		MeanResponse:  s.respStream.Mean(),
+		MaxResponse:   s.respStream.Max(),
+		Migrations:    s.migrations,
+		BackgroundOps: s.backgroundOps,
+		Epochs:        s.epochs,
+		Timeline:      s.timeline,
+	}
+	if s.respHist.N() > 0 {
+		p95, err := s.respHist.Quantile(0.95)
+		if err != nil {
+			return nil, err
+		}
+		p99, err := s.respHist.Quantile(0.99)
+		if err != nil {
+			return nil, err
+		}
+		res.P95Response, res.P99Response = p95, p99
+	}
+
+	factors := make([]reliability.Factors, len(s.disks))
+	res.PerDisk = make([]DiskResult, len(s.disks))
+	worst := math.Inf(-1)
+	for i, ds := range s.disks {
+		util := ds.disk.Utilization(now)
+		meanTemp := ds.temp.MeanTemp(now)
+		perDay := ds.disk.TransitionRatePerDay(now)
+		factors[i] = reliability.Factors{
+			TempC:             meanTemp,
+			Utilization:       util,
+			TransitionsPerDay: perDay,
+		}
+		afr, err := s.cfg.Press.DiskAFR(factors[i])
+		if err != nil {
+			return nil, fmt.Errorf("array: disk %d AFR: %w", i, err)
+		}
+		res.PerDisk[i] = DiskResult{
+			ID:                i,
+			EnergyJ:           ds.disk.EnergyJ(now),
+			Utilization:       util,
+			Transitions:       ds.disk.Transitions(),
+			TransitionsPerDay: perDay,
+			MeanTempC:         meanTemp,
+			BusyTime:          ds.disk.BusyTime(now),
+			RequestsServed:    ds.disk.Requests(),
+			BytesServedMB:     ds.disk.BytesServedMB(),
+			AFR:               afr,
+			FinalSpeed:        ds.disk.Speed(),
+		}
+		res.EnergyJ += res.PerDisk[i].EnergyJ
+		if afr > worst {
+			worst = afr
+			res.WorstDisk = i
+		}
+	}
+	res.ArrayAFR = worst
+	return res, nil
+}

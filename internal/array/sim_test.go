@@ -1,0 +1,600 @@
+package array
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/diskmodel"
+	"repro/internal/workload"
+)
+
+// staticPolicy places files round-robin and keeps every disk at high speed.
+type staticPolicy struct {
+	initErr   error
+	badTarget bool
+}
+
+func (p *staticPolicy) Name() string { return "static" }
+
+func (p *staticPolicy) Init(ctx *Context) error {
+	if p.initErr != nil {
+		return p.initErr
+	}
+	for i, f := range ctx.Files() {
+		if err := ctx.SetPlacement(f.ID, i%ctx.NumDisks()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *staticPolicy) TargetDisk(ctx *Context, fileID int) int {
+	if p.badTarget {
+		return 999
+	}
+	return ctx.Placement(fileID)
+}
+
+func (p *staticPolicy) OnRequestComplete(*Context, int, int) {}
+func (p *staticPolicy) OnEpoch(*Context)                     {}
+func (p *staticPolicy) OnIdleTimeout(*Context, int)          {}
+
+// spinDownPolicy mimics the power-management skeleton: all disks idle down
+// after H seconds and spin up on demand.
+type spinDownPolicy struct {
+	h        float64
+	timeouts int
+	spinUps  int
+}
+
+func (p *spinDownPolicy) Name() string { return "spindown" }
+
+func (p *spinDownPolicy) Init(ctx *Context) error {
+	for i, f := range ctx.Files() {
+		if err := ctx.SetPlacement(f.ID, i%ctx.NumDisks()); err != nil {
+			return err
+		}
+	}
+	for d := 0; d < ctx.NumDisks(); d++ {
+		ctx.SetIdleTimeout(d, p.h)
+	}
+	return nil
+}
+
+func (p *spinDownPolicy) TargetDisk(ctx *Context, fileID int) int {
+	d := ctx.Placement(fileID)
+	if ctx.DiskSpeed(d) == diskmodel.Low {
+		p.spinUps++
+		ctx.RequestTransition(d, diskmodel.High)
+	}
+	return d
+}
+
+func (p *spinDownPolicy) OnRequestComplete(*Context, int, int) {}
+func (p *spinDownPolicy) OnEpoch(*Context)                     {}
+
+func (p *spinDownPolicy) OnIdleTimeout(ctx *Context, d int) {
+	p.timeouts++
+	if ctx.DiskSpeed(d) == diskmodel.High {
+		ctx.RequestTransition(d, diskmodel.Low)
+	}
+}
+
+func tinyTrace(t *testing.T, files, requests int, interarrival float64) *workload.Trace {
+	t.Helper()
+	cfg := workload.DefaultGenConfig()
+	cfg.NumFiles = files
+	cfg.NumRequests = requests
+	cfg.MeanInterarrival = interarrival
+	tr, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestRunStaticBasics(t *testing.T) {
+	tr := tinyTrace(t, 50, 2000, 0.01)
+	res, err := Run(Config{Disks: 4, Trace: tr, Policy: &staticPolicy{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 2000 {
+		t.Fatalf("served %d requests, want 2000", res.Requests)
+	}
+	if res.MeanResponse <= 0 {
+		t.Fatalf("mean response %v", res.MeanResponse)
+	}
+	if res.EnergyJ <= 0 {
+		t.Fatalf("energy %v", res.EnergyJ)
+	}
+	if res.Duration <= 0 {
+		t.Fatalf("duration %v", res.Duration)
+	}
+	if len(res.PerDisk) != 4 {
+		t.Fatalf("per-disk results %d", len(res.PerDisk))
+	}
+	var reqSum int
+	var energySum float64
+	for _, d := range res.PerDisk {
+		reqSum += d.RequestsServed
+		energySum += d.EnergyJ
+		if d.Transitions != 0 {
+			t.Fatalf("static policy made %d transitions on disk %d", d.Transitions, d.ID)
+		}
+		if d.FinalSpeed != diskmodel.High {
+			t.Fatalf("disk %d final speed %v", d.ID, d.FinalSpeed)
+		}
+		// All-high disks sit at the 50C steady state.
+		if math.Abs(d.MeanTempC-50) > 1e-6 {
+			t.Fatalf("disk %d mean temp %v, want 50", d.ID, d.MeanTempC)
+		}
+	}
+	if reqSum != 2000 {
+		t.Fatalf("per-disk request sum %d", reqSum)
+	}
+	if math.Abs(energySum-res.EnergyJ) > 1e-6 {
+		t.Fatalf("per-disk energy sum %v != total %v", energySum, res.EnergyJ)
+	}
+	if res.ArrayAFR <= 0 {
+		t.Fatalf("array AFR %v", res.ArrayAFR)
+	}
+	// Worst disk index consistent.
+	if res.PerDisk[res.WorstDisk].AFR != res.ArrayAFR {
+		t.Fatal("WorstDisk inconsistent with ArrayAFR")
+	}
+}
+
+func TestRunResponseTimeAtLeastService(t *testing.T) {
+	tr := tinyTrace(t, 10, 500, 1.0) // light load: no queueing
+	res, err := Run(Config{Disks: 4, Trace: tr, Policy: &staticPolicy{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := diskmodel.DefaultParams()
+	minService := p.PositioningTime(diskmodel.High)
+	if res.MeanResponse < minService {
+		t.Fatalf("mean response %v below positioning floor %v", res.MeanResponse, minService)
+	}
+	// With 1s inter-arrival and ~8ms services, queueing is negligible:
+	// p99 should stay within a couple of service times.
+	if res.P99Response > 10*minService+1 {
+		t.Fatalf("p99 %v unexpectedly high for unloaded array", res.P99Response)
+	}
+}
+
+func TestSpinDownAndOnDemandSpinUp(t *testing.T) {
+	// 2 files on 2 disks, requests spaced far apart so disks idle down
+	// between requests.
+	files := workload.FileSet{
+		{ID: 0, SizeMB: 1, AccessRate: 0.01},
+		{ID: 1, SizeMB: 1, AccessRate: 0.01},
+	}
+	var reqs []workload.Request
+	for i := 0; i < 10; i++ {
+		reqs = append(reqs, workload.Request{Arrival: float64(i) * 300, FileID: i % 2})
+	}
+	tr := &workload.Trace{Files: files, Requests: reqs}
+	pol := &spinDownPolicy{h: 60}
+	res, err := Run(Config{Disks: 2, Trace: tr, Policy: pol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pol.timeouts == 0 {
+		t.Fatal("idle timeout never fired")
+	}
+	if pol.spinUps == 0 {
+		t.Fatal("no spin-ups despite spun-down disks")
+	}
+	totalTrans := 0
+	for _, d := range res.PerDisk {
+		totalTrans += d.Transitions
+	}
+	if totalTrans == 0 {
+		t.Fatal("no transitions recorded")
+	}
+	// Requests that hit a spun-down disk must absorb the spin-up delay.
+	p := diskmodel.DefaultParams()
+	if res.MaxResponse < p.TransitionUpTime {
+		t.Fatalf("max response %v does not include any spin-up delay %v",
+			res.MaxResponse, p.TransitionUpTime)
+	}
+}
+
+func TestSpinDownEnergySavings(t *testing.T) {
+	// Mostly-idle workload: the spin-down policy must consume less energy
+	// than always-on.
+	files := workload.FileSet{{ID: 0, SizeMB: 1, AccessRate: 0.001}}
+	var reqs []workload.Request
+	for i := 0; i < 5; i++ {
+		reqs = append(reqs, workload.Request{Arrival: float64(i) * 2000, FileID: 0})
+	}
+	tr := &workload.Trace{Files: files, Requests: reqs}
+	still, err := Run(Config{Disks: 2, Trace: tr, Policy: &staticPolicy{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	saver, err := Run(Config{Disks: 2, Trace: tr, Policy: &spinDownPolicy{h: 100}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if saver.EnergyJ >= still.EnergyJ {
+		t.Fatalf("spin-down energy %v not below always-on %v", saver.EnergyJ, still.EnergyJ)
+	}
+}
+
+func TestMigrationMovesPlacement(t *testing.T) {
+	files := workload.FileSet{
+		{ID: 0, SizeMB: 10, AccessRate: 1},
+		{ID: 1, SizeMB: 10, AccessRate: 1},
+	}
+	// Requests span several epochs: epochs only fire while the trace is
+	// still delivering arrivals.
+	var migReqs []workload.Request
+	for i := 0; i < 12; i++ {
+		migReqs = append(migReqs, workload.Request{Arrival: 0.5 + float64(i), FileID: 0})
+	}
+	tr := &workload.Trace{Files: files, Requests: migReqs}
+	pol := &migratingPolicy{}
+	res, err := Run(Config{Disks: 2, Trace: tr, Policy: pol, EpochSeconds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Migrations != 1 {
+		t.Fatalf("migrations = %d, want 1", res.Migrations)
+	}
+	if res.BackgroundOps != 2 {
+		t.Fatalf("background ops = %d, want 2 (read+write)", res.BackgroundOps)
+	}
+	if !pol.moved {
+		t.Fatal("placement never flipped to target disk")
+	}
+}
+
+// migratingPolicy moves file 0 from disk 0 to disk 1 at the first epoch and
+// verifies the placement flip on a later epoch.
+type migratingPolicy struct {
+	started bool
+	moved   bool
+}
+
+func (p *migratingPolicy) Name() string { return "migrator" }
+
+func (p *migratingPolicy) Init(ctx *Context) error {
+	for _, f := range ctx.Files() {
+		if err := ctx.SetPlacement(f.ID, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *migratingPolicy) TargetDisk(ctx *Context, fileID int) int {
+	return ctx.Placement(fileID)
+}
+
+func (p *migratingPolicy) OnRequestComplete(*Context, int, int) {}
+func (p *migratingPolicy) OnIdleTimeout(*Context, int)          {}
+
+func (p *migratingPolicy) OnEpoch(ctx *Context) {
+	if !p.started {
+		p.started = true
+		if !ctx.Migrate(0, 1) {
+			panic("migration rejected")
+		}
+		// Double migration of the same file must be rejected.
+		if ctx.Migrate(0, 1) {
+			panic("concurrent duplicate migration accepted")
+		}
+		if !ctx.Migrating(0) {
+			panic("Migrating(0) false during migration")
+		}
+		return
+	}
+	if ctx.Placement(0) == 1 {
+		p.moved = true
+	}
+}
+
+func TestPolicyErrors(t *testing.T) {
+	tr := tinyTrace(t, 10, 100, 0.01)
+	// Invalid target disk.
+	_, err := Run(Config{Disks: 2, Trace: tr, Policy: &staticPolicy{badTarget: true}})
+	if err == nil || !strings.Contains(err.Error(), "invalid disk") {
+		t.Fatalf("bad target error = %v", err)
+	}
+	// Unplaced files.
+	_, err = Run(Config{Disks: 2, Trace: tr, Policy: &lazyPolicy{}})
+	if err == nil || !strings.Contains(err.Error(), "unplaced") {
+		t.Fatalf("unplaced error = %v", err)
+	}
+}
+
+type lazyPolicy struct{}
+
+func (lazyPolicy) Name() string                         { return "lazy" }
+func (lazyPolicy) Init(*Context) error                  { return nil }
+func (lazyPolicy) TargetDisk(*Context, int) int         { return 0 }
+func (lazyPolicy) OnRequestComplete(*Context, int, int) {}
+func (lazyPolicy) OnEpoch(*Context)                     {}
+func (lazyPolicy) OnIdleTimeout(*Context, int)          {}
+
+func TestConfigValidation(t *testing.T) {
+	tr := tinyTrace(t, 5, 10, 0.1)
+	cases := []Config{
+		{Disks: 1, Trace: tr, Policy: &staticPolicy{}},
+		{Disks: 4, Trace: nil, Policy: &staticPolicy{}},
+		{Disks: 4, Trace: tr, Policy: nil},
+		{Disks: 4, Trace: tr, Policy: &staticPolicy{}, EpochSeconds: -1},
+		{Disks: 4, Trace: tr, Policy: &staticPolicy{}, MaxQueue: -5},
+	}
+	for i, cfg := range cases {
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestQueueOverflowAborts(t *testing.T) {
+	// A single slow disk receiving a dense burst overflows a tiny queue
+	// bound.
+	files := workload.FileSet{{ID: 0, SizeMB: 100, AccessRate: 100}}
+	var reqs []workload.Request
+	for i := 0; i < 100; i++ {
+		reqs = append(reqs, workload.Request{Arrival: float64(i) * 1e-4, FileID: 0})
+	}
+	tr := &workload.Trace{Files: files, Requests: reqs}
+	_, err := Run(Config{Disks: 2, Trace: tr, Policy: &staticPolicy{}, MaxQueue: 10})
+	if err == nil || !strings.Contains(err.Error(), "overload") {
+		t.Fatalf("overflow error = %v", err)
+	}
+}
+
+func TestEpochsFire(t *testing.T) {
+	tr := tinyTrace(t, 20, 1000, 0.05) // ~50 s of trace
+	res, err := Run(Config{Disks: 3, Trace: tr, Policy: &staticPolicy{}, EpochSeconds: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epochs < 4 {
+		t.Fatalf("epochs = %d, want >= 4 over ~50 s", res.Epochs)
+	}
+}
+
+func TestEpochAccessCountsReset(t *testing.T) {
+	files := workload.FileSet{{ID: 0, SizeMB: 1, AccessRate: 1}}
+	var reqs []workload.Request
+	// 5 requests in epoch 1 (t<10), then a lone straggler in epoch 3 to
+	// keep the trace (and hence epochs) alive.
+	for i := 0; i < 5; i++ {
+		reqs = append(reqs, workload.Request{Arrival: float64(i) + 1, FileID: 0})
+	}
+	reqs = append(reqs, workload.Request{Arrival: 25, FileID: 0})
+	tr := &workload.Trace{Files: files, Requests: reqs}
+	pol := &countingPolicy{}
+	if _, err := Run(Config{Disks: 2, Trace: tr, Policy: pol, EpochSeconds: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if len(pol.epochCounts) < 2 {
+		t.Fatalf("observed %d epochs, want >= 2", len(pol.epochCounts))
+	}
+	if pol.epochCounts[0] != 5 {
+		t.Fatalf("epoch 1 count = %d, want 5", pol.epochCounts[0])
+	}
+	if pol.epochCounts[1] != 0 {
+		t.Fatalf("epoch 2 count = %d, want 0 (reset failed)", pol.epochCounts[1])
+	}
+}
+
+type countingPolicy struct {
+	epochCounts []int
+}
+
+func (p *countingPolicy) Name() string { return "counter" }
+
+func (p *countingPolicy) Init(ctx *Context) error {
+	for _, f := range ctx.Files() {
+		if err := ctx.SetPlacement(f.ID, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *countingPolicy) TargetDisk(ctx *Context, fileID int) int { return ctx.Placement(fileID) }
+func (p *countingPolicy) OnRequestComplete(*Context, int, int)    {}
+func (p *countingPolicy) OnIdleTimeout(*Context, int)             {}
+
+func (p *countingPolicy) OnEpoch(ctx *Context) {
+	p.epochCounts = append(p.epochCounts, ctx.AccessCount(0))
+}
+
+func TestSetPlacementRestrictions(t *testing.T) {
+	tr := tinyTrace(t, 5, 50, 0.01)
+	pol := &placementAbuser{}
+	if _, err := Run(Config{Disks: 2, Trace: tr, Policy: pol, EpochSeconds: 0.1}); err != nil {
+		t.Fatal(err)
+	}
+	if !pol.rejected {
+		t.Fatal("late SetPlacement was not rejected")
+	}
+}
+
+type placementAbuser struct {
+	rejected bool
+	tried    bool
+}
+
+func (p *placementAbuser) Name() string { return "abuser" }
+
+func (p *placementAbuser) Init(ctx *Context) error {
+	for _, f := range ctx.Files() {
+		if err := ctx.SetPlacement(f.ID, 0); err != nil {
+			return err
+		}
+	}
+	if err := ctx.SetPlacement(-42, 0); err == nil {
+		return nil // unknown file must error; caught by rejected staying false
+	}
+	if err := ctx.SetPlacement(ctx.Files()[0].ID, 99); err == nil {
+		return nil
+	}
+	return nil
+}
+
+func (p *placementAbuser) TargetDisk(ctx *Context, fileID int) int { return ctx.Placement(fileID) }
+func (p *placementAbuser) OnRequestComplete(*Context, int, int)    {}
+func (p *placementAbuser) OnIdleTimeout(*Context, int)             {}
+
+func (p *placementAbuser) OnEpoch(ctx *Context) {
+	if p.tried {
+		return
+	}
+	p.tried = true
+	if err := ctx.SetPlacement(ctx.Files()[0].ID, 1); err != nil {
+		p.rejected = true
+	}
+}
+
+func TestMigrateRejections(t *testing.T) {
+	tr := tinyTrace(t, 5, 20, 0.05)
+	pol := &migrateRejectPolicy{}
+	if _, err := Run(Config{Disks: 2, Trace: tr, Policy: pol, EpochSeconds: 0.2}); err != nil {
+		t.Fatal(err)
+	}
+	if !pol.checked {
+		t.Fatal("rejection checks never ran")
+	}
+}
+
+type migrateRejectPolicy struct {
+	checked bool
+}
+
+func (p *migrateRejectPolicy) Name() string { return "migrate-reject" }
+
+func (p *migrateRejectPolicy) Init(ctx *Context) error {
+	for _, f := range ctx.Files() {
+		if err := ctx.SetPlacement(f.ID, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *migrateRejectPolicy) TargetDisk(ctx *Context, fileID int) int { return ctx.Placement(fileID) }
+func (p *migrateRejectPolicy) OnRequestComplete(*Context, int, int)    {}
+func (p *migrateRejectPolicy) OnIdleTimeout(*Context, int)             {}
+
+func (p *migrateRejectPolicy) OnEpoch(ctx *Context) {
+	if p.checked {
+		return
+	}
+	p.checked = true
+	id := ctx.Files()[0].ID
+	if ctx.Migrate(id, 0) {
+		panic("migration to current disk accepted")
+	}
+	if ctx.Migrate(-1, 1) {
+		panic("migration of unknown file accepted")
+	}
+	if ctx.Migrate(id, 99) {
+		panic("migration to invalid disk accepted")
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	tr := tinyTrace(t, 100, 5000, 0.005)
+	run := func() *Result {
+		res, err := Run(Config{Disks: 5, Trace: tr, Policy: &spinDownPolicy{h: 1}, EpochSeconds: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.MeanResponse != b.MeanResponse || a.EnergyJ != b.EnergyJ || a.ArrayAFR != b.ArrayAFR {
+		t.Fatalf("runs diverge: %+v vs %+v", a, b)
+	}
+}
+
+func TestEmptyTraceRuns(t *testing.T) {
+	tr := &workload.Trace{Files: workload.FileSet{{ID: 0, SizeMB: 1}}}
+	res, err := Run(Config{Disks: 2, Trace: tr, Policy: &staticPolicy{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 0 {
+		t.Fatalf("requests = %d", res.Requests)
+	}
+}
+
+func TestContextAccessors(t *testing.T) {
+	tr := tinyTrace(t, 8, 50, 0.01)
+	pol := &accessorPolicy{t: t}
+	if _, err := Run(Config{Disks: 3, Trace: tr, Policy: pol}); err != nil {
+		t.Fatal(err)
+	}
+	if !pol.ran {
+		t.Fatal("accessor checks never ran")
+	}
+}
+
+type accessorPolicy struct {
+	t   *testing.T
+	ran bool
+}
+
+func (p *accessorPolicy) Name() string { return "accessors" }
+
+func (p *accessorPolicy) Init(ctx *Context) error {
+	if ctx.NumDisks() != 3 {
+		p.t.Error("NumDisks mismatch")
+	}
+	if ctx.Placement(ctx.Files()[0].ID) != -1 {
+		p.t.Error("unplaced file should report -1")
+	}
+	for _, f := range ctx.Files() {
+		if err := ctx.SetPlacement(f.ID, 0); err != nil {
+			return err
+		}
+	}
+	if _, ok := ctx.File(ctx.Files()[0].ID); !ok {
+		p.t.Error("File lookup failed")
+	}
+	if _, ok := ctx.File(-99); ok {
+		p.t.Error("File lookup of unknown id succeeded")
+	}
+	if ctx.DiskState(0) != diskmodel.Idle {
+		p.t.Error("initial state not idle")
+	}
+	if _, ok := ctx.PendingSpeed(0); ok {
+		p.t.Error("phantom pending speed")
+	}
+	ctx.SetIdleTimeout(0, -5)
+	if ctx.IdleTimeout(0) != 0 {
+		p.t.Error("negative timeout not clamped")
+	}
+	return nil
+}
+
+func (p *accessorPolicy) TargetDisk(ctx *Context, fileID int) int {
+	if !p.ran {
+		p.ran = true
+		if ctx.DiskQueueLen(0) != 0 {
+			p.t.Error("queue should be empty before first dispatch")
+		}
+		if ctx.DiskUtilization(0) < 0 {
+			p.t.Error("negative utilization")
+		}
+		if ctx.DiskTransitions(0) != 0 {
+			p.t.Error("phantom transitions")
+		}
+	}
+	return ctx.Placement(fileID)
+}
+
+func (p *accessorPolicy) OnRequestComplete(*Context, int, int) {}
+func (p *accessorPolicy) OnEpoch(*Context)                     {}
+func (p *accessorPolicy) OnIdleTimeout(*Context, int)          {}

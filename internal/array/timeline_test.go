@@ -1,0 +1,88 @@
+package array
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/diskmodel"
+)
+
+func TestTimelineSampling(t *testing.T) {
+	tr := tinyTrace(t, 40, 3000, 0.02) // ~60 s
+	res, err := Run(Config{Disks: 4, Trace: tr, Policy: &staticPolicy{}, SampleInterval: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Timeline) < 10 {
+		t.Fatalf("timeline samples = %d, want >= 10 over ~60 s", len(res.Timeline))
+	}
+	p := diskmodel.DefaultParams()
+	prev := 0.0
+	var lastCompleted uint64
+	for i, s := range res.Timeline {
+		if s.T <= prev {
+			t.Fatalf("sample %d time %v not increasing", i, s.T)
+		}
+		prev = s.T
+		// Power bounded by the physical envelope.
+		if s.PowerW < 4*p.PowerIdleLow-1e-9 || s.PowerW > 4*p.PowerActiveHigh+50 {
+			t.Fatalf("sample %d power %v outside envelope", i, s.PowerW)
+		}
+		if s.HighDisks != 4 {
+			t.Fatalf("always-on run: %d high disks at sample %d", s.HighDisks, i)
+		}
+		if s.Completed < lastCompleted {
+			t.Fatalf("completions decreased at sample %d", i)
+		}
+		lastCompleted = s.Completed
+		if s.Queued < 0 || s.InService < 0 || s.InService > 4 {
+			t.Fatalf("sample %d occupancy out of range: %+v", i, s)
+		}
+	}
+	if lastCompleted == 0 {
+		t.Fatal("timeline never observed completions")
+	}
+}
+
+func TestTimelineDisabledByDefault(t *testing.T) {
+	tr := tinyTrace(t, 10, 100, 0.01)
+	res, err := Run(Config{Disks: 2, Trace: tr, Policy: &staticPolicy{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Timeline) != 0 {
+		t.Fatalf("timeline recorded without SampleInterval: %d samples", len(res.Timeline))
+	}
+}
+
+func TestTimelineNegativeIntervalRejected(t *testing.T) {
+	tr := tinyTrace(t, 10, 100, 0.01)
+	if _, err := Run(Config{Disks: 2, Trace: tr, Policy: &staticPolicy{}, SampleInterval: -1}); err == nil {
+		t.Fatal("negative sample interval accepted")
+	}
+}
+
+func TestRenderTimeline(t *testing.T) {
+	tr := tinyTrace(t, 40, 2000, 0.02)
+	res, err := Run(Config{Disks: 4, Trace: tr, Policy: &spinDownPolicy{h: 2}, SampleInterval: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	RenderTimeline(&buf, res.Timeline, 10)
+	out := buf.String()
+	if !strings.Contains(out, "power(W)") {
+		t.Fatalf("missing header:\n%s", out)
+	}
+	rows := strings.Count(out, "\n") - 1
+	if rows < 1 || rows > 11 {
+		t.Fatalf("rendered %d rows, want <= 10 + header", rows)
+	}
+	// Empty timeline message.
+	buf.Reset()
+	RenderTimeline(&buf, nil, 10)
+	if !strings.Contains(buf.String(), "no timeline samples") {
+		t.Fatal("empty-timeline message missing")
+	}
+}

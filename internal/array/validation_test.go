@@ -1,0 +1,115 @@
+package array
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/diskmodel"
+	"repro/internal/workload"
+)
+
+// TestMD1QueueingTheory validates the simulator's queueing behaviour
+// against closed-form theory: a single disk fed Poisson arrivals of
+// fixed-size requests is an M/D/1 queue, whose mean response is
+// S + ρS/(2(1−ρ)) by Pollaczek–Khinchine. The simulator must agree within
+// sampling error — this pins down the FCFS service path, the clock, and
+// the response accounting all at once.
+func TestMD1QueueingTheory(t *testing.T) {
+	params := diskmodel.DefaultParams()
+	const sizeMB = 2.0
+	service := params.ServiceTime(sizeMB, diskmodel.High)
+
+	for _, rho := range []float64{0.3, 0.6, 0.8} {
+		lambda := rho / service
+		rng := rand.New(rand.NewSource(42))
+		const n = 60000
+		files := workload.FileSet{{ID: 0, SizeMB: sizeMB, AccessRate: lambda}}
+		reqs := make([]workload.Request, n)
+		clock := 0.0
+		for i := range reqs {
+			clock += rng.ExpFloat64() / lambda
+			reqs[i] = workload.Request{Arrival: clock, FileID: 0}
+		}
+		tr := &workload.Trace{Files: files, Requests: reqs}
+		res, err := Run(Config{Disks: 2, Trace: tr, Policy: &staticPolicy{}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := service + rho*service/(2*(1-rho))
+		got := res.MeanResponse
+		tol := 0.06
+		if rho >= 0.8 {
+			tol = 0.15 // heavy-traffic means converge slowly
+		}
+		if math.Abs(got-want)/want > tol {
+			t.Errorf("rho=%.1f: mean response %.5fs, M/D/1 predicts %.5fs (%.1f%% off)",
+				rho, got, want, 100*math.Abs(got-want)/want)
+		}
+		// Utilization of the serving disk must equal rho.
+		if u := res.PerDisk[0].Utilization; math.Abs(u-rho) > 0.02 {
+			t.Errorf("rho=%.1f: measured utilization %.3f", rho, u)
+		}
+	}
+}
+
+// TestLittlesLaw cross-checks L = λW on a multi-disk run: the time-average
+// number of requests in the system (measured through busy time and
+// response) must satisfy Little's law within sampling error.
+func TestLittlesLaw(t *testing.T) {
+	cfg := workload.DefaultGenConfig()
+	cfg.NumRequests = 40000
+	cfg.MeanInterarrival = 0.004
+	tr, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{Disks: 4, Trace: tr, Policy: &staticPolicy{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lambda := float64(res.Requests) / res.Duration
+	// L from the response-time side.
+	l := lambda * res.MeanResponse
+	// L from the occupancy side: sum of busy time (requests in service)
+	// is a lower bound of L·duration; with low queueing they are close.
+	var busy float64
+	for _, d := range res.PerDisk {
+		busy += d.BusyTime
+	}
+	lOccupancy := busy / res.Duration
+	if l < lOccupancy*0.95 {
+		t.Fatalf("Little's law violated: L=λW gives %.4f but occupancy alone is %.4f", l, lOccupancy)
+	}
+	// And not wildly above it either on this lightly-queued system.
+	if l > lOccupancy*2.5 {
+		t.Fatalf("implausible queueing: L=%.4f vs occupancy %.4f", l, lOccupancy)
+	}
+}
+
+// TestEnergyLowerBound: no run can consume less than every disk idling at
+// low speed for the duration, nor more than every disk active at high
+// speed plus all transition energy.
+func TestEnergyBounds(t *testing.T) {
+	tr := tinyTrace(t, 60, 4000, 0.01)
+	for _, pol := range []Policy{&staticPolicy{}, &spinDownPolicy{h: 5}} {
+		res, err := Run(Config{Disks: 4, Trace: tr, Policy: pol})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := diskmodel.DefaultParams()
+		lower := float64(res.Disks) * p.PowerIdleLow * res.Duration
+		var transitions int
+		for _, d := range res.PerDisk {
+			transitions += d.Transitions
+		}
+		upper := float64(res.Disks)*p.PowerActiveHigh*res.Duration +
+			float64(transitions)*math.Max(p.TransitionUpEnergy, p.TransitionDownEnergy)
+		if res.EnergyJ < lower {
+			t.Errorf("%s: energy %.0f below all-idle-low floor %.0f", pol.Name(), res.EnergyJ, lower)
+		}
+		if res.EnergyJ > upper {
+			t.Errorf("%s: energy %.0f above all-active-high ceiling %.0f", pol.Name(), res.EnergyJ, upper)
+		}
+	}
+}

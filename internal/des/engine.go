@@ -1,0 +1,230 @@
+// Package des implements a deterministic discrete-event simulation kernel.
+//
+// The kernel maintains a virtual clock and a priority queue of scheduled
+// events. Events fire in non-decreasing time order; events scheduled for the
+// same instant fire in the order they were scheduled (FIFO tie-breaking via a
+// monotone sequence number), which makes every simulation run fully
+// deterministic for a fixed input.
+//
+// The kernel is single-threaded by design: disk-array simulations are
+// causally ordered and the profitable parallelism lives one level up, across
+// independent simulation runs (parameter sweeps), not inside one run.
+package des
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Handler is the callback invoked when an event fires. The engine passes
+// itself so handlers can schedule follow-up events without capturing the
+// engine in every closure.
+type Handler func(e *Engine)
+
+// EventID identifies a scheduled event for cancellation. The zero EventID is
+// never issued.
+type EventID uint64
+
+// ErrStalled is returned by Run when the event queue drains before the
+// requested end time was reached with RunUntil semantics. It is informational
+// rather than fatal: a drained queue simply means the simulation reached
+// quiescence early.
+var ErrStalled = errors.New("des: event queue drained before end time")
+
+type event struct {
+	time     float64
+	seq      uint64 // FIFO tie-breaker and identity
+	handler  Handler
+	canceled bool
+	index    int // heap index, -1 once popped
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulation engine. The zero value is ready to
+// use and starts at virtual time zero.
+type Engine struct {
+	now     float64
+	seq     uint64
+	queue   eventHeap
+	pending map[EventID]*event
+	fired   uint64
+	stopped bool
+}
+
+// New returns an engine with its clock at zero.
+func New() *Engine {
+	return &Engine{pending: make(map[EventID]*event)}
+}
+
+func (e *Engine) ensure() {
+	if e.pending == nil {
+		e.pending = make(map[EventID]*event)
+	}
+}
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Fired returns the number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of scheduled, not-yet-fired, not-canceled
+// events.
+func (e *Engine) Pending() int { return len(e.pending) }
+
+// Schedule arranges for h to run delay seconds after the current virtual
+// time. A negative delay is an error because it would rewind causality;
+// a zero delay fires at the current instant, after all events already
+// scheduled for that instant.
+func (e *Engine) Schedule(delay float64, h Handler) (EventID, error) {
+	if delay < 0 || math.IsNaN(delay) {
+		return 0, fmt.Errorf("des: negative or NaN delay %v", delay)
+	}
+	return e.At(e.now+delay, h)
+}
+
+// MustSchedule is Schedule for delays the caller has already validated;
+// it panics on a negative or NaN delay, which always indicates a programming
+// error in the model rather than bad input.
+func (e *Engine) MustSchedule(delay float64, h Handler) EventID {
+	id, err := e.Schedule(delay, h)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// At arranges for h to run at absolute virtual time t, which must not be in
+// the past.
+func (e *Engine) At(t float64, h Handler) (EventID, error) {
+	if h == nil {
+		return 0, errors.New("des: nil handler")
+	}
+	if t < e.now || math.IsNaN(t) {
+		return 0, fmt.Errorf("des: schedule time %v is before now %v", t, e.now)
+	}
+	e.ensure()
+	e.seq++
+	ev := &event{time: t, seq: e.seq, handler: h}
+	heap.Push(&e.queue, ev)
+	id := EventID(ev.seq)
+	e.pending[id] = ev
+	return id, nil
+}
+
+// Cancel removes a scheduled event. Canceling an event that already fired,
+// was already canceled, or never existed reports false.
+func (e *Engine) Cancel(id EventID) bool {
+	ev, ok := e.pending[id]
+	if !ok {
+		return false
+	}
+	delete(e.pending, id)
+	ev.canceled = true
+	if ev.index >= 0 {
+		heap.Remove(&e.queue, ev.index)
+	}
+	return true
+}
+
+// Stop makes the current Run call return after the in-flight event handler
+// finishes. Scheduled events remain queued and a later Run resumes them.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Step fires the single earliest pending event, advancing the clock to its
+// timestamp. It reports false when the queue is empty.
+func (e *Engine) Step() bool {
+	for e.queue.Len() > 0 {
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.canceled {
+			continue
+		}
+		delete(e.pending, EventID(ev.seq))
+		e.now = ev.time
+		e.fired++
+		ev.handler(e)
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue drains or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+}
+
+// RunUntil fires events with timestamps <= end, then sets the clock to end.
+// It returns ErrStalled if the queue drained strictly before end (the clock
+// is still advanced to end so energy integration over wall time stays
+// consistent).
+func (e *Engine) RunUntil(end float64) error {
+	if end < e.now {
+		return fmt.Errorf("des: end time %v is before now %v", end, e.now)
+	}
+	e.stopped = false
+	for !e.stopped {
+		next, ok := e.peek()
+		if !ok {
+			stalled := e.now < end
+			e.now = end
+			if stalled {
+				return ErrStalled
+			}
+			return nil
+		}
+		if next > end {
+			e.now = end
+			return nil
+		}
+		e.Step()
+	}
+	return nil
+}
+
+// peek returns the timestamp of the earliest live event.
+func (e *Engine) peek() (float64, bool) {
+	for e.queue.Len() > 0 {
+		if e.queue[0].canceled {
+			heap.Pop(&e.queue)
+			continue
+		}
+		return e.queue[0].time, true
+	}
+	return 0, false
+}

@@ -1,0 +1,360 @@
+package des
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroValueReady(t *testing.T) {
+	var e Engine
+	ran := false
+	if _, err := e.Schedule(1, func(*Engine) { ran = true }); err != nil {
+		t.Fatalf("Schedule on zero value: %v", err)
+	}
+	e.Run()
+	if !ran {
+		t.Fatal("event did not fire")
+	}
+	if e.Now() != 1 {
+		t.Fatalf("Now = %v, want 1", e.Now())
+	}
+}
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	e := New()
+	var got []float64
+	for _, d := range []float64{5, 1, 3, 2, 4} {
+		d := d
+		e.MustSchedule(d, func(en *Engine) { got = append(got, en.Now()) })
+	}
+	e.Run()
+	if !sort.Float64sAreSorted(got) {
+		t.Fatalf("events fired out of order: %v", got)
+	}
+	if len(got) != 5 {
+		t.Fatalf("fired %d events, want 5", len(got))
+	}
+}
+
+func TestFIFOTieBreaking(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.MustSchedule(7, func(*Engine) { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events fired in order %v, want FIFO", order)
+		}
+	}
+}
+
+func TestZeroDelayFiresAfterCurrentInstant(t *testing.T) {
+	e := New()
+	var order []string
+	e.MustSchedule(1, func(en *Engine) {
+		order = append(order, "first")
+		en.MustSchedule(0, func(*Engine) { order = append(order, "nested") })
+	})
+	e.MustSchedule(1, func(*Engine) { order = append(order, "second") })
+	e.Run()
+	want := []string{"first", "second", "nested"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestNegativeDelayRejected(t *testing.T) {
+	e := New()
+	if _, err := e.Schedule(-1, func(*Engine) {}); err == nil {
+		t.Fatal("negative delay accepted")
+	}
+	if _, err := e.Schedule(math.NaN(), func(*Engine) {}); err == nil {
+		t.Fatal("NaN delay accepted")
+	}
+	if _, err := e.At(-0.5, func(*Engine) {}); err == nil {
+		t.Fatal("past absolute time accepted")
+	}
+}
+
+func TestNilHandlerRejected(t *testing.T) {
+	e := New()
+	if _, err := e.At(1, nil); err == nil {
+		t.Fatal("nil handler accepted")
+	}
+}
+
+func TestMustSchedulePanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustSchedule did not panic on negative delay")
+		}
+	}()
+	New().MustSchedule(-1, func(*Engine) {})
+}
+
+func TestCancel(t *testing.T) {
+	e := New()
+	fired := false
+	id := e.MustSchedule(1, func(*Engine) { fired = true })
+	if !e.Cancel(id) {
+		t.Fatal("Cancel reported false for live event")
+	}
+	if e.Cancel(id) {
+		t.Fatal("double Cancel reported true")
+	}
+	e.Run()
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d after cancel+run, want 0", e.Pending())
+	}
+}
+
+func TestCancelFromWithinHandler(t *testing.T) {
+	e := New()
+	fired := false
+	var victim EventID
+	victim = e.MustSchedule(2, func(*Engine) { fired = true })
+	e.MustSchedule(1, func(en *Engine) {
+		if !en.Cancel(victim) {
+			t.Error("in-handler cancel failed")
+		}
+	})
+	e.Run()
+	if fired {
+		t.Fatal("event canceled from a handler still fired")
+	}
+}
+
+func TestCancelUnknownID(t *testing.T) {
+	e := New()
+	if e.Cancel(12345) {
+		t.Fatal("Cancel of unknown id reported true")
+	}
+}
+
+func TestRunUntilAdvancesClockToEnd(t *testing.T) {
+	e := New()
+	e.MustSchedule(1, func(*Engine) {})
+	if err := e.RunUntil(10); err != ErrStalled {
+		t.Fatalf("RunUntil = %v, want ErrStalled", err)
+	}
+	if e.Now() != 10 {
+		t.Fatalf("Now = %v, want 10", e.Now())
+	}
+}
+
+func TestRunUntilLeavesLaterEventsQueued(t *testing.T) {
+	e := New()
+	fired := 0
+	e.MustSchedule(1, func(*Engine) { fired++ })
+	e.MustSchedule(5, func(*Engine) { fired++ })
+	if err := e.RunUntil(2); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if fired != 1 {
+		t.Fatalf("fired = %d at t=2, want 1", fired)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", e.Pending())
+	}
+	e.Run()
+	if fired != 2 {
+		t.Fatalf("fired = %d after Run, want 2", fired)
+	}
+}
+
+func TestRunUntilBoundaryInclusive(t *testing.T) {
+	e := New()
+	fired := false
+	e.MustSchedule(3, func(*Engine) { fired = true })
+	if err := e.RunUntil(3); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if !fired {
+		t.Fatal("event at exactly end time did not fire")
+	}
+}
+
+func TestRunUntilPastRejected(t *testing.T) {
+	e := New()
+	e.MustSchedule(5, func(*Engine) {})
+	if err := e.RunUntil(5); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if err := e.RunUntil(1); err == nil {
+		t.Fatal("RunUntil into the past accepted")
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := New()
+	fired := 0
+	e.MustSchedule(1, func(en *Engine) { fired++; en.Stop() })
+	e.MustSchedule(2, func(*Engine) { fired++ })
+	e.Run()
+	if fired != 1 {
+		t.Fatalf("fired = %d after Stop, want 1", fired)
+	}
+	e.Run() // resumes
+	if fired != 2 {
+		t.Fatalf("fired = %d after resume, want 2", fired)
+	}
+}
+
+func TestChainedScheduling(t *testing.T) {
+	e := New()
+	count := 0
+	var tick Handler
+	tick = func(en *Engine) {
+		count++
+		if count < 100 {
+			en.MustSchedule(0.5, tick)
+		}
+	}
+	e.MustSchedule(0.5, tick)
+	e.Run()
+	if count != 100 {
+		t.Fatalf("count = %d, want 100", count)
+	}
+	if math.Abs(e.Now()-50) > 1e-9 {
+		t.Fatalf("Now = %v, want 50", e.Now())
+	}
+	if e.Fired() != 100 {
+		t.Fatalf("Fired = %d, want 100", e.Fired())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func(seed int64) []float64 {
+		rng := rand.New(rand.NewSource(seed))
+		e := New()
+		var trace []float64
+		var ids []EventID
+		for i := 0; i < 500; i++ {
+			id := e.MustSchedule(rng.Float64()*100, func(en *Engine) {
+				trace = append(trace, en.Now())
+			})
+			ids = append(ids, id)
+		}
+		for i := 0; i < 100; i++ {
+			e.Cancel(ids[rng.Intn(len(ids))])
+		}
+		e.Run()
+		return trace
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// Property: for any set of non-negative delays, the engine fires exactly one
+// event per schedule and the observed fire times are the sorted delays.
+func TestPropertyFireTimesAreSortedDelays(t *testing.T) {
+	f := func(raw []float64) bool {
+		e := New()
+		var want []float64
+		for _, d := range raw {
+			d = math.Abs(d)
+			if math.IsNaN(d) || math.IsInf(d, 0) {
+				continue
+			}
+			want = append(want, d)
+			e.MustSchedule(d, func(*Engine) {})
+		}
+		var got []float64
+		for e.Step() {
+			got = append(got, e.Now())
+		}
+		sort.Float64s(want)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: canceling a random subset leaves exactly the complement firing.
+func TestPropertyCancelComplement(t *testing.T) {
+	f := func(n uint8, mask uint64) bool {
+		e := New()
+		total := int(n%64) + 1
+		fired := make([]bool, total)
+		ids := make([]EventID, total)
+		for i := 0; i < total; i++ {
+			i := i
+			ids[i] = e.MustSchedule(float64(i), func(*Engine) { fired[i] = true })
+		}
+		for i := 0; i < total; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				e.Cancel(ids[i])
+			}
+		}
+		e.Run()
+		for i := 0; i < total; i++ {
+			wantFired := mask&(1<<uint(i)) == 0
+			if fired[i] != wantFired {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkScheduleAndFire(b *testing.B) {
+	e := New()
+	h := func(*Engine) {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.MustSchedule(float64(i%97)*0.001, h)
+		if i%64 == 63 {
+			for e.Step() {
+			}
+		}
+	}
+	for e.Step() {
+	}
+}
+
+func BenchmarkHotLoop(b *testing.B) {
+	// Self-rescheduling event chain: the dominant pattern in the array
+	// simulator (request completion scheduling the next service).
+	e := New()
+	n := 0
+	var tick Handler
+	tick = func(en *Engine) {
+		n++
+		if n < b.N {
+			en.MustSchedule(0.001, tick)
+		}
+	}
+	e.MustSchedule(0.001, tick)
+	b.ResetTimer()
+	e.Run()
+}

@@ -1,0 +1,300 @@
+package diskmodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// State is the activity state of a disk.
+type State int
+
+const (
+	// Idle means the spindle is rotating at the current speed but no
+	// request is in service.
+	Idle State = iota
+	// Active means a request is being served.
+	Active
+	// Transitioning means the spindle is changing speed; no service is
+	// possible.
+	Transitioning
+)
+
+// String returns a human-readable state name.
+func (s State) String() string {
+	switch s {
+	case Idle:
+		return "idle"
+	case Active:
+		return "active"
+	case Transitioning:
+		return "transitioning"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Disk is the runtime state of one simulated two-speed drive. It is passive:
+// the array simulator calls the Begin*/End* methods at the appropriate
+// virtual times and the disk integrates energy and busy time in between.
+// Methods must be called with non-decreasing timestamps.
+type Disk struct {
+	id     int
+	params Params
+
+	speed Speed
+	state State
+
+	// Energy/time integration.
+	lastAccrual float64
+	energyJ     float64
+	busyTime    float64
+	idleTime    float64
+	transTime   float64
+
+	// Counters.
+	transitions   int
+	upTransitions int
+	bytesServedMB float64
+	requests      int
+
+	// Pending transition target while state == Transitioning.
+	transitionTarget Speed
+
+	// Time the disk most recently became idle; math.Inf(1) while busy.
+	idleSince float64
+
+	// Per-speed residence time, used by the thermal model to produce a
+	// time-weighted operating temperature.
+	timeAtSpeed [2]float64
+
+	// headCyl is the arm position for the distance-based seek model.
+	headCyl int
+}
+
+// New returns a disk with the given id that starts idle at the given speed
+// at virtual time 0.
+func New(id int, p Params, initial Speed) *Disk {
+	return &Disk{
+		id:        id,
+		params:    p,
+		speed:     initial,
+		state:     Idle,
+		idleSince: 0,
+	}
+}
+
+// ID returns the disk's identifier within its array.
+func (d *Disk) ID() int { return d.id }
+
+// Params returns the disk's parameter set.
+func (d *Disk) Params() Params { return d.params }
+
+// Speed returns the current spindle speed. During a transition it reports
+// the speed being left (service is impossible either way).
+func (d *Disk) Speed() Speed { return d.speed }
+
+// State returns the current activity state.
+func (d *Disk) State() State { return d.state }
+
+// IdleSince returns the virtual time at which the disk last became idle.
+// It returns +Inf while the disk is busy or transitioning.
+func (d *Disk) IdleSince() float64 { return d.idleSince }
+
+// accrue integrates power and residence time up to now.
+func (d *Disk) accrue(now float64) {
+	dt := now - d.lastAccrual
+	if dt < 0 {
+		panic(fmt.Sprintf("diskmodel: disk %d time moved backwards: %v -> %v", d.id, d.lastAccrual, now))
+	}
+	switch d.state {
+	case Idle:
+		d.energyJ += d.params.IdlePower(d.speed) * dt
+		d.idleTime += dt
+		d.timeAtSpeed[d.speed] += dt
+	case Active:
+		d.energyJ += d.params.ActivePower(d.speed) * dt
+		d.busyTime += dt
+		d.timeAtSpeed[d.speed] += dt
+	case Transitioning:
+		// Transition energy is charged as a lump sum in BeginTransition;
+		// only time bookkeeping happens here. Residence is attributed to
+		// the target speed: the spindle is being driven toward it.
+		d.transTime += dt
+		d.timeAtSpeed[d.transitionTarget] += dt
+	}
+	d.lastAccrual = now
+}
+
+// BeginService marks the start of serving a request of sizeMB at time now
+// and returns the service duration (flat average-seek model). The caller
+// must schedule EndService at now+duration. It panics if the disk is not
+// idle: queueing is the array's responsibility, and overlapping service is
+// a simulation bug rather than a recoverable condition.
+func (d *Disk) BeginService(now, sizeMB float64) float64 {
+	d.beginService(now, sizeMB)
+	return d.params.ServiceTime(sizeMB, d.speed)
+}
+
+// BeginServiceAt is BeginService with a distance-based seek to the target
+// cylinder; it requires Params.Seek to be configured and updates the head
+// position.
+func (d *Disk) BeginServiceAt(now, sizeMB float64, cylinder int) float64 {
+	d.beginService(now, sizeMB)
+	dist := cylinder - d.headCyl
+	if dist < 0 {
+		dist = -dist
+	}
+	d.headCyl = cylinder
+	return d.params.ServiceTimeAt(sizeMB, d.speed, dist)
+}
+
+func (d *Disk) beginService(now, sizeMB float64) {
+	d.accrue(now)
+	if d.state != Idle {
+		panic(fmt.Sprintf("diskmodel: disk %d BeginService while %v", d.id, d.state))
+	}
+	d.state = Active
+	d.idleSince = math.Inf(1)
+	d.bytesServedMB += sizeMB
+	d.requests++
+}
+
+// HeadCylinder returns the arm position (only meaningful with a seek model).
+func (d *Disk) HeadCylinder() int { return d.headCyl }
+
+// EndService marks the completion of the in-flight request.
+func (d *Disk) EndService(now float64) {
+	d.accrue(now)
+	if d.state != Active {
+		panic(fmt.Sprintf("diskmodel: disk %d EndService while %v", d.id, d.state))
+	}
+	d.state = Idle
+	d.idleSince = now
+}
+
+// CanTransition reports whether a speed transition to the target speed is
+// currently possible and meaningful.
+func (d *Disk) CanTransition(to Speed) bool {
+	return d.state == Idle && d.speed != to
+}
+
+// BeginTransition starts a speed change at time now and returns its
+// duration. The caller must schedule EndTransition at now+duration. The
+// lump-sum transition energy is charged immediately. It panics when
+// CanTransition(to) is false.
+func (d *Disk) BeginTransition(now float64, to Speed) float64 {
+	d.accrue(now)
+	if d.state != Idle {
+		panic(fmt.Sprintf("diskmodel: disk %d BeginTransition while %v", d.id, d.state))
+	}
+	if d.speed == to {
+		panic(fmt.Sprintf("diskmodel: disk %d transition to current speed %v", d.id, to))
+	}
+	d.state = Transitioning
+	d.transitionTarget = to
+	d.idleSince = math.Inf(1)
+	d.energyJ += d.params.TransitionEnergy(to)
+	d.transitions++
+	if to == High {
+		d.upTransitions++
+	}
+	return d.params.TransitionTime(to)
+}
+
+// EndTransition completes the in-flight speed change.
+func (d *Disk) EndTransition(now float64) {
+	d.accrue(now)
+	if d.state != Transitioning {
+		panic(fmt.Sprintf("diskmodel: disk %d EndTransition while %v", d.id, d.state))
+	}
+	d.speed = d.transitionTarget
+	d.state = Idle
+	d.idleSince = now
+}
+
+// Close finalizes integration at the end of the simulation. Further state
+// changes are still legal (Close just forces accrual).
+func (d *Disk) Close(now float64) { d.accrue(now) }
+
+// EnergyJ returns the total energy consumed through time now.
+func (d *Disk) EnergyJ(now float64) float64 {
+	d.accrue(now)
+	return d.energyJ
+}
+
+// Utilization returns the fraction of elapsed time spent serving requests,
+// the paper's definition: "the fraction of active time of a drive out of its
+// total power-on-time" (§3.3). It returns 0 before any time has elapsed.
+func (d *Disk) Utilization(now float64) float64 {
+	d.accrue(now)
+	if now <= 0 {
+		return 0
+	}
+	return d.busyTime / now
+}
+
+// Transitions returns the total number of speed transitions started.
+func (d *Disk) Transitions() int { return d.transitions }
+
+// UpTransitions returns the number of low-to-high transitions started.
+func (d *Disk) UpTransitions() int { return d.upTransitions }
+
+// TransitionsPerDay returns the average daily speed-transition frequency
+// over the elapsed simulated time, the PRESS frequency factor. For runs
+// shorter than one simulated day the count is NOT extrapolated upward;
+// sub-day runs report the raw count, which matches how a policy's daily cap
+// is enforced.
+func (d *Disk) TransitionsPerDay(now float64) float64 {
+	const day = 86400.0
+	if now <= 0 {
+		return 0
+	}
+	days := now / day
+	if days < 1 {
+		days = 1
+	}
+	return float64(d.transitions) / days
+}
+
+// TransitionRatePerDay returns the speed-transition frequency extrapolated
+// to a daily rate: transitions / (elapsed days), without the sub-day
+// flooring of TransitionsPerDay. This is the PRESS frequency factor for runs
+// shorter than one simulated day: a disk that switched 150 times in 2.5
+// hours is being operated at a 1,440/day rate and must be priced that way.
+func (d *Disk) TransitionRatePerDay(now float64) float64 {
+	const day = 86400.0
+	if now <= 0 {
+		return 0
+	}
+	return float64(d.transitions) / (now / day)
+}
+
+// BusyTime returns total time spent in Active state through now.
+func (d *Disk) BusyTime(now float64) float64 {
+	d.accrue(now)
+	return d.busyTime
+}
+
+// IdleTimeTotal returns total time spent in Idle state through now.
+func (d *Disk) IdleTimeTotal(now float64) float64 {
+	d.accrue(now)
+	return d.idleTime
+}
+
+// TransitionTimeTotal returns total time spent transitioning through now.
+func (d *Disk) TransitionTimeTotal(now float64) float64 {
+	d.accrue(now)
+	return d.transTime
+}
+
+// TimeAtSpeed returns the time spent at (or transitioning toward) speed s.
+func (d *Disk) TimeAtSpeed(now float64, s Speed) float64 {
+	d.accrue(now)
+	return d.timeAtSpeed[s]
+}
+
+// BytesServedMB returns the cumulative data volume served.
+func (d *Disk) BytesServedMB() float64 { return d.bytesServedMB }
+
+// Requests returns the number of requests this disk has begun serving.
+func (d *Disk) Requests() int { return d.requests }

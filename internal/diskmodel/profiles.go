@@ -1,0 +1,45 @@
+package diskmodel
+
+// Additional two-speed drive profiles for sensitivity analysis. All follow
+// the same derivation rule as DefaultParams: low-speed statistics scaled
+// from the high-speed drive by the RPM ratio.
+
+// EnterpriseParams returns a 15,000/6,000 RPM enterprise-class profile:
+// faster positioning and transfer, higher power, costlier transitions.
+func EnterpriseParams() Params {
+	return Params{
+		CapacityMB:           73 * 1024,
+		RPMHigh:              15000,
+		RPMLow:               6000,
+		AvgSeek:              0.0035,
+		TransferHigh:         85.0,
+		PowerActiveHigh:      17.0,
+		PowerIdleHigh:        12.0,
+		PowerActiveLow:       7.5,
+		PowerIdleLow:         4.2,
+		TransitionUpTime:     9.0,
+		TransitionUpEnergy:   160,
+		TransitionDownTime:   5.0,
+		TransitionDownEnergy: 15,
+	}
+}
+
+// NearlineParams returns a 7,200/3,600 RPM nearline-class profile: slower
+// and cooler, with a narrower speed gap, so speed transitions buy less.
+func NearlineParams() Params {
+	return Params{
+		CapacityMB:           250 * 1024,
+		RPMHigh:              7200,
+		RPMLow:               3600,
+		AvgSeek:              0.0085,
+		TransferHigh:         40.0,
+		PowerActiveHigh:      11.0,
+		PowerIdleHigh:        7.2,
+		PowerActiveLow:       5.0,
+		PowerIdleLow:         3.4,
+		TransitionUpTime:     7.0,
+		TransitionUpEnergy:   90,
+		TransitionDownTime:   4.0,
+		TransitionDownEnergy: 10,
+	}
+}

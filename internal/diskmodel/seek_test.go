@@ -1,0 +1,194 @@
+package diskmodel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSeekModelEnabled(t *testing.T) {
+	if (SeekModel{}).Enabled() {
+		t.Fatal("zero model enabled")
+	}
+	if !DefaultSeekModel().Enabled() {
+		t.Fatal("default model disabled")
+	}
+	bad := []SeekModel{
+		{Cylinders: 1, SeekMin: 0.001, SeekMax: 0.01},
+		{Cylinders: 100, SeekMin: 0.01, SeekMax: 0.001}, // min > max
+		{Cylinders: 100, SeekMin: -1, SeekMax: 0.01},
+	}
+	for i, m := range bad {
+		if m.Enabled() {
+			t.Errorf("bad model %d enabled", i)
+		}
+	}
+}
+
+func TestSeekTimeCurve(t *testing.T) {
+	m := DefaultSeekModel()
+	if m.Time(0) != 0 {
+		t.Fatal("zero-distance seek not free")
+	}
+	if m.Time(-5) != 0 {
+		t.Fatal("negative distance not clamped")
+	}
+	if got := m.Time(1); math.Abs(got-m.SeekMin) > 1e-4 {
+		t.Fatalf("single-track seek %v, want ≈SeekMin %v", got, m.SeekMin)
+	}
+	if got := m.Time(m.Cylinders - 1); math.Abs(got-m.SeekMax) > 1e-9 {
+		t.Fatalf("full-stroke seek %v, want SeekMax %v", got, m.SeekMax)
+	}
+	// Beyond-full-stroke clamps.
+	if m.Time(10*m.Cylinders) != m.Time(m.Cylinders-1) {
+		t.Fatal("overlong distance not clamped")
+	}
+	// Monotone in distance.
+	prev := 0.0
+	for d := 1; d < m.Cylinders; d += 997 {
+		cur := m.Time(d)
+		if cur < prev {
+			t.Fatalf("seek time decreasing at distance %d", d)
+		}
+		prev = cur
+	}
+}
+
+func TestSeekMeanMatchesEmpirical(t *testing.T) {
+	m := DefaultSeekModel()
+	rng := rand.New(rand.NewSource(9))
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		a, b := rng.Intn(m.Cylinders), rng.Intn(m.Cylinders)
+		d := a - b
+		if d < 0 {
+			d = -d
+		}
+		sum += m.Time(d)
+	}
+	analytic := m.MeanTime()
+	empirical := sum / n
+	if math.Abs(analytic-empirical)/analytic > 0.01 {
+		t.Fatalf("MeanTime %v vs empirical %v", analytic, empirical)
+	}
+	// And close to the flat AvgSeek it replaces (same drive class).
+	flat := DefaultParams().AvgSeek
+	if math.Abs(analytic-flat)/flat > 0.25 {
+		t.Fatalf("seek-curve mean %v far from flat AvgSeek %v", analytic, flat)
+	}
+}
+
+func TestCylinderOfDeterministicAndInRange(t *testing.T) {
+	m := DefaultSeekModel()
+	seen := make(map[int]bool)
+	for id := 0; id < 5000; id++ {
+		c := m.CylinderOf(id)
+		if c < 0 || c >= m.Cylinders {
+			t.Fatalf("cylinder %d out of range for id %d", c, id)
+		}
+		if c != m.CylinderOf(id) {
+			t.Fatal("CylinderOf not deterministic")
+		}
+		seen[c] = true
+	}
+	// Fibonacci hashing must spread: 5000 ids over 50000 cylinders should
+	// produce nearly 5000 distinct values.
+	if len(seen) < 4900 {
+		t.Fatalf("poor spread: %d distinct cylinders for 5000 ids", len(seen))
+	}
+	if (SeekModel{}).CylinderOf(42) != 0 {
+		t.Fatal("disabled model must map to cylinder 0")
+	}
+}
+
+func TestServiceTimeAtFallback(t *testing.T) {
+	p := DefaultParams() // no seek model
+	if p.ServiceTimeAt(1, High, 100) != p.ServiceTime(1, High) {
+		t.Fatal("fallback mismatch without seek model")
+	}
+	p.Seek = DefaultSeekModel()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	withSeek := p.ServiceTimeAt(1, High, p.Seek.Cylinders-1)
+	noSeek := p.ServiceTimeAt(1, High, 0)
+	if withSeek <= noSeek {
+		t.Fatal("full-stroke service not slower than zero-seek")
+	}
+	if math.Abs((withSeek-noSeek)-p.Seek.SeekMax) > 1e-9 {
+		t.Fatalf("seek component %v, want %v", withSeek-noSeek, p.Seek.SeekMax)
+	}
+}
+
+func TestValidateRejectsMalformedSeek(t *testing.T) {
+	p := DefaultParams()
+	p.Seek = SeekModel{Cylinders: 10, SeekMin: 0.01, SeekMax: 0.001}
+	if p.Validate() == nil {
+		t.Fatal("malformed seek model accepted")
+	}
+}
+
+func TestDiskBeginServiceAtTracksHead(t *testing.T) {
+	p := DefaultParams()
+	p.Seek = DefaultSeekModel()
+	d := New(0, p, High)
+	if d.HeadCylinder() != 0 {
+		t.Fatal("head not at 0 initially")
+	}
+	dur1 := d.BeginServiceAt(0, 1, 30000)
+	d.EndService(dur1)
+	if d.HeadCylinder() != 30000 {
+		t.Fatalf("head at %d, want 30000", d.HeadCylinder())
+	}
+	// Re-seeking to the same cylinder pays no seek.
+	dur2 := d.BeginServiceAt(dur1, 1, 30000)
+	d.EndService(dur1 + dur2)
+	want := p.RotationalLatency(High) + 1/p.TransferRate(High)
+	if math.Abs(dur2-want) > 1e-12 {
+		t.Fatalf("same-cylinder service %v, want %v", dur2, want)
+	}
+	if dur1 <= dur2 {
+		t.Fatal("long seek not slower than no seek")
+	}
+}
+
+func TestDriveProfilesValid(t *testing.T) {
+	for name, p := range map[string]Params{
+		"default":    DefaultParams(),
+		"enterprise": EnterpriseParams(),
+		"nearline":   NearlineParams(),
+	} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s profile invalid: %v", name, err)
+		}
+		if p.BreakEvenIdle() <= 0 {
+			t.Errorf("%s profile has nonpositive break-even idle", name)
+		}
+	}
+	// Ordering sanity across classes.
+	if EnterpriseParams().TransferHigh <= DefaultParams().TransferHigh {
+		t.Error("enterprise should out-transfer the default profile")
+	}
+	if NearlineParams().PowerIdleHigh >= DefaultParams().PowerIdleHigh {
+		t.Error("nearline should idle cooler than the default profile")
+	}
+}
+
+// Property: ServiceTimeAt is monotone in seek distance.
+func TestPropertyServiceTimeAtMonotoneInDistance(t *testing.T) {
+	p := DefaultParams()
+	p.Seek = DefaultSeekModel()
+	f := func(d1, d2 uint16) bool {
+		a, b := int(d1), int(d2)
+		lo, hi := a, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return p.ServiceTimeAt(1, High, lo) <= p.ServiceTimeAt(1, High, hi)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,406 @@
+// Package experiment reproduces the paper's tables and figures: the three
+// PRESS reliability functions (Figures 2b, 3b, 4b), the model surfaces
+// (Figures 5a/5b), the §3.4 derivation constants, and the three-way policy
+// comparison over array sizes 6-16 (Figures 7a/7b/7c).
+//
+// Sweep cells are independent simulations, so the harness fans them out over
+// a bounded worker pool and reassembles results deterministically.
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/array"
+	"repro/internal/policy"
+	"repro/internal/reliability"
+	"repro/internal/workload"
+)
+
+// PolicyKind names a policy for sweep construction. Policies are stateful,
+// so each sweep cell constructs a fresh instance.
+type PolicyKind string
+
+// The policy kinds available to sweeps.
+const (
+	KindREAD     PolicyKind = "read"
+	KindMAID     PolicyKind = "maid"
+	KindPDC      PolicyKind = "pdc"
+	KindAlwaysOn PolicyKind = "always-on"
+	KindDRPM     PolicyKind = "drpm"
+)
+
+// NewPolicy constructs a fresh policy instance of the given kind with its
+// default configuration.
+func NewPolicy(kind PolicyKind) (array.Policy, error) {
+	switch kind {
+	case KindREAD:
+		return policy.NewREAD(policy.READConfig{}), nil
+	case KindMAID:
+		return policy.NewMAID(policy.MAIDConfig{}), nil
+	case KindPDC:
+		return policy.NewPDC(policy.PDCConfig{}), nil
+	case KindAlwaysOn:
+		return policy.NewAlwaysOn(), nil
+	case KindDRPM:
+		return policy.NewDRPM(policy.DRPMConfig{}), nil
+	default:
+		return nil, fmt.Errorf("experiment: unknown policy kind %q", kind)
+	}
+}
+
+// SweepConfig parameterizes a Figure-7-style policy comparison.
+type SweepConfig struct {
+	// DiskCounts is the array-size axis (paper: 6..16).
+	DiskCounts []int
+	// Policies compared at every array size.
+	Policies []PolicyKind
+	// Workload is the base generator configuration.
+	Workload workload.GenConfig
+	// Scale shrinks the trace (request count) by this factor in (0,1] to
+	// trade fidelity for runtime. 1 replays the full paper-scale day.
+	Scale float64
+	// Intensity multiplies the arrival rate; the paper's heavy-workload
+	// condition is the same trace at a higher intensity.
+	Intensity float64
+	// EpochSeconds is the policy epoch; zero derives it from the trace
+	// duration so that EpochsPerTrace epochs fire regardless of Scale.
+	EpochSeconds float64
+	// EpochsPerTrace is used when EpochSeconds is zero; zero means 24.
+	EpochsPerTrace int
+	// Parallelism bounds concurrent simulations; zero means NumCPU.
+	Parallelism int
+	// Press overrides the reliability model used for AFRs (nil = default).
+	// Used for robustness checks, e.g. swapping in the literal OCR reading
+	// of Equation 3.
+	Press *reliability.Model
+}
+
+// DefaultSweepConfig returns the paper's light-workload sweep at a reduced
+// trace scale suitable for interactive runs. Popularity churn is enabled
+// (12 phases per trace day) — the temporal drift of real web traces that
+// exercises migration and re-disturbs sleeping disks.
+func DefaultSweepConfig() SweepConfig {
+	wl := workload.DefaultGenConfig()
+	wl.PhaseSeconds = 7200 // 12 popularity phases per day
+	wl.PhaseRotate = 0.10
+	wl.DiurnalProfile = workload.DefaultDiurnalProfile()
+	return SweepConfig{
+		DiskCounts: []int{6, 8, 10, 12, 14, 16},
+		Policies:   []PolicyKind{KindREAD, KindMAID, KindPDC},
+		Workload:   wl,
+		Scale:      0.05,
+		Intensity:  LightIntensity,
+	}
+}
+
+// The paper evaluates a "light" and a "heavy" workload condition on the
+// WorldCup98 day. The intensity multipliers below map those conditions onto
+// this reproduction's disk model: they are calibrated so that (a) the
+// policies' workhorse disks operate at meaningful utilization, (b) the AFR
+// differences between policies are dominated by the speed-transition
+// frequency of each policy's coldest disks — the factor the paper identifies
+// as most significant — and (c) the array remains stable at every size in
+// the 6-16 sweep. See EXPERIMENTS.md for the calibration scan.
+const (
+	// LightIntensity multiplies the WorldCup98 arrival rate for the
+	// light-workload condition.
+	LightIntensity = 4
+	// HeavyIntensity is the heavy-workload condition.
+	HeavyIntensity = 6
+)
+
+func (c *SweepConfig) setDefaults() {
+	if len(c.DiskCounts) == 0 {
+		c.DiskCounts = []int{6, 8, 10, 12, 14, 16}
+	}
+	if len(c.Policies) == 0 {
+		c.Policies = []PolicyKind{KindREAD, KindMAID, KindPDC}
+	}
+	if c.Workload.NumFiles == 0 {
+		c.Workload = workload.DefaultGenConfig()
+	}
+	if c.Scale == 0 {
+		c.Scale = 0.05
+	}
+	if c.Intensity == 0 {
+		c.Intensity = 1
+	}
+	if c.EpochsPerTrace <= 0 {
+		c.EpochsPerTrace = 24
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.NumCPU()
+	}
+}
+
+// Validate reports the first invalid sweep parameter.
+func (c *SweepConfig) Validate() error {
+	if c.Scale <= 0 || c.Scale > 1 {
+		return fmt.Errorf("experiment: scale %v outside (0,1]", c.Scale)
+	}
+	if c.Intensity <= 0 {
+		return fmt.Errorf("experiment: intensity %v must be positive", c.Intensity)
+	}
+	for _, n := range c.DiskCounts {
+		if n < 2 {
+			return fmt.Errorf("experiment: disk count %d too small", n)
+		}
+	}
+	for _, k := range c.Policies {
+		if _, err := NewPolicy(k); err != nil {
+			return err
+		}
+	}
+	return c.Workload.Validate()
+}
+
+// Cell is one sweep cell result.
+type Cell struct {
+	Disks  int
+	Policy PolicyKind
+	Result *array.Result
+}
+
+// SweepResult is the full policy × array-size grid.
+type SweepResult struct {
+	Config SweepConfig
+	Cells  []Cell // sorted by (Disks, Policy order in Config)
+}
+
+// RunSweep generates the workload once and replays it through every
+// (policy, array size) cell in parallel.
+func RunSweep(cfg SweepConfig) (*SweepResult, error) {
+	cfg.setDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	wl := cfg.Workload
+	var err error
+	if cfg.Intensity != 1 {
+		wl, err = wl.WithIntensity(cfg.Intensity)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Scale != 1 {
+		wl, err = wl.Scaled(cfg.Scale)
+		if err != nil {
+			return nil, err
+		}
+		// Preserve the number of popularity phases across the shortened
+		// trace so churn-driven behaviour is scale-invariant.
+		wl.PhaseSeconds *= cfg.Scale
+	}
+	trace, err := workload.Generate(wl)
+	if err != nil {
+		return nil, err
+	}
+	epoch := cfg.EpochSeconds
+	if epoch == 0 {
+		duration := float64(wl.NumRequests) * wl.MeanInterarrival
+		epoch = duration / float64(cfg.EpochsPerTrace)
+	}
+
+	type job struct {
+		idx    int
+		disks  int
+		policy PolicyKind
+	}
+	var jobs []job
+	for _, n := range cfg.DiskCounts {
+		for _, p := range cfg.Policies {
+			jobs = append(jobs, job{idx: len(jobs), disks: n, policy: p})
+		}
+	}
+	cells := make([]Cell, len(jobs))
+	errs := make([]error, len(jobs))
+
+	sem := make(chan struct{}, cfg.Parallelism)
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			pol, err := NewPolicy(j.policy)
+			if err != nil {
+				errs[j.idx] = err
+				return
+			}
+			res, err := array.Run(array.Config{
+				Disks:        j.disks,
+				Trace:        trace,
+				Policy:       pol,
+				EpochSeconds: epoch,
+				Press:        cfg.Press,
+			})
+			if err != nil {
+				errs[j.idx] = fmt.Errorf("disks=%d policy=%s: %w", j.disks, j.policy, err)
+				return
+			}
+			cells[j.idx] = Cell{Disks: j.disks, Policy: j.policy, Result: res}
+		}(j)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return nil, e
+		}
+	}
+	return &SweepResult{Config: cfg, Cells: cells}, nil
+}
+
+// Metric selects which scalar a figure plots.
+type Metric string
+
+// The metrics of Figures 7a, 7b, and 7c.
+const (
+	MetricAFR      Metric = "afr"      // Figure 7a (percent)
+	MetricEnergy   Metric = "energy"   // Figure 7b (joules)
+	MetricResponse Metric = "response" // Figure 7c (seconds)
+)
+
+// Value extracts the metric from a result.
+func (m Metric) Value(r *array.Result) (float64, error) {
+	switch m {
+	case MetricAFR:
+		return r.ArrayAFR, nil
+	case MetricEnergy:
+		return r.EnergyJ, nil
+	case MetricResponse:
+		return r.MeanResponse, nil
+	default:
+		return 0, fmt.Errorf("experiment: unknown metric %q", m)
+	}
+}
+
+// Series returns, for each policy, the metric values ordered by disk count.
+func (s *SweepResult) Series(m Metric) (map[PolicyKind][]float64, []int, error) {
+	disks := append([]int(nil), s.Config.DiskCounts...)
+	sort.Ints(disks)
+	out := make(map[PolicyKind][]float64, len(s.Config.Policies))
+	for _, p := range s.Config.Policies {
+		out[p] = make([]float64, len(disks))
+	}
+	pos := make(map[int]int, len(disks))
+	for i, n := range disks {
+		pos[n] = i
+	}
+	for _, c := range s.Cells {
+		v, err := m.Value(c.Result)
+		if err != nil {
+			return nil, nil, err
+		}
+		out[c.Policy][pos[c.Disks]] = v
+	}
+	return out, disks, nil
+}
+
+// Improvement summarizes how much better (positive) the base policy is than
+// another policy on a metric where smaller is better: mean and max of
+// (other - base)/other over the disk axis, in percent.
+type Improvement struct {
+	Base, Other PolicyKind
+	MeanPercent float64
+	MaxPercent  float64
+}
+
+// ImprovementOver computes the paper's headline comparisons (e.g., READ vs
+// MAID on AFR: "up to 39.7%", "average 24.9%").
+func (s *SweepResult) ImprovementOver(m Metric, base, other PolicyKind) (Improvement, error) {
+	series, _, err := s.Series(m)
+	if err != nil {
+		return Improvement{}, err
+	}
+	bs, ok := series[base]
+	if !ok {
+		return Improvement{}, fmt.Errorf("experiment: policy %q not in sweep", base)
+	}
+	os, ok := series[other]
+	if !ok {
+		return Improvement{}, fmt.Errorf("experiment: policy %q not in sweep", other)
+	}
+	if len(bs) == 0 {
+		return Improvement{}, errors.New("experiment: empty series")
+	}
+	imp := Improvement{Base: base, Other: other}
+	for i := range bs {
+		if os[i] == 0 {
+			continue
+		}
+		p := 100 * (os[i] - bs[i]) / os[i]
+		imp.MeanPercent += p
+		if p > imp.MaxPercent {
+			imp.MaxPercent = p
+		}
+	}
+	imp.MeanPercent /= float64(len(bs))
+	return imp, nil
+}
+
+// FunctionPoint is one (x, AFR) sample of a reliability function.
+type FunctionPoint struct {
+	X   float64
+	AFR float64
+}
+
+// Fig2bTemperatureFunction samples the temperature-reliability function over
+// [20,50] °C (paper Figure 2b).
+func Fig2bTemperatureFunction(model *reliability.Model, steps int) ([]FunctionPoint, error) {
+	return sampleFunc(20, 50, steps, model.TempAFR)
+}
+
+// Fig3bUtilizationFunction samples the utilization-reliability function over
+// [25%,100%] (paper Figure 3b).
+func Fig3bUtilizationFunction(model *reliability.Model, steps int) ([]FunctionPoint, error) {
+	return sampleFunc(0.25, 1.0, steps, model.UtilAFR)
+}
+
+// Fig4bFrequencyFunction samples the frequency-reliability adder over
+// [0,1600] transitions/day (paper Figure 4b, Eq. 3).
+func Fig4bFrequencyFunction(model *reliability.Model, steps int) ([]FunctionPoint, error) {
+	return sampleFunc(0, 1600, steps, model.FreqAFR)
+}
+
+// Fig4aIDEMAAdder samples the un-halved IDEMA start/stop adder (Figure 4a,
+// per-day units).
+func Fig4aIDEMAAdder(model *reliability.Model, steps int) ([]FunctionPoint, error) {
+	q := model.FreqFunction()
+	return sampleFunc(0, 1600, steps, q.IDEMAAdderAt)
+}
+
+func sampleFunc(lo, hi float64, steps int, f func(float64) float64) ([]FunctionPoint, error) {
+	if steps < 2 {
+		return nil, errors.New("experiment: need at least 2 samples")
+	}
+	pts := make([]FunctionPoint, steps)
+	for i := 0; i < steps; i++ {
+		x := lo + (hi-lo)*float64(i)/float64(steps-1)
+		pts[i] = FunctionPoint{X: x, AFR: f(x)}
+	}
+	return pts, nil
+}
+
+// Fig5Surfaces samples the PRESS surfaces at 40 °C and 50 °C (Figures
+// 5a/5b).
+func Fig5Surfaces(model *reliability.Model, utilSteps, freqSteps int) (at40, at50 []reliability.SurfacePoint, err error) {
+	at40, err = model.Surface(40, utilSteps, freqSteps)
+	if err != nil {
+		return nil, nil, err
+	}
+	at50, err = model.Surface(50, utilSteps, freqSteps)
+	if err != nil {
+		return nil, nil, err
+	}
+	return at40, at50, nil
+}
+
+// DerivationConstants reruns the §3.4 Coffin-Manson chain.
+func DerivationConstants() reliability.Derivation {
+	return reliability.DefaultCoffinManson().Derive()
+}

@@ -1,0 +1,182 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/reliability"
+)
+
+// RenderSweepTable writes an ASCII table of one metric over the sweep,
+// policies as columns, one row per array size — the textual form of a
+// Figure 7 panel.
+func RenderSweepTable(w io.Writer, s *SweepResult, m Metric, title string) error {
+	series, disks, err := s.Series(m)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%s\n", title)
+	header := []string{"disks"}
+	for _, p := range s.Config.Policies {
+		header = append(header, string(p))
+	}
+	rows := [][]string{header}
+	for i, n := range disks {
+		row := []string{fmt.Sprintf("%d", n)}
+		for _, p := range s.Config.Policies {
+			row = append(row, formatMetric(m, series[p][i]))
+		}
+		rows = append(rows, row)
+	}
+	writeAligned(w, rows)
+	return nil
+}
+
+func formatMetric(m Metric, v float64) string {
+	switch m {
+	case MetricAFR:
+		return fmt.Sprintf("%.3f%%", v)
+	case MetricEnergy:
+		if v >= 1e6 {
+			return fmt.Sprintf("%.3f MJ", v/1e6)
+		}
+		return fmt.Sprintf("%.1f kJ", v/1e3)
+	case MetricResponse:
+		return fmt.Sprintf("%.2f ms", v*1e3)
+	default:
+		return fmt.Sprintf("%g", v)
+	}
+}
+
+// RenderImprovements writes the headline comparison lines for a metric.
+func RenderImprovements(w io.Writer, s *SweepResult, m Metric, base PolicyKind) error {
+	for _, other := range s.Config.Policies {
+		if other == base {
+			continue
+		}
+		imp, err := s.ImprovementOver(m, base, other)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%s vs %s on %s: mean %.1f%%, max %.1f%% better\n",
+			base, other, m, imp.MeanPercent, imp.MaxPercent)
+	}
+	return nil
+}
+
+// RenderFunctionTable writes (x, AFR) sample rows.
+func RenderFunctionTable(w io.Writer, pts []FunctionPoint, xLabel, title string) {
+	fmt.Fprintf(w, "%s\n", title)
+	rows := [][]string{{xLabel, "AFR%"}}
+	for _, p := range pts {
+		rows = append(rows, []string{fmt.Sprintf("%.3g", p.X), fmt.Sprintf("%.4f", p.AFR)})
+	}
+	writeAligned(w, rows)
+}
+
+// RenderSurfaceTable writes a PRESS surface as a utilization × frequency
+// grid of AFR values.
+func RenderSurfaceTable(w io.Writer, pts []reliability.SurfacePoint, title string) {
+	fmt.Fprintf(w, "%s\n", title)
+	// Recover the grid shape: points are utilization-major.
+	var freqs []float64
+	for _, p := range pts {
+		if p.Utilization != pts[0].Utilization {
+			break
+		}
+		freqs = append(freqs, p.TransitionsPerDay)
+	}
+	if len(freqs) == 0 {
+		return
+	}
+	header := []string{"util\\freq"}
+	for _, f := range freqs {
+		header = append(header, fmt.Sprintf("%.0f", f))
+	}
+	rows := [][]string{header}
+	for i := 0; i < len(pts); i += len(freqs) {
+		row := []string{fmt.Sprintf("%.0f%%", pts[i].Utilization*100)}
+		for j := 0; j < len(freqs); j++ {
+			row = append(row, fmt.Sprintf("%.2f", pts[i+j].AFR))
+		}
+		rows = append(rows, row)
+	}
+	writeAligned(w, rows)
+}
+
+// RenderDerivation writes the §3.4 constant chain next to the paper's
+// published values.
+func RenderDerivation(w io.Writer, d reliability.Derivation) {
+	rows := [][]string{
+		{"constant", "reproduced", "paper"},
+		{"G(Tmax)/A at 50C", fmt.Sprintf("%.4e", d.GTmax), "3.2275e-20"},
+		{"A*A0", fmt.Sprintf("%.4e", d.AA0), "2.564317e26"},
+		{"N'f (transitions to failure)", fmt.Sprintf("%.0f", d.TransitionsToFailure), "118529"},
+		{"N'f / Nf", fmt.Sprintf("%.2f", d.TransitionToCycleRatio), "~2 (50% effect)"},
+		{"5-yr daily budget", fmt.Sprintf("%.1f", d.DailyBudget5yr), "65"},
+	}
+	writeAligned(w, rows)
+}
+
+// WriteSweepCSV emits the whole sweep grid as CSV for external plotting.
+func WriteSweepCSV(w io.Writer, s *SweepResult) error {
+	if _, err := fmt.Fprintln(w, "disks,policy,afr_percent,energy_j,mean_response_s,p95_response_s,requests,migrations,background_ops"); err != nil {
+		return err
+	}
+	for _, c := range s.Cells {
+		r := c.Result
+		if _, err := fmt.Fprintf(w, "%d,%s,%.6f,%.3f,%.6f,%.6f,%d,%d,%d\n",
+			c.Disks, c.Policy, r.ArrayAFR, r.EnergyJ, r.MeanResponse, r.P95Response,
+			r.Requests, r.Migrations, r.BackgroundOps); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteFunctionCSV emits (x, afr) samples as CSV.
+func WriteFunctionCSV(w io.Writer, pts []FunctionPoint, xLabel string) error {
+	if _, err := fmt.Fprintf(w, "%s,afr_percent\n", xLabel); err != nil {
+		return err
+	}
+	for _, p := range pts {
+		if _, err := fmt.Fprintf(w, "%g,%.6f\n", p.X, p.AFR); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeAligned prints rows with columns padded to equal width.
+func writeAligned(w io.Writer, rows [][]string) {
+	if len(rows) == 0 {
+		return
+	}
+	widths := make([]int, len(rows[0]))
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for ri, row := range rows {
+		var b strings.Builder
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+		if ri == 0 {
+			total := 0
+			for _, wd := range widths {
+				total += wd + 2
+			}
+			fmt.Fprintln(w, strings.Repeat("-", total-2))
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package policy
+
+import (
+	"repro/internal/array"
+)
+
+// AlwaysOn is the no-power-management baseline: every disk runs at high
+// speed for the whole run and files are load-balanced across the array.
+// It brackets the comparison from the performance side (best response time,
+// worst energy) and provides the energy denominator for savings figures.
+type AlwaysOn struct{}
+
+// NewAlwaysOn returns the baseline policy.
+func NewAlwaysOn() *AlwaysOn { return &AlwaysOn{} }
+
+// Name implements array.Policy.
+func (*AlwaysOn) Name() string { return "always-on" }
+
+// Init load-balances files over all disks at high speed.
+func (*AlwaysOn) Init(ctx *array.Context) error {
+	return placeLeastLoaded(ctx, byLoadDesc(ctx.Files()), diskRange(0, ctx.NumDisks()))
+}
+
+// TargetDisk serves from the placement disk.
+func (*AlwaysOn) TargetDisk(ctx *array.Context, fileID int) int {
+	return ctx.Placement(fileID)
+}
+
+// OnRequestComplete implements array.Policy.
+func (*AlwaysOn) OnRequestComplete(*array.Context, int, int) {}
+
+// OnEpoch implements array.Policy.
+func (*AlwaysOn) OnEpoch(*array.Context) {}
+
+// OnIdleTimeout implements array.Policy (never armed).
+func (*AlwaysOn) OnIdleTimeout(*array.Context, int) {}
+
+var _ array.Policy = (*AlwaysOn)(nil)

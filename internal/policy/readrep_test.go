@@ -1,0 +1,129 @@
+package policy
+
+import (
+	"testing"
+
+	"repro/internal/array"
+	"repro/internal/workload"
+)
+
+// flipTrace builds a workload where file 1 is cold initially and turns hot
+// mid-trace, which must trigger a hot-zone promotion.
+func flipTrace() *workload.Trace {
+	files := workload.FileSet{
+		{ID: 0, SizeMB: 0.01, AccessRate: 10},
+		{ID: 1, SizeMB: 2, AccessRate: 0.01},
+		{ID: 2, SizeMB: 0.02, AccessRate: 5},
+		{ID: 3, SizeMB: 3, AccessRate: 0.01},
+	}
+	var reqs []workload.Request
+	for i := 0; i < 2000; i++ {
+		reqs = append(reqs, workload.Request{Arrival: float64(i) * 0.05, FileID: i % 2 * 2}) // files 0,2
+	}
+	for i := 0; i < 4000; i++ {
+		reqs = append(reqs, workload.Request{Arrival: 100 + float64(i)*0.05, FileID: 1})
+	}
+	return &workload.Trace{Files: files, Requests: reqs}
+}
+
+func TestREADReplicaPromotesByCopy(t *testing.T) {
+	tr := flipTrace()
+	r := NewREADReplica(READReplicaConfig{READ: READConfig{Theta: 0.5}})
+	res := run(t, array.Config{Disks: 4, Trace: tr, Policy: r, EpochSeconds: 30})
+	if r.ReplicasMade() == 0 {
+		t.Fatal("popularity flip never produced a replica")
+	}
+	// Replication must not use the migration path (that is the point).
+	if res.Migrations != 0 {
+		t.Fatalf("replica policy migrated %d times", res.Migrations)
+	}
+	if res.Requests != 6000 {
+		t.Fatalf("served %d", res.Requests)
+	}
+}
+
+func TestREADReplicaServesFromHotCopy(t *testing.T) {
+	tr := flipTrace()
+	r := NewREADReplica(READReplicaConfig{READ: READConfig{Theta: 0.5}})
+	res := run(t, array.Config{Disks: 4, Trace: tr, Policy: r, EpochSeconds: 30})
+	hot := r.HotDisks()
+	// After promotion, the bulk of file 1's 4000 requests must land on a
+	// hot-zone disk even though its primary stays in the cold zone.
+	var hotReqs int
+	for i := 0; i < hot; i++ {
+		hotReqs += res.PerDisk[i].RequestsServed
+	}
+	if hotReqs < 4000 {
+		t.Fatalf("hot zone served only %d of 6000 requests despite replica", hotReqs)
+	}
+}
+
+func TestREADReplicaDropsOnCooling(t *testing.T) {
+	files := workload.FileSet{
+		{ID: 0, SizeMB: 0.01, AccessRate: 10},
+		{ID: 1, SizeMB: 1, AccessRate: 0.01},
+	}
+	var reqs []workload.Request
+	// File 1 hot in the middle window only.
+	for i := 0; i < 1000; i++ {
+		reqs = append(reqs, workload.Request{Arrival: float64(i) * 0.05, FileID: 0})
+	}
+	for i := 0; i < 2000; i++ {
+		reqs = append(reqs, workload.Request{Arrival: 50 + float64(i)*0.025, FileID: 1})
+	}
+	for i := 0; i < 2000; i++ {
+		reqs = append(reqs, workload.Request{Arrival: 100 + float64(i)*0.05, FileID: 0})
+	}
+	tr := &workload.Trace{Files: files, Requests: reqs}
+	r := NewREADReplica(READReplicaConfig{READ: READConfig{Theta: 0.5}})
+	run(t, array.Config{Disks: 4, Trace: tr, Policy: r, EpochSeconds: 20})
+	if r.ReplicasMade() == 0 {
+		t.Fatal("no replica made")
+	}
+	if r.ReplicasDropped() == 0 {
+		t.Fatal("cooled replica never dropped")
+	}
+}
+
+func TestREADReplicaBudgetRespected(t *testing.T) {
+	tr := flipTrace()
+	// A budget too small for file 1 (2 MB) must prevent promotion.
+	r := NewREADReplica(READReplicaConfig{
+		READ:            READConfig{Theta: 0.5},
+		ReplicaBudgetMB: 1,
+	})
+	run(t, array.Config{Disks: 4, Trace: tr, Policy: r, EpochSeconds: 30})
+	if r.ReplicasMade() != 0 {
+		t.Fatalf("replica made despite insufficient budget: %d", r.ReplicasMade())
+	}
+}
+
+func TestREADReplicaComparableToREAD(t *testing.T) {
+	// On a churning synthetic day the replica variant must serve the same
+	// trace with sane metrics (this is the paper's future-work claim: the
+	// dynamics survive with lower redistribution cost).
+	cfg := workload.DefaultGenConfig()
+	cfg.NumRequests = 20000
+	cfg.PhaseSeconds = 100
+	cfg.PhaseRotate = 0.2
+	tr, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := NewREAD(READConfig{})
+	baseRes := run(t, array.Config{Disks: 6, Trace: tr, Policy: base, EpochSeconds: 60})
+	rep := NewREADReplica(READReplicaConfig{})
+	repRes := run(t, array.Config{Disks: 6, Trace: tr, Policy: rep, EpochSeconds: 60})
+	if repRes.Requests != baseRes.Requests {
+		t.Fatalf("request counts differ: %d vs %d", repRes.Requests, baseRes.Requests)
+	}
+	if repRes.ArrayAFR > baseRes.ArrayAFR*1.25 {
+		t.Fatalf("replica variant AFR %v far above READ %v", repRes.ArrayAFR, baseRes.ArrayAFR)
+	}
+	// Replication replaces two-transfer migrations with one-transfer
+	// copies: total background transfers must not exceed READ's.
+	if repRes.BackgroundOps > baseRes.BackgroundOps {
+		t.Fatalf("replica variant moved more data (%d ops) than READ (%d ops)",
+			repRes.BackgroundOps, baseRes.BackgroundOps)
+	}
+}

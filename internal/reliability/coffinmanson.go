@@ -1,0 +1,140 @@
+// Package reliability implements PRESS — the Predictor of Reliability for
+// Energy-Saving Schemes (Xie & Sun, IPPS'08 §3).
+//
+// PRESS maps the three energy-saving-related reliability-affecting (ESRRA)
+// factors of a disk — operating temperature, utilization, and daily speed-
+// transition frequency — to an Annualized Failure Rate (AFR, expressed in
+// percent throughout this package), and integrates per-disk AFRs into a
+// single array-level figure: the AFR of the least reliable disk.
+package reliability
+
+import (
+	"errors"
+	"math"
+)
+
+// BoltzmannEV is the Boltzmann constant in eV/K as used by the paper
+// (§3.4, Equation 2).
+const BoltzmannEV = 8.617e-5
+
+// KelvinOffset converts Celsius to Kelvin per the paper (273.16 + °C).
+const KelvinOffset = 273.16
+
+// Arrhenius evaluates G(T) = A·exp(−Ea/(K·T)) (paper Equation 2) at the
+// given temperature in Celsius. scaleA is the constant scaling factor A,
+// eaEV the activation energy in eV.
+func Arrhenius(scaleA, eaEV, tempC float64) float64 {
+	return scaleA * math.Exp(-eaEV/(BoltzmannEV*(tempC+KelvinOffset)))
+}
+
+// CoffinManson holds the constants of the modified Coffin–Manson model
+// (paper Equation 1): Nf = A0 · f^α · ΔT^(−β) · G(Tmax).
+type CoffinManson struct {
+	// Alpha is the cycling-frequency exponent (paper: ≈ −1/3).
+	Alpha float64
+	// Beta is the temperature-range exponent (paper: ≈ 2).
+	Beta float64
+	// EaEV is the activation energy in eV (paper: 1.25).
+	EaEV float64
+}
+
+// DefaultCoffinManson returns the constants the paper uses.
+func DefaultCoffinManson() CoffinManson {
+	return CoffinManson{Alpha: -1.0 / 3.0, Beta: 2, EaEV: 1.25}
+}
+
+// effFreq converts a cycles-per-day rate into the effective cycling
+// frequency the paper plugs into Equation 1. Reproducing the paper's
+// published constants (A·A0 = 2.564317e26 from Nf = 50,000, 25 cycles/day,
+// ΔT = 22 °C, Tmax = 50 °C) requires f = 1/cyclesPerDay; plugging the raw
+// per-day count in gives a value ~8.5× larger. We follow the paper's
+// arithmetic so its downstream numbers (N′f = 118,529 and the 65/day
+// transition budget) are reproduced.
+func effFreq(cyclesPerDay float64) float64 { return 1 / cyclesPerDay }
+
+// CyclesToFailure evaluates Equation 1: the number of temperature cycles to
+// failure given the combined material constant product A·A0, the cycling
+// rate in cycles/day, the per-cycle temperature swing ΔT in °C, and the
+// maximum temperature reached in each cycle.
+func (cm CoffinManson) CyclesToFailure(aa0, cyclesPerDay, deltaTC, tmaxC float64) (float64, error) {
+	if aa0 <= 0 || cyclesPerDay <= 0 || deltaTC <= 0 {
+		return 0, errors.New("reliability: CoffinManson inputs must be positive")
+	}
+	g := Arrhenius(1, cm.EaEV, tmaxC)
+	return aa0 * math.Pow(effFreq(cyclesPerDay), cm.Alpha) * math.Pow(deltaTC, -cm.Beta) * g, nil
+}
+
+// SolveAA0 inverts Equation 1 for the material-constant product A·A0 given
+// a known cycles-to-failure rating.
+func (cm CoffinManson) SolveAA0(cyclesToFailure, cyclesPerDay, deltaTC, tmaxC float64) (float64, error) {
+	if cyclesToFailure <= 0 || cyclesPerDay <= 0 || deltaTC <= 0 {
+		return 0, errors.New("reliability: CoffinManson inputs must be positive")
+	}
+	g := Arrhenius(1, cm.EaEV, tmaxC)
+	denom := math.Pow(effFreq(cyclesPerDay), cm.Alpha) * math.Pow(deltaTC, -cm.Beta) * g
+	return cyclesToFailure / denom, nil
+}
+
+// Derivation reproduces the paper's §3.4 chain of constants.
+type Derivation struct {
+	// GTmax is exp(−Ea/(K·Tmax)) at Tmax = 50 °C, i.e. G(Tmax)/A.
+	// Paper: 3.2275e−20.
+	GTmax float64
+	// AA0 is the material-constant product. Paper: 2.564317e26.
+	AA0 float64
+	// TransitionsToFailure is N′f, the speed-transition analogue of the
+	// 50,000 power-cycle rating. Paper: 118,529.
+	TransitionsToFailure float64
+	// TransitionToCycleRatio is N′f / Nf; the paper reads its value of
+	// ≈2 as "a speed transition causes about 50% of the reliability
+	// effect of a spindle start/stop".
+	TransitionToCycleRatio float64
+	// DailyBudget5yr is the transitions/day that exhaust N′f in exactly
+	// five years. Paper: 65 (118529/5/365 ≈ 65).
+	DailyBudget5yr float64
+}
+
+// Paper-anchored derivation inputs (§3.4).
+const (
+	// RatedPowerCycles is the datasheet start/stop cycle rating Nf.
+	RatedPowerCycles = 50000
+	// SuggestedDailyPowerCycles is the manufacturer-suggested power-cycle
+	// cap used as the cycling rate in the derivation.
+	SuggestedDailyPowerCycles = 25
+	// PowerCycleDeltaT is ΔT for a full power cycle: ambient 28 °C to
+	// the 50 °C high-speed operating point.
+	PowerCycleDeltaT = 22
+	// PowerCycleTmax is the maximum temperature in a power cycle.
+	PowerCycleTmax = 50
+	// TransitionDeltaT is ΔT for a speed transition: the 10 °C gap
+	// between the low-speed and high-speed temperature bands.
+	TransitionDeltaT = 10
+	// TransitionTmax is the midway temperature (45 °C) used because a
+	// transition is bi-directional.
+	TransitionTmax = 45
+	// WarrantyYears is the performance-warranty horizon for the daily
+	// transition budget.
+	WarrantyYears = 5
+)
+
+// Derive runs the paper's §3.4 derivation with the receiver's constants.
+func (cm CoffinManson) Derive() Derivation {
+	g := Arrhenius(1, cm.EaEV, PowerCycleTmax)
+	aa0, err := cm.SolveAA0(RatedPowerCycles, SuggestedDailyPowerCycles, PowerCycleDeltaT, PowerCycleTmax)
+	if err != nil {
+		// Unreachable with the package constants; fail loudly if someone
+		// breaks them.
+		panic(err)
+	}
+	nft, err := cm.CyclesToFailure(aa0, SuggestedDailyPowerCycles, TransitionDeltaT, TransitionTmax)
+	if err != nil {
+		panic(err)
+	}
+	return Derivation{
+		GTmax:                  g,
+		AA0:                    aa0,
+		TransitionsToFailure:   nft,
+		TransitionToCycleRatio: nft / RatedPowerCycles,
+		DailyBudget5yr:         nft / (WarrantyYears * 365),
+	}
+}

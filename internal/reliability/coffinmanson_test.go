@@ -1,0 +1,147 @@
+package reliability
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// within reports whether got is within tol (relative) of want.
+func within(got, want, tol float64) bool {
+	if want == 0 {
+		return math.Abs(got) <= tol
+	}
+	return math.Abs(got-want)/math.Abs(want) <= tol
+}
+
+func TestArrheniusPaperGTmax(t *testing.T) {
+	// Paper §3.4: G(Tmax)/A at Tmax = 50 °C is 3.2275e-20.
+	got := Arrhenius(1, 1.25, 50)
+	if !within(got, 3.2275e-20, 0.015) {
+		t.Fatalf("G(50°C)/A = %v, want ≈3.2275e-20", got)
+	}
+}
+
+func TestArrheniusScalesLinearlyInA(t *testing.T) {
+	a := Arrhenius(2, 1.25, 40)
+	b := Arrhenius(1, 1.25, 40)
+	if !within(a, 2*b, 1e-12) {
+		t.Fatalf("Arrhenius not linear in A: %v vs 2*%v", a, b)
+	}
+}
+
+func TestArrheniusMonotoneInTemperature(t *testing.T) {
+	prev := Arrhenius(1, 1.25, 0)
+	for temp := 5.0; temp <= 100; temp += 5 {
+		cur := Arrhenius(1, 1.25, temp)
+		if cur <= prev {
+			t.Fatalf("Arrhenius term not increasing at %v °C", temp)
+		}
+		prev = cur
+	}
+}
+
+func TestDerivationReproducesPaperConstants(t *testing.T) {
+	d := DefaultCoffinManson().Derive()
+	// Paper §3.4 published values. Tolerances absorb the paper's own
+	// rounding of G(Tmax).
+	if !within(d.GTmax, 3.2275e-20, 0.015) {
+		t.Errorf("GTmax = %v, want ≈3.2275e-20", d.GTmax)
+	}
+	if !within(d.AA0, 2.564317e26, 0.02) {
+		t.Errorf("AA0 = %v, want ≈2.564317e26", d.AA0)
+	}
+	if !within(d.TransitionsToFailure, 118529, 0.02) {
+		t.Errorf("N'f = %v, want ≈118529", d.TransitionsToFailure)
+	}
+	// "roughly twice" Nf -> the 50% effect claim.
+	if d.TransitionToCycleRatio < 2.0 || d.TransitionToCycleRatio > 2.8 {
+		t.Errorf("N'f/Nf = %v, want ≈2.37 (paper: 'roughly twice')", d.TransitionToCycleRatio)
+	}
+	// 118529/5/365 ≈ 65 transitions/day budget.
+	if !within(d.DailyBudget5yr, 65, 0.03) {
+		t.Errorf("daily budget = %v, want ≈65", d.DailyBudget5yr)
+	}
+}
+
+func TestSolveAA0RoundTrips(t *testing.T) {
+	cm := DefaultCoffinManson()
+	aa0, err := cm.SolveAA0(50000, 25, 22, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nf, err := cm.CyclesToFailure(aa0, 25, 22, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !within(nf, 50000, 1e-9) {
+		t.Fatalf("round trip Nf = %v, want 50000", nf)
+	}
+}
+
+func TestCoffinMansonInputValidation(t *testing.T) {
+	cm := DefaultCoffinManson()
+	if _, err := cm.CyclesToFailure(0, 25, 22, 50); err == nil {
+		t.Error("zero AA0 accepted")
+	}
+	if _, err := cm.CyclesToFailure(1e26, 0, 22, 50); err == nil {
+		t.Error("zero cycling rate accepted")
+	}
+	if _, err := cm.CyclesToFailure(1e26, 25, 0, 50); err == nil {
+		t.Error("zero deltaT accepted")
+	}
+	if _, err := cm.SolveAA0(0, 25, 22, 50); err == nil {
+		t.Error("zero Nf accepted")
+	}
+	if _, err := cm.SolveAA0(5e4, 25, -1, 50); err == nil {
+		t.Error("negative deltaT accepted")
+	}
+}
+
+func TestGentlerCyclesMeanMoreCyclesToFailure(t *testing.T) {
+	cm := DefaultCoffinManson()
+	aa0 := cm.Derive().AA0
+	harsh, _ := cm.CyclesToFailure(aa0, 25, 22, 50)
+	gentleSwing, _ := cm.CyclesToFailure(aa0, 25, 10, 50)
+	if gentleSwing <= harsh {
+		t.Errorf("smaller ΔT should raise cycles to failure: %v <= %v", gentleSwing, harsh)
+	}
+	// Note the paper's Equation 2 uses the NEGATIVE-exponent Arrhenius
+	// form, under which a lower Tmax LOWERS the Arrhenius term and hence
+	// the cycle count. (NIST's handbook form uses the positive exponent,
+	// under which hotter is worse.) Reproducing the paper's published
+	// N'f = 118,529 requires the paper's form — its derivation divides
+	// through by G(45°C)/G(50°C) ≈ 0.49 — so this package follows the
+	// paper and this test pins that convention down.
+	lowerTmax, _ := cm.CyclesToFailure(aa0, 25, 22, 40)
+	if lowerTmax >= harsh {
+		t.Errorf("paper convention: lower Tmax must lower the cycle count: %v >= %v", lowerTmax, harsh)
+	}
+}
+
+// Property: SolveAA0 and CyclesToFailure are exact inverses over positive
+// inputs.
+func TestPropertyCoffinMansonInverse(t *testing.T) {
+	cm := DefaultCoffinManson()
+	f := func(nfRaw, rateRaw, dtRaw, tmaxRaw float64) bool {
+		nf := 1 + math.Mod(math.Abs(nfRaw), 1e12)
+		rate := 0.1 + math.Mod(math.Abs(rateRaw), 100)
+		dt := 1 + math.Mod(math.Abs(dtRaw), 50)
+		tmax := math.Mod(math.Abs(tmaxRaw), 80)
+		if math.IsInf(nf, 0) || math.IsNaN(nf) {
+			return true
+		}
+		aa0, err := cm.SolveAA0(nf, rate, dt, tmax)
+		if err != nil {
+			return false
+		}
+		back, err := cm.CyclesToFailure(aa0, rate, dt, tmax)
+		if err != nil {
+			return false
+		}
+		return within(back, nf, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

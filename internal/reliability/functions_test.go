@@ -1,0 +1,219 @@
+package reliability
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewCurveValidation(t *testing.T) {
+	if _, err := NewCurve([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := NewCurve([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point accepted")
+	}
+	if _, err := NewCurve([]float64{2, 1}, []float64{1, 2}); err == nil {
+		t.Error("unsorted xs accepted")
+	}
+	if _, err := NewCurve([]float64{1, 1}, []float64{1, 2}); err == nil {
+		t.Error("duplicate xs accepted")
+	}
+	if _, err := NewCurve([]float64{1, 2}, []float64{3, 4}); err != nil {
+		t.Errorf("valid curve rejected: %v", err)
+	}
+}
+
+func TestMustCurvePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustCurve did not panic")
+		}
+	}()
+	MustCurve([]float64{1}, []float64{1})
+}
+
+func TestCurveInterpolation(t *testing.T) {
+	c := MustCurve([]float64{0, 10, 20}, []float64{0, 100, 0})
+	cases := []struct{ x, want float64 }{
+		{0, 0}, {5, 50}, {10, 100}, {15, 50}, {20, 0},
+		{-5, 0}, // clamp low
+		{25, 0}, // clamp high
+		{2.5, 25},
+	}
+	for _, tc := range cases {
+		if got := c.At(tc.x); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("At(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestCurveDomain(t *testing.T) {
+	c := MustCurve([]float64{-3, 7}, []float64{1, 2})
+	lo, hi := c.Domain()
+	if lo != -3 || hi != 7 {
+		t.Fatalf("Domain = (%v,%v), want (-3,7)", lo, hi)
+	}
+}
+
+func TestTempCurveShape(t *testing.T) {
+	c := TempCurve3yr()
+	// Monotone non-decreasing across the measured range.
+	prev := c.At(20)
+	for temp := 21.0; temp <= 50; temp++ {
+		cur := c.At(temp)
+		if cur < prev {
+			t.Fatalf("temperature curve decreases at %v °C", temp)
+		}
+		prev = cur
+	}
+	// The paper's observation: effects are salient above 35 °C — the slope
+	// on [35,50] must exceed the slope on [20,35].
+	lowSlope := (c.At(35) - c.At(20)) / 15
+	highSlope := (c.At(50) - c.At(35)) / 15
+	if highSlope <= lowSlope {
+		t.Fatalf("high-range slope %v not steeper than low-range %v", highSlope, lowSlope)
+	}
+	// Paper operating points: 40 °C (low speed) vs 50 °C (high speed) must
+	// differ materially — this gap is what penalizes always-hot disks.
+	if c.At(50)-c.At(40) < 2 {
+		t.Fatalf("AFR gap between 40 and 50 °C too small: %v", c.At(50)-c.At(40))
+	}
+}
+
+func TestUtilCurveShape(t *testing.T) {
+	c := UtilCurve4yr()
+	if c.At(0.3) > c.At(0.6) || c.At(0.6) > c.At(0.9) {
+		t.Fatal("utilization curve not monotone over class centers")
+	}
+	// §3.5 insight: "differences in AFR between high and medium
+	// utilizations are slim" relative to the temperature effect, yet
+	// present.
+	if c.At(0.875) <= c.At(0.625) {
+		t.Fatal("high utilization must cost more than medium")
+	}
+	// Clamping to the measured band.
+	if c.At(0) != c.At(0.375) {
+		t.Fatal("below-band utilization not clamped")
+	}
+	if c.At(1) != c.At(0.875) {
+		t.Fatal("above-band utilization not clamped")
+	}
+}
+
+func TestFreqQuadraticDefaults(t *testing.T) {
+	q := DefaultFreqQuadratic()
+	// No transitions, no adder.
+	if q.At(0) != 0 {
+		t.Fatalf("R(0) = %v, want 0", q.At(0))
+	}
+	// The paper's anchor: half of IDEMA's 0.15 AFR at 10/day.
+	if math.Abs(q.At(10)-0.075) > 0.005 {
+		t.Fatalf("R(10) = %v, want ≈0.075 (half the IDEMA adder)", q.At(10))
+	}
+	// Modest but visible at the paper's 65/day budget.
+	if q.At(65) < 0.2 || q.At(65) > 1.0 {
+		t.Fatalf("R(65) = %v, want noticeable but below 1 point", q.At(65))
+	}
+	// Steep at the domain end: aggressive switching is catastrophic.
+	if q.At(1600) < 10 {
+		t.Fatalf("R(1600) = %v, want double-digit percentage points", q.At(1600))
+	}
+	// The OCR reading stays available and diverges at low frequencies.
+	ocr := PaperEq3OCRQuadratic()
+	if ocr.At(100) > 0.5 {
+		t.Fatalf("OCR reading R(100) = %v, expected negligible", ocr.At(100))
+	}
+}
+
+func TestFreqQuadraticClamping(t *testing.T) {
+	q := DefaultFreqQuadratic()
+	if q.At(-5) != q.At(0) {
+		t.Fatal("negative frequency not clamped to 0")
+	}
+	if q.At(5000) != q.At(1600) {
+		t.Fatal("frequency beyond domain not clamped")
+	}
+}
+
+func TestFreqQuadraticNeverNegative(t *testing.T) {
+	q := DefaultFreqQuadratic()
+	for f := 0.0; f <= 1600; f += 1 {
+		if q.At(f) < 0 {
+			t.Fatalf("R(%v) = %v < 0", f, q.At(f))
+		}
+	}
+}
+
+func TestFreqMonotoneBeyondVertex(t *testing.T) {
+	q := DefaultFreqQuadratic()
+	v := q.vertex()
+	if v > 10 {
+		t.Fatalf("vertex at %v/day; fit should be increasing over nearly all of the domain", v)
+	}
+	prev := q.At(v)
+	for f := v + 1; f <= 1600; f += 1 {
+		cur := q.At(f)
+		if cur < prev {
+			t.Fatalf("R decreasing at %v/day", f)
+		}
+		prev = cur
+	}
+}
+
+func TestIDEMAAdderIsDouble(t *testing.T) {
+	q := DefaultFreqQuadratic()
+	for _, f := range []float64{0, 10, 65, 400, 1600} {
+		if got, want := q.IDEMAAdderAt(f), 2*q.At(f); got != want {
+			t.Fatalf("IDEMAAdderAt(%v) = %v, want %v", f, got, want)
+		}
+	}
+}
+
+func TestSolveBudget(t *testing.T) {
+	q := DefaultFreqQuadratic()
+	budget := q.At(65)
+	f := q.SolveBudget(budget)
+	if math.Abs(f-65) > 0.5 {
+		t.Fatalf("SolveBudget(R(65)) = %v, want ≈65", f)
+	}
+	if got := q.SolveBudget(-1); got != 0 {
+		t.Fatalf("impossible budget: got %v, want 0", got)
+	}
+	if got := q.SolveBudget(1e9); got != q.MaxPerDay {
+		t.Fatalf("unlimited budget: got %v, want MaxPerDay", got)
+	}
+}
+
+// Property: curve evaluation is bounded by the min/max breakpoint values.
+func TestPropertyCurveBounded(t *testing.T) {
+	c := TempCurve3yr()
+	lo, hi := 3.5, 13.0
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		y := c.At(x)
+		return y >= lo-1e-12 && y <= hi+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: SolveBudget is the inverse of At up to the bisection tolerance
+// on the increasing part of the domain.
+func TestPropertySolveBudgetInverse(t *testing.T) {
+	q := DefaultFreqQuadratic()
+	f := func(raw float64) bool {
+		fq := 10 + math.Mod(math.Abs(raw), 1500)
+		if math.IsNaN(fq) {
+			return true
+		}
+		solved := q.SolveBudget(q.At(fq))
+		return math.Abs(solved-fq) < 1e-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

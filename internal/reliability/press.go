@@ -1,0 +1,225 @@
+package reliability
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Factors are the three ESRRA inputs for one disk.
+type Factors struct {
+	// TempC is the operating temperature in Celsius (time-weighted mean
+	// over the evaluation window).
+	TempC float64
+	// Utilization is the active-time fraction in [0,1]. Values below the
+	// empirical range [0.25, 1.0] are clamped by the utilization curve.
+	Utilization float64
+	// TransitionsPerDay is the average daily speed-transition frequency.
+	TransitionsPerDay float64
+}
+
+// Validate reports the first out-of-physical-range factor.
+func (f Factors) Validate() error {
+	switch {
+	case math.IsNaN(f.TempC) || f.TempC < -KelvinOffset:
+		return fmt.Errorf("reliability: impossible temperature %v °C", f.TempC)
+	case math.IsNaN(f.Utilization) || f.Utilization < 0 || f.Utilization > 1:
+		return fmt.Errorf("reliability: utilization %v outside [0,1]", f.Utilization)
+	case math.IsNaN(f.TransitionsPerDay) || f.TransitionsPerDay < 0:
+		return fmt.Errorf("reliability: negative transition frequency %v", f.TransitionsPerDay)
+	}
+	return nil
+}
+
+// IntegrationMode selects how the reliability integrator combines the three
+// per-factor AFR estimates into one per-disk AFR. The paper specifies the
+// integrator's array-level behaviour (maximum over disks) but not the
+// per-disk combination rule, so the model exposes the defensible choices.
+type IntegrationMode int
+
+const (
+	// SharedBaseline (default) treats the temperature and utilization
+	// curves as two views of the same drive population sharing one
+	// baseline failure rate: AFR = TempAFR + UtilAFR − Baseline + FreqAdder.
+	// Adding two absolute estimates double-counts the population baseline
+	// once, so one copy is subtracted; the frequency term is an adder by
+	// construction (IDEMA).
+	SharedBaseline IntegrationMode = iota
+	// MaxFactor takes the worst single environmental estimate plus the
+	// frequency adder: AFR = max(TempAFR, UtilAFR) + FreqAdder.
+	MaxFactor
+	// MeanFactor averages the environmental estimates:
+	// AFR = (TempAFR + UtilAFR)/2 + FreqAdder.
+	MeanFactor
+)
+
+// String names the integration mode.
+func (m IntegrationMode) String() string {
+	switch m {
+	case SharedBaseline:
+		return "shared-baseline"
+	case MaxFactor:
+		return "max-factor"
+	case MeanFactor:
+		return "mean-factor"
+	default:
+		return fmt.Sprintf("IntegrationMode(%d)", int(m))
+	}
+}
+
+// Model is the assembled PRESS model.
+type Model struct {
+	temp *Curve
+	util *Curve
+	freq FreqQuadratic
+	mode IntegrationMode
+	// baselineAFR is the population baseline subtracted once in
+	// SharedBaseline mode; the minimum of the utilization curve (the
+	// least-stressed measured population).
+	baselineAFR float64
+}
+
+// Option configures a Model.
+type Option func(*Model)
+
+// WithIntegrationMode selects the per-disk combination rule.
+func WithIntegrationMode(m IntegrationMode) Option {
+	return func(p *Model) { p.mode = m }
+}
+
+// WithTempCurve replaces the temperature-reliability function.
+func WithTempCurve(c *Curve) Option {
+	return func(p *Model) { p.temp = c }
+}
+
+// WithUtilCurve replaces the utilization-reliability function and refreshes
+// the shared baseline.
+func WithUtilCurve(c *Curve) Option {
+	return func(p *Model) {
+		p.util = c
+		p.baselineAFR = curveMin(c)
+	}
+}
+
+// WithFreqFunction replaces the frequency-reliability quadratic.
+func WithFreqFunction(q FreqQuadratic) Option {
+	return func(p *Model) { p.freq = q }
+}
+
+func curveMin(c *Curve) float64 {
+	min := math.Inf(1)
+	for _, y := range c.ys {
+		if y < min {
+			min = y
+		}
+	}
+	return min
+}
+
+// NewModel assembles PRESS with the paper's default functions.
+func NewModel(opts ...Option) *Model {
+	m := &Model{
+		temp: TempCurve3yr(),
+		util: UtilCurve4yr(),
+		freq: DefaultFreqQuadratic(),
+		mode: SharedBaseline,
+	}
+	m.baselineAFR = curveMin(m.util)
+	for _, o := range opts {
+		o(m)
+	}
+	return m
+}
+
+// TempAFR evaluates the temperature-reliability function alone.
+func (m *Model) TempAFR(tempC float64) float64 { return m.temp.At(tempC) }
+
+// UtilAFR evaluates the utilization-reliability function alone.
+func (m *Model) UtilAFR(util float64) float64 { return m.util.At(util) }
+
+// FreqAFR evaluates the frequency-reliability adder alone.
+func (m *Model) FreqAFR(perDay float64) float64 { return m.freq.At(perDay) }
+
+// FreqFunction returns the frequency quadratic in use.
+func (m *Model) FreqFunction() FreqQuadratic { return m.freq }
+
+// Mode returns the integration mode in use.
+func (m *Model) Mode() IntegrationMode { return m.mode }
+
+// DiskAFR estimates the AFR (percent) of a single disk from its factors.
+func (m *Model) DiskAFR(f Factors) (float64, error) {
+	if err := f.Validate(); err != nil {
+		return 0, err
+	}
+	t := m.temp.At(f.TempC)
+	u := m.util.At(f.Utilization)
+	fr := m.freq.At(f.TransitionsPerDay)
+	var afr float64
+	switch m.mode {
+	case SharedBaseline:
+		afr = t + u - m.baselineAFR + fr
+	case MaxFactor:
+		afr = math.Max(t, u) + fr
+	case MeanFactor:
+		afr = (t+u)/2 + fr
+	default:
+		return 0, fmt.Errorf("reliability: unknown integration mode %v", m.mode)
+	}
+	if afr < 0 {
+		afr = 0
+	}
+	return afr, nil
+}
+
+// ArrayAFR runs the reliability integrator's second function (§3.5): the AFR
+// of a disk array is the AFR of its least reliable disk.
+func (m *Model) ArrayAFR(disks []Factors) (float64, error) {
+	if len(disks) == 0 {
+		return 0, errors.New("reliability: empty disk array")
+	}
+	worst := math.Inf(-1)
+	for i, f := range disks {
+		afr, err := m.DiskAFR(f)
+		if err != nil {
+			return 0, fmt.Errorf("disk %d: %w", i, err)
+		}
+		if afr > worst {
+			worst = afr
+		}
+	}
+	return worst, nil
+}
+
+// SurfacePoint is one sample of the PRESS surface (paper Figures 5a/5b).
+type SurfacePoint struct {
+	Utilization       float64
+	TransitionsPerDay float64
+	AFR               float64
+}
+
+// Surface samples the PRESS model at a fixed temperature over the
+// utilization × frequency grid, reproducing Figures 5a (40 °C) and 5b
+// (50 °C). Both step counts must be at least 2.
+func (m *Model) Surface(tempC float64, utilSteps, freqSteps int) ([]SurfacePoint, error) {
+	if utilSteps < 2 || freqSteps < 2 {
+		return nil, errors.New("reliability: surface needs at least 2 steps per axis")
+	}
+	const (
+		utilLo, utilHi = 0.25, 1.0
+		freqLo         = 0.0
+	)
+	freqHi := m.freq.MaxPerDay
+	pts := make([]SurfacePoint, 0, utilSteps*freqSteps)
+	for i := 0; i < utilSteps; i++ {
+		u := utilLo + (utilHi-utilLo)*float64(i)/float64(utilSteps-1)
+		for j := 0; j < freqSteps; j++ {
+			fq := freqLo + (freqHi-freqLo)*float64(j)/float64(freqSteps-1)
+			afr, err := m.DiskAFR(Factors{TempC: tempC, Utilization: u, TransitionsPerDay: fq})
+			if err != nil {
+				return nil, err
+			}
+			pts = append(pts, SurfacePoint{Utilization: u, TransitionsPerDay: fq, AFR: afr})
+		}
+	}
+	return pts, nil
+}

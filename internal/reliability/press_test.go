@@ -1,0 +1,286 @@
+package reliability
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestFactorsValidate(t *testing.T) {
+	good := Factors{TempC: 45, Utilization: 0.5, TransitionsPerDay: 10}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid factors rejected: %v", err)
+	}
+	bad := []Factors{
+		{TempC: -300, Utilization: 0.5},
+		{TempC: math.NaN(), Utilization: 0.5},
+		{TempC: 40, Utilization: -0.1},
+		{TempC: 40, Utilization: 1.1},
+		{TempC: 40, Utilization: math.NaN()},
+		{TempC: 40, Utilization: 0.5, TransitionsPerDay: -1},
+		{TempC: 40, Utilization: 0.5, TransitionsPerDay: math.NaN()},
+	}
+	for i, f := range bad {
+		if err := f.Validate(); err == nil {
+			t.Errorf("case %d: invalid factors accepted: %+v", i, f)
+		}
+	}
+}
+
+func TestDiskAFRRejectsInvalid(t *testing.T) {
+	m := NewModel()
+	if _, err := m.DiskAFR(Factors{TempC: 40, Utilization: 2}); err == nil {
+		t.Fatal("invalid factors accepted by DiskAFR")
+	}
+}
+
+func TestDiskAFRSharedBaseline(t *testing.T) {
+	m := NewModel()
+	f := Factors{TempC: 40, Utilization: 0.625, TransitionsPerDay: 0}
+	got, err := m.DiskAFR(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// TempAFR(40)=8.5, UtilAFR(0.625)=5.0, baseline=4.5, freq≈0.139.
+	want := 8.5 + 5.0 - 4.5 + m.FreqAFR(0)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("DiskAFR = %v, want %v", got, want)
+	}
+}
+
+func TestIntegrationModes(t *testing.T) {
+	f := Factors{TempC: 50, Utilization: 0.875, TransitionsPerDay: 100}
+	base := NewModel()
+	temp, util, freq := base.TempAFR(50), base.UtilAFR(0.875), base.FreqAFR(100)
+
+	cases := []struct {
+		mode IntegrationMode
+		want float64
+	}{
+		{SharedBaseline, temp + util - 4.5 + freq},
+		{MaxFactor, math.Max(temp, util) + freq},
+		{MeanFactor, (temp+util)/2 + freq},
+	}
+	for _, tc := range cases {
+		m := NewModel(WithIntegrationMode(tc.mode))
+		got, err := m.DiskAFR(f)
+		if err != nil {
+			t.Fatalf("%v: %v", tc.mode, err)
+		}
+		if math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("%v: DiskAFR = %v, want %v", tc.mode, got, tc.want)
+		}
+	}
+}
+
+func TestIntegrationModeString(t *testing.T) {
+	if SharedBaseline.String() != "shared-baseline" ||
+		MaxFactor.String() != "max-factor" ||
+		MeanFactor.String() != "mean-factor" {
+		t.Fatal("mode String mismatch")
+	}
+	if !strings.Contains(IntegrationMode(42).String(), "42") {
+		t.Fatal("unknown mode String mismatch")
+	}
+}
+
+func TestUnknownIntegrationModeErrors(t *testing.T) {
+	m := NewModel(WithIntegrationMode(IntegrationMode(42)))
+	if _, err := m.DiskAFR(Factors{TempC: 40, Utilization: 0.5}); err == nil {
+		t.Fatal("unknown integration mode accepted")
+	}
+}
+
+func TestArrayAFRIsWorstDisk(t *testing.T) {
+	m := NewModel()
+	disks := []Factors{
+		{TempC: 40, Utilization: 0.3, TransitionsPerDay: 5},
+		{TempC: 50, Utilization: 0.9, TransitionsPerDay: 400}, // the workhorse
+		{TempC: 40, Utilization: 0.4, TransitionsPerDay: 2},
+	}
+	got, err := m.ArrayAFR(disks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst, err := m.DiskAFR(disks[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != worst {
+		t.Fatalf("ArrayAFR = %v, want worst disk %v", got, worst)
+	}
+}
+
+func TestArrayAFREmpty(t *testing.T) {
+	if _, err := NewModel().ArrayAFR(nil); err == nil {
+		t.Fatal("empty array accepted")
+	}
+}
+
+func TestArrayAFRPropagatesDiskError(t *testing.T) {
+	_, err := NewModel().ArrayAFR([]Factors{{TempC: 40, Utilization: 5}})
+	if err == nil {
+		t.Fatal("invalid disk accepted")
+	}
+	if !strings.Contains(err.Error(), "disk 0") {
+		t.Fatalf("error lacks disk index: %v", err)
+	}
+}
+
+func TestHotterSurfaceDominates(t *testing.T) {
+	// Figure 5b (50 °C) lies strictly above Figure 5a (40 °C) pointwise.
+	m := NewModel()
+	a, err := m.Surface(40, 6, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Surface(50, 6, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) || len(a) != 54 {
+		t.Fatalf("surface sizes %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if b[i].AFR <= a[i].AFR {
+			t.Fatalf("point %d: 50°C surface (%v) not above 40°C surface (%v)",
+				i, b[i].AFR, a[i].AFR)
+		}
+	}
+}
+
+func TestSurfaceMonotoneInEachFactor(t *testing.T) {
+	m := NewModel()
+	pts, err := m.Surface(40, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows are utilization-major: for fixed utilization, AFR must be
+	// non-decreasing in frequency beyond the tiny fit vertex.
+	const freqSteps = 5
+	for r := 0; r < 4; r++ {
+		row := pts[r*freqSteps : (r+1)*freqSteps]
+		for j := 1; j < len(row); j++ {
+			if row[j].AFR < row[j-1].AFR-1e-9 {
+				t.Fatalf("AFR decreases in frequency at util %v", row[j].Utilization)
+			}
+		}
+	}
+}
+
+func TestSurfaceValidation(t *testing.T) {
+	m := NewModel()
+	if _, err := m.Surface(40, 1, 5); err == nil {
+		t.Fatal("degenerate utilSteps accepted")
+	}
+	if _, err := m.Surface(40, 5, 1); err == nil {
+		t.Fatal("degenerate freqSteps accepted")
+	}
+}
+
+func TestModelOptions(t *testing.T) {
+	flat := MustCurve([]float64{0, 100}, []float64{1, 1})
+	q := FreqQuadratic{A2: 0, A1: 0, A0: 0.25, MaxPerDay: 100}
+	m := NewModel(WithTempCurve(flat), WithUtilCurve(flat), WithFreqFunction(q))
+	got, err := m.DiskAFR(Factors{TempC: 40, Utilization: 0.5, TransitionsPerDay: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 + 1 - 1 (baseline of flat curve) + 0.25
+	if math.Abs(got-1.25) > 1e-12 {
+		t.Fatalf("DiskAFR with custom curves = %v, want 1.25", got)
+	}
+	if m.FreqFunction() != q {
+		t.Fatal("FreqFunction accessor mismatch")
+	}
+	if m.Mode() != SharedBaseline {
+		t.Fatal("default mode mismatch")
+	}
+}
+
+// The paper's §3.5 factor ranking: over each factor's plausible operating
+// range, frequency moves AFR the most, temperature second, utilization least.
+func TestFactorSignificanceRanking(t *testing.T) {
+	m := NewModel()
+	freqSpread := m.FreqAFR(1600) - m.FreqAFR(0)
+	tempSpread := m.TempAFR(50) - m.TempAFR(35)
+	utilSpread := m.UtilAFR(1.0) - m.UtilAFR(0.5)
+	if !(freqSpread > tempSpread && tempSpread > utilSpread) {
+		t.Fatalf("factor ranking violated: freq=%v temp=%v util=%v",
+			freqSpread, tempSpread, utilSpread)
+	}
+}
+
+// Property: DiskAFR is monotone non-decreasing in every factor, in every
+// integration mode.
+func TestPropertyDiskAFRMonotone(t *testing.T) {
+	for _, mode := range []IntegrationMode{SharedBaseline, MaxFactor, MeanFactor} {
+		m := NewModel(WithIntegrationMode(mode))
+		f := func(t1, t2, u1, u2, f1, f2 float64) bool {
+			clampT := func(x float64) float64 { return 20 + math.Mod(math.Abs(x), 30) }
+			clampU := func(x float64) float64 { return math.Mod(math.Abs(x), 1) }
+			clampF := func(x float64) float64 { return math.Mod(math.Abs(x), 1600) }
+			lo := Factors{
+				TempC:             math.Min(clampT(t1), clampT(t2)),
+				Utilization:       math.Min(clampU(u1), clampU(u2)),
+				TransitionsPerDay: math.Max(4, math.Min(clampF(f1), clampF(f2))),
+			}
+			hi := Factors{
+				TempC:             math.Max(clampT(t1), clampT(t2)),
+				Utilization:       math.Max(clampU(u1), clampU(u2)),
+				TransitionsPerDay: math.Max(4, math.Max(clampF(f1), clampF(f2))),
+			}
+			a, err1 := m.DiskAFR(lo)
+			b, err2 := m.DiskAFR(hi)
+			if err1 != nil || err2 != nil {
+				return false
+			}
+			return b >= a-1e-9
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+	}
+}
+
+// Property: ArrayAFR is permutation-invariant and >= every member's AFR.
+func TestPropertyArrayAFRIsMax(t *testing.T) {
+	m := NewModel()
+	f := func(seeds []uint8) bool {
+		if len(seeds) == 0 {
+			return true
+		}
+		if len(seeds) > 16 {
+			seeds = seeds[:16]
+		}
+		var disks []Factors
+		for _, s := range seeds {
+			disks = append(disks, Factors{
+				TempC:             30 + float64(s%20),
+				Utilization:       float64(s%100) / 100,
+				TransitionsPerDay: float64(s) * 2,
+			})
+		}
+		arr, err := m.ArrayAFR(disks)
+		if err != nil {
+			return false
+		}
+		for _, d := range disks {
+			afr, err := m.DiskAFR(d)
+			if err != nil || afr > arr {
+				return false
+			}
+		}
+		// Reversed order gives the same result.
+		rev := make([]Factors, len(disks))
+		for i, d := range disks {
+			rev[len(disks)-1-i] = d
+		}
+		arr2, err := m.ArrayAFR(rev)
+		return err == nil && arr2 == arr
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,159 @@
+package reliability
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultWeibullCalibration(t *testing.T) {
+	w := DefaultWeibull()
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	afr, err := w.AFRPercent(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First-year AFR inside the Schroeder/Gibson 2-4% field band.
+	if afr < 2 || afr > 4 {
+		t.Fatalf("first-year AFR = %v%%, want 2-4%%", afr)
+	}
+	mtbf, err := w.MTBFHours()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Far below the "1M hours" datasheet claim the paper criticizes.
+	if mtbf >= 1e6 {
+		t.Fatalf("MTBF %v implausibly datasheet-like", mtbf)
+	}
+	if mtbf < 1e5 {
+		t.Fatalf("MTBF %v implausibly low", mtbf)
+	}
+}
+
+func TestWeibullValidation(t *testing.T) {
+	for _, w := range []Weibull{{0, 1000}, {1, 0}, {-1, 100}, {math.NaN(), 100}} {
+		if w.Validate() == nil {
+			t.Errorf("invalid %+v accepted", w)
+		}
+	}
+	good := DefaultWeibull()
+	if _, err := good.AFRPercent(-1); err == nil {
+		t.Error("negative age accepted")
+	}
+}
+
+func TestWeibullSurvivalShape(t *testing.T) {
+	w := DefaultWeibull()
+	if w.Survival(0) != 1 {
+		t.Fatal("S(0) != 1")
+	}
+	if w.Survival(-5) != 1 {
+		t.Fatal("negative age survival != 1")
+	}
+	prev := 1.0
+	for h := 1000.0; h < 2e6; h *= 2 {
+		s := w.Survival(h)
+		if s >= prev {
+			t.Fatalf("survival not strictly decreasing at %v", h)
+		}
+		prev = s
+	}
+}
+
+func TestWeibullWearOutAFRGrows(t *testing.T) {
+	w := DefaultWeibull() // beta > 1: AFR grows with age
+	prev := -1.0
+	for age := 0.0; age <= 5; age++ {
+		afr, err := w.AFRPercent(age)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if afr <= prev {
+			t.Fatalf("wear-out AFR not increasing at age %v: %v <= %v", age, afr, prev)
+		}
+		prev = afr
+	}
+	// Infant-mortality regime: beta < 1 means decreasing AFR.
+	im := Weibull{Shape: 0.7, ScaleHours: 310000}
+	a0, _ := im.AFRPercent(0)
+	a3, _ := im.AFRPercent(3)
+	if a3 >= a0 {
+		t.Fatalf("infant-mortality AFR should fall with age: %v -> %v", a0, a3)
+	}
+}
+
+func TestWeibullHazard(t *testing.T) {
+	w := Weibull{Shape: 1, ScaleHours: 100000}
+	// beta=1 is exponential: constant hazard 1/eta.
+	for _, h := range []float64{1, 1000, 500000} {
+		if math.Abs(w.HazardPerHour(h)-1e-5) > 1e-12 {
+			t.Fatalf("exponential hazard at %v = %v", h, w.HazardPerHour(h))
+		}
+	}
+	if !math.IsInf((Weibull{Shape: 0.5, ScaleHours: 1000}).HazardPerHour(0), 1) {
+		t.Fatal("infant-mortality hazard at t=0 should diverge")
+	}
+	if (Weibull{Shape: 2, ScaleHours: 1000}).HazardPerHour(-5) != 0 {
+		t.Fatal("negative age hazard should clamp to t=0 behaviour")
+	}
+}
+
+func TestWeibullMTBFExponentialCase(t *testing.T) {
+	w := Weibull{Shape: 1, ScaleHours: 123456}
+	mtbf, err := w.MTBFHours()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mtbf-123456) > 1e-6 {
+		t.Fatalf("exponential MTBF = %v, want eta", mtbf)
+	}
+}
+
+func TestFitScaleForAFR(t *testing.T) {
+	w := Weibull{Shape: 1.1}
+	fitted, err := Weibull{Shape: 1.1, ScaleHours: 1}.FitScaleForAFR(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	afr, err := fitted.AFRPercent(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(afr-3) > 1e-9 {
+		t.Fatalf("fitted first-year AFR = %v, want 3", afr)
+	}
+	if _, err := w.FitScaleForAFR(3); err == nil {
+		t.Fatal("invalid receiver accepted")
+	}
+	if _, err := fitted.FitScaleForAFR(0); err == nil {
+		t.Fatal("zero target accepted")
+	}
+	if _, err := fitted.FitScaleForAFR(100); err == nil {
+		t.Fatal("100% target accepted")
+	}
+}
+
+// Property: AFR is always within [0,100] and survival within [0,1].
+func TestPropertyWeibullBounds(t *testing.T) {
+	f := func(shapeRaw, scaleRaw, ageRaw float64) bool {
+		w := Weibull{
+			Shape:      0.3 + math.Mod(math.Abs(shapeRaw), 3),
+			ScaleHours: 1000 + math.Mod(math.Abs(scaleRaw), 1e6),
+		}
+		age := math.Mod(math.Abs(ageRaw), 20)
+		if math.IsNaN(w.Shape) || math.IsNaN(w.ScaleHours) || math.IsNaN(age) {
+			return true
+		}
+		afr, err := w.AFRPercent(age)
+		if err != nil {
+			return false
+		}
+		s := w.Survival(age * 8760)
+		return afr >= 0 && afr <= 100 && s >= 0 && s <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,223 @@
+// Package stats provides the small set of streaming statistics the
+// simulator needs: Welford moments, a log-bucketed histogram for latency
+// quantiles without retaining samples, and a time-weighted mean for
+// piecewise-constant signals.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Stream accumulates count, mean, variance (Welford), min, max, and sum in
+// O(1) space. The zero value is ready to use.
+type Stream struct {
+	n    uint64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+	sum  float64
+}
+
+// Add records one observation.
+func (s *Stream) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	s.sum += x
+	delta := x - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (x - s.mean)
+}
+
+// N returns the observation count.
+func (s *Stream) N() uint64 { return s.n }
+
+// Mean returns the sample mean (0 when empty).
+func (s *Stream) Mean() float64 { return s.mean }
+
+// Sum returns the sum of observations.
+func (s *Stream) Sum() float64 { return s.sum }
+
+// Min returns the smallest observation (0 when empty).
+func (s *Stream) Min() float64 { return s.min }
+
+// Max returns the largest observation (0 when empty).
+func (s *Stream) Max() float64 { return s.max }
+
+// Variance returns the unbiased sample variance (0 for fewer than two
+// observations).
+func (s *Stream) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// StdDev returns the unbiased sample standard deviation.
+func (s *Stream) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// Merge folds other into s (parallel-reduction form of Welford).
+func (s *Stream) Merge(other *Stream) {
+	if other.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = *other
+		return
+	}
+	n1, n2 := float64(s.n), float64(other.n)
+	delta := other.mean - s.mean
+	total := n1 + n2
+	s.mean += delta * n2 / total
+	s.m2 += other.m2 + delta*delta*n1*n2/total
+	s.n += other.n
+	s.sum += other.sum
+	if other.min < s.min {
+		s.min = other.min
+	}
+	if other.max > s.max {
+		s.max = other.max
+	}
+}
+
+// LatencyHistogram is a logarithmically bucketed histogram for positive
+// durations, supporting approximate quantiles with bounded relative error
+// set by the buckets-per-decade resolution.
+type LatencyHistogram struct {
+	loExp   int // smallest representable value is 10^loExp
+	perDec  int
+	buckets []uint64
+	under   uint64 // values below the range (including zero/negative)
+	over    uint64
+	n       uint64
+	stream  Stream
+}
+
+// NewLatencyHistogram covers [10^loExp, 10^hiExp) with perDecade buckets per
+// decade. For response times, NewLatencyHistogram(-6, 4, 50) spans 1 µs to
+// 10,000 s with <5% relative quantile error.
+func NewLatencyHistogram(loExp, hiExp, perDecade int) (*LatencyHistogram, error) {
+	if hiExp <= loExp {
+		return nil, errors.New("stats: histogram range empty")
+	}
+	if perDecade < 1 {
+		return nil, errors.New("stats: need at least one bucket per decade")
+	}
+	decades := hiExp - loExp
+	return &LatencyHistogram{
+		loExp:   loExp,
+		perDec:  perDecade,
+		buckets: make([]uint64, decades*perDecade),
+	}, nil
+}
+
+// Add records a duration.
+func (h *LatencyHistogram) Add(x float64) {
+	h.n++
+	h.stream.Add(x)
+	if x <= 0 || math.IsNaN(x) {
+		h.under++
+		return
+	}
+	pos := (math.Log10(x) - float64(h.loExp)) * float64(h.perDec)
+	idx := int(math.Floor(pos))
+	switch {
+	case idx < 0:
+		h.under++
+	case idx >= len(h.buckets):
+		h.over++
+	default:
+		h.buckets[idx]++
+	}
+}
+
+// N returns the number of recorded durations.
+func (h *LatencyHistogram) N() uint64 { return h.n }
+
+// Mean returns the exact mean of recorded durations.
+func (h *LatencyHistogram) Mean() float64 { return h.stream.Mean() }
+
+// Max returns the exact maximum recorded duration.
+func (h *LatencyHistogram) Max() float64 { return h.stream.Max() }
+
+// Quantile returns an approximation of the q-th quantile (q in [0,1]).
+// Under- and over-range mass is attributed to the range edges.
+func (h *LatencyHistogram) Quantile(q float64) (float64, error) {
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		return 0, fmt.Errorf("stats: quantile %v outside [0,1]", q)
+	}
+	if h.n == 0 {
+		return 0, errors.New("stats: empty histogram")
+	}
+	target := uint64(math.Ceil(q * float64(h.n)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64 = h.under
+	if cum >= target {
+		return math.Pow(10, float64(h.loExp)), nil
+	}
+	for i, c := range h.buckets {
+		cum += c
+		if cum >= target {
+			// Upper edge of bucket i.
+			exp := float64(h.loExp) + float64(i+1)/float64(h.perDec)
+			return math.Pow(10, exp), nil
+		}
+	}
+	// Remaining mass is over-range.
+	hiExp := float64(h.loExp) + float64(len(h.buckets))/float64(h.perDec)
+	return math.Pow(10, hiExp), nil
+}
+
+// TimeWeighted tracks the time-weighted mean of a piecewise-constant signal
+// observed from time zero.
+type TimeWeighted struct {
+	last     float64
+	value    float64
+	integral float64
+	started  bool
+}
+
+// Set records that the signal takes value v from time now onward. Times must
+// be non-decreasing.
+func (tw *TimeWeighted) Set(now, v float64) error {
+	if !tw.started {
+		if now < 0 {
+			return fmt.Errorf("stats: negative start time %v", now)
+		}
+		// Signal assumed to hold its first value from t=0.
+		tw.integral += tw.value * now
+		tw.started = true
+	} else if now < tw.last {
+		return fmt.Errorf("stats: time moved backwards: %v -> %v", tw.last, now)
+	} else {
+		tw.integral += tw.value * (now - tw.last)
+	}
+	tw.last = now
+	tw.value = v
+	return nil
+}
+
+// Mean returns the time-weighted mean over [0, now].
+func (tw *TimeWeighted) Mean(now float64) (float64, error) {
+	if now < tw.last {
+		return 0, fmt.Errorf("stats: time moved backwards: %v -> %v", tw.last, now)
+	}
+	if now <= 0 {
+		return tw.value, nil
+	}
+	total := tw.integral + tw.value*(now-tw.last)
+	return total / now, nil
+}

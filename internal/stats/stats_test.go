@@ -1,0 +1,291 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestStreamBasics(t *testing.T) {
+	var s Stream
+	if s.N() != 0 || s.Mean() != 0 || s.Variance() != 0 {
+		t.Fatal("zero value not empty")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if math.Abs(s.Mean()-5) > 1e-12 {
+		t.Fatalf("Mean = %v, want 5", s.Mean())
+	}
+	// Population variance is 4; sample variance = 32/7.
+	if math.Abs(s.Variance()-32.0/7) > 1e-12 {
+		t.Fatalf("Variance = %v, want %v", s.Variance(), 32.0/7)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+	if s.Sum() != 40 {
+		t.Fatalf("Sum = %v", s.Sum())
+	}
+	if math.Abs(s.StdDev()-math.Sqrt(32.0/7)) > 1e-12 {
+		t.Fatalf("StdDev = %v", s.StdDev())
+	}
+}
+
+func TestStreamSingleObservation(t *testing.T) {
+	var s Stream
+	s.Add(3)
+	if s.Variance() != 0 || s.Min() != 3 || s.Max() != 3 || s.Mean() != 3 {
+		t.Fatalf("single-observation stats wrong: %+v", s)
+	}
+}
+
+func TestStreamMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var whole, a, b Stream
+	for i := 0; i < 1000; i++ {
+		x := rng.NormFloat64()*5 + 2
+		whole.Add(x)
+		if i%2 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	a.Merge(&b)
+	if a.N() != whole.N() {
+		t.Fatalf("merged N = %d, want %d", a.N(), whole.N())
+	}
+	if math.Abs(a.Mean()-whole.Mean()) > 1e-9 {
+		t.Fatalf("merged mean %v, want %v", a.Mean(), whole.Mean())
+	}
+	if math.Abs(a.Variance()-whole.Variance()) > 1e-9 {
+		t.Fatalf("merged variance %v, want %v", a.Variance(), whole.Variance())
+	}
+	if a.Min() != whole.Min() || a.Max() != whole.Max() {
+		t.Fatal("merged min/max mismatch")
+	}
+}
+
+func TestStreamMergeEmptyCases(t *testing.T) {
+	var a, b Stream
+	a.Add(1)
+	a.Merge(&b) // merging empty is a no-op
+	if a.N() != 1 {
+		t.Fatal("merge with empty changed N")
+	}
+	var c Stream
+	c.Merge(&a) // merging into empty copies
+	if c.N() != 1 || c.Mean() != 1 {
+		t.Fatal("merge into empty failed")
+	}
+}
+
+func TestHistogramConstruction(t *testing.T) {
+	if _, err := NewLatencyHistogram(0, 0, 10); err == nil {
+		t.Fatal("empty range accepted")
+	}
+	if _, err := NewLatencyHistogram(0, 2, 0); err == nil {
+		t.Fatal("zero resolution accepted")
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	h, err := NewLatencyHistogram(-6, 4, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	var xs []float64
+	for i := 0; i < 100000; i++ {
+		// Lognormal latencies centered around 10 ms.
+		x := math.Exp(math.Log(0.01) + rng.NormFloat64())
+		xs = append(xs, x)
+		h.Add(x)
+	}
+	sort.Float64s(xs)
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		got, err := h.Quantile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := xs[int(q*float64(len(xs)))-1]
+		if math.Abs(got-want)/want > 0.07 {
+			t.Errorf("q=%v: got %v, want ≈%v", q, got, want)
+		}
+	}
+	if h.N() != 100000 {
+		t.Fatalf("N = %d", h.N())
+	}
+	if h.Max() != xs[len(xs)-1] {
+		t.Fatal("exact max not preserved")
+	}
+}
+
+func TestHistogramEdgeMass(t *testing.T) {
+	h, _ := NewLatencyHistogram(-3, 1, 10)
+	h.Add(0)    // under (zero)
+	h.Add(-5)   // under (negative)
+	h.Add(1e-9) // under range
+	h.Add(1e9)  // over range
+	h.Add(math.NaN())
+	q, err := h.Quantile(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(q-1e-3) > 1e-12 {
+		t.Fatalf("under-range quantile = %v, want range floor 1e-3", q)
+	}
+	q, err = h.Quantile(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(q-10) > 1e-9 {
+		t.Fatalf("over-range quantile = %v, want range ceiling 10", q)
+	}
+}
+
+func TestHistogramQuantileValidation(t *testing.T) {
+	h, _ := NewLatencyHistogram(-3, 1, 10)
+	if _, err := h.Quantile(0.5); err == nil {
+		t.Fatal("quantile of empty histogram accepted")
+	}
+	h.Add(0.01)
+	if _, err := h.Quantile(-0.1); err == nil {
+		t.Fatal("negative quantile accepted")
+	}
+	if _, err := h.Quantile(1.1); err == nil {
+		t.Fatal("quantile above 1 accepted")
+	}
+	if _, err := h.Quantile(math.NaN()); err == nil {
+		t.Fatal("NaN quantile accepted")
+	}
+}
+
+func TestTimeWeightedMean(t *testing.T) {
+	var tw TimeWeighted
+	// Signal: 0 on [0,10), 4 on [10,20), 2 on [20,40).
+	if err := tw.Set(10, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Set(20, 2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tw.Mean(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (0.0*10 + 4*10 + 2*20) / 40
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Mean = %v, want %v", got, want)
+	}
+}
+
+func TestTimeWeightedErrors(t *testing.T) {
+	var tw TimeWeighted
+	if err := tw.Set(-1, 5); err == nil {
+		t.Fatal("negative start accepted")
+	}
+	tw = TimeWeighted{}
+	if err := tw.Set(5, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Set(3, 2); err == nil {
+		t.Fatal("time reversal accepted")
+	}
+	if _, err := tw.Mean(1); err == nil {
+		t.Fatal("mean before last set accepted")
+	}
+}
+
+func TestTimeWeightedMeanAtZero(t *testing.T) {
+	var tw TimeWeighted
+	got, err := tw.Mean(0)
+	if err != nil || got != 0 {
+		t.Fatalf("Mean(0) = %v, %v", got, err)
+	}
+}
+
+// Property: stream mean is bounded by min and max; variance is non-negative.
+func TestPropertyStreamInvariants(t *testing.T) {
+	f := func(xs []float64) bool {
+		var s Stream
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e100 {
+				continue
+			}
+			s.Add(x)
+		}
+		if s.N() == 0 {
+			return true
+		}
+		return s.Mean() >= s.Min()-1e-9 && s.Mean() <= s.Max()+1e-9 && s.Variance() >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: merging any split of a sample reproduces the whole-sample
+// moments.
+func TestPropertyMergeEquivalence(t *testing.T) {
+	f := func(xs []float64, cut uint8) bool {
+		var clean []float64
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e50 {
+				continue
+			}
+			clean = append(clean, x)
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		k := int(cut) % (len(clean) + 1)
+		var whole, a, b Stream
+		for i, x := range clean {
+			whole.Add(x)
+			if i < k {
+				a.Add(x)
+			} else {
+				b.Add(x)
+			}
+		}
+		a.Merge(&b)
+		if a.N() != whole.N() {
+			return false
+		}
+		tol := 1e-6 * (1 + math.Abs(whole.Mean()))
+		return math.Abs(a.Mean()-whole.Mean()) < tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: histogram quantiles are monotone in q.
+func TestPropertyQuantileMonotone(t *testing.T) {
+	h, _ := NewLatencyHistogram(-6, 4, 30)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 5000; i++ {
+		h.Add(math.Exp(rng.NormFloat64() * 2))
+	}
+	f := func(q1, q2 float64) bool {
+		q1 = math.Mod(math.Abs(q1), 1)
+		q2 = math.Mod(math.Abs(q2), 1)
+		if math.IsNaN(q1) || math.IsNaN(q2) {
+			return true
+		}
+		lo, hi := math.Min(q1, q2), math.Max(q1, q2)
+		a, err1 := h.Quantile(lo)
+		b, err2 := h.Quantile(hi)
+		return err1 == nil && err2 == nil && a <= b+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,199 @@
+package thermal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/diskmodel"
+)
+
+func TestDefaultValid(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("default model invalid: %v", err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	m := Default()
+	m.TimeConstant = 0
+	if m.Validate() == nil {
+		t.Fatal("zero time constant accepted")
+	}
+	m = Default()
+	m.LowSteadyC = m.HighSteadyC
+	if m.Validate() == nil {
+		t.Fatal("equal steady temps accepted")
+	}
+	m = Default()
+	m.AmbientC = 45
+	if m.Validate() == nil {
+		t.Fatal("ambient above low steady accepted")
+	}
+}
+
+func TestSteadyMapping(t *testing.T) {
+	m := Default()
+	if m.Steady(diskmodel.Low) != 40 {
+		t.Fatalf("Steady(Low) = %v, want 40", m.Steady(diskmodel.Low))
+	}
+	if m.Steady(diskmodel.High) != 50 {
+		t.Fatalf("Steady(High) = %v, want 50", m.Steady(diskmodel.High))
+	}
+}
+
+func TestCubeLawCalibration(t *testing.T) {
+	m := Default()
+	// Exactly the high point by construction.
+	if got := m.CubeLawSteady(10000, 10000); math.Abs(got-50) > 1e-9 {
+		t.Fatalf("CubeLawSteady at calibration point = %v, want 50", got)
+	}
+	// Cube law under-predicts the low-speed band, as documented.
+	if got := m.CubeLawSteady(3600, 10000); got >= 35 {
+		t.Fatalf("cube law at 3600 RPM = %v, expected below the empirical band", got)
+	}
+	if got := m.CubeLawSteady(0, 10000); got != m.AmbientC {
+		t.Fatalf("cube law at 0 RPM = %v, want ambient", got)
+	}
+	if got := m.CubeLawSteady(5000, 0); got != m.AmbientC {
+		t.Fatalf("cube law with zero rpmHigh = %v, want ambient", got)
+	}
+}
+
+func TestConstantSpeedStaysAtSteady(t *testing.T) {
+	tr := NewTracker(Default(), diskmodel.High)
+	for _, now := range []float64{0, 10, 1000, 86400} {
+		if got := tr.TempAt(now); math.Abs(got-50) > 1e-9 {
+			t.Fatalf("TempAt(%v) = %v, want 50", now, got)
+		}
+	}
+	if got := tr.MeanTemp(86400); math.Abs(got-50) > 1e-9 {
+		t.Fatalf("MeanTemp = %v, want 50", got)
+	}
+}
+
+func TestRelaxationTowardNewSteady(t *testing.T) {
+	m := Default()
+	tr := NewTracker(m, diskmodel.High)
+	tr.SetSpeed(0, diskmodel.Low)
+	// After one time constant: 50 - 10*(1-1/e) ≈ 43.68.
+	got := tr.TempAt(m.TimeConstant)
+	want := 40 + 10*math.Exp(-1)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("TempAt(τ) = %v, want %v", got, want)
+	}
+	// After many time constants the disk is at the low steady state.
+	if got := tr.TempAt(50 * m.TimeConstant); math.Abs(got-40) > 1e-6 {
+		t.Fatalf("TempAt(50τ) = %v, want ≈40", got)
+	}
+}
+
+func TestSettleWithin48Minutes(t *testing.T) {
+	// The calibration claim: a speed change settles to within 5% of the
+	// gap in about 48 minutes (3τ).
+	m := Default()
+	tr := NewTracker(m, diskmodel.Low)
+	tr.SetSpeed(0, diskmodel.High)
+	got := tr.TempAt(48 * 60)
+	if math.Abs(got-50) > 0.05*10 {
+		t.Fatalf("temp after 48 min = %v, want within 0.5 of 50", got)
+	}
+}
+
+func TestMeanTempBetweenExtremes(t *testing.T) {
+	m := Default()
+	tr := NewTracker(m, diskmodel.High)
+	tr.SetSpeed(1000, diskmodel.Low)
+	mean := tr.MeanTemp(20000)
+	if mean <= 40 || mean >= 50 {
+		t.Fatalf("MeanTemp = %v, want strictly inside (40,50)", mean)
+	}
+}
+
+func TestMeanTempAtZero(t *testing.T) {
+	tr := NewTracker(Default(), diskmodel.Low)
+	if got := tr.MeanTemp(0); got != 40 {
+		t.Fatalf("MeanTemp(0) = %v, want 40", got)
+	}
+}
+
+func TestMaxTemp(t *testing.T) {
+	m := Default()
+	tr := NewTracker(m, diskmodel.Low)
+	if got := tr.MaxTemp(100); got != 40 {
+		t.Fatalf("MaxTemp at low = %v, want 40", got)
+	}
+	tr.SetSpeed(100, diskmodel.High)
+	got := tr.MaxTemp(100 + 10*m.TimeConstant)
+	if math.Abs(got-50) > 1e-3 {
+		t.Fatalf("MaxTemp after long high period = %v, want ≈50", got)
+	}
+	// Dropping back to low does not reduce the recorded max.
+	tr.SetSpeed(100+10*m.TimeConstant, diskmodel.Low)
+	if tr.MaxTemp(1e6) < got {
+		t.Fatal("MaxTemp decreased")
+	}
+}
+
+func TestTimeReversalPanics(t *testing.T) {
+	tr := NewTracker(Default(), diskmodel.High)
+	tr.TempAt(100)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on time reversal")
+		}
+	}()
+	tr.TempAt(50)
+}
+
+// Property: temperature always stays within [LowSteadyC, HighSteadyC] for
+// any schedule of speed changes, and the mean is within the same band.
+func TestPropertyTemperatureBounded(t *testing.T) {
+	m := Default()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		speeds := []diskmodel.Speed{diskmodel.Low, diskmodel.High}
+		tr := NewTracker(m, speeds[rng.Intn(2)])
+		clock := 0.0
+		for i := 0; i < 40; i++ {
+			clock += rng.Float64() * 4000
+			temp := tr.TempAt(clock)
+			if temp < m.LowSteadyC-1e-9 || temp > m.HighSteadyC+1e-9 {
+				return false
+			}
+			tr.SetSpeed(clock, speeds[rng.Intn(2)])
+		}
+		mean := tr.MeanTemp(clock + 1)
+		return mean >= m.LowSteadyC-1e-9 && mean <= m.HighSteadyC+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the integral is additive — querying MeanTemp at intermediate
+// points does not change the final mean.
+func TestPropertyIntegralAdditive(t *testing.T) {
+	m := Default()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := NewTracker(m, diskmodel.High)
+		b := NewTracker(m, diskmodel.High)
+		clock := 0.0
+		for i := 0; i < 20; i++ {
+			clock += rng.Float64() * 2000
+			s := diskmodel.Speed(rng.Intn(2))
+			a.SetSpeed(clock, s)
+			b.SetSpeed(clock, s)
+			// Interrogate a mid-run; b only at the end.
+			a.MeanTemp(clock)
+			a.TempAt(clock)
+		}
+		end := clock + 500
+		return math.Abs(a.MeanTemp(end)-b.MeanTemp(end)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

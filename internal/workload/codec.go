@@ -1,0 +1,98 @@
+package workload
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The trace text format is line-oriented and self-describing:
+//
+//	# anything            comment
+//	file <id> <size_mb> <access_rate>
+//	req <arrival_s> <file_id>
+//
+// File lines must precede the request lines that reference them. The format
+// is a lowest-common-denominator stand-in for the binary WorldCup98 format
+// so real traces can be converted and replayed.
+
+// WriteTrace serializes a trace.
+func WriteTrace(w io.Writer, t *Trace) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# disk-array workload trace: %d files, %d requests\n",
+		len(t.Files), len(t.Requests))
+	for _, f := range t.Files {
+		fmt.Fprintf(bw, "file %d %.9g %.9g\n", f.ID, f.SizeMB, f.AccessRate)
+	}
+	for _, r := range t.Requests {
+		fmt.Fprintf(bw, "req %.9f %d\n", r.Arrival, r.FileID)
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses a trace written by WriteTrace (or hand-converted from
+// another source). It validates the result before returning it.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	t := &Trace{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "file":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("workload: line %d: file record needs 3 fields", lineNo)
+			}
+			id, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("workload: line %d: bad file id: %v", lineNo, err)
+			}
+			size, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("workload: line %d: bad size: %v", lineNo, err)
+			}
+			rate, err := strconv.ParseFloat(fields[3], 64)
+			if err != nil {
+				return nil, fmt.Errorf("workload: line %d: bad rate: %v", lineNo, err)
+			}
+			t.Files = append(t.Files, File{ID: id, SizeMB: size, AccessRate: rate})
+		case "req":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("workload: line %d: req record needs 2 fields", lineNo)
+			}
+			at, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("workload: line %d: bad arrival: %v", lineNo, err)
+			}
+			id, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("workload: line %d: bad file id: %v", lineNo, err)
+			}
+			t.Requests = append(t.Requests, Request{Arrival: at, FileID: id})
+		default:
+			return nil, fmt.Errorf("workload: line %d: unknown record type %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(t.Files) == 0 {
+		return nil, errors.New("workload: trace contains no files")
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

@@ -1,0 +1,109 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	cfg := smallConfig()
+	cfg.NumRequests = 1000
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Files) != len(tr.Files) || len(back.Requests) != len(tr.Requests) {
+		t.Fatalf("round trip size mismatch: %d/%d files, %d/%d requests",
+			len(back.Files), len(tr.Files), len(back.Requests), len(tr.Requests))
+	}
+	for i := range tr.Files {
+		a, b := tr.Files[i], back.Files[i]
+		if a.ID != b.ID || relDiff(a.SizeMB, b.SizeMB) > 1e-8 || relDiff(a.AccessRate, b.AccessRate) > 1e-8 {
+			t.Fatalf("file %d mismatch: %+v vs %+v", i, a, b)
+		}
+	}
+	for i := range tr.Requests {
+		a, b := tr.Requests[i], back.Requests[i]
+		if a.FileID != b.FileID || relDiff(a.Arrival, b.Arrival) > 1e-6 {
+			t.Fatalf("request %d mismatch: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func relDiff(a, b float64) float64 {
+	if a == b {
+		return 0
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	m := a
+	if m < 0 {
+		m = -m
+	}
+	if m < 1 {
+		m = 1
+	}
+	return d / m
+}
+
+func TestWriteTraceRejectsInvalid(t *testing.T) {
+	bad := &Trace{Files: FileSet{{ID: 0, SizeMB: -1}}}
+	if err := WriteTrace(&bytes.Buffer{}, bad); err == nil {
+		t.Fatal("invalid trace written")
+	}
+}
+
+func TestReadTraceCommentsAndBlanks(t *testing.T) {
+	in := `# header comment
+
+file 0 1.5 2.0
+# interior comment
+req 0.5 0
+req 1.0 0
+`
+	tr, err := ReadTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Files) != 1 || len(tr.Requests) != 2 {
+		t.Fatalf("parsed %d files, %d requests", len(tr.Files), len(tr.Requests))
+	}
+	if tr.Files[0].SizeMB != 1.5 || tr.Files[0].AccessRate != 2.0 {
+		t.Fatalf("file fields: %+v", tr.Files[0])
+	}
+}
+
+func TestReadTraceErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"unknown record", "blob 1 2\n"},
+		{"short file record", "file 1 2\n"},
+		{"bad file id", "file x 1 1\n"},
+		{"bad size", "file 0 x 1\n"},
+		{"bad rate", "file 0 1 x\n"},
+		{"short req record", "file 0 1 1\nreq 1\n"},
+		{"bad arrival", "file 0 1 1\nreq x 0\n"},
+		{"bad req file id", "file 0 1 1\nreq 1 x\n"},
+		{"empty", ""},
+		{"req references missing file", "file 0 1 1\nreq 1 5\n"},
+		{"out of order requests", "file 0 1 1\nreq 5 0\nreq 1 0\n"},
+	}
+	for _, tc := range cases {
+		if _, err := ReadTrace(strings.NewReader(tc.in)); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleLog = `# comment line
+host1 - - [02/May/1998:21:30:17 +0000] "GET /images/logo.gif HTTP/1.0" 200 1839
+host2 - - [02/May/1998:21:30:18 +0000] "GET /index.html HTTP/1.0" 200 4096
+host1 - - [02/May/1998:21:30:20 +0000] "GET /images/logo.gif HTTP/1.0" 200 1839
+garbage line that does not parse
+host3 - - [02/May/1998:21:30:25 +0000] "GET /big.mpg HTTP/1.0" 200 2097152
+host4 - - [02/May/1998:21:30:26 +0000] "HEAD /index.html HTTP/1.0" 200 -
+`
+
+func TestParseCommonLog(t *testing.T) {
+	tr, skipped, err := ParseCommonLog(strings.NewReader(sampleLog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 1 {
+		t.Fatalf("skipped = %d, want 1", skipped)
+	}
+	if len(tr.Requests) != 5 {
+		t.Fatalf("requests = %d, want 5", len(tr.Requests))
+	}
+	if len(tr.Files) != 3 {
+		t.Fatalf("files = %d, want 3", len(tr.Files))
+	}
+	// Arrival offsets from the first entry.
+	if tr.Requests[0].Arrival != 0 {
+		t.Fatalf("first arrival = %v", tr.Requests[0].Arrival)
+	}
+	if tr.Requests[1].Arrival != 1 || tr.Requests[2].Arrival != 3 {
+		t.Fatalf("offsets = %v, %v", tr.Requests[1].Arrival, tr.Requests[2].Arrival)
+	}
+	// Repeated file resolves to the same id.
+	if tr.Requests[0].FileID != tr.Requests[2].FileID {
+		t.Fatal("repeated path mapped to different files")
+	}
+	// Sizes: logo.gif 1839 bytes, big.mpg 2 MB.
+	byID := map[int]File{}
+	for _, f := range tr.Files {
+		byID[f.ID] = f
+	}
+	logo := byID[tr.Requests[0].FileID]
+	if logo.SizeMB < 0.0017 || logo.SizeMB > 0.0018 {
+		t.Fatalf("logo size = %v MB", logo.SizeMB)
+	}
+	big := byID[tr.Requests[3].FileID]
+	if big.SizeMB < 1.99 || big.SizeMB > 2.01 {
+		t.Fatalf("big.mpg size = %v MB", big.SizeMB)
+	}
+	// The dash byte count (HEAD) yields the floor size, not a parse error.
+	head := byID[tr.Requests[4].FileID]
+	if head.SizeMB <= 0 {
+		t.Fatalf("dash-bytes file size = %v", head.SizeMB)
+	}
+	// Rates proportional to counts.
+	if logo.AccessRate <= big.AccessRate {
+		t.Fatal("twice-accessed file should have a higher rate")
+	}
+}
+
+func TestParseCommonLogTimestampWithoutZone(t *testing.T) {
+	log := `h - - [02/May/1998:21:30:17] "GET /a HTTP/1.0" 200 100
+h - - [02/May/1998:21:30:19] "GET /a HTTP/1.0" 200 100
+`
+	tr, skipped, err := ParseCommonLog(strings.NewReader(log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 || len(tr.Requests) != 2 {
+		t.Fatalf("skipped=%d requests=%d", skipped, len(tr.Requests))
+	}
+	if tr.Requests[1].Arrival != 2 {
+		t.Fatalf("offset = %v", tr.Requests[1].Arrival)
+	}
+}
+
+func TestParseCommonLogOutOfOrderClamped(t *testing.T) {
+	log := `h - - [02/May/1998:21:30:20 +0000] "GET /a HTTP/1.0" 200 100
+h - - [02/May/1998:21:30:17 +0000] "GET /b HTTP/1.0" 200 100
+h - - [02/May/1998:21:30:25 +0000] "GET /a HTTP/1.0" 200 100
+`
+	tr, _, err := ParseCommonLog(strings.NewReader(log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("clamped trace invalid: %v", err)
+	}
+}
+
+func TestParseCommonLogRejectsEmpty(t *testing.T) {
+	if _, _, err := ParseCommonLog(strings.NewReader("nothing useful\n")); err == nil {
+		t.Fatal("unparsable log accepted")
+	}
+	if _, _, err := ParseCommonLog(strings.NewReader("")); err == nil {
+		t.Fatal("empty log accepted")
+	}
+}
+
+func TestParseCommonLogMalformedVariants(t *testing.T) {
+	bad := []string{
+		`h - - 02/May/1998:21:30:17 "GET /a HTTP/1.0" 200 100`,         // no brackets
+		`h - - [bogus] "GET /a HTTP/1.0" 200 100`,                      // bad stamp
+		`h - - [02/May/1998:21:30:17 +0000] GET /a 200 100`,            // no quotes
+		`h - - [02/May/1998:21:30:17 +0000] "GET" 200 100`,             // short request
+		`h - - [02/May/1998:21:30:17 +0000] "GET /a HTTP/1.0"`,         // no tail
+		`h - - [02/May/1998:21:30:17 +0000] "GET /a HTTP/1.0" 200 xyz`, // bad bytes
+	}
+	for i, line := range bad {
+		good := `h - - [02/May/1998:21:30:18 +0000] "GET /ok HTTP/1.0" 200 10`
+		tr, skipped, err := ParseCommonLog(strings.NewReader(line + "\n" + good + "\n"))
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if skipped != 1 || len(tr.Requests) != 1 {
+			t.Fatalf("case %d: skipped=%d requests=%d", i, skipped, len(tr.Requests))
+		}
+	}
+}
+
+func TestParsedLogRunsThroughSimulatorCodec(t *testing.T) {
+	// The converted trace must round-trip the text codec.
+	tr, _, err := ParseCommonLog(strings.NewReader(sampleLog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteTrace(&sb, tr); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrace(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Requests) != len(tr.Requests) {
+		t.Fatal("round trip lost requests")
+	}
+}

@@ -1,0 +1,137 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+// TestDiurnalProfileModulatesRate verifies the generated arrival process
+// actually follows the configured profile: the peak hour must see several
+// times the valley hour's requests.
+func TestDiurnalProfileModulatesRate(t *testing.T) {
+	cfg := DefaultGenConfig()
+	cfg.NumRequests = 200000
+	cfg.DiurnalProfile = DefaultDiurnalProfile()
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	period := float64(cfg.NumRequests) * cfg.MeanInterarrival
+	bucketLen := period / 24
+	counts := make([]int, 24)
+	for _, r := range tr.Requests {
+		b := int(r.Arrival/bucketLen) % 24
+		if b >= 0 && b < 24 {
+			counts[b]++
+		}
+	}
+	// Bucket 12 (multiplier 2.0) vs bucket 3 (multiplier 0.10).
+	if counts[3] == 0 {
+		t.Fatal("valley bucket empty")
+	}
+	ratio := float64(counts[12]) / float64(counts[3])
+	// Normalized multipliers: 2.0/1.019 vs 0.1/1.019 -> ratio 20.
+	if ratio < 12 || ratio > 30 {
+		t.Fatalf("peak/valley ratio = %v, want ≈20", ratio)
+	}
+}
+
+// TestDiurnalPreservesCalibration: the normalized profile must keep the
+// overall mean inter-arrival at the configured value.
+func TestDiurnalPreservesCalibration(t *testing.T) {
+	cfg := DefaultGenConfig()
+	cfg.NumRequests = 150000
+	cfg.DiurnalProfile = DefaultDiurnalProfile()
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := tr.ComputeStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(st.MeanInterarrival-cfg.MeanInterarrival)/cfg.MeanInterarrival > 0.05 {
+		t.Fatalf("mean inter-arrival %v drifted from %v", st.MeanInterarrival, cfg.MeanInterarrival)
+	}
+}
+
+// TestChurnRotatesHotSet verifies the scoped churn: the most-requested file
+// changes across phases, but only files inside the scope ever become hot.
+func TestChurnRotatesHotSet(t *testing.T) {
+	cfg := DefaultGenConfig()
+	cfg.NumFiles = 1000
+	cfg.NumRequests = 120000
+	cfg.PhaseSeconds = float64(cfg.NumRequests) * cfg.MeanInterarrival / 4 // 4 phases
+	cfg.PhaseRotate = 0.25
+	cfg.PhaseScope = 0.5
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phaseLen := cfg.PhaseSeconds
+	topPerPhase := make([]int, 4)
+	for phase := 0; phase < 4; phase++ {
+		counts := make(map[int]int)
+		for _, r := range tr.Requests {
+			if int(r.Arrival/phaseLen) == phase {
+				counts[r.FileID]++
+			}
+		}
+		best, bestN := -1, 0
+		for id, n := range counts {
+			if n > bestN {
+				best, bestN = id, n
+			}
+		}
+		topPerPhase[phase] = best
+	}
+	changed := false
+	for p := 1; p < 4; p++ {
+		if topPerPhase[p] != topPerPhase[0] {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Fatalf("hot file never rotated: %v", topPerPhase)
+	}
+	scope := int(cfg.PhaseScope * float64(cfg.NumFiles))
+	for p, id := range topPerPhase {
+		if id >= scope {
+			t.Fatalf("phase %d hottest file %d outside churn scope %d", p, id, scope)
+		}
+	}
+}
+
+// TestChurnDisabledIsStable: without churn, the hottest file is the same in
+// every quarter of the trace.
+func TestChurnDisabledIsStable(t *testing.T) {
+	cfg := DefaultGenConfig()
+	cfg.NumFiles = 500
+	cfg.NumRequests = 80000
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quarter := tr.Requests[len(tr.Requests)-1].Arrival / 4
+	var tops []int
+	for q := 0; q < 4; q++ {
+		counts := make(map[int]int)
+		for _, r := range tr.Requests {
+			if int(r.Arrival/quarter) == q {
+				counts[r.FileID]++
+			}
+		}
+		best, bestN := -1, 0
+		for id, n := range counts {
+			if n > bestN {
+				best, bestN = id, n
+			}
+		}
+		tops = append(tops, best)
+	}
+	for _, id := range tops {
+		if id != tops[0] {
+			t.Fatalf("hot file drifted without churn: %v", tops)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+// Package workload models the paper's file-level web workload: a set of
+// whole files with sizes and access rates, a Zipf-like popularity law with
+// the paper's skew parameter θ, and a synthetic trace generator calibrated
+// to the WorldCup98-05-09 statistics the paper reports (§5.1: 4,079 files,
+// 1,480,081 requests, 58.4 ms mean request inter-arrival). A simple text
+// codec lets real traces be stored and replayed.
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// File is one stored file (paper §4): fi = (si, λi) with size in MB and
+// access rate in requests/second.
+type File struct {
+	ID         int
+	SizeMB     float64
+	AccessRate float64
+}
+
+// Load returns hi = λi · si (paper §4): the file's service-time demand per
+// unit time, using the paper's simplification that service time is
+// proportional to size for whole-file scans.
+func (f File) Load() float64 { return f.AccessRate * f.SizeMB }
+
+// FileSet is a collection of files.
+type FileSet []File
+
+// Validate reports the first malformed file.
+func (fs FileSet) Validate() error {
+	if len(fs) == 0 {
+		return errors.New("workload: empty file set")
+	}
+	seen := make(map[int]bool, len(fs))
+	for i, f := range fs {
+		if f.SizeMB <= 0 || math.IsNaN(f.SizeMB) || math.IsInf(f.SizeMB, 0) {
+			return fmt.Errorf("workload: file %d has invalid size %v", f.ID, f.SizeMB)
+		}
+		if f.AccessRate < 0 || math.IsNaN(f.AccessRate) || math.IsInf(f.AccessRate, 0) {
+			return fmt.Errorf("workload: file %d has invalid access rate %v", f.ID, f.AccessRate)
+		}
+		if seen[f.ID] {
+			return fmt.Errorf("workload: duplicate file id %d (index %d)", f.ID, i)
+		}
+		seen[f.ID] = true
+	}
+	return nil
+}
+
+// TotalLoad returns Σ hi over the set.
+func (fs FileSet) TotalLoad() float64 {
+	var sum float64
+	for _, f := range fs {
+		sum += f.Load()
+	}
+	return sum
+}
+
+// TotalSizeMB returns the aggregate size.
+func (fs FileSet) TotalSizeMB() float64 {
+	var sum float64
+	for _, f := range fs {
+		sum += f.SizeMB
+	}
+	return sum
+}
+
+// SortBySizeAscending orders the set smallest-first, the paper's initial
+// popularity proxy ("the popularity ... of a file is inversely correlated
+// to its size", §4). Ties break by ID for determinism.
+func (fs FileSet) SortBySizeAscending() {
+	sort.Slice(fs, func(i, j int) bool {
+		if fs[i].SizeMB != fs[j].SizeMB {
+			return fs[i].SizeMB < fs[j].SizeMB
+		}
+		return fs[i].ID < fs[j].ID
+	})
+}
+
+// SortByRateDescending orders the set most-accessed-first, the ordering the
+// READ File Redistribution Daemon re-establishes at each epoch from observed
+// counts. Ties break by ID.
+func (fs FileSet) SortByRateDescending() {
+	sort.Slice(fs, func(i, j int) bool {
+		if fs[i].AccessRate != fs[j].AccessRate {
+			return fs[i].AccessRate > fs[j].AccessRate
+		}
+		return fs[i].ID < fs[j].ID
+	})
+}
+
+// Clone returns an independent copy.
+func (fs FileSet) Clone() FileSet {
+	out := make(FileSet, len(fs))
+	copy(out, fs)
+	return out
+}

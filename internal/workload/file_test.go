@@ -1,0 +1,91 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFileLoad(t *testing.T) {
+	f := File{ID: 1, SizeMB: 2.5, AccessRate: 4}
+	if got := f.Load(); got != 10 {
+		t.Fatalf("Load = %v, want 10", got)
+	}
+}
+
+func TestFileSetValidate(t *testing.T) {
+	good := FileSet{{ID: 0, SizeMB: 1}, {ID: 1, SizeMB: 2, AccessRate: 3}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid set rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		fs   FileSet
+	}{
+		{"empty", FileSet{}},
+		{"zero size", FileSet{{ID: 0, SizeMB: 0}}},
+		{"negative size", FileSet{{ID: 0, SizeMB: -1}}},
+		{"NaN size", FileSet{{ID: 0, SizeMB: math.NaN()}}},
+		{"inf size", FileSet{{ID: 0, SizeMB: math.Inf(1)}}},
+		{"negative rate", FileSet{{ID: 0, SizeMB: 1, AccessRate: -1}}},
+		{"NaN rate", FileSet{{ID: 0, SizeMB: 1, AccessRate: math.NaN()}}},
+		{"duplicate id", FileSet{{ID: 3, SizeMB: 1}, {ID: 3, SizeMB: 2}}},
+	}
+	for _, tc := range cases {
+		if err := tc.fs.Validate(); err == nil {
+			t.Errorf("%s: invalid set accepted", tc.name)
+		}
+	}
+}
+
+func TestTotals(t *testing.T) {
+	fs := FileSet{
+		{ID: 0, SizeMB: 1, AccessRate: 2},
+		{ID: 1, SizeMB: 3, AccessRate: 4},
+	}
+	if got := fs.TotalLoad(); got != 2+12 {
+		t.Fatalf("TotalLoad = %v, want 14", got)
+	}
+	if got := fs.TotalSizeMB(); got != 4 {
+		t.Fatalf("TotalSizeMB = %v, want 4", got)
+	}
+}
+
+func TestSortBySizeAscending(t *testing.T) {
+	fs := FileSet{
+		{ID: 2, SizeMB: 3},
+		{ID: 0, SizeMB: 1},
+		{ID: 5, SizeMB: 2},
+		{ID: 1, SizeMB: 2}, // tie with ID 5: lower ID first
+	}
+	fs.SortBySizeAscending()
+	wantIDs := []int{0, 1, 5, 2}
+	for i, w := range wantIDs {
+		if fs[i].ID != w {
+			t.Fatalf("position %d: ID %d, want %d (%v)", i, fs[i].ID, w, fs)
+		}
+	}
+}
+
+func TestSortByRateDescending(t *testing.T) {
+	fs := FileSet{
+		{ID: 0, SizeMB: 1, AccessRate: 2},
+		{ID: 1, SizeMB: 1, AccessRate: 9},
+		{ID: 3, SizeMB: 1, AccessRate: 2}, // tie with ID 0: lower ID first
+	}
+	fs.SortByRateDescending()
+	wantIDs := []int{1, 0, 3}
+	for i, w := range wantIDs {
+		if fs[i].ID != w {
+			t.Fatalf("position %d: ID %d, want %d", i, fs[i].ID, w)
+		}
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	fs := FileSet{{ID: 0, SizeMB: 1}}
+	c := fs.Clone()
+	c[0].SizeMB = 99
+	if fs[0].SizeMB != 1 {
+		t.Fatal("Clone shares backing storage")
+	}
+}

@@ -1,0 +1,383 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Request is one whole-file access in a trace.
+type Request struct {
+	// Arrival is the arrival time in seconds from trace start.
+	Arrival float64
+	// FileID identifies the requested file.
+	FileID int
+}
+
+// Trace is a replayable workload: a file population plus a time-ordered
+// request stream over it.
+type Trace struct {
+	Files    FileSet
+	Requests []Request
+}
+
+// Validate checks internal consistency: valid files, time-ordered requests,
+// and every request referencing an existing file.
+func (t *Trace) Validate() error {
+	if err := t.Files.Validate(); err != nil {
+		return err
+	}
+	ids := make(map[int]bool, len(t.Files))
+	for _, f := range t.Files {
+		ids[f.ID] = true
+	}
+	prev := math.Inf(-1)
+	for i, r := range t.Requests {
+		if r.Arrival < prev {
+			return fmt.Errorf("workload: request %d arrives at %v before predecessor %v", i, r.Arrival, prev)
+		}
+		if r.Arrival < 0 || math.IsNaN(r.Arrival) {
+			return fmt.Errorf("workload: request %d has invalid arrival %v", i, r.Arrival)
+		}
+		if !ids[r.FileID] {
+			return fmt.Errorf("workload: request %d references unknown file %d", i, r.FileID)
+		}
+		prev = r.Arrival
+	}
+	return nil
+}
+
+// Stats summarizes a trace; the calibration targets come from §5.1.
+type Stats struct {
+	Files             int
+	Requests          int
+	Duration          float64 // time of last arrival
+	MeanInterarrival  float64
+	TotalBytesMB      float64 // volume requested (with repetition)
+	MeanFileSizeMB    float64
+	AccessTheta       float64 // measured skew parameter θ
+	TopTwentyShare    float64 // fraction of accesses to the top 20% of files
+	RequestsPerSecond float64
+}
+
+// ComputeStats derives summary statistics from a trace.
+func (t *Trace) ComputeStats() (Stats, error) {
+	if err := t.Validate(); err != nil {
+		return Stats{}, err
+	}
+	s := Stats{Files: len(t.Files), Requests: len(t.Requests)}
+	sizeByID := make(map[int]float64, len(t.Files))
+	indexByID := make(map[int]int, len(t.Files))
+	for i, f := range t.Files {
+		sizeByID[f.ID] = f.SizeMB
+		indexByID[f.ID] = i
+		s.MeanFileSizeMB += f.SizeMB
+	}
+	s.MeanFileSizeMB /= float64(len(t.Files))
+	if len(t.Requests) == 0 {
+		s.AccessTheta = 1
+		return s, nil
+	}
+	counts := make([]int, len(t.Files))
+	for _, r := range t.Requests {
+		s.TotalBytesMB += sizeByID[r.FileID]
+		counts[indexByID[r.FileID]]++
+	}
+	s.Duration = t.Requests[len(t.Requests)-1].Arrival
+	if len(t.Requests) > 1 {
+		s.MeanInterarrival = s.Duration / float64(len(t.Requests)-1)
+	}
+	if s.Duration > 0 {
+		s.RequestsPerSecond = float64(len(t.Requests)) / s.Duration
+	}
+	theta, err := MeasureTheta(counts)
+	if err != nil {
+		return Stats{}, err
+	}
+	s.AccessTheta = theta
+
+	sorted := make([]int, len(counts))
+	copy(sorted, counts)
+	sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
+	k := int(math.Ceil(0.2 * float64(len(sorted))))
+	if k < 1 {
+		k = 1
+	}
+	var top, total int64
+	for i, c := range sorted {
+		total += int64(c)
+		if i < k {
+			top += int64(c)
+		}
+	}
+	if total > 0 {
+		s.TopTwentyShare = float64(top) / float64(total)
+	}
+	return s, nil
+}
+
+// GenConfig parameterizes the synthetic WorldCup98-like generator. The
+// defaults reproduce the aggregate statistics the paper reports for the
+// WorldCup98-05-09 day it replays.
+type GenConfig struct {
+	// NumFiles is the file population size (paper: 4,079).
+	NumFiles int
+	// NumRequests is the request count (paper: 1,480,081; experiments
+	// scale this down proportionally with duration).
+	NumRequests int
+	// MeanInterarrival is the mean request inter-arrival time in seconds
+	// (paper: 58.4 ms). Arrivals are Poisson.
+	MeanInterarrival float64
+	// ZipfAlpha is the popularity skew (paper: α ∈ [0,1]; web traces
+	// cluster around 0.7-0.8).
+	ZipfAlpha float64
+	// SizeMedianMB and SizeSigma parameterize the lognormal file-size
+	// distribution; web object sizes are heavy-tailed.
+	SizeMedianMB float64
+	SizeSigma    float64
+	// MaxSizeMB truncates the size tail so one pathological draw cannot
+	// dominate the simulation. Zero disables truncation.
+	MaxSizeMB float64
+	// Seed makes generation reproducible.
+	Seed int64
+
+	// PhaseSeconds enables popularity churn: every PhaseSeconds of trace
+	// time, the popularity ranking rotates by PhaseRotate·NumFiles
+	// positions, so previously hot files cool off and cold files heat up
+	// — the temporal drift real web traces exhibit (new pages displace
+	// old ones) that makes adaptive policies migrate and lets idle disks
+	// be re-disturbed. Zero disables churn (static Zipf ranks).
+	PhaseSeconds float64
+	// PhaseRotate is the fraction of the churn scope rotated per phase,
+	// in [0,1]. Zero with PhaseSeconds set defaults to 0.10.
+	PhaseRotate float64
+	// PhaseScope is the fraction of the rank table (from the popular end)
+	// that churn rotates within, in (0,1]. Popularity drift in real web
+	// workloads reshuffles the head of the catalog — new pages displace
+	// old ones among the small, popular objects — without promoting the
+	// archival tail (the biggest objects) to the top of the chart. Zero
+	// with PhaseSeconds set defaults to 0.5.
+	PhaseScope float64
+
+	// DiurnalProfile, when non-empty, modulates the arrival rate over the
+	// trace's day with piecewise-constant multipliers spread evenly over
+	// one trace period (NumRequests·MeanInterarrival seconds — a full day
+	// at the calibrated defaults). The profile is normalized to mean 1 so
+	// the aggregate request count and mean inter-arrival stay calibrated.
+	// Web traffic is strongly diurnal (WorldCup98 included); the deep
+	// night valley is what gives energy policies their long idle periods.
+	// Empty means a flat (homogeneous Poisson) profile.
+	DiurnalProfile []float64
+}
+
+// DefaultDiurnalProfile returns a 24-bucket (hourly) web-server day: a deep
+// night valley, a morning ramp, a midday peak, and an evening shoulder.
+func DefaultDiurnalProfile() []float64 {
+	return []float64{
+		// 00:00 .. 07:00 — night valley
+		0.25, 0.15, 0.10, 0.10, 0.10, 0.15, 0.30, 0.60,
+		// 08:00 .. 15:00 — ramp to midday peak
+		1.10, 1.50, 1.80, 1.95, 2.00, 1.90, 1.80, 1.70,
+		// 16:00 .. 23:00 — afternoon/evening shoulder and decline
+		1.60, 1.50, 1.40, 1.30, 1.10, 0.90, 0.60, 0.40,
+	}
+}
+
+// DefaultGenConfig returns the paper-calibrated generator configuration.
+func DefaultGenConfig() GenConfig {
+	return GenConfig{
+		NumFiles:         4079,
+		NumRequests:      1480081,
+		MeanInterarrival: 0.0584,
+		ZipfAlpha:        0.75,
+		SizeMedianMB:     0.015, // ~15 KB median web object
+		SizeSigma:        1.0,
+		MaxSizeMB:        8,
+		Seed:             1,
+	}
+}
+
+// Validate reports the first invalid generator parameter.
+func (c GenConfig) Validate() error {
+	switch {
+	case c.NumFiles <= 0:
+		return errors.New("workload: NumFiles must be positive")
+	case c.NumRequests < 0:
+		return errors.New("workload: NumRequests must be non-negative")
+	case c.MeanInterarrival <= 0:
+		return errors.New("workload: MeanInterarrival must be positive")
+	case c.ZipfAlpha < 0:
+		return errors.New("workload: ZipfAlpha must be non-negative")
+	case c.SizeMedianMB <= 0:
+		return errors.New("workload: SizeMedianMB must be positive")
+	case c.SizeSigma < 0:
+		return errors.New("workload: SizeSigma must be non-negative")
+	case c.MaxSizeMB < 0:
+		return errors.New("workload: MaxSizeMB must be non-negative")
+	case c.PhaseSeconds < 0:
+		return errors.New("workload: PhaseSeconds must be non-negative")
+	case c.PhaseRotate < 0 || c.PhaseRotate > 1:
+		return errors.New("workload: PhaseRotate must be in [0,1]")
+	case c.PhaseScope < 0 || c.PhaseScope > 1:
+		return errors.New("workload: PhaseScope must be in [0,1]")
+	}
+	for i, m := range c.DiurnalProfile {
+		if m <= 0 || math.IsNaN(m) || math.IsInf(m, 0) {
+			return fmt.Errorf("workload: diurnal multiplier %d (%v) must be positive and finite", i, m)
+		}
+	}
+	return nil
+}
+
+// Generate builds a synthetic trace. File sizes are drawn lognormally and
+// assigned so that popularity is inversely correlated with size (smallest
+// file = most popular), matching the paper's §4 assumption; per-file access
+// rates are set from the Zipf law and the aggregate arrival rate; arrivals
+// are Poisson.
+func Generate(cfg GenConfig) (*Trace, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	sizes := make([]float64, cfg.NumFiles)
+	for i := range sizes {
+		s := math.Exp(math.Log(cfg.SizeMedianMB) + cfg.SizeSigma*rng.NormFloat64())
+		if cfg.MaxSizeMB > 0 && s > cfg.MaxSizeMB {
+			s = cfg.MaxSizeMB
+		}
+		const minSizeMB = 0.0005 // 512 bytes floor
+		if s < minSizeMB {
+			s = minSizeMB
+		}
+		sizes[i] = s
+	}
+	sort.Float64s(sizes) // ascending: index 0 = smallest = most popular
+
+	law := ZipfLaw{Alpha: cfg.ZipfAlpha, N: cfg.NumFiles}
+	probs, err := law.Probabilities()
+	if err != nil {
+		return nil, err
+	}
+
+	aggregateRate := 1 / cfg.MeanInterarrival
+	files := make(FileSet, cfg.NumFiles)
+	for i := range files {
+		files[i] = File{
+			ID:         i,
+			SizeMB:     sizes[i],
+			AccessRate: probs[i] * aggregateRate,
+		}
+	}
+
+	sampler, err := NewAliasSampler(probs)
+	if err != nil {
+		return nil, err
+	}
+	rotate, scope := 0, cfg.NumFiles
+	if cfg.PhaseSeconds > 0 {
+		scopeFrac := cfg.PhaseScope
+		if scopeFrac == 0 {
+			scopeFrac = 0.5
+		}
+		scope = int(scopeFrac * float64(cfg.NumFiles))
+		if scope < 2 {
+			scope = 2
+		}
+		frac := cfg.PhaseRotate
+		if frac == 0 {
+			frac = 0.10
+		}
+		rotate = int(frac * float64(scope))
+		if rotate < 1 {
+			rotate = 1
+		}
+	}
+	arrive := makeArrivalProcess(cfg, rng)
+	reqs := make([]Request, cfg.NumRequests)
+	clock := 0.0
+	for i := range reqs {
+		clock = arrive(clock)
+		rank := sampler.Sample(rng)
+		if rotate > 0 && rank < scope {
+			phase := int(clock / cfg.PhaseSeconds)
+			rank = (rank + phase*rotate) % scope
+		}
+		reqs[i] = Request{Arrival: clock, FileID: rank}
+	}
+
+	return &Trace{Files: files, Requests: reqs}, nil
+}
+
+// makeArrivalProcess returns a function advancing the arrival clock by one
+// inter-arrival gap. With a diurnal profile the process is a
+// piecewise-constant-rate Poisson process, generated exactly: by
+// memorylessness, a draw that crosses a rate boundary is discarded and
+// redrawn from the boundary at the new rate.
+func makeArrivalProcess(cfg GenConfig, rng *rand.Rand) func(clock float64) float64 {
+	if len(cfg.DiurnalProfile) == 0 {
+		return func(clock float64) float64 {
+			return clock + rng.ExpFloat64()*cfg.MeanInterarrival
+		}
+	}
+	prof := append([]float64(nil), cfg.DiurnalProfile...)
+	var mean float64
+	for _, m := range prof {
+		mean += m
+	}
+	mean /= float64(len(prof))
+	for i := range prof {
+		prof[i] /= mean // normalize to mean 1
+	}
+	period := float64(cfg.NumRequests) * cfg.MeanInterarrival
+	bucketLen := period / float64(len(prof))
+	multAt := func(t float64) float64 {
+		b := int(t/bucketLen) % len(prof)
+		if b < 0 {
+			b = 0
+		}
+		return prof[b]
+	}
+	return func(clock float64) float64 {
+		for {
+			rate := multAt(clock) / cfg.MeanInterarrival
+			gap := rng.ExpFloat64() / rate
+			boundary := (math.Floor(clock/bucketLen) + 1) * bucketLen
+			if boundary <= clock {
+				// clock sits exactly on a boundary whose division
+				// rounded down; without this the loop cannot advance.
+				boundary += bucketLen
+			}
+			if clock+gap < boundary {
+				return clock + gap
+			}
+			clock = boundary
+		}
+	}
+}
+
+// Scaled returns a copy of the config with the request count and duration
+// scaled by factor (0 < factor <= 1), preserving the arrival intensity.
+// Experiments use it to run minutes instead of a full day.
+func (c GenConfig) Scaled(factor float64) (GenConfig, error) {
+	if factor <= 0 || factor > 1 || math.IsNaN(factor) {
+		return GenConfig{}, fmt.Errorf("workload: scale factor %v outside (0,1]", factor)
+	}
+	out := c
+	out.NumRequests = int(math.Round(float64(c.NumRequests) * factor))
+	return out, nil
+}
+
+// WithIntensity returns a copy with the arrival intensity multiplied by
+// `times` (mean inter-arrival divided by it); the paper's "heavy workload"
+// condition is the same trace at a higher arrival intensity.
+func (c GenConfig) WithIntensity(times float64) (GenConfig, error) {
+	if times <= 0 || math.IsNaN(times) || math.IsInf(times, 0) {
+		return GenConfig{}, fmt.Errorf("workload: intensity multiplier %v must be positive and finite", times)
+	}
+	out := c
+	out.MeanInterarrival = c.MeanInterarrival / times
+	return out, nil
+}

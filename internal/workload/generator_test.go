@@ -1,0 +1,308 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func smallConfig() GenConfig {
+	cfg := DefaultGenConfig()
+	cfg.NumFiles = 300
+	cfg.NumRequests = 20000
+	return cfg
+}
+
+func TestDefaultGenConfigValid(t *testing.T) {
+	if err := DefaultGenConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+}
+
+func TestGenConfigValidation(t *testing.T) {
+	mutations := []func(*GenConfig){
+		func(c *GenConfig) { c.NumFiles = 0 },
+		func(c *GenConfig) { c.NumRequests = -1 },
+		func(c *GenConfig) { c.MeanInterarrival = 0 },
+		func(c *GenConfig) { c.ZipfAlpha = -0.1 },
+		func(c *GenConfig) { c.SizeMedianMB = 0 },
+		func(c *GenConfig) { c.SizeSigma = -1 },
+		func(c *GenConfig) { c.MaxSizeMB = -1 },
+	}
+	for i, mut := range mutations {
+		cfg := DefaultGenConfig()
+		mut(&cfg)
+		if cfg.Validate() == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestGenerateProducesValidTrace(t *testing.T) {
+	tr, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("generated trace invalid: %v", err)
+	}
+	if len(tr.Files) != 300 || len(tr.Requests) != 20000 {
+		t.Fatalf("sizes: %d files, %d requests", len(tr.Files), len(tr.Requests))
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Requests {
+		if a.Requests[i] != b.Requests[i] {
+			t.Fatalf("request %d differs between identical seeds", i)
+		}
+	}
+	cfg := smallConfig()
+	cfg.Seed = 2
+	c, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Requests {
+		if a.Requests[i] != c.Requests[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestGeneratePopularityInverseToSize(t *testing.T) {
+	tr, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Files are emitted in popularity order (ID = rank); sizes must be
+	// non-decreasing with rank and rates non-increasing.
+	for i := 1; i < len(tr.Files); i++ {
+		if tr.Files[i].SizeMB < tr.Files[i-1].SizeMB {
+			t.Fatalf("size not ascending at rank %d", i)
+		}
+		if tr.Files[i].AccessRate > tr.Files[i-1].AccessRate {
+			t.Fatalf("rate not descending at rank %d", i)
+		}
+	}
+}
+
+func TestGenerateCalibration(t *testing.T) {
+	// The generated trace matches the configured aggregate statistics.
+	cfg := smallConfig()
+	cfg.NumRequests = 50000
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := tr.ComputeStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(st.MeanInterarrival-cfg.MeanInterarrival)/cfg.MeanInterarrival > 0.05 {
+		t.Fatalf("mean interarrival %v, want ≈%v", st.MeanInterarrival, cfg.MeanInterarrival)
+	}
+	// Zipf alpha 0.75 over 300 files concentrates the top 20% well above
+	// their uniform share.
+	if st.TopTwentyShare < 0.4 {
+		t.Fatalf("top-20%% share %v, want skewed (>0.4)", st.TopTwentyShare)
+	}
+	if st.AccessTheta <= 0 || st.AccessTheta >= 1 {
+		t.Fatalf("measured theta %v outside (0,1)", st.AccessTheta)
+	}
+}
+
+func TestGeneratePaperScaleSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale generation in -short mode")
+	}
+	// Full paper-scale day: 4,079 files and 1.48M requests.
+	tr, err := Generate(DefaultGenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := tr.ComputeStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Files != 4079 || st.Requests != 1480081 {
+		t.Fatalf("stats: %d files, %d requests", st.Files, st.Requests)
+	}
+	// One day ±5%: 1480081 * 0.0584s ≈ 86,437 s.
+	if math.Abs(st.Duration-86437)/86437 > 0.05 {
+		t.Fatalf("duration %v, want ≈86437 s", st.Duration)
+	}
+}
+
+func TestScaled(t *testing.T) {
+	cfg := DefaultGenConfig()
+	half, err := cfg.Scaled(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if half.NumRequests != 740041 && half.NumRequests != 740040 {
+		t.Fatalf("scaled requests = %d", half.NumRequests)
+	}
+	if half.MeanInterarrival != cfg.MeanInterarrival {
+		t.Fatal("Scaled changed the arrival intensity")
+	}
+	if _, err := cfg.Scaled(0); err == nil {
+		t.Fatal("zero factor accepted")
+	}
+	if _, err := cfg.Scaled(1.5); err == nil {
+		t.Fatal("factor above 1 accepted")
+	}
+}
+
+func TestWithIntensity(t *testing.T) {
+	cfg := DefaultGenConfig()
+	heavy, err := cfg.WithIntensity(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(heavy.MeanInterarrival-cfg.MeanInterarrival/4) > 1e-15 {
+		t.Fatalf("heavy interarrival = %v", heavy.MeanInterarrival)
+	}
+	if _, err := cfg.WithIntensity(0); err == nil {
+		t.Fatal("zero intensity accepted")
+	}
+	if _, err := cfg.WithIntensity(math.Inf(1)); err == nil {
+		t.Fatal("infinite intensity accepted")
+	}
+}
+
+func TestTraceValidateCatchesCorruption(t *testing.T) {
+	tr, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Out-of-order arrival.
+	bad := &Trace{Files: tr.Files, Requests: []Request{{Arrival: 5, FileID: 0}, {Arrival: 1, FileID: 0}}}
+	if bad.Validate() == nil {
+		t.Fatal("out-of-order requests accepted")
+	}
+	// Unknown file.
+	bad = &Trace{Files: tr.Files, Requests: []Request{{Arrival: 1, FileID: 99999}}}
+	if bad.Validate() == nil {
+		t.Fatal("unknown file reference accepted")
+	}
+	// Negative arrival.
+	bad = &Trace{Files: tr.Files, Requests: []Request{{Arrival: -1, FileID: 0}}}
+	if bad.Validate() == nil {
+		t.Fatal("negative arrival accepted")
+	}
+}
+
+func TestComputeStatsEmptyRequests(t *testing.T) {
+	tr := &Trace{Files: FileSet{{ID: 0, SizeMB: 1}}}
+	st, err := tr.ComputeStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests != 0 || st.AccessTheta != 1 {
+		t.Fatalf("empty-request stats: %+v", st)
+	}
+}
+
+func TestAliasSamplerMatchesDistribution(t *testing.T) {
+	weights := []float64{5, 3, 2, 0, 1}
+	s, err := NewAliasSampler(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N() != 5 {
+		t.Fatalf("N = %d", s.N())
+	}
+	rng := rand.New(rand.NewSource(7))
+	const draws = 200000
+	counts := make([]int, len(weights))
+	for i := 0; i < draws; i++ {
+		counts[s.Sample(rng)]++
+	}
+	var sum float64
+	for _, w := range weights {
+		sum += w
+	}
+	for i, w := range weights {
+		want := w / sum
+		got := float64(counts[i]) / draws
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("index %d: frequency %v, want %v", i, got, want)
+		}
+	}
+	if counts[3] != 0 {
+		t.Errorf("zero-weight index sampled %d times", counts[3])
+	}
+}
+
+func TestAliasSamplerValidation(t *testing.T) {
+	if _, err := NewAliasSampler(nil); err == nil {
+		t.Fatal("empty weights accepted")
+	}
+	if _, err := NewAliasSampler([]float64{0, 0}); err == nil {
+		t.Fatal("all-zero weights accepted")
+	}
+	if _, err := NewAliasSampler([]float64{1, -1}); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	if _, err := NewAliasSampler([]float64{1, math.NaN()}); err == nil {
+		t.Fatal("NaN weight accepted")
+	}
+	if _, err := NewAliasSampler([]float64{1, math.Inf(1)}); err == nil {
+		t.Fatal("Inf weight accepted")
+	}
+}
+
+// Property: the alias table always covers every positive-weight index and
+// sampling never returns an out-of-range index.
+func TestPropertyAliasSamplerInRange(t *testing.T) {
+	f := func(raw []float64, seed int64) bool {
+		var weights []float64
+		for _, w := range raw {
+			w = math.Abs(w)
+			if math.IsNaN(w) || math.IsInf(w, 0) {
+				continue
+			}
+			weights = append(weights, math.Mod(w, 1000))
+		}
+		var sum float64
+		for _, w := range weights {
+			sum += w
+		}
+		if len(weights) == 0 || sum == 0 {
+			return true
+		}
+		s, err := NewAliasSampler(weights)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 200; i++ {
+			idx := s.Sample(rng)
+			if idx < 0 || idx >= len(weights) {
+				return false
+			}
+			if weights[idx] == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,210 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ZipfLaw is the paper's request-popularity model (§4): the probability of a
+// request for the i'th most popular of N files is proportional to 1/i^Alpha,
+// with Alpha typically in [0, 1]. Alpha = 0 is uniform; Alpha = 1 is the
+// classic Zipf law.
+type ZipfLaw struct {
+	Alpha float64
+	N     int
+}
+
+// Validate reports whether the law is well-formed.
+func (z ZipfLaw) Validate() error {
+	if z.N <= 0 {
+		return errors.New("workload: Zipf N must be positive")
+	}
+	if z.Alpha < 0 || math.IsNaN(z.Alpha) {
+		return fmt.Errorf("workload: Zipf alpha %v must be non-negative", z.Alpha)
+	}
+	return nil
+}
+
+// Probabilities returns the normalized rank-probability vector p[0] >= p[1]
+// >= ... for ranks 1..N.
+func (z ZipfLaw) Probabilities() ([]float64, error) {
+	if err := z.Validate(); err != nil {
+		return nil, err
+	}
+	p := make([]float64, z.N)
+	var sum float64
+	for i := range p {
+		p[i] = math.Pow(float64(i+1), -z.Alpha)
+		sum += p[i]
+	}
+	for i := range p {
+		p[i] /= sum
+	}
+	return p, nil
+}
+
+// TopShare returns the fraction of accesses captured by the top `frac` of
+// files (frac in (0,1]).
+func (z ZipfLaw) TopShare(frac float64) (float64, error) {
+	p, err := z.Probabilities()
+	if err != nil {
+		return 0, err
+	}
+	if frac <= 0 || frac > 1 {
+		return 0, fmt.Errorf("workload: fraction %v outside (0,1]", frac)
+	}
+	k := int(math.Ceil(frac * float64(z.N)))
+	if k > z.N {
+		k = z.N
+	}
+	var sum float64
+	for i := 0; i < k; i++ {
+		sum += p[i]
+	}
+	return sum, nil
+}
+
+// SkewTheta computes the paper's skew parameter θ = log₁₀₀A / log₁₀₀B for
+// the rule "A percent of all accesses are directed to B percent of files"
+// (§4, after Lee, Scheuermann & Vingralek). Both arguments are percentages
+// in (0, 100]. θ = 1 means no skew (A = B); θ → 0 means extreme skew.
+func SkewTheta(accessPercent, filePercent float64) (float64, error) {
+	if accessPercent <= 0 || accessPercent > 100 || filePercent <= 0 || filePercent > 100 {
+		return 0, fmt.Errorf("workload: percentages (%v, %v) outside (0,100]", accessPercent, filePercent)
+	}
+	if filePercent == 100 {
+		if accessPercent == 100 {
+			return 1, nil
+		}
+		return 0, errors.New("workload: 100% of files holding less than 100% of accesses is inconsistent")
+	}
+	// log base 100 of a percentage x is log(x/100)/log(100) shifted:
+	// the paper's convention treats A, B as fractions of the whole, so
+	// θ = ln(A/100)/ln(B/100).
+	return math.Log(accessPercent/100) / math.Log(filePercent/100), nil
+}
+
+// MeasureTheta estimates θ from an empirical access distribution: it finds
+// the share of accesses A captured by the top B = 20% of files and applies
+// SkewTheta. counts[i] is the observed access count of file i (any order).
+// A uniform distribution yields θ ≈ 1.
+func MeasureTheta(counts []int) (float64, error) {
+	if len(counts) == 0 {
+		return 0, errors.New("workload: no counts")
+	}
+	sorted := make([]int, len(counts))
+	copy(sorted, counts)
+	sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
+	var total int64
+	for _, c := range sorted {
+		if c < 0 {
+			return 0, errors.New("workload: negative count")
+		}
+		total += int64(c)
+	}
+	if total == 0 {
+		return 1, nil // no accesses: treat as unskewed
+	}
+	const topFrac = 0.20
+	k := int(math.Ceil(topFrac * float64(len(sorted))))
+	if k < 1 {
+		k = 1
+	}
+	var top int64
+	for i := 0; i < k; i++ {
+		top += int64(sorted[i])
+	}
+	a := 100 * float64(top) / float64(total)
+	if a <= 0 {
+		return 1, nil
+	}
+	if a >= 100 {
+		// All accesses inside the top 20%: extreme skew; clamp to a small
+		// positive θ rather than 0 so Eq. 4's δ = (1-θ)/θ stays finite.
+		return 0.02, nil
+	}
+	theta, err := SkewTheta(a, topFrac*100)
+	if err != nil {
+		return 0, err
+	}
+	if theta > 1 {
+		theta = 1 // heavier tail than uniform in the top bucket; no skew
+	}
+	return theta, nil
+}
+
+// PopularSplit applies the paper's Equation 4 bookkeeping: given θ and the
+// total file count m, it returns the sizes of the popular and unpopular
+// sets, |Fp| = round((1−θ)·m) and |Fu| = m − |Fp|, each clamped to leave at
+// least one file on each side when m >= 2.
+func PopularSplit(theta float64, m int) (popular, unpopular int, err error) {
+	if m <= 0 {
+		return 0, 0, errors.New("workload: file count must be positive")
+	}
+	if theta < 0 || theta > 1 || math.IsNaN(theta) {
+		return 0, 0, fmt.Errorf("workload: theta %v outside [0,1]", theta)
+	}
+	popular = int(math.Round((1 - theta) * float64(m)))
+	if m >= 2 {
+		if popular < 1 {
+			popular = 1
+		}
+		if popular > m-1 {
+			popular = m - 1
+		}
+	} else if popular > m {
+		popular = m
+	}
+	return popular, m - popular, nil
+}
+
+// DeltaRatio is Equation 4's δ = (1−θ)/θ, the ratio between popular and
+// unpopular file counts.
+func DeltaRatio(theta float64) (float64, error) {
+	if theta <= 0 || theta > 1 || math.IsNaN(theta) {
+		return 0, fmt.Errorf("workload: theta %v outside (0,1]", theta)
+	}
+	return (1 - theta) / theta, nil
+}
+
+// GammaRatio is Equation 5: the hot/cold disk-count ratio, "decided by the
+// ratio between the total load of popular files and the total load of
+// unpopular files": γ = Σ_{i=1..(1−θ)m, fi∈Fp} hi / Σ_{j=1..θm, fj∈Fu} hj.
+// (In the paper's typography the (1−θ)m and θm terms are the summation
+// limits — the class sizes from Eq. 4 — not multipliers.)
+func GammaRatio(popularLoad, unpopularLoad float64) (float64, error) {
+	if popularLoad < 0 || unpopularLoad < 0 || math.IsNaN(popularLoad) || math.IsNaN(unpopularLoad) {
+		return 0, errors.New("workload: negative or NaN load")
+	}
+	if unpopularLoad == 0 {
+		return math.Inf(1), nil
+	}
+	return popularLoad / unpopularLoad, nil
+}
+
+// HotDiskCount applies the paper's step 3: HD = round(γ·n/(γ+1)), clamped to
+// [1, n−1] so both zones exist (a zone of zero disks cannot hold its file
+// class).
+func HotDiskCount(gamma float64, n int) (int, error) {
+	if n < 2 {
+		return 0, errors.New("workload: need at least 2 disks to form zones")
+	}
+	if gamma < 0 || math.IsNaN(gamma) {
+		return 0, fmt.Errorf("workload: gamma %v must be non-negative", gamma)
+	}
+	var hd int
+	if math.IsInf(gamma, 1) {
+		hd = n - 1
+	} else {
+		hd = int(math.Round(gamma * float64(n) / (gamma + 1)))
+	}
+	if hd < 1 {
+		hd = 1
+	}
+	if hd > n-1 {
+		hd = n - 1
+	}
+	return hd, nil
+}

@@ -1,0 +1,272 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestZipfValidate(t *testing.T) {
+	if (ZipfLaw{Alpha: 0.7, N: 10}).Validate() != nil {
+		t.Fatal("valid law rejected")
+	}
+	if (ZipfLaw{Alpha: 0.7, N: 0}).Validate() == nil {
+		t.Fatal("zero N accepted")
+	}
+	if (ZipfLaw{Alpha: -1, N: 10}).Validate() == nil {
+		t.Fatal("negative alpha accepted")
+	}
+	if (ZipfLaw{Alpha: math.NaN(), N: 10}).Validate() == nil {
+		t.Fatal("NaN alpha accepted")
+	}
+}
+
+func TestZipfProbabilitiesNormalizedAndSorted(t *testing.T) {
+	p, err := ZipfLaw{Alpha: 0.8, N: 100}.Probabilities()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for i, v := range p {
+		sum += v
+		if i > 0 && v > p[i-1] {
+			t.Fatalf("probabilities not non-increasing at %d", i)
+		}
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("probabilities sum to %v", sum)
+	}
+}
+
+func TestZipfAlphaZeroUniform(t *testing.T) {
+	p, err := ZipfLaw{Alpha: 0, N: 5}.Probabilities()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range p {
+		if math.Abs(v-0.2) > 1e-12 {
+			t.Fatalf("uniform probability %v, want 0.2", v)
+		}
+	}
+}
+
+func TestTopShare(t *testing.T) {
+	z := ZipfLaw{Alpha: 1.0, N: 1000}
+	s, err := z.TopShare(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Classic Zipf concentrates well over half the mass in the top 20%.
+	if s < 0.5 || s > 1 {
+		t.Fatalf("TopShare(0.2) = %v for alpha=1", s)
+	}
+	if _, err := z.TopShare(0); err == nil {
+		t.Fatal("zero fraction accepted")
+	}
+	if _, err := z.TopShare(1.5); err == nil {
+		t.Fatal("fraction above 1 accepted")
+	}
+	full, err := z.TopShare(1)
+	if err != nil || math.Abs(full-1) > 1e-12 {
+		t.Fatalf("TopShare(1) = %v, %v", full, err)
+	}
+}
+
+func TestSkewTheta(t *testing.T) {
+	// 80/20 rule: θ = ln0.8/ln0.2 ≈ 0.1386.
+	got, err := SkewTheta(80, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-math.Log(0.8)/math.Log(0.2)) > 1e-12 {
+		t.Fatalf("SkewTheta(80,20) = %v", got)
+	}
+	// No skew: A == B.
+	if th, _ := SkewTheta(50, 50); math.Abs(th-1) > 1e-12 {
+		t.Fatalf("SkewTheta(50,50) = %v, want 1", th)
+	}
+	if th, _ := SkewTheta(100, 100); th != 1 {
+		t.Fatalf("SkewTheta(100,100) = %v, want 1", th)
+	}
+	if _, err := SkewTheta(0, 20); err == nil {
+		t.Fatal("zero access percent accepted")
+	}
+	if _, err := SkewTheta(80, 120); err == nil {
+		t.Fatal("file percent above 100 accepted")
+	}
+	if _, err := SkewTheta(80, 100); err == nil {
+		t.Fatal("inconsistent 100% file share accepted")
+	}
+}
+
+func TestSkewThetaMoreSkewSmallerTheta(t *testing.T) {
+	mild, _ := SkewTheta(60, 20)
+	strong, _ := SkewTheta(95, 20)
+	if strong >= mild {
+		t.Fatalf("stronger skew should give smaller theta: %v >= %v", strong, mild)
+	}
+}
+
+func TestMeasureTheta(t *testing.T) {
+	// Uniform counts -> theta 1 (top 20% holds 20%).
+	uniform := make([]int, 100)
+	for i := range uniform {
+		uniform[i] = 7
+	}
+	th, err := MeasureTheta(uniform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(th-1) > 1e-9 {
+		t.Fatalf("uniform theta = %v, want 1", th)
+	}
+	// Extreme skew: everything in one file.
+	extreme := make([]int, 100)
+	extreme[0] = 1000
+	th, err = MeasureTheta(extreme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th <= 0 || th > 0.1 {
+		t.Fatalf("extreme skew theta = %v, want small positive", th)
+	}
+	// Empty and invalid inputs.
+	if _, err := MeasureTheta(nil); err == nil {
+		t.Fatal("nil counts accepted")
+	}
+	if _, err := MeasureTheta([]int{-1, 5}); err == nil {
+		t.Fatal("negative count accepted")
+	}
+	if th, err := MeasureTheta([]int{0, 0}); err != nil || th != 1 {
+		t.Fatalf("zero-access counts: %v, %v", th, err)
+	}
+}
+
+func TestMeasureThetaDoesNotMutateInput(t *testing.T) {
+	counts := []int{1, 5, 3}
+	if _, err := MeasureTheta(counts); err != nil {
+		t.Fatal(err)
+	}
+	if counts[0] != 1 || counts[1] != 5 || counts[2] != 3 {
+		t.Fatalf("input mutated: %v", counts)
+	}
+}
+
+func TestPopularSplit(t *testing.T) {
+	p, u, err := PopularSplit(0.2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 80 || u != 20 {
+		t.Fatalf("split = (%d,%d), want (80,20)", p, u)
+	}
+	// Clamps keep both classes non-empty.
+	p, u, err = PopularSplit(1, 10)
+	if err != nil || p != 1 || u != 9 {
+		t.Fatalf("theta=1 split = (%d,%d), %v", p, u, err)
+	}
+	p, u, err = PopularSplit(0, 10)
+	if err != nil || p != 9 || u != 1 {
+		t.Fatalf("theta=0 split = (%d,%d), %v", p, u, err)
+	}
+	if _, _, err := PopularSplit(0.5, 0); err == nil {
+		t.Fatal("zero file count accepted")
+	}
+	if _, _, err := PopularSplit(1.5, 10); err == nil {
+		t.Fatal("theta above 1 accepted")
+	}
+}
+
+func TestDeltaRatio(t *testing.T) {
+	d, err := DeltaRatio(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-4) > 1e-12 {
+		t.Fatalf("delta = %v, want 4", d)
+	}
+	if _, err := DeltaRatio(0); err == nil {
+		t.Fatal("theta=0 accepted (division by zero)")
+	}
+}
+
+func TestGammaRatio(t *testing.T) {
+	// Eq. 5: popular load 50, unpopular load 10 -> γ = 5.
+	g, err := GammaRatio(50, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g-5) > 1e-12 {
+		t.Fatalf("gamma = %v, want 5", g)
+	}
+	if g, err := GammaRatio(10, 0); err != nil || !math.IsInf(g, 1) {
+		t.Fatalf("zero unpopular load: %v, %v", g, err)
+	}
+	if _, err := GammaRatio(-1, 1); err == nil {
+		t.Fatal("negative popular load accepted")
+	}
+	if _, err := GammaRatio(1, -1); err == nil {
+		t.Fatal("negative unpopular load accepted")
+	}
+	if _, err := GammaRatio(math.NaN(), 1); err == nil {
+		t.Fatal("NaN load accepted")
+	}
+}
+
+func TestHotDiskCount(t *testing.T) {
+	cases := []struct {
+		gamma float64
+		n     int
+		want  int
+	}{
+		{1, 10, 5},
+		{3, 8, 6},
+		{0.001, 10, 1},      // clamp low
+		{1000, 10, 9},       // clamp high
+		{math.Inf(1), 6, 5}, // infinite gamma
+	}
+	for _, tc := range cases {
+		got, err := HotDiskCount(tc.gamma, tc.n)
+		if err != nil {
+			t.Fatalf("gamma=%v n=%d: %v", tc.gamma, tc.n, err)
+		}
+		if got != tc.want {
+			t.Errorf("HotDiskCount(%v, %d) = %d, want %d", tc.gamma, tc.n, got, tc.want)
+		}
+	}
+	if _, err := HotDiskCount(1, 1); err == nil {
+		t.Fatal("single disk accepted")
+	}
+	if _, err := HotDiskCount(-1, 4); err == nil {
+		t.Fatal("negative gamma accepted")
+	}
+}
+
+// Property: hot disk count always lands in [1, n-1] for any gamma >= 0.
+func TestPropertyHotDiskCountBounds(t *testing.T) {
+	f := func(gRaw float64, nRaw uint8) bool {
+		n := int(nRaw%30) + 2
+		g := math.Abs(gRaw)
+		if math.IsNaN(g) {
+			return true
+		}
+		hd, err := HotDiskCount(g, n)
+		return err == nil && hd >= 1 && hd <= n-1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: PopularSplit partitions m exactly.
+func TestPropertyPopularSplitPartition(t *testing.T) {
+	f := func(thRaw float64, mRaw uint16) bool {
+		m := int(mRaw%5000) + 1
+		th := math.Mod(math.Abs(thRaw), 1)
+		p, u, err := PopularSplit(th, m)
+		return err == nil && p+u == m && p >= 0 && u >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,198 @@
+// Package worth operationalizes the paper's title question — "is it
+// worthwhile?" — as a cost model. The paper argues (§3.5) that "the value
+// of lost data plus the price of failed disks substantially outweigh the
+// energy-saving gained" when a scheme runs disks hot on transitions; this
+// package turns a simulation result into dollars per year on both sides of
+// that inequality and also estimates failure-event probabilities by Monte
+// Carlo over the per-disk AFRs.
+package worth
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/array"
+)
+
+// CostModel prices the trade-off.
+type CostModel struct {
+	// EnergyPerKWh is the electricity price in $/kWh.
+	EnergyPerKWh float64
+	// DiskReplacement is the cost of one failed drive in $ (hardware +
+	// service).
+	DiskReplacement float64
+	// DataLossPerFailure is the expected cost of data loss and recovery
+	// per drive failure in $ (restore time, degraded service, and the
+	// value of any unrecoverable data). For redundant arrays this is the
+	// expected cost conditioned on the redundancy actually absorbing most
+	// failures.
+	DataLossPerFailure float64
+}
+
+// DefaultCostModel returns an intentionally conservative 2008-flavoured
+// price book: $0.10/kWh, $300 per replacement drive, $1,000 expected
+// data-loss cost per failure.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		EnergyPerKWh:       0.10,
+		DiskReplacement:    300,
+		DataLossPerFailure: 1000,
+	}
+}
+
+// Validate reports the first invalid price.
+func (m CostModel) Validate() error {
+	if m.EnergyPerKWh < 0 || m.DiskReplacement < 0 || m.DataLossPerFailure < 0 {
+		return errors.New("worth: negative prices")
+	}
+	if m.EnergyPerKWh == 0 {
+		return errors.New("worth: zero energy price makes every scheme worthless")
+	}
+	return nil
+}
+
+// Assessment is the yearly cost account of one policy run, relative to a
+// baseline run on the same workload and array.
+type Assessment struct {
+	// EnergyKWhPerYear is the run's energy use extrapolated to a year.
+	EnergyKWhPerYear float64
+	// EnergyCostPerYear prices it.
+	EnergyCostPerYear float64
+	// ExpectedFailuresPerYear sums the per-disk AFRs.
+	ExpectedFailuresPerYear float64
+	// FailureCostPerYear prices replacements plus data loss.
+	FailureCostPerYear float64
+	// TotalPerYear is energy plus failure cost.
+	TotalPerYear float64
+}
+
+// Assess converts one simulation result into a yearly cost account.
+func Assess(m CostModel, res *array.Result) (Assessment, error) {
+	if err := m.Validate(); err != nil {
+		return Assessment{}, err
+	}
+	if res == nil || res.Duration <= 0 {
+		return Assessment{}, errors.New("worth: empty result")
+	}
+	const yearSeconds = 365 * 86400.0
+	scale := yearSeconds / res.Duration
+	kwh := res.EnergyJ * scale / 3.6e6
+	var failures float64
+	for _, d := range res.PerDisk {
+		failures += d.AFR / 100
+	}
+	a := Assessment{
+		EnergyKWhPerYear:        kwh,
+		EnergyCostPerYear:       kwh * m.EnergyPerKWh,
+		ExpectedFailuresPerYear: failures,
+	}
+	a.FailureCostPerYear = failures * (m.DiskReplacement + m.DataLossPerFailure)
+	a.TotalPerYear = a.EnergyCostPerYear + a.FailureCostPerYear
+	return a, nil
+}
+
+// Verdict compares a scheme against a baseline (typically always-on) and
+// answers the title question.
+type Verdict struct {
+	Scheme, Baseline Assessment
+	// EnergySavingPerYear is the $ saved on electricity (positive =
+	// scheme cheaper).
+	EnergySavingPerYear float64
+	// ReliabilityPenaltyPerYear is the extra $ of expected failures
+	// (positive = scheme riskier).
+	ReliabilityPenaltyPerYear float64
+	// NetPerYear is saving minus penalty; positive means worthwhile.
+	NetPerYear float64
+	// Worthwhile is NetPerYear > 0.
+	Worthwhile bool
+}
+
+// Compare runs the title-question arithmetic.
+func Compare(m CostModel, scheme, baseline *array.Result) (Verdict, error) {
+	s, err := Assess(m, scheme)
+	if err != nil {
+		return Verdict{}, fmt.Errorf("worth: scheme: %w", err)
+	}
+	b, err := Assess(m, baseline)
+	if err != nil {
+		return Verdict{}, fmt.Errorf("worth: baseline: %w", err)
+	}
+	v := Verdict{
+		Scheme:                    s,
+		Baseline:                  b,
+		EnergySavingPerYear:       b.EnergyCostPerYear - s.EnergyCostPerYear,
+		ReliabilityPenaltyPerYear: s.FailureCostPerYear - b.FailureCostPerYear,
+	}
+	v.NetPerYear = v.EnergySavingPerYear - v.ReliabilityPenaltyPerYear
+	v.Worthwhile = v.NetPerYear > 0
+	return v, nil
+}
+
+// FailureSim is a Monte-Carlo estimate of failure-event probabilities over
+// a horizon, treating each disk's failures as a Poisson process at its AFR.
+type FailureSim struct {
+	// PAtLeastOne is the probability of >=1 disk failure over the horizon.
+	PAtLeastOne float64
+	// PAtLeastTwo is the probability of >=2 failures (data-loss exposure
+	// for singly-redundant arrays if they overlap; an upper bound here).
+	PAtLeastTwo float64
+	// MeanFailures is the expected failure count over the horizon.
+	MeanFailures float64
+}
+
+// SimulateFailures runs trials of `years` each over the per-disk AFRs.
+func SimulateFailures(res *array.Result, years float64, trials int, seed int64) (FailureSim, error) {
+	if res == nil || len(res.PerDisk) == 0 {
+		return FailureSim{}, errors.New("worth: empty result")
+	}
+	if years <= 0 || trials <= 0 {
+		return FailureSim{}, errors.New("worth: years and trials must be positive")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var one, two, total int
+	for t := 0; t < trials; t++ {
+		failures := 0
+		for _, d := range res.PerDisk {
+			lambda := d.AFR / 100 * years
+			failures += poisson(rng, lambda)
+		}
+		total += failures
+		if failures >= 1 {
+			one++
+		}
+		if failures >= 2 {
+			two++
+		}
+	}
+	return FailureSim{
+		PAtLeastOne:  float64(one) / float64(trials),
+		PAtLeastTwo:  float64(two) / float64(trials),
+		MeanFailures: float64(total) / float64(trials),
+	}, nil
+}
+
+// poisson draws from a Poisson distribution by Knuth's method for small
+// lambda and a normal approximation beyond.
+func poisson(rng *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda > 30 {
+		v := lambda + math.Sqrt(lambda)*rng.NormFloat64()
+		if v < 0 {
+			return 0
+		}
+		return int(v + 0.5)
+	}
+	l := math.Exp(-lambda)
+	k, p := 0, 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}

@@ -1,0 +1,182 @@
+package worth
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/array"
+)
+
+// fakeResult builds an array.Result with the given duration, energy, and
+// per-disk AFRs.
+func fakeResult(duration, energyJ float64, afrs ...float64) *array.Result {
+	res := &array.Result{Duration: duration, EnergyJ: energyJ}
+	for i, a := range afrs {
+		res.PerDisk = append(res.PerDisk, array.DiskResult{ID: i, AFR: a})
+	}
+	return res
+}
+
+func TestDefaultCostModelValid(t *testing.T) {
+	if err := DefaultCostModel().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCostModelValidation(t *testing.T) {
+	m := DefaultCostModel()
+	m.EnergyPerKWh = 0
+	if m.Validate() == nil {
+		t.Fatal("zero energy price accepted")
+	}
+	m = DefaultCostModel()
+	m.DiskReplacement = -1
+	if m.Validate() == nil {
+		t.Fatal("negative price accepted")
+	}
+}
+
+func TestAssessArithmetic(t *testing.T) {
+	m := CostModel{EnergyPerKWh: 0.10, DiskReplacement: 300, DataLossPerFailure: 700}
+	// One day at 1 kW = 24 kWh -> 8760 kWh/year.
+	res := fakeResult(86400, 1000.0*86400, 10, 5) // AFRs 10% and 5%
+	a, err := Assess(m, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.EnergyKWhPerYear-8760) > 1 {
+		t.Fatalf("kWh/year = %v, want 8760", a.EnergyKWhPerYear)
+	}
+	if math.Abs(a.EnergyCostPerYear-876) > 0.2 {
+		t.Fatalf("energy $/year = %v", a.EnergyCostPerYear)
+	}
+	if math.Abs(a.ExpectedFailuresPerYear-0.15) > 1e-12 {
+		t.Fatalf("failures/year = %v", a.ExpectedFailuresPerYear)
+	}
+	if math.Abs(a.FailureCostPerYear-0.15*1000) > 1e-9 {
+		t.Fatalf("failure $/year = %v", a.FailureCostPerYear)
+	}
+	if math.Abs(a.TotalPerYear-(876+150)) > 0.3 {
+		t.Fatalf("total = %v", a.TotalPerYear)
+	}
+}
+
+func TestAssessRejectsEmpty(t *testing.T) {
+	if _, err := Assess(DefaultCostModel(), nil); err == nil {
+		t.Fatal("nil result accepted")
+	}
+	if _, err := Assess(DefaultCostModel(), fakeResult(0, 1, 5)); err == nil {
+		t.Fatal("zero duration accepted")
+	}
+}
+
+func TestCompareVerdict(t *testing.T) {
+	m := CostModel{EnergyPerKWh: 0.10, DiskReplacement: 300, DataLossPerFailure: 700}
+	baseline := fakeResult(86400, 1000.0*86400, 10, 10) // 8760 kWh, 0.2 fail
+	// Scheme A: halves energy, same reliability -> worthwhile.
+	schemeA := fakeResult(86400, 500.0*86400, 10, 10)
+	v, err := Compare(m, schemeA, baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Worthwhile || v.NetPerYear <= 0 {
+		t.Fatalf("pure energy saving not worthwhile: %+v", v)
+	}
+	if math.Abs(v.EnergySavingPerYear-438) > 0.2 {
+		t.Fatalf("saving = %v", v.EnergySavingPerYear)
+	}
+	// Scheme B: saves $438 of energy but adds one expected failure/year
+	// ($1000) -> not worthwhile. This is the paper's §3.5 inequality.
+	schemeB := fakeResult(86400, 500.0*86400, 60, 60)
+	v, err = Compare(m, schemeB, baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Worthwhile {
+		t.Fatalf("reliability-destroying scheme judged worthwhile: %+v", v)
+	}
+	if v.ReliabilityPenaltyPerYear <= 0 {
+		t.Fatalf("penalty = %v", v.ReliabilityPenaltyPerYear)
+	}
+}
+
+func TestSimulateFailuresMatchesExpectation(t *testing.T) {
+	res := fakeResult(86400, 1, 5, 5, 5, 5) // 4 disks at 5% AFR
+	sim, err := SimulateFailures(res, 1, 200000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Poisson with lambda = 0.2: mean 0.2, P(>=1) = 1-e^-0.2 = 0.1813.
+	if math.Abs(sim.MeanFailures-0.2) > 0.01 {
+		t.Fatalf("mean failures = %v, want 0.2", sim.MeanFailures)
+	}
+	want1 := 1 - math.Exp(-0.2)
+	if math.Abs(sim.PAtLeastOne-want1) > 0.01 {
+		t.Fatalf("P(>=1) = %v, want %v", sim.PAtLeastOne, want1)
+	}
+	want2 := 1 - math.Exp(-0.2) - 0.2*math.Exp(-0.2)
+	if math.Abs(sim.PAtLeastTwo-want2) > 0.01 {
+		t.Fatalf("P(>=2) = %v, want %v", sim.PAtLeastTwo, want2)
+	}
+}
+
+func TestSimulateFailuresValidation(t *testing.T) {
+	res := fakeResult(1, 1, 5)
+	if _, err := SimulateFailures(nil, 1, 10, 1); err == nil {
+		t.Fatal("nil result accepted")
+	}
+	if _, err := SimulateFailures(res, 0, 10, 1); err == nil {
+		t.Fatal("zero years accepted")
+	}
+	if _, err := SimulateFailures(res, 1, 0, 1); err == nil {
+		t.Fatal("zero trials accepted")
+	}
+}
+
+func TestPoissonMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, lambda := range []float64{0.3, 4, 50} {
+		var sum, sumSq float64
+		const n = 100000
+		for i := 0; i < n; i++ {
+			v := float64(poisson(rng, lambda))
+			sum += v
+			sumSq += v * v
+		}
+		mean := sum / n
+		variance := sumSq/n - mean*mean
+		if math.Abs(mean-lambda)/lambda > 0.03 {
+			t.Errorf("lambda=%v: mean %v", lambda, mean)
+		}
+		if math.Abs(variance-lambda)/lambda > 0.06 {
+			t.Errorf("lambda=%v: variance %v", lambda, variance)
+		}
+	}
+	if poisson(rng, 0) != 0 || poisson(rng, -1) != 0 {
+		t.Fatal("non-positive lambda must give 0")
+	}
+}
+
+// Property: the verdict's net is exactly saving minus penalty, and
+// symmetric comparisons are zero.
+func TestPropertyVerdictArithmetic(t *testing.T) {
+	m := DefaultCostModel()
+	f := func(e1, e2 uint32, a1, a2 uint8) bool {
+		r1 := fakeResult(86400, float64(e1%1000000)+1, float64(a1%50))
+		r2 := fakeResult(86400, float64(e2%1000000)+1, float64(a2%50))
+		v, err := Compare(m, r1, r2)
+		if err != nil {
+			return false
+		}
+		if math.Abs(v.NetPerYear-(v.EnergySavingPerYear-v.ReliabilityPenaltyPerYear)) > 1e-9 {
+			return false
+		}
+		self, err := Compare(m, r1, r1)
+		return err == nil && math.Abs(self.NetPerYear) < 1e-9 && !self.Worthwhile
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
