@@ -4,6 +4,7 @@
 //	arraysim -policy read -disks 12
 //	arraysim -policy maid -disks 8 -requests 100000 -intensity 6
 //	arraysim -policy pdc -trace day.trace
+//	arraysim -policy read -faults -spares 1 -fault-accel 5e5
 package main
 
 import (
@@ -14,6 +15,7 @@ import (
 
 	diskarray "repro"
 	"repro/internal/experiment"
+	"repro/internal/faults"
 )
 
 func main() {
@@ -29,8 +31,48 @@ func main() {
 		epochs     = flag.Int("epochs", 24, "policy epochs across the trace")
 		verbose    = flag.Bool("v", true, "print the per-disk table")
 		timeline   = flag.Bool("timeline", false, "print a power/speed/queue timeline")
+
+		withFaults   = flag.Bool("faults", false, "inject Weibull disk failures (hazard scaled by live PRESS AFR)")
+		faultSeed    = flag.Int64("fault-seed", 1, "failure-injection seed")
+		faultAccel   = flag.Float64("fault-accel", 5e5, "reliability-timescale acceleration (1 = real time)")
+		pressScaling = flag.Bool("press-scaling", true, "scale the failure hazard by each disk's live PRESS AFR")
+		spares       = flag.Int("spares", 0, "hot-spare pool size (a failure with no spare left loses data)")
+		rebuildMBps  = flag.Float64("rebuild-mbps", 0, "rebuild pacing in MB/s (0 = default 50)")
 	)
 	flag.Parse()
+
+	// Validate the flag set up front: a contradictory or impossible
+	// combination should die with a usage message here, not as a cryptic
+	// error from deep inside the simulation.
+	usageErr := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "arraysim: %s\n\n", fmt.Sprintf(format, args...))
+		flag.Usage()
+		os.Exit(2)
+	}
+	explicit := make(map[string]bool)
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	switch {
+	case flag.NArg() > 0:
+		usageErr("unexpected positional arguments %q", flag.Args())
+	case *tracePath != "" && (explicit["requests"] || explicit["intensity"] || explicit["seed"]):
+		usageErr("-trace replays a file; -requests/-intensity/-seed only apply to generated traces")
+	case *disks < 2:
+		usageErr("-disks %d: an array needs at least 2 disks", *disks)
+	case *epochs <= 0:
+		usageErr("-epochs %d must be positive", *epochs)
+	case *tracePath == "" && *requests <= 0:
+		usageErr("-requests %d must be positive", *requests)
+	case *tracePath == "" && *intensity <= 0:
+		usageErr("-intensity %g must be positive", *intensity)
+	case *spares < 0:
+		usageErr("-spares %d cannot be negative", *spares)
+	case *rebuildMBps < 0:
+		usageErr("-rebuild-mbps %g cannot be negative", *rebuildMBps)
+	case *faultAccel <= 0:
+		usageErr("-fault-accel %g must be positive", *faultAccel)
+	case !*withFaults && (explicit["fault-seed"] || explicit["fault-accel"] || explicit["press-scaling"] || explicit["spares"] || explicit["rebuild-mbps"]):
+		usageErr("fault flags require -faults")
+	}
 
 	var trace *diskarray.Trace
 	if *tracePath != "" {
@@ -75,6 +117,15 @@ func main() {
 		Policy:       pol,
 		EpochSeconds: stats.Duration / float64(*epochs),
 	}
+	if *withFaults {
+		fc := faults.Default()
+		fc.Seed = *faultSeed
+		fc.Acceleration = *faultAccel
+		fc.PRESSScaling = *pressScaling
+		simCfg.Faults = &fc
+		simCfg.Spares = *spares
+		simCfg.RebuildMBps = *rebuildMBps
+	}
 	if *timeline {
 		simCfg.SampleInterval = stats.Duration / 48
 	}
@@ -91,6 +142,24 @@ func main() {
 	fmt.Printf("array AFR:      %.3f%% (worst disk %d)\n", res.ArrayAFR, res.WorstDisk)
 	fmt.Printf("migrations:     %d   background ops: %d   epochs: %d\n",
 		res.Migrations, res.BackgroundOps, res.Epochs)
+
+	if *withFaults {
+		fmt.Printf("\nfailures:       %d (%d on spares, %d data-loss)   repairs: %d\n",
+			res.DiskFailures, res.SparesUsed, res.DataLossEvents, res.DiskRepairs)
+		fmt.Printf("requests:       %d lost, %d degraded   files re-homed: %d\n",
+			res.LostRequests, res.DegradedRequests, res.ReassignedFiles)
+		fmt.Printf("rebuild:        %.0f MB, %.1f kJ\n", res.RebuildMB, res.RebuildEnergyJ/1e3)
+		if res.MTTDLHours > 0 {
+			fmt.Printf("MTTDL:          %.2f h (first data loss, virtual time)\n", res.MTTDLHours)
+		}
+		for _, ev := range res.FailureLog {
+			tag := "spare"
+			if ev.DataLoss {
+				tag = "DATA LOSS"
+			}
+			fmt.Printf("  t=%9.1f s  disk %2d failed (%s)\n", ev.Time, ev.Disk, tag)
+		}
+	}
 
 	if *timeline {
 		fmt.Println()

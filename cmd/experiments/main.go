@@ -25,7 +25,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate: 2b | 3b | 4a | 4b | 5 | derive | 7 | 7a | 7b | 7c | ablations | calibration | all")
+		fig     = flag.String("fig", "all", "figure to regenerate: 2b | 3b | 4a | 4b | 5 | derive | 7 | 7a | 7b | 7c | faults | ablations | calibration | all")
 		scale   = flag.Float64("scale", 0.05, "trace scale for Figure 7 sweeps (1 = full day)")
 		full    = flag.Bool("full", false, "shorthand for -scale 1 (the full 1.48M-request day)")
 		heavy   = flag.Bool("heavy", false, "run Figure 7 under the heavy workload condition")
@@ -197,6 +197,30 @@ func main() {
 		}
 	}
 
+	if want("faults") {
+		cfg := experiment.DefaultFaultSweepConfig()
+		cfg.Scale = *scale
+		if *heavy {
+			cfg.Intensity = experiment.HeavyIntensity
+		}
+		start := time.Now()
+		res, err := experiment.RunSweep(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("Fault sweep — energy vs observed data loss (scale %.3g, accel %.0g, %d spare(s), %s)\n\n",
+			*scale, experiment.FaultSweepAcceleration, cfg.Spares, time.Since(start).Round(time.Millisecond))
+		experiment.RenderFaultSummary(os.Stdout, res,
+			"Observed reliability — Weibull failures under live PRESS hazard scaling")
+		fmt.Println()
+		if csvW != nil {
+			fmt.Fprintf(csvW, "# fault sweep\n")
+			if err := experiment.WriteSweepCSV(csvW, res); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
 	if want("calibration") {
 		pts, err := experiment.IntensityScan(experiment.AblationConfig{Scale: *scale}, nil, nil)
 		if err != nil {
@@ -234,8 +258,9 @@ func main() {
 	}
 
 	if !want("2b") && !want("3b") && !want("4a") && !want("4b") && !want("5") &&
-		!want("derive") && !want("ablations") && !want("calibration") && !want("7", "7a", "7b", "7c") {
+		!want("derive") && !want("ablations") && !want("calibration") && !want("faults") &&
+		!want("7", "7a", "7b", "7c") {
 		log.Fatalf("unknown figure %q; valid: %s", *fig,
-			strings.Join([]string{"2b", "3b", "4a", "4b", "5", "derive", "7", "7a", "7b", "7c", "ablations", "calibration", "all"}, " | "))
+			strings.Join([]string{"2b", "3b", "4a", "4b", "5", "derive", "7", "7a", "7b", "7c", "faults", "ablations", "calibration", "all"}, " | "))
 	}
 }

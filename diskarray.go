@@ -35,6 +35,7 @@ import (
 	"repro/internal/array"
 	"repro/internal/diskmodel"
 	"repro/internal/experiment"
+	"repro/internal/faults"
 	"repro/internal/policy"
 	"repro/internal/reliability"
 	"repro/internal/thermal"
@@ -163,8 +164,29 @@ func ParseCommonLog(r io.Reader) (*Trace, int, error) { return workload.ParseCom
 // WriteTrace serializes a trace in the line-oriented text format.
 func WriteTrace(w io.Writer, t *Trace) error { return workload.WriteTrace(w, t) }
 
+// FaultConfig parameterizes failure injection (SimConfig.Faults): seeded
+// Weibull failure times whose hazard is continuously rescaled by each
+// disk's live PRESS AFR, turning the predicted failure rates into observed
+// failure events.
+type FaultConfig = faults.Config
+
+// ScriptedFailure is a deterministic failure event for tests and demos.
+type ScriptedFailure = faults.ScriptedEvent
+
+// DefaultFaultConfig returns an enabled fault-injection configuration with
+// PRESS hazard scaling on and a real-time (unaccelerated) timescale.
+func DefaultFaultConfig() FaultConfig { return faults.Default() }
+
+// FailureEvent is one observed disk failure in SimResult.FailureLog.
+type FailureEvent = array.FailureEvent
+
 // Policy is an energy-saving strategy for the simulated array.
 type Policy = array.Policy
+
+// FailureAwarePolicy is the optional interface a Policy implements to react
+// to disk failures and repairs (READ re-zones, MAID/PDC repower
+// replacements).
+type FailureAwarePolicy = array.FailureAwarePolicy
 
 // PolicyContext is the window a Policy gets into the running simulation.
 type PolicyContext = array.Context
@@ -303,11 +325,16 @@ const (
 // Metric selects which scalar a figure plots.
 type Metric = experiment.Metric
 
-// The metrics of Figures 7a/7b/7c.
+// The metrics of Figures 7a/7b/7c, plus the observed-reliability metrics a
+// fault-injecting sweep adds.
 const (
-	MetricAFR      = experiment.MetricAFR
-	MetricEnergy   = experiment.MetricEnergy
-	MetricResponse = experiment.MetricResponse
+	MetricAFR          = experiment.MetricAFR
+	MetricEnergy       = experiment.MetricEnergy
+	MetricResponse     = experiment.MetricResponse
+	MetricFailures     = experiment.MetricFailures
+	MetricDataLoss     = experiment.MetricDataLoss
+	MetricLostRequests = experiment.MetricLostRequests
+	MetricDegraded     = experiment.MetricDegraded
 )
 
 // The paper's two workload conditions, as arrival-intensity multipliers.
@@ -319,6 +346,11 @@ const (
 // DefaultSweepConfig returns the light-workload Figure 7 sweep at an
 // interactive trace scale.
 func DefaultSweepConfig() SweepConfig { return experiment.DefaultSweepConfig() }
+
+// DefaultFaultSweepConfig returns the light-workload policy comparison with
+// accelerated fault injection enabled: the policies are compared on energy
+// consumed and data loss observed.
+func DefaultFaultSweepConfig() SweepConfig { return experiment.DefaultFaultSweepConfig() }
 
 // RunSweep executes a policy comparison sweep (Figures 7a/7b/7c).
 func RunSweep(cfg SweepConfig) (*SweepResult, error) { return experiment.RunSweep(cfg) }

@@ -152,6 +152,9 @@ func (c *Context) Migrate(fileID, to int) bool {
 	if !ok || from == to || s.migrating[fileID] {
 		return false
 	}
+	if s.disks[from].failed || s.disks[to].failed {
+		return false
+	}
 	s.migrating[fileID] = true
 	s.migrations++
 	start := func() {
@@ -159,11 +162,13 @@ func (c *Context) Migrate(fileID, to int) bool {
 			kind:   opBackground,
 			fileID: fileID,
 			sizeMB: f.SizeMB,
+			mig:    true,
 			onDone: func(float64) {
 				s.enqueue(to, op{
 					kind:   opBackground,
 					fileID: fileID,
 					sizeMB: f.SizeMB,
+					mig:    true,
 					onDone: func(float64) {
 						s.place[fileID] = to
 						delete(s.migrating, fileID)
@@ -194,6 +199,9 @@ func (c *Context) Migrating(fileID int) bool { return c.s.migrating[fileID] }
 func (c *Context) EnqueueWrite(d int, sizeMB float64, onDone func()) error {
 	if d < 0 || d >= len(c.s.disks) {
 		return fmt.Errorf("array: background write to invalid disk %d", d)
+	}
+	if c.s.disks[d].failed {
+		return fmt.Errorf("array: background write to failed disk %d", d)
 	}
 	if sizeMB < 0 {
 		return fmt.Errorf("array: negative write size %v", sizeMB)

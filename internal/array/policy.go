@@ -45,6 +45,25 @@ type Policy interface {
 	OnIdleTimeout(ctx *Context, disk int)
 }
 
+// FailureAwarePolicy optionally extends Policy with disk fail/repair hooks.
+// When fault injection is enabled (Config.Faults) the array calls
+// OnDiskFailure the instant a disk dies — before the dead disk's queue is
+// drained, so placements moved with Context.ReassignFile catch the queued
+// requests — and OnDiskRepair when its replacement comes up (before the
+// rebuild traffic starts). Policies that do not implement the interface
+// still run under failures; they simply never react, which is itself one of
+// the conditions the paper's reliability argument wants measured.
+type FailureAwarePolicy interface {
+	Policy
+
+	// OnDiskFailure is called exactly once per failure of `disk`.
+	// Context.ReassignFile is valid only inside this hook.
+	OnDiskFailure(ctx *Context, disk int)
+
+	// OnDiskRepair is called when a replacement for `disk` enters service.
+	OnDiskRepair(ctx *Context, disk int)
+}
+
 // StripePolicy optionally extends Policy with striped placement (the
 // paper's §6 future work: large files — video clips, audio segments —
 // benefit from striping while small web objects do not). When a policy

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/des"
 	"repro/internal/diskmodel"
+	"repro/internal/faults"
 	"repro/internal/reliability"
 	"repro/internal/stats"
 	"repro/internal/thermal"
@@ -38,6 +39,20 @@ type Config struct {
 	// SampleInterval, when positive, records a timeline Sample of array
 	// power, speeds, and queues every that many seconds of virtual time.
 	SampleInterval float64
+	// Faults configures failure injection. Nil (or a config with Enabled
+	// false) disables the subsystem entirely, leaving results identical
+	// to a run without it.
+	Faults *faults.Config
+	// Spares is the hot-spare pool: each failure consumes one spare (the
+	// replacement absorbs queued work across the outage); a failure that
+	// finds the pool empty is a data-loss event and its requests are lost.
+	Spares int
+	// RebuildMBps paces the post-repair rebuild traffic. Zero means 50.
+	RebuildMBps float64
+	// StallLimit is the event-loop watchdog: the run fails with a
+	// diagnostic if this many consecutive events fire without the virtual
+	// clock advancing. Zero means 1,000,000.
+	StallLimit uint64
 }
 
 func (c *Config) setDefaults() {
@@ -52,6 +67,12 @@ func (c *Config) setDefaults() {
 	}
 	if c.MaxQueue == 0 {
 		c.MaxQueue = 1_000_000
+	}
+	if c.RebuildMBps == 0 {
+		c.RebuildMBps = 50
+	}
+	if c.StallLimit == 0 {
+		c.StallLimit = 1_000_000
 	}
 }
 
@@ -70,6 +91,15 @@ func (c *Config) Validate() error {
 		return errors.New("array: negative max queue")
 	case c.SampleInterval < 0:
 		return errors.New("array: negative sample interval")
+	case c.Spares < 0:
+		return errors.New("array: negative spare count")
+	case c.RebuildMBps < 0:
+		return errors.New("array: negative rebuild rate")
+	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(); err != nil {
+			return err
+		}
 	}
 	if err := c.DiskParams.Validate(); err != nil {
 		return err
@@ -130,6 +160,38 @@ type Result struct {
 
 	// Timeline holds periodic samples when Config.SampleInterval > 0.
 	Timeline []Sample
+
+	// Fault-injection outcomes. All zero when Config.Faults is nil or
+	// disabled.
+
+	// DiskFailures counts injected disk failures.
+	DiskFailures int
+	// DiskRepairs counts replacements that came back up within the run.
+	DiskRepairs int
+	// SparesUsed counts failures absorbed by the hot-spare pool.
+	SparesUsed int
+	// DataLossEvents counts failures that found the spare pool empty.
+	DataLossEvents int
+	// MTTDLHours is the virtual time of the first data-loss event in
+	// hours — the run's observed mean-time-to-data-loss sample. Zero
+	// when no data loss occurred.
+	MTTDLHours float64
+	// LostRequests counts user requests dropped because their data was
+	// on a failed disk with no spare and no re-assigned placement.
+	LostRequests int
+	// DegradedRequests counts user requests that were re-routed around a
+	// failure, waited out an outage for a replacement drive, or arrived
+	// at a disk that was rebuilding.
+	DegradedRequests int
+	// ReassignedFiles counts placements moved by policy failover
+	// (Context.ReassignFile).
+	ReassignedFiles int
+	// RebuildMB is the data volume rewritten by rebuilds.
+	RebuildMB float64
+	// RebuildEnergyJ estimates the energy spent serving rebuild traffic.
+	RebuildEnergyJ float64
+	// FailureLog lists every observed failure in time order.
+	FailureLog []FailureEvent
 }
 
 type opKind int
@@ -141,12 +203,14 @@ const (
 )
 
 type op struct {
-	kind    opKind
-	fileID  int
-	sizeMB  float64
-	arrival float64 // user request arrival time
-	onDone  func(now float64)
-	stripe  *stripeJob // for opChunk: the parent request
+	kind     opKind
+	fileID   int
+	sizeMB   float64
+	arrival  float64 // user request arrival time
+	onDone   func(now float64)
+	stripe   *stripeJob // for opChunk: the parent request
+	mig      bool       // background leg of a Context.Migrate transfer
+	rerouted bool       // already re-routed around a failure once
 }
 
 // stripeJob tracks one striped user request across its chunks.
@@ -154,6 +218,7 @@ type stripeJob struct {
 	fileID    int
 	arrival   float64
 	remaining int
+	lost      bool // a chunk was lost to a failure: the request is lost
 }
 
 // fifo is a slice-backed queue with amortized compaction.
@@ -191,6 +256,12 @@ type diskState struct {
 	pending     *diskmodel.Speed // requested transition target
 	idleTimeout float64          // 0 = disabled
 	idleArmed   bool
+
+	// Fault lifecycle (only ever set when fault injection is enabled).
+	failed        bool   // disk is down; rejects all I/O
+	spareAssigned bool   // a spare absorbs this outage: queued work waits
+	rebuilding    bool   // replacement is up and streaming rebuild traffic
+	gen           uint64 // bumped on each failure; voids in-flight service
 }
 
 func (ds *diskState) queueLen() int { return ds.fg.len() + ds.bg.len() }
@@ -229,6 +300,8 @@ type sim struct {
 	migrating     map[int]bool // fileID -> migration in flight
 	migsThisEpoch int          // for staggering migration starts
 	timeline      []Sample
+
+	flt *faultState // nil unless fault injection is enabled
 
 	failure error // sticky abort (queue explosion etc.)
 }
@@ -301,10 +374,17 @@ func Run(cfg Config) (*Result, error) {
 		s.eng.MustSchedule(cfg.EpochSeconds, s.onEpoch)
 	}
 	s.installSampler()
+	if err := s.installFaults(); err != nil {
+		return nil, err
+	}
 
-	s.eng.Run()
+	watchdogErr := s.eng.RunGuarded(cfg.StallLimit)
 	if s.failure != nil {
 		return nil, s.failure
+	}
+	if watchdogErr != nil {
+		return nil, fmt.Errorf("array: %w (policy %q, %d disks, %d/%d requests delivered)",
+			watchdogErr, cfg.Policy.Name(), len(s.disks), s.nextReq, len(cfg.Trace.Requests))
 	}
 	return s.collect()
 }
@@ -378,18 +458,37 @@ func (s *sim) fail(err error) {
 
 func (s *sim) enqueue(disk int, o op) {
 	ds := s.disks[disk]
+	if ds.failed {
+		s.routeAroundFailure(disk, o)
+		return
+	}
+	if ds.rebuilding && o.kind != opBackground && !o.rerouted {
+		s.flt.degraded++
+	}
 	ds.push(o)
-	if ds.queueLen() > s.cfg.MaxQueue {
-		s.fail(fmt.Errorf("array: disk %d queue exceeded %d (overload); policy %q cannot sustain this workload",
-			disk, s.cfg.MaxQueue, s.cfg.Policy.Name()))
+	if !s.checkQueue(disk) {
 		return
 	}
 	s.kick(disk)
 }
 
+// checkQueue enforces the overload guard; it reports false when the run
+// was aborted.
+func (s *sim) checkQueue(disk int) bool {
+	if s.disks[disk].queueLen() > s.cfg.MaxQueue {
+		s.fail(fmt.Errorf("array: disk %d queue exceeded %d (overload); policy %q cannot sustain this workload",
+			disk, s.cfg.MaxQueue, s.cfg.Policy.Name()))
+		return false
+	}
+	return true
+}
+
 // kick lets disk d start its next action if it is free.
 func (s *sim) kick(d int) {
 	ds := s.disks[d]
+	if ds.failed {
+		return
+	}
 	if ds.disk.State() != diskmodel.Idle {
 		return
 	}
@@ -421,9 +520,20 @@ func (s *sim) kick(d int) {
 		} else {
 			dur = ds.disk.BeginService(now, o.sizeMB)
 		}
+		gen := ds.gen
 		s.eng.MustSchedule(dur, func(*des.Engine) {
 			end := s.eng.Now()
 			ds.disk.EndService(end)
+			if ds.failed || ds.gen != gen {
+				// The disk died mid-service (and was possibly even
+				// replaced already): the op's work is void and the op is
+				// re-routed or lost.
+				s.routeAroundFailure(d, o)
+				if !ds.failed {
+					s.kick(d)
+				}
+				return
+			}
 			s.complete(d, o, end)
 			s.kick(d)
 		})
@@ -443,6 +553,14 @@ func (s *sim) complete(d int, o op, now float64) {
 		s.cfg.Policy.OnRequestComplete(ctx, o.fileID, d)
 	case opChunk:
 		o.stripe.remaining--
+		if o.stripe.lost {
+			// A sibling chunk was lost to a failure; when the last
+			// outstanding chunk resolves, the whole request counts lost.
+			if o.stripe.remaining == 0 {
+				s.flt.lostRequests++
+			}
+			break
+		}
 		if o.stripe.remaining == 0 {
 			// The striped request completes with its slowest chunk.
 			resp := now - o.stripe.arrival
@@ -472,7 +590,7 @@ func (s *sim) workRemains() bool {
 
 func (s *sim) armIdleTimer(d int) {
 	ds := s.disks[d]
-	if ds.idleTimeout <= 0 || ds.idleArmed {
+	if ds.idleTimeout <= 0 || ds.idleArmed || ds.failed {
 		return
 	}
 	if !s.workRemains() {
@@ -488,7 +606,7 @@ func (s *sim) armIdleTimer(d int) {
 		ds.idleArmed = false
 		now := s.eng.Now()
 		// Still idle and has been since before the timer was armed?
-		if ds.disk.State() != diskmodel.Idle || ds.queueLen() > 0 {
+		if ds.failed || ds.disk.State() != diskmodel.Idle || ds.queueLen() > 0 {
 			return
 		}
 		if ds.disk.IdleSince() > deadline-timeout {
@@ -516,7 +634,7 @@ func (s *sim) rearmIdleTimer(d int, delay float64) {
 	s.eng.MustSchedule(delay, func(*des.Engine) {
 		ds.idleArmed = false
 		now := s.eng.Now()
-		if ds.disk.State() != diskmodel.Idle || ds.queueLen() > 0 {
+		if ds.failed || ds.disk.State() != diskmodel.Idle || ds.queueLen() > 0 {
 			return
 		}
 		if now-ds.disk.IdleSince() < timeout {
@@ -632,5 +750,20 @@ func (s *sim) collect() (*Result, error) {
 		}
 	}
 	res.ArrayAFR = worst
+	if f := s.flt; f != nil {
+		res.DiskFailures = f.failures
+		res.DiskRepairs = f.repairs
+		res.SparesUsed = f.sparesUsed
+		res.DataLossEvents = f.dataLoss
+		if f.firstLoss >= 0 {
+			res.MTTDLHours = f.firstLoss / 3600
+		}
+		res.LostRequests = f.lostRequests
+		res.DegradedRequests = f.degraded
+		res.ReassignedFiles = f.reassigned
+		res.RebuildMB = f.rebuildMB
+		res.RebuildEnergyJ = f.rebuildEnergyJ
+		res.FailureLog = f.log
+	}
 	return res, nil
 }

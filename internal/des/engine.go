@@ -189,6 +189,39 @@ func (e *Engine) Run() {
 	}
 }
 
+// RunGuarded is Run with a watchdog: if stallLimit consecutive events fire
+// without the virtual clock advancing — the signature of a handler that
+// keeps rescheduling itself at the current instant — it stops and returns a
+// diagnostic error instead of spinning forever. Legitimate same-instant
+// bursts (simultaneous arrivals, zero-delay kicks) are fine as long as they
+// stay below the limit, so callers should pick a limit far above any
+// plausible burst. It returns nil when the queue drains or Stop is called.
+func (e *Engine) RunGuarded(stallLimit uint64) error {
+	if stallLimit == 0 {
+		return errors.New("des: watchdog stall limit must be positive")
+	}
+	e.stopped = false
+	var streak uint64
+	last := math.Inf(-1)
+	for !e.stopped {
+		if !e.Step() {
+			return nil
+		}
+		if e.now != last {
+			last = e.now
+			streak = 1
+			continue
+		}
+		streak++
+		if streak >= stallLimit {
+			return fmt.Errorf(
+				"des: watchdog: event loop stalled — %d consecutive events at t=%v without progress (total fired %d, pending %d)",
+				streak, e.now, e.fired, len(e.pending))
+		}
+	}
+	return nil
+}
+
 // RunUntil fires events with timestamps <= end, then sets the clock to end.
 // It returns ErrStalled if the queue drained strictly before end (the clock
 // is still advanced to end so energy integration over wall time stays

@@ -358,3 +358,58 @@ func BenchmarkHotLoop(b *testing.B) {
 	b.ResetTimer()
 	e.Run()
 }
+
+func TestRunGuardedDetectsStall(t *testing.T) {
+	e := New()
+	// A handler that reschedules itself with zero delay forever: virtual
+	// time never advances, so an unguarded Run would spin indefinitely.
+	var spin Handler
+	spin = func(en *Engine) { en.MustSchedule(0, spin) }
+	e.MustSchedule(1, spin)
+	err := e.RunGuarded(1000)
+	if err == nil {
+		t.Fatal("expected watchdog error for zero-delay self-rescheduling loop")
+	}
+	if e.Now() != 1 {
+		t.Fatalf("clock should be pinned at the stall instant, got %v", e.Now())
+	}
+}
+
+func TestRunGuardedPassesHealthyLoop(t *testing.T) {
+	e := New()
+	n := 0
+	var tick Handler
+	tick = func(en *Engine) {
+		n++
+		if n < 5000 {
+			en.MustSchedule(0.001, tick)
+		}
+	}
+	e.MustSchedule(0.001, tick)
+	if err := e.RunGuarded(10); err != nil {
+		t.Fatalf("healthy advancing loop tripped the watchdog: %v", err)
+	}
+	if n != 5000 {
+		t.Fatalf("fired %d of 5000 events", n)
+	}
+}
+
+func TestRunGuardedAllowsBoundedBursts(t *testing.T) {
+	e := New()
+	fired := 0
+	for i := 0; i < 50; i++ {
+		e.MustSchedule(1, func(*Engine) { fired++ }) // same-instant burst
+	}
+	if err := e.RunGuarded(100); err != nil {
+		t.Fatalf("burst below the limit tripped the watchdog: %v", err)
+	}
+	if fired != 50 {
+		t.Fatalf("fired %d of 50", fired)
+	}
+}
+
+func TestRunGuardedZeroLimitRejected(t *testing.T) {
+	if err := New().RunGuarded(0); err == nil {
+		t.Fatal("expected error for zero stall limit")
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"sync"
 
 	"repro/internal/array"
+	"repro/internal/faults"
 	"repro/internal/policy"
 	"repro/internal/reliability"
 	"repro/internal/workload"
@@ -77,6 +78,17 @@ type SweepConfig struct {
 	// Used for robustness checks, e.g. swapping in the literal OCR reading
 	// of Equation 3.
 	Press *reliability.Model
+	// Faults, when non-nil and enabled, injects disk failures into every
+	// cell. Each cell's injector seed is Faults.Seed + the cell's disk
+	// count, so every policy at a given array size faces the identical
+	// failure-threshold draw — the observed-reliability comparison is then
+	// down to how each policy's operating conditions scale the hazard and
+	// how its failover behaves, not to sampling luck.
+	Faults *faults.Config
+	// Spares is the per-cell hot-spare pool (only meaningful with Faults).
+	Spares int
+	// RebuildMBps paces rebuild traffic; zero uses the array default.
+	RebuildMBps float64
 }
 
 // DefaultSweepConfig returns the paper's light-workload sweep at a reduced
@@ -155,6 +167,17 @@ func (c *SweepConfig) Validate() error {
 			return err
 		}
 	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.Spares < 0 {
+		return fmt.Errorf("experiment: negative spare count %d", c.Spares)
+	}
+	if c.RebuildMBps < 0 {
+		return fmt.Errorf("experiment: negative rebuild rate %v", c.RebuildMBps)
+	}
 	return c.Workload.Validate()
 }
 
@@ -232,13 +255,21 @@ func RunSweep(cfg SweepConfig) (*SweepResult, error) {
 				errs[j.idx] = err
 				return
 			}
-			res, err := array.Run(array.Config{
+			acfg := array.Config{
 				Disks:        j.disks,
 				Trace:        trace,
 				Policy:       pol,
 				EpochSeconds: epoch,
 				Press:        cfg.Press,
-			})
+				Spares:       cfg.Spares,
+				RebuildMBps:  cfg.RebuildMBps,
+			}
+			if cfg.Faults != nil {
+				fc := *cfg.Faults
+				fc.Seed += int64(j.disks)
+				acfg.Faults = &fc
+			}
+			res, err := array.Run(acfg)
 			if err != nil {
 				errs[j.idx] = fmt.Errorf("disks=%d policy=%s: %w", j.disks, j.policy, err)
 				return
@@ -258,11 +289,23 @@ func RunSweep(cfg SweepConfig) (*SweepResult, error) {
 // Metric selects which scalar a figure plots.
 type Metric string
 
-// The metrics of Figures 7a, 7b, and 7c.
+// The metrics of Figures 7a, 7b, and 7c, plus the observed-reliability
+// metrics a fault-injecting sweep adds on top.
 const (
 	MetricAFR      Metric = "afr"      // Figure 7a (percent)
 	MetricEnergy   Metric = "energy"   // Figure 7b (joules)
 	MetricResponse Metric = "response" // Figure 7c (seconds)
+
+	// MetricFailures is the number of injected disk failures observed.
+	MetricFailures Metric = "failures"
+	// MetricDataLoss is the number of failures that found the spare pool
+	// empty.
+	MetricDataLoss Metric = "dataloss"
+	// MetricLostRequests is the number of user requests lost to failures.
+	MetricLostRequests Metric = "lost"
+	// MetricDegraded is the number of requests served degraded (re-routed
+	// or delayed by an outage or rebuild).
+	MetricDegraded Metric = "degraded"
 )
 
 // Value extracts the metric from a result.
@@ -274,6 +317,14 @@ func (m Metric) Value(r *array.Result) (float64, error) {
 		return r.EnergyJ, nil
 	case MetricResponse:
 		return r.MeanResponse, nil
+	case MetricFailures:
+		return float64(r.DiskFailures), nil
+	case MetricDataLoss:
+		return float64(r.DataLossEvents), nil
+	case MetricLostRequests:
+		return float64(r.LostRequests), nil
+	case MetricDegraded:
+		return float64(r.DegradedRequests), nil
 	default:
 		return 0, fmt.Errorf("experiment: unknown metric %q", m)
 	}

@@ -1,0 +1,317 @@
+// Package faults implements seeded, deterministic disk-failure injection
+// for the array simulator: it turns the AFRs that PRESS merely *predicts*
+// into failure events the simulation actually *observes*, closing the
+// predict→observe loop the paper's argument rests on.
+//
+// Failure times are sampled from a Weibull lifetime distribution by hazard
+// inversion: each disk draws a unit-exponential threshold E at birth and
+// fails the instant its accumulated hazard H(t) crosses E. The hazard is
+// integrated analytically window by window, which lets the caller rescale it
+// continuously — each window's Weibull hazard is multiplied by the disk's
+// current PRESS AFR relative to a reference AFR, so a disk that PRESS says
+// is being run twice as hard really does fail twice as fast. With a constant
+// scale of 1 the scheme reduces exactly to Weibull sampling, which is what
+// the MTTDL calibration test asserts.
+//
+// Everything is driven by one seeded math/rand source consumed in a
+// deterministic order (thresholds at construction, repair draws in event
+// order), so a fixed seed reproduces the identical failure/repair schedule.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/reliability"
+)
+
+// ScriptedEvent is a deterministic failure for tests and demonstrations:
+// the given disk fails at the given virtual time, bypassing the stochastic
+// sampler entirely.
+type ScriptedEvent struct {
+	// Disk is the index of the disk to fail.
+	Disk int
+	// At is the failure time in virtual seconds.
+	At float64
+}
+
+// Config parameterizes failure injection for one simulation run.
+type Config struct {
+	// Enabled turns injection on; a zero Config injects nothing.
+	Enabled bool
+	// Seed drives every random draw. Runs with equal seeds (and equal
+	// hazard inputs) produce identical failure/repair schedules.
+	Seed int64
+	// Failure is the lifetime distribution. The zero value means
+	// reliability.DefaultWeibull() (β = 1.1, first-year AFR ≈ 2.5%).
+	Failure reliability.Weibull
+	// Repair is the repair/replacement-time distribution in hours. The
+	// zero value means DefaultRepair() (β = 1.5, mean ≈ 8 h).
+	Repair reliability.Weibull
+	// PRESSScaling, when true, multiplies the Weibull hazard by each
+	// disk's live PRESS AFR divided by ReferenceAFRPercent, so operating
+	// conditions (heat, load, transition churn) translate into observed
+	// failures. When false the hazard is the pure Weibull.
+	PRESSScaling bool
+	// ReferenceAFRPercent anchors the PRESS scaling: a disk whose live
+	// PRESS AFR equals it fails at exactly the base Weibull rate. Zero
+	// means the Failure distribution's own first-year AFR.
+	ReferenceAFRPercent float64
+	// Acceleration compresses the reliability timescale so that failures
+	// (MTBF measured in decades) become observable within a trace
+	// (measured in hours): the hazard is multiplied by it and repair
+	// durations are divided by it. 1 (the default) is real time.
+	Acceleration float64
+	// CheckIntervalSeconds is the virtual-time step at which hazard is
+	// re-integrated (and PRESS scaling re-read). Zero means 60 s.
+	CheckIntervalSeconds float64
+	// MaxFailures caps the number of injected failures; 0 is unlimited.
+	MaxFailures int
+	// FixedRepairHours, when positive, replaces the Repair distribution
+	// with a constant — for tests that need exact repair timing.
+	FixedRepairHours float64
+	// Scripted, when non-empty, replaces stochastic sampling entirely:
+	// the listed failures happen at the listed times and no others.
+	Scripted []ScriptedEvent
+}
+
+// Default returns an enabled configuration with the package defaults:
+// seed 1, PRESS scaling on, real-time hazard.
+func Default() Config {
+	return Config{Enabled: true, Seed: 1, PRESSScaling: true}
+}
+
+// DefaultRepair returns the default repair-time distribution: Weibull with
+// β = 1.5 (repairs cluster around the mean rather than being memoryless)
+// and mean ≈ 8 hours — a same-business-day hot-swap plus rebuild start.
+func DefaultRepair() reliability.Weibull {
+	return reliability.Weibull{Shape: 1.5, ScaleHours: 8.862}
+}
+
+// Normalized returns a copy with every zero field replaced by its default.
+func (c Config) Normalized() Config {
+	if c.Failure == (reliability.Weibull{}) {
+		c.Failure = reliability.DefaultWeibull()
+	}
+	if c.Repair == (reliability.Weibull{}) {
+		c.Repair = DefaultRepair()
+	}
+	if c.ReferenceAFRPercent == 0 {
+		if afr, err := c.Failure.AFRPercent(0); err == nil && afr > 0 {
+			c.ReferenceAFRPercent = afr
+		} else {
+			c.ReferenceAFRPercent = 1
+		}
+	}
+	if c.Acceleration == 0 {
+		c.Acceleration = 1
+	}
+	if c.CheckIntervalSeconds == 0 {
+		c.CheckIntervalSeconds = 60
+	}
+	return c
+}
+
+// Validate reports the first unusable parameter of a normalized or
+// hand-built configuration.
+func (c Config) Validate() error {
+	c = c.Normalized()
+	if err := c.Failure.Validate(); err != nil {
+		return fmt.Errorf("faults: failure distribution: %w", err)
+	}
+	if err := c.Repair.Validate(); err != nil {
+		return fmt.Errorf("faults: repair distribution: %w", err)
+	}
+	switch {
+	case c.Acceleration < 0 || math.IsNaN(c.Acceleration):
+		return fmt.Errorf("faults: acceleration %v must be positive", c.Acceleration)
+	case c.CheckIntervalSeconds <= 0 || math.IsNaN(c.CheckIntervalSeconds):
+		return fmt.Errorf("faults: check interval %v must be positive", c.CheckIntervalSeconds)
+	case c.ReferenceAFRPercent <= 0 || math.IsNaN(c.ReferenceAFRPercent):
+		return fmt.Errorf("faults: reference AFR %v must be positive", c.ReferenceAFRPercent)
+	case c.MaxFailures < 0:
+		return fmt.Errorf("faults: negative failure cap %d", c.MaxFailures)
+	case c.FixedRepairHours < 0 || math.IsNaN(c.FixedRepairHours):
+		return fmt.Errorf("faults: negative fixed repair time %v", c.FixedRepairHours)
+	}
+	for i, s := range c.Scripted {
+		if s.At < 0 || math.IsNaN(s.At) {
+			return fmt.Errorf("faults: scripted event %d at invalid time %v", i, s.At)
+		}
+		if s.Disk < 0 {
+			return fmt.Errorf("faults: scripted event %d on negative disk %d", i, s.Disk)
+		}
+	}
+	return nil
+}
+
+// Failure is one injected failure event.
+type Failure struct {
+	// Disk is the failed disk's index.
+	Disk int
+	// Time is the failure time in virtual seconds. For sampled failures
+	// it is the exact hazard-crossing instant (interpolated inside the
+	// integration window, so it may precede the Advance call's `to`).
+	Time float64
+}
+
+type diskHazard struct {
+	alive     bool
+	threshold float64 // Exp(1) draw; failure when cum crosses it
+	cum       float64 // accumulated hazard
+	birth     float64 // virtual seconds at which this drive's age is zero
+}
+
+// Injector samples failures for a fixed-size array. It is not safe for
+// concurrent use; the simulator drives it from the single-threaded event
+// loop.
+type Injector struct {
+	cfg      Config
+	rng      *rand.Rand
+	now      float64
+	disks    []diskHazard
+	failures int
+	scripted []ScriptedEvent // pending, sorted by time
+}
+
+// NewInjector builds an injector for `disks` drives, all born at time 0.
+func NewInjector(cfg Config, disks int) (*Injector, error) {
+	cfg = cfg.Normalized()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if disks < 1 {
+		return nil, errors.New("faults: need at least one disk")
+	}
+	for i, s := range cfg.Scripted {
+		if s.Disk >= disks {
+			return nil, fmt.Errorf("faults: scripted event %d on disk %d of %d", i, s.Disk, disks)
+		}
+	}
+	in := &Injector{
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		disks: make([]diskHazard, disks),
+	}
+	for i := range in.disks {
+		in.disks[i] = diskHazard{alive: true, threshold: in.rng.ExpFloat64()}
+	}
+	in.scripted = append(in.scripted, cfg.Scripted...)
+	sort.SliceStable(in.scripted, func(i, j int) bool { return in.scripted[i].At < in.scripted[j].At })
+	return in, nil
+}
+
+// Now returns the virtual time the injector has integrated hazard up to.
+func (in *Injector) Now() float64 { return in.now }
+
+// FailureCount returns the number of failures produced so far.
+func (in *Injector) FailureCount() int { return in.failures }
+
+// Alive reports whether disk d is currently operational.
+func (in *Injector) Alive(d int) bool { return in.disks[d].alive }
+
+// cumHazardTerm returns (age/η)^β for an age in hours, the Weibull
+// cumulative hazard up to that age.
+func (in *Injector) cumHazardTerm(ageHours float64) float64 {
+	if ageHours <= 0 {
+		return 0
+	}
+	w := in.cfg.Failure
+	return math.Pow(ageHours/w.ScaleHours, w.Shape)
+}
+
+// Advance integrates each live disk's hazard from the injector's current
+// time to `to` (virtual seconds) and returns the failures that occurred in
+// that window, time-ordered. scale supplies the per-disk hazard multiplier
+// for the window (the live PRESS AFR over the reference AFR); nil means 1
+// everywhere. Non-positive scales freeze a disk's hazard for the window.
+func (in *Injector) Advance(to float64, scale func(disk int) float64) []Failure {
+	if to <= in.now {
+		return nil
+	}
+	var out []Failure
+	if len(in.cfg.Scripted) > 0 {
+		for len(in.scripted) > 0 && in.scripted[0].At <= to {
+			ev := in.scripted[0]
+			in.scripted = in.scripted[1:]
+			if !in.disks[ev.Disk].alive || in.capped() {
+				continue
+			}
+			in.disks[ev.Disk].alive = false
+			in.failures++
+			out = append(out, Failure{Disk: ev.Disk, Time: ev.At})
+		}
+		in.now = to
+		return out
+	}
+	w := in.cfg.Failure
+	for i := range in.disks {
+		d := &in.disks[i]
+		if !d.alive || in.capped() {
+			continue
+		}
+		s := 1.0
+		if scale != nil {
+			s = scale(i)
+		}
+		if s <= 0 || math.IsNaN(s) {
+			continue
+		}
+		eff := s * in.cfg.Acceleration
+		a := in.cumHazardTerm((in.now - d.birth) / 3600)
+		b := in.cumHazardTerm((to - d.birth) / 3600)
+		dh := eff * (b - a)
+		if d.cum+dh < d.threshold {
+			d.cum += dh
+			continue
+		}
+		// Crossing: solve eff·((x/η)^β − a) = threshold − cum for the
+		// failure age x in hours, exact because scale is constant over
+		// the window.
+		x := w.ScaleHours * math.Pow((d.threshold-d.cum)/eff+a, 1/w.Shape)
+		t := d.birth + x*3600
+		if t < in.now {
+			t = in.now
+		}
+		if t > to {
+			t = to
+		}
+		d.alive = false
+		in.failures++
+		out = append(out, Failure{Disk: i, Time: t})
+	}
+	in.now = to
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Time < out[j].Time })
+	return out
+}
+
+func (in *Injector) capped() bool {
+	return in.cfg.MaxFailures > 0 && in.failures >= in.cfg.MaxFailures
+}
+
+// MarkRepaired returns disk d to service at virtual time `at` as a fresh
+// replacement drive: age resets and a new failure threshold is drawn.
+func (in *Injector) MarkRepaired(d int, at float64) {
+	h := &in.disks[d]
+	h.alive = true
+	h.birth = at
+	h.cum = 0
+	h.threshold = in.rng.ExpFloat64()
+}
+
+// SampleRepairSeconds draws a repair/replacement duration in virtual
+// seconds, already divided by the acceleration factor (a compressed
+// timescale compresses repairs too).
+func (in *Injector) SampleRepairSeconds() float64 {
+	hours := in.cfg.FixedRepairHours
+	if hours <= 0 {
+		// Inverse-CDF sample: T = η·(−ln(1−u))^(1/β).
+		u := in.rng.Float64()
+		w := in.cfg.Repair
+		hours = w.ScaleHours * math.Pow(-math.Log(1-u), 1/w.Shape)
+	}
+	return hours * 3600 / in.cfg.Acceleration
+}

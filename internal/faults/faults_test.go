@@ -1,0 +1,186 @@
+package faults
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/reliability"
+)
+
+// sampleFailureTime runs one fresh single-disk injector to its first
+// failure under a constant hazard scale and returns the failure time in
+// hours. The horizon is far beyond the distribution's tail.
+func sampleFailureTime(t *testing.T, seed int64, scale float64) float64 {
+	t.Helper()
+	cfg := Config{Enabled: true, Seed: seed}
+	in, err := NewInjector(cfg, 1)
+	if err != nil {
+		t.Fatalf("NewInjector: %v", err)
+	}
+	w := in.cfg.Failure
+	horizon := 50 * w.ScaleHours * 3600
+	// Advance in several windows to exercise cross-window accumulation.
+	const steps = 8
+	for i := 1; i <= steps; i++ {
+		fs := in.Advance(horizon*float64(i)/steps, func(int) float64 { return scale })
+		if len(fs) > 0 {
+			return fs[0].Time / 3600
+		}
+	}
+	t.Fatalf("seed %d: no failure within %v hours", seed, horizon/3600)
+	return 0
+}
+
+// TestMTTDLMatchesWeibullMTBF is the calibration acceptance test: with
+// PRESS scaling off (pure Weibull hazard) the mean simulated time to first
+// failure over many seeded runs must agree with the analytic Weibull MTBF
+// within 15%. With no spares, the first failure is the first data-loss
+// event, so this is the simulator's MTTDL.
+func TestMTTDLMatchesWeibullMTBF(t *testing.T) {
+	const runs = 500
+	var sum float64
+	for seed := int64(1); seed <= runs; seed++ {
+		sum += sampleFailureTime(t, seed, 1)
+	}
+	mean := sum / runs
+	mtbf, err := reliability.DefaultWeibull().MTBFHours()
+	if err != nil {
+		t.Fatalf("MTBFHours: %v", err)
+	}
+	if rel := math.Abs(mean-mtbf) / mtbf; rel > 0.15 {
+		t.Fatalf("simulated MTTDL %.0f h vs analytic MTBF %.0f h: relative error %.1f%% > 15%%",
+			mean, mtbf, rel*100)
+	}
+}
+
+// TestHazardScalingShiftsMTTDL checks the PRESS-coupling mechanism: a
+// constant hazard multiplier k scales mean lifetime by k^(-1/β) for a
+// Weibull of shape β.
+func TestHazardScalingShiftsMTTDL(t *testing.T) {
+	const runs = 400
+	var base, scaled float64
+	for seed := int64(1); seed <= runs; seed++ {
+		base += sampleFailureTime(t, seed, 1)
+		scaled += sampleFailureTime(t, seed, 2)
+	}
+	beta := reliability.DefaultWeibull().Shape
+	want := math.Pow(2, -1/beta)
+	got := scaled / base
+	if rel := math.Abs(got-want) / want; rel > 0.05 {
+		t.Fatalf("scale-2 lifetime ratio %.3f, want %.3f (±5%%)", got, want)
+	}
+}
+
+func TestDeterministicSchedule(t *testing.T) {
+	run := func() ([]Failure, []float64) {
+		cfg := Config{Enabled: true, Seed: 42, Acceleration: 5e5}
+		in, err := NewInjector(cfg, 8)
+		if err != nil {
+			t.Fatalf("NewInjector: %v", err)
+		}
+		var fails []Failure
+		var repairs []float64
+		for step := 1; step <= 200; step++ {
+			fs := in.Advance(float64(step)*3600, func(d int) float64 { return 1 + float64(d)*0.1 })
+			for _, f := range fs {
+				fails = append(fails, f)
+				repairs = append(repairs, in.SampleRepairSeconds())
+				in.MarkRepaired(f.Disk, float64(step)*3600)
+			}
+		}
+		return fails, repairs
+	}
+	f1, r1 := run()
+	f2, r2 := run()
+	if len(f1) == 0 {
+		t.Fatal("expected at least one failure at this acceleration")
+	}
+	if len(f1) != len(f2) {
+		t.Fatalf("failure counts differ: %d vs %d", len(f1), len(f2))
+	}
+	for i := range f1 {
+		if f1[i] != f2[i] || r1[i] != r2[i] {
+			t.Fatalf("schedule diverged at %d: %+v/%v vs %+v/%v", i, f1[i], r1[i], f2[i], r2[i])
+		}
+	}
+}
+
+func TestScriptedEvents(t *testing.T) {
+	cfg := Config{Enabled: true, Scripted: []ScriptedEvent{
+		{Disk: 2, At: 10},
+		{Disk: 0, At: 5},
+		{Disk: 2, At: 20}, // already failed: ignored
+	}}
+	in, err := NewInjector(cfg, 3)
+	if err != nil {
+		t.Fatalf("NewInjector: %v", err)
+	}
+	fs := in.Advance(7, nil)
+	if len(fs) != 1 || fs[0] != (Failure{Disk: 0, Time: 5}) {
+		t.Fatalf("window to 7: got %+v", fs)
+	}
+	fs = in.Advance(30, nil)
+	if len(fs) != 1 || fs[0] != (Failure{Disk: 2, Time: 10}) {
+		t.Fatalf("window to 30: got %+v", fs)
+	}
+	if in.Alive(0) || in.Alive(2) || !in.Alive(1) {
+		t.Fatalf("alive flags wrong: %v %v %v", in.Alive(0), in.Alive(1), in.Alive(2))
+	}
+	in.MarkRepaired(0, 30)
+	if !in.Alive(0) {
+		t.Fatal("disk 0 should be alive after repair")
+	}
+}
+
+func TestScriptedOutOfRangeRejected(t *testing.T) {
+	cfg := Config{Enabled: true, Scripted: []ScriptedEvent{{Disk: 5, At: 1}}}
+	if _, err := NewInjector(cfg, 3); err == nil {
+		t.Fatal("expected error for scripted disk out of range")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Config{
+		{Acceleration: -1},
+		{CheckIntervalSeconds: math.NaN()},
+		{MaxFailures: -2},
+		{FixedRepairHours: -1},
+		{Failure: reliability.Weibull{Shape: -1, ScaleHours: 10}},
+		{Scripted: []ScriptedEvent{{Disk: -1, At: 0}}},
+		{Scripted: []ScriptedEvent{{Disk: 0, At: math.NaN()}}},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d: expected validation error", i)
+		}
+	}
+	if err := Default().Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+}
+
+func TestMaxFailuresCap(t *testing.T) {
+	cfg := Config{Enabled: true, Seed: 7, Acceleration: 1e9, MaxFailures: 2}
+	in, err := NewInjector(cfg, 10)
+	if err != nil {
+		t.Fatalf("NewInjector: %v", err)
+	}
+	total := 0
+	for step := 1; step <= 100; step++ {
+		total += len(in.Advance(float64(step)*86400, nil))
+	}
+	if total != 2 {
+		t.Fatalf("cap 2: got %d failures", total)
+	}
+}
+
+func TestFixedRepair(t *testing.T) {
+	cfg := Config{Enabled: true, FixedRepairHours: 2, Acceleration: 4}
+	in, err := NewInjector(cfg, 1)
+	if err != nil {
+		t.Fatalf("NewInjector: %v", err)
+	}
+	if got := in.SampleRepairSeconds(); got != 2*3600/4.0 {
+		t.Fatalf("fixed repair: got %v s", got)
+	}
+}

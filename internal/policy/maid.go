@@ -42,9 +42,10 @@ type MAID struct {
 	usedMB   []float64             // per cache disk
 	capPerMB float64
 	nextCD   int // round-robin cache-disk chooser
-	// copying tracks in-flight cache admissions so a burst of misses on
-	// one file admits it once.
-	copying map[int]bool
+	// copying tracks in-flight cache admissions (fileID -> target cache
+	// disk) so a burst of misses on one file admits it once — and so a
+	// cache-disk failure can void the admissions headed its way.
+	copying map[int]int
 
 	copies int
 	hits   int
@@ -113,7 +114,7 @@ func (m *MAID) Init(ctx *array.Context) error {
 	m.entries = make(map[int]*list.Element)
 	m.lru = list.New()
 	m.usedMB = make([]float64, m.cacheDisks)
-	m.copying = make(map[int]bool)
+	m.copying = make(map[int]int)
 
 	// Storage disks hold everything, load-balanced.
 	storage := diskRange(m.cacheDisks, n)
@@ -157,7 +158,7 @@ func (m *MAID) TargetDisk(ctx *array.Context, fileID int) int {
 // admit copies fileID onto a cache disk chosen round-robin, evicting LRU
 // entries from that disk until the copy fits.
 func (m *MAID) admit(ctx *array.Context, fileID int) {
-	if m.copying[fileID] {
+	if _, inflight := m.copying[fileID]; inflight {
 		return
 	}
 	f, ok := ctx.File(fileID)
@@ -180,7 +181,7 @@ func (m *MAID) admit(ctx *array.Context, fileID int) {
 		m.usedMB[cd] -= e.sizeMB
 	}
 
-	m.copying[fileID] = true
+	m.copying[fileID] = cd
 	m.usedMB[cd] += f.SizeMB
 	err := ctx.EnqueueWrite(cd, f.SizeMB, func() {
 		delete(m.copying, fileID)

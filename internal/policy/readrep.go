@@ -34,8 +34,9 @@ type READReplica struct {
 	replica map[int]int
 	// replMB tracks replica bytes per hot disk.
 	replMB map[int]float64
-	// copying guards in-flight replica transfers.
-	copying map[int]bool
+	// copying guards in-flight replica transfers (fileID -> target hot
+	// disk), so a hot-disk failure can void the transfers headed its way.
+	copying map[int]int
 
 	replicasMade    int
 	replicasDropped int
@@ -50,7 +51,7 @@ func NewREADReplica(cfg READReplicaConfig) *READReplica {
 		cfg:     cfg,
 		replica: make(map[int]int),
 		replMB:  make(map[int]float64),
-		copying: make(map[int]bool),
+		copying: make(map[int]int),
 	}
 }
 
@@ -119,9 +120,10 @@ func (r *READReplica) OnEpoch(ctx *array.Context) {
 		id := f.ID
 		primary := ctx.Placement(id)
 		_, hasReplica := r.replica[id]
+		_, inflight := r.copying[id]
 		isPopular := newPopular[id]
 		switch {
-		case isPopular && primary >= hot && !hasReplica && !r.copying[id]:
+		case isPopular && primary >= hot && !hasReplica && !inflight:
 			if promoted >= r.cfg.READ.MaxMigrationsPerEpoch {
 				continue
 			}
@@ -162,7 +164,7 @@ func (r *READReplica) promote(ctx *array.Context, f workload.File, hot int) {
 		return
 	}
 	id := f.ID
-	r.copying[id] = true
+	r.copying[id] = best
 	r.replMB[best] += f.SizeMB
 	target := best
 	if err := ctx.EnqueueWrite(target, f.SizeMB, func() {

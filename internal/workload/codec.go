@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -27,22 +28,28 @@ func WriteTrace(w io.Writer, t *Trace) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintf(bw, "# disk-array workload trace: %d files, %d requests\n",
 		len(t.Files), len(t.Requests))
+	// %g prints the shortest decimal that parses back to the identical
+	// float64, so decode(encode(t)) == t exactly.
 	for _, f := range t.Files {
-		fmt.Fprintf(bw, "file %d %.9g %.9g\n", f.ID, f.SizeMB, f.AccessRate)
+		fmt.Fprintf(bw, "file %d %g %g\n", f.ID, f.SizeMB, f.AccessRate)
 	}
 	for _, r := range t.Requests {
-		fmt.Fprintf(bw, "req %.9f %d\n", r.Arrival, r.FileID)
+		fmt.Fprintf(bw, "req %g %d\n", r.Arrival, r.FileID)
 	}
 	return bw.Flush()
 }
 
 // ReadTrace parses a trace written by WriteTrace (or hand-converted from
-// another source). It validates the result before returning it.
+// another source). Malformed records — NaN, infinite, or negative
+// timestamps, out-of-order arrivals, zero-size files — are rejected here
+// with the offending line number rather than propagated into the simulator,
+// and the assembled trace is fully validated before it is returned.
 func ReadTrace(r io.Reader) (*Trace, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	t := &Trace{}
 	lineNo := 0
+	prevArrival := math.Inf(-1)
 	for sc.Scan() {
 		lineNo++
 		line := strings.TrimSpace(sc.Text())
@@ -67,6 +74,12 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 			if err != nil {
 				return nil, fmt.Errorf("workload: line %d: bad rate: %v", lineNo, err)
 			}
+			if size <= 0 || math.IsNaN(size) || math.IsInf(size, 0) {
+				return nil, fmt.Errorf("workload: line %d: file %d size %v must be positive and finite", lineNo, id, size)
+			}
+			if rate < 0 || math.IsNaN(rate) || math.IsInf(rate, 0) {
+				return nil, fmt.Errorf("workload: line %d: file %d access rate %v must be non-negative and finite", lineNo, id, rate)
+			}
 			t.Files = append(t.Files, File{ID: id, SizeMB: size, AccessRate: rate})
 		case "req":
 			if len(fields) != 3 {
@@ -80,6 +93,13 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 			if err != nil {
 				return nil, fmt.Errorf("workload: line %d: bad file id: %v", lineNo, err)
 			}
+			if at < 0 || math.IsNaN(at) || math.IsInf(at, 0) {
+				return nil, fmt.Errorf("workload: line %d: arrival %v must be non-negative and finite", lineNo, at)
+			}
+			if at < prevArrival {
+				return nil, fmt.Errorf("workload: line %d: arrival %v is before its predecessor %v (requests must be time-ordered)", lineNo, at, prevArrival)
+			}
+			prevArrival = at
 			t.Requests = append(t.Requests, Request{Arrival: at, FileID: id})
 		default:
 			return nil, fmt.Errorf("workload: line %d: unknown record type %q", lineNo, fields[0])

@@ -1,0 +1,60 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzTraceCodec feeds arbitrary bytes through ReadTrace. The parser must
+// never panic, and whenever it accepts an input, the trace must survive a
+// WriteTrace/ReadTrace round trip bit-identically — the property the
+// simulator's determinism guarantees depend on when traces go through
+// files.
+func FuzzTraceCodec(f *testing.F) {
+	f.Add([]byte("# comment\nfile 0 1.5 0.25\nfile 1 2 0\nreq 0 0\nreq 0.5 1\nreq 0.5 0\n"))
+	f.Add([]byte("file 3 0.125 1e-3\nreq 1e2 3\n"))
+	f.Add([]byte("file 0 1 1\nreq NaN 0\n"))
+	f.Add([]byte("file 0 0 1\nreq 0 0\n"))
+	f.Add([]byte("file 0 1 1\nreq -1 0\n"))
+	f.Add([]byte("file 0 1 1\nreq 2 0\nreq 1 0\n"))
+	f.Add([]byte("file 0 Inf 1\n"))
+	f.Add([]byte("garbage line\n"))
+	f.Add([]byte(""))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadTrace(bytes.NewReader(data))
+		if err != nil {
+			if tr != nil {
+				t.Fatal("ReadTrace returned both a trace and an error")
+			}
+			return
+		}
+		// Accepted input: it must be valid and must round-trip exactly.
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("ReadTrace accepted an invalid trace: %v", err)
+		}
+		var buf strings.Builder
+		if err := WriteTrace(&buf, tr); err != nil {
+			t.Fatalf("WriteTrace of an accepted trace failed: %v", err)
+		}
+		back, err := ReadTrace(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("re-reading the written trace failed: %v", err)
+		}
+		if len(back.Files) != len(tr.Files) || len(back.Requests) != len(tr.Requests) {
+			t.Fatalf("round trip changed sizes: %d/%d files, %d/%d requests",
+				len(tr.Files), len(back.Files), len(tr.Requests), len(back.Requests))
+		}
+		for i := range tr.Files {
+			if tr.Files[i] != back.Files[i] {
+				t.Fatalf("file %d changed in round trip: %+v vs %+v", i, tr.Files[i], back.Files[i])
+			}
+		}
+		for i := range tr.Requests {
+			if tr.Requests[i] != back.Requests[i] {
+				t.Fatalf("request %d changed in round trip: %+v vs %+v", i, tr.Requests[i], back.Requests[i])
+			}
+		}
+	})
+}

@@ -38,7 +38,7 @@ func (t *Trace) Validate() error {
 		if r.Arrival < prev {
 			return fmt.Errorf("workload: request %d arrives at %v before predecessor %v", i, r.Arrival, prev)
 		}
-		if r.Arrival < 0 || math.IsNaN(r.Arrival) {
+		if r.Arrival < 0 || math.IsNaN(r.Arrival) || math.IsInf(r.Arrival, 0) {
 			return fmt.Errorf("workload: request %d has invalid arrival %v", i, r.Arrival)
 		}
 		if !ids[r.FileID] {
