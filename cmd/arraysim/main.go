@@ -5,6 +5,8 @@
 //	arraysim -policy maid -disks 8 -requests 100000 -intensity 6
 //	arraysim -policy pdc -trace day.trace
 //	arraysim -policy read -faults -spares 1 -fault-accel 5e5
+//	arraysim -policy read -telemetry-dir out -trace-events -progress
+//	arraysim -policy read -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
@@ -12,10 +14,15 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	rtrace "runtime/trace"
+	"time"
 
 	diskarray "repro"
 	"repro/internal/experiment"
 	"repro/internal/faults"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -31,6 +38,14 @@ func main() {
 		epochs     = flag.Int("epochs", 24, "policy epochs across the trace")
 		verbose    = flag.Bool("v", true, "print the per-disk table")
 		timeline   = flag.Bool("timeline", false, "print a power/speed/queue timeline")
+
+		telemetryDir = flag.String("telemetry-dir", "", "write per-disk NDJSON/CSV time-series and metrics.json into this directory")
+		traceEvents  = flag.Bool("trace-events", false, "also record a Chrome trace_event DES trace (trace.json; requires -telemetry-dir)")
+		traceSample  = flag.Int("trace-sample", 1, "record every Nth DES event in the Chrome trace")
+		progress     = flag.Bool("progress", false, "log run phases and sim-time/wall-time progress to stderr")
+		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile   = flag.String("memprofile", "", "write a heap profile to this file")
+		runtimeTrace = flag.String("runtime-trace", "", "write a Go runtime execution trace to this file")
 
 		withFaults   = flag.Bool("faults", false, "inject Weibull disk failures (hazard scaled by live PRESS AFR)")
 		faultSeed    = flag.Int64("fault-seed", 1, "failure-injection seed")
@@ -72,8 +87,69 @@ func main() {
 		usageErr("-fault-accel %g must be positive", *faultAccel)
 	case !*withFaults && (explicit["fault-seed"] || explicit["fault-accel"] || explicit["press-scaling"] || explicit["spares"] || explicit["rebuild-mbps"]):
 		usageErr("fault flags require -faults")
+	case *telemetryDir == "" && (*traceEvents || explicit["trace-sample"]):
+		usageErr("-trace-events/-trace-sample require -telemetry-dir")
+	case *traceSample < 1:
+		usageErr("-trace-sample %d must be at least 1", *traceSample)
 	}
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer func() { pprof.StopCPUProfile(); f.Close() }()
+	}
+	if *runtimeTrace != "" {
+		f, err := os.Create(*runtimeTrace)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rtrace.Start(f); err != nil {
+			log.Fatal(err)
+		}
+		defer func() { rtrace.Stop(); f.Close() }()
+	}
+	defer func() {
+		if *memprofile == "" {
+			return
+		}
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatal(err)
+		}
+	}()
+
+	var rec *telemetry.Recorder
+	if *telemetryDir != "" {
+		var err error
+		rec, err = telemetry.Open(telemetry.Config{
+			Dir:              *telemetryDir,
+			TraceEvents:      *traceEvents,
+			TraceSampleEvery: *traceSample,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	var prog *telemetry.Progress
+	if *progress {
+		prog = telemetry.NewProgress(log.Default(), 2*time.Second)
+		if rec == nil {
+			rec = &telemetry.Recorder{}
+		}
+		rec.Progress = prog
+	}
+
+	prog.Phase("load-trace")
 	var trace *diskarray.Trace
 	if *tracePath != "" {
 		f, err := os.Open(*tracePath)
@@ -129,9 +205,19 @@ func main() {
 	if *timeline {
 		simCfg.SampleInterval = stats.Duration / 48
 	}
+	simCfg.Telemetry = rec
+	prog.Phase("simulate")
 	res, err := diskarray.Simulate(simCfg)
 	if err != nil {
+		rec.Close()
 		log.Fatal(err)
+	}
+	prog.Done("simulate", res.Duration, res.EventsFired)
+	if err := rec.Close(); err != nil {
+		log.Fatal(err)
+	}
+	if rec.Dir() != "" {
+		fmt.Fprintf(os.Stderr, "arraysim: telemetry written to %s\n", rec.Dir())
 	}
 
 	fmt.Printf("policy %s on %d disks — %d requests over %.0f s\n\n",

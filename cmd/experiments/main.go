@@ -14,11 +14,15 @@ import (
 	"io"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	rtrace "runtime/trace"
 	"strings"
 	"time"
 
 	"repro/internal/experiment"
 	"repro/internal/reliability"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -32,11 +36,56 @@ func main() {
 		both    = flag.Bool("both", false, "run Figure 7 under both workload conditions")
 		csvPath = flag.String("csv", "", "also write machine-readable output to this file")
 		steps   = flag.Int("steps", 13, "samples per axis for the function figures")
+
+		progress     = flag.Bool("progress", false, "log sweep phases and per-cell progress to stderr")
+		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile   = flag.String("memprofile", "", "write a heap profile to this file")
+		runtimeTrace = flag.String("runtime-trace", "", "write a Go runtime execution trace to this file")
 	)
 	flag.Parse()
 
 	if *full {
 		*scale = 1
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer func() { pprof.StopCPUProfile(); f.Close() }()
+	}
+	if *runtimeTrace != "" {
+		f, err := os.Create(*runtimeTrace)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rtrace.Start(f); err != nil {
+			log.Fatal(err)
+		}
+		defer func() { rtrace.Stop(); f.Close() }()
+	}
+	defer func() {
+		if *memprofile == "" {
+			return
+		}
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatal(err)
+		}
+	}()
+
+	var prog *telemetry.Progress
+	if *progress {
+		prog = telemetry.NewProgress(log.Default(), 2*time.Second)
 	}
 
 	var csvW io.Writer
@@ -160,6 +209,7 @@ func main() {
 			cfg := experiment.DefaultSweepConfig()
 			cfg.Scale = *scale
 			cfg.Intensity = cond.intensity
+			cfg.Progress = prog
 			start := time.Now()
 			res, err := experiment.RunSweep(cfg)
 			if err != nil {
@@ -203,6 +253,7 @@ func main() {
 		if *heavy {
 			cfg.Intensity = experiment.HeavyIntensity
 		}
+		cfg.Progress = prog
 		start := time.Now()
 		res, err := experiment.RunSweep(cfg)
 		if err != nil {

@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log"
 	"os"
 
 	"repro/internal/experiment"
@@ -19,6 +20,8 @@ import (
 )
 
 func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pressctl: ")
 	var (
 		tempC  = flag.Float64("temp", 50, "operating temperature in °C")
 		util   = flag.Float64("util", 0.5, "disk utilization in [0,1]")
@@ -47,8 +50,7 @@ func main() {
 	case "mean-factor":
 		opts = append(opts, reliability.WithIntegrationMode(reliability.MeanFactor))
 	default:
-		fmt.Fprintf(os.Stderr, "pressctl: unknown mode %q\n", *mode)
-		os.Exit(2)
+		log.Fatalf("unknown mode %q", *mode)
 	}
 	model := reliability.NewModel(opts...)
 
@@ -61,8 +63,7 @@ func main() {
 	factors := reliability.Factors{TempC: *tempC, Utilization: *util, TransitionsPerDay: *freq}
 	afr, err := model.DiskAFR(factors)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "pressctl: %v\n", err)
-		os.Exit(1)
+		log.Fatal(err)
 	}
 	fmt.Printf("temperature %.1f °C      -> AFR %.3f%%\n", *tempC, model.TempAFR(*tempC))
 	fmt.Printf("utilization %.1f%%       -> AFR %.3f%%\n", *util*100, model.UtilAFR(*util))

@@ -11,12 +11,15 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log"
 	"os"
 
 	"repro/internal/workload"
 )
 
 func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracegen: ")
 	var (
 		files    = flag.Int("files", 4079, "number of files (paper: 4079)")
 		requests = flag.Int("requests", 1480081, "number of requests (paper: 1480081)")
@@ -37,26 +40,26 @@ func main() {
 	if *convert != "" {
 		f, err := os.Open(*convert)
 		if err != nil {
-			fatal(err)
+			log.Fatal(err)
 		}
 		var skipped int
 		tr, skipped, err = workload.ParseCommonLog(f)
 		f.Close()
 		if err != nil {
-			fatal(err)
+			log.Fatal(err)
 		}
 		if skipped > 0 {
-			fmt.Fprintf(os.Stderr, "skipped %d unparsable lines\n", skipped)
+			log.Printf("skipped %d unparsable lines", skipped)
 		}
 	} else if *in != "" {
 		f, err := os.Open(*in)
 		if err != nil {
-			fatal(err)
+			log.Fatal(err)
 		}
 		tr, err = workload.ReadTrace(f)
 		f.Close()
 		if err != nil {
-			fatal(err)
+			log.Fatal(err)
 		}
 	} else {
 		cfg := workload.GenConfig{
@@ -78,14 +81,14 @@ func main() {
 		}
 		tr, err = workload.Generate(cfg)
 		if err != nil {
-			fatal(err)
+			log.Fatal(err)
 		}
 	}
 
 	if *stats || *out == "" {
 		st, err := tr.ComputeStats()
 		if err != nil {
-			fatal(err)
+			log.Fatal(err)
 		}
 		fmt.Printf("files:              %d\n", st.Files)
 		fmt.Printf("requests:           %d\n", st.Requests)
@@ -101,17 +104,12 @@ func main() {
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fatal(err)
+			log.Fatal(err)
 		}
 		defer f.Close()
 		if err := workload.WriteTrace(f, tr); err != nil {
-			fatal(err)
+			log.Fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+		log.Printf("wrote %s", *out)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
-	os.Exit(1)
 }

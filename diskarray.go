@@ -31,6 +31,8 @@ package diskarray
 
 import (
 	"io"
+	"log"
+	"time"
 
 	"repro/internal/array"
 	"repro/internal/diskmodel"
@@ -38,6 +40,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/policy"
 	"repro/internal/reliability"
+	"repro/internal/telemetry"
 	"repro/internal/thermal"
 	"repro/internal/workload"
 	"repro/internal/worth"
@@ -210,6 +213,42 @@ type Sample = array.Sample
 // RenderTimeline prints a compact view of a run's timeline.
 func RenderTimeline(w io.Writer, samples []Sample, maxRows int) {
 	array.RenderTimeline(w, samples, maxRows)
+}
+
+// WriteTimelineCSV exports a run's timeline as CSV with full round-trip
+// float precision.
+func WriteTimelineCSV(w io.Writer, samples []Sample) error {
+	return array.WriteTimelineCSV(w, samples)
+}
+
+// TelemetryConfig parameterizes a telemetry recorder (output directory,
+// Chrome trace_event recording, sampling).
+type TelemetryConfig = telemetry.Config
+
+// TelemetryRecorder collects a run's metrics, per-disk time-series, and DES
+// event trace. Assign one to SimConfig.Telemetry; a nil recorder disables
+// telemetry entirely and the simulation result is identical either way.
+type TelemetryRecorder = telemetry.Recorder
+
+// TelemetryDiskSample is one per-disk time-series row (the NDJSON/CSV
+// schema telemetry exports on every epoch boundary).
+type TelemetryDiskSample = telemetry.DiskSample
+
+// TelemetryProgress is a rate-limited structured progress logger.
+type TelemetryProgress = telemetry.Progress
+
+// OpenTelemetry creates the telemetry output directory and returns a
+// recorder writing into it. Close the recorder after the run to flush the
+// series files and write metrics.json.
+func OpenTelemetry(cfg TelemetryConfig) (*TelemetryRecorder, error) {
+	return telemetry.Open(cfg)
+}
+
+// NewTelemetryProgress builds a progress logger that writes through l at
+// most once per `every` (rate-limiting applies to Tick/Stepf; phase
+// boundaries always log).
+func NewTelemetryProgress(l *log.Logger, every time.Duration) *TelemetryProgress {
+	return telemetry.NewProgress(l, every)
 }
 
 // READConfig parameterizes the paper's READ policy.

@@ -157,6 +157,7 @@ func (c *Context) Migrate(fileID, to int) bool {
 	}
 	s.migrating[fileID] = true
 	s.migrations++
+	s.met.migrations.Inc()
 	start := func() {
 		s.enqueue(from, op{
 			kind:   opBackground,
@@ -187,7 +188,7 @@ func (c *Context) Migrate(fileID, to int) bool {
 		start()
 		return true
 	}
-	s.eng.MustSchedule(delay, func(*des.Engine) { start() })
+	s.eng.MustScheduleLabeled(delay, labelMigrate, func(*des.Engine) { start() })
 	return true
 }
 

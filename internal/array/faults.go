@@ -77,7 +77,7 @@ func (s *sim) installFaults() error {
 		return err
 	}
 	s.flt = &faultState{cfg: cfg, inj: inj, spares: s.cfg.Spares, firstLoss: -1}
-	s.eng.MustSchedule(cfg.CheckIntervalSeconds, s.onFaultTick)
+	s.eng.MustScheduleLabeled(cfg.CheckIntervalSeconds, labelFaultTick, s.onFaultTick)
 	return nil
 }
 
@@ -100,7 +100,7 @@ func (s *sim) onFaultTick(e *des.Engine) {
 	// Keep ticking only while the simulation still has work; otherwise the
 	// tick chain would hold the event loop open forever.
 	if s.workRemains() {
-		e.MustSchedule(s.flt.cfg.CheckIntervalSeconds, s.onFaultTick)
+		e.MustScheduleLabeled(s.flt.cfg.CheckIntervalSeconds, labelFaultTick, s.onFaultTick)
 	}
 }
 
@@ -176,7 +176,7 @@ func (s *sim) failDisk(d int, at float64) {
 		s.dropBackground(o)
 	}
 
-	s.eng.MustSchedule(f.inj.SampleRepairSeconds(), func(*des.Engine) { s.repairDisk(d) })
+	s.eng.MustScheduleLabeled(f.inj.SampleRepairSeconds(), labelRepair, func(*des.Engine) { s.repairDisk(d) })
 }
 
 // routeAroundFailure re-disposes an op whose disk d is (or just went) down:
@@ -298,7 +298,7 @@ func (s *sim) issueRebuild(d int, remainingMB float64) {
 			if delay < 0 {
 				delay = 0
 			}
-			s.eng.MustSchedule(delay, func(*des.Engine) { s.issueRebuild(d, remainingMB-size) })
+			s.eng.MustScheduleLabeled(delay, labelRebuild, func(*des.Engine) { s.issueRebuild(d, remainingMB-size) })
 		},
 	})
 }

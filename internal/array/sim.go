@@ -10,6 +10,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/reliability"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/thermal"
 	"repro/internal/workload"
 )
@@ -53,6 +54,14 @@ type Config struct {
 	// diagnostic if this many consecutive events fire without the virtual
 	// clock advancing. Zero means 1,000,000.
 	StallLimit uint64
+	// Telemetry, when non-nil, receives the run's instrumentation: registry
+	// metrics, per-disk time-series samples on epoch boundaries, a DES
+	// event trace (when the recorder has one), and progress lines. Nil
+	// disables all instrumentation; the hot path then pays only nil checks
+	// and zero allocations, and results are identical either way — the
+	// sampler reads exclusively through non-mutating snapshot accessors and
+	// schedules no events of its own.
+	Telemetry *telemetry.Recorder
 }
 
 func (c *Config) setDefaults() {
@@ -157,6 +166,9 @@ type Result struct {
 	Migrations    int
 	BackgroundOps int
 	Epochs        int
+
+	// EventsFired is the total number of DES events the run executed.
+	EventsFired uint64
 
 	// Timeline holds periodic samples when Config.SampleInterval > 0.
 	Timeline []Sample
@@ -301,6 +313,8 @@ type sim struct {
 	migsThisEpoch int          // for staggering migration starts
 	timeline      []Sample
 
+	met simMetrics // nil handles (no-ops) unless cfg.Telemetry is set
+
 	flt *faultState // nil unless fault injection is enabled
 
 	failure error // sticky abort (queue explosion etc.)
@@ -324,6 +338,12 @@ func Run(cfg Config) (*Result, error) {
 		counts:    make(map[int]int),
 		respHist:  hist,
 		migrating: make(map[int]bool),
+	}
+	if cfg.Telemetry != nil {
+		s.met = newSimMetrics(cfg.Telemetry.Metrics)
+		if tr := cfg.Telemetry.Tracer(); tr != nil {
+			s.eng.SetTracer(tr)
+		}
 	}
 	for _, f := range cfg.Trace.Files {
 		s.files[f.ID] = f
@@ -366,12 +386,12 @@ func Run(cfg Config) (*Result, error) {
 	// Schedule the first arrival and epochs.
 	if len(cfg.Trace.Requests) > 0 {
 		first := cfg.Trace.Requests[0].Arrival
-		if _, err := s.eng.At(first, s.onArrival); err != nil {
+		if _, err := s.eng.AtLabeled(first, labelArrival, s.onArrival); err != nil {
 			return nil, err
 		}
 	}
 	if cfg.EpochSeconds > 0 {
-		s.eng.MustSchedule(cfg.EpochSeconds, s.onEpoch)
+		s.eng.MustScheduleLabeled(cfg.EpochSeconds, labelEpoch, s.onEpoch)
 	}
 	s.installSampler()
 	if err := s.installFaults(); err != nil {
@@ -396,12 +416,13 @@ func (s *sim) onArrival(e *des.Engine) {
 	}
 	req := s.cfg.Trace.Requests[s.nextReq]
 	s.nextReq++
+	s.met.arrivals.Inc()
 	if s.nextReq < len(s.cfg.Trace.Requests) {
 		next := s.cfg.Trace.Requests[s.nextReq].Arrival
 		if next < e.Now() {
 			next = e.Now()
 		}
-		if _, err := e.At(next, s.onArrival); err != nil {
+		if _, err := e.AtLabeled(next, labelArrival, s.onArrival); err != nil {
 			s.fail(err)
 			return
 		}
@@ -465,6 +486,7 @@ func (s *sim) enqueue(disk int, o op) {
 	if ds.rebuilding && o.kind != opBackground && !o.rerouted {
 		s.flt.degraded++
 	}
+	s.met.queueDepth.Observe(float64(ds.queueLen()))
 	ds.push(o)
 	if !s.checkQueue(disk) {
 		return
@@ -504,7 +526,8 @@ func (s *sim) kick(d int) {
 		default:
 			ds.pending = nil
 			dur := ds.disk.BeginTransition(now, target)
-			s.eng.MustSchedule(dur, func(*des.Engine) {
+			s.met.transitions.Inc()
+			s.eng.MustScheduleLabeled(dur, labelTransition, func(*des.Engine) {
 				ds.disk.EndTransition(s.eng.Now())
 				ds.temp.SetSpeed(s.eng.Now(), ds.disk.Speed())
 				s.kick(d)
@@ -521,7 +544,7 @@ func (s *sim) kick(d int) {
 			dur = ds.disk.BeginService(now, o.sizeMB)
 		}
 		gen := ds.gen
-		s.eng.MustSchedule(dur, func(*des.Engine) {
+		s.eng.MustScheduleLabeled(dur, labelService, func(*des.Engine) {
 			end := s.eng.Now()
 			ds.disk.EndService(end)
 			if ds.failed || ds.gen != gen {
@@ -549,6 +572,8 @@ func (s *sim) complete(d int, o op, now float64) {
 		resp := now - o.arrival
 		s.respStream.Add(resp)
 		s.respHist.Add(resp)
+		s.met.completions.Inc()
+		s.met.respLatency.Observe(resp)
 		ctx := &Context{s: s}
 		s.cfg.Policy.OnRequestComplete(ctx, o.fileID, d)
 	case opChunk:
@@ -566,6 +591,8 @@ func (s *sim) complete(d int, o op, now float64) {
 			resp := now - o.stripe.arrival
 			s.respStream.Add(resp)
 			s.respHist.Add(resp)
+			s.met.completions.Inc()
+			s.met.respLatency.Observe(resp)
 			ctx := &Context{s: s}
 			s.cfg.Policy.OnRequestComplete(ctx, o.stripe.fileID, d)
 		}
@@ -602,7 +629,7 @@ func (s *sim) armIdleTimer(d int) {
 	ds.idleArmed = true
 	timeout := ds.idleTimeout
 	deadline := s.eng.Now() + timeout
-	s.eng.MustSchedule(timeout, func(*des.Engine) {
+	s.eng.MustScheduleLabeled(timeout, labelIdleTimer, func(*des.Engine) {
 		ds.idleArmed = false
 		now := s.eng.Now()
 		// Still idle and has been since before the timer was armed?
@@ -631,7 +658,7 @@ func (s *sim) rearmIdleTimer(d int, delay float64) {
 	}
 	ds.idleArmed = true
 	timeout := ds.idleTimeout
-	s.eng.MustSchedule(delay, func(*des.Engine) {
+	s.eng.MustScheduleLabeled(delay, labelIdleTimer, func(*des.Engine) {
 		ds.idleArmed = false
 		now := s.eng.Now()
 		if ds.failed || ds.disk.State() != diskmodel.Idle || ds.queueLen() > 0 {
@@ -654,6 +681,13 @@ func (s *sim) onEpoch(e *des.Engine) {
 	if s.failure != nil {
 		return
 	}
+	// Sample the per-disk time series at every epoch boundary, including
+	// the post-trace one below: sampling is read-only and schedules
+	// nothing, so it cannot perturb the run.
+	if s.cfg.Telemetry != nil {
+		s.sampleDisks(e.Now(), s.epochs)
+		s.cfg.Telemetry.Progress.Tick(e.Now(), e.Fired())
+	}
 	// Epochs exist to adapt placement to the live request stream; once
 	// the trace is exhausted there is nothing to adapt to, and post-trace
 	// migrations would only stretch the run and dilute utilization.
@@ -661,13 +695,14 @@ func (s *sim) onEpoch(e *des.Engine) {
 		return
 	}
 	s.epochs++
+	s.met.epochs.Inc()
 	s.migsThisEpoch = 0
 	ctx := &Context{s: s}
 	s.cfg.Policy.OnEpoch(ctx)
 	// Fresh popularity window per epoch (the paper's FPT records counts
 	// "during the current epoch").
 	s.counts = make(map[int]int)
-	e.MustSchedule(s.cfg.EpochSeconds, s.onEpoch)
+	e.MustScheduleLabeled(s.cfg.EpochSeconds, labelEpoch, s.onEpoch)
 }
 
 func (s *sim) busyDisks() int {
@@ -690,6 +725,12 @@ func (s *sim) collect() (*Result, error) {
 			now = t
 		}
 	}
+	// Close the time series with a run-final sample (epoch index one past
+	// the last boundary) before the mutating result accessors below commit
+	// their accruals.
+	if s.cfg.Telemetry != nil {
+		s.sampleDisks(now, s.epochs+1)
+	}
 	res := &Result{
 		PolicyName:    s.cfg.Policy.Name(),
 		Disks:         len(s.disks),
@@ -700,6 +741,7 @@ func (s *sim) collect() (*Result, error) {
 		Migrations:    s.migrations,
 		BackgroundOps: s.backgroundOps,
 		Epochs:        s.epochs,
+		EventsFired:   s.eng.Fired(),
 		Timeline:      s.timeline,
 	}
 	if s.respHist.N() > 0 {

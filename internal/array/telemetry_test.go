@@ -1,0 +1,258 @@
+package array
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"testing"
+
+	"repro/internal/telemetry"
+	"repro/internal/workload"
+)
+
+// telemetryRun executes the reference workload with the given recorder. The
+// spin-down policy exercises transitions, idle timers, and both speeds.
+func telemetryRun(t *testing.T, rec *telemetry.Recorder) *Result {
+	t.Helper()
+	tr := tinyTrace(t, 40, 3000, 0.02) // ~60 s
+	res, err := Run(Config{
+		Disks:          4,
+		Trace:          tr,
+		Policy:         &spinDownPolicy{h: 2},
+		EpochSeconds:   10,
+		SampleInterval: 5,
+		Telemetry:      rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// The central telemetry invariant: recording changes nothing. A run with a
+// full file-backed recorder must produce a Result identical — every float,
+// every timeline sample — to the same run with telemetry disabled.
+func TestTelemetryOnOffResultsIdentical(t *testing.T) {
+	off := telemetryRun(t, nil)
+
+	dir := filepath.Join(t.TempDir(), "tel")
+	rec, err := telemetry.Open(telemetry.Config{Dir: dir, TraceEvents: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	on := telemetryRun(t, rec)
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(off, on) {
+		t.Fatalf("telemetry changed the result:\noff: %+v\non:  %+v", off, on)
+	}
+
+	// Golden timeline compare: the exported per-epoch rows are identical
+	// byte-for-byte; telemetry adds files next to the run, not columns to it.
+	var offCSV, onCSV bytes.Buffer
+	if err := WriteTimelineCSV(&offCSV, off.Timeline); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTimelineCSV(&onCSV, on.Timeline); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(offCSV.Bytes(), onCSV.Bytes()) {
+		t.Fatalf("timeline CSV diverged:\noff:\n%s\non:\n%s", offCSV.String(), onCSV.String())
+	}
+}
+
+func TestTelemetryDiskSeriesContents(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "tel")
+	rec, err := telemetry.Open(telemetry.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := telemetryRun(t, rec)
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(filepath.Join(dir, "disks.ndjson"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var rows []telemetry.DiskSample
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var s telemetry.DiskSample
+		if err := json.Unmarshal(sc.Bytes(), &s); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		rows = append(rows, s)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	// One row per disk per epoch boundary (epochs 0..E-1), one per disk at
+	// the post-trace epoch event (E), and one per disk at run end (E+1).
+	want := 4 * (res.Epochs + 2)
+	if len(rows) != want {
+		t.Fatalf("rows = %d, want %d (4 disks x (%d epochs + post-trace + final))",
+			len(rows), want, res.Epochs)
+	}
+	lastT, lastEpoch := 0.0, 0
+	perDisk := map[int]telemetry.DiskSample{}
+	for i, r := range rows {
+		if r.Disk < 0 || r.Disk >= 4 {
+			t.Fatalf("row %d disk %d out of range", i, r.Disk)
+		}
+		if r.T < lastT || r.Epoch < lastEpoch {
+			t.Fatalf("row %d goes backwards (t %v->%v, epoch %d->%d)", i, lastT, r.T, lastEpoch, r.Epoch)
+		}
+		lastT, lastEpoch = r.T, r.Epoch
+		if r.Speed != "low" && r.Speed != "high" {
+			t.Fatalf("row %d speed %q", i, r.Speed)
+		}
+		if r.Utilization < 0 || r.Utilization > 1 {
+			t.Fatalf("row %d utilization %v", i, r.Utilization)
+		}
+		if prev, ok := perDisk[r.Disk]; ok && (r.EnergyJ < prev.EnergyJ || r.Transitions < prev.Transitions) {
+			t.Fatalf("row %d disk %d cumulative fields decreased: %+v -> %+v", i, r.Disk, prev, r)
+		}
+		if r.AFRPct <= 0 {
+			t.Fatalf("row %d AFR %v, want positive", i, r.AFRPct)
+		}
+		perDisk[r.Disk] = r
+	}
+	// The run-final rows agree with the Result's per-disk report.
+	for d, last := range perDisk {
+		if last.Epoch != res.Epochs+1 {
+			t.Fatalf("disk %d final row epoch %d, want %d", d, last.Epoch, res.Epochs+1)
+		}
+		if last.Transitions != res.PerDisk[d].Transitions {
+			t.Fatalf("disk %d final transitions %d, result says %d",
+				d, last.Transitions, res.PerDisk[d].Transitions)
+		}
+	}
+}
+
+func TestTelemetryMetricsMatchResult(t *testing.T) {
+	rec := &telemetry.Recorder{Metrics: telemetry.NewRegistry()}
+	res := telemetryRun(t, rec)
+
+	counter := func(name string) uint64 { return rec.Metrics.Counter(name).Value() }
+	if got := counter("sim.arrivals"); got != uint64(res.Requests) {
+		t.Fatalf("sim.arrivals = %d, want %d", got, res.Requests)
+	}
+	if got := counter("sim.completions"); got != uint64(res.Requests) {
+		t.Fatalf("sim.completions = %d, want %d", got, res.Requests)
+	}
+	if got := counter("sim.epochs"); got != uint64(res.Epochs) {
+		t.Fatalf("sim.epochs = %d, want %d", got, res.Epochs)
+	}
+	if got := counter("sim.migrations"); got != uint64(res.Migrations) {
+		t.Fatalf("sim.migrations = %d, want %d", got, res.Migrations)
+	}
+	var transitions uint64
+	for _, d := range res.PerDisk {
+		transitions += uint64(d.Transitions)
+	}
+	if got := counter("sim.speed_transitions"); got != transitions {
+		t.Fatalf("sim.speed_transitions = %d, want %d", got, transitions)
+	}
+	lat := rec.Metrics.Histogram("sim.response_seconds", telemetry.LatencyBounds())
+	if lat.Count() != uint64(res.Requests) {
+		t.Fatalf("latency observations = %d, want %d", lat.Count(), res.Requests)
+	}
+	// The histogram and the result's response stream accumulate the same
+	// observations in different summation orders; agree to float slack.
+	if mean := lat.Sum() / float64(lat.Count()); math.Abs(mean-res.MeanResponse) > 1e-9*res.MeanResponse {
+		t.Fatalf("histogram mean %v != result mean %v", mean, res.MeanResponse)
+	}
+	if got := rec.Metrics.Gauge("sim.events_fired").Value(); got != float64(res.EventsFired) {
+		t.Fatalf("sim.events_fired gauge = %v, want %d", got, res.EventsFired)
+	}
+}
+
+// A disabled telemetry sink must add no allocations to the whole run: the
+// same simulation allocates exactly as much with a zero-value (all-sinks-nil)
+// Recorder attached as with Config.Telemetry == nil.
+func TestTelemetryOffAddsNoAllocs(t *testing.T) {
+	tr := tinyTrace(t, 20, 800, 0.02)
+	run := func(rec *telemetry.Recorder) func() {
+		return func() {
+			_, err := Run(Config{Disks: 2, Trace: tr, Policy: &staticPolicy{}, Telemetry: rec})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	base := testing.AllocsPerRun(5, run(nil))
+	// A zero-value Recorder has nil Metrics/series/tracer: every handle the
+	// sim binds is a nil no-op sink. Only the per-epoch sampleDisks walk
+	// remains, which must not allocate.
+	withSink := testing.AllocsPerRun(5, run(&telemetry.Recorder{}))
+	if withSink > base {
+		t.Fatalf("disabled sink added allocations: %v with, %v without", withSink, base)
+	}
+}
+
+// benchTrace builds the workload once per benchmark binary.
+func benchTrace(b *testing.B) *workload.Trace {
+	b.Helper()
+	cfg := workload.DefaultGenConfig()
+	cfg.NumFiles = 40
+	cfg.NumRequests = 5000
+	cfg.MeanInterarrival = 0.01
+	tr, err := workload.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr
+}
+
+func benchRun(b *testing.B, rec func() *telemetry.Recorder) {
+	tr := benchTrace(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := rec()
+		if _, err := Run(Config{Disks: 4, Trace: tr, Policy: &staticPolicy{},
+			EpochSeconds: 10, Telemetry: r}); err != nil {
+			b.Fatal(err)
+		}
+		if err := r.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// The three telemetry regimes over an identical run: disabled, attached but
+// all sinks nil (the pure dispatch overhead), and fully recording to disk.
+func BenchmarkRunTelemetryOff(b *testing.B) {
+	benchRun(b, func() *telemetry.Recorder { return nil })
+}
+
+func BenchmarkRunTelemetryNilSinks(b *testing.B) {
+	benchRun(b, func() *telemetry.Recorder { return &telemetry.Recorder{} })
+}
+
+func BenchmarkRunTelemetryFull(b *testing.B) {
+	dir := b.TempDir()
+	i := 0
+	benchRun(b, func() *telemetry.Recorder {
+		i++
+		rec, err := telemetry.Open(telemetry.Config{
+			Dir:         filepath.Join(dir, strconv.Itoa(i)),
+			TraceEvents: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return rec
+	})
+}

@@ -3,6 +3,7 @@ package array
 import (
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 
 	"repro/internal/des"
@@ -65,10 +66,29 @@ func (s *sim) installSampler() {
 			Completed: s.respStream.N(),
 		})
 		if s.workRemains() {
-			e.MustSchedule(s.cfg.SampleInterval, tick)
+			e.MustScheduleLabeled(s.cfg.SampleInterval, labelSample, tick)
 		}
 	}
-	s.eng.MustSchedule(s.cfg.SampleInterval, tick)
+	s.eng.MustScheduleLabeled(s.cfg.SampleInterval, labelSample, tick)
+}
+
+// WriteTimelineCSV exports a timeline as CSV with a fixed header row. Floats
+// are formatted with full round-trip precision so exported rows can be
+// compared exactly across runs.
+func WriteTimelineCSV(w io.Writer, samples []Sample) error {
+	if _, err := fmt.Fprintln(w, "t,power_w,high_disks,queued,in_service,completed"); err != nil {
+		return err
+	}
+	for _, s := range samples {
+		_, err := fmt.Fprintf(w, "%s,%s,%d,%d,%d,%d\n",
+			strconv.FormatFloat(s.T, 'g', -1, 64),
+			strconv.FormatFloat(s.PowerW, 'g', -1, 64),
+			s.HighDisks, s.Queued, s.InService, s.Completed)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // RenderTimeline prints a compact fixed-width view of a timeline,

@@ -16,12 +16,30 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 )
 
 // Handler is the callback invoked when an event fires. The engine passes
 // itself so handlers can schedule follow-up events without capturing the
 // engine in every closure.
 type Handler func(e *Engine)
+
+// Tracer observes engine activity for diagnostics. All times are virtual
+// seconds except wallNanos, the handler's wall-clock execution time. The
+// interface uses only builtin types so implementations (e.g. the telemetry
+// package's Chrome trace writer) need no dependency on this package.
+//
+// A tracer must not mutate the engine. When no tracer is installed the
+// engine pays one nil check per operation and never reads the wall clock,
+// so disabled tracing adds zero allocations and no nondeterminism.
+type Tracer interface {
+	// EventScheduled fires when an event is enqueued to run at time at.
+	EventScheduled(id uint64, label string, at, now float64)
+	// EventFired fires after an event's handler returns.
+	EventFired(id uint64, label string, at float64, wallNanos int64)
+	// EventCanceled fires when a pending event is canceled.
+	EventCanceled(id uint64, label string, now float64)
+}
 
 // EventID identifies a scheduled event for cancellation. The zero EventID is
 // never issued.
@@ -37,6 +55,7 @@ type event struct {
 	time     float64
 	seq      uint64 // FIFO tie-breaker and identity
 	handler  Handler
+	label    string // tracer annotation; "" for unlabeled events
 	canceled bool
 	index    int // heap index, -1 once popped
 }
@@ -83,7 +102,11 @@ type Engine struct {
 	pending map[EventID]*event
 	fired   uint64
 	stopped bool
+	tracer  Tracer
 }
+
+// SetTracer installs (or, with nil, removes) the engine's activity tracer.
+func (e *Engine) SetTracer(t Tracer) { e.tracer = t }
 
 // New returns an engine with its clock at zero.
 func New() *Engine {
@@ -111,17 +134,29 @@ func (e *Engine) Pending() int { return len(e.pending) }
 // a zero delay fires at the current instant, after all events already
 // scheduled for that instant.
 func (e *Engine) Schedule(delay float64, h Handler) (EventID, error) {
+	return e.ScheduleLabeled(delay, "", h)
+}
+
+// ScheduleLabeled is Schedule with a tracer label attached to the event.
+// Labels should be constant strings ("arrival", "service", ...): attaching
+// one costs nothing and gives the event trace readable handler names.
+func (e *Engine) ScheduleLabeled(delay float64, label string, h Handler) (EventID, error) {
 	if delay < 0 || math.IsNaN(delay) {
 		return 0, fmt.Errorf("des: negative or NaN delay %v", delay)
 	}
-	return e.At(e.now+delay, h)
+	return e.AtLabeled(e.now+delay, label, h)
 }
 
 // MustSchedule is Schedule for delays the caller has already validated;
 // it panics on a negative or NaN delay, which always indicates a programming
 // error in the model rather than bad input.
 func (e *Engine) MustSchedule(delay float64, h Handler) EventID {
-	id, err := e.Schedule(delay, h)
+	return e.MustScheduleLabeled(delay, "", h)
+}
+
+// MustScheduleLabeled is MustSchedule with a tracer label.
+func (e *Engine) MustScheduleLabeled(delay float64, label string, h Handler) EventID {
+	id, err := e.ScheduleLabeled(delay, label, h)
 	if err != nil {
 		panic(err)
 	}
@@ -131,6 +166,11 @@ func (e *Engine) MustSchedule(delay float64, h Handler) EventID {
 // At arranges for h to run at absolute virtual time t, which must not be in
 // the past.
 func (e *Engine) At(t float64, h Handler) (EventID, error) {
+	return e.AtLabeled(t, "", h)
+}
+
+// AtLabeled is At with a tracer label.
+func (e *Engine) AtLabeled(t float64, label string, h Handler) (EventID, error) {
 	if h == nil {
 		return 0, errors.New("des: nil handler")
 	}
@@ -139,10 +179,13 @@ func (e *Engine) At(t float64, h Handler) (EventID, error) {
 	}
 	e.ensure()
 	e.seq++
-	ev := &event{time: t, seq: e.seq, handler: h}
+	ev := &event{time: t, seq: e.seq, handler: h, label: label}
 	heap.Push(&e.queue, ev)
 	id := EventID(ev.seq)
 	e.pending[id] = ev
+	if e.tracer != nil {
+		e.tracer.EventScheduled(ev.seq, label, t, e.now)
+	}
 	return id, nil
 }
 
@@ -157,6 +200,9 @@ func (e *Engine) Cancel(id EventID) bool {
 	ev.canceled = true
 	if ev.index >= 0 {
 		heap.Remove(&e.queue, ev.index)
+	}
+	if e.tracer != nil {
+		e.tracer.EventCanceled(ev.seq, ev.label, e.now)
 	}
 	return true
 }
@@ -176,6 +222,12 @@ func (e *Engine) Step() bool {
 		delete(e.pending, EventID(ev.seq))
 		e.now = ev.time
 		e.fired++
+		if tr := e.tracer; tr != nil {
+			start := time.Now()
+			ev.handler(e)
+			tr.EventFired(ev.seq, ev.label, ev.time, time.Since(start).Nanoseconds())
+			return true
+		}
 		ev.handler(e)
 		return true
 	}

@@ -296,5 +296,61 @@ func (d *Disk) TimeAtSpeed(now float64, s Speed) float64 {
 // BytesServedMB returns the cumulative data volume served.
 func (d *Disk) BytesServedMB() float64 { return d.bytesServedMB }
 
+// Snapshot is a read-only view of a disk's integrated quantities evaluated
+// at one instant, used by telemetry sampling.
+type Snapshot struct {
+	// Speed is the current spindle speed level.
+	Speed Speed
+	// State is the current activity state.
+	State State
+	// EnergyJ is cumulative energy through the snapshot time.
+	EnergyJ float64
+	// BusyTime is cumulative Active time through the snapshot time.
+	BusyTime float64
+	// Utilization is BusyTime over elapsed time (0 at time zero).
+	Utilization float64
+	// Transitions is the cumulative speed-transition count.
+	Transitions int
+	// TransitionRatePerDay is the daily-rate extrapolation of Transitions
+	// (see TransitionRatePerDay).
+	TransitionRatePerDay float64
+}
+
+// Snapshot evaluates the disk's integrated quantities at time now WITHOUT
+// committing the accrual. The mutating accessors (EnergyJ, Utilization, ...)
+// fold the pending interval into the running sums, which changes the
+// floating-point summation order of later accruals; a telemetry read that
+// used them would perturb the simulation's results in the last ulp. Snapshot
+// instead extends the integrals arithmetically and leaves the disk's state
+// untouched, so sampling any number of times is observationally pure.
+func (d *Disk) Snapshot(now float64) Snapshot {
+	dt := now - d.lastAccrual
+	if dt < 0 {
+		panic(fmt.Sprintf("diskmodel: disk %d snapshot time moved backwards: %v -> %v", d.id, d.lastAccrual, now))
+	}
+	energy, busy := d.energyJ, d.busyTime
+	switch d.state {
+	case Idle:
+		energy += d.params.IdlePower(d.speed) * dt
+	case Active:
+		energy += d.params.ActivePower(d.speed) * dt
+		busy += dt
+	case Transitioning:
+		// Transition energy was charged as a lump sum at BeginTransition.
+	}
+	s := Snapshot{
+		Speed:       d.speed,
+		State:       d.state,
+		EnergyJ:     energy,
+		BusyTime:    busy,
+		Transitions: d.transitions,
+	}
+	if now > 0 {
+		s.Utilization = busy / now
+		s.TransitionRatePerDay = float64(d.transitions) / (now / 86400.0)
+	}
+	return s
+}
+
 // Requests returns the number of requests this disk has begun serving.
 func (d *Disk) Requests() int { return d.requests }

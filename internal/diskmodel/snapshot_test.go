@@ -1,0 +1,128 @@
+package diskmodel
+
+import (
+	"testing"
+)
+
+// Snapshot must agree with the mutating accessors at every observation point
+// while never committing an accrual itself: telemetry reads through it, and
+// a read that changed summation order would make telemetry-on runs diverge
+// in the last ulp.
+func TestSnapshotMatchesMutatingAccessors(t *testing.T) {
+	p := DefaultParams()
+	// Two identical disks driven through the same history; one is observed
+	// via Snapshot between events, the other is left alone. Both are then
+	// read with the mutating accessors: the observed disk must report
+	// exactly the same state as the undisturbed one.
+	observed := New(0, p, High)
+	control := New(1, p, High)
+
+	type step func(d *Disk) float64
+	steps := []struct {
+		at float64
+		do step
+	}{
+		{1.0, func(d *Disk) float64 { return d.BeginService(1.0, 4) }},
+		{1.5, func(d *Disk) float64 { d.EndService(1.5); return 0 }},
+		{2.0, func(d *Disk) float64 { return d.BeginTransition(2.0, Low) }},
+		{5.0, func(d *Disk) float64 { d.EndTransition(5.0); return 0 }},
+		{7.0, func(d *Disk) float64 { return d.BeginService(7.0, 2) }},
+		{9.0, func(d *Disk) float64 { d.EndService(9.0); return 0 }},
+	}
+	for _, st := range steps {
+		st.do(observed)
+		st.do(control)
+		// Observe mid-history at an instant strictly after the event.
+		mid := st.at + 0.25
+		snap := observed.Snapshot(mid)
+		if snap.Speed != observed.Speed() || snap.State != observed.State() {
+			t.Fatalf("t=%v: snapshot speed/state %v/%v, disk says %v/%v",
+				mid, snap.Speed, snap.State, observed.Speed(), observed.State())
+		}
+		if snap.Transitions != observed.Transitions() {
+			t.Fatalf("t=%v: snapshot transitions %d, disk says %d",
+				mid, snap.Transitions, observed.Transitions())
+		}
+	}
+
+	// Final readings through the mutating accessors must be bit-identical:
+	// Snapshot never advanced the observed disk's accrual clock.
+	end := 10.0
+	snapEnd := observed.Snapshot(end)
+	if got, want := observed.EnergyJ(end), control.EnergyJ(end); got != want {
+		t.Fatalf("observed disk energy %v, control %v — Snapshot perturbed accrual", got, want)
+	}
+	if got, want := observed.Utilization(end), control.Utilization(end); got != want {
+		t.Fatalf("observed disk utilization %v, control %v", got, want)
+	}
+	// And the snapshot taken at `end` agrees with those final values.
+	if snapEnd.EnergyJ != control.EnergyJ(end) {
+		t.Fatalf("snapshot energy %v, accessor %v", snapEnd.EnergyJ, control.EnergyJ(end))
+	}
+	if snapEnd.Utilization != control.Utilization(end) {
+		t.Fatalf("snapshot utilization %v, accessor %v", snapEnd.Utilization, control.Utilization(end))
+	}
+}
+
+func TestSnapshotExtendsOpenIntervals(t *testing.T) {
+	p := DefaultParams()
+	d := New(0, p, High)
+
+	// Idle: energy grows at idle power, utilization stays 0.
+	s := d.Snapshot(10)
+	if want := p.IdlePower(High) * 10; s.EnergyJ != want {
+		t.Fatalf("idle snapshot energy %v, want %v", s.EnergyJ, want)
+	}
+	if s.Utilization != 0 || s.BusyTime != 0 {
+		t.Fatalf("idle snapshot util/busy = %v/%v, want 0/0", s.Utilization, s.BusyTime)
+	}
+
+	// Active: the open service interval counts as busy time.
+	d.BeginService(10, 1)
+	s = d.Snapshot(12)
+	if s.BusyTime != 2 {
+		t.Fatalf("active snapshot busy %v, want 2", s.BusyTime)
+	}
+	if s.Utilization != 2.0/12.0 {
+		t.Fatalf("active snapshot util %v, want %v", s.Utilization, 2.0/12.0)
+	}
+	d.EndService(12)
+
+	// Transitioning: no extra energy beyond the lump sum already charged.
+	before := d.Snapshot(12).EnergyJ
+	d.BeginTransition(12, Low)
+	after := d.Snapshot(13).EnergyJ
+	if want := before + p.TransitionEnergy(Low); after != want {
+		t.Fatalf("transitioning snapshot energy %v, want lump-sum %v", after, want)
+	}
+}
+
+func TestSnapshotAtTimeZero(t *testing.T) {
+	d := New(0, DefaultParams(), Low)
+	s := d.Snapshot(0)
+	if s.EnergyJ != 0 || s.Utilization != 0 || s.TransitionRatePerDay != 0 {
+		t.Fatalf("time-zero snapshot not zeroed: %+v", s)
+	}
+}
+
+func TestSnapshotTransitionRate(t *testing.T) {
+	p := DefaultParams()
+	d := New(0, p, High)
+	d.BeginTransition(0, Low)
+	d.EndTransition(p.TransitionTime(Low))
+	s := d.Snapshot(86400) // one day, one transition
+	if s.TransitionRatePerDay != 1 {
+		t.Fatalf("rate = %v, want 1/day", s.TransitionRatePerDay)
+	}
+}
+
+func TestSnapshotPanicsOnBackwardsTime(t *testing.T) {
+	d := New(0, DefaultParams(), High)
+	d.EnergyJ(5) // accrue to t=5
+	defer func() {
+		if recover() == nil {
+			t.Fatal("backwards snapshot accepted")
+		}
+	}()
+	d.Snapshot(4)
+}

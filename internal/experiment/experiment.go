@@ -13,11 +13,13 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/array"
 	"repro/internal/faults"
 	"repro/internal/policy"
 	"repro/internal/reliability"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -89,6 +91,11 @@ type SweepConfig struct {
 	Spares int
 	// RebuildMBps paces rebuild traffic; zero uses the array default.
 	RebuildMBps float64
+	// Progress, when non-nil, receives structured phase and per-cell
+	// completion lines while the sweep runs. It is rate-limited and
+	// goroutine-safe, so a large sweep logs a steady trickle rather than a
+	// burst per cell.
+	Progress *telemetry.Progress
 }
 
 // DefaultSweepConfig returns the paper's light-workload sweep at a reduced
@@ -201,6 +208,7 @@ func RunSweep(cfg SweepConfig) (*SweepResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	cfg.Progress.Phase("sweep: generate workload")
 	wl := cfg.Workload
 	var err error
 	if cfg.Intensity != 1 {
@@ -241,6 +249,8 @@ func RunSweep(cfg SweepConfig) (*SweepResult, error) {
 	}
 	cells := make([]Cell, len(jobs))
 	errs := make([]error, len(jobs))
+	cfg.Progress.Phase(fmt.Sprintf("sweep: run %d cells", len(jobs)))
+	var done atomic.Int64
 
 	sem := make(chan struct{}, cfg.Parallelism)
 	var wg sync.WaitGroup
@@ -275,6 +285,8 @@ func RunSweep(cfg SweepConfig) (*SweepResult, error) {
 				return
 			}
 			cells[j.idx] = Cell{Disks: j.disks, Policy: j.policy, Result: res}
+			cfg.Progress.Stepf("sweep: cell %d/%d done (disks=%d policy=%s, %d events)",
+				done.Add(1), len(jobs), j.disks, j.policy, res.EventsFired)
 		}(j)
 	}
 	wg.Wait()

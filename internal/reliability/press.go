@@ -171,6 +171,33 @@ func (m *Model) DiskAFR(f Factors) (float64, error) {
 	return afr, nil
 }
 
+// SnapshotAFR is DiskAFR for instrumentation hot paths: instead of
+// rejecting out-of-range factors it clamps them into the model's domain and
+// never returns an error, so a mid-run telemetry sample (taken while the
+// integrators are still warming up) always yields a usable AFR estimate.
+// NaN factors clamp to the nearest domain edge.
+func (m *Model) SnapshotAFR(f Factors) float64 {
+	if math.IsNaN(f.TempC) || f.TempC < -KelvinOffset {
+		f.TempC = -KelvinOffset
+	}
+	if math.IsNaN(f.Utilization) || f.Utilization < 0 {
+		f.Utilization = 0
+	} else if f.Utilization > 1 {
+		f.Utilization = 1
+	}
+	if math.IsNaN(f.TransitionsPerDay) || f.TransitionsPerDay < 0 {
+		f.TransitionsPerDay = 0
+	}
+	afr, err := m.DiskAFR(f)
+	if err != nil {
+		// Unreachable with clamped factors unless the model itself is
+		// misconfigured; report "no estimate" rather than panicking in an
+		// observability path.
+		return math.NaN()
+	}
+	return afr
+}
+
 // ArrayAFR runs the reliability integrator's second function (§3.5): the AFR
 // of a disk array is the AFR of its least reliable disk.
 func (m *Model) ArrayAFR(disks []Factors) (float64, error) {

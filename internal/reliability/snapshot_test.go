@@ -1,0 +1,60 @@
+package reliability
+
+import (
+	"math"
+	"testing"
+)
+
+// SnapshotAFR is the telemetry read path: in-range factors must agree with
+// DiskAFR exactly, and out-of-range factors (a disk mid-warm-up, a rate
+// extrapolated from zero elapsed time) are clamped rather than erroring —
+// an observability read must never abort a run.
+func TestSnapshotAFRMatchesDiskAFR(t *testing.T) {
+	m := NewModel()
+	for _, f := range []Factors{
+		{TempC: 40, Utilization: 0.3, TransitionsPerDay: 10},
+		{TempC: 50, Utilization: 0.9, TransitionsPerDay: 0},
+		{TempC: 28, Utilization: 0, TransitionsPerDay: 65},
+	} {
+		want, err := m.DiskAFR(f)
+		if err != nil {
+			t.Fatalf("DiskAFR(%+v): %v", f, err)
+		}
+		if got := m.SnapshotAFR(f); got != want {
+			t.Fatalf("SnapshotAFR(%+v) = %v, DiskAFR = %v", f, got, want)
+		}
+	}
+}
+
+func TestSnapshotAFRClampsOutOfRange(t *testing.T) {
+	m := NewModel()
+	cases := []struct {
+		name    string
+		in      Factors
+		clamped Factors
+	}{
+		{"util above 1", Factors{TempC: 45, Utilization: 1.7, TransitionsPerDay: 5},
+			Factors{TempC: 45, Utilization: 1, TransitionsPerDay: 5}},
+		{"negative util", Factors{TempC: 45, Utilization: -0.2, TransitionsPerDay: 5},
+			Factors{TempC: 45, Utilization: 0, TransitionsPerDay: 5}},
+		{"negative rate", Factors{TempC: 45, Utilization: 0.5, TransitionsPerDay: -3},
+			Factors{TempC: 45, Utilization: 0.5, TransitionsPerDay: 0}},
+		{"NaN rate", Factors{TempC: 45, Utilization: 0.5, TransitionsPerDay: math.NaN()},
+			Factors{TempC: 45, Utilization: 0.5, TransitionsPerDay: 0}},
+		{"below absolute zero", Factors{TempC: -400, Utilization: 0.5, TransitionsPerDay: 5},
+			Factors{TempC: -KelvinOffset, Utilization: 0.5, TransitionsPerDay: 5}},
+	}
+	for _, c := range cases {
+		got := m.SnapshotAFR(c.in)
+		if math.IsNaN(got) {
+			t.Fatalf("%s: SnapshotAFR returned NaN", c.name)
+		}
+		want, err := m.DiskAFR(c.clamped)
+		if err != nil {
+			t.Fatalf("%s: DiskAFR(%+v): %v", c.name, c.clamped, err)
+		}
+		if got != want {
+			t.Fatalf("%s: SnapshotAFR = %v, want clamped DiskAFR %v", c.name, got, want)
+		}
+	}
+}

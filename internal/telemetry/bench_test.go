@@ -1,0 +1,69 @@
+package telemetry
+
+import (
+	"io"
+	"testing"
+)
+
+// The hot-path handle operations, live and disabled. The nil variants are
+// the disabled-telemetry cost: one predictable branch, zero allocations.
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("c")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterIncNil(b *testing.B) {
+	var c *Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkGaugeSet(b *testing.B) {
+	g := NewRegistry().Gauge("g")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Set(float64(i))
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("h", LatencyBounds())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%100) * 1e-3)
+	}
+}
+
+func BenchmarkHistogramObserveNil(b *testing.B) {
+	var h *Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%100) * 1e-3)
+	}
+}
+
+func BenchmarkChromeTracerEventFired(b *testing.B) {
+	tr := NewChromeTracer(io.Discard, 1, b.N+1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.EventFired(uint64(i), "service", float64(i)*1e-3, 1500)
+	}
+}
+
+func BenchmarkSeriesWrite(b *testing.B) {
+	w := NewSeriesWriter(io.Discard, io.Discard)
+	s := DiskSample{T: 1.5, Epoch: 3, Disk: 2, Utilization: 0.4, TempC: 47.2,
+		Speed: "high", Transitions: 9, AFRPct: 11.5, QueueDepth: 3, EnergyJ: 1234.5}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := w.Write(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

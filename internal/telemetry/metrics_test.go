@@ -1,0 +1,202 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if r.Counter("a") != c {
+		t.Fatal("re-lookup returned a different handle")
+	}
+	g := r.Gauge("g")
+	g.Set(2)
+	g.Set(7.5)
+	if g.Value() != 7.5 {
+		t.Fatalf("gauge = %v, want 7.5", g.Value())
+	}
+}
+
+func TestNilHandlesAreNoOps(t *testing.T) {
+	var r *Registry
+	c := r.Counter("a")
+	g := r.Gauge("b")
+	h := r.Histogram("c", LatencyBounds())
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry returned non-nil handles")
+	}
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 || h.Mean() != 0 {
+		t.Fatal("nil handles accumulated state")
+	}
+	if r.Names() != nil {
+		t.Fatal("nil registry has names")
+	}
+}
+
+// The zero-overhead invariant: updating disabled (nil) handles must not
+// allocate — the hot path pays one nil check per update and nothing else.
+func TestNilHandlesDoNotAllocate(t *testing.T) {
+	var r *Registry
+	c := r.Counter("a")
+	g := r.Gauge("b")
+	h := r.Histogram("c", LatencyBounds())
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(2)
+		g.Set(3.5)
+		h.Observe(0.012)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-handle updates allocated %v times per run, want 0", allocs)
+	}
+}
+
+// Live handles must not allocate either: fixed buckets mean Observe is
+// search-and-increment.
+func TestLiveHandlesDoNotAllocate(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a")
+	g := r.Gauge("b")
+	h := r.Histogram("c", LatencyBounds())
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		g.Set(3.5)
+		h.Observe(0.012)
+	})
+	if allocs != 0 {
+		t.Fatalf("live-handle updates allocated %v times per run, want 0", allocs)
+	}
+}
+
+func TestHistogramBucketPlacement(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 1.5, 10, 99, 100, 101, 1e6} {
+		h.Observe(v)
+	}
+	// Bucket i counts v <= bounds[i]; the last bucket is overflow.
+	want := []uint64{2, 2, 2, 2}
+	for i, w := range want {
+		if h.counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (counts %v)", i, h.counts[i], w, h.counts)
+		}
+	}
+	if h.Count() != 8 {
+		t.Fatalf("count = %d, want 8", h.Count())
+	}
+	if h.min != 0.5 || h.max != 1e6 {
+		t.Fatalf("min/max = %v/%v, want 0.5/1e6", h.min, h.max)
+	}
+	if got := h.Mean(); got != h.Sum()/8 {
+		t.Fatalf("mean = %v, want %v", got, h.Sum()/8)
+	}
+}
+
+func TestHistogramRejectsBadBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-increasing bounds accepted")
+		}
+	}()
+	NewRegistry().Histogram("bad", []float64{1, 1, 2})
+}
+
+func TestDefaultBoundsAreStrictlyIncreasing(t *testing.T) {
+	for name, bounds := range map[string][]float64{
+		"latency": LatencyBounds(),
+		"queue":   QueueDepthBounds(),
+	} {
+		for i := 1; i < len(bounds); i++ {
+			if bounds[i] <= bounds[i-1] {
+				t.Fatalf("%s bounds not increasing at %d: %v", name, i, bounds)
+			}
+		}
+	}
+}
+
+func TestRegistryWriteJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("reqs").Add(3)
+	r.Gauge("temp").Set(41.5)
+	h := r.Histogram("lat", []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Counters   map[string]uint64 `json:"counters"`
+		Gauges     map[string]float64
+		Histograms map[string]struct {
+			Count  uint64
+			Sum    float64
+			Bounds []float64
+			Counts []uint64
+		}
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.Counters["reqs"] != 3 {
+		t.Fatalf("counters = %v", doc.Counters)
+	}
+	if doc.Gauges["temp"] != 41.5 {
+		t.Fatalf("gauges = %v", doc.Gauges)
+	}
+	hd := doc.Histograms["lat"]
+	if hd.Count != 2 || hd.Sum != 5.5 || len(hd.Counts) != len(hd.Bounds)+1 {
+		t.Fatalf("histogram dump = %+v", hd)
+	}
+
+	// Deterministic output: two dumps are byte-identical.
+	var buf2 bytes.Buffer
+	if err := r.WriteJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Fatal("WriteJSON output not deterministic")
+	}
+}
+
+func TestNilRegistryWriteJSON(t *testing.T) {
+	var r *Registry
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"counters", "gauges", "histograms"} {
+		if _, ok := doc[k]; !ok {
+			t.Fatalf("empty dump missing %q key: %s", k, buf.String())
+		}
+	}
+}
+
+func TestRegistryNames(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("z")
+	r.Counter("a")
+	r.Histogram("m", []float64{1})
+	got := strings.Join(r.Names(), ",")
+	if got != "a,m,z" {
+		t.Fatalf("Names = %q, want a,m,z", got)
+	}
+}

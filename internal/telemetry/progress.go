@@ -1,0 +1,104 @@
+package telemetry
+
+import (
+	"log"
+	"sync"
+	"time"
+)
+
+// Progress is a structured, rate-limited progress logger for long runs:
+// phase transitions, periodic sim-time/wall-time status, and completion
+// lines. It is goroutine-safe (sweep cells log from worker goroutines) and
+// a nil *Progress is a valid no-op sink.
+type Progress struct {
+	mu    sync.Mutex
+	log   *log.Logger
+	start time.Time
+	every time.Duration
+	last  time.Time
+}
+
+// NewProgress returns a progress logger writing through l, emitting
+// rate-limited lines at most once per `every` (zero means 2 s).
+func NewProgress(l *log.Logger, every time.Duration) *Progress {
+	if every <= 0 {
+		every = 2 * time.Second
+	}
+	return &Progress{log: l, start: time.Now(), every: every}
+}
+
+func (p *Progress) elapsed() time.Duration {
+	return time.Since(p.start).Round(time.Millisecond)
+}
+
+// Phase logs a run-phase transition unconditionally.
+func (p *Progress) Phase(name string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.log.Printf("phase %s (t+%s)", name, p.elapsed())
+}
+
+// allow reports whether a rate-limited line may be emitted now. Callers must
+// hold p.mu.
+func (p *Progress) allow() bool {
+	now := time.Now()
+	if now.Sub(p.last) < p.every {
+		return false
+	}
+	p.last = now
+	return true
+}
+
+// Tick logs simulation progress — virtual time reached, events fired, and
+// the sim-time/wall-time ratio — at most once per rate-limit interval.
+func (p *Progress) Tick(simSeconds float64, fired uint64) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.allow() {
+		return
+	}
+	wall := time.Since(p.start).Seconds()
+	ratio := 0.0
+	if wall > 0 {
+		ratio = simSeconds / wall
+	}
+	p.log.Printf("progress sim=%.1fs events=%d speedup=%.0fx (t+%s)",
+		simSeconds, fired, ratio, p.elapsed())
+}
+
+// Stepf logs an arbitrary rate-limited progress line (e.g. sweep-cell
+// completions).
+func (p *Progress) Stepf(format string, args ...any) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.allow() {
+		return
+	}
+	p.log.Printf(format, args...)
+}
+
+// Done logs a completion line unconditionally: the phase that finished, the
+// virtual time covered, events fired, and the final sim/wall ratio.
+func (p *Progress) Done(name string, simSeconds float64, fired uint64) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	wall := time.Since(p.start).Seconds()
+	ratio := 0.0
+	if wall > 0 {
+		ratio = simSeconds / wall
+	}
+	p.log.Printf("done %s sim=%.1fs events=%d speedup=%.0fx (t+%s)",
+		name, simSeconds, fired, ratio, p.elapsed())
+}

@@ -1,0 +1,140 @@
+package telemetry
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Config parameterizes a file-backed Recorder.
+type Config struct {
+	// Dir is the output directory (created if missing). The recorder
+	// writes disks.ndjson, disks.csv, metrics.json, and — with TraceEvents
+	// — trace.json into it.
+	Dir string
+	// TraceEvents enables the Chrome trace_event DES trace.
+	TraceEvents bool
+	// TraceSampleEvery records every Nth DES event of each kind in the
+	// Chrome trace; values < 1 mean every event.
+	TraceSampleEvery int
+	// TraceMaxEvents hard-caps the Chrome trace record count; values < 1
+	// mean the default of 1,000,000.
+	TraceMaxEvents int
+}
+
+// Recorder bundles the telemetry sinks one simulation writes to: a metrics
+// registry, the per-disk time series, an optional DES event tracer, and an
+// optional progress logger. A nil *Recorder disables everything; the zero
+// value is a valid in-memory-only recorder (set Metrics/Progress as needed).
+type Recorder struct {
+	// Metrics is the run's metrics registry; nil disables metric recording
+	// (handles bound from a nil registry are no-op sinks).
+	Metrics *Registry
+	// Progress, when non-nil, receives phase/progress/done lines.
+	Progress *Progress
+
+	series *SeriesWriter
+	tracer *ChromeTracer
+	files  []*os.File
+	dir    string
+}
+
+// Open creates cfg.Dir and returns a Recorder writing into it.
+func Open(cfg Config) (*Recorder, error) {
+	if cfg.Dir == "" {
+		return nil, errors.New("telemetry: empty output directory")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("telemetry: %w", err)
+	}
+	r := &Recorder{Metrics: NewRegistry(), dir: cfg.Dir}
+	open := func(name string) (*os.File, error) {
+		f, err := os.Create(filepath.Join(cfg.Dir, name))
+		if err != nil {
+			r.closeFiles()
+			return nil, fmt.Errorf("telemetry: %w", err)
+		}
+		r.files = append(r.files, f)
+		return f, nil
+	}
+	nd, err := open("disks.ndjson")
+	if err != nil {
+		return nil, err
+	}
+	csvf, err := open("disks.csv")
+	if err != nil {
+		return nil, err
+	}
+	r.series = NewSeriesWriter(nd, csvf)
+	if cfg.TraceEvents {
+		tf, err := open("trace.json")
+		if err != nil {
+			return nil, err
+		}
+		r.tracer = NewChromeTracer(tf, cfg.TraceSampleEvery, cfg.TraceMaxEvents)
+	}
+	return r, nil
+}
+
+// Dir returns the output directory ("" for an in-memory recorder).
+func (r *Recorder) Dir() string {
+	if r == nil {
+		return ""
+	}
+	return r.dir
+}
+
+// Tracer returns the Chrome tracer, or nil when event tracing is off.
+func (r *Recorder) Tracer() *ChromeTracer {
+	if r == nil {
+		return nil
+	}
+	return r.tracer
+}
+
+// RecordDiskSample appends one per-disk time-series sample.
+func (r *Recorder) RecordDiskSample(s DiskSample) error {
+	if r == nil {
+		return nil
+	}
+	return r.series.Write(s)
+}
+
+func (r *Recorder) closeFiles() error {
+	var first error
+	for _, f := range r.files {
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	r.files = nil
+	return first
+}
+
+// Close flushes the series, finalizes the Chrome trace, dumps the metrics
+// registry to metrics.json, and closes all files. It is safe on nil.
+func (r *Recorder) Close() error {
+	if r == nil {
+		return nil
+	}
+	var first error
+	keep := func(err error) {
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	keep(r.series.Flush())
+	keep(r.tracer.Close())
+	if r.dir != "" && r.Metrics != nil {
+		f, err := os.Create(filepath.Join(r.dir, "metrics.json"))
+		if err != nil {
+			keep(err)
+		} else {
+			keep(r.Metrics.WriteJSON(f))
+			keep(f.Close())
+		}
+	}
+	keep(r.closeFiles())
+	return first
+}

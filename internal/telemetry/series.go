@@ -1,0 +1,105 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// DiskSample is one per-disk point of the time series recorded on epoch
+// boundaries. The JSON field names are the NDJSON schema; the CSV columns
+// use the same names in the same order.
+type DiskSample struct {
+	// T is the virtual time of the sample in seconds.
+	T float64 `json:"t"`
+	// Epoch is the zero-based epoch index the sample closes; the run-final
+	// sample uses the epoch count (one past the last boundary).
+	Epoch int `json:"epoch"`
+	// Disk is the disk's index within the array.
+	Disk int `json:"disk"`
+	// Utilization is the lifetime busy-time fraction so far, in [0,1].
+	Utilization float64 `json:"util"`
+	// TempC is the time-weighted mean operating temperature so far.
+	TempC float64 `json:"temp_c"`
+	// Speed is the spindle speed level ("low" or "high").
+	Speed string `json:"speed"`
+	// Transitions is the cumulative speed-transition count.
+	Transitions int `json:"transitions"`
+	// AFRPct is the live PRESS AFR estimate, in percent, from the disk's
+	// factors so far.
+	AFRPct float64 `json:"afr_pct"`
+	// QueueDepth counts queued (not in service) operations on the disk.
+	QueueDepth int `json:"queue"`
+	// EnergyJ is the disk's cumulative energy so far, in joules.
+	EnergyJ float64 `json:"energy_j"`
+}
+
+// seriesColumns is the CSV header, matching DiskSample's JSON names.
+const seriesColumns = "t,epoch,disk,util,temp_c,speed,transitions,afr_pct,queue,energy_j"
+
+// SeriesWriter exports DiskSamples as NDJSON (one JSON object per line) and
+// CSV simultaneously. Either writer may be nil to skip that format.
+type SeriesWriter struct {
+	nd  *bufio.Writer
+	csv *bufio.Writer
+	enc *json.Encoder
+}
+
+// NewSeriesWriter starts a series on the given writers (either may be nil).
+// The CSV header is written immediately.
+func NewSeriesWriter(ndjson, csvw io.Writer) *SeriesWriter {
+	w := &SeriesWriter{}
+	if ndjson != nil {
+		w.nd = bufio.NewWriterSize(ndjson, 32<<10)
+		w.enc = json.NewEncoder(w.nd)
+	}
+	if csvw != nil {
+		w.csv = bufio.NewWriterSize(csvw, 32<<10)
+		fmt.Fprintln(w.csv, seriesColumns)
+	}
+	return w
+}
+
+// g formats a float with full round-trip precision.
+func g(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// Write appends one sample to both outputs.
+func (w *SeriesWriter) Write(s DiskSample) error {
+	if w == nil {
+		return nil
+	}
+	if w.enc != nil {
+		if err := w.enc.Encode(s); err != nil {
+			return err
+		}
+	}
+	if w.csv != nil {
+		_, err := fmt.Fprintf(w.csv, "%s,%d,%d,%s,%s,%s,%d,%s,%d,%s\n",
+			g(s.T), s.Epoch, s.Disk, g(s.Utilization), g(s.TempC), s.Speed,
+			s.Transitions, g(s.AFRPct), s.QueueDepth, g(s.EnergyJ))
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush flushes both buffered outputs.
+func (w *SeriesWriter) Flush() error {
+	if w == nil {
+		return nil
+	}
+	if w.nd != nil {
+		if err := w.nd.Flush(); err != nil {
+			return err
+		}
+	}
+	if w.csv != nil {
+		if err := w.csv.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,62 @@
+package thermal
+
+import (
+	"testing"
+
+	"repro/internal/diskmodel"
+)
+
+// PeekMeanTemp is the telemetry read path: it must return exactly what
+// MeanTemp would, without committing the pending interval into the tracker's
+// integral (which would change later summation order and so later values).
+func TestPeekMeanTempMatchesMeanTemp(t *testing.T) {
+	m := Default()
+	peeked := NewTracker(m, diskmodel.High)
+	advanced := NewTracker(m, diskmodel.High)
+
+	script := []struct {
+		at    float64
+		speed diskmodel.Speed
+	}{
+		{600, diskmodel.Low},
+		{1800, diskmodel.High},
+		{2000, diskmodel.Low},
+	}
+	for _, st := range script {
+		peeked.SetSpeed(st.at, st.speed)
+		advanced.SetSpeed(st.at, st.speed)
+		// Peek strictly inside the next open interval.
+		at := st.at + 90
+		if got, want := peeked.PeekMeanTemp(at), advanced.MeanTemp(at); got != want {
+			t.Fatalf("t=%v: peek %v, mean %v", at, got, want)
+		}
+	}
+
+	// After all that peeking, the peeked tracker's committed state must be
+	// untouched: a final mutating read agrees bit-for-bit with the tracker
+	// that only ever saw mutating reads.
+	end := 4000.0
+	if got, want := peeked.MeanTemp(end), advanced.MeanTemp(end); got != want {
+		t.Fatalf("final mean %v, control %v — Peek perturbed the integral", got, want)
+	}
+	if got, want := peeked.TempAt(end), advanced.TempAt(end); got != want {
+		t.Fatalf("final temp %v, control %v", got, want)
+	}
+}
+
+func TestPeekMeanTempRepeatable(t *testing.T) {
+	tr := NewTracker(Default(), diskmodel.Low)
+	tr.SetSpeed(100, diskmodel.High)
+	a := tr.PeekMeanTemp(500)
+	b := tr.PeekMeanTemp(500)
+	if a != b {
+		t.Fatalf("repeated peeks differ: %v vs %v", a, b)
+	}
+}
+
+func TestPeekMeanTempAtZero(t *testing.T) {
+	tr := NewTracker(Default(), diskmodel.High)
+	if got := tr.PeekMeanTemp(0); got != Default().HighSteadyC {
+		t.Fatalf("peek at t=0 = %v, want initial steady %v", got, Default().HighSteadyC)
+	}
+}

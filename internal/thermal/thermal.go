@@ -154,3 +154,25 @@ func (tr *Tracker) MaxTemp(now float64) float64 {
 	tr.advance(now)
 	return tr.maxC
 }
+
+// PeekMeanTemp returns the time-weighted mean operating temperature over
+// [0, now] WITHOUT advancing the tracker. MeanTemp commits the pending
+// interval into the running integral, which changes the floating-point
+// summation order of later advances; telemetry sampling uses this pure
+// variant so that reading the temperature mid-run cannot perturb the
+// simulation's results.
+func (tr *Tracker) PeekMeanTemp(now float64) float64 {
+	dt := now - tr.lastTime
+	if dt < 0 {
+		panic("thermal: time moved backwards")
+	}
+	if now <= 0 {
+		return tr.tempC
+	}
+	integral := tr.integral
+	if dt > 0 {
+		tau := tr.model.TimeConstant
+		integral += tr.steadyC*dt + (tr.tempC-tr.steadyC)*tau*(1-math.Exp(-dt/tau))
+	}
+	return integral / now
+}
