@@ -1,0 +1,336 @@
+// Command arrayreport works with recorded run directories: listing and
+// inspecting manifests, diffing two runs metric-by-metric, gating fresh runs
+// against the committed baseline (BENCH_runs.json), regenerating that
+// baseline, and rendering a self-contained HTML report.
+//
+//	arrayreport list -store runs
+//	arrayreport show -store runs fig7-light
+//	arrayreport diff runs-a/fig7-light-0123456789ab runs-b/fig7-light-0123456789ab
+//	arrayreport diff -store runs -tol 0.01 fig7-light fig7-heavy
+//	arrayreport check -baseline BENCH_runs.json -store runs
+//	arrayreport baseline -store runs -out BENCH_runs.json
+//	arrayreport html -store runs -out report.html
+//
+// diff and check exit 1 when any metric is out of tolerance, so both work as
+// CI regression gates; the default diff tolerance is 0 (exact equality),
+// which makes a same-seed diff a bit-identical-determinism check.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/runstore"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("arrayreport: ")
+	version := flag.Bool("version", false, "print build information and exit")
+	flag.Usage = usage
+	flag.Parse()
+	if *version {
+		fmt.Println(runstore.VersionLine("arrayreport"))
+		return
+	}
+	if flag.NArg() < 1 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+	var err error
+	switch cmd {
+	case "list":
+		err = cmdList(args)
+	case "show":
+		err = cmdShow(args)
+	case "diff":
+		err = cmdDiff(args)
+	case "check":
+		err = cmdCheck(args)
+	case "baseline":
+		err = cmdBaseline(args)
+	case "html":
+		err = cmdHTML(args)
+	default:
+		fmt.Fprintf(os.Stderr, "arrayreport: unknown command %q\n\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: arrayreport [-version] <command> [flags] [args]
+
+commands:
+  list      list the runs in a store
+  show      print one run's manifest and metrics
+  diff      compare two runs metric-by-metric (exit 1 on breach)
+  check     gate runs against a committed baseline file (exit 1 on breach)
+  baseline  regenerate a baseline file from a store's runs
+  html      render a self-contained HTML report of a store
+
+run 'arrayreport <command> -h' for the flags of one command.
+`)
+}
+
+// resolveRun loads one run from a positional ref: a path to a run directory
+// (or its manifest.json) if it exists on disk, otherwise a store lookup by
+// run ID, name, or digest prefix.
+func resolveRun(storeDir, ref string) (*runstore.Manifest, error) {
+	if _, err := os.Stat(ref); err == nil {
+		return runstore.ReadManifest(ref)
+	}
+	if storeDir == "" {
+		return nil, fmt.Errorf("%q is not a run directory and no -store was given", ref)
+	}
+	st, err := runstore.Open(storeDir)
+	if err != nil {
+		return nil, err
+	}
+	return st.Load(ref)
+}
+
+func cmdList(args []string) error {
+	fs := flag.NewFlagSet("list", flag.ExitOnError)
+	storeDir := fs.String("store", "runs", "run store directory")
+	fs.Parse(args)
+	st, err := runstore.Open(*storeDir)
+	if err != nil {
+		return err
+	}
+	runs, err := st.List()
+	if err != nil {
+		return err
+	}
+	if len(runs) == 0 {
+		fmt.Printf("no runs in %s\n", st.Root())
+		return nil
+	}
+	fmt.Printf("%-28s %-12s %-14s %10s %9s %9s  %s\n",
+		"run", "tool", "policy", "energy_kj", "afr_pct", "mean_ms", "created")
+	for _, m := range runs {
+		fmt.Printf("%-28s %-12s %-14s %10.1f %9.3f %9.2f  %s\n",
+			m.ID(), m.Tool, m.Policy,
+			m.Summary.EnergyJ/1e3, m.Summary.ArrayAFRPct, m.Summary.MeanResponseS*1e3,
+			m.CreatedAt)
+	}
+	return nil
+}
+
+func cmdShow(args []string) error {
+	fs := flag.NewFlagSet("show", flag.ExitOnError)
+	storeDir := fs.String("store", "runs", "run store directory")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("show needs exactly one run ref, got %d", fs.NArg())
+	}
+	m, err := resolveRun(*storeDir, fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("run:       %s\n", m.ID())
+	fmt.Printf("tool:      %s\n", m.Tool)
+	if m.Policy != "" {
+		fmt.Printf("policy:    %s\n", m.Policy)
+	}
+	if m.Workload != "" {
+		fmt.Printf("workload:  %s\n", m.Workload)
+	}
+	fmt.Printf("seed:      %d\n", m.Seed)
+	fmt.Printf("digest:    %s\n", m.ConfigDigest)
+	fmt.Printf("build:     %s\n", m.Build)
+	if m.CreatedAt != "" {
+		fmt.Printf("created:   %s (%.2f s wall)\n", m.CreatedAt, m.WallSeconds)
+	}
+	if len(m.Artifacts) > 0 {
+		fmt.Printf("artifacts: %s\n", strings.Join(m.Artifacts, ", "))
+	}
+	fmt.Println("\nmetrics:")
+	metrics := m.Summary.Metrics()
+	names := make([]string, 0, len(metrics))
+	for k := range metrics {
+		names = append(names, k)
+	}
+	// Fixed metrics first, cell metrics after; both alphabetical.
+	sortMetricNames(names)
+	for _, k := range names {
+		fmt.Printf("  %-34s %16.9g\n", k, metrics[k])
+	}
+	return nil
+}
+
+func sortMetricNames(names []string) {
+	sort.Slice(names, func(i, j int) bool {
+		ci := strings.HasPrefix(names[i], "cell.")
+		cj := strings.HasPrefix(names[j], "cell.")
+		if ci != cj {
+			return !ci
+		}
+		return names[i] < names[j]
+	})
+}
+
+func cmdDiff(args []string) error {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	storeDir := fs.String("store", "", "run store to resolve non-path refs in")
+	tol := fs.Float64("tol", 0, "default relative tolerance (0 = exact equality)")
+	all := fs.Bool("all", false, "print every metric, not only breaches")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		return fmt.Errorf("diff needs exactly two run refs, got %d", fs.NArg())
+	}
+	a, err := resolveRun(*storeDir, fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	b, err := resolveRun(*storeDir, fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("A: %s (digest %.12s)\nB: %s (digest %.12s)\n",
+		a.ID(), a.ConfigDigest, b.ID(), b.ConfigDigest)
+	if a.ConfigDigest != b.ConfigDigest {
+		fmt.Println("note: configurations differ — metric deltas are expected")
+	}
+	fmt.Println()
+	deltas := runstore.Diff(a.Summary, b.Summary, runstore.Tolerances{Default: *tol})
+	runstore.RenderDeltas(os.Stdout, deltas, !*all)
+	if runstore.Breaches(deltas) > 0 {
+		os.Exit(1)
+	}
+	return nil
+}
+
+func cmdCheck(args []string) error {
+	fs := flag.NewFlagSet("check", flag.ExitOnError)
+	storeDir := fs.String("store", "runs", "run store directory")
+	baselinePath := fs.String("baseline", "BENCH_runs.json", "committed baseline file")
+	fs.Parse(args)
+	bf, err := runstore.ReadBaselineFile(*baselinePath)
+	if err != nil {
+		return err
+	}
+	var runs []*runstore.Manifest
+	if fs.NArg() > 0 {
+		for _, ref := range fs.Args() {
+			m, err := resolveRun(*storeDir, ref)
+			if err != nil {
+				return err
+			}
+			runs = append(runs, m)
+		}
+	} else {
+		st, err := runstore.Open(*storeDir)
+		if err != nil {
+			return err
+		}
+		runs, err = st.List()
+		if err != nil {
+			return err
+		}
+		if len(runs) == 0 {
+			return fmt.Errorf("no runs to check in %s", st.Root())
+		}
+	}
+	breached := false
+	for _, m := range runs {
+		res, err := bf.Check(m)
+		if err != nil {
+			return err
+		}
+		status := "ok"
+		if res.Breached() {
+			status = "BREACH"
+			breached = true
+		}
+		fmt.Printf("%s: %s (tol %g)\n", m.ID(), status, bf.DefaultTolerance)
+		if res.ConfigDrift {
+			fmt.Printf("  note: config digest drifted from the baseline (%.12s → %.12s) — regenerate with 'arrayreport baseline' if intended\n",
+				bf.Find(m.Name).ConfigDigest, m.ConfigDigest)
+		}
+		if res.Breached() {
+			runstore.RenderDeltas(os.Stdout, res.Deltas, true)
+		}
+	}
+	if breached {
+		os.Exit(1)
+	}
+	return nil
+}
+
+func cmdBaseline(args []string) error {
+	fs := flag.NewFlagSet("baseline", flag.ExitOnError)
+	storeDir := fs.String("store", "runs", "run store directory")
+	out := fs.String("out", "BENCH_runs.json", "baseline file to write")
+	tol := fs.Float64("tol", 0.01, "default relative tolerance recorded in the file")
+	command := fs.String("command", "", "regeneration command recorded in the file")
+	fs.Parse(args)
+	st, err := runstore.Open(*storeDir)
+	if err != nil {
+		return err
+	}
+	runs, err := st.List()
+	if err != nil {
+		return err
+	}
+	if len(runs) == 0 {
+		return fmt.Errorf("no runs in %s to build a baseline from", st.Root())
+	}
+	bf := runstore.BaselineFromManifests(runs, *tol,
+		time.Now().UTC().Format("2006-01-02"), *command)
+	if err := runstore.WriteBaselineFile(*out, bf); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d run(s), default tolerance %g\n", *out, len(bf.Runs), *tol)
+	return nil
+}
+
+func cmdHTML(args []string) error {
+	fs := flag.NewFlagSet("html", flag.ExitOnError)
+	storeDir := fs.String("store", "runs", "run store directory")
+	out := fs.String("out", "report.html", "output HTML file")
+	title := fs.String("title", "disk-array runs", "report title")
+	fs.Parse(args)
+	st, err := runstore.Open(*storeDir)
+	if err != nil {
+		return err
+	}
+	manifests, err := st.List()
+	if err != nil {
+		return err
+	}
+	if len(manifests) == 0 {
+		return fmt.Errorf("no runs in %s to report on", st.Root())
+	}
+	var runs []*runstore.ReportRun
+	for _, m := range manifests {
+		run, err := runstore.LoadReportRun(filepath.Join(st.Root(), m.ID()))
+		if err != nil {
+			return err
+		}
+		runs = append(runs, run)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	if err := runstore.WriteHTMLReport(f, *title, runs); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d run(s)\n", *out, len(runs))
+	return nil
+}

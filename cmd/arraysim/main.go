@@ -22,8 +22,26 @@ import (
 	diskarray "repro"
 	"repro/internal/experiment"
 	"repro/internal/faults"
+	"repro/internal/runstore"
 	"repro/internal/telemetry"
 )
+
+// manifestConfig is the digested configuration block of an arraysim run
+// manifest: everything that determines the simulation's results. For trace
+// replays the trace is identified by path only — the file's contents are not
+// digested.
+type manifestConfig struct {
+	Policy      string         `json:"policy"`
+	Disks       int            `json:"disks"`
+	Requests    int            `json:"requests,omitempty"`
+	Intensity   float64        `json:"intensity,omitempty"`
+	Seed        int64          `json:"seed,omitempty"`
+	TraceFile   string         `json:"trace_file,omitempty"`
+	Epochs      int            `json:"epochs"`
+	Faults      map[string]any `json:"faults,omitempty"`
+	Spares      int            `json:"spares,omitempty"`
+	RebuildMBps float64        `json:"rebuild_mbps,omitempty"`
+}
 
 func main() {
 	log.SetFlags(0)
@@ -39,6 +57,9 @@ func main() {
 		verbose    = flag.Bool("v", true, "print the per-disk table")
 		timeline   = flag.Bool("timeline", false, "print a power/speed/queue timeline")
 
+		runsDir      = flag.String("runs-dir", "", "record this run in a run store: manifest.json plus telemetry artifacts under <runs-dir>/<name>-<digest>/")
+		runName      = flag.String("run-name", "arraysim", "run name inside the store (requires -runs-dir)")
+		version      = flag.Bool("version", false, "print build information and exit")
 		telemetryDir = flag.String("telemetry-dir", "", "write per-disk NDJSON/CSV time-series and metrics.json into this directory")
 		traceEvents  = flag.Bool("trace-events", false, "also record a Chrome trace_event DES trace (trace.json; requires -telemetry-dir)")
 		traceSample  = flag.Int("trace-sample", 1, "record every Nth DES event in the Chrome trace")
@@ -55,6 +76,11 @@ func main() {
 		rebuildMBps  = flag.Float64("rebuild-mbps", 0, "rebuild pacing in MB/s (0 = default 50)")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println(runstore.VersionLine("arraysim"))
+		return
+	}
 
 	// Validate the flag set up front: a contradictory or impossible
 	// combination should die with a usage message here, not as a cryptic
@@ -87,8 +113,12 @@ func main() {
 		usageErr("-fault-accel %g must be positive", *faultAccel)
 	case !*withFaults && (explicit["fault-seed"] || explicit["fault-accel"] || explicit["press-scaling"] || explicit["spares"] || explicit["rebuild-mbps"]):
 		usageErr("fault flags require -faults")
-	case *telemetryDir == "" && (*traceEvents || explicit["trace-sample"]):
-		usageErr("-trace-events/-trace-sample require -telemetry-dir")
+	case *runsDir == "" && explicit["run-name"]:
+		usageErr("-run-name requires -runs-dir")
+	case *runsDir != "" && *runName == "":
+		usageErr("-run-name must not be empty")
+	case *runsDir == "" && *telemetryDir == "" && (*traceEvents || explicit["trace-sample"]):
+		usageErr("-trace-events/-trace-sample require -telemetry-dir or -runs-dir")
 	case *traceSample < 1:
 		usageErr("-trace-sample %d must be at least 1", *traceSample)
 	}
@@ -127,6 +157,63 @@ func main() {
 			log.Fatal(err)
 		}
 	}()
+
+	var faultCfg *faults.Config
+	if *withFaults {
+		fc := faults.Default()
+		fc.Seed = *faultSeed
+		fc.Acceleration = *faultAccel
+		fc.PRESSScaling = *pressScaling
+		faultCfg = &fc
+	}
+
+	// With -runs-dir the run records itself: the config digest names the run
+	// directory, and telemetry (unless routed elsewhere explicitly) lands
+	// next to the manifest so the artifacts travel with the run.
+	var (
+		store    *runstore.Store
+		manifest *runstore.Manifest
+	)
+	start := time.Now()
+	if *runsDir != "" {
+		mc := manifestConfig{
+			Policy: *policyName,
+			Disks:  *disks,
+			Epochs: *epochs,
+		}
+		if *tracePath != "" {
+			mc.TraceFile = *tracePath
+		} else {
+			mc.Requests = *requests
+			mc.Intensity = *intensity
+			mc.Seed = *seed
+		}
+		if faultCfg != nil {
+			fcm, err := runstore.ToJSONMap(*faultCfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			mc.Faults = fcm
+			mc.Spares = *spares
+			mc.RebuildMBps = *rebuildMBps
+		}
+		var err error
+		manifest, err = runstore.New("arraysim", *runName, mc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		store, err = runstore.Open(*runsDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dir, err := store.RunDir(manifest)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *telemetryDir == "" {
+			*telemetryDir = dir
+		}
+	}
 
 	var rec *telemetry.Recorder
 	if *telemetryDir != "" {
@@ -193,12 +280,8 @@ func main() {
 		Policy:       pol,
 		EpochSeconds: stats.Duration / float64(*epochs),
 	}
-	if *withFaults {
-		fc := faults.Default()
-		fc.Seed = *faultSeed
-		fc.Acceleration = *faultAccel
-		fc.PRESSScaling = *pressScaling
-		simCfg.Faults = &fc
+	if faultCfg != nil {
+		simCfg.Faults = faultCfg
 		simCfg.Spares = *spares
 		simCfg.RebuildMBps = *rebuildMBps
 	}
@@ -218,6 +301,23 @@ func main() {
 	}
 	if rec.Dir() != "" {
 		fmt.Fprintf(os.Stderr, "arraysim: telemetry written to %s\n", rec.Dir())
+	}
+	if store != nil {
+		manifest.Seed = *seed
+		manifest.Policy = res.PolicyName
+		if *tracePath != "" {
+			manifest.Workload = "trace " + *tracePath
+		} else {
+			manifest.Workload = fmt.Sprintf("synthetic %d requests, intensity %g", *requests, *intensity)
+		}
+		manifest.Summary = runstore.SummaryFromResult(res, *withFaults)
+		manifest.CreatedAt = start.UTC().Format(time.RFC3339)
+		manifest.WallSeconds = time.Since(start).Seconds()
+		dir, err := store.Write(manifest)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "arraysim: run recorded in %s\n", dir)
 	}
 
 	fmt.Printf("policy %s on %d disks — %d requests over %.0f s\n\n",

@@ -22,8 +22,29 @@ import (
 
 	"repro/internal/experiment"
 	"repro/internal/reliability"
+	"repro/internal/runstore"
 	"repro/internal/telemetry"
 )
+
+// recordSweep writes one sweep condition's manifest into the run store,
+// stamping wall time. No-op when the store is nil (-runs-dir unset).
+func recordSweep(store *runstore.Store, name string, cfg experiment.SweepConfig,
+	res *experiment.SweepResult, start time.Time) {
+	if store == nil {
+		return
+	}
+	m, err := experiment.SweepManifest(name, cfg, res)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m.CreatedAt = start.UTC().Format(time.RFC3339)
+	m.WallSeconds = time.Since(start).Seconds()
+	dir, err := store.Write(m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "experiments: run %s recorded in %s\n", name, dir)
+}
 
 func main() {
 	log.SetFlags(0)
@@ -36,6 +57,8 @@ func main() {
 		both    = flag.Bool("both", false, "run Figure 7 under both workload conditions")
 		csvPath = flag.String("csv", "", "also write machine-readable output to this file")
 		steps   = flag.Int("steps", 13, "samples per axis for the function figures")
+		runsDir = flag.String("runs-dir", "", "record one manifest per sweep condition in this run store")
+		version = flag.Bool("version", false, "print build information and exit")
 
 		progress     = flag.Bool("progress", false, "log sweep phases and per-cell progress to stderr")
 		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -44,8 +67,22 @@ func main() {
 	)
 	flag.Parse()
 
+	if *version {
+		fmt.Println(runstore.VersionLine("experiments"))
+		return
+	}
+
 	if *full {
 		*scale = 1
+	}
+
+	var store *runstore.Store
+	if *runsDir != "" {
+		var err error
+		store, err = runstore.Open(*runsDir)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	if *cpuprofile != "" {
@@ -215,6 +252,7 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
+			recordSweep(store, "fig7-"+cond.name, cfg, res, start)
 			fmt.Printf("Figure 7 — %s workload (scale %.3g, %s)\n\n",
 				cond.name, *scale, time.Since(start).Round(time.Millisecond))
 			panels := []struct {
@@ -259,6 +297,11 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		faultsName := "faults-light"
+		if *heavy {
+			faultsName = "faults-heavy"
+		}
+		recordSweep(store, faultsName, cfg, res, start)
 		fmt.Printf("Fault sweep — energy vs observed data loss (scale %.3g, accel %.0g, %d spare(s), %s)\n\n",
 			*scale, experiment.FaultSweepAcceleration, cfg.Spares, time.Since(start).Round(time.Millisecond))
 		experiment.RenderFaultSummary(os.Stdout, res,

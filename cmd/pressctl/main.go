@@ -17,21 +17,28 @@ import (
 
 	"repro/internal/experiment"
 	"repro/internal/reliability"
+	"repro/internal/runstore"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("pressctl: ")
 	var (
-		tempC  = flag.Float64("temp", 50, "operating temperature in °C")
-		util   = flag.Float64("util", 0.5, "disk utilization in [0,1]")
-		freq   = flag.Float64("freq", 0, "speed transitions per day")
-		mode   = flag.String("mode", "shared-baseline", "integration mode: shared-baseline | max-factor | mean-factor")
-		derive = flag.Bool("derive", false, "print the paper's §3.4 Coffin-Manson derivation and exit")
-		budget = flag.Float64("budget", 0, "print the max transitions/day whose AFR adder stays under this many points, then exit")
-		ocr    = flag.Bool("ocr-eq3", false, "use the literal OCR reading of Equation 3 instead of the reconstructed fit")
+		tempC   = flag.Float64("temp", 50, "operating temperature in °C")
+		util    = flag.Float64("util", 0.5, "disk utilization in [0,1]")
+		freq    = flag.Float64("freq", 0, "speed transitions per day")
+		mode    = flag.String("mode", "shared-baseline", "integration mode: shared-baseline | max-factor | mean-factor")
+		derive  = flag.Bool("derive", false, "print the paper's §3.4 Coffin-Manson derivation and exit")
+		budget  = flag.Float64("budget", 0, "print the max transitions/day whose AFR adder stays under this many points, then exit")
+		ocr     = flag.Bool("ocr-eq3", false, "use the literal OCR reading of Equation 3 instead of the reconstructed fit")
+		version = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println(runstore.VersionLine("pressctl"))
+		return
+	}
 
 	if *derive {
 		experiment.RenderDerivation(os.Stdout, experiment.DerivationConstants())

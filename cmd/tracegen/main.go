@@ -14,6 +14,7 @@ import (
 	"log"
 	"os"
 
+	"repro/internal/runstore"
 	"repro/internal/workload"
 )
 
@@ -32,8 +33,14 @@ func main() {
 		in       = flag.String("in", "", "read a trace from this file instead of generating")
 		convert  = flag.String("convert", "", "convert a Common Log Format access log into a trace")
 		stats    = flag.Bool("stats", false, "print summary statistics")
+		version  = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println(runstore.VersionLine("tracegen"))
+		return
+	}
 
 	var tr *workload.Trace
 	var err error

@@ -145,6 +145,7 @@ type Result struct {
 
 	// Response-time statistics over user requests (seconds).
 	MeanResponse float64
+	P50Response  float64
 	P95Response  float64
 	P99Response  float64
 	MaxResponse  float64
@@ -745,6 +746,10 @@ func (s *sim) collect() (*Result, error) {
 		Timeline:      s.timeline,
 	}
 	if s.respHist.N() > 0 {
+		p50, err := s.respHist.Quantile(0.50)
+		if err != nil {
+			return nil, err
+		}
 		p95, err := s.respHist.Quantile(0.95)
 		if err != nil {
 			return nil, err
@@ -753,7 +758,7 @@ func (s *sim) collect() (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		res.P95Response, res.P99Response = p95, p99
+		res.P50Response, res.P95Response, res.P99Response = p50, p95, p99
 	}
 
 	factors := make([]reliability.Factors, len(s.disks))

@@ -1,0 +1,124 @@
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/runstore"
+)
+
+// SweepManifestConfig is the digested configuration block of one sweep
+// condition's manifest. It carries exactly the parameters that determine the
+// sweep's results — execution knobs (Parallelism, Progress) and the
+// non-serializable Press override are deliberately excluded, the latter
+// surfaced as a marker instead so a custom-model run never shares a digest
+// with a default-model run.
+type SweepManifestConfig struct {
+	DiskCounts     []int          `json:"disk_counts"`
+	Policies       []PolicyKind   `json:"policies"`
+	Workload       map[string]any `json:"workload"`
+	Scale          float64        `json:"scale"`
+	Intensity      float64        `json:"intensity"`
+	EpochSeconds   float64        `json:"epoch_seconds,omitempty"`
+	EpochsPerTrace int            `json:"epochs_per_trace,omitempty"`
+	CustomPress    bool           `json:"custom_press,omitempty"`
+	Faults         map[string]any `json:"faults,omitempty"`
+	Spares         int            `json:"spares,omitempty"`
+	RebuildMBps    float64        `json:"rebuild_mbps,omitempty"`
+}
+
+// SweepManifest condenses one finished sweep condition into a runstore
+// manifest: the digested configuration, an aggregate summary over all cells,
+// and every cell's headline metrics flattened into Summary.Extra under
+// "cell.<policy>.<disks>.<metric>" keys, so arrayreport diff compares sweeps
+// cell by cell, not just in aggregate.
+func SweepManifest(name string, cfg SweepConfig, res *SweepResult) (*runstore.Manifest, error) {
+	cfg.setDefaults()
+	mc := SweepManifestConfig{
+		DiskCounts:     cfg.DiskCounts,
+		Policies:       cfg.Policies,
+		Workload:       asMap(cfg.Workload),
+		Scale:          cfg.Scale,
+		Intensity:      cfg.Intensity,
+		EpochSeconds:   cfg.EpochSeconds,
+		EpochsPerTrace: cfg.EpochsPerTrace,
+		CustomPress:    cfg.Press != nil,
+		Spares:         cfg.Spares,
+		RebuildMBps:    cfg.RebuildMBps,
+	}
+	if cfg.Faults != nil {
+		mc.Faults = asMap(*cfg.Faults)
+	}
+	m, err := runstore.New("experiments", name, mc)
+	if err != nil {
+		return nil, err
+	}
+	m.Seed = cfg.Workload.Seed
+	m.Policy = policyList(cfg.Policies)
+	m.Workload = fmt.Sprintf("scale %g intensity %g", cfg.Scale, cfg.Intensity)
+
+	faultsOn := cfg.Faults != nil && cfg.Faults.Enabled
+	var sum runstore.Summary
+	sum.Extra = make(map[string]float64, 4*len(res.Cells))
+	for _, c := range res.Cells {
+		cs := runstore.SummaryFromResult(c.Result, faultsOn)
+		sum.EnergyJ += cs.EnergyJ
+		sum.ArrayAFRPct += cs.ArrayAFRPct
+		sum.MeanResponseS += cs.MeanResponseS
+		sum.P50ResponseS += cs.P50ResponseS
+		sum.P95ResponseS += cs.P95ResponseS
+		sum.P99ResponseS += cs.P99ResponseS
+		sum.TransitionsPerDay += cs.TransitionsPerDay
+		sum.Requests += cs.Requests
+		sum.EventsFired += cs.EventsFired
+		if faultsOn {
+			sum.FaultsOn = true
+			sum.DiskFailures += cs.DiskFailures
+			sum.DataLossEvents += cs.DataLossEvents
+		}
+		prefix := fmt.Sprintf("cell.%s.%d.", c.Policy, c.Disks)
+		sum.Extra[prefix+"energy_j"] = cs.EnergyJ
+		sum.Extra[prefix+"array_afr_pct"] = cs.ArrayAFRPct
+		sum.Extra[prefix+"mean_response_s"] = cs.MeanResponseS
+		sum.Extra[prefix+"events_fired"] = cs.EventsFired
+		if faultsOn {
+			sum.Extra[prefix+"disk_failures"] = cs.DiskFailures
+			sum.Extra[prefix+"data_loss_events"] = cs.DataLossEvents
+		}
+	}
+	// Intensive metrics average over cells; energy, requests, events, and the
+	// fault counts stay extensive (sums).
+	if n := float64(len(res.Cells)); n > 0 {
+		sum.ArrayAFRPct /= n
+		sum.MeanResponseS /= n
+		sum.P50ResponseS /= n
+		sum.P95ResponseS /= n
+		sum.P99ResponseS /= n
+		sum.TransitionsPerDay /= n
+	}
+	m.Summary = sum
+	return m, nil
+}
+
+// asMap flattens a config struct through its JSON form so the manifest's
+// config block (and therefore the digest) only sees exported, serialized
+// state.
+func asMap(v any) map[string]any {
+	out, err := runstore.ToJSONMap(v)
+	if err != nil {
+		// All config types here are plain data; failure is a programming
+		// error surfaced at first use in tests.
+		panic(fmt.Sprintf("experiment: config not serializable: %v", err))
+	}
+	return out
+}
+
+func policyList(ps []PolicyKind) string {
+	s := ""
+	for i, p := range ps {
+		if i > 0 {
+			s += "+"
+		}
+		s += string(p)
+	}
+	return s
+}

@@ -1,0 +1,88 @@
+package runstore
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestBaselineCheckRoundTrip(t *testing.T) {
+	m := testManifest(t, "fig7-light", 1)
+	bf := BaselineFromManifests([]*Manifest{m}, 0.01, "2026-08-06", "go run ./cmd/experiments")
+	path := filepath.Join(t.TempDir(), "BENCH_runs.json")
+	if err := WriteBaselineFile(path, bf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadBaselineFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.DefaultTolerance != 0.01 || len(loaded.Runs) != 1 {
+		t.Fatalf("baseline round-trip: %+v", loaded)
+	}
+
+	// A fresh identical run passes.
+	res, err := loaded.Check(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Breached() || res.ConfigDrift {
+		t.Fatalf("identical run breached: %+v", res)
+	}
+
+	// A drifted metric beyond tolerance fails.
+	bad := testManifest(t, "fig7-light", 1)
+	bad.Summary.EnergyJ *= 1.05
+	res, err = loaded.Check(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Breached() {
+		t.Fatal("5% energy drift passed a 1% gate")
+	}
+
+	// Within tolerance passes.
+	ok := testManifest(t, "fig7-light", 1)
+	ok.Summary.EnergyJ *= 1.005
+	res, err = loaded.Check(ok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Breached() {
+		t.Fatal("0.5% energy drift failed a 1% gate")
+	}
+}
+
+func TestBaselineCheckReportsConfigDrift(t *testing.T) {
+	m := testManifest(t, "cond", 1)
+	bf := BaselineFromManifests([]*Manifest{m}, 0.01, "", "")
+	perturbed := testManifest(t, "cond", 99) // different seed → different digest
+	res, err := bf.Check(perturbed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ConfigDrift {
+		t.Fatal("config drift not detected for a different seed")
+	}
+}
+
+func TestBaselineCheckUnknownRunErrors(t *testing.T) {
+	bf := BaselineFromManifests(nil, 0.01, "", "")
+	if _, err := bf.Check(testManifest(t, "new-condition", 1)); err == nil {
+		t.Fatal("expected error for a run without a baseline entry")
+	}
+}
+
+func TestBaselinePerMetricTolerance(t *testing.T) {
+	m := testManifest(t, "cond", 1)
+	bf := BaselineFromManifests([]*Manifest{m}, 0.001, "", "")
+	bf.Runs[0].Tolerances = map[string]float64{"energy_j": 0.1}
+	drifted := testManifest(t, "cond", 1)
+	drifted.Summary.EnergyJ *= 1.05 // 5%: over default, under per-metric override
+	res, err := bf.Check(drifted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Breached() {
+		t.Fatal("per-metric tolerance override not applied")
+	}
+}

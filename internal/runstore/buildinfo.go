@@ -1,0 +1,88 @@
+// Package runstore gives simulation runs a memory: every arraysim or
+// experiments invocation can write a self-describing run directory — a
+// manifest.json carrying the exact configuration (and its canonical-JSON
+// SHA-256 digest), the RNG seeds, the build that produced it, and a
+// summary-metrics block — alongside the telemetry artifacts of that run.
+// A Store indexes such directories so runs can be listed, loaded by digest,
+// diffed against each other, and gated against committed baselines
+// (BENCH_runs.json) by cmd/arrayreport.
+package runstore
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// BuildInfo identifies the binary that produced a run: the Go toolchain, the
+// module version, and (when the binary was built inside a VCS checkout) the
+// revision and dirty bit. It is embedded in every Manifest and shared by the
+// -version flag of all four commands.
+type BuildInfo struct {
+	// GoVersion is the toolchain that built the binary (runtime.Version).
+	GoVersion string `json:"go_version"`
+	// ModulePath is the main module path ("repro").
+	ModulePath string `json:"module_path,omitempty"`
+	// ModuleVersion is the main module version ("(devel)" for source builds).
+	ModuleVersion string `json:"module_version,omitempty"`
+	// VCSRevision is the commit hash the binary was built from, when known.
+	VCSRevision string `json:"vcs_revision,omitempty"`
+	// VCSTime is the commit timestamp, when known.
+	VCSTime string `json:"vcs_time,omitempty"`
+	// VCSModified marks a build from a dirty working tree.
+	VCSModified bool `json:"vcs_modified,omitempty"`
+}
+
+// CurrentBuildInfo reads the running binary's build metadata via
+// debug.ReadBuildInfo. It degrades gracefully: binaries built without module
+// or VCS stamping still report the Go version.
+func CurrentBuildInfo() BuildInfo {
+	b := BuildInfo{GoVersion: runtime.Version()}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return b
+	}
+	b.ModulePath = info.Main.Path
+	b.ModuleVersion = info.Main.Version
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			b.VCSRevision = s.Value
+		case "vcs.time":
+			b.VCSTime = s.Value
+		case "vcs.modified":
+			b.VCSModified = s.Value == "true"
+		}
+	}
+	return b
+}
+
+// String renders the one-line form printed by the -version flags, e.g.
+//
+//	repro (devel) go1.22.1 rev 5a6af67… (dirty)
+func (b BuildInfo) String() string {
+	s := b.ModulePath
+	if s == "" {
+		s = "unknown-module"
+	}
+	if b.ModuleVersion != "" {
+		s += " " + b.ModuleVersion
+	}
+	s += " " + b.GoVersion
+	if b.VCSRevision != "" {
+		rev := b.VCSRevision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		s += " rev " + rev
+	}
+	if b.VCSModified {
+		s += " (dirty)"
+	}
+	return s
+}
+
+// VersionLine renders "tool: build" for a command's -version output.
+func VersionLine(tool string) string {
+	return fmt.Sprintf("%s: %s", tool, CurrentBuildInfo())
+}

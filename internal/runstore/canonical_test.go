@@ -1,0 +1,84 @@
+package runstore
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCanonicalJSONSortsKeys(t *testing.T) {
+	a := map[string]any{"b": 1, "a": 2, "c": map[string]any{"z": 1, "y": 2}}
+	got, err := CanonicalJSON(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"a":2,"b":1,"c":{"y":2,"z":1}}`
+	if string(got) != want {
+		t.Fatalf("canonical form %s, want %s", got, want)
+	}
+}
+
+func TestDigestIgnoresFieldOrder(t *testing.T) {
+	type ab struct {
+		A int     `json:"a"`
+		B float64 `json:"b"`
+	}
+	type ba struct {
+		B float64 `json:"b"`
+		A int     `json:"a"`
+	}
+	d1, err := Digest(ab{A: 1, B: 2.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Digest(ba{B: 2.5, A: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Fatalf("digests differ across field order: %s vs %s", d1, d2)
+	}
+	if len(d1) != 64 || strings.ToLower(d1) != d1 {
+		t.Fatalf("digest %q is not lowercase hex sha-256", d1)
+	}
+}
+
+func TestDigestSeparatesConfigs(t *testing.T) {
+	type cfg struct {
+		Seed int64 `json:"seed"`
+	}
+	d1, err := Digest(cfg{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Digest(cfg{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 == d2 {
+		t.Fatal("different configs share a digest")
+	}
+}
+
+func TestDigestPreservesFloatPrecision(t *testing.T) {
+	// Two nearby but distinct floats must not collapse to one digest via
+	// lossy number re-formatting.
+	d1, err := Digest(map[string]float64{"x": 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Digest(map[string]float64{"x": 0.1 + 1e-16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if (0.1 != 0.1+1e-16) && d1 == d2 {
+		t.Fatal("distinct floats share a digest")
+	}
+	// And the same value always digests the same.
+	d3, err := Digest(map[string]float64{"x": 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d3 {
+		t.Fatal("digest not deterministic")
+	}
+}

@@ -1,0 +1,139 @@
+package runstore
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Tolerances configures the per-metric relative tolerance of a diff or
+// baseline check. The zero value demands exact equality on every metric —
+// the right default for same-seed determinism checks, where any drift at
+// all is a regression.
+type Tolerances struct {
+	// Default applies to metrics without a PerMetric entry. A relative
+	// tolerance of 0.02 allows 2% drift.
+	Default float64
+	// PerMetric overrides Default for specific metric names.
+	PerMetric map[string]float64
+}
+
+// For returns the tolerance in force for one metric.
+func (t Tolerances) For(metric string) float64 {
+	if v, ok := t.PerMetric[metric]; ok {
+		return v
+	}
+	return t.Default
+}
+
+// Delta is one metric's comparison between two runs.
+type Delta struct {
+	// Metric is the flattened summary-metric name.
+	Metric string
+	// A and B are the two values (baseline first).
+	A, B float64
+	// Rel is |B−A| / max(|A|,|B|), 0 when both sides are 0.
+	Rel float64
+	// Tolerance is the relative tolerance that was applied.
+	Tolerance float64
+	// MissingIn is "a" or "b" when one side lacks the metric ("" otherwise);
+	// a one-sided metric always breaches.
+	MissingIn string
+	// Breach marks the delta as out of tolerance.
+	Breach bool
+}
+
+// relDelta is the symmetric relative difference used throughout: it is 0
+// only for exact equality and well-defined when either side is 0.
+func relDelta(a, b float64) float64 {
+	if a == b {
+		return 0
+	}
+	den := math.Max(math.Abs(a), math.Abs(b))
+	if den == 0 {
+		return 0
+	}
+	return math.Abs(b-a) / den
+}
+
+// DiffMetrics compares two flattened metric maps under the given tolerances.
+// The result covers the union of metric names, sorted, with metrics present
+// on only one side marked as breaches.
+func DiffMetrics(a, b map[string]float64, tol Tolerances) []Delta {
+	names := make(map[string]struct{}, len(a)+len(b))
+	for k := range a {
+		names[k] = struct{}{}
+	}
+	for k := range b {
+		names[k] = struct{}{}
+	}
+	sorted := make([]string, 0, len(names))
+	for k := range names {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+
+	deltas := make([]Delta, 0, len(sorted))
+	for _, k := range sorted {
+		av, aok := a[k]
+		bv, bok := b[k]
+		d := Delta{Metric: k, A: av, B: bv, Tolerance: tol.For(k)}
+		switch {
+		case !aok:
+			d.MissingIn, d.Breach = "a", true
+		case !bok:
+			d.MissingIn, d.Breach = "b", true
+		default:
+			d.Rel = relDelta(av, bv)
+			d.Breach = d.Rel > d.Tolerance
+		}
+		deltas = append(deltas, d)
+	}
+	return deltas
+}
+
+// Diff compares two run summaries. See DiffMetrics.
+func Diff(a, b Summary, tol Tolerances) []Delta {
+	return DiffMetrics(a.Metrics(), b.Metrics(), tol)
+}
+
+// Breaches counts the out-of-tolerance deltas.
+func Breaches(deltas []Delta) int {
+	n := 0
+	for _, d := range deltas {
+		if d.Breach {
+			n++
+		}
+	}
+	return n
+}
+
+// RenderDeltas writes the aligned per-metric comparison table. With onlyBreaches
+// it prints breaching rows only (plus a summary line either way).
+func RenderDeltas(w io.Writer, deltas []Delta, onlyBreaches bool) {
+	wrote := 0
+	for _, d := range deltas {
+		if onlyBreaches && !d.Breach {
+			continue
+		}
+		mark := "  "
+		if d.Breach {
+			mark = "✗ "
+		}
+		switch d.MissingIn {
+		case "a":
+			fmt.Fprintf(w, "%s%-34s %16s %16.9g  only in B\n", mark, d.Metric, "-", d.B)
+		case "b":
+			fmt.Fprintf(w, "%s%-34s %16.9g %16s  only in A\n", mark, d.Metric, d.A, "-")
+		default:
+			fmt.Fprintf(w, "%s%-34s %16.9g %16.9g  rel %.3g (tol %.3g)\n",
+				mark, d.Metric, d.A, d.B, d.Rel, d.Tolerance)
+		}
+		wrote++
+	}
+	if onlyBreaches && wrote == 0 {
+		fmt.Fprintln(w, "  (no breaches)")
+	}
+	fmt.Fprintf(w, "%d metric(s) compared, %d breach(es)\n", len(deltas), Breaches(deltas))
+}

@@ -1,0 +1,125 @@
+package runstore
+
+import (
+	"strings"
+	"testing"
+)
+
+func baseSummary() Summary {
+	return Summary{
+		EnergyJ:           2.5e6,
+		ArrayAFRPct:       13.0,
+		MeanResponseS:     0.008,
+		P50ResponseS:      0.005,
+		P95ResponseS:      0.02,
+		P99ResponseS:      0.05,
+		TransitionsPerDay: 42,
+		Requests:          50000,
+		EventsFired:       123456,
+	}
+}
+
+func TestDiffIdenticalSummariesIsClean(t *testing.T) {
+	a, b := baseSummary(), baseSummary()
+	deltas := Diff(a, b, Tolerances{}) // zero tolerance: exact equality demanded
+	if n := Breaches(deltas); n != 0 {
+		t.Fatalf("identical summaries produced %d breaches: %+v", n, deltas)
+	}
+	for _, d := range deltas {
+		if d.Rel != 0 {
+			t.Fatalf("metric %s has nonzero rel delta %v on identical inputs", d.Metric, d.Rel)
+		}
+	}
+	if len(deltas) != 9 {
+		t.Fatalf("compared %d metrics, want 9", len(deltas))
+	}
+}
+
+func TestDiffDetectsDriftUnderDefaultTolerance(t *testing.T) {
+	a, b := baseSummary(), baseSummary()
+	b.EnergyJ *= 1.001 // 0.1% drift
+	deltas := Diff(a, b, Tolerances{})
+	if n := Breaches(deltas); n != 1 {
+		t.Fatalf("expected exactly 1 breach, got %d", n)
+	}
+	for _, d := range deltas {
+		if d.Metric == "energy_j" && !d.Breach {
+			t.Fatal("energy drift not flagged")
+		}
+	}
+}
+
+func TestDiffRespectsTolerances(t *testing.T) {
+	a, b := baseSummary(), baseSummary()
+	b.EnergyJ *= 1.01  // 1% drift
+	b.ArrayAFRPct *= 2 // 50% rel drift
+	tol := Tolerances{Default: 0.02, PerMetric: map[string]float64{"array_afr_pct": 0.6}}
+	deltas := Diff(a, b, tol)
+	if n := Breaches(deltas); n != 0 {
+		t.Fatalf("tolerances not honoured: %d breaches", n)
+	}
+	tol.PerMetric["array_afr_pct"] = 0.1
+	if n := Breaches(Diff(a, b, tol)); n != 1 {
+		t.Fatalf("tightened per-metric tolerance should breach once, got %d", n)
+	}
+}
+
+func TestDiffFlagsOneSidedMetrics(t *testing.T) {
+	a, b := baseSummary(), baseSummary()
+	b.FaultsOn = true
+	b.DiskFailures = 3
+	deltas := Diff(a, b, Tolerances{Default: 1e9}) // huge tolerance: only set-mismatch can breach
+	breached := map[string]string{}
+	for _, d := range deltas {
+		if d.Breach {
+			breached[d.Metric] = d.MissingIn
+		}
+	}
+	for _, want := range []string{"disk_failures", "data_loss_events", "mttdl_hours"} {
+		if breached[want] != "a" {
+			t.Fatalf("metric %s missing-in-a not flagged (breached=%v)", want, breached)
+		}
+	}
+}
+
+func TestDiffExtraMetrics(t *testing.T) {
+	a, b := baseSummary(), baseSummary()
+	a.Extra = map[string]float64{"cell.read.6.energy_j": 100}
+	b.Extra = map[string]float64{"cell.read.6.energy_j": 100}
+	if n := Breaches(Diff(a, b, Tolerances{})); n != 0 {
+		t.Fatalf("equal extras breached: %d", n)
+	}
+	b.Extra["cell.read.6.energy_j"] = 101
+	if n := Breaches(Diff(a, b, Tolerances{})); n != 1 {
+		t.Fatalf("drifted extra not flagged: %d breaches", n)
+	}
+}
+
+func TestRelDeltaEdgeCases(t *testing.T) {
+	cases := []struct {
+		a, b, want float64
+	}{
+		{0, 0, 0},
+		{1, 1, 0},
+		{0, 1, 1},
+		{1, 0, 1},
+		{100, 110, 10.0 / 110},
+		{-10, 10, 2},
+	}
+	for _, c := range cases {
+		if got := relDelta(c.a, c.b); got != c.want {
+			t.Errorf("relDelta(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestRenderDeltas(t *testing.T) {
+	a, b := baseSummary(), baseSummary()
+	b.EnergyJ *= 2
+	var buf strings.Builder
+	RenderDeltas(&buf, Diff(a, b, Tolerances{}), false)
+	out := buf.String()
+	if !strings.Contains(out, "energy_j") || !strings.Contains(out, "1 breach(es)") {
+		t.Fatalf("unexpected render:\n%s", out)
+	}
+}

@@ -1,0 +1,173 @@
+package runstore
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/array"
+)
+
+// SchemaVersion is the manifest schema this package writes. Readers accept
+// only matching versions; bump it on any breaking field change.
+const SchemaVersion = 1
+
+// ManifestName is the file every run directory carries.
+const ManifestName = "manifest.json"
+
+// Summary is the manifest's summary-metrics block: the headline scalars of
+// one run, flattened so they can be diffed metric-by-metric across runs.
+// Fault metrics are omitted when faults were off (omitempty), so a
+// faults-on/faults-off pair diffs as a metric-set mismatch, not as zeros.
+type Summary struct {
+	// EnergyJ is the total array energy over the run, in joules.
+	EnergyJ float64 `json:"energy_j"`
+	// ArrayAFRPct is the PRESS array AFR (worst disk), in percent.
+	ArrayAFRPct float64 `json:"array_afr_pct"`
+	// Response-time statistics over user requests, in seconds.
+	MeanResponseS float64 `json:"mean_response_s"`
+	P50ResponseS  float64 `json:"p50_response_s"`
+	P95ResponseS  float64 `json:"p95_response_s"`
+	P99ResponseS  float64 `json:"p99_response_s"`
+	// TransitionsPerDay is the mean per-disk speed-transition rate.
+	TransitionsPerDay float64 `json:"transitions_per_day"`
+	// Requests is the number of user requests served.
+	Requests float64 `json:"requests"`
+	// EventsFired is the exact DES event count — a cheap witness of
+	// bit-identical determinism between two runs.
+	EventsFired float64 `json:"events_fired"`
+
+	// FaultsOn records whether fault injection was enabled; the fault
+	// metrics below participate in diffs only when it was, so a faults-off
+	// run never gates on them.
+	FaultsOn       bool    `json:"faults_on,omitempty"`
+	DiskFailures   float64 `json:"disk_failures,omitempty"`
+	DataLossEvents float64 `json:"data_loss_events,omitempty"`
+	MTTDLHours     float64 `json:"mttdl_hours,omitempty"`
+
+	// Extra holds additional named metrics (e.g. per-cell values of a sweep
+	// condition, keyed "cell.<policy>.<disks>.<metric>"). Extra keys must not
+	// collide with the JSON names of the fixed fields above.
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// SummaryFromResult condenses one simulation result into the manifest
+// summary block. faultsOn records the fault metrics even when their values
+// are zero, so a faults-on run with no observed failures still declares that
+// failures were possible.
+func SummaryFromResult(r *array.Result, faultsOn bool) Summary {
+	s := Summary{
+		EnergyJ:       r.EnergyJ,
+		ArrayAFRPct:   r.ArrayAFR,
+		MeanResponseS: r.MeanResponse,
+		P50ResponseS:  r.P50Response,
+		P95ResponseS:  r.P95Response,
+		P99ResponseS:  r.P99Response,
+		Requests:      float64(r.Requests),
+		EventsFired:   float64(r.EventsFired),
+	}
+	for _, d := range r.PerDisk {
+		s.TransitionsPerDay += d.TransitionsPerDay
+	}
+	if len(r.PerDisk) > 0 {
+		s.TransitionsPerDay /= float64(len(r.PerDisk))
+	}
+	if faultsOn {
+		s.FaultsOn = true
+		s.DiskFailures = float64(r.DiskFailures)
+		s.DataLossEvents = float64(r.DataLossEvents)
+		s.MTTDLHours = r.MTTDLHours
+	}
+	return s
+}
+
+// Metrics flattens the summary into name → value for diffing: the fixed
+// metrics, the fault metrics when FaultsOn, and Extra merged in.
+func (s Summary) Metrics() map[string]float64 {
+	out := map[string]float64{
+		"energy_j":            s.EnergyJ,
+		"array_afr_pct":       s.ArrayAFRPct,
+		"mean_response_s":     s.MeanResponseS,
+		"p50_response_s":      s.P50ResponseS,
+		"p95_response_s":      s.P95ResponseS,
+		"p99_response_s":      s.P99ResponseS,
+		"transitions_per_day": s.TransitionsPerDay,
+		"requests":            s.Requests,
+		"events_fired":        s.EventsFired,
+	}
+	if s.FaultsOn {
+		out["disk_failures"] = s.DiskFailures
+		out["data_loss_events"] = s.DataLossEvents
+		out["mttdl_hours"] = s.MTTDLHours
+	}
+	for k, v := range s.Extra {
+		out[k] = v
+	}
+	return out
+}
+
+// Manifest is the self-description of one run directory.
+type Manifest struct {
+	// Schema is the manifest schema version (SchemaVersion).
+	Schema int `json:"schema"`
+	// Tool is the command that produced the run (arraysim, experiments).
+	Tool string `json:"tool"`
+	// Name is the human-readable run name (e.g. "fig7-light"); together
+	// with the config digest it forms the run directory name.
+	Name string `json:"name"`
+	// ConfigDigest is the hex SHA-256 of Config's canonical JSON.
+	ConfigDigest string `json:"config_digest"`
+	// Config is the full configuration block the digest covers.
+	Config json.RawMessage `json:"config"`
+	// Seed is the primary RNG seed (also inside Config; surfaced for
+	// listings).
+	Seed int64 `json:"seed"`
+	// Policy names the policy (single runs) or policy set (sweeps).
+	Policy string `json:"policy,omitempty"`
+	// Workload is a short human description of the workload condition.
+	Workload string `json:"workload,omitempty"`
+	// Build identifies the producing binary.
+	Build BuildInfo `json:"build"`
+	// CreatedAt is the wall-clock start time, RFC3339. It is informational
+	// and never part of the digest.
+	CreatedAt string `json:"created_at,omitempty"`
+	// WallSeconds is the wall-clock duration of the run.
+	WallSeconds float64 `json:"wall_seconds"`
+	// Summary is the headline-metrics block.
+	Summary Summary `json:"summary"`
+	// Artifacts lists the telemetry files present in the run directory
+	// (disks.csv, disks.ndjson, metrics.json, trace.json).
+	Artifacts []string `json:"artifacts,omitempty"`
+}
+
+// New starts a manifest for the given tool, run name, and configuration
+// block, computing the config digest and stamping the build info. The caller
+// fills Summary, WallSeconds, CreatedAt, and Artifacts after the run.
+func New(tool, name string, config any) (*Manifest, error) {
+	digest, err := Digest(config)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := json.Marshal(config)
+	if err != nil {
+		return nil, fmt.Errorf("runstore: marshal config: %w", err)
+	}
+	return &Manifest{
+		Schema:       SchemaVersion,
+		Tool:         tool,
+		Name:         name,
+		ConfigDigest: digest,
+		Config:       raw,
+		Build:        CurrentBuildInfo(),
+	}, nil
+}
+
+// ID is the run's directory name: "<name>-<digest prefix>". Same name, same
+// config → same ID, so re-running an identical configuration overwrites its
+// own run directory rather than accumulating duplicates.
+func (m *Manifest) ID() string {
+	d := m.ConfigDigest
+	if len(d) > 12 {
+		d = d[:12]
+	}
+	return m.Name + "-" + d
+}

@@ -1,0 +1,79 @@
+package runstore
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/array"
+)
+
+func TestSummaryFromResult(t *testing.T) {
+	r := &array.Result{
+		EnergyJ:      5000,
+		ArrayAFR:     12.5,
+		MeanResponse: 0.01,
+		P50Response:  0.006,
+		P95Response:  0.03,
+		P99Response:  0.08,
+		Requests:     1000,
+		EventsFired:  4321,
+		PerDisk: []array.DiskResult{
+			{TransitionsPerDay: 10},
+			{TransitionsPerDay: 30},
+		},
+		DiskFailures:   2,
+		DataLossEvents: 1,
+		MTTDLHours:     3.5,
+	}
+	s := SummaryFromResult(r, false)
+	if s.TransitionsPerDay != 20 {
+		t.Fatalf("transitions/day %v, want mean 20", s.TransitionsPerDay)
+	}
+	if s.FaultsOn || s.DiskFailures != 0 {
+		t.Fatal("faults-off summary leaked fault metrics")
+	}
+	if _, ok := s.Metrics()["disk_failures"]; ok {
+		t.Fatal("faults-off metrics map includes disk_failures")
+	}
+
+	s = SummaryFromResult(r, true)
+	if !s.FaultsOn || s.DiskFailures != 2 || s.MTTDLHours != 3.5 {
+		t.Fatalf("faults-on summary wrong: %+v", s)
+	}
+	m := s.Metrics()
+	if m["disk_failures"] != 2 || m["energy_j"] != 5000 || m["p50_response_s"] != 0.006 {
+		t.Fatalf("metrics map wrong: %v", m)
+	}
+	if len(m) != 12 {
+		t.Fatalf("metrics map has %d entries, want 12", len(m))
+	}
+}
+
+func TestNewManifestStampsDigestAndBuild(t *testing.T) {
+	m, err := New("arraysim", "demo", testConfig{Policy: "maid", Disks: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Schema != SchemaVersion || m.Tool != "arraysim" || m.Name != "demo" {
+		t.Fatalf("manifest header wrong: %+v", m)
+	}
+	if len(m.ConfigDigest) != 64 {
+		t.Fatalf("digest %q not sha-256 hex", m.ConfigDigest)
+	}
+	if m.Build.GoVersion == "" {
+		t.Fatal("build info missing")
+	}
+	if !strings.Contains(string(m.Config), `"policy":"maid"`) {
+		t.Fatalf("config not embedded: %s", m.Config)
+	}
+	if !strings.HasPrefix(m.ID(), "demo-") || len(m.ID()) != len("demo-")+12 {
+		t.Fatalf("ID %q not name-digest12", m.ID())
+	}
+}
+
+func TestVersionLine(t *testing.T) {
+	line := VersionLine("tracegen")
+	if !strings.HasPrefix(line, "tracegen: ") || !strings.Contains(line, "go1") {
+		t.Fatalf("version line %q", line)
+	}
+}

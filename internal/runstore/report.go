@@ -1,0 +1,340 @@
+package runstore
+
+import (
+	"encoding/csv"
+	"fmt"
+	"html/template"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// This file renders the single-file HTML report: the paper's energy-vs-AFR
+// trade-off as a scatter over all runs in a store, plus per-disk utilization
+// and AFR timelines reconstructed from each run's recorded disks.csv. The
+// output is self-contained inline SVG — no scripts, no external assets.
+
+// DiskSeries is one disk's recorded time series, loaded back from a run
+// directory's disks.csv.
+type DiskSeries struct {
+	Disk    int
+	T       []float64 // virtual seconds
+	Util    []float64 // lifetime utilization fraction
+	AFRPct  []float64 // live PRESS AFR estimate
+	EnergyJ []float64 // cumulative joules
+}
+
+// ReportRun is one run as the report sees it: its manifest plus any series
+// artifacts found next to it.
+type ReportRun struct {
+	Manifest *Manifest
+	Series   []DiskSeries
+}
+
+// LoadReportRun reads a run directory's manifest and, when present, its
+// disks.csv series.
+func LoadReportRun(dir string) (*ReportRun, error) {
+	m, err := ReadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	run := &ReportRun{Manifest: m}
+	csvPath := filepath.Join(dir, "disks.csv")
+	if _, err := os.Stat(csvPath); err == nil {
+		series, err := LoadSeries(csvPath)
+		if err != nil {
+			return nil, err
+		}
+		run.Series = series
+	}
+	return run, nil
+}
+
+// LoadSeries parses a telemetry disks.csv back into per-disk series. Columns
+// are resolved by header name, so the loader tolerates schema extensions.
+func LoadSeries(path string) ([]DiskSeries, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("runstore: %w", err)
+	}
+	defer f.Close()
+	r := csv.NewReader(f)
+	rows, err := r.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("runstore: parse %s: %w", path, err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("runstore: %s is empty", path)
+	}
+	col := map[string]int{}
+	for i, name := range rows[0] {
+		col[name] = i
+	}
+	for _, need := range []string{"t", "disk", "util", "afr_pct", "energy_j"} {
+		if _, ok := col[need]; !ok {
+			return nil, fmt.Errorf("runstore: %s lacks column %q", path, need)
+		}
+	}
+	byDisk := map[int]*DiskSeries{}
+	var order []int
+	for _, row := range rows[1:] {
+		get := func(name string) (float64, error) {
+			return strconv.ParseFloat(row[col[name]], 64)
+		}
+		diskF, err := get("disk")
+		if err != nil {
+			return nil, fmt.Errorf("runstore: %s: bad disk id: %w", path, err)
+		}
+		disk := int(diskF)
+		ds, ok := byDisk[disk]
+		if !ok {
+			ds = &DiskSeries{Disk: disk}
+			byDisk[disk] = ds
+			order = append(order, disk)
+		}
+		t, err1 := get("t")
+		util, err2 := get("util")
+		afr, err3 := get("afr_pct")
+		energy, err4 := get("energy_j")
+		for _, err := range []error{err1, err2, err3, err4} {
+			if err != nil {
+				return nil, fmt.Errorf("runstore: %s: bad row: %w", path, err)
+			}
+		}
+		ds.T = append(ds.T, t)
+		ds.Util = append(ds.Util, util)
+		ds.AFRPct = append(ds.AFRPct, afr)
+		ds.EnergyJ = append(ds.EnergyJ, energy)
+	}
+	out := make([]DiskSeries, 0, len(order))
+	for _, d := range order {
+		out = append(out, *byDisk[d])
+	}
+	return out, nil
+}
+
+// ---- SVG construction -------------------------------------------------
+
+const (
+	chartW, chartH         = 640.0, 320.0
+	marginL, marginR       = 64.0, 16.0
+	marginT, marginB       = 24.0, 40.0
+	plotW                  = chartW - marginL - marginR
+	plotH                  = chartH - marginT - marginB
+	maxTimelineDisks       = 32
+	timelinePointsPerTrack = 2 // minimum points for a polyline
+)
+
+// palette cycles across disks/series; chosen for contrast on white.
+var palette = []string{
+	"#4269d0", "#efb118", "#ff725c", "#6cc5b0", "#3ca951",
+	"#ff8ab7", "#a463f2", "#97bbf5", "#9c6b4e", "#9498a0",
+}
+
+type axis struct{ lo, hi float64 }
+
+func newAxis(vals ...[]float64) axis {
+	a := axis{math.Inf(1), math.Inf(-1)}
+	for _, vs := range vals {
+		for _, v := range vs {
+			if v < a.lo {
+				a.lo = v
+			}
+			if v > a.hi {
+				a.hi = v
+			}
+		}
+	}
+	if math.IsInf(a.lo, 1) { // no data
+		a.lo, a.hi = 0, 1
+	}
+	if a.lo == a.hi { // flat series: pad so the line sits mid-plot
+		pad := math.Abs(a.lo) * 0.1
+		if pad == 0 {
+			pad = 1
+		}
+		a.lo, a.hi = a.lo-pad, a.hi+pad
+	}
+	return a
+}
+
+func (a axis) x(v float64) float64 { return marginL + (v-a.lo)/(a.hi-a.lo)*plotW }
+func (a axis) y(v float64) float64 { return marginT + plotH - (v-a.lo)/(a.hi-a.lo)*plotH }
+
+func fmtTick(v float64) string { return strconv.FormatFloat(v, 'g', 4, 64) }
+
+// frame draws the plot border, the four corner tick labels, and the axis
+// titles shared by every chart.
+func frame(b *strings.Builder, xs, ys axis, xlabel, ylabel string) {
+	fmt.Fprintf(b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="none" stroke="#ccc"/>`,
+		marginL, marginT, plotW, plotH)
+	fmt.Fprintf(b, `<text x="%.1f" y="%.1f" font-size="11" text-anchor="start" fill="#555">%s</text>`,
+		marginL, chartH-24, fmtTick(xs.lo))
+	fmt.Fprintf(b, `<text x="%.1f" y="%.1f" font-size="11" text-anchor="end" fill="#555">%s</text>`,
+		chartW-marginR, chartH-24, fmtTick(xs.hi))
+	fmt.Fprintf(b, `<text x="%.1f" y="%.1f" font-size="11" text-anchor="end" fill="#555">%s</text>`,
+		marginL-6, marginT+plotH, fmtTick(ys.lo))
+	fmt.Fprintf(b, `<text x="%.1f" y="%.1f" font-size="11" text-anchor="end" fill="#555">%s</text>`,
+		marginL-6, marginT+10, fmtTick(ys.hi))
+	fmt.Fprintf(b, `<text x="%.1f" y="%.1f" font-size="12" text-anchor="middle" fill="#333">%s</text>`,
+		marginL+plotW/2, chartH-8, template.HTMLEscapeString(xlabel))
+	fmt.Fprintf(b, `<text x="%.1f" y="%.1f" font-size="12" text-anchor="middle" fill="#333" transform="rotate(-90 14 %.1f)">%s</text>`,
+		14.0, marginT+plotH/2, marginT+plotH/2, template.HTMLEscapeString(ylabel))
+}
+
+func svgOpen(b *strings.Builder) {
+	fmt.Fprintf(b, `<svg xmlns="http://www.w3.org/2000/svg" viewBox="0 0 %.0f %.0f" width="%.0f" height="%.0f">`,
+		chartW, chartH, chartW, chartH)
+}
+
+// tradeoffSVG renders the energy-vs-AFR scatter — the paper's title question
+// as one picture over every run in the report.
+func tradeoffSVG(runs []*ReportRun) template.HTML {
+	var xs, ys []float64
+	for _, r := range runs {
+		xs = append(xs, r.Manifest.Summary.EnergyJ)
+		ys = append(ys, r.Manifest.Summary.ArrayAFRPct)
+	}
+	ax, ay := newAxis(xs), newAxis(ys)
+	var b strings.Builder
+	svgOpen(&b)
+	frame(&b, ax, ay, "total energy (J)", "array AFR (%)")
+	for i, r := range runs {
+		color := palette[i%len(palette)]
+		x, y := ax.x(xs[i]), ay.y(ys[i])
+		fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="5" fill="%s"><title>%s</title></circle>`,
+			x, y, color, template.HTMLEscapeString(r.Manifest.ID()))
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="11" fill="#333">%s</text>`,
+			x+7, y+4, template.HTMLEscapeString(r.Manifest.Name))
+	}
+	b.WriteString(`</svg>`)
+	return template.HTML(b.String())
+}
+
+// timelineSVG renders one per-disk metric over virtual time, one polyline
+// per disk.
+func timelineSVG(series []DiskSeries, pick func(DiskSeries) []float64, xlabel, ylabel string) template.HTML {
+	if len(series) > maxTimelineDisks {
+		series = series[:maxTimelineDisks]
+	}
+	var ts, vs [][]float64
+	for _, s := range series {
+		ts = append(ts, s.T)
+		vs = append(vs, pick(s))
+	}
+	ax, ay := newAxis(ts...), newAxis(vs...)
+	var b strings.Builder
+	svgOpen(&b)
+	frame(&b, ax, ay, xlabel, ylabel)
+	for i, s := range series {
+		v := pick(s)
+		if len(s.T) < timelinePointsPerTrack {
+			continue
+		}
+		var pts strings.Builder
+		for j := range s.T {
+			fmt.Fprintf(&pts, "%.1f,%.1f ", ax.x(s.T[j]), ay.y(v[j]))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.3"><title>disk %d</title></polyline>`,
+			strings.TrimSpace(pts.String()), palette[i%len(palette)], s.Disk)
+	}
+	b.WriteString(`</svg>`)
+	return template.HTML(b.String())
+}
+
+// ---- report assembly --------------------------------------------------
+
+type reportRunView struct {
+	ID, Tool, Name, Policy, Workload string
+	Digest12                         string
+	Created                          string
+	EnergyKJ, AFRPct                 string
+	MeanMs, P95Ms, P99Ms             string
+	TransPerDay                      string
+	UtilSVG, AFRSVG                  template.HTML
+	HasSeries                        bool
+}
+
+type reportView struct {
+	Title       string
+	Build       string
+	TradeoffSVG template.HTML
+	Runs        []reportRunView
+}
+
+var reportTmpl = template.Must(template.New("report").Parse(`<!DOCTYPE html>
+<html lang="en"><head><meta charset="utf-8"><title>{{.Title}}</title>
+<style>
+body { font: 14px/1.45 system-ui, sans-serif; margin: 2rem auto; max-width: 72rem; color: #222; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.15rem; margin-top: 2rem; } h3 { font-size: 1rem; }
+table { border-collapse: collapse; margin: 1rem 0; }
+th, td { padding: .3rem .7rem; border-bottom: 1px solid #ddd; text-align: right; }
+th:first-child, td:first-child { text-align: left; }
+code { background: #f4f4f4; padding: .1rem .3rem; border-radius: 3px; }
+.meta { color: #777; font-size: .85rem; }
+.charts { display: flex; flex-wrap: wrap; gap: 1rem; }
+</style></head><body>
+<h1>{{.Title}}</h1>
+<p class="meta">{{.Build}}</p>
+
+<h2>Energy vs. reliability — the paper's trade-off, per run</h2>
+{{.TradeoffSVG}}
+
+<h2>Runs</h2>
+<table>
+<tr><th>run</th><th>tool</th><th>policy</th><th>workload</th><th>energy (kJ)</th><th>AFR (%)</th><th>mean (ms)</th><th>p95 (ms)</th><th>p99 (ms)</th><th>trans/day</th></tr>
+{{range .Runs}}<tr><td><code>{{.ID}}</code></td><td>{{.Tool}}</td><td>{{.Policy}}</td><td>{{.Workload}}</td><td>{{.EnergyKJ}}</td><td>{{.AFRPct}}</td><td>{{.MeanMs}}</td><td>{{.P95Ms}}</td><td>{{.P99Ms}}</td><td>{{.TransPerDay}}</td></tr>
+{{end}}</table>
+
+{{range .Runs}}{{if .HasSeries}}
+<h2>{{.Name}} — per-disk timelines</h2>
+<p class="meta">config {{.Digest12}}{{if .Created}} · {{.Created}}{{end}}</p>
+<div class="charts">
+<div><h3>utilization</h3>{{.UtilSVG}}</div>
+<div><h3>PRESS AFR (%)</h3>{{.AFRSVG}}</div>
+</div>
+{{end}}{{end}}
+</body></html>
+`))
+
+// WriteHTMLReport renders the report for the given runs: a run-summary
+// table, the energy-vs-AFR scatter, and per-disk timelines for every run
+// that recorded a series. The output is one self-contained HTML file.
+func WriteHTMLReport(w io.Writer, title string, runs []*ReportRun) error {
+	view := reportView{
+		Title:       title,
+		Build:       VersionLine("arrayreport"),
+		TradeoffSVG: tradeoffSVG(runs),
+	}
+	ms := func(v float64) string { return strconv.FormatFloat(v*1e3, 'f', 2, 64) }
+	for _, r := range runs {
+		m := r.Manifest
+		rv := reportRunView{
+			ID:          m.ID(),
+			Tool:        m.Tool,
+			Name:        m.Name,
+			Policy:      m.Policy,
+			Workload:    m.Workload,
+			Digest12:    m.ConfigDigest[:min(12, len(m.ConfigDigest))],
+			Created:     m.CreatedAt,
+			EnergyKJ:    strconv.FormatFloat(m.Summary.EnergyJ/1e3, 'f', 1, 64),
+			AFRPct:      strconv.FormatFloat(m.Summary.ArrayAFRPct, 'f', 3, 64),
+			MeanMs:      ms(m.Summary.MeanResponseS),
+			P95Ms:       ms(m.Summary.P95ResponseS),
+			P99Ms:       ms(m.Summary.P99ResponseS),
+			TransPerDay: strconv.FormatFloat(m.Summary.TransitionsPerDay, 'f', 1, 64),
+			HasSeries:   len(r.Series) > 0,
+		}
+		if rv.HasSeries {
+			rv.UtilSVG = timelineSVG(r.Series, func(s DiskSeries) []float64 { return s.Util },
+				"virtual time (s)", "utilization")
+			rv.AFRSVG = timelineSVG(r.Series, func(s DiskSeries) []float64 { return s.AFRPct },
+				"virtual time (s)", "AFR (%)")
+		}
+		view.Runs = append(view.Runs, rv)
+	}
+	return reportTmpl.Execute(w, view)
+}

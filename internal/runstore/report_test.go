@@ -1,0 +1,114 @@
+package runstore
+
+import (
+	"encoding/xml"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleCSV = `t,epoch,disk,util,temp_c,speed,transitions,afr_pct,queue,energy_j
+100,0,0,0.5,42,high,1,12.5,0,1000
+100,0,1,0.2,40,low,0,11.0,1,800
+200,1,0,0.55,42.5,high,2,12.7,0,2100
+200,1,1,0.25,40.2,low,1,11.1,0,1650
+`
+
+func TestLoadSeries(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "disks.csv")
+	if err := os.WriteFile(path, []byte(sampleCSV), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	series, err := LoadSeries(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("got %d disks, want 2", len(series))
+	}
+	d0 := series[0]
+	if d0.Disk != 0 || len(d0.T) != 2 || d0.T[1] != 200 || d0.Util[1] != 0.55 ||
+		d0.AFRPct[0] != 12.5 || d0.EnergyJ[1] != 2100 {
+		t.Fatalf("disk 0 series wrong: %+v", d0)
+	}
+}
+
+func TestLoadSeriesRejectsMissingColumns(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "disks.csv")
+	if err := os.WriteFile(path, []byte("t,disk\n1,0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSeries(path); err == nil {
+		t.Fatal("expected error for missing columns")
+	}
+}
+
+func TestWriteHTMLReport(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := testManifest(t, "demo<run>", 1) // name needs escaping
+	dir, err := st.RunDir(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "disks.csv"), []byte(sampleCSV), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Write(m); err != nil {
+		t.Fatal(err)
+	}
+	run, err := LoadReportRun(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Series) != 2 {
+		t.Fatalf("report run loaded %d series, want 2", len(run.Series))
+	}
+
+	var buf strings.Builder
+	if err := WriteHTMLReport(&buf, "test report", []*ReportRun{run}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"<svg", "polyline", "array AFR", "demo&lt;run&gt;"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report lacks %q:\n%.500s", want, out)
+		}
+	}
+	if strings.Contains(out, "demo<run>") {
+		t.Fatal("run name not HTML-escaped")
+	}
+	// The report must be well-formed markup: every inline SVG parses as XML.
+	for _, chunk := range strings.Split(out, "<svg")[1:] {
+		end := strings.Index(chunk, "</svg>")
+		if end < 0 {
+			t.Fatal("unterminated svg element")
+		}
+		svg := "<svg" + chunk[:end+len("</svg>")]
+		dec := xml.NewDecoder(strings.NewReader(svg))
+		for {
+			_, err := dec.Token()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("svg not well-formed: %v\n%.300s", err, svg)
+			}
+		}
+	}
+}
+
+func TestWriteHTMLReportNoSeries(t *testing.T) {
+	m := testManifest(t, "bare", 1)
+	var buf strings.Builder
+	if err := WriteHTMLReport(&buf, "bare", []*ReportRun{{Manifest: m}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "bare") {
+		t.Fatal("report missing run row")
+	}
+}

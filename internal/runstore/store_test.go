@@ -1,0 +1,163 @@
+package runstore
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+type testConfig struct {
+	Policy string `json:"policy"`
+	Disks  int    `json:"disks"`
+	Seed   int64  `json:"seed"`
+}
+
+func testManifest(t *testing.T, name string, seed int64) *Manifest {
+	t.Helper()
+	m, err := New("arraysim", name, testConfig{Policy: "read", Disks: 8, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Seed = seed
+	m.Policy = "read"
+	m.Summary = Summary{EnergyJ: 1000, ArrayAFRPct: 13, MeanResponseS: 0.008,
+		Requests: 5000, EventsFired: 12345}
+	return m
+}
+
+func TestStoreWriteListLoad(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1 := testManifest(t, "alpha", 1)
+	m2 := testManifest(t, "beta", 2)
+	for _, m := range []*Manifest{m1, m2} {
+		if _, err := st.Write(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	runs, err := st.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 2 {
+		t.Fatalf("listed %d runs, want 2", len(runs))
+	}
+	if runs[0].Name != "alpha" || runs[1].Name != "beta" {
+		t.Fatalf("unexpected order: %s, %s", runs[0].Name, runs[1].Name)
+	}
+
+	// Load by name, by full ID, and by digest prefix.
+	for _, ref := range []string{"alpha", m1.ID(), m1.ConfigDigest[:8]} {
+		got, err := st.Load(ref)
+		if err != nil {
+			t.Fatalf("Load(%q): %v", ref, err)
+		}
+		if got.ConfigDigest != m1.ConfigDigest {
+			t.Fatalf("Load(%q) returned %s", ref, got.Name)
+		}
+	}
+	if _, err := st.Load("nonexistent"); err == nil {
+		t.Fatal("expected error for unknown ref")
+	}
+
+	// The index is regenerated and lists both runs.
+	idx, err := os.ReadFile(filepath.Join(dir, "index.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{m1.ID(), m2.ID()} {
+		if !strings.Contains(string(idx), want) {
+			t.Fatalf("index.json lacks %s", want)
+		}
+	}
+}
+
+func TestStoreRoundTripsManifest(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := testManifest(t, "round", 7)
+	m.Summary.FaultsOn = true
+	m.Summary.DiskFailures = 2
+	m.WallSeconds = 1.5
+	dir, err := st.Write(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID() != m.ID() || got.Schema != SchemaVersion {
+		t.Fatalf("round-trip identity: got %s schema %d", got.ID(), got.Schema)
+	}
+	if !reflect.DeepEqual(summaryWithoutExtra(got.Summary), summaryWithoutExtra(m.Summary)) {
+		t.Fatalf("summary round-trip: got %+v want %+v", got.Summary, m.Summary)
+	}
+	if got.Build.GoVersion == "" {
+		t.Fatal("build info lost in round-trip")
+	}
+}
+
+// summaryWithoutExtra normalizes the nil-vs-empty Extra map for comparison.
+func summaryWithoutExtra(s Summary) Summary {
+	s.Extra = nil
+	return s
+}
+
+func TestStoreRecordsArtifacts(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := testManifest(t, "with-artifacts", 3)
+	dir, err := st.RunDir(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"disks.csv", "metrics.json"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := st.Write(m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Artifacts) != 2 || got.Artifacts[0] != "disks.csv" || got.Artifacts[1] != "metrics.json" {
+		t.Fatalf("artifacts %v, want [disks.csv metrics.json]", got.Artifacts)
+	}
+}
+
+func TestSameConfigSameID(t *testing.T) {
+	a := testManifest(t, "x", 5)
+	b := testManifest(t, "x", 5)
+	if a.ID() != b.ID() {
+		t.Fatalf("identical configs got different IDs: %s vs %s", a.ID(), b.ID())
+	}
+	c := testManifest(t, "x", 6)
+	if a.ID() == c.ID() {
+		t.Fatal("different seeds share an ID")
+	}
+}
+
+func TestReadManifestRejectsWrongSchema(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, ManifestName)
+	if err := os.WriteFile(path, []byte(`{"schema": 99}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadManifest(dir); err == nil {
+		t.Fatal("expected schema-version error")
+	}
+}

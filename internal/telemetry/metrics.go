@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 )
 
@@ -135,6 +136,51 @@ func (h *Histogram) Mean() float64 {
 	return h.sum / float64(h.count)
 }
 
+// Quantile estimates the q-th quantile (q in [0,1]) by linear interpolation
+// within the bucket holding the target rank. The first bucket's lower edge is
+// the observed minimum and the overflow bucket's upper edge the observed
+// maximum, so estimates never leave the observed range; q <= 0 returns the
+// minimum and q >= 1 the maximum exactly. Empty and nil histograms return 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	target := q * float64(h.count)
+	var cum float64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if next >= target {
+			lo, hi := h.bucketEdges(i)
+			v := lo + (hi-lo)*(target-cum)/float64(c)
+			return math.Max(h.min, math.Min(h.max, v))
+		}
+		cum = next
+	}
+	return h.max
+}
+
+// bucketEdges returns bucket i's value range, clamped to the observed
+// min/max at the two open ends.
+func (h *Histogram) bucketEdges(i int) (lo, hi float64) {
+	switch {
+	case i == 0:
+		return h.min, math.Max(h.min, math.Min(h.bounds[0], h.max))
+	case i == len(h.bounds):
+		return math.Max(h.bounds[i-1], h.min), h.max
+	default:
+		return math.Max(h.bounds[i-1], h.min), math.Min(h.bounds[i], h.max)
+	}
+}
+
 // LatencyBounds returns the fixed bucket bounds used for response-time
 // histograms: a 1-2.5-5 decade ladder from 100 µs to 100 s.
 func LatencyBounds() []float64 {
@@ -227,12 +273,16 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 }
 
 // histogramJSON is the dump schema of one histogram: counts[i] pairs with
-// bounds[i]; the final extra count is the overflow bucket.
+// bounds[i]; the final extra count is the overflow bucket. P50/P95/P99 are
+// interpolated quantile estimates (see Histogram.Quantile).
 type histogramJSON struct {
 	Count  uint64    `json:"count"`
 	Sum    float64   `json:"sum"`
 	Min    float64   `json:"min"`
 	Max    float64   `json:"max"`
+	P50    float64   `json:"p50"`
+	P95    float64   `json:"p95"`
+	P99    float64   `json:"p99"`
 	Bounds []float64 `json:"bounds"`
 	Counts []uint64  `json:"counts"`
 }
@@ -262,6 +312,9 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 				Sum:    h.sum,
 				Min:    h.min,
 				Max:    h.max,
+				P50:    h.Quantile(0.50),
+				P95:    h.Quantile(0.95),
+				P99:    h.Quantile(0.99),
 				Bounds: h.bounds,
 				Counts: h.counts,
 			}

@@ -1,0 +1,123 @@
+package telemetry
+
+import (
+	"bytes"
+	"log"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func progressLines(buf *bytes.Buffer) []string {
+	var lines []string
+	for _, l := range strings.Split(buf.String(), "\n") {
+		if strings.TrimSpace(l) != "" {
+			lines = append(lines, l)
+		}
+	}
+	return lines
+}
+
+// A burst of Ticks inside one rate-limit window emits exactly one line: the
+// first (the limiter starts open), with the rest suppressed.
+func TestProgressTickRateLimitsBurst(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(log.New(&buf, "", 0), time.Hour)
+	for i := 0; i < 1000; i++ {
+		p.Tick(float64(i), uint64(i))
+	}
+	lines := progressLines(&buf)
+	if len(lines) != 1 {
+		t.Fatalf("burst of 1000 Ticks emitted %d lines, want 1:\n%s", len(lines), buf.String())
+	}
+	if !strings.Contains(lines[0], "progress sim=0.0s events=0") {
+		t.Fatalf("first tick line wrong: %q", lines[0])
+	}
+}
+
+// Stepf shares the same limiter as Tick.
+func TestProgressStepfSharesLimiter(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(log.New(&buf, "", 0), time.Hour)
+	p.Tick(1, 1) // consumes the open slot
+	for i := 0; i < 100; i++ {
+		p.Stepf("cell %d", i)
+	}
+	if lines := progressLines(&buf); len(lines) != 1 {
+		t.Fatalf("Stepf burst after Tick emitted %d lines, want 1", len(lines))
+	}
+}
+
+// Phase and Done are unconditional: they always log, burst or not.
+func TestProgressPhaseAndDoneAlwaysLog(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(log.New(&buf, "", 0), time.Hour)
+	p.Phase("a")
+	p.Phase("b")
+	p.Done("b", 100, 42)
+	lines := progressLines(&buf)
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3:\n%s", len(lines), buf.String())
+	}
+	if !strings.Contains(lines[0], "phase a") || !strings.Contains(lines[2], "done b sim=100.0s events=42") {
+		t.Fatalf("unexpected lines: %v", lines)
+	}
+}
+
+// After the window elapses, the next Tick is allowed again.
+func TestProgressAllowsAfterInterval(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(log.New(&buf, "", 0), 10*time.Millisecond)
+	p.Tick(1, 1)
+	p.Tick(2, 2) // suppressed
+	time.Sleep(25 * time.Millisecond)
+	p.Tick(3, 3) // allowed
+	if lines := progressLines(&buf); len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2:\n%s", len(lines), buf.String())
+	}
+}
+
+// Zero (and negative) intervals fall back to the 2 s default rather than
+// disabling the limiter.
+func TestProgressZeroIntervalDefaults(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(log.New(&buf, "", 0), 0)
+	for i := 0; i < 50; i++ {
+		p.Tick(float64(i), 0)
+	}
+	if lines := progressLines(&buf); len(lines) != 1 {
+		t.Fatalf("default interval did not rate-limit: %d lines", len(lines))
+	}
+}
+
+// A nil *Progress is a no-op sink for every method.
+func TestProgressNilSafe(t *testing.T) {
+	var p *Progress
+	p.Phase("x")
+	p.Tick(1, 1)
+	p.Stepf("y %d", 1)
+	p.Done("x", 1, 1)
+}
+
+// Progress is goroutine-safe: a concurrent burst under -race must not trip
+// the detector, and the hour-long window still admits exactly one line.
+func TestProgressConcurrentBurst(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(log.New(&buf, "", 0), time.Hour)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				p.Tick(float64(i), uint64(i))
+				p.Stepf("s %d", i)
+			}
+		}()
+	}
+	wg.Wait()
+	if lines := progressLines(&buf); len(lines) != 1 {
+		t.Fatalf("concurrent burst emitted %d lines, want 1", len(lines))
+	}
+}

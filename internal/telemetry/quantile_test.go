@@ -1,0 +1,147 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func uniformBounds() []float64 {
+	b := make([]float64, 10)
+	for i := range b {
+		b[i] = float64((i + 1) * 100)
+	}
+	return b // 100, 200, ..., 1000
+}
+
+// With values 1..1000 in 100-wide buckets, interpolation recovers the
+// uniform quantiles exactly at bucket-aligned targets.
+func TestQuantileUniform(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("u", uniformBounds())
+	for v := 1; v <= 1000; v++ {
+		h.Observe(float64(v))
+	}
+	cases := []struct{ q, want float64 }{
+		{0.50, 500},
+		{0.95, 950},
+		{0.99, 990},
+		{0.10, 100},
+		{0, 1},    // q<=0 → min
+		{1, 1000}, // q>=1 → max
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+// Against a large exponential sample the bucketed estimate must stay within
+// one bucket width of the analytic quantile.
+func TestQuantileExponential(t *testing.T) {
+	r := NewRegistry()
+	bounds := make([]float64, 120)
+	for i := range bounds {
+		bounds[i] = 0.05 * float64(i+1) // 0.05 .. 6.0, width 0.05; covers p99≈4.6
+	}
+	h := r.Histogram("exp", bounds)
+	rng := rand.New(rand.NewSource(42))
+	const n = 200000
+	for i := 0; i < n; i++ {
+		h.Observe(rng.ExpFloat64()) // mean 1
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		want := -math.Log(1 - q) // analytic quantile of Exp(1)
+		got := h.Quantile(q)
+		if math.Abs(got-want) > 0.05+0.02*want {
+			t.Errorf("Quantile(%v) = %v, want ≈%v", q, got, want)
+		}
+	}
+}
+
+func TestQuantileSkewedTwoPoint(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("two", []float64{10, 1000})
+	for i := 0; i < 90; i++ {
+		h.Observe(1)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(500)
+	}
+	// p50 lives in the first bucket [min=1, 10]; p95 in (10, 1000] clamped
+	// to max=500.
+	if p50 := h.Quantile(0.5); p50 < 1 || p50 > 10 {
+		t.Errorf("p50 = %v, want within first bucket [1,10]", p50)
+	}
+	if p95 := h.Quantile(0.95); p95 < 10 || p95 > 500 {
+		t.Errorf("p95 = %v, want within (10, max=500]", p95)
+	}
+	if p999 := h.Quantile(0.999); p999 > 500 {
+		t.Errorf("p999 = %v exceeds observed max 500", p999)
+	}
+}
+
+func TestQuantileOverflowBucket(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("over", []float64{1})
+	for i := 0; i < 100; i++ {
+		h.Observe(50) // all mass beyond the last bound
+	}
+	for _, q := range []float64{0.5, 0.99} {
+		if got := h.Quantile(q); got < 1 || got > 50 {
+			t.Errorf("Quantile(%v) = %v outside (1, 50]", q, got)
+		}
+	}
+}
+
+func TestQuantileEmptyAndNil(t *testing.T) {
+	var nilH *Histogram
+	if got := nilH.Quantile(0.5); got != 0 {
+		t.Fatalf("nil histogram quantile = %v", got)
+	}
+	r := NewRegistry()
+	h := r.Histogram("empty", []float64{1, 2})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %v", got)
+	}
+}
+
+func TestQuantileSingleObservation(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("one", LatencyBounds())
+	h.Observe(0.123)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0.123 {
+			t.Errorf("Quantile(%v) = %v, want 0.123", q, got)
+		}
+	}
+}
+
+func TestWriteJSONIncludesQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", uniformBounds())
+	for v := 1; v <= 1000; v++ {
+		h.Observe(float64(v))
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Histograms map[string]struct {
+			P50 float64 `json:"p50"`
+			P95 float64 `json:"p95"`
+			P99 float64 `json:"p99"`
+		}
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	hd := doc.Histograms["lat"]
+	if hd.P50 != 500 || hd.P95 != 950 || hd.P99 != 990 {
+		t.Fatalf("dumped quantiles %+v", hd)
+	}
+}

@@ -1,0 +1,163 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func sampleAt(i int) DiskSample {
+	return DiskSample{
+		T:           100.5 * float64(i+1),
+		Epoch:       i,
+		Disk:        i % 3,
+		Utilization: 1.0 / 3.0, // not exactly representable: precision probe
+		TempC:       40 + 0.1*float64(i),
+		Speed:       []string{"low", "high"}[i%2],
+		Transitions: i * 2,
+		AFRPct:      math.Pi * float64(i+1),
+		QueueDepth:  i,
+		EnergyJ:     12345.6789 * float64(i+1),
+	}
+}
+
+// The NDJSON stream round-trips every sample exactly.
+func TestSeriesNDJSONRoundTrip(t *testing.T) {
+	var nd bytes.Buffer
+	w := NewSeriesWriter(&nd, nil)
+	const n = 5
+	for i := 0; i < n; i++ {
+		if err := w.Write(sampleAt(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(nd.String()), "\n")
+	if len(lines) != n {
+		t.Fatalf("got %d NDJSON lines, want %d", len(lines), n)
+	}
+	for i, line := range lines {
+		var got DiskSample
+		if err := json.Unmarshal([]byte(line), &got); err != nil {
+			t.Fatalf("line %d not valid JSON: %v", i, err)
+		}
+		if got != sampleAt(i) {
+			t.Fatalf("line %d round-trip: got %+v want %+v", i, got, sampleAt(i))
+		}
+	}
+}
+
+// The CSV stream round-trips with full float precision, and its header is
+// the pinned schema — downstream tooling (arrayreport's series loader, the
+// CI smoke check) parses these columns by name.
+func TestSeriesCSVRoundTripAndHeader(t *testing.T) {
+	var csvBuf bytes.Buffer
+	w := NewSeriesWriter(nil, &csvBuf)
+	const n = 4
+	for i := 0; i < n; i++ {
+		if err := w.Write(sampleAt(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(bytes.NewReader(csvBuf.Bytes())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != n+1 {
+		t.Fatalf("got %d CSV rows, want %d", len(rows), n+1)
+	}
+
+	const wantHeader = "t,epoch,disk,util,temp_c,speed,transitions,afr_pct,queue,energy_j"
+	if got := strings.Join(rows[0], ","); got != wantHeader {
+		t.Fatalf("CSV header drifted:\n got %q\nwant %q", got, wantHeader)
+	}
+
+	for i, row := range rows[1:] {
+		want := sampleAt(i)
+		pf := func(col int) float64 {
+			v, err := strconv.ParseFloat(row[col], 64)
+			if err != nil {
+				t.Fatalf("row %d col %d: %v", i, col, err)
+			}
+			return v
+		}
+		pi := func(col int) int {
+			v, err := strconv.Atoi(row[col])
+			if err != nil {
+				t.Fatalf("row %d col %d: %v", i, col, err)
+			}
+			return v
+		}
+		got := DiskSample{
+			T: pf(0), Epoch: pi(1), Disk: pi(2), Utilization: pf(3),
+			TempC: pf(4), Speed: row[5], Transitions: pi(6), AFRPct: pf(7),
+			QueueDepth: pi(8), EnergyJ: pf(9),
+		}
+		if got != want {
+			t.Fatalf("row %d round-trip: got %+v want %+v", i, got, want)
+		}
+	}
+}
+
+// NDJSON field names match the CSV column names one-to-one, in order.
+func TestSeriesSchemasAgree(t *testing.T) {
+	var nd bytes.Buffer
+	w := NewSeriesWriter(&nd, nil)
+	if err := w.Write(sampleAt(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Field order in the marshalled JSON follows the struct declaration,
+	// which is also the CSV column order.
+	line := strings.TrimSpace(nd.String())
+	var keys []string
+	dec := json.NewDecoder(strings.NewReader(line))
+	tok, err := dec.Token() // opening brace
+	if err != nil || tok != json.Delim('{') {
+		t.Fatalf("bad JSON start: %v %v", tok, err)
+	}
+	for dec.More() {
+		k, err := dec.Token()
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, k.(string))
+		var v any
+		if err := dec.Decode(&v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := strings.Join(keys, ","); got != seriesColumns {
+		t.Fatalf("NDJSON fields %q != CSV columns %q", got, seriesColumns)
+	}
+}
+
+// Either output may be nil, and a nil writer is a no-op.
+func TestSeriesNilTargets(t *testing.T) {
+	var w *SeriesWriter
+	if err := w.Write(sampleAt(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	both := NewSeriesWriter(nil, nil)
+	if err := both.Write(sampleAt(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := both.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
