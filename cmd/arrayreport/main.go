@@ -108,19 +108,26 @@ func cmdList(args []string) error {
 	if err != nil {
 		return err
 	}
-	runs, err := st.List()
+	runs, warnings, err := st.ListChecked()
 	if err != nil {
 		return err
+	}
+	for _, w := range warnings {
+		fmt.Fprintf(os.Stderr, "arrayreport: warning: %s\n", w)
 	}
 	if len(runs) == 0 {
 		fmt.Printf("no runs in %s\n", st.Root())
 		return nil
 	}
-	fmt.Printf("%-28s %-12s %-14s %10s %9s %9s  %s\n",
-		"run", "tool", "policy", "energy_kj", "afr_pct", "mean_ms", "created")
+	fmt.Printf("%-28s %-12s %-14s %-8s %10s %9s %9s  %s\n",
+		"run", "tool", "policy", "status", "energy_kj", "afr_pct", "mean_ms", "created")
 	for _, m := range runs {
-		fmt.Printf("%-28s %-12s %-14s %10.1f %9.3f %9.2f  %s\n",
-			m.ID(), m.Tool, m.Policy,
+		status := m.Status
+		if status == "" {
+			status = "ok"
+		}
+		fmt.Printf("%-28s %-12s %-14s %-8s %10.1f %9.3f %9.2f  %s\n",
+			m.ID(), m.Tool, m.Policy, status,
 			m.Summary.EnergyJ/1e3, m.Summary.ArrayAFRPct, m.Summary.MeanResponseS*1e3,
 			m.CreatedAt)
 	}
@@ -221,6 +228,7 @@ func cmdCheck(args []string) error {
 		return err
 	}
 	var runs []*runstore.Manifest
+	corrupt := 0
 	if fs.NArg() > 0 {
 		for _, ref := range fs.Args() {
 			m, err := resolveRun(*storeDir, ref)
@@ -234,11 +242,18 @@ func cmdCheck(args []string) error {
 		if err != nil {
 			return err
 		}
-		runs, err = st.List()
+		var warnings []string
+		runs, warnings, err = st.ListChecked()
 		if err != nil {
 			return err
 		}
-		if len(runs) == 0 {
+		// A corrupt manifest must fail the gate, not silently shrink the
+		// set of runs being checked.
+		for _, w := range warnings {
+			fmt.Fprintf(os.Stderr, "arrayreport: warning: %s\n", w)
+		}
+		corrupt = len(warnings)
+		if len(runs) == 0 && corrupt == 0 {
 			return fmt.Errorf("no runs to check in %s", st.Root())
 		}
 	}
@@ -262,7 +277,10 @@ func cmdCheck(args []string) error {
 			runstore.RenderDeltas(os.Stdout, res.Deltas, true)
 		}
 	}
-	if breached {
+	if corrupt > 0 {
+		fmt.Fprintf(os.Stderr, "arrayreport: %d corrupt manifest(s) in store\n", corrupt)
+	}
+	if breached || corrupt > 0 {
 		os.Exit(1)
 	}
 	return nil

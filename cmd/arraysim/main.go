@@ -14,17 +14,22 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	rtrace "runtime/trace"
 	"time"
 
 	diskarray "repro"
+	"repro/internal/checkpoint"
 	"repro/internal/experiment"
 	"repro/internal/faults"
 	"repro/internal/runstore"
 	"repro/internal/telemetry"
 )
+
+// checkpointName is the snapshot file inside a run directory.
+const checkpointName = "checkpoint.json"
 
 // manifestConfig is the digested configuration block of an arraysim run
 // manifest: everything that determines the simulation's results. For trace
@@ -59,6 +64,8 @@ func main() {
 
 		runsDir      = flag.String("runs-dir", "", "record this run in a run store: manifest.json plus telemetry artifacts under <runs-dir>/<name>-<digest>/")
 		runName      = flag.String("run-name", "arraysim", "run name inside the store (requires -runs-dir)")
+		ckptEvery    = flag.Float64("checkpoint-every", 0, "write a crash-recovery snapshot (checkpoint.json in the run directory) every this many virtual seconds (requires -runs-dir)")
+		resume       = flag.Bool("resume", false, "resume from the run directory's checkpoint.json instead of starting fresh (requires -runs-dir and the original -checkpoint-every)")
 		version      = flag.Bool("version", false, "print build information and exit")
 		telemetryDir = flag.String("telemetry-dir", "", "write per-disk NDJSON/CSV time-series and metrics.json into this directory")
 		traceEvents  = flag.Bool("trace-events", false, "also record a Chrome trace_event DES trace (trace.json; requires -telemetry-dir)")
@@ -115,6 +122,14 @@ func main() {
 		usageErr("fault flags require -faults")
 	case *runsDir == "" && explicit["run-name"]:
 		usageErr("-run-name requires -runs-dir")
+	case *ckptEvery < 0:
+		usageErr("-checkpoint-every %g cannot be negative", *ckptEvery)
+	case *ckptEvery > 0 && *runsDir == "":
+		usageErr("-checkpoint-every requires -runs-dir (the snapshot lives in the run directory)")
+	case *resume && *runsDir == "":
+		usageErr("-resume requires -runs-dir")
+	case *resume && *ckptEvery <= 0:
+		usageErr("-resume requires the original -checkpoint-every interval (the resumed run must keep the same snapshot cadence to stay bit-identical)")
 	case *runsDir != "" && *runName == "":
 		usageErr("-run-name must not be empty")
 	case *runsDir == "" && *telemetryDir == "" && (*traceEvents || explicit["trace-sample"]):
@@ -173,6 +188,7 @@ func main() {
 	var (
 		store    *runstore.Store
 		manifest *runstore.Manifest
+		runDir   string
 	)
 	start := time.Now()
 	if *runsDir != "" {
@@ -206,12 +222,12 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		dir, err := store.RunDir(manifest)
+		runDir, err = store.RunDir(manifest)
 		if err != nil {
 			log.Fatal(err)
 		}
 		if *telemetryDir == "" {
-			*telemetryDir = dir
+			*telemetryDir = runDir
 		}
 	}
 
@@ -289,11 +305,47 @@ func main() {
 		simCfg.SampleInterval = stats.Duration / 48
 	}
 	simCfg.Telemetry = rec
-	prog.Phase("simulate")
-	res, err := diskarray.Simulate(simCfg)
-	if err != nil {
-		rec.Close()
-		log.Fatal(err)
+	if *ckptEvery > 0 {
+		simCfg.Checkpoint = &diskarray.CheckpointSpec{
+			EverySimSeconds: *ckptEvery,
+			Path:            filepath.Join(runDir, checkpointName),
+			Tool:            "arraysim",
+			ConfigDigest:    manifest.ConfigDigest,
+		}
+	}
+	var res *diskarray.SimResult
+	if *resume {
+		ckptPath := filepath.Join(runDir, checkpointName)
+		env, err := checkpoint.Read(ckptPath)
+		if err != nil {
+			rec.Close()
+			log.Fatalf("resume: %v", err)
+		}
+		if env.Tool != "arraysim" {
+			rec.Close()
+			log.Fatalf("resume: %s was written by %q, not arraysim", ckptPath, env.Tool)
+		}
+		if env.ConfigDigest != manifest.ConfigDigest {
+			rec.Close()
+			log.Fatalf("resume: %s was taken under config digest %s, current flags digest to %s — rerun with the original flags",
+				ckptPath, env.ConfigDigest, manifest.ConfigDigest)
+		}
+		prog.Phase("resume")
+		fmt.Fprintf(os.Stderr, "arraysim: resuming from %s (t=%.1f s, %d events fired)\n",
+			ckptPath, env.SimTime, env.EventsFired)
+		res, err = diskarray.ResumeSimulation(simCfg, env.State)
+		if err != nil {
+			rec.Close()
+			log.Fatal(err)
+		}
+	} else {
+		prog.Phase("simulate")
+		var err error
+		res, err = diskarray.Simulate(simCfg)
+		if err != nil {
+			rec.Close()
+			log.Fatal(err)
+		}
 	}
 	prog.Done("simulate", res.Duration, res.EventsFired)
 	if err := rec.Close(); err != nil {

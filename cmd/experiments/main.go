@@ -14,6 +14,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	rtrace "runtime/trace"
@@ -46,7 +47,34 @@ func recordSweep(store *runstore.Store, name string, cfg experiment.SweepConfig,
 	fmt.Fprintf(os.Stderr, "experiments: run %s recorded in %s\n", name, dir)
 }
 
+// skipRecorded reports whether the store already holds a manifest for this
+// sweep condition — same name, same config digest — whose status is not
+// "failed". A -resume driver uses it to skip work a previous (possibly
+// killed) invocation already completed.
+func skipRecorded(store *runstore.Store, name string, cfg experiment.SweepConfig) bool {
+	if store == nil {
+		return false
+	}
+	id, err := experiment.SweepManifestID(name, cfg)
+	if err != nil {
+		return false
+	}
+	m, err := runstore.ReadManifest(filepath.Join(store.Root(), id))
+	if err != nil || m.Status == string(experiment.CellFailed) {
+		return false
+	}
+	fmt.Fprintf(os.Stderr, "experiments: resume: skipping %s (already recorded as %s)\n", name, id)
+	return true
+}
+
 func main() {
+	os.Exit(run())
+}
+
+// run is main's body; it returns the process exit code — the number of sweep
+// cells that ultimately failed (capped at 125), zero on full success — so
+// deferred profile writers still flush on the failure path.
+func run() int {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
 	var (
@@ -58,6 +86,8 @@ func main() {
 		csvPath = flag.String("csv", "", "also write machine-readable output to this file")
 		steps   = flag.Int("steps", 13, "samples per axis for the function figures")
 		runsDir = flag.String("runs-dir", "", "record one manifest per sweep condition in this run store")
+		resume  = flag.Bool("resume", false, "skip sweep conditions already recorded with an ok status in -runs-dir")
+		retries = flag.Int("retries", 0, "extra attempts per failed sweep cell (exponential backoff between attempts)")
 		version = flag.Bool("version", false, "print build information and exit")
 
 		progress     = flag.Bool("progress", false, "log sweep phases and per-cell progress to stderr")
@@ -69,11 +99,14 @@ func main() {
 
 	if *version {
 		fmt.Println(runstore.VersionLine("experiments"))
-		return
+		return 0
 	}
 
 	if *full {
 		*scale = 1
+	}
+	if *retries < 0 {
+		log.Fatal("-retries must be >= 0")
 	}
 
 	var store *runstore.Store
@@ -83,6 +116,9 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+	}
+	if *resume && store == nil {
+		log.Fatal("-resume requires -runs-dir (resume skips conditions by their recorded manifests)")
 	}
 
 	if *cpuprofile != "" {
@@ -136,6 +172,7 @@ func main() {
 	}
 
 	model := reliability.NewModel()
+	failedCells := 0
 	want := func(names ...string) bool {
 		if *fig == "all" {
 			return true
@@ -246,13 +283,22 @@ func main() {
 			cfg := experiment.DefaultSweepConfig()
 			cfg.Scale = *scale
 			cfg.Intensity = cond.intensity
+			cfg.MaxAttempts = 1 + *retries
 			cfg.Progress = prog
+			condName := "fig7-" + cond.name
+			if *resume && skipRecorded(store, condName, cfg) {
+				continue
+			}
 			start := time.Now()
 			res, err := experiment.RunSweep(cfg)
-			if err != nil {
+			if res == nil {
 				log.Fatal(err)
 			}
-			recordSweep(store, "fig7-"+cond.name, cfg, res, start)
+			if err != nil {
+				log.Printf("sweep %s: %v", condName, err)
+				failedCells += len(res.FailedCells())
+			}
+			recordSweep(store, condName, cfg, res, start)
 			fmt.Printf("Figure 7 — %s workload (scale %.3g, %s)\n\n",
 				cond.name, *scale, time.Since(start).Round(time.Millisecond))
 			panels := []struct {
@@ -291,26 +337,33 @@ func main() {
 		if *heavy {
 			cfg.Intensity = experiment.HeavyIntensity
 		}
+		cfg.MaxAttempts = 1 + *retries
 		cfg.Progress = prog
-		start := time.Now()
-		res, err := experiment.RunSweep(cfg)
-		if err != nil {
-			log.Fatal(err)
-		}
 		faultsName := "faults-light"
 		if *heavy {
 			faultsName = "faults-heavy"
 		}
-		recordSweep(store, faultsName, cfg, res, start)
-		fmt.Printf("Fault sweep — energy vs observed data loss (scale %.3g, accel %.0g, %d spare(s), %s)\n\n",
-			*scale, experiment.FaultSweepAcceleration, cfg.Spares, time.Since(start).Round(time.Millisecond))
-		experiment.RenderFaultSummary(os.Stdout, res,
-			"Observed reliability — Weibull failures under live PRESS hazard scaling")
-		fmt.Println()
-		if csvW != nil {
-			fmt.Fprintf(csvW, "# fault sweep\n")
-			if err := experiment.WriteSweepCSV(csvW, res); err != nil {
+		if !*resume || !skipRecorded(store, faultsName, cfg) {
+			start := time.Now()
+			res, err := experiment.RunSweep(cfg)
+			if res == nil {
 				log.Fatal(err)
+			}
+			if err != nil {
+				log.Printf("sweep %s: %v", faultsName, err)
+				failedCells += len(res.FailedCells())
+			}
+			recordSweep(store, faultsName, cfg, res, start)
+			fmt.Printf("Fault sweep — energy vs observed data loss (scale %.3g, accel %.0g, %d spare(s), %s)\n\n",
+				*scale, experiment.FaultSweepAcceleration, cfg.Spares, time.Since(start).Round(time.Millisecond))
+			experiment.RenderFaultSummary(os.Stdout, res,
+				"Observed reliability — Weibull failures under live PRESS hazard scaling")
+			fmt.Println()
+			if csvW != nil {
+				fmt.Fprintf(csvW, "# fault sweep\n")
+				if err := experiment.WriteSweepCSV(csvW, res); err != nil {
+					log.Fatal(err)
+				}
 			}
 		}
 	}
@@ -357,4 +410,10 @@ func main() {
 		log.Fatalf("unknown figure %q; valid: %s", *fig,
 			strings.Join([]string{"2b", "3b", "4a", "4b", "5", "derive", "7", "7a", "7b", "7c", "faults", "ablations", "calibration", "all"}, " | "))
 	}
+
+	if failedCells > 0 {
+		log.Printf("%d sweep cell(s) failed after all retries", failedCells)
+		return min(failedCells, 125)
+	}
+	return 0
 }

@@ -206,6 +206,24 @@ type DiskSimResult = array.DiskResult
 // Simulate executes one trace-driven simulation.
 func Simulate(cfg SimConfig) (*SimResult, error) { return array.Run(cfg) }
 
+// CheckpointSpec configures periodic simulation snapshots
+// (SimConfig.Checkpoint): the complete state is written atomically every
+// EverySimSeconds of virtual time so an interrupted run can be resumed
+// bit-identically with ResumeSimulation.
+type CheckpointSpec = array.CheckpointSpec
+
+// CheckpointablePolicy is the optional interface a Policy implements to
+// survive checkpoint/restore. All shipped policies implement it.
+type CheckpointablePolicy = array.CheckpointablePolicy
+
+// ResumeSimulation reconstructs a simulation from a checkpoint's state
+// payload (the envelope's State field, produced under the same SimConfig)
+// and runs it to completion. The result is bit-identical to the
+// uninterrupted run's when both use the same checkpoint interval.
+func ResumeSimulation(cfg SimConfig, state []byte) (*SimResult, error) {
+	return array.Resume(cfg, state)
+}
+
 // Sample is one point of a run's power/speed/queue timeline (recorded when
 // SimConfig.SampleInterval > 0).
 type Sample = array.Sample

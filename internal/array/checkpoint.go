@@ -1,0 +1,619 @@
+package array
+
+// Checkpoint/restore for the array simulator. A snapshot captures the
+// complete simulation state at one quiescent instant between events: the DES
+// clock and pending event queue (as the serializable records of events.go),
+// every disk's raw energy/thermal accumulators and scheduler queues, the
+// policy's saved state, the fault injector's hazard state and RNG position,
+// the response statistics, and the telemetry counters. Raw accumulator
+// fields are serialized verbatim — never through the mutating accessors —
+// so the floating-point summation order after a resume is identical to the
+// uninterrupted run's, making the two bit-identical, not merely close.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/checkpoint"
+	"repro/internal/des"
+	"repro/internal/diskmodel"
+	"repro/internal/faults"
+	"repro/internal/stats"
+	"repro/internal/telemetry"
+	"repro/internal/thermal"
+)
+
+// CheckpointSpec configures periodic snapshotting for one run.
+type CheckpointSpec struct {
+	// EverySimSeconds is the snapshot period in virtual seconds. The
+	// checkpoint tick is a DES event, so runs being compared bit-for-bit
+	// must share the same period (or both disable it).
+	EverySimSeconds float64
+	// Path is the snapshot file, rewritten atomically on every tick.
+	Path string
+	// Tool and ConfigDigest identify the producing run in the envelope;
+	// Resume refuses a snapshot whose digest does not match its config.
+	Tool         string
+	ConfigDigest string
+	// Sink, when non-nil, receives the encoded envelope instead of Path —
+	// the in-process hook the kill/resume equivalence test uses.
+	Sink func(data []byte) error
+}
+
+// validateCheckpointSpec rejects unusable checkpoint configurations up
+// front, including a policy that cannot be serialized.
+func validateCheckpointSpec(cfg *Config) error {
+	spec := cfg.Checkpoint
+	if spec == nil {
+		return nil
+	}
+	if spec.EverySimSeconds <= 0 || math.IsNaN(spec.EverySimSeconds) {
+		return fmt.Errorf("array: checkpoint interval %v must be positive", spec.EverySimSeconds)
+	}
+	if spec.Path == "" && spec.Sink == nil {
+		return fmt.Errorf("array: checkpoint needs a path or a sink")
+	}
+	if _, ok := cfg.Policy.(CheckpointablePolicy); !ok {
+		return fmt.Errorf("array: policy %q does not support checkpointing", cfg.Policy.Name())
+	}
+	return nil
+}
+
+// installCheckpoints arms the periodic checkpoint tick.
+func (s *sim) installCheckpoints() {
+	spec := s.cfg.Checkpoint
+	if spec == nil || spec.EverySimSeconds <= 0 {
+		return
+	}
+	s.schedule(spec.EverySimSeconds, eventRecord{Kind: evCheckpoint})
+}
+
+// onCheckpointTick snapshots the simulation. The next tick is scheduled
+// BEFORE the snapshot is taken so the saved pending set includes it and the
+// resumed run keeps checkpointing on the same cadence as the original.
+func (s *sim) onCheckpointTick(e *des.Engine) {
+	if s.failure != nil || s.cfg.Checkpoint == nil {
+		return
+	}
+	if s.workRemains() {
+		s.schedule(s.cfg.Checkpoint.EverySimSeconds, eventRecord{Kind: evCheckpoint})
+	}
+	if s.opaqueLive > 0 {
+		// A non-serializable policy callback is in flight; skip this
+		// snapshot and try again next tick. The previous snapshot stays
+		// valid on disk.
+		return
+	}
+	if err := s.writeCheckpoint(); err != nil {
+		s.fail(fmt.Errorf("array: checkpoint: %w", err))
+	}
+}
+
+// --- wire schema ---
+
+// contState is the serializable form of a cont.
+type contState struct {
+	Kind        string  `json:"kind"`
+	FileID      int     `json:"file_id,omitempty"`
+	To          int     `json:"to,omitempty"`
+	Disk        int     `json:"disk,omitempty"`
+	SizeMB      float64 `json:"size_mb,omitempty"`
+	NextIssue   float64 `json:"next_issue,omitempty"`
+	RemainingMB float64 `json:"remaining_mb,omitempty"`
+}
+
+// opState is the serializable form of an op. Stripe is an index into
+// simState.Stripes (-1 when the op is not a chunk), so chunks of one striped
+// request share their parent across the restore exactly as they shared the
+// pointer before it.
+type opState struct {
+	Kind     int        `json:"kind"`
+	FileID   int        `json:"file_id,omitempty"`
+	SizeMB   float64    `json:"size_mb,omitempty"`
+	Arrival  float64    `json:"arrival,omitempty"`
+	Stripe   int        `json:"stripe"`
+	Mig      bool       `json:"mig,omitempty"`
+	Rerouted bool       `json:"rerouted,omitempty"`
+	Done     *contState `json:"done,omitempty"`
+}
+
+type stripeState struct {
+	FileID    int     `json:"file_id"`
+	Arrival   float64 `json:"arrival"`
+	Remaining int     `json:"remaining"`
+	Lost      bool    `json:"lost,omitempty"`
+}
+
+// savedEvent is one pending DES event: its absolute fire time plus the
+// eventRecord payload. Events are saved in ascending original-sequence
+// order; restoring re-schedules them in that order so same-instant FIFO
+// ties break identically.
+type savedEvent struct {
+	Time        float64  `json:"time"`
+	Kind        string   `json:"kind"`
+	Disk        int      `json:"disk,omitempty"`
+	Gen         uint64   `json:"gen,omitempty"`
+	Deadline    float64  `json:"deadline,omitempty"`
+	Timeout     float64  `json:"timeout,omitempty"`
+	LastEnergy  float64  `json:"last_energy,omitempty"`
+	RemainingMB float64  `json:"remaining_mb,omitempty"`
+	FileID      int      `json:"file_id,omitempty"`
+	From        int      `json:"from,omitempty"`
+	To          int      `json:"to,omitempty"`
+	SizeMB      float64  `json:"size_mb,omitempty"`
+	Op          *opState `json:"op,omitempty"`
+}
+
+type diskCkptState struct {
+	Disk          diskmodel.Checkpoint `json:"disk"`
+	Temp          thermal.Checkpoint   `json:"temp"`
+	Pending       *diskmodel.Speed     `json:"pending,omitempty"`
+	IdleTimeout   float64              `json:"idle_timeout,omitempty"`
+	IdleArmed     bool                 `json:"idle_armed,omitempty"`
+	Failed        bool                 `json:"failed,omitempty"`
+	SpareAssigned bool                 `json:"spare_assigned,omitempty"`
+	Rebuilding    bool                 `json:"rebuilding,omitempty"`
+	Gen           uint64               `json:"gen,omitempty"`
+	FG            []opState            `json:"fg,omitempty"`
+	BG            []opState            `json:"bg,omitempty"`
+}
+
+type faultCkptState struct {
+	Injector       faults.Checkpoint `json:"injector"`
+	Spares         int               `json:"spares"`
+	SparesUsed     int               `json:"spares_used"`
+	Failures       int               `json:"failures"`
+	Repairs        int               `json:"repairs"`
+	DataLoss       int               `json:"data_loss"`
+	FirstLoss      float64           `json:"first_loss"`
+	LostRequests   int               `json:"lost_requests"`
+	Degraded       int               `json:"degraded"`
+	Reassigned     int               `json:"reassigned"`
+	RebuildMB      float64           `json:"rebuild_mb"`
+	RebuildEnergyJ float64           `json:"rebuild_energy_j"`
+	Log            []FailureEvent    `json:"log,omitempty"`
+}
+
+// simState is the checkpoint payload: the complete mutable state of a run.
+type simState struct {
+	Clock         float64                     `json:"clock"`
+	Seq           uint64                      `json:"seq"`
+	Fired         uint64                      `json:"fired"`
+	PolicyName    string                      `json:"policy_name"`
+	NextReq       int                         `json:"next_req"`
+	Migrations    int                         `json:"migrations"`
+	BackgroundOps int                         `json:"background_ops"`
+	Epochs        int                         `json:"epochs"`
+	MigsThisEpoch int                         `json:"migs_this_epoch"`
+	Place         map[int]int                 `json:"place"`
+	Counts        map[int]int                 `json:"counts,omitempty"`
+	Migrating     []int                       `json:"migrating,omitempty"`
+	RespStream    stats.StreamState           `json:"resp_stream"`
+	RespHist      stats.LatencyHistogramState `json:"resp_hist"`
+	Disks         []diskCkptState             `json:"disks"`
+	Stripes       []stripeState               `json:"stripes,omitempty"`
+	Timeline      []Sample                    `json:"timeline,omitempty"`
+	Policy        json.RawMessage             `json:"policy"`
+	Faults        *faultCkptState             `json:"faults,omitempty"`
+	Events        []savedEvent                `json:"events"`
+	Metrics       *telemetry.RegistryState    `json:"metrics,omitempty"`
+}
+
+// stripeTable assigns dense IDs to stripeJob pointers in the deterministic
+// order they are first encountered during serialization.
+type stripeTable struct {
+	ids  map[*stripeJob]int
+	list []stripeState
+}
+
+func (t *stripeTable) id(j *stripeJob) int {
+	if j == nil {
+		return -1
+	}
+	if id, ok := t.ids[j]; ok {
+		return id
+	}
+	id := len(t.list)
+	t.ids[j] = id
+	t.list = append(t.list, stripeState{
+		FileID: j.fileID, Arrival: j.arrival, Remaining: j.remaining, Lost: j.lost,
+	})
+	return id
+}
+
+func (t *stripeTable) encodeOp(o op) (opState, error) {
+	st := opState{
+		Kind:     int(o.kind),
+		FileID:   o.fileID,
+		SizeMB:   o.sizeMB,
+		Arrival:  o.arrival,
+		Stripe:   t.id(o.stripe),
+		Mig:      o.mig,
+		Rerouted: o.rerouted,
+	}
+	if o.done != nil {
+		if o.done.kind == contOpaque {
+			return opState{}, fmt.Errorf("array: opaque continuation cannot be checkpointed")
+		}
+		st.Done = &contState{
+			Kind:        o.done.kind,
+			FileID:      o.done.fileID,
+			To:          o.done.to,
+			Disk:        o.done.disk,
+			SizeMB:      o.done.sizeMB,
+			NextIssue:   o.done.nextIssue,
+			RemainingMB: o.done.remainingMB,
+		}
+	}
+	return st, nil
+}
+
+// items returns the queue's live entries in FIFO order (read-only view).
+func (q *fifo) items() []op { return q.buf[q.head:] }
+
+// buildState serializes the complete simulation state.
+func (s *sim) buildState() (*simState, error) {
+	st := &simState{
+		Clock:         s.eng.Now(),
+		Seq:           s.eng.Seq(),
+		Fired:         s.eng.Fired(),
+		PolicyName:    s.cfg.Policy.Name(),
+		NextReq:       s.nextReq,
+		Migrations:    s.migrations,
+		BackgroundOps: s.backgroundOps,
+		Epochs:        s.epochs,
+		MigsThisEpoch: s.migsThisEpoch,
+		Place:         s.place,
+		Counts:        s.counts,
+		RespStream:    s.respStream.State(),
+		RespHist:      s.respHist.State(),
+		Timeline:      s.timeline,
+	}
+	for id := range s.migrating {
+		st.Migrating = append(st.Migrating, id)
+	}
+	sort.Ints(st.Migrating)
+
+	table := &stripeTable{ids: make(map[*stripeJob]int)}
+	st.Disks = make([]diskCkptState, len(s.disks))
+	for i, ds := range s.disks {
+		dc := diskCkptState{
+			Disk:          ds.disk.Checkpoint(),
+			Temp:          ds.temp.Checkpoint(),
+			IdleTimeout:   ds.idleTimeout,
+			IdleArmed:     ds.idleArmed,
+			Failed:        ds.failed,
+			SpareAssigned: ds.spareAssigned,
+			Rebuilding:    ds.rebuilding,
+			Gen:           ds.gen,
+		}
+		if ds.pending != nil {
+			p := *ds.pending
+			dc.Pending = &p
+		}
+		for _, o := range ds.fg.items() {
+			os, err := table.encodeOp(o)
+			if err != nil {
+				return nil, err
+			}
+			dc.FG = append(dc.FG, os)
+		}
+		for _, o := range ds.bg.items() {
+			os, err := table.encodeOp(o)
+			if err != nil {
+				return nil, err
+			}
+			dc.BG = append(dc.BG, os)
+		}
+		st.Disks[i] = dc
+	}
+
+	for _, id := range s.eng.PendingIDs() {
+		rec, ok := s.events[id]
+		if !ok {
+			return nil, fmt.Errorf("array: pending event %d has no record; cannot checkpoint", id)
+		}
+		t, _ := s.eng.EventTime(id)
+		se := savedEvent{
+			Time:        t,
+			Kind:        rec.Kind,
+			Disk:        rec.Disk,
+			Gen:         rec.Gen,
+			Deadline:    rec.Deadline,
+			Timeout:     rec.Timeout,
+			LastEnergy:  rec.LastEnergy,
+			RemainingMB: rec.RemainingMB,
+			FileID:      rec.FileID,
+			From:        rec.From,
+			To:          rec.To,
+			SizeMB:      rec.SizeMB,
+		}
+		if rec.Op != nil {
+			os, err := table.encodeOp(*rec.Op)
+			if err != nil {
+				return nil, err
+			}
+			se.Op = &os
+		}
+		st.Events = append(st.Events, se)
+	}
+	st.Stripes = table.list
+
+	pol := s.cfg.Policy.(CheckpointablePolicy) // verified by validateCheckpointSpec
+	data, err := pol.SaveState()
+	if err != nil {
+		return nil, fmt.Errorf("array: policy %q save: %w", pol.Name(), err)
+	}
+	st.Policy = data
+
+	if f := s.flt; f != nil {
+		st.Faults = &faultCkptState{
+			Injector:       f.inj.Checkpoint(),
+			Spares:         f.spares,
+			SparesUsed:     f.sparesUsed,
+			Failures:       f.failures,
+			Repairs:        f.repairs,
+			DataLoss:       f.dataLoss,
+			FirstLoss:      f.firstLoss,
+			LostRequests:   f.lostRequests,
+			Degraded:       f.degraded,
+			Reassigned:     f.reassigned,
+			RebuildMB:      f.rebuildMB,
+			RebuildEnergyJ: f.rebuildEnergyJ,
+			Log:            f.log,
+		}
+	}
+	if s.cfg.Telemetry != nil {
+		st.Metrics = s.cfg.Telemetry.Metrics.State()
+	}
+	return st, nil
+}
+
+// writeCheckpoint snapshots the run into its envelope and commits it to the
+// configured sink or path (atomically).
+func (s *sim) writeCheckpoint() error {
+	st, err := s.buildState()
+	if err != nil {
+		return err
+	}
+	data, err := json.Marshal(st)
+	if err != nil {
+		return err
+	}
+	spec := s.cfg.Checkpoint
+	env := &checkpoint.Envelope{
+		Version:      checkpoint.Version,
+		Tool:         spec.Tool,
+		ConfigDigest: spec.ConfigDigest,
+		SimTime:      s.eng.Now(),
+		EventsFired:  s.eng.Fired(),
+		State:        data,
+	}
+	if spec.Sink != nil {
+		enc, err := checkpoint.Encode(env)
+		if err != nil {
+			return err
+		}
+		return spec.Sink(enc)
+	}
+	return checkpoint.Write(spec.Path, env)
+}
+
+func decodeCont(cs *contState) (*cont, error) {
+	if cs == nil {
+		return nil, nil
+	}
+	switch cs.Kind {
+	case contMigrateRead, contMigrateWrite, contRebuild:
+	case contOpaque:
+		return nil, fmt.Errorf("array: opaque continuation in checkpoint")
+	default:
+		return nil, fmt.Errorf("array: unknown continuation kind %q", cs.Kind)
+	}
+	return &cont{
+		kind:        cs.Kind,
+		fileID:      cs.FileID,
+		to:          cs.To,
+		disk:        cs.Disk,
+		sizeMB:      cs.SizeMB,
+		nextIssue:   cs.NextIssue,
+		remainingMB: cs.RemainingMB,
+	}, nil
+}
+
+// Resume reconstructs a simulation from a checkpoint payload produced under
+// the same configuration and runs it to completion. The policy is NOT
+// re-initialized (Init-time placement is only legal at t=0); it must be a
+// freshly constructed instance with the same configuration, and its saved
+// state is loaded into it.
+func Resume(cfg Config, stateJSON []byte) (*Result, error) {
+	cfg.setDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := validateCheckpointSpec(&cfg); err != nil {
+		return nil, err
+	}
+	var st simState
+	if err := json.Unmarshal(stateJSON, &st); err != nil {
+		return nil, fmt.Errorf("array: resume: parse state: %w", err)
+	}
+	pol, ok := cfg.Policy.(CheckpointablePolicy)
+	if !ok {
+		return nil, fmt.Errorf("array: resume: policy %q does not support checkpointing", cfg.Policy.Name())
+	}
+	if cfg.Checkpoint == nil {
+		// A snapshot with pending checkpoint ticks must keep the original
+		// cadence, or EventsFired (and the whole event sequence) diverges
+		// from the uninterrupted run the resume claims to equal.
+		for _, se := range st.Events {
+			if se.Kind == evCheckpoint {
+				return nil, fmt.Errorf("array: resume: snapshot has pending checkpoint ticks; set Config.Checkpoint to the original interval")
+			}
+		}
+	}
+	if st.PolicyName != cfg.Policy.Name() {
+		return nil, fmt.Errorf("array: resume: checkpoint was taken under policy %q, config has %q",
+			st.PolicyName, cfg.Policy.Name())
+	}
+	if len(st.Disks) != cfg.Disks {
+		return nil, fmt.Errorf("array: resume: checkpoint has %d disks, config has %d",
+			len(st.Disks), cfg.Disks)
+	}
+	s, err := newSim(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	stripes := make([]*stripeJob, len(st.Stripes))
+	for i, ss := range st.Stripes {
+		stripes[i] = &stripeJob{
+			fileID: ss.FileID, arrival: ss.Arrival, remaining: ss.Remaining, lost: ss.Lost,
+		}
+	}
+	decodeOp := func(os opState) (op, error) {
+		o := op{
+			kind:     opKind(os.Kind),
+			fileID:   os.FileID,
+			sizeMB:   os.SizeMB,
+			arrival:  os.Arrival,
+			mig:      os.Mig,
+			rerouted: os.Rerouted,
+		}
+		if os.Stripe >= 0 {
+			if os.Stripe >= len(stripes) {
+				return op{}, fmt.Errorf("array: resume: stripe %d out of range", os.Stripe)
+			}
+			o.stripe = stripes[os.Stripe]
+		}
+		c, err := decodeCont(os.Done)
+		if err != nil {
+			return op{}, err
+		}
+		o.done = c
+		return o, nil
+	}
+
+	for i, dc := range st.Disks {
+		ds := s.disks[i]
+		ds.disk = diskmodel.Restore(i, cfg.DiskParams, dc.Disk)
+		ds.temp = thermal.RestoreTracker(cfg.Thermal, dc.Temp)
+		if dc.Pending != nil {
+			p := *dc.Pending
+			ds.pending = &p
+		}
+		ds.idleTimeout = dc.IdleTimeout
+		ds.idleArmed = dc.IdleArmed
+		ds.failed = dc.Failed
+		ds.spareAssigned = dc.SpareAssigned
+		ds.rebuilding = dc.Rebuilding
+		ds.gen = dc.Gen
+		for _, os := range dc.FG {
+			o, err := decodeOp(os)
+			if err != nil {
+				return nil, err
+			}
+			ds.fg.push(o)
+		}
+		for _, os := range dc.BG {
+			o, err := decodeOp(os)
+			if err != nil {
+				return nil, err
+			}
+			ds.bg.push(o)
+		}
+	}
+
+	s.nextReq = st.NextReq
+	s.migrations = st.Migrations
+	s.backgroundOps = st.BackgroundOps
+	s.epochs = st.Epochs
+	s.migsThisEpoch = st.MigsThisEpoch
+	if st.Place != nil {
+		s.place = st.Place
+	}
+	if st.Counts != nil {
+		s.counts = st.Counts
+	}
+	for _, id := range st.Migrating {
+		s.migrating[id] = true
+	}
+	s.respStream.SetState(st.RespStream)
+	if err := s.respHist.SetState(st.RespHist); err != nil {
+		return nil, fmt.Errorf("array: resume: %w", err)
+	}
+	s.timeline = st.Timeline
+
+	if err := pol.LoadState(st.Policy); err != nil {
+		return nil, fmt.Errorf("array: resume: policy %q load: %w", pol.Name(), err)
+	}
+
+	faultsOn := cfg.Faults != nil && cfg.Faults.Enabled
+	switch {
+	case st.Faults != nil && !faultsOn:
+		return nil, fmt.Errorf("array: resume: checkpoint has fault state but faults are disabled")
+	case st.Faults == nil && faultsOn:
+		return nil, fmt.Errorf("array: resume: faults enabled but checkpoint has no fault state")
+	case st.Faults != nil:
+		fcfg := cfg.Faults.Normalized()
+		inj, err := faults.RestoreInjector(fcfg, st.Faults.Injector)
+		if err != nil {
+			return nil, fmt.Errorf("array: resume: %w", err)
+		}
+		s.flt = &faultState{
+			cfg:            fcfg,
+			inj:            inj,
+			spares:         st.Faults.Spares,
+			sparesUsed:     st.Faults.SparesUsed,
+			failures:       st.Faults.Failures,
+			repairs:        st.Faults.Repairs,
+			dataLoss:       st.Faults.DataLoss,
+			firstLoss:      st.Faults.FirstLoss,
+			lostRequests:   st.Faults.LostRequests,
+			degraded:       st.Faults.Degraded,
+			reassigned:     st.Faults.Reassigned,
+			rebuildMB:      st.Faults.RebuildMB,
+			rebuildEnergyJ: st.Faults.RebuildEnergyJ,
+			log:            st.Faults.Log,
+		}
+	}
+
+	if cfg.Telemetry != nil {
+		cfg.Telemetry.Metrics.SetState(st.Metrics)
+	}
+
+	if err := s.eng.BeginRestore(st.Clock); err != nil {
+		return nil, fmt.Errorf("array: resume: %w", err)
+	}
+	for _, se := range st.Events {
+		rec := eventRecord{
+			Kind:        se.Kind,
+			Disk:        se.Disk,
+			Gen:         se.Gen,
+			Deadline:    se.Deadline,
+			Timeout:     se.Timeout,
+			LastEnergy:  se.LastEnergy,
+			RemainingMB: se.RemainingMB,
+			FileID:      se.FileID,
+			From:        se.From,
+			To:          se.To,
+			SizeMB:      se.SizeMB,
+		}
+		if se.Op != nil {
+			o, err := decodeOp(*se.Op)
+			if err != nil {
+				return nil, err
+			}
+			rec.Op = &o
+		}
+		if err := s.at(se.Time, rec); err != nil {
+			return nil, fmt.Errorf("array: resume: re-schedule %s@%v: %w", se.Kind, se.Time, err)
+		}
+	}
+	if err := s.eng.FinishRestore(st.Seq, st.Fired); err != nil {
+		return nil, fmt.Errorf("array: resume: %w", err)
+	}
+	return s.finish()
+}

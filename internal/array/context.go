@@ -3,7 +3,6 @@ package array
 import (
 	"fmt"
 
-	"repro/internal/des"
 	"repro/internal/diskmodel"
 	"repro/internal/workload"
 )
@@ -158,26 +157,6 @@ func (c *Context) Migrate(fileID, to int) bool {
 	s.migrating[fileID] = true
 	s.migrations++
 	s.met.migrations.Inc()
-	start := func() {
-		s.enqueue(from, op{
-			kind:   opBackground,
-			fileID: fileID,
-			sizeMB: f.SizeMB,
-			mig:    true,
-			onDone: func(float64) {
-				s.enqueue(to, op{
-					kind:   opBackground,
-					fileID: fileID,
-					sizeMB: f.SizeMB,
-					mig:    true,
-					onDone: func(float64) {
-						s.place[fileID] = to
-						delete(s.migrating, fileID)
-					},
-				})
-			},
-		})
-	}
 	delay := 0.0
 	if s.cfg.EpochSeconds > 0 {
 		const slotsPerEpoch = 400
@@ -185,10 +164,12 @@ func (c *Context) Migrate(fileID, to int) bool {
 		s.migsThisEpoch++
 	}
 	if delay <= 0 {
-		start()
+		s.startMigration(fileID, from, to, f.SizeMB)
 		return true
 	}
-	s.eng.MustScheduleLabeled(delay, labelMigrate, func(*des.Engine) { start() })
+	s.schedule(delay, eventRecord{
+		Kind: evMigrateStart, FileID: fileID, From: from, To: to, SizeMB: f.SizeMB,
+	})
 	return true
 }
 
@@ -207,10 +188,14 @@ func (c *Context) EnqueueWrite(d int, sizeMB float64, onDone func()) error {
 	if sizeMB < 0 {
 		return fmt.Errorf("array: negative write size %v", sizeMB)
 	}
-	var cb func(float64)
+	var done *cont
 	if onDone != nil {
-		cb = func(float64) { onDone() }
+		// A policy callback is opaque to the checkpoint subsystem: it
+		// cannot be serialized, so snapshot writes are skipped while one is
+		// in flight (tracked by opaqueLive, released on run or drop).
+		done = &cont{kind: contOpaque, fn: func(float64) { onDone() }}
+		c.s.opaqueLive++
 	}
-	c.s.enqueue(d, op{kind: opBackground, sizeMB: sizeMB, onDone: cb})
+	c.s.enqueue(d, op{kind: opBackground, sizeMB: sizeMB, done: done})
 	return nil
 }

@@ -1,0 +1,272 @@
+package array
+
+// Event reification: every event the simulator schedules is described by a
+// typed eventRecord, and every op completion by a typed cont, instead of an
+// anonymous closure. The records carry exactly the data the old closures
+// captured, and the dispatch methods replicate the old closure bodies, so
+// runtime behaviour is unchanged — but because records are plain data, a
+// checkpoint can serialize the pending event queue and a resume can rebuild
+// it, which is impossible with closures. The one escape hatch is the
+// "opaque" continuation (a policy callback passed to Context.EnqueueWrite);
+// those cannot be serialized, so checkpoint writes are skipped while any is
+// in flight (see sim.opaqueLive).
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/diskmodel"
+)
+
+// Event kinds. Each maps to a tracer label via recLabel; the labels are the
+// same strings the pre-reification closures used, so event traces are
+// unchanged.
+const (
+	evArrival      = "arrival"
+	evEpoch        = "epoch"
+	evFaultTick    = "fault-tick"
+	evTransition   = "transition"
+	evService      = "service"
+	evIdleArm      = "idle-arm"
+	evIdleRearm    = "idle-rearm"
+	evSample       = "sample"
+	evMigrateStart = "migrate-start"
+	evRepair       = "repair"
+	evRebuildNext  = "rebuild-next"
+	evCheckpoint   = "checkpoint"
+)
+
+func recLabel(kind string) string {
+	switch kind {
+	case evArrival:
+		return labelArrival
+	case evEpoch:
+		return labelEpoch
+	case evFaultTick:
+		return labelFaultTick
+	case evTransition:
+		return labelTransition
+	case evService:
+		return labelService
+	case evIdleArm, evIdleRearm:
+		return labelIdleTimer
+	case evSample:
+		return labelSample
+	case evMigrateStart:
+		return labelMigrate
+	case evRepair:
+		return labelRepair
+	case evRebuildNext:
+		return labelRebuild
+	case evCheckpoint:
+		return labelCheckpoint
+	default:
+		return kind
+	}
+}
+
+// eventRecord is the serializable description of one scheduled event. One
+// flat struct covers every kind; unused fields stay zero.
+type eventRecord struct {
+	Kind        string
+	Disk        int
+	Gen         uint64  // service: diskState generation at dispatch
+	Deadline    float64 // idle-arm: absolute deadline the timer was armed for
+	Timeout     float64 // idle timers: the timeout captured at arm time
+	LastEnergy  float64 // sample: array energy at the previous sample
+	RemainingMB float64 // rebuild-next: data left to rebuild
+	FileID      int     // migrate-start
+	From        int     // migrate-start: source disk
+	To          int     // migrate-start: target disk
+	SizeMB      float64 // migrate-start
+	Op          *op     // service: the operation in service
+}
+
+// Continuation kinds (op.done).
+const (
+	contMigrateRead  = "migrate-read"
+	contMigrateWrite = "migrate-write"
+	contRebuild      = "rebuild-chunk"
+	contOpaque       = "opaque"
+)
+
+// cont is the serializable continuation run when an op completes, replacing
+// the old op.onDone closure. An opaque cont wraps a policy callback and is
+// the one non-serializable case.
+type cont struct {
+	kind        string
+	fileID      int
+	to          int
+	disk        int
+	sizeMB      float64
+	nextIssue   float64
+	remainingMB float64
+	fn          func(now float64) // contOpaque only
+}
+
+// at schedules rec at absolute virtual time t and registers it in the
+// record table; the wrapper removes the table entry when the event fires.
+func (s *sim) at(t float64, rec eventRecord) error {
+	var id des.EventID
+	h := func(e *des.Engine) {
+		delete(s.events, id)
+		s.dispatch(rec, e)
+	}
+	eid, err := s.eng.AtLabeled(t, recLabel(rec.Kind), h)
+	if err != nil {
+		return err
+	}
+	id = eid
+	s.events[id] = rec
+	return nil
+}
+
+// schedule is `at` with a delay relative to now, panicking on the
+// programming errors MustScheduleLabeled used to panic on.
+func (s *sim) schedule(delay float64, rec eventRecord) {
+	if err := s.at(s.eng.Now()+delay, rec); err != nil {
+		panic(err)
+	}
+}
+
+// dispatch runs the handler body for one fired event record.
+func (s *sim) dispatch(rec eventRecord, e *des.Engine) {
+	switch rec.Kind {
+	case evArrival:
+		s.onArrival(e)
+	case evEpoch:
+		s.onEpoch(e)
+	case evFaultTick:
+		s.onFaultTick(e)
+	case evTransition:
+		s.onTransitionEnd(rec.Disk)
+	case evService:
+		s.onServiceEnd(rec.Disk, rec.Gen, rec.Op)
+	case evIdleArm:
+		s.onIdleTimer(rec.Disk, rec.Deadline, rec.Timeout, false)
+	case evIdleRearm:
+		s.onIdleTimer(rec.Disk, 0, rec.Timeout, true)
+	case evSample:
+		s.onSampleTick(e, rec.LastEnergy)
+	case evMigrateStart:
+		s.startMigration(rec.FileID, rec.From, rec.To, rec.SizeMB)
+	case evRepair:
+		s.repairDisk(rec.Disk)
+	case evRebuildNext:
+		s.issueRebuild(rec.Disk, rec.RemainingMB)
+	case evCheckpoint:
+		s.onCheckpointTick(e)
+	default:
+		s.fail(fmt.Errorf("array: unknown event kind %q", rec.Kind))
+	}
+}
+
+// onTransitionEnd completes a speed transition on disk d.
+func (s *sim) onTransitionEnd(d int) {
+	ds := s.disks[d]
+	ds.disk.EndTransition(s.eng.Now())
+	ds.temp.SetSpeed(s.eng.Now(), ds.disk.Speed())
+	s.kick(d)
+}
+
+// onServiceEnd completes the in-flight op on disk d.
+func (s *sim) onServiceEnd(d int, gen uint64, o *op) {
+	ds := s.disks[d]
+	end := s.eng.Now()
+	ds.disk.EndService(end)
+	if ds.failed || ds.gen != gen {
+		// The disk died mid-service (and was possibly even replaced
+		// already): the op's work is void and the op is re-routed or lost.
+		s.routeAroundFailure(d, *o)
+		if !ds.failed {
+			s.kick(d)
+		}
+		return
+	}
+	s.complete(d, *o, end)
+	s.kick(d)
+}
+
+// onIdleTimer handles both idle-timer variants. rearm distinguishes them:
+// the two compare the idle start against different references and must stay
+// separate to preserve the exact floating-point comparisons of the original
+// closures.
+func (s *sim) onIdleTimer(d int, deadline, timeout float64, rearm bool) {
+	ds := s.disks[d]
+	ds.idleArmed = false
+	now := s.eng.Now()
+	// Still idle and has been since before the timer was armed?
+	if ds.failed || ds.disk.State() != diskmodel.Idle || ds.queueLen() > 0 {
+		return
+	}
+	stillCounting := false
+	if rearm {
+		stillCounting = now-ds.disk.IdleSince() < timeout
+	} else {
+		stillCounting = ds.disk.IdleSince() > deadline-timeout
+	}
+	if stillCounting {
+		// Activity happened since arming; rearm relative to the most
+		// recent idle start.
+		remaining := ds.disk.IdleSince() + timeout - now
+		if remaining > 0 {
+			s.rearmIdleTimer(d, remaining)
+			return
+		}
+	}
+	ctx := &Context{s: s}
+	s.cfg.Policy.OnIdleTimeout(ctx, d)
+	s.kick(d)
+}
+
+// startMigration enqueues the read leg of a file migration; the write leg
+// and the placement flip follow as continuations.
+func (s *sim) startMigration(fileID, from, to int, sizeMB float64) {
+	s.enqueue(from, op{
+		kind:   opBackground,
+		fileID: fileID,
+		sizeMB: sizeMB,
+		mig:    true,
+		done:   &cont{kind: contMigrateRead, fileID: fileID, to: to, sizeMB: sizeMB},
+	})
+}
+
+// runCont executes an op's completion continuation at virtual time now.
+func (s *sim) runCont(c *cont, now float64) {
+	switch c.kind {
+	case contMigrateRead:
+		s.enqueue(c.to, op{
+			kind:   opBackground,
+			fileID: c.fileID,
+			sizeMB: c.sizeMB,
+			mig:    true,
+			done:   &cont{kind: contMigrateWrite, fileID: c.fileID, to: c.to},
+		})
+	case contMigrateWrite:
+		s.place[c.fileID] = c.to
+		delete(s.migrating, c.fileID)
+	case contRebuild:
+		f := s.flt
+		f.rebuildMB += c.sizeMB
+		sp := s.disks[c.disk].disk.Speed()
+		f.rebuildEnergyJ += s.cfg.DiskParams.ActivePower(sp) * s.cfg.DiskParams.ServiceTime(c.sizeMB, sp)
+		delay := c.nextIssue - now
+		if delay < 0 {
+			delay = 0
+		}
+		s.schedule(delay, eventRecord{Kind: evRebuildNext, Disk: c.disk, RemainingMB: c.remainingMB - c.sizeMB})
+	case contOpaque:
+		s.opaqueLive--
+		c.fn(now)
+	default:
+		s.fail(fmt.Errorf("array: unknown continuation kind %q", c.kind))
+	}
+}
+
+// dropCont releases bookkeeping for a continuation whose op was discarded
+// without completing (a background transfer on a failed disk).
+func (s *sim) dropCont(c *cont) {
+	if c != nil && c.kind == contOpaque {
+		s.opaqueLive--
+	}
+}

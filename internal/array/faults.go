@@ -77,7 +77,7 @@ func (s *sim) installFaults() error {
 		return err
 	}
 	s.flt = &faultState{cfg: cfg, inj: inj, spares: s.cfg.Spares, firstLoss: -1}
-	s.eng.MustScheduleLabeled(cfg.CheckIntervalSeconds, labelFaultTick, s.onFaultTick)
+	s.schedule(cfg.CheckIntervalSeconds, eventRecord{Kind: evFaultTick})
 	return nil
 }
 
@@ -100,7 +100,7 @@ func (s *sim) onFaultTick(e *des.Engine) {
 	// Keep ticking only while the simulation still has work; otherwise the
 	// tick chain would hold the event loop open forever.
 	if s.workRemains() {
-		e.MustScheduleLabeled(s.flt.cfg.CheckIntervalSeconds, labelFaultTick, s.onFaultTick)
+		s.schedule(s.flt.cfg.CheckIntervalSeconds, eventRecord{Kind: evFaultTick})
 	}
 }
 
@@ -176,7 +176,7 @@ func (s *sim) failDisk(d int, at float64) {
 		s.dropBackground(o)
 	}
 
-	s.eng.MustScheduleLabeled(f.inj.SampleRepairSeconds(), labelRepair, func(*des.Engine) { s.repairDisk(d) })
+	s.schedule(f.inj.SampleRepairSeconds(), eventRecord{Kind: evRepair, Disk: d})
 }
 
 // routeAroundFailure re-disposes an op whose disk d is (or just went) down:
@@ -224,11 +224,14 @@ func (s *sim) loseOp(o op) {
 }
 
 // dropBackground discards a background transfer queued on a failed disk,
-// releasing any migration bookkeeping so the file can move again later.
+// releasing any migration bookkeeping so the file can move again later and
+// any continuation accounting (an opaque policy callback that will never
+// run must stop blocking checkpoints).
 func (s *sim) dropBackground(o op) {
 	if o.mig {
 		delete(s.migrating, o.fileID)
 	}
+	s.dropCont(o.done)
 }
 
 // repairDisk brings a replacement for disk d into service: the injector
@@ -289,16 +292,12 @@ func (s *sim) issueRebuild(d int, remainingMB float64) {
 	s.enqueue(d, op{
 		kind:   opBackground,
 		sizeMB: size,
-		onDone: func(doneAt float64) {
-			f := s.flt
-			f.rebuildMB += size
-			sp := ds.disk.Speed()
-			f.rebuildEnergyJ += s.cfg.DiskParams.ActivePower(sp) * s.cfg.DiskParams.ServiceTime(size, sp)
-			delay := nextIssue - doneAt
-			if delay < 0 {
-				delay = 0
-			}
-			s.eng.MustScheduleLabeled(delay, labelRebuild, func(*des.Engine) { s.issueRebuild(d, remainingMB-size) })
+		done: &cont{
+			kind:        contRebuild,
+			disk:        d,
+			sizeMB:      size,
+			nextIssue:   nextIssue,
+			remainingMB: remainingMB,
 		},
 	})
 }

@@ -80,3 +80,22 @@ type StripePolicy interface {
 	// StripeTargets returns the disks serving fileID's chunks.
 	StripeTargets(ctx *Context, fileID int) []int
 }
+
+// CheckpointablePolicy optionally extends Policy with state serialization
+// for checkpoint/restore. SaveState must capture everything the policy
+// accumulated since Init — counters, caches, adaptive thresholds — because a
+// resume does NOT re-run Init (SetPlacement is only legal at t=0); instead
+// the policy is constructed fresh from the same configuration and LoadState
+// overwrites its mutable state. A policy without the interface cannot be
+// checkpointed; Run rejects Config.Checkpoint for it up front rather than
+// producing snapshots that silently resume wrong.
+type CheckpointablePolicy interface {
+	Policy
+
+	// SaveState serializes the policy's mutable state.
+	SaveState() ([]byte, error)
+
+	// LoadState restores state captured by SaveState on a freshly
+	// constructed policy with the same configuration.
+	LoadState(data []byte) error
+}

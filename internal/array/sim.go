@@ -62,6 +62,15 @@ type Config struct {
 	// sampler reads exclusively through non-mutating snapshot accessors and
 	// schedules no events of its own.
 	Telemetry *telemetry.Recorder
+	// Checkpoint, when non-nil with a positive interval, snapshots the
+	// complete simulation state periodically so an interrupted run can be
+	// resumed bit-identically (see checkpoint.go). Nil disables the
+	// subsystem; a run without it schedules no checkpoint events and is
+	// identical to one that predates it. NOTE: the checkpoint tick is a real
+	// DES event, so an uninterrupted run and its resumed twin only compare
+	// bit-identically (EventsFired included) when both use the same
+	// interval.
+	Checkpoint *CheckpointSpec
 }
 
 func (c *Config) setDefaults() {
@@ -219,8 +228,8 @@ type op struct {
 	kind     opKind
 	fileID   int
 	sizeMB   float64
-	arrival  float64 // user request arrival time
-	onDone   func(now float64)
+	arrival  float64    // user request arrival time
+	done     *cont      // completion continuation (see events.go); nil = none
 	stripe   *stripeJob // for opChunk: the parent request
 	mig      bool       // background leg of a Context.Migrate transfer
 	rerouted bool       // already re-routed around a failure once
@@ -318,15 +327,22 @@ type sim struct {
 
 	flt *faultState // nil unless fault injection is enabled
 
+	// events mirrors the engine's pending queue as serializable records
+	// (events.go); entries are removed as events fire.
+	events map[des.EventID]eventRecord
+	// opaqueLive counts in-flight non-serializable continuations (policy
+	// callbacks from Context.EnqueueWrite); checkpoint writes are skipped
+	// while it is nonzero.
+	opaqueLive int
+
 	failure error // sticky abort (queue explosion etc.)
 }
 
-// Run executes one simulation and returns its result.
-func Run(cfg Config) (*Result, error) {
-	cfg.setDefaults()
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
+// newSim builds the simulation shell shared by Run and Resume: metric
+// bindings, file table, and empty disk scheduler states. Disk contents and
+// the event queue are filled in by the caller (fresh for Run, from a
+// snapshot for Resume).
+func newSim(cfg Config) (*sim, error) {
 	hist, err := stats.NewLatencyHistogram(-6, 5, 50)
 	if err != nil {
 		return nil, err
@@ -339,6 +355,7 @@ func Run(cfg Config) (*Result, error) {
 		counts:    make(map[int]int),
 		respHist:  hist,
 		migrating: make(map[int]bool),
+		events:    make(map[des.EventID]eventRecord),
 	}
 	if cfg.Telemetry != nil {
 		s.met = newSimMetrics(cfg.Telemetry.Metrics)
@@ -351,10 +368,27 @@ func Run(cfg Config) (*Result, error) {
 	}
 	s.disks = make([]*diskState, cfg.Disks)
 	for i := range s.disks {
-		s.disks[i] = &diskState{
-			disk: diskmodel.New(i, cfg.DiskParams, diskmodel.High),
-			temp: thermal.NewTracker(cfg.Thermal, diskmodel.High),
-		}
+		s.disks[i] = &diskState{}
+	}
+	return s, nil
+}
+
+// Run executes one simulation and returns its result.
+func Run(cfg Config) (*Result, error) {
+	cfg.setDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := validateCheckpointSpec(&cfg); err != nil {
+		return nil, err
+	}
+	s, err := newSim(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for i := range s.disks {
+		s.disks[i].disk = diskmodel.New(i, cfg.DiskParams, diskmodel.High)
+		s.disks[i].temp = thermal.NewTracker(cfg.Thermal, diskmodel.High)
 	}
 
 	ctx := &Context{s: s}
@@ -387,25 +421,31 @@ func Run(cfg Config) (*Result, error) {
 	// Schedule the first arrival and epochs.
 	if len(cfg.Trace.Requests) > 0 {
 		first := cfg.Trace.Requests[0].Arrival
-		if _, err := s.eng.AtLabeled(first, labelArrival, s.onArrival); err != nil {
+		if err := s.at(first, eventRecord{Kind: evArrival}); err != nil {
 			return nil, err
 		}
 	}
 	if cfg.EpochSeconds > 0 {
-		s.eng.MustScheduleLabeled(cfg.EpochSeconds, labelEpoch, s.onEpoch)
+		s.schedule(cfg.EpochSeconds, eventRecord{Kind: evEpoch})
 	}
 	s.installSampler()
 	if err := s.installFaults(); err != nil {
 		return nil, err
 	}
+	s.installCheckpoints()
+	return s.finish()
+}
 
-	watchdogErr := s.eng.RunGuarded(cfg.StallLimit)
+// finish drives the event loop to completion and collects the result; it is
+// the common tail of Run and Resume.
+func (s *sim) finish() (*Result, error) {
+	watchdogErr := s.eng.RunGuarded(s.cfg.StallLimit)
 	if s.failure != nil {
 		return nil, s.failure
 	}
 	if watchdogErr != nil {
 		return nil, fmt.Errorf("array: %w (policy %q, %d disks, %d/%d requests delivered)",
-			watchdogErr, cfg.Policy.Name(), len(s.disks), s.nextReq, len(cfg.Trace.Requests))
+			watchdogErr, s.cfg.Policy.Name(), len(s.disks), s.nextReq, len(s.cfg.Trace.Requests))
 	}
 	return s.collect()
 }
@@ -423,7 +463,7 @@ func (s *sim) onArrival(e *des.Engine) {
 		if next < e.Now() {
 			next = e.Now()
 		}
-		if _, err := e.AtLabeled(next, labelArrival, s.onArrival); err != nil {
+		if err := s.at(next, eventRecord{Kind: evArrival}); err != nil {
 			s.fail(err)
 			return
 		}
@@ -528,11 +568,7 @@ func (s *sim) kick(d int) {
 			ds.pending = nil
 			dur := ds.disk.BeginTransition(now, target)
 			s.met.transitions.Inc()
-			s.eng.MustScheduleLabeled(dur, labelTransition, func(*des.Engine) {
-				ds.disk.EndTransition(s.eng.Now())
-				ds.temp.SetSpeed(s.eng.Now(), ds.disk.Speed())
-				s.kick(d)
-			})
+			s.schedule(dur, eventRecord{Kind: evTransition, Disk: d})
 			return
 		}
 	}
@@ -544,23 +580,7 @@ func (s *sim) kick(d int) {
 		} else {
 			dur = ds.disk.BeginService(now, o.sizeMB)
 		}
-		gen := ds.gen
-		s.eng.MustScheduleLabeled(dur, labelService, func(*des.Engine) {
-			end := s.eng.Now()
-			ds.disk.EndService(end)
-			if ds.failed || ds.gen != gen {
-				// The disk died mid-service (and was possibly even
-				// replaced already): the op's work is void and the op is
-				// re-routed or lost.
-				s.routeAroundFailure(d, o)
-				if !ds.failed {
-					s.kick(d)
-				}
-				return
-			}
-			s.complete(d, o, end)
-			s.kick(d)
-		})
+		s.schedule(dur, eventRecord{Kind: evService, Disk: d, Gen: ds.gen, Op: &o})
 		return
 	}
 	// Disk idle with empty queue: arm idle timer.
@@ -600,8 +620,8 @@ func (s *sim) complete(d int, o op, now float64) {
 	case opBackground:
 		s.backgroundOps++
 	}
-	if o.onDone != nil {
-		o.onDone(now)
+	if o.done != nil {
+		s.runCont(o.done, now)
 	}
 }
 
@@ -630,26 +650,7 @@ func (s *sim) armIdleTimer(d int) {
 	ds.idleArmed = true
 	timeout := ds.idleTimeout
 	deadline := s.eng.Now() + timeout
-	s.eng.MustScheduleLabeled(timeout, labelIdleTimer, func(*des.Engine) {
-		ds.idleArmed = false
-		now := s.eng.Now()
-		// Still idle and has been since before the timer was armed?
-		if ds.failed || ds.disk.State() != diskmodel.Idle || ds.queueLen() > 0 {
-			return
-		}
-		if ds.disk.IdleSince() > deadline-timeout {
-			// Activity happened since arming; rearm relative to the
-			// most recent idle start.
-			remaining := ds.disk.IdleSince() + timeout - now
-			if remaining > 0 {
-				s.rearmIdleTimer(d, remaining)
-				return
-			}
-		}
-		ctx := &Context{s: s}
-		s.cfg.Policy.OnIdleTimeout(ctx, d)
-		s.kick(d)
-	})
+	s.schedule(timeout, eventRecord{Kind: evIdleArm, Disk: d, Deadline: deadline, Timeout: timeout})
 }
 
 func (s *sim) rearmIdleTimer(d int, delay float64) {
@@ -658,24 +659,7 @@ func (s *sim) rearmIdleTimer(d int, delay float64) {
 		return
 	}
 	ds.idleArmed = true
-	timeout := ds.idleTimeout
-	s.eng.MustScheduleLabeled(delay, labelIdleTimer, func(*des.Engine) {
-		ds.idleArmed = false
-		now := s.eng.Now()
-		if ds.failed || ds.disk.State() != diskmodel.Idle || ds.queueLen() > 0 {
-			return
-		}
-		if now-ds.disk.IdleSince() < timeout {
-			remaining := ds.disk.IdleSince() + timeout - now
-			if remaining > 0 {
-				s.rearmIdleTimer(d, remaining)
-				return
-			}
-		}
-		ctx := &Context{s: s}
-		s.cfg.Policy.OnIdleTimeout(ctx, d)
-		s.kick(d)
-	})
+	s.schedule(delay, eventRecord{Kind: evIdleRearm, Disk: d, Timeout: ds.idleTimeout})
 }
 
 func (s *sim) onEpoch(e *des.Engine) {
@@ -703,7 +687,7 @@ func (s *sim) onEpoch(e *des.Engine) {
 	// Fresh popularity window per epoch (the paper's FPT records counts
 	// "during the current epoch").
 	s.counts = make(map[int]int)
-	e.MustScheduleLabeled(s.cfg.EpochSeconds, labelEpoch, s.onEpoch)
+	s.schedule(s.cfg.EpochSeconds, eventRecord{Kind: evEpoch})
 }
 
 func (s *sim) busyDisks() int {

@@ -51,6 +51,7 @@ const (
 	labelFaultTick  = "fault-tick"
 	labelRepair     = "repair"
 	labelRebuild    = "rebuild"
+	labelCheckpoint = "checkpoint"
 )
 
 // sampleDisks appends one DiskSample per disk to the telemetry recorder at

@@ -32,44 +32,45 @@ func (s *sim) installSampler() {
 	if s.cfg.SampleInterval <= 0 {
 		return
 	}
-	var lastEnergy float64
-	var tick func(e *des.Engine)
-	tick = func(e *des.Engine) {
-		now := e.Now()
-		var energy float64
-		high, queued, serving := 0, 0, 0
-		for _, ds := range s.disks {
-			energy += ds.disk.EnergyJ(now)
-			speed := ds.disk.Speed()
-			if ds.disk.State() == diskmodel.Transitioning {
-				// Attribute to the target, like the thermal model.
-				if p := ds.pending; p != nil {
-					speed = *p
-				}
-			}
-			if speed == diskmodel.High {
-				high++
-			}
-			queued += ds.queueLen()
-			if ds.disk.State() == diskmodel.Active {
-				serving++
+	s.schedule(s.cfg.SampleInterval, eventRecord{Kind: evSample, LastEnergy: 0})
+}
+
+// onSampleTick records one timeline sample. lastEnergy is the array energy
+// at the previous sample, threaded through the event record (it used to be
+// a closure variable) so the power delta survives a checkpoint/restore.
+func (s *sim) onSampleTick(e *des.Engine, lastEnergy float64) {
+	now := e.Now()
+	var energy float64
+	high, queued, serving := 0, 0, 0
+	for _, ds := range s.disks {
+		energy += ds.disk.EnergyJ(now)
+		speed := ds.disk.Speed()
+		if ds.disk.State() == diskmodel.Transitioning {
+			// Attribute to the target, like the thermal model.
+			if p := ds.pending; p != nil {
+				speed = *p
 			}
 		}
-		power := (energy - lastEnergy) / s.cfg.SampleInterval
-		lastEnergy = energy
-		s.timeline = append(s.timeline, Sample{
-			T:         now,
-			PowerW:    power,
-			HighDisks: high,
-			Queued:    queued,
-			InService: serving,
-			Completed: s.respStream.N(),
-		})
-		if s.workRemains() {
-			e.MustScheduleLabeled(s.cfg.SampleInterval, labelSample, tick)
+		if speed == diskmodel.High {
+			high++
+		}
+		queued += ds.queueLen()
+		if ds.disk.State() == diskmodel.Active {
+			serving++
 		}
 	}
-	s.eng.MustScheduleLabeled(s.cfg.SampleInterval, labelSample, tick)
+	power := (energy - lastEnergy) / s.cfg.SampleInterval
+	s.timeline = append(s.timeline, Sample{
+		T:         now,
+		PowerW:    power,
+		HighDisks: high,
+		Queued:    queued,
+		InService: serving,
+		Completed: s.respStream.N(),
+	})
+	if s.workRemains() {
+		s.schedule(s.cfg.SampleInterval, eventRecord{Kind: evSample, LastEnergy: energy})
+	}
 }
 
 // WriteTimelineCSV exports a timeline as CSV with a fixed header row. Floats

@@ -1,0 +1,129 @@
+// Package atomicio provides crash-safe file writes: content lands in a
+// temporary sibling file, is fsynced, and is renamed over the destination in
+// one step. A reader therefore sees either the previous complete file or the
+// new complete file — never a truncated half-write — which is the property
+// the run store, the telemetry artifacts, and the checkpoint subsystem all
+// rely on to survive a SIGKILL at any instant.
+package atomicio
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile atomically replaces path with data. The data is written to a
+// temporary file in the same directory (so the rename never crosses a
+// filesystem boundary), fsynced, renamed into place, and the directory entry
+// is then fsynced so the rename itself survives a crash.
+func WriteFile(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("atomicio: %w", err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func() { tmp.Close(); os.Remove(tmpName) }
+	if _, err := tmp.Write(data); err != nil {
+		cleanup()
+		return fmt.Errorf("atomicio: write %s: %w", path, err)
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		cleanup()
+		return fmt.Errorf("atomicio: chmod %s: %w", path, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return fmt.Errorf("atomicio: sync %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("atomicio: close %s: %w", path, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("atomicio: rename %s: %w", path, err)
+	}
+	return syncDir(dir)
+}
+
+// File is a streaming writer with atomic commit semantics: writes accumulate
+// in a hidden temporary file and only Close (sync + rename) makes them
+// visible under the final name. Abort discards everything. A crash before
+// Close leaves at most a stray *.tmp file, never a truncated artifact.
+type File struct {
+	f     *os.File
+	path  string // final destination
+	tmp   string // temporary name currently holding the data
+	done  bool
+	fsync bool
+}
+
+// Create opens a streaming atomic file that will become path on Close.
+func Create(path string) (*File, error) {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return nil, fmt.Errorf("atomicio: %w", err)
+	}
+	return &File{f: tmp, path: path, tmp: tmp.Name(), fsync: true}, nil
+}
+
+// Write appends to the in-flight temporary file.
+func (a *File) Write(p []byte) (int, error) {
+	if a.done {
+		return 0, fmt.Errorf("atomicio: write to closed file %s", a.path)
+	}
+	return a.f.Write(p)
+}
+
+// Name returns the final destination path.
+func (a *File) Name() string { return a.path }
+
+// Close commits the file: fsync, rename into place, fsync the directory.
+// Closing twice is an error-free no-op so deferred Abort-style cleanup can
+// coexist with an explicit Close.
+func (a *File) Close() error {
+	if a.done {
+		return nil
+	}
+	a.done = true
+	if a.fsync {
+		if err := a.f.Sync(); err != nil {
+			a.f.Close()
+			os.Remove(a.tmp)
+			return fmt.Errorf("atomicio: sync %s: %w", a.path, err)
+		}
+	}
+	if err := a.f.Close(); err != nil {
+		os.Remove(a.tmp)
+		return fmt.Errorf("atomicio: close %s: %w", a.path, err)
+	}
+	if err := os.Rename(a.tmp, a.path); err != nil {
+		os.Remove(a.tmp)
+		return fmt.Errorf("atomicio: rename %s: %w", a.path, err)
+	}
+	return syncDir(filepath.Dir(a.path))
+}
+
+// Abort discards the in-flight data without touching the destination.
+func (a *File) Abort() {
+	if a.done {
+		return
+	}
+	a.done = true
+	a.f.Close()
+	os.Remove(a.tmp)
+}
+
+// syncDir fsyncs a directory so a just-completed rename is durable. Some
+// filesystems refuse to sync directories; that is not worth failing the
+// write over, so such errors are ignored.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	d.Sync()
+	return nil
+}

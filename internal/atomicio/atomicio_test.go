@@ -1,0 +1,97 @@
+package atomicio
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileReplacesAtomically(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := WriteFile(path, []byte("first"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(path, []byte("second"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "second" {
+		t.Fatalf("content = %q, want %q", got, "second")
+	}
+	leftover, err := filepath.Glob(filepath.Join(dir, "*.tmp*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(leftover) != 0 {
+		t.Fatalf("temp files left behind: %v", leftover)
+	}
+}
+
+func TestWriteFileMissingDir(t *testing.T) {
+	err := WriteFile(filepath.Join(t.TempDir(), "no-such-dir", "x"), []byte("x"), 0o644)
+	if err == nil {
+		t.Fatal("expected error writing into a missing directory")
+	}
+}
+
+func TestFileInvisibleUntilClose(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "stream.ndjson")
+	f, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("line 1\n")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("destination visible before Close (stat err = %v)", err)
+	}
+	if _, err := f.Write([]byte("line 2\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("second Close should be a no-op, got %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(got), "line 2") {
+		t.Fatalf("content = %q, want both lines", got)
+	}
+}
+
+func TestFileAbortLeavesNothing(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "gone.csv")
+	f, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("doomed")); err != nil {
+		t.Fatal(err)
+	}
+	f.Abort()
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("destination exists after Abort (stat err = %v)", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("directory not empty after Abort: %v", entries)
+	}
+	if _, err := f.Write([]byte("late")); err == nil {
+		t.Fatal("write after Abort should fail")
+	}
+}

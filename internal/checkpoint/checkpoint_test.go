@@ -1,0 +1,97 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "checkpoint.json")
+	in := &Envelope{
+		Version:      Version,
+		Tool:         "arraysim",
+		ConfigDigest: "abc123",
+		SimTime:      1234.5,
+		EventsFired:  99,
+		State:        json.RawMessage(`{"disks":[{"id":0}]}`),
+	}
+	if err := Write(path, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Tool != in.Tool || out.ConfigDigest != in.ConfigDigest ||
+		out.SimTime != in.SimTime || out.EventsFired != in.EventsFired {
+		t.Fatalf("envelope fields changed across round trip: %+v", out)
+	}
+	if !bytes.Equal(out.State, in.State) {
+		t.Fatalf("state changed: %s", out.State)
+	}
+}
+
+func TestEncodeIsStable(t *testing.T) {
+	e := &Envelope{Version: Version, Tool: "t", State: json.RawMessage(`{"a":1}`)}
+	a, err := Encode(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Encode(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("Encode is not deterministic")
+	}
+}
+
+func TestReadRejectsCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "checkpoint.json")
+	e := &Envelope{Version: Version, Tool: "arraysim", State: json.RawMessage(`{"clock":42}`)}
+	if err := Write(path, e); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("flipped state byte", func(t *testing.T) {
+		bad := bytes.Replace(data, []byte(`42`), []byte(`43`), 1)
+		if bytes.Equal(bad, data) {
+			t.Fatal("corruption did not apply")
+		}
+		if _, err := Decode(bad); err == nil || !strings.Contains(err.Error(), "checksum") {
+			t.Fatalf("want checksum error, got %v", err)
+		}
+	})
+	t.Run("truncated file", func(t *testing.T) {
+		if _, err := Decode(data[:len(data)/2]); err == nil {
+			t.Fatal("want parse error for truncated file")
+		}
+	})
+	t.Run("wrong version", func(t *testing.T) {
+		var env Envelope
+		if err := json.Unmarshal(data, &env); err != nil {
+			t.Fatal(err)
+		}
+		env.Version = Version + 1
+		raw, err := json.Marshal(&env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Decode(raw); err == nil || !strings.Contains(err.Error(), "version") {
+			t.Fatalf("want version error, got %v", err)
+		}
+	})
+	t.Run("missing file", func(t *testing.T) {
+		if _, err := Read(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+			t.Fatal("want error for missing file")
+		}
+	})
+}

@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"time"
 )
 
@@ -299,6 +300,62 @@ func (e *Engine) RunUntil(end float64) error {
 		}
 		e.Step()
 	}
+	return nil
+}
+
+// Seq returns the engine's monotone event sequence counter: the number of
+// events ever scheduled. Together with Fired it pins an engine's position in
+// its deterministic trajectory, which is what checkpoint/restore preserves.
+func (e *Engine) Seq() uint64 { return e.seq }
+
+// PendingIDs returns the IDs of all live (scheduled, not fired, not
+// canceled) events in ascending sequence order — i.e. the order they were
+// originally scheduled. A checkpoint serializes pending events in this order
+// so a restore can re-schedule them with identical FIFO tie-breaking.
+func (e *Engine) PendingIDs() []EventID {
+	ids := make([]EventID, 0, len(e.pending))
+	for id := range e.pending {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// EventTime returns the absolute virtual time a pending event will fire at.
+func (e *Engine) EventTime(id EventID) (float64, bool) {
+	ev, ok := e.pending[id]
+	if !ok {
+		return 0, false
+	}
+	return ev.time, true
+}
+
+// BeginRestore prepares a fresh engine to be reloaded from a checkpoint
+// taken at virtual time now. It is only valid on an engine that has never
+// scheduled or fired anything; the caller then re-schedules the snapshot's
+// pending events (in their original sequence order, at their original
+// absolute times, via At/AtLabeled) and calls FinishRestore.
+func (e *Engine) BeginRestore(now float64) error {
+	if e.seq != 0 || e.fired != 0 || len(e.pending) != 0 {
+		return errors.New("des: BeginRestore requires a fresh engine")
+	}
+	if now < 0 || math.IsNaN(now) {
+		return fmt.Errorf("des: BeginRestore time %v invalid", now)
+	}
+	e.now = now
+	return nil
+}
+
+// FinishRestore pins the sequence and fired counters to the checkpoint's
+// values after the pending events have been re-scheduled. seq must be at
+// least as large as the restore-time counter so future events keep sorting
+// after the restored ones exactly as they would have in the original run.
+func (e *Engine) FinishRestore(seq, fired uint64) error {
+	if seq < e.seq {
+		return fmt.Errorf("des: FinishRestore seq %d below already-scheduled %d", seq, e.seq)
+	}
+	e.seq = seq
+	e.fired = fired
 	return nil
 }
 

@@ -354,3 +354,82 @@ func (d *Disk) Snapshot(now float64) Snapshot {
 
 // Requests returns the number of requests this disk has begun serving.
 func (d *Disk) Requests() int { return d.requests }
+
+// Checkpoint is the complete serializable state of a Disk. It copies the raw
+// accumulator fields without committing any pending accrual, so saving and
+// restoring mid-run preserves the exact floating-point summation order of
+// later accruals — the property that makes a resumed run bit-identical to an
+// uninterrupted one. idleSince is +Inf while the disk is busy, which JSON
+// cannot encode, so it is split into a Busy flag plus a finite value.
+type Checkpoint struct {
+	Speed            Speed      `json:"speed"`
+	State            State      `json:"state"`
+	LastAccrual      float64    `json:"last_accrual"`
+	EnergyJ          float64    `json:"energy_j"`
+	BusyTime         float64    `json:"busy_time"`
+	IdleTime         float64    `json:"idle_time"`
+	TransTime        float64    `json:"trans_time"`
+	Transitions      int        `json:"transitions"`
+	UpTransitions    int        `json:"up_transitions"`
+	BytesServedMB    float64    `json:"bytes_served_mb"`
+	Requests         int        `json:"requests"`
+	TransitionTarget Speed      `json:"transition_target"`
+	Busy             bool       `json:"busy"` // idleSince == +Inf
+	IdleSince        float64    `json:"idle_since"`
+	TimeAtSpeed      [2]float64 `json:"time_at_speed"`
+	HeadCyl          int        `json:"head_cyl"`
+}
+
+// Checkpoint captures the disk's raw state without mutating it.
+func (d *Disk) Checkpoint() Checkpoint {
+	c := Checkpoint{
+		Speed:            d.speed,
+		State:            d.state,
+		LastAccrual:      d.lastAccrual,
+		EnergyJ:          d.energyJ,
+		BusyTime:         d.busyTime,
+		IdleTime:         d.idleTime,
+		TransTime:        d.transTime,
+		Transitions:      d.transitions,
+		UpTransitions:    d.upTransitions,
+		BytesServedMB:    d.bytesServedMB,
+		Requests:         d.requests,
+		TransitionTarget: d.transitionTarget,
+		TimeAtSpeed:      d.timeAtSpeed,
+		HeadCyl:          d.headCyl,
+	}
+	if math.IsInf(d.idleSince, 1) {
+		c.Busy = true
+	} else {
+		c.IdleSince = d.idleSince
+	}
+	return c
+}
+
+// Restore reconstructs a disk from a checkpoint. Params are supplied by the
+// caller (they are configuration, not state).
+func Restore(id int, p Params, c Checkpoint) *Disk {
+	d := &Disk{
+		id:               id,
+		params:           p,
+		speed:            c.Speed,
+		state:            c.State,
+		lastAccrual:      c.LastAccrual,
+		energyJ:          c.EnergyJ,
+		busyTime:         c.BusyTime,
+		idleTime:         c.IdleTime,
+		transTime:        c.TransTime,
+		transitions:      c.Transitions,
+		upTransitions:    c.UpTransitions,
+		bytesServedMB:    c.BytesServedMB,
+		requests:         c.Requests,
+		transitionTarget: c.TransitionTarget,
+		idleSince:        c.IdleSince,
+		timeAtSpeed:      c.TimeAtSpeed,
+		headCyl:          c.HeadCyl,
+	}
+	if c.Busy {
+		d.idleSince = math.Inf(1)
+	}
+	return d
+}

@@ -11,9 +11,11 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/array"
 	"repro/internal/faults"
@@ -91,6 +93,19 @@ type SweepConfig struct {
 	Spares int
 	// RebuildMBps paces rebuild traffic; zero uses the array default.
 	RebuildMBps float64
+	// StallLimit is passed to every cell's array.Config.StallLimit: the
+	// RunGuarded watchdog aborts a cell whose event loop fires that many
+	// events without advancing virtual time. Zero uses the array default.
+	StallLimit uint64
+	// MaxAttempts bounds how many times a failed cell is retried before it
+	// is recorded as failed (total attempts, not extra retries). Zero or
+	// one means no retry. Retries are mostly useful against transient
+	// environmental failures; a deterministic simulation bug fails the
+	// same way every attempt and is recorded after MaxAttempts tries.
+	MaxAttempts int
+	// RetryBaseDelay is the first retry's backoff; each further retry
+	// doubles it. Zero means 500ms.
+	RetryBaseDelay time.Duration
 	// Progress, when non-nil, receives structured phase and per-cell
 	// completion lines while the sweep runs. It is rate-limited and
 	// goroutine-safe, so a large sweep logs a steady trickle rather than a
@@ -154,6 +169,12 @@ func (c *SweepConfig) setDefaults() {
 	if c.Parallelism <= 0 {
 		c.Parallelism = runtime.NumCPU()
 	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 1
+	}
+	if c.RetryBaseDelay <= 0 {
+		c.RetryBaseDelay = 500 * time.Millisecond
+	}
 }
 
 // Validate reports the first invalid sweep parameter.
@@ -188,11 +209,32 @@ func (c *SweepConfig) Validate() error {
 	return c.Workload.Validate()
 }
 
-// Cell is one sweep cell result.
+// CellStatus records how a sweep cell finished.
+type CellStatus string
+
+// The cell outcomes a sweep manifest records.
+const (
+	// CellOK: the cell succeeded on its first attempt.
+	CellOK CellStatus = "ok"
+	// CellRetried: the cell succeeded after at least one failed attempt.
+	CellRetried CellStatus = "retried"
+	// CellFailed: every attempt failed; Result is nil and Err explains.
+	CellFailed CellStatus = "failed"
+)
+
+// Cell is one sweep cell result. Result is nil exactly when Status is
+// CellFailed.
 type Cell struct {
 	Disks  int
 	Policy PolicyKind
 	Result *array.Result
+	// Status is CellOK, CellRetried, or CellFailed.
+	Status CellStatus
+	// Attempts is how many times the cell ran (1 when it succeeded
+	// immediately).
+	Attempts int
+	// Err holds the final attempt's error when Status is CellFailed.
+	Err string
 }
 
 // SweepResult is the full policy × array-size grid.
@@ -201,8 +243,68 @@ type SweepResult struct {
 	Cells  []Cell // sorted by (Disks, Policy order in Config)
 }
 
+// FailedCells returns the cells whose every attempt failed.
+func (s *SweepResult) FailedCells() []Cell {
+	var out []Cell
+	for _, c := range s.Cells {
+		if c.Status == CellFailed {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// testCellHook, when non-nil, runs at the start of every cell attempt
+// (inside the panic-recovery scope). Tests use it to make chosen cells
+// panic and verify the sweep survives.
+var testCellHook func(kind PolicyKind, disks int)
+
+// runCellOnce executes a single sweep cell attempt. A panic anywhere in the
+// cell — the policy, the simulator, the hook — is converted into an error
+// with the stack attached, so one broken cell cannot take down the sweep's
+// worker pool.
+func runCellOnce(cfg *SweepConfig, trace *workload.Trace, epoch float64, disks int, kind PolicyKind) (res *array.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = nil
+			err = fmt.Errorf("panic: %v\n%s", r, debug.Stack())
+		}
+	}()
+	if testCellHook != nil {
+		testCellHook(kind, disks)
+	}
+	pol, err := NewPolicy(kind)
+	if err != nil {
+		return nil, err
+	}
+	acfg := array.Config{
+		Disks:        disks,
+		Trace:        trace,
+		Policy:       pol,
+		EpochSeconds: epoch,
+		Press:        cfg.Press,
+		Spares:       cfg.Spares,
+		RebuildMBps:  cfg.RebuildMBps,
+		StallLimit:   cfg.StallLimit,
+	}
+	if cfg.Faults != nil {
+		fc := *cfg.Faults
+		fc.Seed += int64(disks)
+		acfg.Faults = &fc
+	}
+	return array.Run(acfg)
+}
+
 // RunSweep generates the workload once and replays it through every
 // (policy, array size) cell in parallel.
+//
+// Cells are isolated: a cell that returns an error or panics is retried up
+// to MaxAttempts times with exponential backoff, and if it still fails it is
+// recorded as CellFailed while every other cell runs to completion. When any
+// cell ultimately fails, RunSweep returns the complete SweepResult alongside
+// a non-nil error summarizing the failures — callers that want the partial
+// grid (e.g. to write a manifest with per-cell status) inspect the result;
+// callers that treat any failure as fatal keep the old error contract.
 func RunSweep(cfg SweepConfig) (*SweepResult, error) {
 	cfg.setDefaults()
 	if err := cfg.Validate(); err != nil {
@@ -248,7 +350,6 @@ func RunSweep(cfg SweepConfig) (*SweepResult, error) {
 		}
 	}
 	cells := make([]Cell, len(jobs))
-	errs := make([]error, len(jobs))
 	cfg.Progress.Phase(fmt.Sprintf("sweep: run %d cells", len(jobs)))
 	var done atomic.Int64
 
@@ -260,42 +361,47 @@ func RunSweep(cfg SweepConfig) (*SweepResult, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			pol, err := NewPolicy(j.policy)
-			if err != nil {
-				errs[j.idx] = err
+			cell := Cell{Disks: j.disks, Policy: j.policy}
+			for attempt := 1; attempt <= cfg.MaxAttempts; attempt++ {
+				cell.Attempts = attempt
+				if attempt > 1 {
+					time.Sleep(cfg.RetryBaseDelay << uint(attempt-2))
+					cfg.Progress.Stepf("sweep: retrying disks=%d policy=%s (attempt %d/%d)",
+						j.disks, j.policy, attempt, cfg.MaxAttempts)
+				}
+				res, err := runCellOnce(&cfg, trace, epoch, j.disks, j.policy)
+				if err != nil {
+					cell.Err = fmt.Sprintf("disks=%d policy=%s: %v", j.disks, j.policy, err)
+					continue
+				}
+				cell.Result = res
+				cell.Err = ""
+				cell.Status = CellOK
+				if attempt > 1 {
+					cell.Status = CellRetried
+				}
+				break
+			}
+			if cell.Result == nil {
+				cell.Status = CellFailed
+			}
+			cells[j.idx] = cell
+			if cell.Status == CellFailed {
+				cfg.Progress.Stepf("sweep: cell %d/%d FAILED (disks=%d policy=%s, %d attempts)",
+					done.Add(1), len(jobs), j.disks, j.policy, cell.Attempts)
 				return
 			}
-			acfg := array.Config{
-				Disks:        j.disks,
-				Trace:        trace,
-				Policy:       pol,
-				EpochSeconds: epoch,
-				Press:        cfg.Press,
-				Spares:       cfg.Spares,
-				RebuildMBps:  cfg.RebuildMBps,
-			}
-			if cfg.Faults != nil {
-				fc := *cfg.Faults
-				fc.Seed += int64(j.disks)
-				acfg.Faults = &fc
-			}
-			res, err := array.Run(acfg)
-			if err != nil {
-				errs[j.idx] = fmt.Errorf("disks=%d policy=%s: %w", j.disks, j.policy, err)
-				return
-			}
-			cells[j.idx] = Cell{Disks: j.disks, Policy: j.policy, Result: res}
 			cfg.Progress.Stepf("sweep: cell %d/%d done (disks=%d policy=%s, %d events)",
-				done.Add(1), len(jobs), j.disks, j.policy, res.EventsFired)
+				done.Add(1), len(jobs), j.disks, j.policy, cell.Result.EventsFired)
 		}(j)
 	}
 	wg.Wait()
-	for _, e := range errs {
-		if e != nil {
-			return nil, e
-		}
+	res := &SweepResult{Config: cfg, Cells: cells}
+	if failed := res.FailedCells(); len(failed) > 0 {
+		return res, fmt.Errorf("experiment: %d of %d cells failed; first: %s",
+			len(failed), len(cells), failed[0].Err)
 	}
-	return &SweepResult{Config: cfg, Cells: cells}, nil
+	return res, nil
 }
 
 // Metric selects which scalar a figure plots.
@@ -355,6 +461,11 @@ func (s *SweepResult) Series(m Metric) (map[PolicyKind][]float64, []int, error) 
 		pos[n] = i
 	}
 	for _, c := range s.Cells {
+		if c.Result == nil {
+			// Failed cell (partial sweep): leave the zero value rather
+			// than dereferencing a missing result.
+			continue
+		}
 		v, err := m.Value(c.Result)
 		if err != nil {
 			return nil, nil, err

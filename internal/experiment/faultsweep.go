@@ -46,6 +46,13 @@ func RenderFaultSummary(w io.Writer, s *SweepResult, title string) {
 	}}
 	for _, c := range s.Cells {
 		r := c.Result
+		if r == nil {
+			rows = append(rows, []string{
+				fmt.Sprintf("%d", c.Disks), string(c.Policy),
+				"FAILED", "-", "-", "-", "-", "-", "-", "-", "-",
+			})
+			continue
+		}
 		mttdl := "-"
 		if r.MTTDLHours > 0 {
 			mttdl = fmt.Sprintf("%.2f h", r.MTTDLHours)

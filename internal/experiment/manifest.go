@@ -32,6 +32,77 @@ type SweepManifestConfig struct {
 // "cell.<policy>.<disks>.<metric>" keys, so arrayreport diff compares sweeps
 // cell by cell, not just in aggregate.
 func SweepManifest(name string, cfg SweepConfig, res *SweepResult) (*runstore.Manifest, error) {
+	m, err := newSweepManifest(name, cfg)
+	if err != nil {
+		return nil, err
+	}
+	cfg.setDefaults()
+
+	faultsOn := cfg.Faults != nil && cfg.Faults.Enabled
+	var sum runstore.Summary
+	sum.Extra = make(map[string]float64, 4*len(res.Cells))
+	status := string(CellOK)
+	okCells := 0
+	for _, c := range res.Cells {
+		prefix := fmt.Sprintf("cell.%s.%d.", c.Policy, c.Disks)
+		if c.Attempts > 0 {
+			sum.Extra[prefix+"attempts"] = float64(c.Attempts)
+		}
+		if c.Status == CellFailed || c.Result == nil {
+			// A failed cell contributes a marker instead of metrics, so the
+			// diff toolchain flags it as a metric-set mismatch rather than
+			// comparing against silent zeros.
+			sum.Extra[prefix+"failed"] = 1
+			status = string(CellFailed)
+			continue
+		}
+		if c.Status == CellRetried && status != string(CellFailed) {
+			status = string(CellRetried)
+		}
+		okCells++
+		cs := runstore.SummaryFromResult(c.Result, faultsOn)
+		sum.EnergyJ += cs.EnergyJ
+		sum.ArrayAFRPct += cs.ArrayAFRPct
+		sum.MeanResponseS += cs.MeanResponseS
+		sum.P50ResponseS += cs.P50ResponseS
+		sum.P95ResponseS += cs.P95ResponseS
+		sum.P99ResponseS += cs.P99ResponseS
+		sum.TransitionsPerDay += cs.TransitionsPerDay
+		sum.Requests += cs.Requests
+		sum.EventsFired += cs.EventsFired
+		if faultsOn {
+			sum.FaultsOn = true
+			sum.DiskFailures += cs.DiskFailures
+			sum.DataLossEvents += cs.DataLossEvents
+		}
+		sum.Extra[prefix+"energy_j"] = cs.EnergyJ
+		sum.Extra[prefix+"array_afr_pct"] = cs.ArrayAFRPct
+		sum.Extra[prefix+"mean_response_s"] = cs.MeanResponseS
+		sum.Extra[prefix+"events_fired"] = cs.EventsFired
+		if faultsOn {
+			sum.Extra[prefix+"disk_failures"] = cs.DiskFailures
+			sum.Extra[prefix+"data_loss_events"] = cs.DataLossEvents
+		}
+	}
+	// Intensive metrics average over the cells that completed; energy,
+	// requests, events, and the fault counts stay extensive (sums).
+	if n := float64(okCells); n > 0 {
+		sum.ArrayAFRPct /= n
+		sum.MeanResponseS /= n
+		sum.P50ResponseS /= n
+		sum.P95ResponseS /= n
+		sum.P99ResponseS /= n
+		sum.TransitionsPerDay /= n
+	}
+	m.Summary = sum
+	m.Status = status
+	return m, nil
+}
+
+// newSweepManifest builds the manifest shell — digested config, seed, policy
+// list — without the summary block. Both SweepManifest and SweepManifestID
+// derive from it, so the resume-skip ID always matches the recorded one.
+func newSweepManifest(name string, cfg SweepConfig) (*runstore.Manifest, error) {
 	cfg.setDefaults()
 	mc := SweepManifestConfig{
 		DiskCounts:     cfg.DiskCounts,
@@ -55,48 +126,18 @@ func SweepManifest(name string, cfg SweepConfig, res *SweepResult) (*runstore.Ma
 	m.Seed = cfg.Workload.Seed
 	m.Policy = policyList(cfg.Policies)
 	m.Workload = fmt.Sprintf("scale %g intensity %g", cfg.Scale, cfg.Intensity)
-
-	faultsOn := cfg.Faults != nil && cfg.Faults.Enabled
-	var sum runstore.Summary
-	sum.Extra = make(map[string]float64, 4*len(res.Cells))
-	for _, c := range res.Cells {
-		cs := runstore.SummaryFromResult(c.Result, faultsOn)
-		sum.EnergyJ += cs.EnergyJ
-		sum.ArrayAFRPct += cs.ArrayAFRPct
-		sum.MeanResponseS += cs.MeanResponseS
-		sum.P50ResponseS += cs.P50ResponseS
-		sum.P95ResponseS += cs.P95ResponseS
-		sum.P99ResponseS += cs.P99ResponseS
-		sum.TransitionsPerDay += cs.TransitionsPerDay
-		sum.Requests += cs.Requests
-		sum.EventsFired += cs.EventsFired
-		if faultsOn {
-			sum.FaultsOn = true
-			sum.DiskFailures += cs.DiskFailures
-			sum.DataLossEvents += cs.DataLossEvents
-		}
-		prefix := fmt.Sprintf("cell.%s.%d.", c.Policy, c.Disks)
-		sum.Extra[prefix+"energy_j"] = cs.EnergyJ
-		sum.Extra[prefix+"array_afr_pct"] = cs.ArrayAFRPct
-		sum.Extra[prefix+"mean_response_s"] = cs.MeanResponseS
-		sum.Extra[prefix+"events_fired"] = cs.EventsFired
-		if faultsOn {
-			sum.Extra[prefix+"disk_failures"] = cs.DiskFailures
-			sum.Extra[prefix+"data_loss_events"] = cs.DataLossEvents
-		}
-	}
-	// Intensive metrics average over cells; energy, requests, events, and the
-	// fault counts stay extensive (sums).
-	if n := float64(len(res.Cells)); n > 0 {
-		sum.ArrayAFRPct /= n
-		sum.MeanResponseS /= n
-		sum.P50ResponseS /= n
-		sum.P95ResponseS /= n
-		sum.P99ResponseS /= n
-		sum.TransitionsPerDay /= n
-	}
-	m.Summary = sum
 	return m, nil
+}
+
+// SweepManifestID computes the run-store ID a sweep condition would be
+// recorded under, without running the sweep. A resumable driver uses it to
+// skip conditions whose store entry already exists with an ok status.
+func SweepManifestID(name string, cfg SweepConfig) (string, error) {
+	m, err := newSweepManifest(name, cfg)
+	if err != nil {
+		return "", err
+	}
+	return m.ID(), nil
 }
 
 // asMap flattens a config struct through its JSON form so the manifest's

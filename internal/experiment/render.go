@@ -126,6 +126,10 @@ func WriteSweepCSV(w io.Writer, s *SweepResult) error {
 	}
 	for _, c := range s.Cells {
 		r := c.Result
+		if r == nil {
+			// Failed cell in a partial sweep: no metrics to emit.
+			continue
+		}
 		if _, err := fmt.Fprintf(w, "%d,%s,%.6f,%.3f,%.6f,%.6f,%d,%d,%d\n",
 			c.Disks, c.Policy, r.ArrayAFR, r.EnergyJ, r.MeanResponse, r.P95Response,
 			r.Requests, r.Migrations, r.BackgroundOps); err != nil {

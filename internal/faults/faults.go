@@ -175,6 +175,14 @@ type Injector struct {
 	disks    []diskHazard
 	failures int
 	scripted []ScriptedEvent // pending, sorted by time
+
+	// drawLog records every post-construction RNG draw ('e' for the
+	// exponential threshold in MarkRepaired, 'f' for the uniform repair
+	// draw in SampleRepairSeconds). math/rand sources cannot be serialized,
+	// so a checkpoint restores the stream by replaying this log against a
+	// freshly seeded source — the log length is bounded by the (small)
+	// failure count, not the simulation length.
+	drawLog []byte
 }
 
 // NewInjector builds an injector for `disks` drives, all born at time 0.
@@ -300,6 +308,7 @@ func (in *Injector) MarkRepaired(d int, at float64) {
 	h.birth = at
 	h.cum = 0
 	h.threshold = in.rng.ExpFloat64()
+	in.drawLog = append(in.drawLog, 'e')
 }
 
 // SampleRepairSeconds draws a repair/replacement duration in virtual
@@ -310,8 +319,75 @@ func (in *Injector) SampleRepairSeconds() float64 {
 	if hours <= 0 {
 		// Inverse-CDF sample: T = η·(−ln(1−u))^(1/β).
 		u := in.rng.Float64()
+		in.drawLog = append(in.drawLog, 'f')
 		w := in.cfg.Repair
 		hours = w.ScaleHours * math.Pow(-math.Log(1-u), 1/w.Shape)
 	}
 	return hours * 3600 / in.cfg.Acceleration
+}
+
+// DiskCheckpoint is the serializable hazard state of one disk.
+type DiskCheckpoint struct {
+	Alive     bool    `json:"alive"`
+	Threshold float64 `json:"threshold"`
+	Cum       float64 `json:"cum"`
+	Birth     float64 `json:"birth"`
+}
+
+// Checkpoint is the complete serializable state of an Injector. The RNG
+// stream is captured as the replay log of post-construction draws: restoring
+// re-seeds the source, replays the constructor's threshold draws (implied by
+// the disk count) and then the log, leaving the stream positioned exactly
+// where the original was. Without this, repair times and replacement-drive
+// thresholds after a resume would diverge from the uninterrupted run.
+type Checkpoint struct {
+	Now      float64          `json:"now"`
+	Failures int              `json:"failures"`
+	Disks    []DiskCheckpoint `json:"disks"`
+	Scripted []ScriptedEvent  `json:"scripted,omitempty"`
+	DrawLog  string           `json:"draw_log,omitempty"`
+}
+
+// Checkpoint captures the injector's state without mutating it.
+func (in *Injector) Checkpoint() Checkpoint {
+	c := Checkpoint{
+		Now:      in.now,
+		Failures: in.failures,
+		Disks:    make([]DiskCheckpoint, len(in.disks)),
+		Scripted: append([]ScriptedEvent(nil), in.scripted...),
+		DrawLog:  string(in.drawLog),
+	}
+	for i, d := range in.disks {
+		c.Disks[i] = DiskCheckpoint{Alive: d.alive, Threshold: d.threshold, Cum: d.cum, Birth: d.birth}
+	}
+	return c
+}
+
+// RestoreInjector rebuilds an injector from a checkpoint under the same
+// configuration it was built with. The RNG is re-seeded and advanced by
+// replaying the draw log; all hazard state is then overwritten from the
+// checkpoint.
+func RestoreInjector(cfg Config, c Checkpoint) (*Injector, error) {
+	in, err := NewInjector(cfg, len(c.Disks))
+	if err != nil {
+		return nil, err
+	}
+	for _, kind := range []byte(c.DrawLog) {
+		switch kind {
+		case 'e':
+			in.rng.ExpFloat64()
+		case 'f':
+			in.rng.Float64()
+		default:
+			return nil, fmt.Errorf("faults: unknown draw log entry %q", kind)
+		}
+	}
+	in.drawLog = []byte(c.DrawLog)
+	in.now = c.Now
+	in.failures = c.Failures
+	for i, d := range c.Disks {
+		in.disks[i] = diskHazard{alive: d.Alive, threshold: d.Threshold, cum: d.Cum, birth: d.Birth}
+	}
+	in.scripted = append([]ScriptedEvent(nil), c.Scripted...)
+	return in, nil
 }

@@ -130,6 +130,12 @@ type Manifest struct {
 	// CreatedAt is the wall-clock start time, RFC3339. It is informational
 	// and never part of the digest.
 	CreatedAt string `json:"created_at,omitempty"`
+	// Status records how the run finished: "ok", "retried" (succeeded
+	// after per-cell retries), or "failed" (at least one sweep cell never
+	// succeeded). Empty means ok — manifests written before the field
+	// existed, and single runs, which abort instead of writing a manifest
+	// on failure.
+	Status string `json:"status,omitempty"`
 	// WallSeconds is the wall-clock duration of the run.
 	WallSeconds float64 `json:"wall_seconds"`
 	// Summary is the headline-metrics block.

@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"repro/internal/atomicio"
 )
 
 // Store is a directory of run directories plus an index.json that lists them
@@ -80,18 +82,18 @@ func (st *Store) Write(m *Manifest) (string, error) {
 	return dir, nil
 }
 
+// writeJSONFile writes v as indented JSON via an atomic replace (temp file,
+// fsync, rename), so a manifest or index killed mid-write never leaves a
+// truncated file behind — readers see the old version or the new one.
 func writeJSONFile(path string, v any) error {
-	f, err := os.Create(path)
+	data, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
-		return fmt.Errorf("runstore: %w", err)
-	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(v); err != nil {
-		f.Close()
 		return fmt.Errorf("runstore: encode %s: %w", path, err)
 	}
-	return f.Close()
+	if err := atomicio.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("runstore: %w", err)
+	}
+	return nil
 }
 
 func (st *Store) writeIndex() error {
@@ -115,27 +117,41 @@ func (st *Store) writeIndex() error {
 	}{SchemaVersion, entries})
 }
 
-// List loads every manifest in the store, sorted by run ID. Subdirectories
-// without a readable manifest are skipped silently (they may be mid-write or
-// foreign).
+// List loads every manifest in the store, sorted by run ID. Problem
+// directories are skipped; use ListChecked to learn about them.
 func (st *Store) List() ([]*Manifest, error) {
+	runs, _, err := st.ListChecked()
+	return runs, err
+}
+
+// ListChecked loads every manifest in the store, sorted by run ID, and
+// reports the directories it had to skip. A subdirectory with no
+// manifest.json at all is skipped silently — it may be mid-write or foreign —
+// but a manifest that exists and fails to parse (truncated, corrupt, wrong
+// schema) produces a warning, so `arrayreport check` can fail loudly instead
+// of a damaged run quietly vanishing from listings and diffs.
+func (st *Store) ListChecked() (runs []*Manifest, warnings []string, err error) {
 	entries, err := os.ReadDir(st.root)
 	if err != nil {
-		return nil, fmt.Errorf("runstore: %w", err)
+		return nil, nil, fmt.Errorf("runstore: %w", err)
 	}
-	var runs []*Manifest
 	for _, e := range entries {
 		if !e.IsDir() {
 			continue
 		}
-		m, err := ReadManifest(filepath.Join(st.root, e.Name()))
-		if err != nil {
+		dir := filepath.Join(st.root, e.Name())
+		if _, statErr := os.Stat(filepath.Join(dir, ManifestName)); os.IsNotExist(statErr) {
+			continue
+		}
+		m, readErr := ReadManifest(dir)
+		if readErr != nil {
+			warnings = append(warnings, fmt.Sprintf("skipping %s: %v", e.Name(), readErr))
 			continue
 		}
 		runs = append(runs, m)
 	}
 	sort.Slice(runs, func(i, j int) bool { return runs[i].ID() < runs[j].ID() })
-	return runs, nil
+	return runs, warnings, nil
 }
 
 // Load resolves ref to one run: an exact run ID (directory name), an exact

@@ -161,3 +161,52 @@ func TestReadManifestRejectsWrongSchema(t *testing.T) {
 		t.Fatal("expected schema-version error")
 	}
 }
+
+func TestListCheckedSkipsCorruptManifests(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := testManifest(t, "good", 1)
+	if _, err := st.Write(good); err != nil {
+		t.Fatal(err)
+	}
+
+	// A run directory whose manifest is garbage: listed as a warning, not an
+	// error, and never returned as a run.
+	corrupt := filepath.Join(dir, "deadbeef-corrupt")
+	if err := os.MkdirAll(corrupt, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(corrupt, ManifestName),
+		[]byte(`{"schema": "array`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// A directory with no manifest at all (e.g. a killed run that only got
+	// as far as creating its directory): silently ignored.
+	if err := os.MkdirAll(filepath.Join(dir, "no-manifest-yet"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	runs, warnings, err := st.ListChecked()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 1 || runs[0].Name != "good" {
+		t.Fatalf("runs = %+v, want just the valid one", runs)
+	}
+	if len(warnings) != 1 || !strings.Contains(warnings[0], "deadbeef-corrupt") {
+		t.Fatalf("warnings = %q, want one naming the corrupt dir", warnings)
+	}
+
+	// Plain List keeps working past the corruption too.
+	runs, err = st.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 1 {
+		t.Fatalf("List returned %d runs, want 1", len(runs))
+	}
+}

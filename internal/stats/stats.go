@@ -181,6 +181,65 @@ func (h *LatencyHistogram) Quantile(q float64) (float64, error) {
 	return math.Pow(10, hiExp), nil
 }
 
+// StreamState is the serializable form of a Stream, for checkpointing.
+type StreamState struct {
+	N    uint64  `json:"n"`
+	Mean float64 `json:"mean"`
+	M2   float64 `json:"m2"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+	Sum  float64 `json:"sum"`
+}
+
+// State exports the stream's raw accumulators.
+func (s *Stream) State() StreamState {
+	return StreamState{N: s.n, Mean: s.mean, M2: s.m2, Min: s.min, Max: s.max, Sum: s.sum}
+}
+
+// SetState overwrites the stream with previously exported accumulators.
+func (s *Stream) SetState(st StreamState) {
+	s.n, s.mean, s.m2, s.min, s.max, s.sum = st.N, st.Mean, st.M2, st.Min, st.Max, st.Sum
+}
+
+// LatencyHistogramState is the serializable form of a LatencyHistogram. The
+// bucket geometry (loExp, perDec, bucket count) is included so a restore
+// into a histogram with different resolution fails loudly.
+type LatencyHistogramState struct {
+	LoExp   int         `json:"lo_exp"`
+	PerDec  int         `json:"per_dec"`
+	Buckets []uint64    `json:"buckets"`
+	Under   uint64      `json:"under"`
+	Over    uint64      `json:"over"`
+	N       uint64      `json:"n"`
+	Stream  StreamState `json:"stream"`
+}
+
+// State exports the histogram's raw counters.
+func (h *LatencyHistogram) State() LatencyHistogramState {
+	return LatencyHistogramState{
+		LoExp:   h.loExp,
+		PerDec:  h.perDec,
+		Buckets: append([]uint64(nil), h.buckets...),
+		Under:   h.under,
+		Over:    h.over,
+		N:       h.n,
+		Stream:  h.stream.State(),
+	}
+}
+
+// SetState overwrites the histogram with previously exported counters. The
+// receiver's bucket geometry must match the state's.
+func (h *LatencyHistogram) SetState(st LatencyHistogramState) error {
+	if st.LoExp != h.loExp || st.PerDec != h.perDec || len(st.Buckets) != len(h.buckets) {
+		return fmt.Errorf("stats: histogram geometry mismatch: state (%d,%d,%d) vs receiver (%d,%d,%d)",
+			st.LoExp, st.PerDec, len(st.Buckets), h.loExp, h.perDec, len(h.buckets))
+	}
+	copy(h.buckets, st.Buckets)
+	h.under, h.over, h.n = st.Under, st.Over, st.N
+	h.stream.SetState(st.Stream)
+	return nil
+}
+
 // TimeWeighted tracks the time-weighted mean of a piecewise-constant signal
 // observed from time zero.
 type TimeWeighted struct {

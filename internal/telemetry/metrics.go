@@ -325,6 +325,76 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 	return enc.Encode(doc) // encoding/json sorts map keys
 }
 
+// HistogramState is the serializable form of one fixed-bucket histogram.
+type HistogramState struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+	Count  uint64    `json:"count"`
+	Sum    float64   `json:"sum"`
+	Min    float64   `json:"min"`
+	Max    float64   `json:"max"`
+}
+
+// RegistryState is the serializable form of a Registry, for checkpointing.
+type RegistryState struct {
+	Counters   map[string]uint64         `json:"counters,omitempty"`
+	Gauges     map[string]float64        `json:"gauges,omitempty"`
+	Histograms map[string]HistogramState `json:"histograms,omitempty"`
+}
+
+// State exports every registered metric's current value. A nil registry
+// exports nil.
+func (r *Registry) State() *RegistryState {
+	if r == nil {
+		return nil
+	}
+	st := &RegistryState{
+		Counters:   make(map[string]uint64, len(r.counters)),
+		Gauges:     make(map[string]float64, len(r.gauges)),
+		Histograms: make(map[string]HistogramState, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		st.Counters[name] = c.v
+	}
+	for name, g := range r.gauges {
+		st.Gauges[name] = g.v
+	}
+	for name, h := range r.hists {
+		st.Histograms[name] = HistogramState{
+			Bounds: append([]float64(nil), h.bounds...),
+			Counts: append([]uint64(nil), h.counts...),
+			Count:  h.count,
+			Sum:    h.sum,
+			Min:    h.min,
+			Max:    h.max,
+		}
+	}
+	return st
+}
+
+// SetState overwrites (or creates) every metric named in st with its saved
+// value. Metrics already registered but absent from st keep their current
+// values, so pre-bound handles stay valid across a restore. A nil registry
+// or nil state is a no-op.
+func (r *Registry) SetState(st *RegistryState) {
+	if r == nil || st == nil {
+		return
+	}
+	for name, v := range st.Counters {
+		r.Counter(name).v = v
+	}
+	for name, v := range st.Gauges {
+		r.Gauge(name).v = v
+	}
+	for name, hs := range st.Histograms {
+		h := r.Histogram(name, hs.Bounds)
+		if len(h.counts) == len(hs.Counts) {
+			copy(h.counts, hs.Counts)
+		}
+		h.count, h.sum, h.min, h.max = hs.Count, hs.Sum, hs.Min, hs.Max
+	}
+}
+
 // Names returns the sorted names of all registered metrics, for tests and
 // diagnostics.
 func (r *Registry) Names() []string {

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+
+	"repro/internal/atomicio"
 )
 
 // Config parameterizes a file-backed Recorder.
@@ -36,7 +38,7 @@ type Recorder struct {
 
 	series *SeriesWriter
 	tracer *ChromeTracer
-	files  []*os.File
+	files  []*atomicio.File
 	dir    string
 }
 
@@ -49,8 +51,11 @@ func Open(cfg Config) (*Recorder, error) {
 		return nil, fmt.Errorf("telemetry: %w", err)
 	}
 	r := &Recorder{Metrics: NewRegistry(), dir: cfg.Dir}
-	open := func(name string) (*os.File, error) {
-		f, err := os.Create(filepath.Join(cfg.Dir, name))
+	// Artifacts stream into atomic temp files and only appear under their
+	// final names when Close commits them, so a run killed mid-flight never
+	// leaves a truncated disks.ndjson / disks.csv / trace.json behind.
+	open := func(name string) (*atomicio.File, error) {
+		f, err := atomicio.Create(filepath.Join(cfg.Dir, name))
 		if err != nil {
 			r.closeFiles()
 			return nil, fmt.Errorf("telemetry: %w", err)
@@ -127,7 +132,7 @@ func (r *Recorder) Close() error {
 	keep(r.series.Flush())
 	keep(r.tracer.Close())
 	if r.dir != "" && r.Metrics != nil {
-		f, err := os.Create(filepath.Join(r.dir, "metrics.json"))
+		f, err := atomicio.Create(filepath.Join(r.dir, "metrics.json"))
 		if err != nil {
 			keep(err)
 		} else {

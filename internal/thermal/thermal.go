@@ -155,6 +155,41 @@ func (tr *Tracker) MaxTemp(now float64) float64 {
 	return tr.maxC
 }
 
+// Checkpoint is the complete serializable state of a Tracker (the model
+// constants are configuration and travel separately). Raw fields are copied
+// without committing the pending integration interval, preserving the exact
+// floating-point summation order of later advances across a restore.
+type Checkpoint struct {
+	TempC    float64 `json:"temp_c"`
+	SteadyC  float64 `json:"steady_c"`
+	LastTime float64 `json:"last_time"`
+	Integral float64 `json:"integral"`
+	MaxC     float64 `json:"max_c"`
+}
+
+// Checkpoint captures the tracker's raw state without mutating it.
+func (tr *Tracker) Checkpoint() Checkpoint {
+	return Checkpoint{
+		TempC:    tr.tempC,
+		SteadyC:  tr.steadyC,
+		LastTime: tr.lastTime,
+		Integral: tr.integral,
+		MaxC:     tr.maxC,
+	}
+}
+
+// RestoreTracker reconstructs a tracker from a checkpoint under model m.
+func RestoreTracker(m Model, c Checkpoint) *Tracker {
+	return &Tracker{
+		model:    m,
+		tempC:    c.TempC,
+		steadyC:  c.SteadyC,
+		lastTime: c.LastTime,
+		integral: c.Integral,
+		maxC:     c.MaxC,
+	}
+}
+
 // PeekMeanTemp returns the time-weighted mean operating temperature over
 // [0, now] WITHOUT advancing the tracker. MeanTemp commits the pending
 // interval into the running integral, which changes the floating-point
