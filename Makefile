@@ -1,0 +1,31 @@
+# Developer entry points. CI runs the same commands; see
+# .github/workflows/ci.yml.
+
+GO ?= go
+
+.PHONY: all build test lint fuzz bench
+
+all: lint build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# lint runs formatting, go vet, and the repository's own simlint suite
+# (internal/analysis): determinism, map-order, checkpoint-coverage,
+# atomic-write and telemetry-handle contracts. See DESIGN.md §11.
+lint:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "files need gofmt:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
+	$(GO) run ./cmd/simlint ./...
+
+# fuzz exercises the trace codec from the committed seed corpus
+# (internal/workload/testdata/fuzz) for a short, CI-sized budget.
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzTraceCodec -fuzztime=20s ./internal/workload
+
+bench:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...

@@ -26,6 +26,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/atomicio"
 	"repro/internal/runstore"
 )
 
@@ -338,12 +339,12 @@ func cmdHTML(args []string) error {
 		}
 		runs = append(runs, run)
 	}
-	f, err := os.Create(*out)
+	f, err := atomicio.Create(*out)
 	if err != nil {
 		return err
 	}
 	if err := runstore.WriteHTMLReport(f, *title, runs); err != nil {
-		f.Close()
+		f.Abort()
 		return err
 	}
 	if err := f.Close(); err != nil {

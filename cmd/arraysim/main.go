@@ -21,6 +21,7 @@ import (
 	"time"
 
 	diskarray "repro"
+	"repro/internal/atomicio"
 	"repro/internal/checkpoint"
 	"repro/internal/experiment"
 	"repro/internal/faults"
@@ -139,7 +140,7 @@ func main() {
 	}
 
 	if *cpuprofile != "" {
-		f, err := os.Create(*cpuprofile)
+		f, err := os.Create(*cpuprofile) //simlint:allow atomicwrite -- pprof streams into a live file; a torn profile from a crashed run is acceptable debug output
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -149,7 +150,7 @@ func main() {
 		defer func() { pprof.StopCPUProfile(); f.Close() }()
 	}
 	if *runtimeTrace != "" {
-		f, err := os.Create(*runtimeTrace)
+		f, err := os.Create(*runtimeTrace) //simlint:allow atomicwrite -- runtime/trace streams into a live file; a torn trace from a crashed run is acceptable debug output
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -162,13 +163,16 @@ func main() {
 		if *memprofile == "" {
 			return
 		}
-		f, err := os.Create(*memprofile)
+		f, err := atomicio.Create(*memprofile)
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer f.Close()
 		runtime.GC()
 		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Abort()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
 			log.Fatal(err)
 		}
 	}()

@@ -21,6 +21,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/atomicio"
 	"repro/internal/experiment"
 	"repro/internal/reliability"
 	"repro/internal/runstore"
@@ -122,7 +123,7 @@ func run() int {
 	}
 
 	if *cpuprofile != "" {
-		f, err := os.Create(*cpuprofile)
+		f, err := os.Create(*cpuprofile) //simlint:allow atomicwrite -- pprof streams into a live file; a torn profile from a crashed run is acceptable debug output
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -132,7 +133,7 @@ func run() int {
 		defer func() { pprof.StopCPUProfile(); f.Close() }()
 	}
 	if *runtimeTrace != "" {
-		f, err := os.Create(*runtimeTrace)
+		f, err := os.Create(*runtimeTrace) //simlint:allow atomicwrite -- runtime/trace streams into a live file; a torn trace from a crashed run is acceptable debug output
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -145,13 +146,16 @@ func run() int {
 		if *memprofile == "" {
 			return
 		}
-		f, err := os.Create(*memprofile)
+		f, err := atomicio.Create(*memprofile)
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer f.Close()
 		runtime.GC()
 		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Abort()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
 			log.Fatal(err)
 		}
 	}()
@@ -163,7 +167,9 @@ func run() int {
 
 	var csvW io.Writer
 	if *csvPath != "" {
-		f, err := os.Create(*csvPath)
+		// Atomic commit: the CSV appears under its final name only when the
+		// sweep finishes, so a crashed run never leaves a torn artifact.
+		f, err := atomicio.Create(*csvPath)
 		if err != nil {
 			log.Fatal(err)
 		}

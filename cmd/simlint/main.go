@@ -1,0 +1,57 @@
+// Command simlint runs the repository's determinism and checkpoint
+// analyzers (internal/analysis) over Go package patterns and prints any
+// contract violations. It exits 0 on a clean tree, 1 when diagnostics were
+// reported, and 2 on a load/run failure.
+//
+// Usage:
+//
+//	go run ./cmd/simlint ./...
+//	go run ./cmd/simlint -list
+//
+// The suite enforces the invariants DESIGN.md §11 documents: no wall-clock
+// or ambient entropy in simulation packages (detrand), no map-iteration
+// order leaking into results (maporder), checkpoint records covering their
+// state structs (ckptcover), artifact writes through internal/atomicio
+// (atomicwrite), and telemetry handles obtained from registries (nilhandle).
+// Violations are suppressed case-by-case with `//simlint:allow <analyzer>
+// -- reason` comments, never by editing the suite's scope.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis/simlint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers in the suite and exit")
+	dir := flag.String("dir", ".", "module directory to resolve patterns in")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: simlint [-list] [-dir module] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range simlint.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	diags, loader, err := simlint.Run(*dir, flag.Args()...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		pos := loader.Fset().Position(d.Pos)
+		fmt.Printf("%s: %s [%s]\n", pos, d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "simlint: %d violation(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"log"
 	"os"
 
+	"repro/internal/atomicio"
 	"repro/internal/runstore"
 	"repro/internal/workload"
 )
@@ -109,12 +110,15 @@ func main() {
 	}
 
 	if *out != "" {
-		f, err := os.Create(*out)
+		f, err := atomicio.Create(*out)
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer f.Close()
 		if err := workload.WriteTrace(f, tr); err != nil {
+			f.Abort()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
 			log.Fatal(err)
 		}
 		log.Printf("wrote %s", *out)

@@ -1,0 +1,200 @@
+// Package analysistest runs a simlint analyzer over GOPATH-style fixture
+// packages and checks its diagnostics against `// want` expectations, the
+// same convention as golang.org/x/tools/go/analysis/analysistest:
+//
+//	testdata/src/<pkg>/*.go
+//
+//	func f() {
+//		t := time.Now() // want `time\.Now reads the wall clock`
+//	}
+//
+// A want comment holds one or more back-quoted or double-quoted regular
+// expressions, each of which must match a diagnostic reported on that line;
+// conversely every diagnostic must be matched by some expectation. Fixture
+// packages may import each other (by their directory name under src/) and
+// the standard library; both resolve through the shared offline loader.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/framework"
+	"repro/internal/analysis/load"
+)
+
+// fixture is one parsed and type-checked testdata package.
+type fixture struct {
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+}
+
+// runner memoizes fixture packages so helpers (e.g. a fake telemetry
+// package) are checked once even when several fixtures import them.
+type runner struct {
+	t        *testing.T
+	src      string // testdata/src
+	loader   *load.Loader
+	fixtures map[string]*fixture
+}
+
+// Run checks analyzer a against the named fixture packages under
+// testdata/src and reports every unexpected or missing diagnostic through t.
+func Run(t *testing.T, testdata string, a *framework.Analyzer, pkgs ...string) {
+	t.Helper()
+	src := filepath.Join(testdata, "src")
+	r := &runner{
+		t:        t,
+		src:      src,
+		loader:   load.NewLoader(testdata),
+		fixtures: make(map[string]*fixture),
+	}
+	for _, pkg := range pkgs {
+		fx := r.load(pkg)
+		diags, err := framework.Run(a, r.loader.Fset(), fx.files, fx.pkg, fx.info)
+		if err != nil {
+			t.Fatalf("%s: analyzer failed: %v", pkg, err)
+		}
+		r.compare(pkg, fx, diags)
+	}
+}
+
+// load parses and type-checks one fixture package, resolving imports of
+// sibling fixtures recursively.
+func (r *runner) load(pkg string) *fixture {
+	r.t.Helper()
+	if fx, ok := r.fixtures[pkg]; ok {
+		if fx == nil {
+			r.t.Fatalf("fixture %q: import cycle", pkg)
+		}
+		return fx
+	}
+	r.fixtures[pkg] = nil // cycle guard
+	dir := filepath.Join(r.src, pkg)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		r.t.Fatalf("fixture %q: %v", pkg, err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		af, err := parser.ParseFile(r.loader.Fset(), filepath.Join(dir, e.Name()), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			r.t.Fatalf("fixture %q: %v", pkg, err)
+		}
+		files = append(files, af)
+	}
+	if len(files) == 0 {
+		r.t.Fatalf("fixture %q: no Go files in %s", pkg, dir)
+	}
+	resolve := func(path string) (*types.Package, error) {
+		if _, err := os.Stat(filepath.Join(r.src, path)); err != nil {
+			return nil, fmt.Errorf("not a fixture: %s", path)
+		}
+		return r.load(path).pkg, nil
+	}
+	tpkg, info, errs, err := r.loader.CheckFiles(pkg, r.loader.Fset(), files, resolve)
+	if err != nil {
+		r.t.Fatalf("fixture %q: %v", pkg, err)
+	}
+	for _, e := range errs {
+		r.t.Errorf("fixture %q: type error: %v", pkg, e)
+	}
+	if r.t.Failed() {
+		r.t.FailNow()
+	}
+	fx := &fixture{files: files, pkg: tpkg, info: info}
+	r.fixtures[pkg] = fx
+	return fx
+}
+
+// expectation is one `// want` regexp anchored to a file line.
+type expectation struct {
+	file string
+	line int
+	rx   *regexp.Regexp
+	text string
+	hit  bool
+}
+
+// wantRE captures the payload of a want comment: everything after the
+// keyword, holding one or more quoted regexps.
+var wantRE = regexp.MustCompile("^//\\s*want\\s+(.*)$")
+
+// quotedRE captures one back-quoted or double-quoted string.
+var quotedRE = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+// expectations collects the want comments of every file in the fixture.
+func (r *runner) expectations(fx *fixture) []*expectation {
+	r.t.Helper()
+	var exps []*expectation
+	for _, f := range fx.files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := r.loader.Fset().Position(c.Slash)
+				quoted := quotedRE.FindAllStringSubmatch(m[1], -1)
+				if len(quoted) == 0 {
+					r.t.Fatalf("%s:%d: want comment with no quoted pattern: %s", pos.Filename, pos.Line, c.Text)
+				}
+				for _, q := range quoted {
+					text := q[1]
+					if text == "" {
+						text = q[2]
+					}
+					rx, err := regexp.Compile(text)
+					if err != nil {
+						r.t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, text, err)
+					}
+					exps = append(exps, &expectation{file: pos.Filename, line: pos.Line, rx: rx, text: text})
+				}
+			}
+		}
+	}
+	return exps
+}
+
+// compare matches diagnostics against expectations one-to-one by line.
+func (r *runner) compare(pkg string, fx *fixture, diags []framework.Diagnostic) {
+	r.t.Helper()
+	exps := r.expectations(fx)
+	for _, d := range diags {
+		pos := r.loader.Fset().Position(d.Pos)
+		matched := false
+		for _, e := range exps {
+			if !e.hit && e.file == pos.Filename && e.line == pos.Line && e.rx.MatchString(d.Message) {
+				e.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			r.t.Errorf("%s: unexpected diagnostic at %s:%d: %s [%s]", pkg, pos.Filename, pos.Line, d.Message, d.Analyzer)
+		}
+	}
+	var missed []string
+	for _, e := range exps {
+		if !e.hit {
+			missed = append(missed, fmt.Sprintf("%s:%d: no diagnostic matching %q", e.file, e.line, e.text))
+		}
+	}
+	sort.Strings(missed)
+	for _, m := range missed {
+		r.t.Errorf("%s: %s", pkg, m)
+	}
+}

@@ -1,0 +1,60 @@
+// Package atomicwrite implements the simlint analyzer that keeps artifact
+// writes crash-safe.
+//
+// Run manifests, telemetry series, reports and checkpoints are the
+// repository's ground truth: the crash-recovery CI job SIGKILLs a run
+// mid-flight and requires every artifact a reader later touches to be either
+// the previous complete file or the new complete file. internal/atomicio
+// (temp file + fsync + rename) provides exactly that; a direct os.Create or
+// os.WriteFile in an artifact-producing package reintroduces torn files.
+//
+// The analyzer flags calls to os.Create, os.WriteFile, os.OpenFile and
+// io/ioutil.WriteFile. Writers that genuinely cannot commit atomically —
+// e.g. pprof/runtime-trace streams that must hold a live *os.File for the
+// whole process lifetime — carry `//simlint:allow atomicwrite -- reason`.
+package atomicwrite
+
+import (
+	"go/ast"
+
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer is the atomicwrite check.
+var Analyzer = &framework.Analyzer{
+	Name: "atomicwrite",
+	Doc:  "require artifact files to be written through internal/atomicio (temp+fsync+rename), not os.Create/os.WriteFile",
+	Run:  run,
+}
+
+var banned = map[string]map[string]string{
+	"os": {
+		"Create":    "atomicio.Create",
+		"WriteFile": "atomicio.WriteFile",
+		"OpenFile":  "atomicio.Create",
+	},
+	"io/ioutil": {
+		"WriteFile": "atomicio.WriteFile",
+	},
+}
+
+func run(pass *framework.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[id]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			if repl, bad := banned[obj.Pkg().Path()][obj.Name()]; bad {
+				pass.Reportf(id.Pos(), "%s.%s writes files non-atomically; artifacts must go through repro/internal/atomicio (%s) so a SIGKILL never leaves a torn file (//simlint:allow atomicwrite for streaming debug outputs)",
+					obj.Pkg().Path(), obj.Name(), repl)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package atomicwrite_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/atomicwrite"
+)
+
+func TestAtomicwrite(t *testing.T) {
+	analysistest.Run(t, "testdata", atomicwrite.Analyzer, "a")
+}

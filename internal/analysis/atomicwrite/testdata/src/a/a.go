@@ -1,0 +1,23 @@
+// Package a exercises the atomicwrite analyzer: direct artifact writes are
+// flagged; reads and allow-annotated streaming writers are not.
+package a
+
+import "os"
+
+func bad(path string, data []byte) {
+	_, _ = os.Create(path)                       // want `os\.Create writes files non-atomically`
+	_ = os.WriteFile(path, data, 0o644)          // want `os\.WriteFile writes files non-atomically`
+	_, _ = os.OpenFile(path, os.O_WRONLY, 0o644) // want `os\.OpenFile writes files non-atomically`
+}
+
+// Reading never tears an artifact.
+func reads(path string) {
+	_, _ = os.Open(path)
+	_, _ = os.ReadFile(path)
+	_, _ = os.Stat(path)
+}
+
+// A streaming writer that must hold a live file may be waived.
+func waived(path string) {
+	_, _ = os.Create(path) //simlint:allow atomicwrite -- fixture: streaming debug output
+}

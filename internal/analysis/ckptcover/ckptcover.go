@@ -1,0 +1,202 @@
+// Package ckptcover implements the simlint analyzer that cross-checks
+// runtime state structs against their checkpoint (wire) records.
+//
+// The PR-4 snapshot format serializes live state structs (the array
+// simulator's sim/diskState/eventRecord/cont/op, diskmodel.Disk, the thermal
+// tracker, the fault injector, ...) into parallel plain-data record structs.
+// The classic failure mode is "added a field to Disk, forgot the snapshot":
+// builds stay green, runs stay plausible, and the kill/resume DeepEqual test
+// only catches it if the new field happens to change value mid-run in the
+// test's window. ckptcover makes the pairing explicit and mechanical.
+//
+// A checkpoint record struct declares which state struct it serializes with
+// a directive in its doc comment:
+//
+//	//simlint:checkpoint-for Disk ignore=id,params alias=inj:Injector
+//	type Checkpoint struct { ... }
+//
+// The analyzer then requires every field of the state struct to have a
+// counterpart in the record: same name under case-insensitive comparison
+// (fileID ↔ FileID), an explicit alias (inj ↔ Injector), or membership in
+// the ignore list (for configuration re-supplied on restore and runtime
+// scaffolding that is deliberately not serialized). Stale directives are
+// errors too: ignore/alias entries naming fields the state struct no longer
+// has are reported, so the contract cannot rot silently. Record-only fields
+// (derived encodings like Busy for an infinite idleSince) are always
+// allowed.
+package ckptcover
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer is the ckptcover check.
+var Analyzer = &framework.Analyzer{
+	Name: "ckptcover",
+	Doc:  "require every field of a snapshot state struct to appear in its declared checkpoint record",
+	Run:  run,
+}
+
+const directive = "simlint:checkpoint-for"
+
+type spec struct {
+	state  string
+	ignore map[string]bool
+	alias  map[string]string // state field -> record field
+}
+
+func run(pass *framework.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, s := range gd.Specs {
+				ts, ok := s.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				doc := ts.Doc
+				if doc == nil {
+					doc = gd.Doc
+				}
+				sp, ok, err := parseSpec(doc)
+				if err != nil {
+					pass.Reportf(ts.Pos(), "ckptcover: %v", err)
+					continue
+				}
+				if !ok {
+					continue
+				}
+				checkPair(pass, ts, sp)
+			}
+		}
+	}
+	return nil
+}
+
+// parseSpec extracts a checkpoint-for directive from a doc comment.
+func parseSpec(doc *ast.CommentGroup) (*spec, bool, error) {
+	if doc == nil {
+		return nil, false, nil
+	}
+	for _, c := range doc.List {
+		text := strings.TrimPrefix(c.Text, "//")
+		if !strings.HasPrefix(text, directive) {
+			continue
+		}
+		fields := strings.Fields(strings.TrimPrefix(text, directive))
+		if len(fields) == 0 {
+			return nil, false, fmt.Errorf("%s needs a state type name", directive)
+		}
+		sp := &spec{
+			state:  fields[0],
+			ignore: make(map[string]bool),
+			alias:  make(map[string]string),
+		}
+		for _, f := range fields[1:] {
+			switch {
+			case strings.HasPrefix(f, "ignore="):
+				for _, n := range strings.Split(strings.TrimPrefix(f, "ignore="), ",") {
+					if n != "" {
+						sp.ignore[n] = true
+					}
+				}
+			case strings.HasPrefix(f, "alias="):
+				for _, pair := range strings.Split(strings.TrimPrefix(f, "alias="), ",") {
+					from, to, ok := strings.Cut(pair, ":")
+					if !ok || from == "" || to == "" {
+						return nil, false, fmt.Errorf("%s: bad alias %q (want state:Record)", directive, pair)
+					}
+					sp.alias[from] = to
+				}
+			default:
+				return nil, false, fmt.Errorf("%s: unknown option %q", directive, f)
+			}
+		}
+		return sp, true, nil
+	}
+	return nil, false, nil
+}
+
+// checkPair verifies one record struct against its declared state struct.
+func checkPair(pass *framework.Pass, record *ast.TypeSpec, sp *spec) {
+	recObj := pass.TypesInfo.Defs[record.Name]
+	recStruct := structOf(recObj)
+	if recStruct == nil {
+		pass.Reportf(record.Pos(), "ckptcover: %s carries a %s directive but is not a struct", record.Name.Name, directive)
+		return
+	}
+	stateObj := pass.Pkg.Scope().Lookup(sp.state)
+	stateStruct := structOf(stateObj)
+	if stateStruct == nil {
+		pass.Reportf(record.Pos(), "ckptcover: state type %q not found in package %s (or not a struct)", sp.state, pass.Pkg.Path())
+		return
+	}
+
+	recFields := make(map[string]bool, recStruct.NumFields())
+	for i := 0; i < recStruct.NumFields(); i++ {
+		recFields[strings.ToLower(recStruct.Field(i).Name())] = true
+	}
+
+	stateFields := make(map[string]bool, stateStruct.NumFields())
+	var missing []string
+	for i := 0; i < stateStruct.NumFields(); i++ {
+		name := stateStruct.Field(i).Name()
+		stateFields[name] = true
+		if sp.ignore[name] {
+			continue
+		}
+		want := name
+		if a, ok := sp.alias[name]; ok {
+			want = a
+		}
+		if !recFields[strings.ToLower(want)] {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		pass.Reportf(record.Pos(),
+			"ckptcover: checkpoint record %s does not cover field(s) %s of %s; serialize them (or add to ignore= with a reason if they are configuration re-supplied on restore)",
+			record.Name.Name, strings.Join(missing, ", "), sp.state)
+	}
+
+	// Stale directive entries: names the state struct no longer has.
+	var stale []string
+	for n := range sp.ignore {
+		if !stateFields[n] {
+			stale = append(stale, "ignore="+n)
+		}
+	}
+	for n := range sp.alias {
+		if !stateFields[n] {
+			stale = append(stale, "alias="+n)
+		}
+	}
+	if len(stale) > 0 {
+		sort.Strings(stale)
+		pass.Reportf(record.Pos(), "ckptcover: directive on %s names field(s) %s that %s does not have; update the directive",
+			record.Name.Name, strings.Join(stale, ", "), sp.state)
+	}
+}
+
+// structOf unwraps a type object to its underlying struct, or nil.
+func structOf(obj types.Object) *types.Struct {
+	if obj == nil {
+		return nil
+	}
+	tn, ok := obj.(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	st, _ := tn.Type().Underlying().(*types.Struct)
+	return st
+}

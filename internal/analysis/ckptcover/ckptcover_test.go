@@ -1,0 +1,12 @@
+package ckptcover_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/ckptcover"
+)
+
+func TestCkptcover(t *testing.T) {
+	analysistest.Run(t, "testdata", ckptcover.Analyzer, "a")
+}

@@ -1,0 +1,46 @@
+// Package a exercises the ckptcover analyzer: records that miss state
+// fields, carry stale directive entries, or name unknown state types are
+// flagged; complete records with honest ignore/alias lists are not.
+package a
+
+type state struct {
+	a       int
+	b       float64
+	cfg     string
+	renamed bool
+}
+
+// Good covers every field of state: a and b by case-insensitive name,
+// renamed through an alias, cfg through the ignore list.
+//
+//simlint:checkpoint-for state ignore=cfg alias=renamed:Moved
+type Good struct {
+	A     int
+	B     float64
+	Moved bool
+	Extra int // record-only derived fields are always allowed
+}
+
+// Bad forgets to serialize b.
+//
+//simlint:checkpoint-for state ignore=cfg alias=renamed:Moved
+type Bad struct { // want `checkpoint record Bad does not cover field\(s\) b of state`
+	A     int
+	Moved bool
+}
+
+// Stale ignores a field state no longer has.
+//
+//simlint:checkpoint-for state ignore=cfg,gone alias=renamed:Moved
+type Stale struct { // want `directive on Stale names field\(s\) ignore=gone that state does not have`
+	A     int
+	B     float64
+	Moved bool
+}
+
+// Orphan names a state type that does not exist.
+//
+//simlint:checkpoint-for vanished
+type Orphan struct { // want `state type "vanished" not found in package a`
+	A int
+}

@@ -1,0 +1,97 @@
+// Package detrand implements the simlint analyzer that keeps wall-clock
+// time and ambient entropy out of the deterministic simulation packages.
+//
+// The whole reproduction rests on bit-identical replayable runs: sweep
+// manifests are diffed at zero tolerance and checkpoint/resume equivalence
+// is asserted with reflect.DeepEqual. One stray time.Now() or global
+// math/rand call silently breaks both, usually long after the commit that
+// introduced it. detrand turns that reviewer-memory invariant into a
+// compile-time-style failure.
+//
+// Flagged inside a deterministic package:
+//
+//   - time.Now, time.Since, time.Until (wall-clock reads);
+//   - the global top-level functions of math/rand and math/rand/v2
+//     (rand.Intn, rand.Float64, rand.Seed, ...), whose shared source is
+//     seeded from runtime entropy — seeded *rand.Rand values built with
+//     rand.New(rand.NewSource(seed)) remain legal;
+//   - anything from crypto/rand;
+//   - os.Getpid, os.Getppid and os.Hostname (classic seed entropy).
+//
+// Legitimate wall-clock use (the DES stall watchdog, progress logging) is
+// annotated at the call site with `//simlint:allow detrand -- reason` or
+// file-wide with `//simlint:allowfile detrand -- reason`.
+package detrand
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer is the detrand check.
+var Analyzer = &framework.Analyzer{
+	Name: "detrand",
+	Doc:  "forbid wall-clock time and ambient entropy in deterministic simulation packages",
+	Run:  run,
+}
+
+// bannedFuncs maps package path -> function name -> short reason.
+var bannedFuncs = map[string]map[string]string{
+	"time": {
+		"Now":   "reads the wall clock",
+		"Since": "reads the wall clock",
+		"Until": "reads the wall clock",
+	},
+	"os": {
+		"Getpid":   "is process entropy",
+		"Getppid":  "is process entropy",
+		"Hostname": "is host entropy",
+	},
+}
+
+// randConstructors are the math/rand top-level functions that build a
+// caller-seeded generator instead of touching the global source.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true,
+}
+
+func run(pass *framework.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[id]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			// Only package-level objects: methods (e.g. time.Time.Sub on a
+			// virtual timestamp) are fine.
+			if fn, ok := obj.(*types.Func); ok && fn.Type().(*types.Signature).Recv() != nil {
+				return true
+			}
+			path, name := obj.Pkg().Path(), obj.Name()
+			switch path {
+			case "time", "os":
+				if reason, bad := bannedFuncs[path][name]; bad {
+					pass.Reportf(id.Pos(), "%s.%s %s; deterministic packages must take time and randomness from the simulation (//simlint:allow detrand to override)", path, name, reason)
+				}
+			case "math/rand", "math/rand/v2":
+				if _, isFunc := obj.(*types.Func); isFunc && !randConstructors[name] {
+					pass.Reportf(id.Pos(), "global %s.%s draws from the shared runtime-seeded source; plumb a seeded *rand.Rand instead", path, name)
+				}
+			case "crypto/rand":
+				pass.Reportf(id.Pos(), "crypto/rand.%s is non-deterministic by design; deterministic packages must use a seeded *rand.Rand", name)
+			}
+			return true
+		})
+	}
+	return nil
+}

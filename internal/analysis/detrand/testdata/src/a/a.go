@@ -1,0 +1,52 @@
+// Package a exercises the detrand analyzer: wall-clock reads, the global
+// math/rand source, crypto/rand and process entropy are flagged; seeded
+// generators, virtual-time arithmetic and allow-annotated sites are not.
+package a
+
+import (
+	crand "crypto/rand"
+	"math/rand"
+	"os"
+	"time"
+)
+
+func wallClock() time.Duration {
+	t := time.Now()      // want `time\.Now reads the wall clock`
+	_ = time.Since(t)    // want `time\.Since reads the wall clock`
+	return time.Until(t) // want `time\.Until reads the wall clock`
+}
+
+func globalRand() {
+	_ = rand.Intn(10)                  // want `global math/rand\.Intn draws from the shared runtime-seeded source`
+	_ = rand.Float64()                 // want `global math/rand\.Float64 draws from the shared runtime-seeded source`
+	rand.Shuffle(3, func(i, j int) {}) // want `global math/rand\.Shuffle draws from the shared runtime-seeded source`
+}
+
+func processEntropy() {
+	_ = os.Getpid()      // want `os\.Getpid is process entropy`
+	_, _ = os.Hostname() // want `os\.Hostname is host entropy`
+}
+
+func cryptoEntropy() {
+	buf := make([]byte, 8)
+	_, _ = crand.Read(buf) // want `crypto/rand\.Read is non-deterministic by design`
+}
+
+// seeded generators built from an explicit seed stay legal.
+func seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// drawing from a plumbed *rand.Rand is the sanctioned pattern.
+func plumbed(rng *rand.Rand) float64 {
+	return rng.Float64()
+}
+
+// virtual-time arithmetic on time.Duration never touches the clock.
+func virtual(d time.Duration) time.Duration {
+	return d + time.Second
+}
+
+func waived() time.Time {
+	return time.Now() //simlint:allow detrand -- fixture: explicitly waived site
+}

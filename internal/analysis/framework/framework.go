@@ -1,0 +1,199 @@
+// Package framework is a minimal, offline stand-in for
+// golang.org/x/tools/go/analysis: it defines the Analyzer/Pass/Diagnostic
+// trio the simlint checkers are written against, plus the repository's
+// `//simlint:allow` escape hatch. The API deliberately mirrors go/analysis
+// so the checkers can be ported to the real multichecker mechanically if the
+// dependency ever becomes available.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name is the short identifier used in diagnostics and in
+	// //simlint:allow comments.
+	Name string
+	// Doc is the one-paragraph description shown by `simlint -list`.
+	Doc string
+	// Run performs the check on one package and reports findings through
+	// pass.Report/Reportf.
+	Run func(*Pass) error
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags    []Diagnostic
+	suppress *suppressions
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// NewPass assembles a pass over the given package for a. The suppression
+// index is built from the files' comments once per pass.
+func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) *Pass {
+	return &Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		suppress:  buildSuppressions(fset, files),
+	}
+}
+
+// Reportf records a diagnostic at pos unless a //simlint:allow directive
+// covers it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	if p.suppress.covers(p.Analyzer.Name, p.Fset, pos) {
+		return
+	}
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostics returns the pass's findings sorted by position.
+func (p *Pass) Diagnostics() []Diagnostic {
+	sort.SliceStable(p.diags, func(i, j int) bool { return p.diags[i].Pos < p.diags[j].Pos })
+	return p.diags
+}
+
+// Run executes a over one package and returns the surviving diagnostics.
+func Run(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+	pass := NewPass(a, fset, files, pkg, info)
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %w", a.Name, err)
+	}
+	return pass.Diagnostics(), nil
+}
+
+// --- suppression directives ---
+//
+// Two comment forms switch a finding off:
+//
+//	//simlint:allow <name>[,<name>...] [-- reason]
+//	//simlint:allowfile <name>[,<name>...] [-- reason]
+//
+// The first suppresses matching diagnostics on its own line — either as a
+// trailing comment on the offending line or as a standalone comment on the
+// line immediately above it. The second suppresses matching diagnostics in
+// the whole file and is meant for files whose entire purpose is exempt
+// (e.g. the wall-clock progress logger). The name "all" matches every
+// analyzer. A reason after " -- " is encouraged and ignored by the parser.
+
+type suppressions struct {
+	// byFile maps filename -> analyzer name (or "all") -> suppressed lines.
+	byFile map[string]map[string]map[int]bool
+	// fileWide maps filename -> analyzer names suppressed everywhere.
+	fileWide map[string]map[string]bool
+}
+
+func buildSuppressions(fset *token.FileSet, files []*ast.File) *suppressions {
+	s := &suppressions{
+		byFile:   make(map[string]map[string]map[int]bool),
+		fileWide: make(map[string]map[string]bool),
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names, fileWide, ok := parseDirective(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Slash)
+				if fileWide {
+					m := s.fileWide[pos.Filename]
+					if m == nil {
+						m = make(map[string]bool)
+						s.fileWide[pos.Filename] = m
+					}
+					for _, n := range names {
+						m[n] = true
+					}
+					continue
+				}
+				byName := s.byFile[pos.Filename]
+				if byName == nil {
+					byName = make(map[string]map[int]bool)
+					s.byFile[pos.Filename] = byName
+				}
+				for _, n := range names {
+					lines := byName[n]
+					if lines == nil {
+						lines = make(map[int]bool)
+						byName[n] = lines
+					}
+					// The directive covers its own line (trailing-comment
+					// form) and the next line (standalone-comment form).
+					lines[pos.Line] = true
+					lines[pos.Line+1] = true
+				}
+			}
+		}
+	}
+	return s
+}
+
+// parseDirective parses one comment; ok is false when it is not a simlint
+// directive.
+func parseDirective(text string) (names []string, fileWide bool, ok bool) {
+	const linePrefix, filePrefix = "//simlint:allow ", "//simlint:allowfile "
+	var rest string
+	switch {
+	case strings.HasPrefix(text, filePrefix):
+		fileWide, rest = true, text[len(filePrefix):]
+	case strings.HasPrefix(text, linePrefix):
+		rest = text[len(linePrefix):]
+	default:
+		return nil, false, false
+	}
+	if i := strings.Index(rest, "--"); i >= 0 {
+		rest = rest[:i]
+	}
+	for _, n := range strings.Split(rest, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	return names, fileWide, len(names) > 0
+}
+
+func (s *suppressions) covers(analyzer string, fset *token.FileSet, pos token.Pos) bool {
+	p := fset.Position(pos)
+	if m := s.fileWide[p.Filename]; m[analyzer] || m["all"] {
+		return true
+	}
+	byName := s.byFile[p.Filename]
+	if byName == nil {
+		return false
+	}
+	return byName[analyzer][p.Line] || byName["all"][p.Line]
+}
+
+// Inspect walks every file in the pass in source order, calling fn for each
+// node; fn returning false prunes the subtree (ast.Inspect semantics).
+func (p *Pass) Inspect(fn func(ast.Node) bool) {
+	for _, f := range p.Files {
+		ast.Inspect(f, fn)
+	}
+}

@@ -1,0 +1,234 @@
+// Package load turns Go package patterns into parsed, type-checked package
+// units for the simlint analyzers. It is a deliberately small stand-in for
+// golang.org/x/tools/go/packages: the build environment for this repository
+// is offline, so the loader leans only on the standard library plus the `go
+// list` command that ships with the toolchain. Packages are enumerated with
+// `go list -json -deps` (which emits dependencies before dependents, i.e. in
+// type-checkable order) and type-checked from source with go/types;
+// dependency-only packages are checked with IgnoreFuncBodies so a full
+// `simlint ./...` run stays in the low seconds even though it re-checks the
+// standard library from source.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one parsed and type-checked package unit.
+type Package struct {
+	Path    string // import path
+	Dir     string // directory holding the source files
+	GoFiles []string
+	DepOnly bool // true when only loaded as a dependency of a pattern match
+
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+
+	// TypeErrors collects type-checker diagnostics. Analysis still runs on
+	// packages with errors (the AST and partial type info survive), but the
+	// driver surfaces them so a broken tree cannot silently pass lint.
+	TypeErrors []error
+}
+
+// listPackage is the subset of `go list -json` output the loader consumes.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	CgoFiles   []string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Loader loads and caches type-checked packages rooted at a module
+// directory. It is not safe for concurrent use.
+type Loader struct {
+	dir  string
+	fset *token.FileSet
+	typ  map[string]*types.Package // import path -> checked package
+	pkgs map[string]*Package
+}
+
+// NewLoader returns a loader that resolves patterns relative to dir (the
+// module root).
+func NewLoader(dir string) *Loader {
+	return &Loader{
+		dir:  dir,
+		fset: token.NewFileSet(),
+		typ:  make(map[string]*types.Package),
+		pkgs: make(map[string]*Package),
+	}
+}
+
+// Fset returns the file set shared by every package this loader produced.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// Load resolves patterns with `go list` and returns the matched (non-DepOnly)
+// packages, fully type-checked. Dependencies are checked too (exports only)
+// but not returned.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	args := append([]string{"list", "-e", "-json", "-deps"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.dir
+	// CGO off: every package, including net/os-adjacent parts of the
+	// standard library, then has a pure-Go file set go/types can check.
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("load: go list %s: %v\n%s", strings.Join(patterns, " "), err, errb.String())
+	}
+
+	var roots []*Package
+	dec := json.NewDecoder(&out)
+	for dec.More() {
+		var lp listPackage
+		if err := dec.Decode(&lp); err != nil {
+			return nil, fmt.Errorf("load: parse go list output: %v", err)
+		}
+		if lp.Error != nil && !lp.Standard {
+			return nil, fmt.Errorf("load: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		pkg, err := l.check(&lp)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil && !pkg.DepOnly {
+			roots = append(roots, pkg)
+		}
+	}
+	return roots, nil
+}
+
+// check parses and type-checks one listed package, memoizing the result.
+func (l *Loader) check(lp *listPackage) (*Package, error) {
+	if lp.ImportPath == "unsafe" {
+		l.typ["unsafe"] = types.Unsafe
+		return nil, nil
+	}
+	if prev, ok := l.pkgs[lp.ImportPath]; ok {
+		return prev, nil
+	}
+	if len(lp.CgoFiles) > 0 {
+		return nil, fmt.Errorf("load: %s uses cgo; run with CGO_ENABLED=0", lp.ImportPath)
+	}
+	files := make([]*ast.File, 0, len(lp.GoFiles))
+	names := make([]string, 0, len(lp.GoFiles))
+	for _, f := range lp.GoFiles {
+		path := filepath.Join(lp.Dir, f)
+		af, err := parser.ParseFile(l.fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("load: %v", err)
+		}
+		files = append(files, af)
+		names = append(names, path)
+	}
+	pkg := &Package{
+		Path:    lp.ImportPath,
+		Dir:     lp.Dir,
+		GoFiles: names,
+		DepOnly: lp.DepOnly,
+		Fset:    l.fset,
+		Files:   files,
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	cfg := types.Config{
+		Importer:         importerFunc(l.importPkg),
+		IgnoreFuncBodies: lp.DepOnly,
+		Error: func(err error) {
+			pkg.TypeErrors = append(pkg.TypeErrors, err)
+		},
+	}
+	tpkg, _ := cfg.Check(lp.ImportPath, l.fset, files, info)
+	// On dependency-only packages (the standard library re-checked from
+	// source) a stray type error must not kill the whole run; the partial
+	// package is still usable for downstream checking.
+	if !lp.DepOnly {
+		pkg.TypesInfo = info
+	}
+	pkg.Types = tpkg
+	l.typ[lp.ImportPath] = tpkg
+	l.pkgs[lp.ImportPath] = pkg
+	return pkg, nil
+}
+
+// Import returns the type-checked package for an import path, running
+// `go list` on demand for paths not yet in the cache. The analysistest
+// fixture runner uses this to resolve standard-library imports of testdata
+// packages.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if p, ok := l.typ[path]; ok && p != nil {
+		return p, nil
+	}
+	if _, err := l.Load(path); err != nil {
+		return nil, err
+	}
+	return l.importPkg(path)
+}
+
+func (l *Loader) importPkg(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := l.typ[path]; ok && p != nil {
+		return p, nil
+	}
+	return nil, fmt.Errorf("load: package %q not yet loaded (go list order violated?)", path)
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// CheckFiles type-checks an ad-hoc package from already-parsed files whose
+// imports resolve through resolve (falling back to the loader's cache). The
+// analysistest fixture runner uses this to check GOPATH-style testdata
+// packages that are not visible to `go list`.
+func (l *Loader) CheckFiles(path string, fset *token.FileSet, files []*ast.File, resolve func(string) (*types.Package, error)) (*types.Package, *types.Info, []error, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var errs []error
+	cfg := types.Config{
+		Importer: importerFunc(func(p string) (*types.Package, error) {
+			if resolve != nil {
+				if tp, err := resolve(p); err == nil && tp != nil {
+					return tp, nil
+				}
+			}
+			return l.Import(p)
+		}),
+		Error: func(err error) { errs = append(errs, err) },
+	}
+	tpkg, err := cfg.Check(path, fset, files, info)
+	if err != nil && len(errs) == 0 {
+		errs = append(errs, err)
+	}
+	return tpkg, info, errs, nil
+}

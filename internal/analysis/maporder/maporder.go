@@ -1,0 +1,350 @@
+// Package maporder implements the simlint analyzer that guards against
+// iteration-order dependence on Go maps inside the deterministic simulation
+// and artifact-rendering packages.
+//
+// Go randomizes map iteration order per run. A `for k := range m` loop whose
+// body accumulates floating-point values, appends to an output slice, or
+// calls into the simulator therefore produces run-dependent results — the
+// exact class of bug that breaks the repository's zero-tolerance manifest
+// diffs and checkpoint bit-identity tests, and the hardest to catch after
+// the fact because any single run looks plausible.
+//
+// A range over a map is accepted only when the analyzer can prove one of:
+//
+//  1. The body is order-insensitive: every statement only writes map
+//     entries keyed (directly or derivedly) by the range key, deletes map
+//     entries, or accumulates into integer variables with commutative
+//     operations. Floating-point accumulation is deliberately NOT accepted:
+//     float addition does not commute in rounding, which is precisely how
+//     map order leaks into "bit-identical" results.
+//
+//  2. Collect-and-sort: the body (possibly under `if` guards) only appends
+//     to one or more slices (plus order-insensitive statements), and every
+//     such slice is passed to a sort.* or slices.Sort* call later in the
+//     same function.
+//
+// Anything else is reported; genuinely order-free loops the prover cannot
+// follow may carry `//simlint:allow maporder -- reason`.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer is the maporder check.
+var Analyzer = &framework.Analyzer{
+	Name: "maporder",
+	Doc:  "flag range-over-map loops whose effects depend on Go's randomized map iteration order",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// checkFunc examines every map-range loop in one function body. funcBody is
+// retained so the collect-and-sort rule can look for sort calls positioned
+// after the loop anywhere in the same function.
+func checkFunc(pass *framework.Pass, funcBody *ast.BlockStmt) {
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		// Nested function literals are separate functions: their sort calls
+		// should not vouch for our loops and vice versa.
+		if fl, ok := n.(*ast.FuncLit); ok {
+			checkFunc(pass, fl.Body)
+			return false
+		}
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.TypesInfo.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		c := &checker{pass: pass, key: rangeKeyIdent(rs)}
+		if c.stmtsOK(rs.Body.List) {
+			if len(c.appended) == 0 {
+				return true // rule 1: provably order-insensitive
+			}
+			if sortedAfter(pass, funcBody, rs, c.appended) {
+				return true // rule 2: collect-and-sort
+			}
+		}
+		pass.Reportf(rs.For, "iteration over map %s has order-dependent effects (Go map order is randomized); collect and sort the keys first, or annotate //simlint:allow maporder -- <why order cannot matter>", types.ExprString(rs.X))
+		return true
+	})
+}
+
+// rangeKeyIdent returns the loop's key identifier, or nil for `for range m`.
+func rangeKeyIdent(rs *ast.RangeStmt) *ast.Ident {
+	if id, ok := rs.Key.(*ast.Ident); ok && id.Name != "_" {
+		return id
+	}
+	return nil
+}
+
+// checker proves one loop body order-insensitive (modulo slice appends,
+// which it records for the collect-and-sort rule).
+type checker struct {
+	pass *framework.Pass
+	key  *ast.Ident
+	// appended holds the canonical text of every slice expression the body
+	// appends to.
+	appended []string
+}
+
+func (c *checker) stmtsOK(stmts []ast.Stmt) bool {
+	for _, s := range stmts {
+		if !c.stmtOK(s) {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *checker) stmtOK(s ast.Stmt) bool {
+	switch st := s.(type) {
+	case *ast.AssignStmt:
+		return c.assignOK(st)
+	case *ast.IncDecStmt:
+		return isIntegerType(c.pass.TypesInfo.TypeOf(st.X))
+	case *ast.ExprStmt:
+		// Only the delete builtin: removing entries commutes with itself
+		// regardless of key.
+		call, ok := st.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		fn, ok := call.Fun.(*ast.Ident)
+		return ok && isBuiltin(c.pass.TypesInfo, fn, "delete")
+	case *ast.IfStmt:
+		if st.Init != nil && !c.stmtOK(st.Init) {
+			return false
+		}
+		if !c.pureExpr(st.Cond) {
+			return false
+		}
+		if !c.stmtsOK(st.Body.List) {
+			return false
+		}
+		if st.Else != nil {
+			return c.stmtOK(st.Else)
+		}
+		return true
+	case *ast.BlockStmt:
+		return c.stmtsOK(st.List)
+	case *ast.BranchStmt:
+		// continue skips work per element — fine. break (and goto) make the
+		// set of processed elements order-dependent.
+		return st.Tok == token.CONTINUE
+	case *ast.EmptyStmt:
+		return true
+	default:
+		return false
+	}
+}
+
+func (c *checker) assignOK(st *ast.AssignStmt) bool {
+	for _, rhs := range st.Rhs {
+		if app, target := c.appendCall(rhs); app {
+			// x = append(x, pure...) — recorded for collect-and-sort.
+			if st.Tok != token.ASSIGN || len(st.Lhs) != 1 || len(st.Rhs) != 1 {
+				return false
+			}
+			if types.ExprString(st.Lhs[0]) != target {
+				return false
+			}
+			c.appended = append(c.appended, target)
+			return true
+		}
+		if !c.pureExpr(rhs) {
+			return false
+		}
+	}
+	switch st.Tok {
+	case token.ASSIGN:
+		for _, lhs := range st.Lhs {
+			if !c.disjointWrite(lhs) {
+				return false
+			}
+		}
+		return true
+	case token.DEFINE:
+		return true // new temporaries with pure initializers
+	case token.ADD_ASSIGN, token.AND_ASSIGN, token.OR_ASSIGN, token.XOR_ASSIGN:
+		// Commutative accumulation — but only on integers: float addition
+		// is order-sensitive in rounding.
+		return len(st.Lhs) == 1 && isIntegerType(c.pass.TypesInfo.TypeOf(st.Lhs[0]))
+	default:
+		return false
+	}
+}
+
+// disjointWrite reports whether writing lhs in different iteration orders
+// yields the same final state: a blank ident, or a map entry whose index
+// involves the range key (distinct keys → disjoint entries).
+func (c *checker) disjointWrite(lhs ast.Expr) bool {
+	if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+		return true
+	}
+	ix, ok := lhs.(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	base := c.pass.TypesInfo.TypeOf(ix.X)
+	if base == nil {
+		return false
+	}
+	if _, isMap := base.Underlying().(*types.Map); !isMap {
+		return false
+	}
+	return c.key != nil && usesIdent(c.pass, ix.Index, c.key)
+}
+
+// appendCall recognizes append(target, pure args...) and returns target's
+// canonical text.
+func (c *checker) appendCall(e ast.Expr) (bool, string) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false, ""
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || !isBuiltin(c.pass.TypesInfo, fn, "append") || len(call.Args) < 1 {
+		return false, ""
+	}
+	for _, a := range call.Args[1:] {
+		if !c.pureExpr(a) {
+			return false, ""
+		}
+	}
+	return true, types.ExprString(call.Args[0])
+}
+
+// pureExpr reports whether evaluating e cannot have side effects. Calls are
+// rejected except len/cap/min/max and type conversions.
+func (c *checker) pureExpr(e ast.Expr) bool {
+	pure := true
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if fn, ok := x.Fun.(*ast.Ident); ok {
+				if isBuiltin(c.pass.TypesInfo, fn, "len", "cap", "min", "max") {
+					return true
+				}
+			}
+			if tv, ok := c.pass.TypesInfo.Types[x.Fun]; ok && tv.IsType() {
+				return true // conversion
+			}
+			pure = false
+			return false
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW { // channel receive
+				pure = false
+				return false
+			}
+		case *ast.FuncLit:
+			return false // building a closure is pure; don't descend
+		}
+		return true
+	})
+	return pure
+}
+
+// usesIdent reports whether expr references the given identifier's object.
+func usesIdent(pass *framework.Pass, expr ast.Expr, key *ast.Ident) bool {
+	obj := pass.TypesInfo.Defs[key]
+	if obj == nil {
+		obj = pass.TypesInfo.Uses[key]
+	}
+	if obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func isBuiltin(info *types.Info, id *ast.Ident, names ...string) bool {
+	obj := info.Uses[id]
+	if obj == nil {
+		return false
+	}
+	if _, ok := obj.(*types.Builtin); !ok {
+		return false
+	}
+	for _, n := range names {
+		if obj.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+func isIntegerType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// sortFuncs lists the sorting entry points that discharge the
+// collect-and-sort obligation; the key is "pkgpath.Func".
+var sortFuncs = map[string]bool{
+	"sort.Ints": true, "sort.Strings": true, "sort.Float64s": true,
+	"sort.Sort": true, "sort.Stable": true, "sort.Slice": true,
+	"sort.SliceStable": true,
+	"slices.Sort":      true, "slices.SortFunc": true, "slices.SortStableFunc": true,
+}
+
+// sortedAfter reports whether every expression in targets is the first
+// argument of a recognized sort call located after the loop within the same
+// function body.
+func sortedAfter(pass *framework.Pass, funcBody *ast.BlockStmt, rs *ast.RangeStmt, targets []string) bool {
+	sorted := make(map[string]bool)
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() || len(call.Args) < 1 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[sel.Sel]
+		if obj == nil || obj.Pkg() == nil {
+			return true
+		}
+		if sortFuncs[obj.Pkg().Path()+"."+obj.Name()] {
+			sorted[types.ExprString(call.Args[0])] = true
+		}
+		return true
+	})
+	for _, t := range targets {
+		if !sorted[t] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,92 @@
+// Package a exercises the maporder analyzer: order-dependent loop bodies are
+// flagged; provably order-insensitive bodies, collect-and-sort loops and
+// allow-annotated loops are not.
+package a
+
+import "sort"
+
+func observe(int) {}
+
+// Float accumulation is order-sensitive in rounding.
+func sumFloats(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m { // want `iteration over map m has order-dependent effects`
+		total += v
+	}
+	return total
+}
+
+// Calling out of the loop body makes the visit order observable.
+func callsOut(m map[int]int) {
+	for k := range m { // want `iteration over map m has order-dependent effects`
+		observe(k)
+	}
+}
+
+// Appending without a later sort leaks map order into the slice.
+func appendUnsorted(m map[int]bool) []int {
+	var out []int
+	for k := range m { // want `iteration over map m has order-dependent effects`
+		out = append(out, k)
+	}
+	return out
+}
+
+// break makes the set of processed entries order-dependent.
+func breaksEarly(m map[int]int) {
+	n := 0
+	for range m { // want `iteration over map m has order-dependent effects`
+		n++
+		if n > 3 {
+			break
+		}
+	}
+}
+
+// Integer accumulation commutes exactly.
+func sumInts(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Writes keyed by the range key land in disjoint entries.
+func double(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v * 2
+	}
+	return out
+}
+
+// Deleting entries commutes; continue only skips per-element work.
+func prune(m map[int]int) {
+	for k, v := range m {
+		if v >= 0 {
+			continue
+		}
+		delete(m, k)
+	}
+}
+
+// Collect-and-sort: the append target is sorted after the loop.
+func keys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// An explicitly waived loop the prover cannot follow.
+func waived(m map[int]float64) float64 {
+	var total float64
+	//simlint:allow maporder -- fixture: explicitly waived loop
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

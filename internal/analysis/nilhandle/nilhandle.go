@@ -1,0 +1,93 @@
+// Package nilhandle implements the simlint analyzer that protects the
+// telemetry package's "off = zero alloc, nil-safe" contract.
+//
+// Every telemetry handle type (*Counter, *Gauge, *Histogram) treats the nil
+// pointer as a valid no-op sink, and hot paths update pre-bound handles
+// unconditionally. That only works if every handle is either nil or was
+// produced by a Registry constructor (Registry.Counter/Gauge/Histogram):
+// a handle built directly with a composite literal, new(), or a value-typed
+// variable/field is never registered, silently drops its measurements from
+// WriteJSON/State, and — for value types — re-introduces per-copy state.
+//
+// The analyzer flags, outside the telemetry package itself:
+//
+//   - composite literals of a handle type (telemetry.Counter{...},
+//     &telemetry.Counter{...});
+//   - new(telemetry.Counter) and friends;
+//   - variables, parameters, return values and struct fields declared with
+//     the non-pointer (value) handle type.
+package nilhandle
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer is the nilhandle check.
+var Analyzer = &framework.Analyzer{
+	Name: "nilhandle",
+	Doc:  "require telemetry handles to come from Registry constructors (nil-safe), never direct construction or value types",
+	Run:  run,
+}
+
+var handleNames = map[string]bool{"Counter": true, "Gauge": true, "Histogram": true}
+
+// isHandle reports whether t is one of the telemetry handle named types.
+func isHandle(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !handleNames[obj.Name()] {
+		return false
+	}
+	p := obj.Pkg().Path()
+	return p == "telemetry" || p == "repro/internal/telemetry" ||
+		len(p) > len("/telemetry") && p[len(p)-len("/telemetry"):] == "/telemetry"
+}
+
+func run(pass *framework.Pass) error {
+	if isTelemetryPkg(pass.Pkg) {
+		return nil // the implementation constructs its own handles
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CompositeLit:
+				if t := pass.TypesInfo.TypeOf(x); t != nil && isHandle(t) {
+					pass.Reportf(x.Pos(), "telemetry handle %s constructed directly; obtain it from a telemetry.Registry constructor so it is registered and nil-safe when telemetry is off", t.String())
+				}
+			case *ast.CallExpr:
+				if fn, ok := x.Fun.(*ast.Ident); ok && len(x.Args) == 1 {
+					if b, ok := pass.TypesInfo.Uses[fn].(*types.Builtin); ok && b.Name() == "new" {
+						if t := pass.TypesInfo.TypeOf(x.Args[0]); t != nil && isHandle(t) {
+							pass.Reportf(x.Pos(), "new(%s) bypasses the telemetry registry; obtain the handle from a telemetry.Registry constructor", t.String())
+						}
+					}
+				}
+			case *ast.Field:
+				if t := pass.TypesInfo.TypeOf(x.Type); t != nil && isHandle(t) {
+					pass.Reportf(x.Pos(), "field/parameter declared with value type %s; telemetry handles must be *pointers* obtained from a Registry (a nil pointer is the no-op sink)", t.String())
+				}
+			case *ast.ValueSpec:
+				if t := pass.TypesInfo.TypeOf(x.Type); x.Type != nil && t != nil && isHandle(t) {
+					pass.Reportf(x.Pos(), "variable declared with value type %s; telemetry handles must be *pointers* obtained from a Registry", t.String())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isTelemetryPkg(pkg *types.Package) bool {
+	if pkg == nil {
+		return false
+	}
+	p := pkg.Path()
+	return p == "telemetry" || p == "repro/internal/telemetry" ||
+		len(p) > len("/telemetry") && p[len(p)-len("/telemetry"):] == "/telemetry"
+}

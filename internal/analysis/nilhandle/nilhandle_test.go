@@ -1,0 +1,12 @@
+package nilhandle_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/nilhandle"
+)
+
+func TestNilhandle(t *testing.T) {
+	analysistest.Run(t, "testdata", nilhandle.Analyzer, "a")
+}

@@ -1,0 +1,32 @@
+// Package a exercises the nilhandle analyzer: directly constructed or
+// value-typed telemetry handles are flagged; registry-obtained pointers and
+// nil no-op sinks are not.
+package a
+
+import "telemetry"
+
+type metrics struct {
+	served *telemetry.Counter
+	inline telemetry.Counter // want `field/parameter declared with value type telemetry\.Counter`
+}
+
+func direct() {
+	c := &telemetry.Counter{} // want `telemetry handle telemetry\.Counter constructed directly`
+	c.Add(1)
+	g := new(telemetry.Gauge) // want `new\(telemetry\.Gauge\) bypasses the telemetry registry`
+	g.Set(1)
+	var h telemetry.Histogram // want `variable declared with value type telemetry\.Histogram`
+	h.Observe(1)
+}
+
+func byValue(c telemetry.Counter) { // want `field/parameter declared with value type telemetry\.Counter`
+	c.Add(1)
+}
+
+func good(r *telemetry.Registry) {
+	served := r.Counter("served")
+	served.Add(1)
+	var off *telemetry.Counter // nil pointer: the sanctioned no-op sink
+	off.Add(1)
+	_ = r.Gauge("temp")
+}

@@ -1,0 +1,74 @@
+// Package telemetry is a miniature stand-in for repro/internal/telemetry:
+// just enough surface (handle types + registry constructors) for the
+// nilhandle fixtures to type-check. The analyzer matches it by its package
+// path suffix, exactly as it matches the real package.
+package telemetry
+
+// Counter is a monotonically increasing count; nil is a no-op sink.
+type Counter struct{ v uint64 }
+
+// Add increments the counter.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v += n
+	}
+}
+
+// Gauge is a last-value metric; nil is a no-op sink.
+type Gauge struct{ v float64 }
+
+// Set records the current value.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.v = v
+	}
+}
+
+// Histogram is a value distribution; nil is a no-op sink.
+type Histogram struct{ sum float64 }
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h != nil {
+		h.sum += v
+	}
+}
+
+// Registry hands out registered handles.
+type Registry struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	if r.counters == nil {
+		r.counters = make(map[string]*Counter)
+	}
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	if r.gauges == nil {
+		r.gauges = make(map[string]*Gauge)
+	}
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}

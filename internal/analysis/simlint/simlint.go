@@ -1,0 +1,154 @@
+// Package simlint assembles the repository's determinism and checkpoint
+// analyzers into one suite and maps each analyzer onto the package scope
+// where its contract applies. cmd/simlint and the self-check meta-test are
+// both thin wrappers around Run, so the command line, CI, and the test
+// enforce exactly the same contract.
+//
+// Scope model (see DESIGN.md §11 "Determinism contract"):
+//
+//   - detrand and maporder guard the deterministic simulation core — every
+//     package whose computation feeds results that are diffed at zero
+//     tolerance or checkpointed, plus telemetry (whose reads must be
+//     observationally pure and whose artifacts are diffed).
+//   - maporder additionally covers the artifact renderers (runstore,
+//     experiment): map-ordered rendering makes "identical" runs diff.
+//   - atomicwrite covers every package that writes run artifacts, plus all
+//     commands.
+//   - ckptcover and nilhandle are global: directives and telemetry handles
+//     can appear anywhere.
+package simlint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis/atomicwrite"
+	"repro/internal/analysis/ckptcover"
+	"repro/internal/analysis/detrand"
+	"repro/internal/analysis/framework"
+	"repro/internal/analysis/load"
+	"repro/internal/analysis/maporder"
+	"repro/internal/analysis/nilhandle"
+)
+
+// modulePath is the repository's module path (go.mod).
+const modulePath = "repro"
+
+// deterministicPkgs is the simulation core: wall-clock time, ambient
+// entropy, and map-order effects are forbidden here.
+var deterministicPkgs = []string{
+	"internal/array",
+	"internal/des",
+	"internal/policy",
+	"internal/faults",
+	"internal/workload",
+	"internal/diskmodel",
+	"internal/thermal",
+	"internal/stats",
+	"internal/checkpoint",
+	"internal/reliability",
+	"internal/worth",
+	"internal/telemetry",
+}
+
+// rendererPkgs produce artifacts that are diffed bit-for-bit across runs;
+// map-ordered rendering would make identical runs appear different.
+var rendererPkgs = []string{
+	"internal/runstore",
+	"internal/experiment",
+}
+
+// artifactPkgs write files a crash-recovery reader later trusts; they must
+// write through internal/atomicio.
+var artifactPkgs = []string{
+	"internal/runstore",
+	"internal/telemetry",
+	"internal/checkpoint",
+	"internal/experiment",
+	"cmd",
+}
+
+// All returns every analyzer in the suite, for -list and documentation.
+func All() []*framework.Analyzer {
+	return []*framework.Analyzer{
+		detrand.Analyzer,
+		maporder.Analyzer,
+		ckptcover.Analyzer,
+		atomicwrite.Analyzer,
+		nilhandle.Analyzer,
+	}
+}
+
+// inScope reports whether pkgPath falls under any of the module-relative
+// prefixes.
+func inScope(pkgPath string, prefixes []string) bool {
+	for _, p := range prefixes {
+		full := modulePath + "/" + p
+		if pkgPath == full || strings.HasPrefix(pkgPath, full+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// AnalyzersFor returns the analyzers that apply to one package.
+func AnalyzersFor(pkgPath string) []*framework.Analyzer {
+	var as []*framework.Analyzer
+	if inScope(pkgPath, deterministicPkgs) {
+		as = append(as, detrand.Analyzer)
+	}
+	if inScope(pkgPath, deterministicPkgs) || inScope(pkgPath, rendererPkgs) {
+		as = append(as, maporder.Analyzer)
+	}
+	if inScope(pkgPath, artifactPkgs) && pkgPath != modulePath+"/internal/atomicio" {
+		as = append(as, atomicwrite.Analyzer)
+	}
+	// Global contracts. ckptcover only acts on declared directives and
+	// nilhandle skips the telemetry implementation itself.
+	as = append(as, ckptcover.Analyzer, nilhandle.Analyzer)
+	return as
+}
+
+// Run loads the given patterns relative to dir and applies the suite,
+// returning all surviving diagnostics sorted by position. Type errors in a
+// matched package are returned as an error: a tree that does not compile
+// must not pass lint.
+func Run(dir string, patterns ...string) ([]framework.Diagnostic, *load.Loader, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	loader := load.NewLoader(dir)
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		return nil, loader, err
+	}
+	var diags []framework.Diagnostic
+	for _, pkg := range pkgs {
+		if len(pkg.TypeErrors) > 0 {
+			return nil, loader, fmt.Errorf("simlint: %s does not type-check: %v", pkg.Path, pkg.TypeErrors[0])
+		}
+		if pkg.TypesInfo == nil {
+			continue
+		}
+		for _, a := range AnalyzersFor(pkg.Path) {
+			ds, err := framework.Run(a, pkg.Fset, pkg.Files, pkg.Types, pkg.TypesInfo)
+			if err != nil {
+				return nil, loader, fmt.Errorf("simlint: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+			diags = append(diags, ds...)
+		}
+	}
+	fset := loader.Fset()
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, loader, nil
+}

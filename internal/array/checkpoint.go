@@ -93,7 +93,11 @@ func (s *sim) onCheckpointTick(e *des.Engine) {
 
 // --- wire schema ---
 
-// contState is the serializable form of a cont.
+// contState is the serializable form of a cont. fn is the opaque-callback
+// case: it cannot be serialized, and checkpoint writes are skipped while any
+// opaque continuation is live.
+//
+//simlint:checkpoint-for cont ignore=fn
 type contState struct {
 	Kind        string  `json:"kind"`
 	FileID      int     `json:"file_id,omitempty"`
@@ -108,6 +112,8 @@ type contState struct {
 // simState.Stripes (-1 when the op is not a chunk), so chunks of one striped
 // request share their parent across the restore exactly as they shared the
 // pointer before it.
+//
+//simlint:checkpoint-for op
 type opState struct {
 	Kind     int        `json:"kind"`
 	FileID   int        `json:"file_id,omitempty"`
@@ -119,6 +125,9 @@ type opState struct {
 	Done     *contState `json:"done,omitempty"`
 }
 
+// stripeState is the serializable form of a stripeJob.
+//
+//simlint:checkpoint-for stripeJob
 type stripeState struct {
 	FileID    int     `json:"file_id"`
 	Arrival   float64 `json:"arrival"`
@@ -130,6 +139,8 @@ type stripeState struct {
 // eventRecord payload. Events are saved in ascending original-sequence
 // order; restoring re-schedules them in that order so same-instant FIFO
 // ties break identically.
+//
+//simlint:checkpoint-for eventRecord
 type savedEvent struct {
 	Time        float64  `json:"time"`
 	Kind        string   `json:"kind"`
@@ -146,6 +157,9 @@ type savedEvent struct {
 	Op          *opState `json:"op,omitempty"`
 }
 
+// diskCkptState is the serializable form of a diskState.
+//
+//simlint:checkpoint-for diskState
 type diskCkptState struct {
 	Disk          diskmodel.Checkpoint `json:"disk"`
 	Temp          thermal.Checkpoint   `json:"temp"`
@@ -160,6 +174,11 @@ type diskCkptState struct {
 	BG            []opState            `json:"bg,omitempty"`
 }
 
+// faultCkptState is the serializable form of a faultState. cfg is
+// configuration re-supplied on restore; inFailover is true only inside a
+// policy failure hook, and checkpoints are never written mid-hook.
+//
+//simlint:checkpoint-for faultState ignore=cfg,inFailover alias=inj:Injector
 type faultCkptState struct {
 	Injector       faults.Checkpoint `json:"injector"`
 	Spares         int               `json:"spares"`
@@ -177,6 +196,13 @@ type faultCkptState struct {
 }
 
 // simState is the checkpoint payload: the complete mutable state of a run.
+// The ignored fields are re-supplied or rebuilt on restore: cfg and files
+// come back from the caller's CheckpointSpec, eng is reconstructed and its
+// state carried as Clock/Seq/Fired, opaqueLive is zero by construction (a
+// snapshot is never written while an opaque continuation is live), and
+// failure aborts the run before a checkpoint could be taken.
+//
+//simlint:checkpoint-for sim ignore=cfg,eng,files,opaqueLive,failure alias=met:Metrics,flt:Faults
 type simState struct {
 	Clock         float64                     `json:"clock"`
 	Seq           uint64                      `json:"seq"`

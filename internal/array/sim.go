@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/des"
 	"repro/internal/diskmodel"
@@ -395,8 +396,14 @@ func Run(cfg Config) (*Result, error) {
 	if err := cfg.Policy.Init(ctx); err != nil {
 		return nil, fmt.Errorf("array: policy init: %w", err)
 	}
-	// Every file must be placed.
+	// Every file must be placed. Check in sorted ID order so the reported
+	// file is the lowest unplaced one, not whichever map iteration found.
+	ids := make([]int, 0, len(s.files))
 	for id := range s.files {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
 		if _, ok := s.place[id]; !ok {
 			return nil, fmt.Errorf("array: policy %q left file %d unplaced", cfg.Policy.Name(), id)
 		}

@@ -224,9 +224,9 @@ func (e *Engine) Step() bool {
 		e.now = ev.time
 		e.fired++
 		if tr := e.tracer; tr != nil {
-			start := time.Now()
+			start := time.Now() //simlint:allow detrand -- wall-clock handler timing feeds the trace file only, never simulation state
 			ev.handler(e)
-			tr.EventFired(ev.seq, ev.label, ev.time, time.Since(start).Nanoseconds())
+			tr.EventFired(ev.seq, ev.label, ev.time, time.Since(start).Nanoseconds()) //simlint:allow detrand -- see above
 			return true
 		}
 		ev.handler(e)

@@ -361,6 +361,8 @@ func (d *Disk) Requests() int { return d.requests }
 // later accruals — the property that makes a resumed run bit-identical to an
 // uninterrupted one. idleSince is +Inf while the disk is busy, which JSON
 // cannot encode, so it is split into a Busy flag plus a finite value.
+//
+//simlint:checkpoint-for Disk ignore=id,params
 type Checkpoint struct {
 	Speed            Speed      `json:"speed"`
 	State            State      `json:"state"`

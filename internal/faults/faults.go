@@ -327,6 +327,8 @@ func (in *Injector) SampleRepairSeconds() float64 {
 }
 
 // DiskCheckpoint is the serializable hazard state of one disk.
+//
+//simlint:checkpoint-for diskHazard
 type DiskCheckpoint struct {
 	Alive     bool    `json:"alive"`
 	Threshold float64 `json:"threshold"`
@@ -340,6 +342,8 @@ type DiskCheckpoint struct {
 // the disk count) and then the log, leaving the stream positioned exactly
 // where the original was. Without this, repair times and replacement-drive
 // thresholds after a resume would diverge from the uninterrupted run.
+//
+//simlint:checkpoint-for Injector ignore=cfg,rng
 type Checkpoint struct {
 	Now      float64          `json:"now"`
 	Failures int              `json:"failures"`

@@ -145,8 +145,8 @@ var _ array.FailureAwarePolicy = (*PDC)(nil)
 // Replicas that lived on the dead disk are dropped (their primaries are
 // intact).
 func (r *READReplica) OnDiskFailure(ctx *array.Context, d int) {
-	for id, rd := range r.replica {
-		if rd != d {
+	for _, id := range sortedKeys(r.replica) {
+		if r.replica[id] != d {
 			continue
 		}
 		if f, ok := ctx.File(id); ok {
@@ -162,8 +162,10 @@ func (r *READReplica) OnDiskFailure(ctx *array.Context, d int) {
 		}
 	}
 	if !ctx.DiskCovered(d) {
-		for id, rd := range r.replica {
-			if ctx.Placement(id) == d && !ctx.DiskFailed(rd) {
+		// Sorted order: ReassignFile mutates placement state, so the visit
+		// order must not depend on map iteration.
+		for _, id := range sortedKeys(r.replica) {
+			if rd := r.replica[id]; ctx.Placement(id) == d && !ctx.DiskFailed(rd) {
 				_ = ctx.ReassignFile(id, rd)
 			}
 		}

@@ -101,8 +101,9 @@ func (p *PDC) layout(ctx *array.Context, sorted workload.FileSet) map[int]int {
 func (p *PDC) Init(ctx *array.Context) error {
 	sorted := ctx.Files().Clone()
 	sorted.SortByRateDescending()
-	for id, d := range p.layout(ctx, sorted) {
-		if err := ctx.SetPlacement(id, d); err != nil {
+	layout := p.layout(ctx, sorted)
+	for _, id := range sortedKeys(layout) {
+		if err := ctx.SetPlacement(id, layout[id]); err != nil {
 			return err
 		}
 	}

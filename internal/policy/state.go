@@ -264,8 +264,10 @@ func (p *StripedAlwaysOn) LoadState(data []byte) error {
 
 var _ array.CheckpointablePolicy = (*StripedAlwaysOn)(nil)
 
-// sortedKeys returns the map's keys in ascending order.
-func sortedKeys(m map[int]bool) []int {
+// sortedKeys returns the map's keys in ascending order. Policies iterate
+// their maps through it whenever the loop body touches shared state, so map
+// iteration order can never leak into simulation results.
+func sortedKeys[V any](m map[int]V) []int {
 	if len(m) == 0 {
 		return nil
 	}

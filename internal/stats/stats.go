@@ -182,6 +182,8 @@ func (h *LatencyHistogram) Quantile(q float64) (float64, error) {
 }
 
 // StreamState is the serializable form of a Stream, for checkpointing.
+//
+//simlint:checkpoint-for Stream
 type StreamState struct {
 	N    uint64  `json:"n"`
 	Mean float64 `json:"mean"`
@@ -204,6 +206,8 @@ func (s *Stream) SetState(st StreamState) {
 // LatencyHistogramState is the serializable form of a LatencyHistogram. The
 // bucket geometry (loExp, perDec, bucket count) is included so a restore
 // into a histogram with different resolution fails loudly.
+//
+//simlint:checkpoint-for LatencyHistogram
 type LatencyHistogramState struct {
 	LoExp   int         `json:"lo_exp"`
 	PerDec  int         `json:"per_dec"`

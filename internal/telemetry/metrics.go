@@ -306,7 +306,8 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 		for name, g := range r.gauges {
 			doc.Gauges[name] = g.v
 		}
-		for name, h := range r.hists {
+		for _, name := range sortedKeys(r.hists) {
+			h := r.hists[name]
 			doc.Histograms[name] = histogramJSON{
 				Count:  h.count,
 				Sum:    h.sum,
@@ -336,6 +337,8 @@ type HistogramState struct {
 }
 
 // RegistryState is the serializable form of a Registry, for checkpointing.
+//
+//simlint:checkpoint-for Registry alias=hists:Histograms
 type RegistryState struct {
 	Counters   map[string]uint64         `json:"counters,omitempty"`
 	Gauges     map[string]float64        `json:"gauges,omitempty"`
@@ -359,7 +362,8 @@ func (r *Registry) State() *RegistryState {
 	for name, g := range r.gauges {
 		st.Gauges[name] = g.v
 	}
-	for name, h := range r.hists {
+	for _, name := range sortedKeys(r.hists) {
+		h := r.hists[name]
 		st.Histograms[name] = HistogramState{
 			Bounds: append([]float64(nil), h.bounds...),
 			Counts: append([]uint64(nil), h.counts...),
@@ -380,19 +384,35 @@ func (r *Registry) SetState(st *RegistryState) {
 	if r == nil || st == nil {
 		return
 	}
-	for name, v := range st.Counters {
-		r.Counter(name).v = v
+	// Sorted order: Counter/Gauge/Histogram lazily register missing metrics,
+	// so the registry's internal registration order stays deterministic.
+	for _, name := range sortedKeys(st.Counters) {
+		r.Counter(name).v = st.Counters[name]
 	}
-	for name, v := range st.Gauges {
-		r.Gauge(name).v = v
+	for _, name := range sortedKeys(st.Gauges) {
+		r.Gauge(name).v = st.Gauges[name]
 	}
-	for name, hs := range st.Histograms {
+	for _, name := range sortedKeys(st.Histograms) {
+		hs := st.Histograms[name]
 		h := r.Histogram(name, hs.Bounds)
 		if len(h.counts) == len(hs.Counts) {
 			copy(h.counts, hs.Counts)
 		}
 		h.count, h.sum, h.min, h.max = hs.Count, hs.Sum, hs.Min, hs.Max
 	}
+}
+
+// sortedKeys returns m's keys in ascending order. Every loop whose body has
+// effects beyond writing the ranged key iterates through it, so Go's
+// randomized map order can never leak into exported artifacts or registry
+// state.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // Names returns the sorted names of all registered metrics, for tests and

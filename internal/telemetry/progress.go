@@ -1,5 +1,7 @@
 package telemetry
 
+//simlint:allowfile detrand -- progress logging measures real-world pace by design; it is observationally pure and never feeds simulation state
+
 import (
 	"log"
 	"sync"

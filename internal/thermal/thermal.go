@@ -159,6 +159,8 @@ func (tr *Tracker) MaxTemp(now float64) float64 {
 // constants are configuration and travel separately). Raw fields are copied
 // without committing the pending integration interval, preserving the exact
 // floating-point summation order of later advances across a restore.
+//
+//simlint:checkpoint-for Tracker ignore=model
 type Checkpoint struct {
 	TempC    float64 `json:"temp_c"`
 	SteadyC  float64 `json:"steady_c"`

@@ -87,6 +87,7 @@ func ParseCommonLog(r io.Reader) (*Trace, int, error) {
 		span = 1
 	}
 	fs := make(FileSet, len(files))
+	//simlint:allow maporder -- fi.id values are unique, so every iteration writes a disjoint fs key
 	for _, fi := range files {
 		size := fi.sizeMB
 		if size <= 0 {
