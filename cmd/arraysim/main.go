@@ -5,6 +5,7 @@
 //	arraysim -policy maid -disks 8 -requests 100000 -intensity 6
 //	arraysim -policy pdc -trace day.trace
 //	arraysim -policy read -faults -spares 1 -fault-accel 5e5
+//	arraysim -policy read -faults -lse-rate 1.08e-4 -raid raid5 -rebuild-hours 12
 //	arraysim -policy read -telemetry-dir out -trace-events -progress
 //	arraysim -policy read -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
@@ -47,13 +48,14 @@ type manifestConfig struct {
 	Faults      map[string]any `json:"faults,omitempty"`
 	Spares      int            `json:"spares,omitempty"`
 	RebuildMBps float64        `json:"rebuild_mbps,omitempty"`
+	RAID        map[string]any `json:"raid,omitempty"`
 }
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("arraysim: ")
 	var (
-		policyName = flag.String("policy", "read", "policy: read | maid | pdc | always-on | drpm")
+		policyName = flag.String("policy", "read", "policy: read | maid | pdc | always-on | drpm | read-replica | striped")
 		disks      = flag.Int("disks", 10, "number of disks")
 		requests   = flag.Int("requests", 50000, "synthetic trace length (ignored with -trace)")
 		intensity  = flag.Float64("intensity", diskarray.LightIntensity, "arrival intensity multiplier")
@@ -82,6 +84,14 @@ func main() {
 		pressScaling = flag.Bool("press-scaling", true, "scale the failure hazard by each disk's live PRESS AFR")
 		spares       = flag.Int("spares", 0, "hot-spare pool size (a failure with no spare left loses data)")
 		rebuildMBps  = flag.Float64("rebuild-mbps", 0, "rebuild pacing in MB/s (0 = default 50)")
+
+		lseRate      = flag.Float64("lse-rate", 0, "latent-sector-error rate per disk-hour (0 = LSEs off; paper-scale default is "+fmt.Sprint(faults.DefaultLSERatePerHour)+")")
+		scrubHours   = flag.Float64("scrub-hours", 0, "Weibull scrub-interval scale in hours (0 = default 168; requires -lse-rate)")
+		noScrub      = flag.Bool("no-scrub", false, "disable scrubbing so latent sector errors persist until repair (requires -lse-rate)")
+		scrubIOMB    = flag.Float64("scrub-io-mb", 0, "I/O issued per scrub pass in MB (0 = default 256; requires -lse-rate)")
+		raidLevel    = flag.String("raid", "", "RAID organization: raid5 | raid6 | repl2 | repl3 (requires -faults)")
+		stripeWidth  = flag.Int("stripe-width", 0, "disks per RAID group (0 = whole array / replication default; requires -raid)")
+		rebuildHours = flag.Float64("rebuild-hours", 0, "Weibull rebuild-duration scale in hours (0 = fixed -rebuild-mbps pacing; requires -faults)")
 	)
 	flag.Parse()
 
@@ -121,6 +131,30 @@ func main() {
 		usageErr("-fault-accel %g must be positive", *faultAccel)
 	case !*withFaults && (explicit["fault-seed"] || explicit["fault-accel"] || explicit["press-scaling"] || explicit["spares"] || explicit["rebuild-mbps"]):
 		usageErr("fault flags require -faults")
+	case !*withFaults && (explicit["lse-rate"] || explicit["raid"] || explicit["rebuild-hours"]):
+		usageErr("-lse-rate/-raid/-rebuild-hours require -faults")
+	case *lseRate < 0:
+		usageErr("-lse-rate %g cannot be negative", *lseRate)
+	case *lseRate == 0 && (explicit["scrub-hours"] || explicit["no-scrub"] || explicit["scrub-io-mb"]):
+		usageErr("scrub flags require -lse-rate (scrubbing exists to clear latent sector errors)")
+	case explicit["scrub-hours"] && *scrubHours <= 0:
+		usageErr("-scrub-hours %g must be positive", *scrubHours)
+	case explicit["scrub-hours"] && *noScrub:
+		usageErr("-scrub-hours and -no-scrub contradict each other")
+	case *scrubIOMB < 0:
+		usageErr("-scrub-io-mb %g cannot be negative", *scrubIOMB)
+	case *rebuildHours < 0:
+		usageErr("-rebuild-hours %g cannot be negative", *rebuildHours)
+	case *raidLevel == "" && explicit["stripe-width"]:
+		usageErr("-stripe-width requires -raid")
+	}
+	if *raidLevel != "" {
+		rc := diskarray.RAIDConfig{Level: diskarray.RAIDLevel(*raidLevel), StripeWidth: *stripeWidth}
+		if err := rc.Validate(*disks); err != nil {
+			usageErr("%v", err)
+		}
+	}
+	switch {
 	case *runsDir == "" && explicit["run-name"]:
 		usageErr("-run-name requires -runs-dir")
 	case *ckptEvery < 0:
@@ -183,6 +217,17 @@ func main() {
 		fc.Seed = *faultSeed
 		fc.Acceleration = *faultAccel
 		fc.PRESSScaling = *pressScaling
+		fc.LSERatePerHour = *lseRate
+		fc.NoScrub = *noScrub
+		fc.ScrubIOMB = *scrubIOMB
+		if *scrubHours > 0 {
+			w := faults.DefaultScrub()
+			w.ScaleHours = *scrubHours
+			fc.Scrub = &w
+		}
+		if *rebuildHours > 0 {
+			fc.RebuildTime = &diskarray.Weibull{Shape: 1, ScaleHours: *rebuildHours}
+		}
 		faultCfg = &fc
 	}
 
@@ -216,6 +261,15 @@ func main() {
 			mc.Faults = fcm
 			mc.Spares = *spares
 			mc.RebuildMBps = *rebuildMBps
+			if *raidLevel != "" {
+				rcm, err := runstore.ToJSONMap(diskarray.RAIDConfig{
+					Level: diskarray.RAIDLevel(*raidLevel), StripeWidth: *stripeWidth,
+				})
+				if err != nil {
+					log.Fatal(err)
+				}
+				mc.RAID = rcm
+			}
 		}
 		var err error
 		manifest, err = runstore.New("arraysim", *runName, mc)
@@ -304,6 +358,11 @@ func main() {
 		simCfg.Faults = faultCfg
 		simCfg.Spares = *spares
 		simCfg.RebuildMBps = *rebuildMBps
+		if *raidLevel != "" {
+			simCfg.RAID = diskarray.RAIDConfig{
+				Level: diskarray.RAIDLevel(*raidLevel), StripeWidth: *stripeWidth,
+			}
+		}
 	}
 	if *timeline {
 		simCfg.SampleInterval = stats.Duration / 48
@@ -394,12 +453,31 @@ func main() {
 		if res.MTTDLHours > 0 {
 			fmt.Printf("MTTDL:          %.2f h (first data loss, virtual time)\n", res.MTTDLHours)
 		}
+		if res.LSEModeled {
+			fmt.Printf("latent errors:  %d developed, %d scrubbed away, %d pending at end (%d scrub passes, %.0f MB)\n",
+				res.LSEErrors, res.LSECleared, res.LSEPending, res.Scrubs, res.ScrubMB)
+		}
+		if res.RAIDLevel != "" {
+			fmt.Printf("RAID:           %s × %d groups — %d data-loss combinations (%d via latent error during rebuild, %d overlapping failures)\n",
+				res.RAIDLevel, res.RAIDGroups, res.RAIDDataLossEvents, res.RAIDLSELosses, res.RAIDOverlapLosses)
+			if res.MTTDLEstHours > 0 {
+				fmt.Printf("MTTDL estimate: %.3g h over %.3g h of accelerated exposure\n",
+					res.MTTDLEstHours, res.ExposureHours)
+			} else {
+				fmt.Printf("MTTDL estimate: no loss observed over %.3g h of accelerated exposure\n",
+					res.ExposureHours)
+			}
+		}
 		for _, ev := range res.FailureLog {
 			tag := "spare"
 			if ev.DataLoss {
 				tag = "DATA LOSS"
 			}
 			fmt.Printf("  t=%9.1f s  disk %2d failed (%s)\n", ev.Time, ev.Disk, tag)
+		}
+		for _, ev := range res.RAIDLossLog {
+			fmt.Printf("  t=%9.1f s  RAID group %d lost data (%s, disk %d)\n",
+				ev.Time, ev.Group, ev.Kind, ev.Disk)
 		}
 	}
 

@@ -79,7 +79,7 @@ func run() int {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate: 2b | 3b | 4a | 4b | 5 | derive | 7 | 7a | 7b | 7c | faults | ablations | calibration | all")
+		fig     = flag.String("fig", "all", "figure to regenerate: 2b | 3b | 4a | 4b | 5 | derive | 7 | 7a | 7b | 7c | faults | raidloss | ablations | calibration | all")
 		scale   = flag.Float64("scale", 0.05, "trace scale for Figure 7 sweeps (1 = full day)")
 		full    = flag.Bool("full", false, "shorthand for -scale 1 (the full 1.48M-request day)")
 		heavy   = flag.Bool("heavy", false, "run Figure 7 under the heavy workload condition")
@@ -374,6 +374,43 @@ func run() int {
 		}
 	}
 
+	if want("raidloss") {
+		cfg := experiment.DefaultRAIDLossSweepConfig()
+		cfg.Scale = *scale
+		if *heavy {
+			cfg.Intensity = experiment.HeavyIntensity
+		}
+		cfg.MaxAttempts = 1 + *retries
+		cfg.Progress = prog
+		raidName := "raidloss-light"
+		if *heavy {
+			raidName = "raidloss-heavy"
+		}
+		if !*resume || !skipRecorded(store, raidName, cfg) {
+			start := time.Now()
+			res, err := experiment.RunSweep(cfg)
+			if res == nil {
+				log.Fatal(err)
+			}
+			if err != nil {
+				log.Printf("sweep %s: %v", raidName, err)
+				failedCells += len(res.FailedCells())
+			}
+			recordSweep(store, raidName, cfg, res, start)
+			fmt.Printf("RAID-loss sweep — MTTDL per RAID organization × energy policy (scale %.3g, accel %.0g, %d spare(s), %s)\n\n",
+				*scale, experiment.RAIDLossAcceleration, cfg.Spares, time.Since(start).Round(time.Millisecond))
+			experiment.RenderRAIDLoss(os.Stdout, res,
+				"Data-loss combinations — latent sector errors, scrubbing, Weibull rebuilds")
+			fmt.Println()
+			if csvW != nil {
+				fmt.Fprintf(csvW, "# raidloss sweep\n")
+				if err := experiment.WriteSweepCSV(csvW, res); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+	}
+
 	if want("calibration") {
 		pts, err := experiment.IntensityScan(experiment.AblationConfig{Scale: *scale}, nil, nil)
 		if err != nil {
@@ -412,9 +449,9 @@ func run() int {
 
 	if !want("2b") && !want("3b") && !want("4a") && !want("4b") && !want("5") &&
 		!want("derive") && !want("ablations") && !want("calibration") && !want("faults") &&
-		!want("7", "7a", "7b", "7c") {
+		!want("raidloss") && !want("7", "7a", "7b", "7c") {
 		log.Fatalf("unknown figure %q; valid: %s", *fig,
-			strings.Join([]string{"2b", "3b", "4a", "4b", "5", "derive", "7", "7a", "7b", "7c", "faults", "ablations", "calibration", "all"}, " | "))
+			strings.Join([]string{"2b", "3b", "4a", "4b", "5", "derive", "7", "7a", "7b", "7c", "faults", "raidloss", "ablations", "calibration", "all"}, " | "))
 	}
 
 	if failedCells > 0 {

@@ -183,6 +183,27 @@ func DefaultFaultConfig() FaultConfig { return faults.Default() }
 // FailureEvent is one observed disk failure in SimResult.FailureLog.
 type FailureEvent = array.FailureEvent
 
+// RAIDLevel names a redundancy organization (RAID-5, RAID-6, 2/3-way
+// replication) for SimConfig.RAID.
+type RAIDLevel = array.RAIDLevel
+
+// The supported RAID organizations.
+const (
+	RAID5 = array.RAID5
+	RAID6 = array.RAID6
+	Repl2 = array.Repl2
+	Repl3 = array.Repl3
+)
+
+// RAIDConfig organizes the array into redundancy groups so data loss
+// requires a failure *combination* — overlapping disk failures, or a latent
+// sector error on a surviving member during a rebuild.
+type RAIDConfig = array.RAIDConfig
+
+// RAIDLossEvent is one observed data-loss combination in
+// SimResult.RAIDLossLog.
+type RAIDLossEvent = array.RAIDLossEvent
+
 // Policy is an energy-saving strategy for the simulated array.
 type Policy = array.Policy
 
@@ -372,11 +393,13 @@ type PolicyKind = experiment.PolicyKind
 
 // The policy kinds available to sweeps.
 const (
-	KindREAD     = experiment.KindREAD
-	KindMAID     = experiment.KindMAID
-	KindPDC      = experiment.KindPDC
-	KindAlwaysOn = experiment.KindAlwaysOn
-	KindDRPM     = experiment.KindDRPM
+	KindREAD        = experiment.KindREAD
+	KindMAID        = experiment.KindMAID
+	KindPDC         = experiment.KindPDC
+	KindAlwaysOn    = experiment.KindAlwaysOn
+	KindDRPM        = experiment.KindDRPM
+	KindREADReplica = experiment.KindREADReplica
+	KindStriped     = experiment.KindStriped
 )
 
 // Metric selects which scalar a figure plots.
@@ -392,6 +415,9 @@ const (
 	MetricDataLoss     = experiment.MetricDataLoss
 	MetricLostRequests = experiment.MetricLostRequests
 	MetricDegraded     = experiment.MetricDegraded
+	MetricLSEErrors    = experiment.MetricLSEErrors
+	MetricRAIDLoss     = experiment.MetricRAIDLoss
+	MetricMTTDL        = experiment.MetricMTTDL
 )
 
 // The paper's two workload conditions, as arrival-intensity multipliers.
@@ -408,6 +434,11 @@ func DefaultSweepConfig() SweepConfig { return experiment.DefaultSweepConfig() }
 // accelerated fault injection enabled: the policies are compared on energy
 // consumed and data loss observed.
 func DefaultFaultSweepConfig() SweepConfig { return experiment.DefaultFaultSweepConfig() }
+
+// DefaultRAIDLossSweepConfig returns the MTTDL-per-policy experiment: every
+// energy policy crossed with every RAID organization, with latent sector
+// errors, scrubbing, and Weibull rebuild durations enabled.
+func DefaultRAIDLossSweepConfig() SweepConfig { return experiment.DefaultRAIDLossSweepConfig() }
 
 // RunSweep executes a policy comparison sweep (Figures 7a/7b/7c).
 func RunSweep(cfg SweepConfig) (*SweepResult, error) { return experiment.RunSweep(cfg) }

@@ -169,6 +169,7 @@ type diskCkptState struct {
 	Failed        bool                 `json:"failed,omitempty"`
 	SpareAssigned bool                 `json:"spare_assigned,omitempty"`
 	Rebuilding    bool                 `json:"rebuilding,omitempty"`
+	RebuildMBps   float64              `json:"rebuild_mbps,omitempty"`
 	Gen           uint64               `json:"gen,omitempty"`
 	FG            []opState            `json:"fg,omitempty"`
 	BG            []opState            `json:"bg,omitempty"`
@@ -192,7 +193,24 @@ type faultCkptState struct {
 	Reassigned     int               `json:"reassigned"`
 	RebuildMB      float64           `json:"rebuild_mb"`
 	RebuildEnergyJ float64           `json:"rebuild_energy_j"`
+	LSECleared     int               `json:"lse_cleared,omitempty"`
+	Scrubs         int               `json:"scrubs,omitempty"`
+	ScrubMB        float64           `json:"scrub_mb,omitempty"`
+	RAID           *raidCkptState    `json:"raid,omitempty"`
 	Log            []FailureEvent    `json:"log,omitempty"`
+}
+
+// raidCkptState is the serializable form of a raidState. The group layout
+// (cfg, groups, groupOf, tol) is derived from the configuration on restore;
+// only the observed counters travel.
+//
+//simlint:checkpoint-for raidState ignore=cfg,groups,groupOf,tol
+type raidCkptState struct {
+	Losses        int             `json:"losses"`
+	LSELosses     int             `json:"lse_losses,omitempty"`
+	OverlapLosses int             `json:"overlap_losses,omitempty"`
+	FirstLoss     float64         `json:"first_loss"`
+	Log           []RAIDLossEvent `json:"log,omitempty"`
 }
 
 // simState is the checkpoint payload: the complete mutable state of a run.
@@ -313,6 +331,7 @@ func (s *sim) buildState() (*simState, error) {
 			Failed:        ds.failed,
 			SpareAssigned: ds.spareAssigned,
 			Rebuilding:    ds.rebuilding,
+			RebuildMBps:   ds.rebuildMBps,
 			Gen:           ds.gen,
 		}
 		if ds.pending != nil {
@@ -388,7 +407,19 @@ func (s *sim) buildState() (*simState, error) {
 			Reassigned:     f.reassigned,
 			RebuildMB:      f.rebuildMB,
 			RebuildEnergyJ: f.rebuildEnergyJ,
+			LSECleared:     f.lseCleared,
+			Scrubs:         f.scrubs,
+			ScrubMB:        f.scrubMB,
 			Log:            f.log,
+		}
+		if r := f.raid; r != nil {
+			st.Faults.RAID = &raidCkptState{
+				Losses:        r.losses,
+				LSELosses:     r.lseLosses,
+				OverlapLosses: r.overlapLosses,
+				FirstLoss:     r.firstLoss,
+				Log:           r.log,
+			}
 		}
 	}
 	if s.cfg.Telemetry != nil {
@@ -432,7 +463,7 @@ func decodeCont(cs *contState) (*cont, error) {
 		return nil, nil
 	}
 	switch cs.Kind {
-	case contMigrateRead, contMigrateWrite, contRebuild:
+	case contMigrateRead, contMigrateWrite, contRebuild, contScrub:
 	case contOpaque:
 		return nil, fmt.Errorf("array: opaque continuation in checkpoint")
 	default:
@@ -535,6 +566,7 @@ func Resume(cfg Config, stateJSON []byte) (*Result, error) {
 		ds.failed = dc.Failed
 		ds.spareAssigned = dc.SpareAssigned
 		ds.rebuilding = dc.Rebuilding
+		ds.rebuildMBps = dc.RebuildMBps
 		ds.gen = dc.Gen
 		for _, os := range dc.FG {
 			o, err := decodeOp(os)
@@ -602,7 +634,27 @@ func Resume(cfg Config, stateJSON []byte) (*Result, error) {
 			reassigned:     st.Faults.Reassigned,
 			rebuildMB:      st.Faults.RebuildMB,
 			rebuildEnergyJ: st.Faults.RebuildEnergyJ,
+			lseCleared:     st.Faults.LSECleared,
+			scrubs:         st.Faults.Scrubs,
+			scrubMB:        st.Faults.ScrubMB,
 			log:            st.Faults.Log,
+		}
+		switch {
+		case st.Faults.RAID != nil && !cfg.RAID.Enabled():
+			return nil, fmt.Errorf("array: resume: checkpoint has RAID state but no RAID organization is configured")
+		case st.Faults.RAID == nil && cfg.RAID.Enabled():
+			return nil, fmt.Errorf("array: resume: RAID organization configured but checkpoint has no RAID state")
+		case st.Faults.RAID != nil:
+			raid, err := newRAIDState(cfg.RAID, cfg.Disks)
+			if err != nil {
+				return nil, fmt.Errorf("array: resume: %w", err)
+			}
+			raid.losses = st.Faults.RAID.Losses
+			raid.lseLosses = st.Faults.RAID.LSELosses
+			raid.overlapLosses = st.Faults.RAID.OverlapLosses
+			raid.firstLoss = st.Faults.RAID.FirstLoss
+			raid.log = st.Faults.RAID.Log
+			s.flt.raid = raid
 		}
 	}
 

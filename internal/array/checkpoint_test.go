@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/checkpoint"
 	"repro/internal/faults"
+	"repro/internal/reliability"
 )
 
 // ckptSpinDown is spinDownPolicy plus checkpoint support: the counters are
@@ -135,6 +136,9 @@ func TestKillResumeBitIdentical(t *testing.T) {
 		name   string
 		policy func() Policy
 		mut    func(cfg *Config)
+		// check, when set, guards against the case silently not exercising
+		// the machinery it was written for.
+		check func(t *testing.T, r *Result)
 	}{
 		{
 			name:   "spin-down",
@@ -162,6 +166,41 @@ func TestKillResumeBitIdentical(t *testing.T) {
 				cfg.Spares = 1
 			},
 		},
+		{
+			name:   "lse, scrub, and raid rebuild in flight",
+			policy: func() Policy { return &ckptSpinDown{spinDownPolicy{h: 0.3}} },
+			mut: func(cfg *Config) {
+				// Every second-generation failure mechanism at once: latent
+				// errors accumulating, scrub passes as live background I/O,
+				// a Weibull-drawn rebuild after the scripted failure, and a
+				// RAID-5 group watching it all. The acceleration squeezes
+				// the weekly scrub cycle to ~3 virtual seconds so snapshots
+				// land with scrub passes and LSE state in flight.
+				cfg.Faults = &faults.Config{
+					Enabled:              true,
+					Seed:                 11,
+					Acceleration:         2e5,
+					CheckIntervalSeconds: 0.5,
+					Scripted:             []faults.ScriptedEvent{{Disk: 2, At: 5}},
+					LSERatePerHour:       2e-3,
+					ScrubIOMB:            4,
+					RebuildTime:          &reliability.Weibull{Shape: 1, ScaleHours: 12},
+				}
+				cfg.Spares = 1
+				cfg.RAID = RAIDConfig{Level: RAID5}
+			},
+			check: func(t *testing.T, r *Result) {
+				if r.LSEErrors == 0 || r.Scrubs == 0 {
+					t.Fatalf("case exercised nothing: %d LSEs, %d scrubs", r.LSEErrors, r.Scrubs)
+				}
+				if r.RebuildMB == 0 {
+					t.Fatalf("no rebuild traffic after the scripted failure")
+				}
+				if r.RAIDLevel != string(RAID5) {
+					t.Fatalf("RAID layer inactive (level %q)", r.RAIDLevel)
+				}
+			},
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -176,6 +215,9 @@ func TestKillResumeBitIdentical(t *testing.T) {
 			}
 			cfg.Policy = tc.policy()
 			want, snaps := runWithSnapshots(t, cfg, interval)
+			if tc.check != nil {
+				tc.check(t, want)
+			}
 
 			// Resume from an early, a middle, and the last snapshot: the
 			// contract holds wherever the kill lands.

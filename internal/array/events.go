@@ -33,6 +33,7 @@ const (
 	evMigrateStart = "migrate-start"
 	evRepair       = "repair"
 	evRebuildNext  = "rebuild-next"
+	evScrub        = "scrub"
 	evCheckpoint   = "checkpoint"
 )
 
@@ -58,6 +59,8 @@ func recLabel(kind string) string {
 		return labelRepair
 	case evRebuildNext:
 		return labelRebuild
+	case evScrub:
+		return labelScrub
 	case evCheckpoint:
 		return labelCheckpoint
 	default:
@@ -87,6 +90,7 @@ const (
 	contMigrateRead  = "migrate-read"
 	contMigrateWrite = "migrate-write"
 	contRebuild      = "rebuild-chunk"
+	contScrub        = "scrub-pass"
 	contOpaque       = "opaque"
 )
 
@@ -154,6 +158,8 @@ func (s *sim) dispatch(rec eventRecord, e *des.Engine) {
 		s.repairDisk(rec.Disk)
 	case evRebuildNext:
 		s.issueRebuild(rec.Disk, rec.RemainingMB)
+	case evScrub:
+		s.onScrubTick(rec.Disk)
 	case evCheckpoint:
 		s.onCheckpointTick(e)
 	default:
@@ -255,6 +261,8 @@ func (s *sim) runCont(c *cont, now float64) {
 			delay = 0
 		}
 		s.schedule(delay, eventRecord{Kind: evRebuildNext, Disk: c.disk, RemainingMB: c.remainingMB - c.sizeMB})
+	case contScrub:
+		s.completeScrub(c)
 	case contOpaque:
 		s.opaqueLive--
 		c.fn(now)
@@ -264,9 +272,19 @@ func (s *sim) runCont(c *cont, now float64) {
 }
 
 // dropCont releases bookkeeping for a continuation whose op was discarded
-// without completing (a background transfer on a failed disk).
+// without completing (a background transfer on a failed disk). A dropped
+// scrub pass must still reschedule the disk's scrub cycle — the pass found
+// no readable media, but the replacement drive will need scrubbing again.
 func (s *sim) dropCont(c *cont) {
-	if c != nil && c.kind == contOpaque {
+	if c == nil {
+		return
+	}
+	switch c.kind {
+	case contOpaque:
 		s.opaqueLive--
+	case contScrub:
+		if s.scrubChainLives() {
+			s.schedule(s.flt.inj.SampleScrubIntervalSeconds(), eventRecord{Kind: evScrub, Disk: c.disk})
+		}
 	}
 }

@@ -58,6 +58,14 @@ type faultState struct {
 	rebuildMB      float64
 	rebuildEnergyJ float64
 
+	// Latent-sector-error and scrub outcomes (zero when LSE modeling off).
+	lseCleared int
+	scrubs     int
+	scrubMB    float64
+
+	// raid is the redundancy-group overlay; nil when Config.RAID is off.
+	raid *raidState
+
 	// inFailover is true only while a policy's OnDiskFailure hook runs;
 	// Context.ReassignFile is valid only then.
 	inFailover bool
@@ -77,7 +85,21 @@ func (s *sim) installFaults() error {
 		return err
 	}
 	s.flt = &faultState{cfg: cfg, inj: inj, spares: s.cfg.Spares, firstLoss: -1}
+	if s.cfg.RAID.Enabled() {
+		raid, err := newRAIDState(s.cfg.RAID, len(s.disks))
+		if err != nil {
+			return err
+		}
+		s.flt.raid = raid
+	}
 	s.schedule(cfg.CheckIntervalSeconds, eventRecord{Kind: evFaultTick})
+	// Each disk runs its own scrub cycle; the first pass of every disk is
+	// drawn at install time, in disk order, so the draw sequence is fixed.
+	if cfg.ScrubActive() {
+		for d := range s.disks {
+			s.schedule(inj.SampleScrubIntervalSeconds(), eventRecord{Kind: evScrub, Disk: d})
+		}
+	}
 	return nil
 }
 
@@ -97,10 +119,66 @@ func (s *sim) onFaultTick(e *des.Engine) {
 			return
 		}
 	}
+	// Latent sector errors accumulate under the same operating-condition
+	// scaling as whole-disk hazard. Failures for this window are applied
+	// first, so a disk that died mid-window accumulates no further errors.
+	for _, ev := range s.flt.inj.AdvanceLSE(e.Now(), scale) {
+		s.raidOnLSE(ev.Disk, ev.Time)
+	}
 	// Keep ticking only while the simulation still has work; otherwise the
 	// tick chain would hold the event loop open forever.
 	if s.workRemains() {
 		s.schedule(s.flt.cfg.CheckIntervalSeconds, eventRecord{Kind: evFaultTick})
+	}
+}
+
+// scrubChainLives reports whether a scrub chain should stay scheduled. The
+// chain must NOT gate on workRemains(): scrub passes themselves keep disks
+// busy, so under accelerated timescales the chains of different disks would
+// sustain each other's busyness and hold the event loop open forever. The
+// chain instead dies with the trace — once the last arrival has been
+// delivered no further passes start and the in-flight work drains normally.
+func (s *sim) scrubChainLives() bool {
+	return s.nextReq < len(s.cfg.Trace.Requests)
+}
+
+// onScrubTick starts disk d's next scrub pass: a background read of the
+// configured volume, queued behind foreground traffic on the disk itself.
+// The *next* pass is drawn only when this one's I/O completes, so a disk
+// that an energy policy keeps spun down — or that is saturated — scrubs
+// late, and its latent errors survive longer. A pass that lands on a failed
+// disk is skipped and the cycle re-drawn: the replacement drive arrives with
+// clean media.
+func (s *sim) onScrubTick(d int) {
+	if s.failure != nil {
+		return
+	}
+	if !s.scrubChainLives() {
+		return
+	}
+	f := s.flt
+	if s.disks[d].failed {
+		s.schedule(f.inj.SampleScrubIntervalSeconds(), eventRecord{Kind: evScrub, Disk: d})
+		return
+	}
+	size := f.cfg.ScrubPassMB()
+	s.enqueue(d, op{
+		kind:   opBackground,
+		sizeMB: size,
+		done:   &cont{kind: contScrub, disk: d, sizeMB: size},
+	})
+}
+
+// completeScrub finishes disk d's scrub pass: every pending latent error on
+// the disk is detected and rewritten from redundancy, and the next pass is
+// scheduled.
+func (s *sim) completeScrub(c *cont) {
+	f := s.flt
+	f.lseCleared += f.inj.MarkScrubbed(c.disk)
+	f.scrubs++
+	f.scrubMB += c.sizeMB
+	if s.scrubChainLives() {
+		s.schedule(f.inj.SampleScrubIntervalSeconds(), eventRecord{Kind: evScrub, Disk: c.disk})
 	}
 }
 
@@ -149,7 +227,12 @@ func (s *sim) failDisk(d int, at float64) {
 	f.log = append(f.log, ev)
 	ds.failed = true
 	ds.rebuilding = false
+	ds.rebuildMBps = 0
 	ds.gen++ // voids the in-flight service completion, if any
+
+	// RAID loss rules run with the failure applied but before failover
+	// re-routing: the combination check reads raw member availability.
+	s.raidOnDiskFailure(d, at)
 
 	// Policy failover hook first, so re-assigned placements are visible to
 	// the queue drain below.
@@ -270,9 +353,20 @@ func (s *sim) repairDisk(d int) {
 	for _, id := range ids {
 		totalMB += s.files[id].SizeMB
 	}
-	if totalMB > 0 && s.cfg.RebuildMBps > 0 {
-		ds.rebuilding = true
-		s.issueRebuild(d, totalMB)
+	if totalMB > 0 {
+		if f.cfg.RebuildTime != nil {
+			// Weibull-distributed rebuild: draw the total duration and pace
+			// this disk's chunks to finish in it. The draw happens only when
+			// there is data to rebuild, keeping the RNG stream identical for
+			// empty replacements.
+			if dur := f.inj.SampleRebuildSeconds(); dur > 0 {
+				ds.rebuildMBps = totalMB / dur
+			}
+		}
+		if ds.rebuildMBps > 0 || s.cfg.RebuildMBps > 0 {
+			ds.rebuilding = true
+			s.issueRebuild(d, totalMB)
+		}
 	}
 	s.kick(d)
 }
@@ -285,10 +379,15 @@ func (s *sim) issueRebuild(d int, remainingMB float64) {
 	ds := s.disks[d]
 	if ds.failed || remainingMB <= 0 {
 		ds.rebuilding = false
+		ds.rebuildMBps = 0
 		return
 	}
+	rate := ds.rebuildMBps
+	if rate <= 0 {
+		rate = s.cfg.RebuildMBps
+	}
 	size := math.Min(rebuildChunkMB, remainingMB)
-	nextIssue := s.eng.Now() + size/s.cfg.RebuildMBps
+	nextIssue := s.eng.Now() + size/rate
 	s.enqueue(d, op{
 		kind:   opBackground,
 		sizeMB: size,
@@ -314,6 +413,18 @@ func (c *Context) DiskRebuilding(d int) bool { return c.s.disks[d].rebuilding }
 // outage: queued and arriving requests wait for the replacement instead of
 // being lost. Meaningful only while d is failed.
 func (c *Context) DiskCovered(d int) bool { return c.s.disks[d].spareAssigned }
+
+// RAIDGroup returns the member disk indices of disk d's redundancy group
+// (including d itself), or nil when no RAID organization is configured.
+// Failover hooks use it to prefer keeping re-assigned placements inside the
+// stripe/replica group that can actually reconstruct the data.
+func (c *Context) RAIDGroup(d int) []int {
+	if c.s.flt == nil || c.s.flt.raid == nil {
+		return nil
+	}
+	r := c.s.flt.raid
+	return append([]int(nil), r.groups[r.groupOf[d]]...)
+}
 
 // SparesLeft returns the number of hot spares remaining in the pool.
 func (c *Context) SparesLeft() int {

@@ -1,0 +1,124 @@
+package array
+
+import (
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/reliability"
+)
+
+// TestMTTDLMatchesClosedForms is the RAID layer's calibration contract: with
+// memoryless lifetimes (Weibull β = 1), fixed repair windows, PRESS scaling
+// off, and LSEs disabled, the Monte-Carlo MTTDL estimate from counted loss
+// combinations must land near the textbook Markov formulas for each
+// organization. The closed forms are first-order approximations valid only
+// for MTTR ≪ MTTF (the error term grows like group-size·MTTR/MTTF), so each
+// case picks its own regime: MTTR/MTTF small enough for the formula to hold,
+// acceleration high enough to still collect enough loss events for the
+// estimate to have statistics. Tolerances are loose — they absorb the
+// residual regime error plus Monte-Carlo noise on O(100) events — but tight
+// enough to catch a wrong tolerance count, a missed unavailability state, or
+// a broken timescale conversion.
+func TestMTTDLMatchesClosedForms(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte-Carlo calibration run")
+	}
+	const disks = 6
+
+	cases := []struct {
+		level RAIDLevel
+		mttf  float64 // hours; β=1 Weibull ⇒ exponential with this mean
+		mttr  float64 // hours; fixed, so the unavailability window is exact
+		accel float64
+		// closed returns the array-level closed form: the per-group formula
+		// divided by the number of independent groups racing to lose data.
+		closed func(mttf, mttr float64) (float64, error)
+		// tolFactor bounds estimate/closed-form in [1/tolFactor, tolFactor].
+		tolFactor float64
+	}{
+		{
+			level: RAID5, mttf: 600, mttr: 20, accel: 1.2e6,
+			closed: func(mttf, mttr float64) (float64, error) {
+				return reliability.MTTDLRaid5Hours(disks, mttf, mttr)
+			},
+			tolFactor: 1.45,
+		},
+		{
+			// Triple overlaps compound the regime error, so RAID-6 gets the
+			// smallest MTTR/MTTF and the widest band.
+			level: RAID6, mttf: 300, mttr: 15, accel: 1.6e6,
+			closed: func(mttf, mttr float64) (float64, error) {
+				return reliability.MTTDLRaid6Hours(disks, mttf, mttr)
+			},
+			tolFactor: 1.6,
+		},
+		{
+			// Three mirrored pairs: per-group loss rates add, so the array
+			// MTTDL is the group formula over three groups.
+			level: Repl2, mttf: 200, mttr: 20, accel: 1.2e6,
+			closed: func(mttf, mttr float64) (float64, error) {
+				h, err := reliability.MTTDLReplicationHours(2, mttf, mttr)
+				return h / 3, err
+			},
+			tolFactor: 1.45,
+		},
+		{
+			// Two triplets.
+			level: Repl3, mttf: 150, mttr: 15, accel: 2e6,
+			closed: func(mttf, mttr float64) (float64, error) {
+				h, err := reliability.MTTDLReplicationHours(3, mttf, mttr)
+				return h / 2, err
+			},
+			tolFactor: 1.6,
+		},
+	}
+	// ~220 virtual seconds; per-case acceleration turns that into 7e4–1.2e5
+	// accelerated hours of exposure.
+	tr := tinyTrace(t, 40, 22000, 0.01)
+	for _, tc := range cases {
+		t.Run(string(tc.level), func(t *testing.T) {
+			want, err := tc.closed(tc.mttf, tc.mttr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Run(Config{
+				Disks:  disks,
+				Trace:  tr,
+				Policy: &staticPolicy{},
+				Spares: 1 << 20,
+				// Effectively instantaneous rebuilds: the unavailability
+				// window is the fixed repair time alone, matching the
+				// closed forms' MTTR.
+				RebuildMBps: 1e12,
+				Faults: &faults.Config{
+					Enabled:              true,
+					Seed:                 3,
+					Failure:              reliability.Weibull{Shape: 1, ScaleHours: tc.mttf},
+					FixedRepairHours:     tc.mttr,
+					PRESSScaling:         false,
+					Acceleration:         tc.accel,
+					CheckIntervalSeconds: 0.01,
+				},
+				RAID: RAIDConfig{Level: tc.level},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.RAIDDataLossEvents < 50 {
+				t.Fatalf("only %d loss events over %.3g h of exposure — not enough statistics to validate against the closed form",
+					res.RAIDDataLossEvents, res.ExposureHours)
+			}
+			if res.RAIDLSELosses != 0 {
+				t.Fatalf("%d LSE-mediated losses with LSE modeling off", res.RAIDLSELosses)
+			}
+			got := res.MTTDLEstHours
+			ratio := got / want
+			t.Logf("%s: estimate %.1f h vs closed form %.1f h (ratio %.3f, %d losses, exposure %.3g h)",
+				tc.level, got, want, ratio, res.RAIDDataLossEvents, res.ExposureHours)
+			if ratio < 1/tc.tolFactor || ratio > tc.tolFactor {
+				t.Errorf("%s: MTTDL estimate %.1f h vs closed form %.1f h — ratio %.3f outside [%.2f, %.2f]",
+					tc.level, got, want, ratio, 1/tc.tolFactor, tc.tolFactor)
+			}
+		})
+	}
+}

@@ -1,0 +1,235 @@
+package array
+
+// RAID organization layer: partitions the array into redundancy groups and
+// declares data loss only when a failure *combination* defeats the group's
+// redundancy — overlapping whole-disk failures, or a disk failure whose
+// rebuild trips over an unscrubbed latent sector error on a surviving
+// member. This is the loss model of Thomasian's RAID tutorial and of the
+// Gray & van Ingen field studies: in redundant arrays single failures are
+// routine, and MTTDL is set by the second fault that lands inside a repair
+// window.
+
+import (
+	"fmt"
+)
+
+// RAIDLevel names a supported redundancy organization.
+type RAIDLevel string
+
+const (
+	// RAID5 tolerates one unavailable member per parity group.
+	RAID5 RAIDLevel = "raid5"
+	// RAID6 tolerates two unavailable members per parity group.
+	RAID6 RAIDLevel = "raid6"
+	// Repl2 is 2-way replication: groups of two mirrored disks.
+	Repl2 RAIDLevel = "repl2"
+	// Repl3 is 3-way replication: groups of three mirrored disks.
+	Repl3 RAIDLevel = "repl3"
+)
+
+// RAIDConfig selects the redundancy organization overlaid on the array.
+// The zero value disables the layer entirely.
+type RAIDConfig struct {
+	// Level is the organization; empty disables the RAID layer.
+	Level RAIDLevel `json:"Level,omitempty"`
+	// StripeWidth is the disks per redundancy group. Zero means the level's
+	// natural default: the whole array for RAID-5/6, the replica count for
+	// replication. The array size must divide evenly into groups.
+	StripeWidth int `json:"StripeWidth,omitempty"`
+}
+
+// Enabled reports whether the RAID layer is active.
+func (c RAIDConfig) Enabled() bool { return c.Level != "" }
+
+// Tolerance returns the number of simultaneously unavailable members a
+// group survives: one for RAID-5 and 2-way replication, two for RAID-6 and
+// 3-way replication.
+func (c RAIDConfig) Tolerance() (int, error) {
+	switch c.Level {
+	case RAID5, Repl2:
+		return 1, nil
+	case RAID6, Repl3:
+		return 2, nil
+	default:
+		return 0, fmt.Errorf("array: unknown RAID level %q", c.Level)
+	}
+}
+
+// Width returns the effective group width for an array of `disks` drives.
+func (c RAIDConfig) Width(disks int) int {
+	if c.StripeWidth > 0 {
+		return c.StripeWidth
+	}
+	switch c.Level {
+	case Repl2:
+		return 2
+	case Repl3:
+		return 3
+	default:
+		return disks
+	}
+}
+
+// Validate rejects organizations that cannot be laid out on `disks` drives.
+func (c RAIDConfig) Validate(disks int) error {
+	if !c.Enabled() {
+		return nil
+	}
+	tol, err := c.Tolerance()
+	if err != nil {
+		return err
+	}
+	w := c.Width(disks)
+	switch {
+	case c.StripeWidth < 0:
+		return fmt.Errorf("array: negative stripe width %d", c.StripeWidth)
+	case w > disks:
+		return fmt.Errorf("array: stripe width %d exceeds %d disks", w, disks)
+	case w < tol+1:
+		return fmt.Errorf("array: stripe width %d cannot hold %s (needs at least %d disks per group)",
+			w, c.Level, tol+1)
+	case disks%w != 0:
+		return fmt.Errorf("array: %d disks do not divide into groups of %d", disks, w)
+	}
+	if (c.Level == Repl2 || c.Level == Repl3) && c.StripeWidth > 0 && c.StripeWidth != tol+1 {
+		return fmt.Errorf("array: %s requires stripe width %d, got %d", c.Level, tol+1, c.StripeWidth)
+	}
+	return nil
+}
+
+// RAIDLossEvent is one declared data-loss event in a redundancy group.
+type RAIDLossEvent struct {
+	// Time is the loss time in virtual seconds.
+	Time float64 `json:"time"`
+	// Group is the redundancy group that lost data.
+	Group int `json:"group"`
+	// Disk is the member whose fault completed the losing combination.
+	Disk int `json:"disk"`
+	// Kind is "overlap" (too many simultaneous member failures) or
+	// "lse-rebuild" (a rebuild at zero redundancy met an unscrubbed latent
+	// error on a surviving member).
+	Kind string `json:"kind"`
+}
+
+// RAID loss kinds.
+const (
+	raidLossOverlap    = "overlap"
+	raidLossLSERebuild = "lse-rebuild"
+)
+
+// raidState is the derived bookkeeping of the RAID layer. The group layout
+// (groups, groupOf, tol) is a pure function of the configuration and disk
+// count, so only the counters and log are checkpointed.
+type raidState struct {
+	cfg     RAIDConfig
+	groups  [][]int // group -> member disk indices
+	groupOf []int   // disk -> group
+	tol     int
+
+	losses        int
+	lseLosses     int
+	overlapLosses int
+	firstLoss     float64 // virtual seconds of first loss; -1 = none
+	log           []RAIDLossEvent
+}
+
+// newRAIDState lays the array out into redundancy groups of the configured
+// width, in disk order: disks [0,w) form group 0, [w,2w) group 1, and so on.
+func newRAIDState(cfg RAIDConfig, disks int) (*raidState, error) {
+	if err := cfg.Validate(disks); err != nil {
+		return nil, err
+	}
+	tol, err := cfg.Tolerance()
+	if err != nil {
+		return nil, err
+	}
+	w := cfg.Width(disks)
+	r := &raidState{cfg: cfg, tol: tol, groupOf: make([]int, disks), firstLoss: -1}
+	for g := 0; g*w < disks; g++ {
+		members := make([]int, 0, w)
+		for d := g * w; d < (g+1)*w; d++ {
+			members = append(members, d)
+			r.groupOf[d] = g
+		}
+		r.groups = append(r.groups, members)
+	}
+	return r, nil
+}
+
+// unavailable counts group members that currently hold no trustworthy data:
+// failed outright, or back up but still rebuilding.
+func (s *sim) raidUnavailable(group int) int {
+	n := 0
+	for _, d := range s.flt.raid.groups[group] {
+		ds := s.disks[d]
+		if ds.failed || ds.rebuilding {
+			n++
+		}
+	}
+	return n
+}
+
+// raidRecordLoss books one data-loss event against disk d's group.
+func (s *sim) raidRecordLoss(d int, at float64, kind string) {
+	r := s.flt.raid
+	r.losses++
+	switch kind {
+	case raidLossOverlap:
+		r.overlapLosses++
+	case raidLossLSERebuild:
+		r.lseLosses++
+	}
+	if r.firstLoss < 0 {
+		r.firstLoss = at
+	}
+	r.log = append(r.log, RAIDLossEvent{Time: at, Group: r.groupOf[d], Disk: d, Kind: kind})
+}
+
+// raidOnDiskFailure evaluates the loss rules when disk d fails at time
+// `at`, after the disk has been marked failed. Loss is declared when the
+// failure overflows the group's tolerance outright, or exactly exhausts it
+// while a surviving member carries an unscrubbed latent sector error — the
+// rebuild must read every surviving member, and the latent error makes one
+// of those reads unrecoverable.
+func (s *sim) raidOnDiskFailure(d int, at float64) {
+	r := s.flt.raid
+	if r == nil {
+		return
+	}
+	g := r.groupOf[d]
+	unavail := s.raidUnavailable(g)
+	if unavail > r.tol {
+		s.raidRecordLoss(d, at, raidLossOverlap)
+		return
+	}
+	if unavail == r.tol {
+		for _, m := range r.groups[g] {
+			ds := s.disks[m]
+			if !ds.failed && !ds.rebuilding && s.flt.inj.PendingLSE(m) > 0 {
+				s.raidRecordLoss(d, at, raidLossLSERebuild)
+				return
+			}
+		}
+	}
+}
+
+// raidOnLSE evaluates the loss rules when disk d accumulates a latent
+// sector error at time `at`: if the group's redundancy is already fully
+// consumed by failures or in-flight rebuilds, the new latent error sits on
+// data with no surviving copy.
+func (s *sim) raidOnLSE(d int, at float64) {
+	r := s.flt.raid
+	if r == nil {
+		return
+	}
+	ds := s.disks[d]
+	if ds.failed || ds.rebuilding {
+		// The erroring disk holds no trustworthy data anyway; its sectors
+		// are already part of the unavailable count.
+		return
+	}
+	g := r.groupOf[d]
+	if n := s.raidUnavailable(g); n > 0 && n >= r.tol {
+		s.raidRecordLoss(d, at, raidLossLSERebuild)
+	}
+}

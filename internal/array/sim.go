@@ -50,7 +50,14 @@ type Config struct {
 	// finds the pool empty is a data-loss event and its requests are lost.
 	Spares int
 	// RebuildMBps paces the post-repair rebuild traffic. Zero means 50.
+	// When Faults.RebuildTime is set, each rebuild instead draws its total
+	// duration from that distribution and paces itself to finish in it.
 	RebuildMBps float64
+	// RAID overlays a redundancy organization on the array: data loss is
+	// then declared only when a failure combination defeats a group's
+	// redundancy (see raid.go). The zero value disables the layer; enabling
+	// it requires fault injection.
+	RAID RAIDConfig
 	// StallLimit is the event-loop watchdog: the run fails with a
 	// diagnostic if this many consecutive events fire without the virtual
 	// clock advancing. Zero means 1,000,000.
@@ -117,6 +124,14 @@ func (c *Config) Validate() error {
 	}
 	if c.Faults != nil {
 		if err := c.Faults.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.RAID.Enabled() {
+		if c.Faults == nil || !c.Faults.Enabled {
+			return errors.New("array: RAID organization requires fault injection")
+		}
+		if err := c.RAID.Validate(c.Disks); err != nil {
 			return err
 		}
 	}
@@ -215,6 +230,47 @@ type Result struct {
 	RebuildEnergyJ float64
 	// FailureLog lists every observed failure in time order.
 	FailureLog []FailureEvent
+
+	// ExposureHours is the run's duration on the reliability timescale:
+	// virtual hours multiplied by the fault acceleration factor. It is the
+	// denominator of every rate estimated from injected events. Zero when
+	// faults are off.
+	ExposureHours float64
+
+	// Latent-sector-error outcomes. All zero unless Faults.LSERatePerHour
+	// is positive; LSEModeled distinguishes "modeled, none occurred" from
+	// "not modeled".
+	LSEModeled bool
+	// LSEErrors counts latent sector errors that accumulated.
+	LSEErrors int
+	// LSECleared counts latent errors detected and repaired by scrubbing.
+	LSECleared int
+	// LSEPending is the count still latent at the end of the run.
+	LSEPending int
+	// Scrubs counts completed scrub passes; ScrubMB is their I/O volume.
+	Scrubs  int
+	ScrubMB float64
+
+	// RAID-organization outcomes. All zero unless Config.RAID is enabled.
+
+	// RAIDLevel echoes the configured organization ("" when disabled).
+	RAIDLevel string
+	// RAIDGroups is the number of redundancy groups.
+	RAIDGroups int
+	// RAIDDataLossEvents counts failure combinations that defeated a
+	// group's redundancy; the next two split it by kind.
+	RAIDDataLossEvents int
+	RAIDLSELosses      int
+	RAIDOverlapLosses  int
+	// RAIDFirstLossHours is the virtual time of the first RAID data-loss
+	// event in hours; zero when none occurred.
+	RAIDFirstLossHours float64
+	// MTTDLEstHours is ExposureHours divided by RAIDDataLossEvents — the
+	// Monte-Carlo MTTDL estimate on the reliability timescale. Zero when no
+	// loss was observed (the exposure is then a censored lower bound).
+	MTTDLEstHours float64
+	// RAIDLossLog lists every declared loss in time order.
+	RAIDLossLog []RAIDLossEvent
 }
 
 type opKind int
@@ -281,10 +337,11 @@ type diskState struct {
 	idleArmed   bool
 
 	// Fault lifecycle (only ever set when fault injection is enabled).
-	failed        bool   // disk is down; rejects all I/O
-	spareAssigned bool   // a spare absorbs this outage: queued work waits
-	rebuilding    bool   // replacement is up and streaming rebuild traffic
-	gen           uint64 // bumped on each failure; voids in-flight service
+	failed        bool    // disk is down; rejects all I/O
+	spareAssigned bool    // a spare absorbs this outage: queued work waits
+	rebuilding    bool    // replacement is up and streaming rebuild traffic
+	rebuildMBps   float64 // per-rebuild pacing from a Weibull duration draw; 0 = Config.RebuildMBps
+	gen           uint64  // bumped on each failure; voids in-flight service
 }
 
 func (ds *diskState) queueLen() int { return ds.fg.len() + ds.bg.len() }
@@ -802,6 +859,32 @@ func (s *sim) collect() (*Result, error) {
 		res.RebuildMB = f.rebuildMB
 		res.RebuildEnergyJ = f.rebuildEnergyJ
 		res.FailureLog = f.log
+		res.ExposureHours = now / 3600 * f.cfg.Acceleration
+		if f.cfg.LSEActive() {
+			res.LSEModeled = true
+			res.LSEErrors = f.inj.LSECount()
+			res.LSECleared = f.lseCleared
+			res.LSEPending = f.inj.PendingLSETotal()
+			res.Scrubs = f.scrubs
+			res.ScrubMB = f.scrubMB
+		}
+		if r := f.raid; r != nil {
+			res.RAIDLevel = string(r.cfg.Level)
+			res.RAIDGroups = len(r.groups)
+			res.RAIDDataLossEvents = r.losses
+			res.RAIDLSELosses = r.lseLosses
+			res.RAIDOverlapLosses = r.overlapLosses
+			if r.firstLoss >= 0 {
+				res.RAIDFirstLossHours = r.firstLoss / 3600
+			}
+			if r.losses > 0 {
+				res.MTTDLEstHours = stats.MTTDL{
+					ExposureHours: res.ExposureHours,
+					Events:        r.losses,
+				}.Hours()
+			}
+			res.RAIDLossLog = r.log
+		}
 	}
 	return res, nil
 }

@@ -51,6 +51,7 @@ const (
 	labelFaultTick  = "fault-tick"
 	labelRepair     = "repair"
 	labelRebuild    = "rebuild"
+	labelScrub      = "scrub"
 	labelCheckpoint = "checkpoint"
 )
 

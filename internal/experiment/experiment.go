@@ -31,12 +31,23 @@ type PolicyKind string
 
 // The policy kinds available to sweeps.
 const (
-	KindREAD     PolicyKind = "read"
-	KindMAID     PolicyKind = "maid"
-	KindPDC      PolicyKind = "pdc"
-	KindAlwaysOn PolicyKind = "always-on"
-	KindDRPM     PolicyKind = "drpm"
+	KindREAD        PolicyKind = "read"
+	KindMAID        PolicyKind = "maid"
+	KindPDC         PolicyKind = "pdc"
+	KindAlwaysOn    PolicyKind = "always-on"
+	KindDRPM        PolicyKind = "drpm"
+	KindREADReplica PolicyKind = "read-replica"
+	KindStriped     PolicyKind = "striped"
 )
+
+// AllPolicyKinds lists every policy the sweeps can construct, in canonical
+// order — the seven energy policies the reliability comparisons cover.
+func AllPolicyKinds() []PolicyKind {
+	return []PolicyKind{
+		KindREAD, KindMAID, KindPDC, KindAlwaysOn, KindDRPM,
+		KindREADReplica, KindStriped,
+	}
+}
 
 // NewPolicy constructs a fresh policy instance of the given kind with its
 // default configuration.
@@ -52,6 +63,10 @@ func NewPolicy(kind PolicyKind) (array.Policy, error) {
 		return policy.NewAlwaysOn(), nil
 	case KindDRPM:
 		return policy.NewDRPM(policy.DRPMConfig{}), nil
+	case KindREADReplica:
+		return policy.NewREADReplica(policy.READReplicaConfig{}), nil
+	case KindStriped:
+		return policy.NewStripedAlwaysOn(policy.StripedConfig{}), nil
 	default:
 		return nil, fmt.Errorf("experiment: unknown policy kind %q", kind)
 	}
@@ -93,6 +108,17 @@ type SweepConfig struct {
 	Spares int
 	// RebuildMBps paces rebuild traffic; zero uses the array default.
 	RebuildMBps float64
+	// RAIDLevels, when non-empty, adds a RAID-organization axis to the
+	// sweep: every (disks, policy) pair runs once per level, with data loss
+	// declared by the redundancy-combination rules of array.RAIDConfig.
+	// Requires Faults. Cells at the same disk count share their injector
+	// seed across levels AND policies, so MTTDL differences are down to the
+	// organization and the policy's operating conditions, not sampling luck.
+	RAIDLevels []array.RAIDLevel
+	// RAIDStripeWidth overrides the group width for every level; zero uses
+	// each level's natural default (whole array for RAID-5/6, replica count
+	// for replication).
+	RAIDStripeWidth int
 	// StallLimit is passed to every cell's array.Config.StallLimit: the
 	// RunGuarded watchdog aborts a cell whose event loop fires that many
 	// events without advancing virtual time. Zero uses the array default.
@@ -206,6 +232,19 @@ func (c *SweepConfig) Validate() error {
 	if c.RebuildMBps < 0 {
 		return fmt.Errorf("experiment: negative rebuild rate %v", c.RebuildMBps)
 	}
+	if len(c.RAIDLevels) > 0 {
+		if c.Faults == nil || !c.Faults.Enabled {
+			return errors.New("experiment: RAID levels require fault injection")
+		}
+		for _, l := range c.RAIDLevels {
+			rc := array.RAIDConfig{Level: l, StripeWidth: c.RAIDStripeWidth}
+			for _, n := range c.DiskCounts {
+				if err := rc.Validate(n); err != nil {
+					return fmt.Errorf("experiment: RAID level %q at %d disks: %w", l, n, err)
+				}
+			}
+		}
+	}
 	return c.Workload.Validate()
 }
 
@@ -227,6 +266,9 @@ const (
 type Cell struct {
 	Disks  int
 	Policy PolicyKind
+	// RAID is the cell's redundancy organization; empty when the sweep has
+	// no RAID axis.
+	RAID   array.RAIDLevel
 	Result *array.Result
 	// Status is CellOK, CellRetried, or CellFailed.
 	Status CellStatus
@@ -263,7 +305,7 @@ var testCellHook func(kind PolicyKind, disks int)
 // cell — the policy, the simulator, the hook — is converted into an error
 // with the stack attached, so one broken cell cannot take down the sweep's
 // worker pool.
-func runCellOnce(cfg *SweepConfig, trace *workload.Trace, epoch float64, disks int, kind PolicyKind) (res *array.Result, err error) {
+func runCellOnce(cfg *SweepConfig, trace *workload.Trace, epoch float64, disks int, kind PolicyKind, raid array.RAIDLevel) (res *array.Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			res = nil
@@ -291,6 +333,9 @@ func runCellOnce(cfg *SweepConfig, trace *workload.Trace, epoch float64, disks i
 		fc := *cfg.Faults
 		fc.Seed += int64(disks)
 		acfg.Faults = &fc
+	}
+	if raid != "" {
+		acfg.RAID = array.RAIDConfig{Level: raid, StripeWidth: cfg.RAIDStripeWidth}
 	}
 	return array.Run(acfg)
 }
@@ -342,11 +387,21 @@ func RunSweep(cfg SweepConfig) (*SweepResult, error) {
 		idx    int
 		disks  int
 		policy PolicyKind
+		raid   array.RAIDLevel
+	}
+	// With no RAID axis the single empty level keeps the job grid — and
+	// therefore cell ordering and manifest keys — identical to a pre-RAID
+	// sweep.
+	raids := cfg.RAIDLevels
+	if len(raids) == 0 {
+		raids = []array.RAIDLevel{""}
 	}
 	var jobs []job
 	for _, n := range cfg.DiskCounts {
-		for _, p := range cfg.Policies {
-			jobs = append(jobs, job{idx: len(jobs), disks: n, policy: p})
+		for _, r := range raids {
+			for _, p := range cfg.Policies {
+				jobs = append(jobs, job{idx: len(jobs), disks: n, policy: p, raid: r})
+			}
 		}
 	}
 	cells := make([]Cell, len(jobs))
@@ -361,17 +416,17 @@ func RunSweep(cfg SweepConfig) (*SweepResult, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			cell := Cell{Disks: j.disks, Policy: j.policy}
+			cell := Cell{Disks: j.disks, Policy: j.policy, RAID: j.raid}
 			for attempt := 1; attempt <= cfg.MaxAttempts; attempt++ {
 				cell.Attempts = attempt
 				if attempt > 1 {
 					time.Sleep(cfg.RetryBaseDelay << uint(attempt-2))
-					cfg.Progress.Stepf("sweep: retrying disks=%d policy=%s (attempt %d/%d)",
-						j.disks, j.policy, attempt, cfg.MaxAttempts)
+					cfg.Progress.Stepf("sweep: retrying disks=%d policy=%s%s (attempt %d/%d)",
+						j.disks, j.policy, raidSuffix(j.raid), attempt, cfg.MaxAttempts)
 				}
-				res, err := runCellOnce(&cfg, trace, epoch, j.disks, j.policy)
+				res, err := runCellOnce(&cfg, trace, epoch, j.disks, j.policy, j.raid)
 				if err != nil {
-					cell.Err = fmt.Sprintf("disks=%d policy=%s: %v", j.disks, j.policy, err)
+					cell.Err = fmt.Sprintf("disks=%d policy=%s%s: %v", j.disks, j.policy, raidSuffix(j.raid), err)
 					continue
 				}
 				cell.Result = res
@@ -387,12 +442,12 @@ func RunSweep(cfg SweepConfig) (*SweepResult, error) {
 			}
 			cells[j.idx] = cell
 			if cell.Status == CellFailed {
-				cfg.Progress.Stepf("sweep: cell %d/%d FAILED (disks=%d policy=%s, %d attempts)",
-					done.Add(1), len(jobs), j.disks, j.policy, cell.Attempts)
+				cfg.Progress.Stepf("sweep: cell %d/%d FAILED (disks=%d policy=%s%s, %d attempts)",
+					done.Add(1), len(jobs), j.disks, j.policy, raidSuffix(j.raid), cell.Attempts)
 				return
 			}
-			cfg.Progress.Stepf("sweep: cell %d/%d done (disks=%d policy=%s, %d events)",
-				done.Add(1), len(jobs), j.disks, j.policy, cell.Result.EventsFired)
+			cfg.Progress.Stepf("sweep: cell %d/%d done (disks=%d policy=%s%s, %d events)",
+				done.Add(1), len(jobs), j.disks, j.policy, raidSuffix(j.raid), cell.Result.EventsFired)
 		}(j)
 	}
 	wg.Wait()
@@ -402,6 +457,15 @@ func RunSweep(cfg SweepConfig) (*SweepResult, error) {
 			len(failed), len(cells), failed[0].Err)
 	}
 	return res, nil
+}
+
+// raidSuffix renders a RAID level for progress/error lines: empty when the
+// sweep has no RAID axis, " raid=<level>" otherwise.
+func raidSuffix(r array.RAIDLevel) string {
+	if r == "" {
+		return ""
+	}
+	return fmt.Sprintf(" raid=%s", r)
 }
 
 // Metric selects which scalar a figure plots.
@@ -424,6 +488,16 @@ const (
 	// MetricDegraded is the number of requests served degraded (re-routed
 	// or delayed by an outage or rebuild).
 	MetricDegraded Metric = "degraded"
+
+	// MetricLSEErrors is the number of latent sector errors that developed.
+	MetricLSEErrors Metric = "lse"
+	// MetricRAIDLoss is the number of RAID data-loss events (failure
+	// combinations that exceeded the organization's tolerance).
+	MetricRAIDLoss Metric = "raidloss"
+	// MetricMTTDL is the estimated mean time to data loss in hours (0 when
+	// no loss was observed — the estimator's exposure gives only a lower
+	// bound there).
+	MetricMTTDL Metric = "mttdl_est"
 )
 
 // Value extracts the metric from a result.
@@ -443,12 +517,22 @@ func (m Metric) Value(r *array.Result) (float64, error) {
 		return float64(r.LostRequests), nil
 	case MetricDegraded:
 		return float64(r.DegradedRequests), nil
+	case MetricLSEErrors:
+		return float64(r.LSEErrors), nil
+	case MetricRAIDLoss:
+		return float64(r.RAIDDataLossEvents), nil
+	case MetricMTTDL:
+		return r.MTTDLEstHours, nil
 	default:
 		return 0, fmt.Errorf("experiment: unknown metric %q", m)
 	}
 }
 
 // Series returns, for each policy, the metric values ordered by disk count.
+//
+// Series keys by (policy, disks) only: on a sweep with a RAID axis the
+// levels at the same (policy, disks) overwrite each other, so RAID sweeps
+// should be read through RAIDCells/RenderRAIDLoss instead.
 func (s *SweepResult) Series(m Metric) (map[PolicyKind][]float64, []int, error) {
 	disks := append([]int(nil), s.Config.DiskCounts...)
 	sort.Ints(disks)

@@ -3,6 +3,7 @@ package experiment
 import (
 	"fmt"
 
+	"repro/internal/array"
 	"repro/internal/runstore"
 )
 
@@ -24,6 +25,9 @@ type SweepManifestConfig struct {
 	Faults         map[string]any `json:"faults,omitempty"`
 	Spares         int            `json:"spares,omitempty"`
 	RebuildMBps    float64        `json:"rebuild_mbps,omitempty"`
+	// RAID axis; omitted (and digest-neutral) when the sweep has none.
+	RAIDLevels      []array.RAIDLevel `json:"raid_levels,omitempty"`
+	RAIDStripeWidth int               `json:"raid_stripe_width,omitempty"`
 }
 
 // SweepManifest condenses one finished sweep condition into a runstore
@@ -45,6 +49,12 @@ func SweepManifest(name string, cfg SweepConfig, res *SweepResult) (*runstore.Ma
 	okCells := 0
 	for _, c := range res.Cells {
 		prefix := fmt.Sprintf("cell.%s.%d.", c.Policy, c.Disks)
+		if c.RAID != "" {
+			// The RAID segment appears only on RAID-axis sweeps, so the cell
+			// keys (and therefore diffs against pre-RAID manifests) of plain
+			// sweeps are unchanged.
+			prefix = fmt.Sprintf("cell.%s.%s.%d.", c.Policy, c.RAID, c.Disks)
+		}
 		if c.Attempts > 0 {
 			sum.Extra[prefix+"attempts"] = float64(c.Attempts)
 		}
@@ -83,6 +93,15 @@ func SweepManifest(name string, cfg SweepConfig, res *SweepResult) (*runstore.Ma
 			sum.Extra[prefix+"disk_failures"] = cs.DiskFailures
 			sum.Extra[prefix+"data_loss_events"] = cs.DataLossEvents
 		}
+		if faultsOn && c.Result.LSEModeled {
+			sum.Extra[prefix+"lse_errors"] = float64(c.Result.LSEErrors)
+			sum.Extra[prefix+"lse_cleared"] = float64(c.Result.LSECleared)
+			sum.Extra[prefix+"scrubs"] = float64(c.Result.Scrubs)
+		}
+		if c.RAID != "" && c.Result.RAIDLevel != "" {
+			sum.Extra[prefix+"raid_loss_events"] = float64(c.Result.RAIDDataLossEvents)
+			sum.Extra[prefix+"mttdl_est_hours"] = c.Result.MTTDLEstHours
+		}
 	}
 	// Intensive metrics average over the cells that completed; energy,
 	// requests, events, and the fault counts stay extensive (sums).
@@ -105,16 +124,18 @@ func SweepManifest(name string, cfg SweepConfig, res *SweepResult) (*runstore.Ma
 func newSweepManifest(name string, cfg SweepConfig) (*runstore.Manifest, error) {
 	cfg.setDefaults()
 	mc := SweepManifestConfig{
-		DiskCounts:     cfg.DiskCounts,
-		Policies:       cfg.Policies,
-		Workload:       asMap(cfg.Workload),
-		Scale:          cfg.Scale,
-		Intensity:      cfg.Intensity,
-		EpochSeconds:   cfg.EpochSeconds,
-		EpochsPerTrace: cfg.EpochsPerTrace,
-		CustomPress:    cfg.Press != nil,
-		Spares:         cfg.Spares,
-		RebuildMBps:    cfg.RebuildMBps,
+		DiskCounts:      cfg.DiskCounts,
+		Policies:        cfg.Policies,
+		Workload:        asMap(cfg.Workload),
+		Scale:           cfg.Scale,
+		Intensity:       cfg.Intensity,
+		EpochSeconds:    cfg.EpochSeconds,
+		EpochsPerTrace:  cfg.EpochsPerTrace,
+		CustomPress:     cfg.Press != nil,
+		Spares:          cfg.Spares,
+		RebuildMBps:     cfg.RebuildMBps,
+		RAIDLevels:      cfg.RAIDLevels,
+		RAIDStripeWidth: cfg.RAIDStripeWidth,
 	}
 	if cfg.Faults != nil {
 		mc.Faults = asMap(*cfg.Faults)

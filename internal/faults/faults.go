@@ -76,6 +76,35 @@ type Config struct {
 	// Scripted, when non-empty, replaces stochastic sampling entirely:
 	// the listed failures happen at the listed times and no others.
 	Scripted []ScriptedEvent
+
+	// The second-generation failure physics below are all off by default;
+	// every field is omitted from JSON when zero so configurations that
+	// predate them digest identically.
+
+	// LSERatePerHour is the Poisson rate of latent sector errors per
+	// disk-hour at the reference operating point. Field studies put the
+	// dominant data-loss mode in redundant arrays at unscrubbed sector
+	// errors discovered during rebuild, not overlapping whole-disk
+	// failures; the exemplar parameterization is 1.08e-4/h. Zero disables
+	// LSE modeling entirely.
+	LSERatePerHour float64 `json:"LSERatePerHour,omitempty"`
+	// Scrub is the Weibull distribution of scrub-pass intervals in hours.
+	// Nil means DefaultScrub() (β = 3, η = 168 h — a weekly pass with low
+	// dispersion) when LSE modeling is on. Scrub passes are real disk I/O
+	// scheduled by the array, so a spun-down or congested disk scrubs
+	// late and its latent errors live longer.
+	Scrub *reliability.Weibull `json:"Scrub,omitempty"`
+	// NoScrub disables scrubbing while keeping LSE accumulation — the
+	// worst case for a redundancy group: every latent error survives
+	// until a rebuild trips over it.
+	NoScrub bool `json:"NoScrub,omitempty"`
+	// ScrubIOMB is the data volume one scrub pass reads; the pass runs as
+	// a background op competing with foreground traffic. Zero means 256.
+	ScrubIOMB float64 `json:"ScrubIOMB,omitempty"`
+	// RebuildTime, when non-nil, draws each post-repair rebuild's total
+	// duration in hours from this Weibull instead of pacing the rebuild
+	// at the array's fixed MB/s rate. The exemplar uses β = 1, η = 12 h.
+	RebuildTime *reliability.Weibull `json:"RebuildTime,omitempty"`
 }
 
 // Default returns an enabled configuration with the package defaults:
@@ -89,6 +118,61 @@ func Default() Config {
 // and mean ≈ 8 hours — a same-business-day hot-swap plus rebuild start.
 func DefaultRepair() reliability.Weibull {
 	return reliability.Weibull{Shape: 1.5, ScaleHours: 8.862}
+}
+
+// DefaultLSERatePerHour is the exemplar latent-sector-error rate: roughly
+// one LSE per disk-year, consistent with field measurements of nearline
+// drives.
+const DefaultLSERatePerHour = 1.08e-4
+
+// DefaultScrub returns the default scrub-interval distribution: Weibull with
+// β = 3 (intervals cluster tightly around the target) and η = 168 h — a
+// weekly scrub pass with operational jitter.
+func DefaultScrub() reliability.Weibull {
+	return reliability.Weibull{Shape: 3, ScaleHours: 168}
+}
+
+// DefaultScrubIOMB is the data volume one scrub pass reads when the
+// configuration leaves ScrubIOMB zero.
+const DefaultScrubIOMB = 256.0
+
+// LSEActive reports whether latent-sector-error accumulation is modeled.
+func (c Config) LSEActive() bool { return c.Enabled && c.LSERatePerHour > 0 }
+
+// ScrubActive reports whether scrub passes are scheduled: LSE modeling on
+// and scrubbing not explicitly disabled.
+func (c Config) ScrubActive() bool { return c.LSEActive() && !c.NoScrub }
+
+// ScrubDist returns the scrub-interval distribution, defaulted.
+func (c Config) ScrubDist() reliability.Weibull {
+	if c.Scrub != nil {
+		return *c.Scrub
+	}
+	return DefaultScrub()
+}
+
+// ScrubPassMB returns the scrub-pass I/O volume, defaulted.
+func (c Config) ScrubPassMB() float64 {
+	if c.ScrubIOMB > 0 {
+		return c.ScrubIOMB
+	}
+	return DefaultScrubIOMB
+}
+
+// rateBoost converts a per-hour event rate on the reliability timescale to
+// the accelerated timescale: acceleration multiplies rates. All stochastic
+// processes in this package (failure hazard, LSE arrivals) go through this
+// one helper so they cannot drift apart.
+func (c Config) rateBoost(perHour float64) float64 {
+	return perHour * c.Acceleration
+}
+
+// hoursToVirtualSeconds converts a duration in reliability-timescale hours
+// to virtual seconds: acceleration divides durations. The dual of rateBoost —
+// rateBoost(r)·hoursToVirtualSeconds(d) == r·d·3600 for any acceleration —
+// used by every duration draw (repair, scrub interval, rebuild time).
+func (c Config) hoursToVirtualSeconds(hours float64) float64 {
+	return hours * 3600 / c.Acceleration
 }
 
 // Normalized returns a copy with every zero field replaced by its default.
@@ -136,6 +220,20 @@ func (c Config) Validate() error {
 		return fmt.Errorf("faults: negative failure cap %d", c.MaxFailures)
 	case c.FixedRepairHours < 0 || math.IsNaN(c.FixedRepairHours):
 		return fmt.Errorf("faults: negative fixed repair time %v", c.FixedRepairHours)
+	case c.LSERatePerHour < 0 || math.IsNaN(c.LSERatePerHour):
+		return fmt.Errorf("faults: negative LSE rate %v per hour", c.LSERatePerHour)
+	case c.ScrubIOMB < 0 || math.IsNaN(c.ScrubIOMB):
+		return fmt.Errorf("faults: negative scrub I/O volume %v MB", c.ScrubIOMB)
+	}
+	if c.Scrub != nil {
+		if err := c.Scrub.Validate(); err != nil {
+			return fmt.Errorf("faults: scrub distribution: %w", err)
+		}
+	}
+	if c.RebuildTime != nil {
+		if err := c.RebuildTime.Validate(); err != nil {
+			return fmt.Errorf("faults: rebuild-time distribution: %w", err)
+		}
 	}
 	for i, s := range c.Scripted {
 		if s.At < 0 || math.IsNaN(s.At) {
@@ -163,6 +261,15 @@ type diskHazard struct {
 	threshold float64 // Exp(1) draw; failure when cum crosses it
 	cum       float64 // accumulated hazard
 	birth     float64 // virtual seconds at which this drive's age is zero
+
+	// Latent-sector-error state, populated only when LSE modeling is on.
+	// LSE arrivals use the same hazard-inversion scheme as failures: a
+	// unit-exponential threshold, crossed by accumulated (scaled) Poisson
+	// intensity; the process is homogeneous in age, so the crossing is a
+	// linear solve rather than a Weibull inversion.
+	lseThreshold float64
+	lseCum       float64
+	lsePending   int // latent errors accumulated and not yet scrubbed
 }
 
 // Injector samples failures for a fixed-size array. It is not safe for
@@ -174,14 +281,17 @@ type Injector struct {
 	now      float64
 	disks    []diskHazard
 	failures int
+	lseNow   float64         // virtual time LSE intensity is integrated up to
+	lses     int             // total LSE arrivals so far
 	scripted []ScriptedEvent // pending, sorted by time
 
 	// drawLog records every post-construction RNG draw ('e' for the
-	// exponential threshold in MarkRepaired, 'f' for the uniform repair
-	// draw in SampleRepairSeconds). math/rand sources cannot be serialized,
+	// exponential threshold in MarkRepaired, 'l' for the exponential LSE
+	// threshold redraw, 'f'/'s'/'b' for the uniform repair, scrub-interval
+	// and rebuild-duration draws). math/rand sources cannot be serialized,
 	// so a checkpoint restores the stream by replaying this log against a
 	// freshly seeded source — the log length is bounded by the (small)
-	// failure count, not the simulation length.
+	// failure/LSE/scrub event count, not the simulation length.
 	drawLog []byte
 }
 
@@ -206,6 +316,14 @@ func NewInjector(cfg Config, disks int) (*Injector, error) {
 	}
 	for i := range in.disks {
 		in.disks[i] = diskHazard{alive: true, threshold: in.rng.ExpFloat64()}
+	}
+	// LSE thresholds are drawn after all failure thresholds, and only when
+	// LSE modeling is on, so an LSE-off run consumes the identical RNG
+	// stream it always has.
+	if cfg.LSEActive() {
+		for i := range in.disks {
+			in.disks[i].lseThreshold = in.rng.ExpFloat64()
+		}
 	}
 	in.scripted = append(in.scripted, cfg.Scripted...)
 	sort.SliceStable(in.scripted, func(i, j int) bool { return in.scripted[i].At < in.scripted[j].At })
@@ -268,7 +386,7 @@ func (in *Injector) Advance(to float64, scale func(disk int) float64) []Failure 
 		if s <= 0 || math.IsNaN(s) {
 			continue
 		}
-		eff := s * in.cfg.Acceleration
+		eff := in.cfg.rateBoost(s)
 		a := in.cumHazardTerm((in.now - d.birth) / 3600)
 		b := in.cumHazardTerm((to - d.birth) / 3600)
 		dh := eff * (b - a)
@@ -300,8 +418,93 @@ func (in *Injector) capped() bool {
 	return in.cfg.MaxFailures > 0 && in.failures >= in.cfg.MaxFailures
 }
 
+// LSEvent is one latent-sector-error arrival.
+type LSEvent struct {
+	// Disk is the index of the disk that accumulated the error.
+	Disk int
+	// Time is the arrival time in virtual seconds.
+	Time float64
+}
+
+// AdvanceLSE integrates each live disk's latent-sector-error intensity from
+// the injector's LSE clock to `to` (virtual seconds) and returns the
+// arrivals, time-ordered. scale has the same meaning as in Advance: the
+// per-disk operating-condition multiplier for the window (nil means 1).
+// Multiple arrivals per disk per window are produced — the threshold is
+// redrawn after each crossing. Failed disks accumulate nothing: their
+// sectors are already lost wholesale.
+func (in *Injector) AdvanceLSE(to float64, scale func(disk int) float64) []LSEvent {
+	if !in.cfg.LSEActive() || to <= in.lseNow {
+		if to > in.lseNow {
+			in.lseNow = to
+		}
+		return nil
+	}
+	var out []LSEvent
+	for i := range in.disks {
+		d := &in.disks[i]
+		if !d.alive {
+			continue
+		}
+		s := 1.0
+		if scale != nil {
+			s = scale(i)
+		}
+		if s <= 0 || math.IsNaN(s) {
+			continue
+		}
+		// Poisson intensity per virtual second under acceleration.
+		rate := in.cfg.rateBoost(in.cfg.LSERatePerHour*s) / 3600
+		t := in.lseNow
+		for {
+			cross := t + (d.lseThreshold-d.lseCum)/rate
+			if cross > to {
+				d.lseCum += rate * (to - t)
+				break
+			}
+			d.lseCum = 0
+			d.lseThreshold = in.rng.ExpFloat64()
+			in.drawLog = append(in.drawLog, 'l')
+			d.lsePending++
+			in.lses++
+			out = append(out, LSEvent{Disk: i, Time: cross})
+			t = cross
+		}
+	}
+	in.lseNow = to
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Time < out[j].Time })
+	return out
+}
+
+// PendingLSE returns the count of unscrubbed latent errors on disk d.
+func (in *Injector) PendingLSE(d int) int { return in.disks[d].lsePending }
+
+// PendingLSETotal returns the unscrubbed latent errors across the array.
+func (in *Injector) PendingLSETotal() int {
+	total := 0
+	for i := range in.disks {
+		total += in.disks[i].lsePending
+	}
+	return total
+}
+
+// LSECount returns the total number of LSE arrivals produced so far.
+func (in *Injector) LSECount() int { return in.lses }
+
+// MarkScrubbed records a completed scrub pass on disk d: every pending
+// latent error is detected and rewritten from redundancy. Returns the number
+// cleared.
+func (in *Injector) MarkScrubbed(d int) int {
+	n := in.disks[d].lsePending
+	in.disks[d].lsePending = 0
+	return n
+}
+
 // MarkRepaired returns disk d to service at virtual time `at` as a fresh
-// replacement drive: age resets and a new failure threshold is drawn.
+// replacement drive: age resets and a new failure threshold is drawn. A
+// replacement drive also starts with a clean media surface, so any latent
+// errors and accumulated LSE intensity are discarded and a fresh LSE
+// threshold is drawn.
 func (in *Injector) MarkRepaired(d int, at float64) {
 	h := &in.disks[d]
 	h.alive = true
@@ -309,6 +512,20 @@ func (in *Injector) MarkRepaired(d int, at float64) {
 	h.cum = 0
 	h.threshold = in.rng.ExpFloat64()
 	in.drawLog = append(in.drawLog, 'e')
+	if in.cfg.LSEActive() {
+		h.lseCum = 0
+		h.lsePending = 0
+		h.lseThreshold = in.rng.ExpFloat64()
+		in.drawLog = append(in.drawLog, 'l')
+	}
+}
+
+// sampleWeibullHours draws from w by inverse CDF — T = η·(−ln(1−u))^(1/β) —
+// logging the uniform draw under the given kind byte for checkpoint replay.
+func (in *Injector) sampleWeibullHours(w reliability.Weibull, kind byte) float64 {
+	u := in.rng.Float64()
+	in.drawLog = append(in.drawLog, kind)
+	return w.ScaleHours * math.Pow(-math.Log(1-u), 1/w.Shape)
 }
 
 // SampleRepairSeconds draws a repair/replacement duration in virtual
@@ -317,13 +534,22 @@ func (in *Injector) MarkRepaired(d int, at float64) {
 func (in *Injector) SampleRepairSeconds() float64 {
 	hours := in.cfg.FixedRepairHours
 	if hours <= 0 {
-		// Inverse-CDF sample: T = η·(−ln(1−u))^(1/β).
-		u := in.rng.Float64()
-		in.drawLog = append(in.drawLog, 'f')
-		w := in.cfg.Repair
-		hours = w.ScaleHours * math.Pow(-math.Log(1-u), 1/w.Shape)
+		hours = in.sampleWeibullHours(in.cfg.Repair, 'f')
 	}
-	return hours * 3600 / in.cfg.Acceleration
+	return in.cfg.hoursToVirtualSeconds(hours)
+}
+
+// SampleScrubIntervalSeconds draws the time until a disk's next scrub pass,
+// in virtual seconds on the accelerated timescale.
+func (in *Injector) SampleScrubIntervalSeconds() float64 {
+	return in.cfg.hoursToVirtualSeconds(in.sampleWeibullHours(in.cfg.ScrubDist(), 's'))
+}
+
+// SampleRebuildSeconds draws a post-repair rebuild duration in virtual
+// seconds on the accelerated timescale. Valid only when Config.RebuildTime
+// is set.
+func (in *Injector) SampleRebuildSeconds() float64 {
+	return in.cfg.hoursToVirtualSeconds(in.sampleWeibullHours(*in.cfg.RebuildTime, 'b'))
 }
 
 // DiskCheckpoint is the serializable hazard state of one disk.
@@ -334,6 +560,11 @@ type DiskCheckpoint struct {
 	Threshold float64 `json:"threshold"`
 	Cum       float64 `json:"cum"`
 	Birth     float64 `json:"birth"`
+	// LSE fields are zero (and omitted) when LSE modeling is off, keeping
+	// pre-LSE checkpoints byte-identical.
+	LSEThreshold float64 `json:"lse_threshold,omitempty"`
+	LSECum       float64 `json:"lse_cum,omitempty"`
+	LSEPending   int     `json:"lse_pending,omitempty"`
 }
 
 // Checkpoint is the complete serializable state of an Injector. The RNG
@@ -347,6 +578,8 @@ type DiskCheckpoint struct {
 type Checkpoint struct {
 	Now      float64          `json:"now"`
 	Failures int              `json:"failures"`
+	LSENow   float64          `json:"lse_now,omitempty"`
+	LSEs     int              `json:"lses,omitempty"`
 	Disks    []DiskCheckpoint `json:"disks"`
 	Scripted []ScriptedEvent  `json:"scripted,omitempty"`
 	DrawLog  string           `json:"draw_log,omitempty"`
@@ -357,12 +590,17 @@ func (in *Injector) Checkpoint() Checkpoint {
 	c := Checkpoint{
 		Now:      in.now,
 		Failures: in.failures,
+		LSENow:   in.lseNow,
+		LSEs:     in.lses,
 		Disks:    make([]DiskCheckpoint, len(in.disks)),
 		Scripted: append([]ScriptedEvent(nil), in.scripted...),
 		DrawLog:  string(in.drawLog),
 	}
 	for i, d := range in.disks {
-		c.Disks[i] = DiskCheckpoint{Alive: d.alive, Threshold: d.threshold, Cum: d.cum, Birth: d.birth}
+		c.Disks[i] = DiskCheckpoint{
+			Alive: d.alive, Threshold: d.threshold, Cum: d.cum, Birth: d.birth,
+			LSEThreshold: d.lseThreshold, LSECum: d.lseCum, LSEPending: d.lsePending,
+		}
 	}
 	return c
 }
@@ -378,9 +616,9 @@ func RestoreInjector(cfg Config, c Checkpoint) (*Injector, error) {
 	}
 	for _, kind := range []byte(c.DrawLog) {
 		switch kind {
-		case 'e':
+		case 'e', 'l':
 			in.rng.ExpFloat64()
-		case 'f':
+		case 'f', 's', 'b':
 			in.rng.Float64()
 		default:
 			return nil, fmt.Errorf("faults: unknown draw log entry %q", kind)
@@ -389,8 +627,13 @@ func RestoreInjector(cfg Config, c Checkpoint) (*Injector, error) {
 	in.drawLog = []byte(c.DrawLog)
 	in.now = c.Now
 	in.failures = c.Failures
+	in.lseNow = c.LSENow
+	in.lses = c.LSEs
 	for i, d := range c.Disks {
-		in.disks[i] = diskHazard{alive: d.Alive, threshold: d.Threshold, cum: d.Cum, birth: d.Birth}
+		in.disks[i] = diskHazard{
+			alive: d.Alive, threshold: d.Threshold, cum: d.Cum, birth: d.Birth,
+			lseThreshold: d.LSEThreshold, lseCum: d.LSECum, lsePending: d.LSEPending,
+		}
 	}
 	in.scripted = append([]ScriptedEvent(nil), c.Scripted...)
 	return in, nil

@@ -1,0 +1,253 @@
+package faults
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/reliability"
+)
+
+func lseConfig(seed int64, accel float64) Config {
+	return Config{
+		Enabled:        true,
+		Seed:           seed,
+		Acceleration:   accel,
+		LSERatePerHour: DefaultLSERatePerHour,
+		RebuildTime:    &reliability.Weibull{Shape: 1, ScaleHours: 12},
+	}
+}
+
+// TestTimescaleConversionPinned pins the accelerated-timescale contract:
+// acceleration multiplies rates and divides durations through the shared
+// helpers, so rateBoost(r)·hoursToVirtualSeconds(d) is invariant in the
+// acceleration factor. LSE, scrub, and repair draws all route through these
+// two helpers, so the three processes cannot drift apart.
+func TestTimescaleConversionPinned(t *testing.T) {
+	for _, accel := range []float64{1, 4, 1e3, 2e5} {
+		c := Config{Acceleration: accel}
+		const rate, dur = 0.25, 7.5 // per hour, hours
+		got := c.rateBoost(rate) * c.hoursToVirtualSeconds(dur)
+		want := rate * dur * 3600
+		if math.Abs(got-want) > 1e-9*want {
+			t.Fatalf("accel %v: rateBoost·hoursToVirtualSeconds = %v, want %v", accel, got, want)
+		}
+	}
+	// The same uniform draw at different accelerations must yield durations
+	// in exact inverse proportion, for every duration sampler.
+	samplers := map[string]func(*Injector) float64{
+		"repair":  (*Injector).SampleRepairSeconds,
+		"scrub":   (*Injector).SampleScrubIntervalSeconds,
+		"rebuild": (*Injector).SampleRebuildSeconds,
+	}
+	for name, sample := range samplers {
+		a, err := NewInjector(lseConfig(9, 1), 1)
+		if err != nil {
+			t.Fatalf("NewInjector: %v", err)
+		}
+		b, err := NewInjector(lseConfig(9, 500), 1)
+		if err != nil {
+			t.Fatalf("NewInjector: %v", err)
+		}
+		da, db := sample(a), sample(b)
+		if math.Abs(da/db-500) > 1e-9*500 {
+			t.Fatalf("%s: durations %v and %v not in 500:1 ratio", name, da, db)
+		}
+	}
+}
+
+// TestLSERateMatchesPoisson checks that the hazard-inversion LSE sampler
+// reproduces its configured Poisson rate: over a long exposure the arrival
+// count must match rate·disks·hours within a few percent.
+func TestLSERateMatchesPoisson(t *testing.T) {
+	const disks = 16
+	cfg := lseConfig(3, 1e4)
+	cfg.LSERatePerHour = 0.01
+	in, err := NewInjector(cfg, disks)
+	if err != nil {
+		t.Fatalf("NewInjector: %v", err)
+	}
+	// 100 windows of 1 virtual hour at 1e4 acceleration = 1e6 disk-hours/16.
+	total := 0
+	for step := 1; step <= 100; step++ {
+		total += len(in.AdvanceLSE(float64(step)*3600, nil))
+	}
+	exposureHours := 100.0 * 3600 / 3600 * cfg.Acceleration * disks
+	want := cfg.LSERatePerHour * exposureHours
+	got := float64(total)
+	if rel := math.Abs(got-want) / want; rel > 0.05 {
+		t.Fatalf("LSE count %v vs expected %v: relative error %.1f%% > 5%%", got, want, rel*100)
+	}
+	if in.LSECount() != total {
+		t.Fatalf("LSECount %d != emitted %d", in.LSECount(), total)
+	}
+	if in.PendingLSETotal() != total {
+		t.Fatalf("PendingLSETotal %d != emitted %d (nothing scrubbed)", in.PendingLSETotal(), total)
+	}
+}
+
+// TestLSEScalingShiftsRate checks the operating-condition coupling: a
+// constant scale multiplier k multiplies the LSE arrival rate by k.
+func TestLSEScalingShiftsRate(t *testing.T) {
+	count := func(scale float64) int {
+		cfg := lseConfig(11, 1e5)
+		cfg.LSERatePerHour = 0.01
+		in, err := NewInjector(cfg, 8)
+		if err != nil {
+			t.Fatalf("NewInjector: %v", err)
+		}
+		total := 0
+		for step := 1; step <= 200; step++ {
+			total += len(in.AdvanceLSE(float64(step)*3600, func(int) float64 { return scale }))
+		}
+		return total
+	}
+	base, doubled := count(1), count(2)
+	got := float64(doubled) / float64(base)
+	if math.Abs(got-2) > 0.1 {
+		t.Fatalf("scale-2 LSE rate ratio %.3f, want 2±0.1", got)
+	}
+}
+
+// TestScrubClearsPending checks MarkScrubbed semantics and that failed
+// disks accumulate no latent errors.
+func TestScrubClearsPending(t *testing.T) {
+	cfg := lseConfig(5, 1e6)
+	cfg.LSERatePerHour = 0.01
+	in, err := NewInjector(cfg, 2)
+	if err != nil {
+		t.Fatalf("NewInjector: %v", err)
+	}
+	in.AdvanceLSE(100*3600, nil)
+	if in.PendingLSE(0) == 0 {
+		t.Fatal("expected pending LSEs on disk 0 at this rate")
+	}
+	n := in.MarkScrubbed(0)
+	if n == 0 || in.PendingLSE(0) != 0 {
+		t.Fatalf("scrub cleared %d, pending now %d", n, in.PendingLSE(0))
+	}
+	// Kill disk 1 and confirm it stops accumulating.
+	in.disks[1].alive = false
+	before := in.PendingLSE(1)
+	in.AdvanceLSE(200*3600, nil)
+	if in.PendingLSE(1) != before {
+		t.Fatalf("dead disk accumulated LSEs: %d -> %d", before, in.PendingLSE(1))
+	}
+	// Repair resets the pending count along with media state.
+	in.MarkRepaired(1, 200*3600)
+	if in.PendingLSE(1) != 0 {
+		t.Fatalf("repaired disk kept %d pending LSEs", in.PendingLSE(1))
+	}
+}
+
+// TestLSECheckpointRoundTrip interleaves failures, repairs, LSEs, scrub
+// draws, and rebuild draws, checkpoints mid-stream, and checks that the
+// restored injector produces the identical continuation — the draw log must
+// replay 'e', 'l', 'f', 's', and 'b' entries correctly.
+func TestLSECheckpointRoundTrip(t *testing.T) {
+	cfg := lseConfig(21, 3e5)
+	cfg.LSERatePerHour = 0.005
+	mk := func() *Injector {
+		in, err := NewInjector(cfg, 6)
+		if err != nil {
+			t.Fatalf("NewInjector: %v", err)
+		}
+		return in
+	}
+	drive := func(in *Injector, from, to int) (fails []Failure, lses []LSEvent, draws []float64) {
+		for step := from; step <= to; step++ {
+			now := float64(step) * 3600
+			for _, f := range in.Advance(now, nil) {
+				fails = append(fails, f)
+				draws = append(draws, in.SampleRepairSeconds(), in.SampleRebuildSeconds())
+				in.MarkRepaired(f.Disk, now)
+			}
+			lses = append(lses, in.AdvanceLSE(now, nil)...)
+			if step%10 == 0 {
+				draws = append(draws, in.SampleScrubIntervalSeconds())
+				in.MarkScrubbed(step % 6)
+			}
+		}
+		return
+	}
+
+	ref := mk()
+	drive(ref, 1, 50)
+	ckpt := ref.Checkpoint()
+	wantF, wantL, wantD := drive(ref, 51, 120)
+
+	res, err := RestoreInjector(cfg, ckpt)
+	if err != nil {
+		t.Fatalf("RestoreInjector: %v", err)
+	}
+	gotF, gotL, gotD := drive(res, 51, 120)
+
+	if len(wantF) == 0 || len(wantL) == 0 {
+		t.Fatalf("weak test: %d failures, %d LSEs after checkpoint", len(wantF), len(wantL))
+	}
+	if len(gotF) != len(wantF) || len(gotL) != len(wantL) || len(gotD) != len(wantD) {
+		t.Fatalf("continuation counts diverged: %d/%d/%d vs %d/%d/%d",
+			len(gotF), len(gotL), len(gotD), len(wantF), len(wantL), len(wantD))
+	}
+	for i := range wantF {
+		if gotF[i] != wantF[i] {
+			t.Fatalf("failure %d diverged: %+v vs %+v", i, gotF[i], wantF[i])
+		}
+	}
+	for i := range wantL {
+		if gotL[i] != wantL[i] {
+			t.Fatalf("LSE %d diverged: %+v vs %+v", i, gotL[i], wantL[i])
+		}
+	}
+	for i := range wantD {
+		if gotD[i] != wantD[i] {
+			t.Fatalf("duration draw %d diverged: %v vs %v", i, gotD[i], wantD[i])
+		}
+	}
+}
+
+// TestLSEOffKeepsRNGStream proves the bit-identity contract for feature-off
+// runs: an injector without LSE modeling draws the same thresholds and
+// repair times it always has, even though the code now supports more.
+func TestLSEOffKeepsRNGStream(t *testing.T) {
+	plain := Config{Enabled: true, Seed: 77}
+	in, err := NewInjector(plain, 4)
+	if err != nil {
+		t.Fatalf("NewInjector: %v", err)
+	}
+	// Reproduce the expected stream by hand: 4 ExpFloat64 thresholds, then
+	// one uniform repair draw.
+	ref, err := NewInjector(plain, 4)
+	if err != nil {
+		t.Fatalf("NewInjector: %v", err)
+	}
+	if got, want := in.SampleRepairSeconds(), ref.SampleRepairSeconds(); got != want {
+		t.Fatalf("repair draw %v != %v", got, want)
+	}
+	for i := 0; i < 4; i++ {
+		if in.disks[i].lseThreshold != 0 {
+			t.Fatalf("disk %d has an LSE threshold with LSE modeling off", i)
+		}
+	}
+	if len(in.AdvanceLSE(1e9, nil)) != 0 {
+		t.Fatal("AdvanceLSE produced events with LSE modeling off")
+	}
+}
+
+func TestValidateNewFields(t *testing.T) {
+	bad := []Config{
+		{LSERatePerHour: -1},
+		{LSERatePerHour: math.NaN()},
+		{ScrubIOMB: -5},
+		{Scrub: &reliability.Weibull{Shape: 0, ScaleHours: 10}},
+		{RebuildTime: &reliability.Weibull{Shape: 1, ScaleHours: -2}},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d: expected validation error", i)
+		}
+	}
+	good := lseConfig(1, 10)
+	if err := good.Validate(); err != nil {
+		t.Errorf("LSE config invalid: %v", err)
+	}
+}

@@ -44,6 +44,44 @@ func reassignAcross(ctx *array.Context, d int, targets []int) {
 	}
 }
 
+// raidTargets narrows a failover target set to dead disk d's stripe/replica
+// group when a RAID organization is configured: the group's surviving
+// members are the disks that can actually reconstruct d's data from parity
+// or replicas, so re-homed placements should land there first. With no RAID
+// layer, or a group with no overlap with the policy's candidates, the
+// policy's own targets stand.
+func raidTargets(ctx *array.Context, d int, fallback []int) []int {
+	group := ctx.RAIDGroup(d)
+	if group == nil {
+		return fallback
+	}
+	allowed := make(map[int]bool, len(group))
+	for _, m := range group {
+		allowed[m] = true
+	}
+	var out []int
+	for _, t := range fallback {
+		if allowed[t] {
+			out = append(out, t)
+		}
+	}
+	if len(out) > 0 {
+		return out
+	}
+	// The policy's candidates all live outside the group (or the group has
+	// no survivors among them): fall back to any surviving group member
+	// before giving up on group locality entirely.
+	for _, m := range group {
+		if m != d && !ctx.DiskFailed(m) {
+			out = append(out, m)
+		}
+	}
+	if len(out) > 0 {
+		return out
+	}
+	return fallback
+}
+
 // --- READ ---
 
 // OnDiskFailure re-zones around a dead disk: with no spare covering the
@@ -62,7 +100,7 @@ func (r *READ) OnDiskFailure(ctx *array.Context, d int) {
 	if len(targets) == 0 {
 		targets = survivors(ctx, 0, ctx.NumDisks())
 	}
-	reassignAcross(ctx, d, targets)
+	reassignAcross(ctx, d, raidTargets(ctx, d, targets))
 }
 
 // OnDiskRepair restores the replacement to its zone's speed.
@@ -106,7 +144,7 @@ func (m *MAID) OnDiskFailure(ctx *array.Context, d int) {
 	if ctx.DiskCovered(d) {
 		return
 	}
-	reassignAcross(ctx, d, survivors(ctx, m.cacheDisks, ctx.NumDisks()))
+	reassignAcross(ctx, d, raidTargets(ctx, d, survivors(ctx, m.cacheDisks, ctx.NumDisks())))
 }
 
 // OnDiskRepair repowers the replacement: cache workhorses run at high speed
@@ -126,7 +164,7 @@ func (p *PDC) OnDiskFailure(ctx *array.Context, d int) {
 	if ctx.DiskCovered(d) {
 		return
 	}
-	reassignAcross(ctx, d, survivors(ctx, 0, ctx.NumDisks()))
+	reassignAcross(ctx, d, raidTargets(ctx, d, survivors(ctx, 0, ctx.NumDisks())))
 }
 
 // OnDiskRepair repowers the replacement for its rebuild; the idle timeout

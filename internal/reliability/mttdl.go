@@ -1,0 +1,58 @@
+package reliability
+
+import (
+	"errors"
+	"math"
+)
+
+// Closed-form mean-time-to-data-loss approximations for the classic RAID
+// organizations, under the standard Markov assumptions: exponential disk
+// lifetimes with mean mttfHours, exponential repairs with mean mttrHours,
+// and MTTR ≪ MTTF. These are the textbook formulas (Patterson/Gibson/Katz
+// for RAID-5, Thomasian's tutorial for the general k-of-n forms) that the
+// simulator's Monte-Carlo MTTDL estimates are validated against.
+
+// MTTDLRaid5Hours returns MTTF²/(n(n−1)·MTTR) for an n-disk RAID-5 group:
+// loss requires a second failure during the first failure's repair window.
+func MTTDLRaid5Hours(n int, mttfHours, mttrHours float64) (float64, error) {
+	if err := checkMTTDLArgs(n, 2, mttfHours, mttrHours); err != nil {
+		return 0, err
+	}
+	nf := float64(n)
+	return mttfHours * mttfHours / (nf * (nf - 1) * mttrHours), nil
+}
+
+// MTTDLRaid6Hours returns MTTF³/(n(n−1)(n−2)·MTTR²) for an n-disk RAID-6
+// group: loss requires a third failure during two overlapping repairs.
+func MTTDLRaid6Hours(n int, mttfHours, mttrHours float64) (float64, error) {
+	if err := checkMTTDLArgs(n, 3, mttfHours, mttrHours); err != nil {
+		return 0, err
+	}
+	nf := float64(n)
+	return math.Pow(mttfHours, 3) / (nf * (nf - 1) * (nf - 2) * mttrHours * mttrHours), nil
+}
+
+// MTTDLReplicationHours returns MTTF^k/(k!·MTTR^(k−1)) for one k-way
+// replica group: data survives until every copy is simultaneously down.
+func MTTDLReplicationHours(k int, mttfHours, mttrHours float64) (float64, error) {
+	if err := checkMTTDLArgs(k, 2, mttfHours, mttrHours); err != nil {
+		return 0, err
+	}
+	fact := 1.0
+	for i := 2; i <= k; i++ {
+		fact *= float64(i)
+	}
+	return math.Pow(mttfHours, float64(k)) / (fact * math.Pow(mttrHours, float64(k-1))), nil
+}
+
+func checkMTTDLArgs(n, min int, mttfHours, mttrHours float64) error {
+	switch {
+	case n < min:
+		return errors.New("reliability: too few disks for organization")
+	case mttfHours <= 0 || math.IsNaN(mttfHours):
+		return errors.New("reliability: MTTF must be positive")
+	case mttrHours <= 0 || math.IsNaN(mttrHours):
+		return errors.New("reliability: MTTR must be positive")
+	}
+	return nil
+}

@@ -44,6 +44,17 @@ type Summary struct {
 	DataLossEvents float64 `json:"data_loss_events,omitempty"`
 	MTTDLHours     float64 `json:"mttdl_hours,omitempty"`
 
+	// LSEOn / RAIDOn gate the latent-sector-error and RAID-organization
+	// metrics the same way FaultsOn gates the fault metrics: a run without
+	// the feature never diffs against them.
+	LSEOn          bool    `json:"lse_on,omitempty"`
+	LSEErrors      float64 `json:"lse_errors,omitempty"`
+	LSECleared     float64 `json:"lse_cleared,omitempty"`
+	Scrubs         float64 `json:"scrubs,omitempty"`
+	RAIDOn         bool    `json:"raid_on,omitempty"`
+	RAIDLossEvents float64 `json:"raid_loss_events,omitempty"`
+	MTTDLEstHours  float64 `json:"mttdl_est_hours,omitempty"`
+
 	// Extra holds additional named metrics (e.g. per-cell values of a sweep
 	// condition, keyed "cell.<policy>.<disks>.<metric>"). Extra keys must not
 	// collide with the JSON names of the fixed fields above.
@@ -76,6 +87,17 @@ func SummaryFromResult(r *array.Result, faultsOn bool) Summary {
 		s.DiskFailures = float64(r.DiskFailures)
 		s.DataLossEvents = float64(r.DataLossEvents)
 		s.MTTDLHours = r.MTTDLHours
+		if r.LSEModeled {
+			s.LSEOn = true
+			s.LSEErrors = float64(r.LSEErrors)
+			s.LSECleared = float64(r.LSECleared)
+			s.Scrubs = float64(r.Scrubs)
+		}
+		if r.RAIDLevel != "" {
+			s.RAIDOn = true
+			s.RAIDLossEvents = float64(r.RAIDDataLossEvents)
+			s.MTTDLEstHours = r.MTTDLEstHours
+		}
 	}
 	return s
 }
@@ -98,6 +120,15 @@ func (s Summary) Metrics() map[string]float64 {
 		out["disk_failures"] = s.DiskFailures
 		out["data_loss_events"] = s.DataLossEvents
 		out["mttdl_hours"] = s.MTTDLHours
+	}
+	if s.LSEOn {
+		out["lse_errors"] = s.LSEErrors
+		out["lse_cleared"] = s.LSECleared
+		out["scrubs"] = s.Scrubs
+	}
+	if s.RAIDOn {
+		out["raid_loss_events"] = s.RAIDLossEvents
+		out["mttdl_est_hours"] = s.MTTDLEstHours
 	}
 	for k, v := range s.Extra {
 		out[k] = v

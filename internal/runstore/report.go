@@ -254,6 +254,7 @@ type reportRunView struct {
 	EnergyKJ, AFRPct                 string
 	MeanMs, P95Ms, P99Ms             string
 	TransPerDay                      string
+	LSEErrors, RAIDLosses, MTTDLEst  string
 	UtilSVG, AFRSVG                  template.HTML
 	HasSeries                        bool
 }
@@ -262,7 +263,10 @@ type reportView struct {
 	Title       string
 	Build       string
 	TradeoffSVG template.HTML
-	Runs        []reportRunView
+	// ShowReliability adds the LSE / RAID-loss / MTTDL columns; set when at
+	// least one run recorded them, so feature-off reports are unchanged.
+	ShowReliability bool
+	Runs            []reportRunView
 }
 
 var reportTmpl = template.Must(template.New("report").Parse(`<!DOCTYPE html>
@@ -285,8 +289,8 @@ code { background: #f4f4f4; padding: .1rem .3rem; border-radius: 3px; }
 
 <h2>Runs</h2>
 <table>
-<tr><th>run</th><th>tool</th><th>policy</th><th>workload</th><th>energy (kJ)</th><th>AFR (%)</th><th>mean (ms)</th><th>p95 (ms)</th><th>p99 (ms)</th><th>trans/day</th></tr>
-{{range .Runs}}<tr><td><code>{{.ID}}</code></td><td>{{.Tool}}</td><td>{{.Policy}}</td><td>{{.Workload}}</td><td>{{.EnergyKJ}}</td><td>{{.AFRPct}}</td><td>{{.MeanMs}}</td><td>{{.P95Ms}}</td><td>{{.P99Ms}}</td><td>{{.TransPerDay}}</td></tr>
+<tr><th>run</th><th>tool</th><th>policy</th><th>workload</th><th>energy (kJ)</th><th>AFR (%)</th><th>mean (ms)</th><th>p95 (ms)</th><th>p99 (ms)</th><th>trans/day</th>{{if .ShowReliability}}<th>LSEs</th><th>RAID losses</th><th>MTTDL est (h)</th>{{end}}</tr>
+{{range .Runs}}<tr><td><code>{{.ID}}</code></td><td>{{.Tool}}</td><td>{{.Policy}}</td><td>{{.Workload}}</td><td>{{.EnergyKJ}}</td><td>{{.AFRPct}}</td><td>{{.MeanMs}}</td><td>{{.P95Ms}}</td><td>{{.P99Ms}}</td><td>{{.TransPerDay}}</td>{{if $.ShowReliability}}<td>{{.LSEErrors}}</td><td>{{.RAIDLosses}}</td><td>{{.MTTDLEst}}</td>{{end}}</tr>
 {{end}}</table>
 
 {{range .Runs}}{{if .HasSeries}}
@@ -326,7 +330,21 @@ func WriteHTMLReport(w io.Writer, title string, runs []*ReportRun) error {
 			P95Ms:       ms(m.Summary.P95ResponseS),
 			P99Ms:       ms(m.Summary.P99ResponseS),
 			TransPerDay: strconv.FormatFloat(m.Summary.TransitionsPerDay, 'f', 1, 64),
+			LSEErrors:   "-",
+			RAIDLosses:  "-",
+			MTTDLEst:    "-",
 			HasSeries:   len(r.Series) > 0,
+		}
+		if m.Summary.LSEOn {
+			view.ShowReliability = true
+			rv.LSEErrors = strconv.FormatFloat(m.Summary.LSEErrors, 'f', 0, 64)
+		}
+		if m.Summary.RAIDOn {
+			view.ShowReliability = true
+			rv.RAIDLosses = strconv.FormatFloat(m.Summary.RAIDLossEvents, 'f', 0, 64)
+			if m.Summary.MTTDLEstHours > 0 {
+				rv.MTTDLEst = strconv.FormatFloat(m.Summary.MTTDLEstHours, 'g', 4, 64)
+			}
 		}
 		if rv.HasSeries {
 			rv.UtilSVG = timelineSVG(r.Series, func(s DiskSeries) []float64 { return s.Util },

@@ -1,0 +1,46 @@
+package stats
+
+import "math"
+
+// MTTDL is a Monte-Carlo mean-time-to-data-loss estimator: data-loss events
+// counted over an exposure measured in reliability-timescale hours (virtual
+// hours multiplied by the fault-injection acceleration factor). Loss events
+// in a renewal process are approximately Poisson over long exposures, which
+// gives the normal-approximation interval below.
+type MTTDL struct {
+	// ExposureHours is the observed exposure on the reliability timescale.
+	ExposureHours float64
+	// Events is the number of data-loss events observed.
+	Events int
+}
+
+// Hours returns the point estimate exposure/events; +Inf when no loss was
+// observed (the estimate is then a lower-bounded censored observation).
+func (m MTTDL) Hours() float64 {
+	if m.Events <= 0 {
+		return math.Inf(1)
+	}
+	return m.ExposureHours / float64(m.Events)
+}
+
+// LowerHours returns the lower edge of an approximate 95% confidence
+// interval: exposure/(n + 1.96·√n). With zero events it is exposure/3.69
+// (the one-sided Poisson bound), a usable "at least this good" floor.
+func (m MTTDL) LowerHours() float64 {
+	n := float64(m.Events)
+	if m.Events <= 0 {
+		return m.ExposureHours / 3.69
+	}
+	return m.ExposureHours / (n + 1.96*math.Sqrt(n))
+}
+
+// UpperHours returns the upper edge of the approximate 95% interval:
+// exposure/(n − 1.96·√n), or +Inf when the denominator is non-positive.
+func (m MTTDL) UpperHours() float64 {
+	n := float64(m.Events)
+	den := n - 1.96*math.Sqrt(n)
+	if den <= 0 {
+		return math.Inf(1)
+	}
+	return m.ExposureHours / den
+}
