@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint fuzz bench
+.PHONY: all build test lint fuzz bench bench-smoke
 
 all: lint build test
 
@@ -27,5 +27,22 @@ lint:
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzTraceCodec -fuzztime=20s ./internal/workload
 
+# bench regenerates both committed benchmark baselines:
+#   BENCH_telemetry.json — micro-benchmark trajectory (ns/op, allocs/op,
+#     custom metrics), via cmd/benchjson
+#   BENCH_runs.json      — run-summary trajectory the CI regression gate
+#     checks with `arrayreport check`
+# Run it after a deliberate performance or metrics change and commit the
+# diff; CI never regenerates these files.
 bench:
+	$(GO) test -run='^$$' -bench=. -benchmem ./... \
+		| $(GO) run ./cmd/benchjson -out BENCH_telemetry.json
+	rm -rf .bench-runs
+	$(GO) run ./cmd/experiments -fig 7 -scale 0.02 -runs-dir .bench-runs
+	$(GO) run ./cmd/arrayreport baseline -store .bench-runs -command "make bench" -out BENCH_runs.json
+	rm -rf .bench-runs
+
+# bench-smoke compiles and runs every benchmark once — a fast CI-sized
+# check that the benchmarks themselves still work.
+bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...

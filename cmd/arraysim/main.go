@@ -7,10 +7,14 @@
 //	arraysim -policy read -faults -spares 1 -fault-accel 5e5
 //	arraysim -policy read -faults -lse-rate 1.08e-4 -raid raid5 -rebuild-hours 12
 //	arraysim -policy read -telemetry-dir out -trace-events -progress
+//	arraysim -policy read -runs-dir runs -trace-decisions
+//	arraysim -replay-decisions runs/arraysim-<digest> -override 3:skip
 //	arraysim -policy read -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -19,6 +23,9 @@ import (
 	"runtime"
 	"runtime/pprof"
 	rtrace "runtime/trace"
+	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	diskarray "repro"
@@ -73,6 +80,9 @@ func main() {
 		telemetryDir = flag.String("telemetry-dir", "", "write per-disk NDJSON/CSV time-series and metrics.json into this directory")
 		traceEvents  = flag.Bool("trace-events", false, "also record a Chrome trace_event DES trace (trace.json; requires -telemetry-dir)")
 		traceSample  = flag.Int("trace-sample", 1, "record every Nth DES event in the Chrome trace")
+		traceDec     = flag.Bool("trace-decisions", false, "record a structured policy decision log (decisions.ndjson) and attribution rollup (requires -telemetry-dir or -runs-dir)")
+		replayDir    = flag.String("replay-decisions", "", "counterfactual replay: re-run the run recorded in this run directory (manifest.json + decisions.ndjson) and verify it reproduces, or perturb it with -override")
+		overrideArg  = flag.String("override", "", "with -replay-decisions, force one recorded decision: <seq>:skip suppresses the decision and reports the energy/AFR/p99 delta")
 		progress     = flag.Bool("progress", false, "log run phases and sim-time/wall-time progress to stderr")
 		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile   = flag.String("memprofile", "", "write a heap profile to this file")
@@ -154,6 +164,28 @@ func main() {
 			usageErr("%v", err)
 		}
 	}
+	if *replayDir != "" {
+		// Replay reconstructs the whole configuration from the recorded
+		// manifest; any flag that would change it contradicts the point.
+		allowed := map[string]bool{
+			"replay-decisions": true, "override": true,
+			"checkpoint-every": true, "v": true, "progress": true,
+		}
+		var clash []string
+		for name := range explicit {
+			if !allowed[name] {
+				clash = append(clash, name)
+			}
+		}
+		sort.Strings(clash)
+		if len(clash) > 0 {
+			usageErr("-replay-decisions derives the run configuration from the recorded manifest; drop -%s", strings.Join(clash, ", -"))
+		}
+		if err := runReplay(*replayDir, *overrideArg, *ckptEvery); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	switch {
 	case *runsDir == "" && explicit["run-name"]:
 		usageErr("-run-name requires -runs-dir")
@@ -169,6 +201,10 @@ func main() {
 		usageErr("-run-name must not be empty")
 	case *runsDir == "" && *telemetryDir == "" && (*traceEvents || explicit["trace-sample"]):
 		usageErr("-trace-events/-trace-sample require -telemetry-dir or -runs-dir")
+	case *runsDir == "" && *telemetryDir == "" && *traceDec:
+		usageErr("-trace-decisions requires -telemetry-dir or -runs-dir (the decision log is written as decisions.ndjson)")
+	case *overrideArg != "" && *replayDir == "":
+		usageErr("-override requires -replay-decisions")
 	case *traceSample < 1:
 		usageErr("-trace-sample %d must be at least 1", *traceSample)
 	}
@@ -296,6 +332,7 @@ func main() {
 			Dir:              *telemetryDir,
 			TraceEvents:      *traceEvents,
 			TraceSampleEvery: *traceSample,
+			TraceDecisions:   *traceDec,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -311,32 +348,9 @@ func main() {
 	}
 
 	prog.Phase("load-trace")
-	var trace *diskarray.Trace
-	if *tracePath != "" {
-		f, err := os.Open(*tracePath)
-		if err != nil {
-			log.Fatal(err)
-		}
-		tr, err := diskarray.ReadTrace(f)
-		f.Close()
-		if err != nil {
-			log.Fatal(err)
-		}
-		trace = tr
-	} else {
-		cfg := diskarray.DefaultGenConfig()
-		cfg.NumRequests = *requests
-		cfg.MeanInterarrival /= *intensity
-		cfg.Seed = *seed
-		cfg.DiurnalProfile = diskarray.DefaultDiurnalProfile()
-		duration := float64(cfg.NumRequests) * cfg.MeanInterarrival
-		cfg.PhaseSeconds = duration / 12
-		cfg.PhaseRotate = 0.10
-		tr, err := diskarray.GenerateTrace(cfg)
-		if err != nil {
-			log.Fatal(err)
-		}
-		trace = tr
+	trace, err := buildTrace(*tracePath, *requests, *intensity, *seed)
+	if err != nil {
+		log.Fatal(err)
 	}
 	stats, err := trace.ComputeStats()
 	if err != nil {
@@ -426,6 +440,7 @@ func main() {
 			manifest.Workload = fmt.Sprintf("synthetic %d requests, intensity %g", *requests, *intensity)
 		}
 		manifest.Summary = runstore.SummaryFromResult(res, *withFaults)
+		manifest.Attribution = res.Attribution
 		manifest.CreatedAt = start.UTC().Format(time.RFC3339)
 		manifest.WallSeconds = time.Since(start).Seconds()
 		dir, err := store.Write(manifest)
@@ -495,4 +510,188 @@ func main() {
 				d.MeanTempC, d.AFR, d.RequestsServed, d.FinalSpeed)
 		}
 	}
+}
+
+// buildTrace loads a trace file or generates the synthetic workload, exactly
+// as the recorded run did — replay reuses it so both runs see the same
+// requests.
+func buildTrace(tracePath string, requests int, intensity float64, seed int64) (*diskarray.Trace, error) {
+	if tracePath != "" {
+		f, err := os.Open(tracePath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return diskarray.ReadTrace(f)
+	}
+	cfg := diskarray.DefaultGenConfig()
+	cfg.NumRequests = requests
+	cfg.MeanInterarrival /= intensity
+	cfg.Seed = seed
+	cfg.DiurnalProfile = diskarray.DefaultDiurnalProfile()
+	duration := float64(cfg.NumRequests) * cfg.MeanInterarrival
+	cfg.PhaseSeconds = duration / 12
+	cfg.PhaseRotate = 0.10
+	return diskarray.GenerateTrace(cfg)
+}
+
+// runReplay is the -replay-decisions mode: rebuild the recorded run's
+// configuration from its manifest, re-run it with a fresh decision log, and
+// either verify the decision stream and headline metrics reproduce
+// bit-identically (no -override) or force one decision and report the
+// energy/AFR/p99 cost of that single choice. Replay never writes into the
+// run directory.
+func runReplay(runDir, override string, ckptEvery float64) error {
+	m, err := runstore.ReadManifest(runDir)
+	if err != nil {
+		return err
+	}
+	if m.Tool != "arraysim" {
+		return fmt.Errorf("replay: %s was recorded by %q; only single arraysim runs can be replayed", runDir, m.Tool)
+	}
+	var mc manifestConfig
+	if err := json.Unmarshal(m.Config, &mc); err != nil {
+		return fmt.Errorf("replay: decode manifest config: %w", err)
+	}
+	basePath := filepath.Join(runDir, "decisions.ndjson")
+	baseBytes, err := os.ReadFile(basePath)
+	if err != nil {
+		return fmt.Errorf("replay: %s has no decision log — record the run with -trace-decisions first: %w", runDir, err)
+	}
+	baseLog, err := telemetry.ReadDecisionNDJSON(bytes.NewReader(baseBytes))
+	if err != nil {
+		return fmt.Errorf("replay: %s: %w", basePath, err)
+	}
+
+	trace, err := buildTrace(mc.TraceFile, mc.Requests, mc.Intensity, mc.Seed)
+	if err != nil {
+		return err
+	}
+	stats, err := trace.ComputeStats()
+	if err != nil {
+		return err
+	}
+	pol, err := experiment.NewPolicy(diskarray.PolicyKind(mc.Policy))
+	if err != nil {
+		return err
+	}
+	dlog := telemetry.NewDecisionLog()
+	cfg := diskarray.SimConfig{
+		Disks:        mc.Disks,
+		Trace:        trace,
+		Policy:       pol,
+		EpochSeconds: stats.Duration / float64(mc.Epochs),
+		Telemetry:    &telemetry.Recorder{Decisions: dlog},
+	}
+	faultsOn := false
+	if mc.Faults != nil {
+		var fc faults.Config
+		if err := remarshal(mc.Faults, &fc); err != nil {
+			return fmt.Errorf("replay: decode fault config: %w", err)
+		}
+		cfg.Faults = &fc
+		cfg.Spares = mc.Spares
+		cfg.RebuildMBps = mc.RebuildMBps
+		faultsOn = true
+		if mc.RAID != nil {
+			var rc diskarray.RAIDConfig
+			if err := remarshal(mc.RAID, &rc); err != nil {
+				return fmt.Errorf("replay: decode RAID config: %w", err)
+			}
+			cfg.RAID = rc
+		}
+	}
+	if ckptEvery > 0 {
+		// The recorded run's checkpoint ticks are DES events; replaying with
+		// the same cadence (into a discarding sink) keeps the event streams —
+		// and therefore events_fired — aligned.
+		cfg.Checkpoint = &diskarray.CheckpointSpec{
+			EverySimSeconds: ckptEvery,
+			Tool:            "arraysim",
+			ConfigDigest:    m.ConfigDigest,
+			Sink:            func([]byte) error { return nil },
+		}
+	}
+
+	var forcedSeq uint64
+	if override != "" {
+		seqStr, action, ok := strings.Cut(override, ":")
+		if !ok {
+			return fmt.Errorf("replay: -override %q is not <seq>:<action>", override)
+		}
+		seq, err := strconv.ParseUint(seqStr, 10, 64)
+		if err != nil || seq == 0 {
+			return fmt.Errorf("replay: -override sequence %q is not a positive integer", seqStr)
+		}
+		if action != "skip" {
+			return fmt.Errorf("replay: -override action %q not supported (only: skip)", action)
+		}
+		if int(seq) > baseLog.Len() {
+			return fmt.Errorf("replay: decision %d out of range; the recorded log has %d decisions", seq, baseLog.Len())
+		}
+		base := baseLog.Records()[seq-1]
+		if base.Kind == telemetry.DecisionSpinUp || base.Kind == telemetry.DecisionRebuildPace {
+			return fmt.Errorf("replay: decision %d is a %s, which cannot be skipped (queued work must eventually be served)", seq, base.Kind)
+		}
+		cfg.DecisionOverrides = map[uint64]string{seq: action}
+		forcedSeq = seq
+	}
+
+	res, err := diskarray.Simulate(cfg)
+	if err != nil {
+		return err
+	}
+	sum := runstore.SummaryFromResult(res, faultsOn)
+
+	if forcedSeq == 0 {
+		var buf bytes.Buffer
+		if err := dlog.WriteNDJSON(&buf); err != nil {
+			return err
+		}
+		logOK := bytes.Equal(buf.Bytes(), baseBytes)
+		sumOK := sum.EventsFired == m.Summary.EventsFired &&
+			sum.EnergyJ == m.Summary.EnergyJ &&
+			sum.P99ResponseS == m.Summary.P99ResponseS
+		if !logOK || !sumOK {
+			fmt.Printf("replay DIVERGED from %s\n", runDir)
+			if !logOK {
+				fmt.Printf("  decision log: %d recorded vs %d replayed decisions (or differing records)\n",
+					baseLog.Len(), dlog.Len())
+			}
+			if !sumOK {
+				fmt.Printf("  events fired: %.0f vs %.0f\n", m.Summary.EventsFired, sum.EventsFired)
+				fmt.Printf("  energy (J):   %v vs %v\n", m.Summary.EnergyJ, sum.EnergyJ)
+				fmt.Printf("  p99 (s):      %v vs %v\n", m.Summary.P99ResponseS, sum.P99ResponseS)
+			}
+			fmt.Println("likely causes: different binary, a moved trace file, or a run recorded with -checkpoint-every replayed without it")
+			os.Exit(1)
+		}
+		fmt.Printf("replay of %s reproduces the baseline bit-identically\n", runDir)
+		fmt.Printf("  %d decisions, %.0f events, %.1f kJ, p99 %.2f ms\n",
+			dlog.Len(), sum.EventsFired, sum.EnergyJ/1e3, sum.P99ResponseS*1e3)
+		return nil
+	}
+
+	base := baseLog.Records()[forcedSeq-1]
+	fmt.Printf("counterfactual: decision %d (%s disk %d at t=%.1f s, cause %q) forced to skip\n",
+		forcedSeq, base.Kind, base.Disk, base.T, base.Cause)
+	fmt.Printf("  baseline:  %.3f kJ, AFR %.4f%%, p99 %.3f ms\n",
+		m.Summary.EnergyJ/1e3, m.Summary.ArrayAFRPct, m.Summary.P99ResponseS*1e3)
+	fmt.Printf("  replayed:  %.3f kJ, AFR %.4f%%, p99 %.3f ms\n",
+		sum.EnergyJ/1e3, sum.ArrayAFRPct, sum.P99ResponseS*1e3)
+	fmt.Printf("  delta:     %+.3f kJ, %+.5f%% AFR, %+.3f ms p99  (%d vs %d decisions)\n",
+		(sum.EnergyJ-m.Summary.EnergyJ)/1e3,
+		sum.ArrayAFRPct-m.Summary.ArrayAFRPct,
+		(sum.P99ResponseS-m.Summary.P99ResponseS)*1e3,
+		dlog.Len(), baseLog.Len())
+	return nil
+}
+
+// remarshal converts a decoded JSON map back into a typed config struct.
+func remarshal(src map[string]any, dst any) error {
+	raw, err := json.Marshal(src)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(raw, dst)
 }

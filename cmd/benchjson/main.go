@@ -1,0 +1,175 @@
+// Command benchjson converts `go test -bench` output into the committed
+// BENCH_telemetry.json baseline format.
+//
+//	go test -run '^$' -bench . -benchmem ./... | benchjson -out BENCH_telemetry.json
+//
+// The parser understands the standard benchmark line grammar — iterations,
+// ns/op, B/op, allocs/op — and records every other `value unit` pair (emitted
+// with testing.B.ReportMetric) under the benchmark's metrics map. Package
+// attribution comes from the `pkg:` header go test prints per package; the
+// goos/goarch/cpu headers of the first package stamp the file.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/atomicio"
+)
+
+// benchFile mirrors the committed BENCH_telemetry.json schema.
+type benchFile struct {
+	Generated  string      `json:"generated"`
+	Command    string      `json:"command"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	CPU        string      `json:"cpu"`
+	Benchmarks []benchLine `json:"benchmarks"`
+}
+
+type benchLine struct {
+	Package     string             `json:"package"`
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// gomaxprocsSuffix is the trailing -N go test appends to benchmark names.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	var (
+		out     = flag.String("out", "", "write the JSON baseline to this file (default stdout)")
+		command = flag.String("command", "go test -run '^$' -bench . -benchmem ./...", "regeneration command recorded in the file")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		log.Fatalf("unexpected positional arguments %q (benchmark output is read from stdin)", flag.Args())
+	}
+
+	bf, err := parse(bufio.NewScanner(os.Stdin), *command)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(bf.Benchmarks) == 0 {
+		log.Fatal("no benchmark lines on stdin — pipe `go test -bench . -benchmem` output in")
+	}
+
+	raw, err := json.MarshalIndent(bf, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	raw = append(raw, '\n')
+	if *out == "" {
+		os.Stdout.Write(raw)
+		return
+	}
+	f, err := atomicio.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := f.Write(raw); err != nil {
+		f.Abort()
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(bf.Benchmarks), *out)
+}
+
+// parse consumes go test output line by line. Benchmark result lines start
+// with "Benchmark" and carry tab-separated fields; everything else (PASS,
+// ok, compile noise) is ignored except the per-package headers.
+func parse(sc *bufio.Scanner, command string) (*benchFile, error) {
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	bf := &benchFile{
+		Generated: time.Now().UTC().Format("2006-01-02"),
+		Command:   command,
+	}
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			if bf.GOOS == "" {
+				bf.GOOS = strings.TrimPrefix(line, "goos: ")
+			}
+		case strings.HasPrefix(line, "goarch: "):
+			if bf.GOARCH == "" {
+				bf.GOARCH = strings.TrimPrefix(line, "goarch: ")
+			}
+		case strings.HasPrefix(line, "cpu: "):
+			if bf.CPU == "" {
+				bf.CPU = strings.TrimPrefix(line, "cpu: ")
+			}
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			b, err := parseBenchLine(line, pkg)
+			if err != nil {
+				return nil, err
+			}
+			if b != nil {
+				bf.Benchmarks = append(bf.Benchmarks, *b)
+			}
+		}
+	}
+	return bf, sc.Err()
+}
+
+// parseBenchLine decodes one result line, e.g.
+//
+//	BenchmarkHotLoop-8  150  7.71 ns/op  0 B/op  0 allocs/op  13.0 afr_pct
+//
+// Returns (nil, nil) for benchmark status lines that carry no measurements.
+func parseBenchLine(line, pkg string) (*benchLine, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return nil, nil
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return nil, nil // "BenchmarkFoo    --- SKIP" and friends
+	}
+	b := &benchLine{
+		Package:    pkg,
+		Name:       gomaxprocsSuffix.ReplaceAllString(fields[0], ""),
+		Iterations: iters,
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchmark line %q: bad value %q", line, fields[i])
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = val
+		case "B/op":
+			b.BytesPerOp = val
+		case "allocs/op":
+			b.AllocsPerOp = int64(val)
+		case "MB/s":
+			// throughput is derivable from ns/op; skip to keep the schema lean
+		default:
+			if b.Metrics == nil {
+				b.Metrics = make(map[string]float64)
+			}
+			b.Metrics[unit] = val
+		}
+	}
+	return b, nil
+}

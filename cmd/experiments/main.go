@@ -45,7 +45,34 @@ func recordSweep(store *runstore.Store, name string, cfg experiment.SweepConfig,
 	if err != nil {
 		log.Fatal(err)
 	}
+	writeDecisionLogs(dir, res)
 	fmt.Fprintf(os.Stderr, "experiments: run %s recorded in %s\n", name, dir)
+}
+
+// writeDecisionLogs persists each traced cell's decision log next to the
+// sweep manifest as decisions-<policy>[-<raid>]-<disks>.ndjson. No-op when
+// the sweep ran without TraceDecisions.
+func writeDecisionLogs(dir string, res *experiment.SweepResult) {
+	for _, cell := range res.Cells {
+		if cell.Decisions == nil {
+			continue
+		}
+		name := fmt.Sprintf("decisions-%s-%d.ndjson", cell.Policy, cell.Disks)
+		if cell.RAID != "" {
+			name = fmt.Sprintf("decisions-%s-%s-%d.ndjson", cell.Policy, cell.RAID, cell.Disks)
+		}
+		f, err := atomicio.Create(filepath.Join(dir, name))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := cell.Decisions.WriteNDJSON(f); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
 }
 
 // skipRecorded reports whether the store already holds a manifest for this
@@ -79,17 +106,18 @@ func run() int {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate: 2b | 3b | 4a | 4b | 5 | derive | 7 | 7a | 7b | 7c | faults | raidloss | ablations | calibration | all")
-		scale   = flag.Float64("scale", 0.05, "trace scale for Figure 7 sweeps (1 = full day)")
-		full    = flag.Bool("full", false, "shorthand for -scale 1 (the full 1.48M-request day)")
-		heavy   = flag.Bool("heavy", false, "run Figure 7 under the heavy workload condition")
-		both    = flag.Bool("both", false, "run Figure 7 under both workload conditions")
-		csvPath = flag.String("csv", "", "also write machine-readable output to this file")
-		steps   = flag.Int("steps", 13, "samples per axis for the function figures")
-		runsDir = flag.String("runs-dir", "", "record one manifest per sweep condition in this run store")
-		resume  = flag.Bool("resume", false, "skip sweep conditions already recorded with an ok status in -runs-dir")
-		retries = flag.Int("retries", 0, "extra attempts per failed sweep cell (exponential backoff between attempts)")
-		version = flag.Bool("version", false, "print build information and exit")
+		fig      = flag.String("fig", "all", "figure to regenerate: 2b | 3b | 4a | 4b | 5 | derive | 7 | 7a | 7b | 7c | faults | raidloss | ablations | calibration | all")
+		scale    = flag.Float64("scale", 0.05, "trace scale for Figure 7 sweeps (1 = full day)")
+		full     = flag.Bool("full", false, "shorthand for -scale 1 (the full 1.48M-request day)")
+		heavy    = flag.Bool("heavy", false, "run Figure 7 under the heavy workload condition")
+		both     = flag.Bool("both", false, "run Figure 7 under both workload conditions")
+		csvPath  = flag.String("csv", "", "also write machine-readable output to this file")
+		steps    = flag.Int("steps", 13, "samples per axis for the function figures")
+		runsDir  = flag.String("runs-dir", "", "record one manifest per sweep condition in this run store")
+		traceDec = flag.Bool("trace-decisions", false, "trace every policy decision: attribution rollups land in the sweep manifests and per-cell decisions-*.ndjson logs in the run directories (requires -runs-dir)")
+		resume   = flag.Bool("resume", false, "skip sweep conditions already recorded with an ok status in -runs-dir")
+		retries  = flag.Int("retries", 0, "extra attempts per failed sweep cell (exponential backoff between attempts)")
+		version  = flag.Bool("version", false, "print build information and exit")
 
 		progress     = flag.Bool("progress", false, "log sweep phases and per-cell progress to stderr")
 		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -120,6 +148,9 @@ func run() int {
 	}
 	if *resume && store == nil {
 		log.Fatal("-resume requires -runs-dir (resume skips conditions by their recorded manifests)")
+	}
+	if *traceDec && store == nil {
+		log.Fatal("-trace-decisions requires -runs-dir (decision logs are recorded next to the sweep manifests)")
 	}
 
 	if *cpuprofile != "" {
@@ -291,6 +322,7 @@ func run() int {
 			cfg.Intensity = cond.intensity
 			cfg.MaxAttempts = 1 + *retries
 			cfg.Progress = prog
+			cfg.TraceDecisions = *traceDec
 			condName := "fig7-" + cond.name
 			if *resume && skipRecorded(store, condName, cfg) {
 				continue
@@ -345,6 +377,7 @@ func run() int {
 		}
 		cfg.MaxAttempts = 1 + *retries
 		cfg.Progress = prog
+		cfg.TraceDecisions = *traceDec
 		faultsName := "faults-light"
 		if *heavy {
 			faultsName = "faults-heavy"
@@ -382,6 +415,7 @@ func run() int {
 		}
 		cfg.MaxAttempts = 1 + *retries
 		cfg.Progress = prog
+		cfg.TraceDecisions = *traceDec
 		raidName := "raidloss-light"
 		if *heavy {
 			raidName = "raidloss-heavy"

@@ -1,13 +1,14 @@
 // Package nilhandle implements the simlint analyzer that protects the
 // telemetry package's "off = zero alloc, nil-safe" contract.
 //
-// Every telemetry handle type (*Counter, *Gauge, *Histogram) treats the nil
-// pointer as a valid no-op sink, and hot paths update pre-bound handles
-// unconditionally. That only works if every handle is either nil or was
-// produced by a Registry constructor (Registry.Counter/Gauge/Histogram):
-// a handle built directly with a composite literal, new(), or a value-typed
-// variable/field is never registered, silently drops its measurements from
-// WriteJSON/State, and — for value types — re-introduces per-copy state.
+// Every telemetry handle type (*Counter, *Gauge, *Histogram, *DecisionLog)
+// treats the nil pointer as a valid no-op sink, and hot paths update
+// pre-bound handles unconditionally. That only works if every handle is
+// either nil or was produced by a sanctioned constructor
+// (Registry.Counter/Gauge/Histogram, NewDecisionLog): a handle built
+// directly with a composite literal, new(), or a value-typed variable/field
+// is never registered, silently drops its measurements from WriteJSON/State,
+// and — for value types — re-introduces per-copy state.
 //
 // The analyzer flags, outside the telemetry package itself:
 //
@@ -32,7 +33,7 @@ var Analyzer = &framework.Analyzer{
 	Run:  run,
 }
 
-var handleNames = map[string]bool{"Counter": true, "Gauge": true, "Histogram": true}
+var handleNames = map[string]bool{"Counter": true, "Gauge": true, "Histogram": true, "DecisionLog": true}
 
 // isHandle reports whether t is one of the telemetry handle named types.
 func isHandle(t types.Type) bool {

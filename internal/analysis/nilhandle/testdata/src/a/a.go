@@ -17,6 +17,8 @@ func direct() {
 	g.Set(1)
 	var h telemetry.Histogram // want `variable declared with value type telemetry\.Histogram`
 	h.Observe(1)
+	l := &telemetry.DecisionLog{} // want `telemetry handle telemetry\.DecisionLog constructed directly`
+	l.Append(1)
 }
 
 func byValue(c telemetry.Counter) { // want `field/parameter declared with value type telemetry\.Counter`
@@ -29,4 +31,8 @@ func good(r *telemetry.Registry) {
 	var off *telemetry.Counter // nil pointer: the sanctioned no-op sink
 	off.Add(1)
 	_ = r.Gauge("temp")
+	log := telemetry.NewDecisionLog() // constructor-built: fine
+	log.Append(1)
+	var offLog *telemetry.DecisionLog // nil no-op sink: fine
+	offLog.Append(1)
 }

@@ -34,6 +34,19 @@ func (h *Histogram) Observe(v float64) {
 	}
 }
 
+// DecisionLog records policy decisions; nil is a no-op sink.
+type DecisionLog struct{ n int }
+
+// Append records one decision.
+func (l *DecisionLog) Append(v int) {
+	if l != nil {
+		l.n++
+	}
+}
+
+// NewDecisionLog returns an empty decision log.
+func NewDecisionLog() *DecisionLog { return &DecisionLog{} }
+
 // Registry hands out registered handles.
 type Registry struct {
 	counters map[string]*Counter

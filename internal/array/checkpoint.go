@@ -123,6 +123,10 @@ type opState struct {
 	Mig      bool       `json:"mig,omitempty"`
 	Rerouted bool       `json:"rerouted,omitempty"`
 	Done     *contState `json:"done,omitempty"`
+	EnqT     float64    `json:"enq_t,omitempty"`
+	SpinBase float64    `json:"spin_base,omitempty"`
+	WaitSpin float64    `json:"wait_spin,omitempty"`
+	SvcDur   float64    `json:"svc_dur,omitempty"`
 }
 
 // stripeState is the serializable form of a stripeJob.
@@ -171,6 +175,8 @@ type diskCkptState struct {
 	Rebuilding    bool                 `json:"rebuilding,omitempty"`
 	RebuildMBps   float64              `json:"rebuild_mbps,omitempty"`
 	Gen           uint64               `json:"gen,omitempty"`
+	TransBusy     float64              `json:"trans_busy,omitempty"`
+	TransStart    float64              `json:"trans_start,omitempty"`
 	FG            []opState            `json:"fg,omitempty"`
 	BG            []opState            `json:"bg,omitempty"`
 }
@@ -220,7 +226,7 @@ type raidCkptState struct {
 // snapshot is never written while an opaque continuation is live), and
 // failure aborts the run before a checkpoint could be taken.
 //
-//simlint:checkpoint-for sim ignore=cfg,eng,files,opaqueLive,failure alias=met:Metrics,flt:Faults
+//simlint:checkpoint-for sim ignore=cfg,eng,files,opaqueLive,failure alias=met:Metrics,flt:Faults,trc:Trace
 type simState struct {
 	Clock         float64                     `json:"clock"`
 	Seq           uint64                      `json:"seq"`
@@ -243,6 +249,7 @@ type simState struct {
 	Faults        *faultCkptState             `json:"faults,omitempty"`
 	Events        []savedEvent                `json:"events"`
 	Metrics       *telemetry.RegistryState    `json:"metrics,omitempty"`
+	Trace         *traceCkptState             `json:"trace,omitempty"`
 }
 
 // stripeTable assigns dense IDs to stripeJob pointers in the deterministic
@@ -276,6 +283,10 @@ func (t *stripeTable) encodeOp(o op) (opState, error) {
 		Stripe:   t.id(o.stripe),
 		Mig:      o.mig,
 		Rerouted: o.rerouted,
+		EnqT:     o.enqT,
+		SpinBase: o.spinBase,
+		WaitSpin: o.waitSpin,
+		SvcDur:   o.svcDur,
 	}
 	if o.done != nil {
 		if o.done.kind == contOpaque {
@@ -333,6 +344,8 @@ func (s *sim) buildState() (*simState, error) {
 			Rebuilding:    ds.rebuilding,
 			RebuildMBps:   ds.rebuildMBps,
 			Gen:           ds.gen,
+			TransBusy:     ds.transBusy,
+			TransStart:    ds.transStart,
 		}
 		if ds.pending != nil {
 			p := *ds.pending
@@ -424,6 +437,9 @@ func (s *sim) buildState() (*simState, error) {
 	}
 	if s.cfg.Telemetry != nil {
 		st.Metrics = s.cfg.Telemetry.Metrics.State()
+	}
+	if s.trc != nil {
+		st.Trace = s.trc.ckpt()
 	}
 	return st, nil
 }
@@ -538,6 +554,10 @@ func Resume(cfg Config, stateJSON []byte) (*Result, error) {
 			arrival:  os.Arrival,
 			mig:      os.Mig,
 			rerouted: os.Rerouted,
+			enqT:     os.EnqT,
+			spinBase: os.SpinBase,
+			waitSpin: os.WaitSpin,
+			svcDur:   os.SvcDur,
 		}
 		if os.Stripe >= 0 {
 			if os.Stripe >= len(stripes) {
@@ -568,6 +588,8 @@ func Resume(cfg Config, stateJSON []byte) (*Result, error) {
 		ds.rebuilding = dc.Rebuilding
 		ds.rebuildMBps = dc.RebuildMBps
 		ds.gen = dc.Gen
+		ds.transBusy = dc.TransBusy
+		ds.transStart = dc.TransStart
 		for _, os := range dc.FG {
 			o, err := decodeOp(os)
 			if err != nil {
@@ -660,6 +682,14 @@ func Resume(cfg Config, stateJSON []byte) (*Result, error) {
 
 	if cfg.Telemetry != nil {
 		cfg.Telemetry.Metrics.SetState(st.Metrics)
+	}
+	switch {
+	case st.Trace != nil && s.trc == nil:
+		return nil, fmt.Errorf("array: resume: checkpoint has decision-trace state but the recorder has no DecisionLog")
+	case st.Trace == nil && s.trc != nil:
+		return nil, fmt.Errorf("array: resume: decision tracing enabled but checkpoint has no trace state")
+	case st.Trace != nil:
+		s.trc.restore(st.Trace)
 	}
 
 	if err := s.eng.BeginRestore(st.Clock); err != nil {

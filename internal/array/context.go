@@ -95,8 +95,25 @@ func (c *Context) RequestTransition(d int, to diskmodel.Speed) {
 	ds := c.s.disks[d]
 	t := to
 	ds.pending = &t
+	if trc := c.s.trc; trc != nil {
+		// Capture the cause now: the transition may only begin much later
+		// (when the disk next goes idle), long after the hook returned.
+		trc.pendingCause[d] = trc.takeCause()
+	}
 	if c.Now() > 0 || c.s.eng.Fired() > 0 {
 		c.s.kick(d)
+	}
+}
+
+// SetDecisionCause declares the reason for the policy's next traced action
+// (transition request, migration, re-home): "idle-threshold", "heat",
+// "afr-signal", and the like. The cause is consumed by the next decision
+// and cleared when the current hook returns; without one, decisions are
+// attributed to the hook they were taken in. A no-op when decision tracing
+// is off.
+func (c *Context) SetDecisionCause(cause string) {
+	if c.s.trc != nil {
+		c.s.trc.cause = cause
 	}
 }
 
@@ -152,6 +169,10 @@ func (c *Context) Migrate(fileID, to int) bool {
 		return false
 	}
 	if s.disks[from].failed || s.disks[to].failed {
+		return false
+	}
+	if s.trc != nil && !s.recordMigrate(fileID, from, to, f.SizeMB, c.Now()) {
+		// Replay override: this migration never happens.
 		return false
 	}
 	s.migrating[fileID] = true

@@ -172,6 +172,9 @@ func (s *sim) onTransitionEnd(d int) {
 	ds := s.disks[d]
 	ds.disk.EndTransition(s.eng.Now())
 	ds.temp.SetSpeed(s.eng.Now(), ds.disk.Speed())
+	if s.trc != nil {
+		s.onTransitionDone(d, s.eng.Now())
+	}
 	s.kick(d)
 }
 
@@ -221,7 +224,9 @@ func (s *sim) onIdleTimer(d int, deadline, timeout float64, rearm bool) {
 		}
 	}
 	ctx := &Context{s: s}
+	s.setHook(hookIdleTimeout)
 	s.cfg.Policy.OnIdleTimeout(ctx, d)
+	s.endHook()
 	s.kick(d)
 }
 
@@ -251,6 +256,9 @@ func (s *sim) runCont(c *cont, now float64) {
 	case contMigrateWrite:
 		s.place[c.fileID] = c.to
 		delete(s.migrating, c.fileID)
+		if s.trc != nil {
+			s.resolveMigration(c.fileID, now)
+		}
 	case contRebuild:
 		f := s.flt
 		f.rebuildMB += c.sizeMB

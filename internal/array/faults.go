@@ -238,8 +238,14 @@ func (s *sim) failDisk(d int, at float64) {
 	// the queue drain below.
 	if fp, ok := s.cfg.Policy.(FailureAwarePolicy); ok {
 		f.inFailover = true
+		s.setHook(hookDiskFailure)
 		fp.OnDiskFailure(&Context{s: s}, d)
+		s.endHook()
 		f.inFailover = false
+	}
+	// A rebuild that was streaming on this disk died with it.
+	if s.trc != nil {
+		s.resolveRebuild(d, at, false)
 	}
 
 	// Drain queues via snapshots: routeAroundFailure may push an op back
@@ -313,6 +319,9 @@ func (s *sim) loseOp(o op) {
 func (s *sim) dropBackground(o op) {
 	if o.mig {
 		delete(s.migrating, o.fileID)
+		if s.trc != nil {
+			s.dropMigration(o.fileID)
+		}
 	}
 	s.dropCont(o.done)
 }
@@ -336,7 +345,9 @@ func (s *sim) repairDisk(d int) {
 	f.inj.MarkRepaired(d, now)
 
 	if fp, ok := s.cfg.Policy.(FailureAwarePolicy); ok {
+		s.setHook(hookDiskRepair)
 		fp.OnDiskRepair(&Context{s: s}, d)
+		s.endHook()
 	}
 
 	// Rebuild everything placed on the replacement. File IDs are walked in
@@ -365,6 +376,13 @@ func (s *sim) repairDisk(d int) {
 		}
 		if ds.rebuildMBps > 0 || s.cfg.RebuildMBps > 0 {
 			ds.rebuilding = true
+			if s.trc != nil {
+				rate := ds.rebuildMBps
+				if rate <= 0 {
+					rate = s.cfg.RebuildMBps
+				}
+				s.recordRebuildPace(d, totalMB, rate, now)
+			}
 			s.issueRebuild(d, totalMB)
 		}
 	}
@@ -378,6 +396,9 @@ func (s *sim) repairDisk(d int) {
 func (s *sim) issueRebuild(d int, remainingMB float64) {
 	ds := s.disks[d]
 	if ds.failed || remainingMB <= 0 {
+		if s.trc != nil && !ds.failed {
+			s.resolveRebuild(d, s.eng.Now(), true)
+		}
 		ds.rebuilding = false
 		ds.rebuildMBps = 0
 		return
@@ -464,6 +485,18 @@ func (c *Context) ReassignFile(fileID, to int) error {
 	}
 	if _, ok := s.files[fileID]; !ok {
 		return fmt.Errorf("array: reassign of unknown file %d", fileID)
+	}
+	if s.trc != nil {
+		from := -1
+		if p, ok := s.place[fileID]; ok {
+			from = p
+		}
+		if !s.recordReassign(fileID, from, to, c.Now()) {
+			// Replay override: the re-home never happens; the file stays
+			// where it was (typically on the failed disk, so its requests
+			// wait for the spare or are lost).
+			return nil
+		}
 	}
 	s.place[fileID] = to
 	s.flt.reassigned++

@@ -79,6 +79,13 @@ type Config struct {
 	// bit-identically (EventsFired included) when both use the same
 	// interval.
 	Checkpoint *CheckpointSpec
+	// DecisionOverrides forces the outcome of individual decisions during
+	// counterfactual replay, keyed by decision sequence number (see
+	// telemetry.Decision.Seq) with an override action (OverrideSkip). It
+	// requires Telemetry with a DecisionLog — sequence numbers only exist
+	// when decisions are being recorded — and deliberately changes results:
+	// it is the one tracing feature that is not read-only.
+	DecisionOverrides map[uint64]string
 }
 
 func (c *Config) setDefaults() {
@@ -121,6 +128,8 @@ func (c *Config) Validate() error {
 		return errors.New("array: negative spare count")
 	case c.RebuildMBps < 0:
 		return errors.New("array: negative rebuild rate")
+	case len(c.DecisionOverrides) > 0 && (c.Telemetry == nil || c.Telemetry.Decisions == nil):
+		return errors.New("array: DecisionOverrides requires a telemetry recorder with a DecisionLog")
 	}
 	if c.Faults != nil {
 		if err := c.Faults.Validate(); err != nil {
@@ -173,6 +182,7 @@ type Result struct {
 	P50Response  float64
 	P95Response  float64
 	P99Response  float64
+	P999Response float64
 	MaxResponse  float64
 	Requests     int
 
@@ -198,6 +208,12 @@ type Result struct {
 
 	// Timeline holds periodic samples when Config.SampleInterval > 0.
 	Timeline []Sample
+
+	// Attribution is the decision-tracing rollup: per-request latency and
+	// energy decomposition plus per-kind decision counts and realized park
+	// economics. Nil unless the run's telemetry recorder carried a
+	// DecisionLog.
+	Attribution *telemetry.AttributionReport
 
 	// Fault-injection outcomes. All zero when Config.Faults is nil or
 	// disabled.
@@ -290,6 +306,13 @@ type op struct {
 	stripe   *stripeJob // for opChunk: the parent request
 	mig      bool       // background leg of a Context.Migrate transfer
 	rerouted bool       // already re-routed around a failure once
+
+	// Latency-decomposition stamps, written only when decision tracing is
+	// on (sim.trc != nil) and read only by trace.go.
+	enqT     float64 // when the op entered its disk's queue
+	spinBase float64 // disk's transition-busy clock at enqueue
+	waitSpin float64 // transition time that elapsed while queued
+	svcDur   float64 // service duration at dispatch
 }
 
 // stripeJob tracks one striped user request across its chunks.
@@ -342,6 +365,12 @@ type diskState struct {
 	rebuilding    bool    // replacement is up and streaming rebuild traffic
 	rebuildMBps   float64 // per-rebuild pacing from a Weibull duration draw; 0 = Config.RebuildMBps
 	gen           uint64  // bumped on each failure; voids in-flight service
+
+	// Spin-wait clock, maintained only when decision tracing is on
+	// (sim.trc != nil): cumulative completed transition seconds, plus the
+	// start time of the transition currently in progress (0 = none).
+	transBusy  float64
+	transStart float64
 }
 
 func (ds *diskState) queueLen() int { return ds.fg.len() + ds.bg.len() }
@@ -385,6 +414,10 @@ type sim struct {
 
 	flt *faultState // nil unless fault injection is enabled
 
+	// trc is the decision-tracing state; nil unless the telemetry recorder
+	// carries a DecisionLog (see trace.go).
+	trc *traceState
+
 	// events mirrors the engine's pending queue as serializable records
 	// (events.go); entries are removed as events fire.
 	events map[des.EventID]eventRecord
@@ -419,6 +452,9 @@ func newSim(cfg Config) (*sim, error) {
 		s.met = newSimMetrics(cfg.Telemetry.Metrics)
 		if tr := cfg.Telemetry.Tracer(); tr != nil {
 			s.eng.SetTracer(tr)
+		}
+		if cfg.Telemetry.Decisions != nil {
+			s.trc = newTraceState(&cfg)
 		}
 	}
 	for _, f := range cfg.Trace.Files {
@@ -540,6 +576,8 @@ func (s *sim) onArrival(e *des.Engine) {
 	}
 	s.counts[req.FileID]++
 	ctx := &Context{s: s}
+	s.setHook(hookArrival)
+	defer s.endHook()
 
 	if sp, ok := s.cfg.Policy.(StripePolicy); ok {
 		targets := sp.StripeTargets(ctx, req.FileID)
@@ -591,6 +629,9 @@ func (s *sim) enqueue(disk int, o op) {
 	if ds.rebuilding && o.kind != opBackground && !o.rerouted {
 		s.flt.degraded++
 	}
+	if s.trc != nil {
+		s.noteEnqueue(disk, &o, s.eng.Now())
+	}
 	s.met.queueDepth.Observe(float64(ds.queueLen()))
 	ds.push(o)
 	if !s.checkQueue(disk) {
@@ -630,6 +671,17 @@ func (s *sim) kick(d int) {
 			ds.pending = nil
 		default:
 			ds.pending = nil
+			if s.trc != nil {
+				if target == diskmodel.Low {
+					if !s.recordSpinDown(d, now) {
+						// Replay override: this spin-down never happens.
+						break
+					}
+				} else {
+					s.recordSpinUp(d, now)
+				}
+				ds.transStart = now
+			}
 			dur := ds.disk.BeginTransition(now, target)
 			s.met.transitions.Inc()
 			s.schedule(dur, eventRecord{Kind: evTransition, Disk: d})
@@ -644,6 +696,10 @@ func (s *sim) kick(d int) {
 		} else {
 			dur = ds.disk.BeginService(now, o.sizeMB)
 		}
+		if s.trc != nil {
+			o.waitSpin = ds.transBusy - o.spinBase
+			o.svcDur = dur
+		}
 		s.schedule(dur, eventRecord{Kind: evService, Disk: d, Gen: ds.gen, Op: &o})
 		return
 	}
@@ -652,6 +708,9 @@ func (s *sim) kick(d int) {
 }
 
 func (s *sim) complete(d int, o op, now float64) {
+	if s.trc != nil && o.kind != opBackground {
+		s.attributeCompletion(d, &o, now)
+	}
 	switch o.kind {
 	case opUser:
 		resp := now - o.arrival
@@ -659,8 +718,11 @@ func (s *sim) complete(d int, o op, now float64) {
 		s.respHist.Add(resp)
 		s.met.completions.Inc()
 		s.met.respLatency.Observe(resp)
+		s.eng.EmitSpan(labelRequestSpan, o.arrival, now)
 		ctx := &Context{s: s}
+		s.setHook(hookRequestComplete)
 		s.cfg.Policy.OnRequestComplete(ctx, o.fileID, d)
+		s.endHook()
 	case opChunk:
 		o.stripe.remaining--
 		if o.stripe.lost {
@@ -678,8 +740,14 @@ func (s *sim) complete(d int, o op, now float64) {
 			s.respHist.Add(resp)
 			s.met.completions.Inc()
 			s.met.respLatency.Observe(resp)
+			s.eng.EmitSpan(labelRequestSpan, o.stripe.arrival, now)
+			if s.trc != nil {
+				s.attributeStripe(&o, now)
+			}
 			ctx := &Context{s: s}
+			s.setHook(hookRequestComplete)
 			s.cfg.Policy.OnRequestComplete(ctx, o.stripe.fileID, d)
+			s.endHook()
 		}
 	case opBackground:
 		s.backgroundOps++
@@ -737,6 +805,9 @@ func (s *sim) onEpoch(e *des.Engine) {
 		s.sampleDisks(e.Now(), s.epochs)
 		s.cfg.Telemetry.Progress.Tick(e.Now(), e.Fired())
 	}
+	if s.trc != nil {
+		s.snapEpochAttribution(s.epochs)
+	}
 	// Epochs exist to adapt placement to the live request stream; once
 	// the trace is exhausted there is nothing to adapt to, and post-trace
 	// migrations would only stretch the run and dilute utilization.
@@ -747,7 +818,9 @@ func (s *sim) onEpoch(e *des.Engine) {
 	s.met.epochs.Inc()
 	s.migsThisEpoch = 0
 	ctx := &Context{s: s}
+	s.setHook(hookEpoch)
 	s.cfg.Policy.OnEpoch(ctx)
+	s.endHook()
 	// Fresh popularity window per epoch (the paper's FPT records counts
 	// "during the current epoch").
 	s.counts = make(map[int]int)
@@ -806,7 +879,14 @@ func (s *sim) collect() (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		res.P50Response, res.P95Response, res.P99Response = p50, p95, p99
+		p999, err := s.respHist.Quantile(0.999)
+		if err != nil {
+			return nil, err
+		}
+		res.P50Response, res.P95Response, res.P99Response, res.P999Response = p50, p95, p99, p999
+	}
+	if s.trc != nil {
+		res.Attribution = s.attributionReport()
 	}
 
 	factors := make([]reliability.Factors, len(s.disks))

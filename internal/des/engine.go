@@ -42,6 +42,15 @@ type Tracer interface {
 	EventCanceled(id uint64, label string, now float64)
 }
 
+// SpanTracer is an optional Tracer extension for logical intervals that are
+// not single events — e.g. a request's life from arrival to completion.
+// Both times are virtual seconds. Like Tracer it uses only builtin types so
+// implementations need no dependency on this package; tracers that do not
+// implement it simply never see spans.
+type SpanTracer interface {
+	Span(label string, start, end float64)
+}
+
 // EventID identifies a scheduled event for cancellation. The zero EventID is
 // never issued.
 type EventID uint64
@@ -104,10 +113,24 @@ type Engine struct {
 	fired   uint64
 	stopped bool
 	tracer  Tracer
+	spans   SpanTracer // tracer's SpanTracer side, cached; nil when absent
 }
 
 // SetTracer installs (or, with nil, removes) the engine's activity tracer.
-func (e *Engine) SetTracer(t Tracer) { e.tracer = t }
+// The tracer's SpanTracer extension, if implemented, is cached here so
+// EmitSpan costs one nil check — not a type assertion — per call.
+func (e *Engine) SetTracer(t Tracer) {
+	e.tracer = t
+	e.spans, _ = t.(SpanTracer)
+}
+
+// EmitSpan forwards a logical interval to the tracer's SpanTracer side.
+// It is a no-op (and allocation-free) when no span tracer is installed.
+func (e *Engine) EmitSpan(label string, start, end float64) {
+	if e.spans != nil {
+		e.spans.Span(label, start, end)
+	}
+}
 
 // New returns an engine with its clock at zero.
 func New() *Engine {

@@ -137,6 +137,11 @@ type SweepConfig struct {
 	// goroutine-safe, so a large sweep logs a steady trickle rather than a
 	// burst per cell.
 	Progress *telemetry.Progress
+	// TraceDecisions attaches a decision log to every cell, filling
+	// Cell.Decisions and Result.Attribution. Tracing is observational — it
+	// never changes a cell's results — so like Progress it is an execution
+	// knob, deliberately excluded from the sweep's manifest digest.
+	TraceDecisions bool
 }
 
 // DefaultSweepConfig returns the paper's light-workload sweep at a reduced
@@ -277,6 +282,9 @@ type Cell struct {
 	Attempts int
 	// Err holds the final attempt's error when Status is CellFailed.
 	Err string
+	// Decisions is the cell's decision log when the sweep ran with
+	// TraceDecisions; nil otherwise.
+	Decisions *telemetry.DecisionLog
 }
 
 // SweepResult is the full policy × array-size grid.
@@ -305,10 +313,10 @@ var testCellHook func(kind PolicyKind, disks int)
 // cell — the policy, the simulator, the hook — is converted into an error
 // with the stack attached, so one broken cell cannot take down the sweep's
 // worker pool.
-func runCellOnce(cfg *SweepConfig, trace *workload.Trace, epoch float64, disks int, kind PolicyKind, raid array.RAIDLevel) (res *array.Result, err error) {
+func runCellOnce(cfg *SweepConfig, trace *workload.Trace, epoch float64, disks int, kind PolicyKind, raid array.RAIDLevel) (res *array.Result, dlog *telemetry.DecisionLog, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			res = nil
+			res, dlog = nil, nil
 			err = fmt.Errorf("panic: %v\n%s", r, debug.Stack())
 		}
 	}()
@@ -317,7 +325,7 @@ func runCellOnce(cfg *SweepConfig, trace *workload.Trace, epoch float64, disks i
 	}
 	pol, err := NewPolicy(kind)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	acfg := array.Config{
 		Disks:        disks,
@@ -329,6 +337,12 @@ func runCellOnce(cfg *SweepConfig, trace *workload.Trace, epoch float64, disks i
 		RebuildMBps:  cfg.RebuildMBps,
 		StallLimit:   cfg.StallLimit,
 	}
+	if cfg.TraceDecisions {
+		// An in-memory recorder carrying only the decision log: the cell's
+		// metrics artifacts are unchanged, and the caller drains the log.
+		dlog = telemetry.NewDecisionLog()
+		acfg.Telemetry = &telemetry.Recorder{Decisions: dlog}
+	}
 	if cfg.Faults != nil {
 		fc := *cfg.Faults
 		fc.Seed += int64(disks)
@@ -337,7 +351,11 @@ func runCellOnce(cfg *SweepConfig, trace *workload.Trace, epoch float64, disks i
 	if raid != "" {
 		acfg.RAID = array.RAIDConfig{Level: raid, StripeWidth: cfg.RAIDStripeWidth}
 	}
-	return array.Run(acfg)
+	res, err = array.Run(acfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, dlog, nil
 }
 
 // RunSweep generates the workload once and replays it through every
@@ -424,12 +442,13 @@ func RunSweep(cfg SweepConfig) (*SweepResult, error) {
 					cfg.Progress.Stepf("sweep: retrying disks=%d policy=%s%s (attempt %d/%d)",
 						j.disks, j.policy, raidSuffix(j.raid), attempt, cfg.MaxAttempts)
 				}
-				res, err := runCellOnce(&cfg, trace, epoch, j.disks, j.policy, j.raid)
+				res, dlog, err := runCellOnce(&cfg, trace, epoch, j.disks, j.policy, j.raid)
 				if err != nil {
 					cell.Err = fmt.Sprintf("disks=%d policy=%s%s: %v", j.disks, j.policy, raidSuffix(j.raid), err)
 					continue
 				}
 				cell.Result = res
+				cell.Decisions = dlog
 				cell.Err = ""
 				cell.Status = CellOK
 				if attempt > 1 {

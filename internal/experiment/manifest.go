@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/array"
 	"repro/internal/runstore"
+	"repro/internal/telemetry"
 )
 
 // SweepManifestConfig is the digested configuration block of one sweep
@@ -77,6 +78,10 @@ func SweepManifest(name string, cfg SweepConfig, res *SweepResult) (*runstore.Ma
 		sum.P50ResponseS += cs.P50ResponseS
 		sum.P95ResponseS += cs.P95ResponseS
 		sum.P99ResponseS += cs.P99ResponseS
+		sum.P999ResponseS += cs.P999ResponseS
+		if cs.MaxResponseS > sum.MaxResponseS {
+			sum.MaxResponseS = cs.MaxResponseS
+		}
 		sum.TransitionsPerDay += cs.TransitionsPerDay
 		sum.Requests += cs.Requests
 		sum.EventsFired += cs.EventsFired
@@ -111,11 +116,41 @@ func SweepManifest(name string, cfg SweepConfig, res *SweepResult) (*runstore.Ma
 		sum.P50ResponseS /= n
 		sum.P95ResponseS /= n
 		sum.P99ResponseS /= n
+		sum.P999ResponseS /= n
 		sum.TransitionsPerDay /= n
 	}
 	m.Summary = sum
 	m.Status = status
+	m.Attribution = aggregateAttribution(res.Cells)
 	return m, nil
+}
+
+// aggregateAttribution rolls the per-cell attribution reports into one
+// sweep-wide report (nil when no cell traced decisions). Per-epoch rows are
+// per-cell detail and do not aggregate meaningfully across cells, so only
+// the totals and decision counts are merged.
+func aggregateAttribution(cells []Cell) *telemetry.AttributionReport {
+	var out *telemetry.AttributionReport
+	for _, c := range cells {
+		if c.Result == nil || c.Result.Attribution == nil {
+			continue
+		}
+		a := c.Result.Attribution
+		if out == nil {
+			out = &telemetry.AttributionReport{}
+		}
+		out.Totals.Add(a.Totals)
+		out.Decisions += a.Decisions
+		out.SpinDowns += a.SpinDowns
+		out.SpinUps += a.SpinUps
+		out.Migrations += a.Migrations
+		out.Reassigns += a.Reassigns
+		out.RebuildPaces += a.RebuildPaces
+		out.WakeRequests += a.WakeRequests
+		out.ParkedSeconds += a.ParkedSeconds
+		out.ParkNetSavedJ += a.ParkNetSavedJ
+	}
+	return out
 }
 
 // newSweepManifest builds the manifest shell — digested config, seed, policy

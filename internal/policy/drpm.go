@@ -49,6 +49,7 @@ func (p *DRPM) Init(ctx *array.Context) error {
 func (p *DRPM) TargetDisk(ctx *array.Context, fileID int) int {
 	d := ctx.Placement(fileID)
 	if ctx.DiskSpeed(d) == diskmodel.Low {
+		ctx.SetDecisionCause("demand")
 		ctx.RequestTransition(d, diskmodel.High)
 	}
 	return d

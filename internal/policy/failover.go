@@ -40,6 +40,7 @@ func reassignAcross(ctx *array.Context, d int, targets []int) {
 	for i, id := range ctx.FilesOn(d) {
 		// The only failure mode left is a target dying inside this very
 		// loop, which cannot happen: failures are delivered one at a time.
+		ctx.SetDecisionCause("failover-rehome")
 		_ = ctx.ReassignFile(id, targets[i%len(targets)])
 	}
 }
@@ -204,6 +205,7 @@ func (r *READReplica) OnDiskFailure(ctx *array.Context, d int) {
 		// order must not depend on map iteration.
 		for _, id := range sortedKeys(r.replica) {
 			if rd := r.replica[id]; ctx.Placement(id) == d && !ctx.DiskFailed(rd) {
+				ctx.SetDecisionCause("replica-promote")
 				_ = ctx.ReassignFile(id, rd)
 			}
 		}

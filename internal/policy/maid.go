@@ -149,6 +149,7 @@ func (m *MAID) TargetDisk(ctx *array.Context, fileID int) int {
 	m.misses++
 	d := ctx.Placement(fileID)
 	if ctx.DiskSpeed(d) == diskmodel.Low {
+		ctx.SetDecisionCause("cache-miss")
 		ctx.RequestTransition(d, diskmodel.High)
 	}
 	m.admit(ctx, fileID)

@@ -122,6 +122,7 @@ func (p *PDC) Init(ctx *array.Context) error {
 func (p *PDC) TargetDisk(ctx *array.Context, fileID int) int {
 	d := ctx.Placement(fileID)
 	if ctx.DiskSpeed(d) == diskmodel.Low && ctx.DiskQueueLen(d)+1 >= p.cfg.SpinUpQueue {
+		ctx.SetDecisionCause("queue-depth")
 		ctx.RequestTransition(d, diskmodel.High)
 	}
 	return d
@@ -155,6 +156,7 @@ func (p *PDC) OnEpoch(ctx *array.Context) {
 		}
 		want := target[f.ID]
 		if want != ctx.Placement(f.ID) && !ctx.Migrating(f.ID) {
+			ctx.SetDecisionCause("popularity")
 			if ctx.Migrate(f.ID, want) {
 				p.migrations++
 				moved++

@@ -197,6 +197,7 @@ func (r *READ) budget(ctx *array.Context) int {
 func (r *READ) TargetDisk(ctx *array.Context, fileID int) int {
 	d := ctx.Placement(fileID)
 	if d < r.hotCount && ctx.DiskSpeed(d) == diskmodel.Low {
+		ctx.SetDecisionCause("demand")
 		ctx.RequestTransition(d, diskmodel.High)
 	}
 	return d
@@ -275,6 +276,7 @@ func (r *READ) OnEpoch(ctx *array.Context) {
 		case wasPopular && !isPopular && cur < r.hotCount:
 			target := r.hotCount + r.rrCold%(n-r.hotCount)
 			r.rrCold++
+			ctx.SetDecisionCause("popularity")
 			if ctx.Migrate(f.ID, target) {
 				r.migrations++
 				moved++
@@ -282,6 +284,7 @@ func (r *READ) OnEpoch(ctx *array.Context) {
 		case !wasPopular && isPopular && cur >= r.hotCount:
 			target := r.rrHot % r.hotCount
 			r.rrHot++
+			ctx.SetDecisionCause("popularity")
 			if ctx.Migrate(f.ID, target) {
 				r.migrations++
 				moved++

@@ -30,8 +30,8 @@ func TestDiffIdenticalSummariesIsClean(t *testing.T) {
 			t.Fatalf("metric %s has nonzero rel delta %v on identical inputs", d.Metric, d.Rel)
 		}
 	}
-	if len(deltas) != 9 {
-		t.Fatalf("compared %d metrics, want 9", len(deltas))
+	if len(deltas) != 11 {
+		t.Fatalf("compared %d metrics, want 11", len(deltas))
 	}
 }
 

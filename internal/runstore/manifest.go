@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/array"
+	"repro/internal/telemetry"
 )
 
 // SchemaVersion is the manifest schema this package writes. Readers accept
@@ -28,6 +29,8 @@ type Summary struct {
 	P50ResponseS  float64 `json:"p50_response_s"`
 	P95ResponseS  float64 `json:"p95_response_s"`
 	P99ResponseS  float64 `json:"p99_response_s"`
+	P999ResponseS float64 `json:"p999_response_s"`
+	MaxResponseS  float64 `json:"max_response_s"`
 	// TransitionsPerDay is the mean per-disk speed-transition rate.
 	TransitionsPerDay float64 `json:"transitions_per_day"`
 	// Requests is the number of user requests served.
@@ -73,6 +76,8 @@ func SummaryFromResult(r *array.Result, faultsOn bool) Summary {
 		P50ResponseS:  r.P50Response,
 		P95ResponseS:  r.P95Response,
 		P99ResponseS:  r.P99Response,
+		P999ResponseS: r.P999Response,
+		MaxResponseS:  r.MaxResponse,
 		Requests:      float64(r.Requests),
 		EventsFired:   float64(r.EventsFired),
 	}
@@ -112,6 +117,8 @@ func (s Summary) Metrics() map[string]float64 {
 		"p50_response_s":      s.P50ResponseS,
 		"p95_response_s":      s.P95ResponseS,
 		"p99_response_s":      s.P99ResponseS,
+		"p999_response_s":     s.P999ResponseS,
+		"max_response_s":      s.MaxResponseS,
 		"transitions_per_day": s.TransitionsPerDay,
 		"requests":            s.Requests,
 		"events_fired":        s.EventsFired,
@@ -171,6 +178,12 @@ type Manifest struct {
 	WallSeconds float64 `json:"wall_seconds"`
 	// Summary is the headline-metrics block.
 	Summary Summary `json:"summary"`
+	// Attribution is the decision-tracing rollup (request latency
+	// decomposition, energy attribution, decision counts), present only when
+	// the run traced decisions. It rides outside Summary so its fields never
+	// join the diff metric set — a traced and an untraced run of the same
+	// configuration still diff clean at tolerance 0.
+	Attribution *telemetry.AttributionReport `json:"attribution,omitempty"`
 	// Artifacts lists the telemetry files present in the run directory
 	// (disks.csv, disks.ndjson, metrics.json, trace.json).
 	Artifacts []string `json:"artifacts,omitempty"`

@@ -44,8 +44,8 @@ func TestSummaryFromResult(t *testing.T) {
 	if m["disk_failures"] != 2 || m["energy_j"] != 5000 || m["p50_response_s"] != 0.006 {
 		t.Fatalf("metrics map wrong: %v", m)
 	}
-	if len(m) != 12 {
-		t.Fatalf("metrics map has %d entries, want 12", len(m))
+	if len(m) != 14 {
+		t.Fatalf("metrics map has %d entries, want 14", len(m))
 	}
 }
 

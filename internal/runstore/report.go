@@ -248,15 +248,38 @@ func timelineSVG(series []DiskSeries, pick func(DiskSeries) []float64, xlabel, y
 // ---- report assembly --------------------------------------------------
 
 type reportRunView struct {
-	ID, Tool, Name, Policy, Workload string
-	Digest12                         string
-	Created                          string
-	EnergyKJ, AFRPct                 string
-	MeanMs, P95Ms, P99Ms             string
-	TransPerDay                      string
-	LSEErrors, RAIDLosses, MTTDLEst  string
-	UtilSVG, AFRSVG                  template.HTML
-	HasSeries                        bool
+	ID, Tool, Name, Policy, Workload    string
+	Digest12                            string
+	Created                             string
+	EnergyKJ, AFRPct                    string
+	MeanMs, P95Ms, P99Ms, P999Ms, MaxMs string
+	TransPerDay                         string
+	LSEErrors, RAIDLosses, MTTDLEst     string
+	UtilSVG, AFRSVG                     template.HTML
+	HasSeries                           bool
+	Attr                                *attributionView
+}
+
+// attributionView is the pre-formatted decision-tracing rollup of one run.
+type attributionView struct {
+	Requests         string
+	QueueWaitS       string
+	SpinupWaitS      string
+	SeekS            string
+	TransferS        string
+	ServiceEnergyKJ  string
+	DegradedRequests string
+	DegradedPenaltyS string
+	SpinupWaits      string
+	Decisions        string
+	SpinDowns        string
+	SpinUps          string
+	Migrations       string
+	Reassigns        string
+	RebuildPaces     string
+	WakeRequests     string
+	ParkedHours      string
+	ParkNetSavedKJ   string
 }
 
 type reportView struct {
@@ -289,9 +312,38 @@ code { background: #f4f4f4; padding: .1rem .3rem; border-radius: 3px; }
 
 <h2>Runs</h2>
 <table>
-<tr><th>run</th><th>tool</th><th>policy</th><th>workload</th><th>energy (kJ)</th><th>AFR (%)</th><th>mean (ms)</th><th>p95 (ms)</th><th>p99 (ms)</th><th>trans/day</th>{{if .ShowReliability}}<th>LSEs</th><th>RAID losses</th><th>MTTDL est (h)</th>{{end}}</tr>
-{{range .Runs}}<tr><td><code>{{.ID}}</code></td><td>{{.Tool}}</td><td>{{.Policy}}</td><td>{{.Workload}}</td><td>{{.EnergyKJ}}</td><td>{{.AFRPct}}</td><td>{{.MeanMs}}</td><td>{{.P95Ms}}</td><td>{{.P99Ms}}</td><td>{{.TransPerDay}}</td>{{if $.ShowReliability}}<td>{{.LSEErrors}}</td><td>{{.RAIDLosses}}</td><td>{{.MTTDLEst}}</td>{{end}}</tr>
+<tr><th>run</th><th>tool</th><th>policy</th><th>workload</th><th>energy (kJ)</th><th>AFR (%)</th><th>mean (ms)</th><th>p95 (ms)</th><th>p99 (ms)</th><th>p999 (ms)</th><th>max (ms)</th><th>trans/day</th>{{if .ShowReliability}}<th>LSEs</th><th>RAID losses</th><th>MTTDL est (h)</th>{{end}}</tr>
+{{range .Runs}}<tr><td><code>{{.ID}}</code></td><td>{{.Tool}}</td><td>{{.Policy}}</td><td>{{.Workload}}</td><td>{{.EnergyKJ}}</td><td>{{.AFRPct}}</td><td>{{.MeanMs}}</td><td>{{.P95Ms}}</td><td>{{.P99Ms}}</td><td>{{.P999Ms}}</td><td>{{.MaxMs}}</td><td>{{.TransPerDay}}</td>{{if $.ShowReliability}}<td>{{.LSEErrors}}</td><td>{{.RAIDLosses}}</td><td>{{.MTTDLEst}}</td>{{end}}</tr>
 {{end}}</table>
+
+{{range .Runs}}{{if .Attr}}
+<h2>{{.Name}} — decision &amp; latency attribution</h2>
+<div class="charts">
+<div><h3>request latency decomposition</h3>
+<table>
+<tr><th>component</th><th>total (s)</th></tr>
+<tr><td>queue wait</td><td>{{.Attr.QueueWaitS}}</td></tr>
+<tr><td>spin-up wait</td><td>{{.Attr.SpinupWaitS}}</td></tr>
+<tr><td>seek / positioning</td><td>{{.Attr.SeekS}}</td></tr>
+<tr><td>transfer</td><td>{{.Attr.TransferS}}</td></tr>
+<tr><td>degraded-reroute penalty</td><td>{{.Attr.DegradedPenaltyS}}</td></tr>
+</table>
+<p class="meta">{{.Attr.Requests}} requests attributed · {{.Attr.SpinupWaits}} waited on a spin-up · {{.Attr.DegradedRequests}} served degraded · service energy {{.Attr.ServiceEnergyKJ}} kJ</p>
+</div>
+<div><h3>policy decisions</h3>
+<table>
+<tr><th>kind</th><th>count</th></tr>
+<tr><td>spin-down</td><td>{{.Attr.SpinDowns}}</td></tr>
+<tr><td>spin-up</td><td>{{.Attr.SpinUps}}</td></tr>
+<tr><td>migrate</td><td>{{.Attr.Migrations}}</td></tr>
+<tr><td>reassign (failover)</td><td>{{.Attr.Reassigns}}</td></tr>
+<tr><td>rebuild pace</td><td>{{.Attr.RebuildPaces}}</td></tr>
+<tr><td><b>total</b></td><td>{{.Attr.Decisions}}</td></tr>
+</table>
+<p class="meta">{{.Attr.ParkedHours}} disk-hours parked · net park saving {{.Attr.ParkNetSavedKJ}} kJ · {{.Attr.WakeRequests}} requests behind wakes</p>
+</div>
+</div>
+{{end}}{{end}}
 
 {{range .Runs}}{{if .HasSeries}}
 <h2>{{.Name}} — per-disk timelines</h2>
@@ -329,6 +381,8 @@ func WriteHTMLReport(w io.Writer, title string, runs []*ReportRun) error {
 			MeanMs:      ms(m.Summary.MeanResponseS),
 			P95Ms:       ms(m.Summary.P95ResponseS),
 			P99Ms:       ms(m.Summary.P99ResponseS),
+			P999Ms:      ms(m.Summary.P999ResponseS),
+			MaxMs:       ms(m.Summary.MaxResponseS),
 			TransPerDay: strconv.FormatFloat(m.Summary.TransitionsPerDay, 'f', 1, 64),
 			LSEErrors:   "-",
 			RAIDLosses:  "-",
@@ -344,6 +398,30 @@ func WriteHTMLReport(w io.Writer, title string, runs []*ReportRun) error {
 			rv.RAIDLosses = strconv.FormatFloat(m.Summary.RAIDLossEvents, 'f', 0, 64)
 			if m.Summary.MTTDLEstHours > 0 {
 				rv.MTTDLEst = strconv.FormatFloat(m.Summary.MTTDLEstHours, 'g', 4, 64)
+			}
+		}
+		if a := m.Attribution; a != nil {
+			sec := func(v float64) string { return strconv.FormatFloat(v, 'f', 2, 64) }
+			n := func(v int) string { return strconv.Itoa(v) }
+			rv.Attr = &attributionView{
+				Requests:         n(a.Totals.Requests),
+				QueueWaitS:       sec(a.Totals.QueueWaitS),
+				SpinupWaitS:      sec(a.Totals.SpinupWaitS),
+				SeekS:            sec(a.Totals.SeekS),
+				TransferS:        sec(a.Totals.TransferS),
+				ServiceEnergyKJ:  strconv.FormatFloat(a.Totals.ServiceEnergyJ/1e3, 'f', 2, 64),
+				DegradedRequests: n(a.Totals.DegradedRequests),
+				DegradedPenaltyS: sec(a.Totals.DegradedPenaltyS),
+				SpinupWaits:      n(a.Totals.SpinupWaits),
+				Decisions:        n(a.Decisions),
+				SpinDowns:        n(a.SpinDowns),
+				SpinUps:          n(a.SpinUps),
+				Migrations:       n(a.Migrations),
+				Reassigns:        n(a.Reassigns),
+				RebuildPaces:     n(a.RebuildPaces),
+				WakeRequests:     n(a.WakeRequests),
+				ParkedHours:      strconv.FormatFloat(a.ParkedSeconds/3600, 'f', 2, 64),
+				ParkNetSavedKJ:   strconv.FormatFloat(a.ParkNetSavedJ/1e3, 'f', 2, 64),
 			}
 		}
 		if rv.HasSeries {

@@ -17,6 +17,9 @@ import (
 //     handler's WALL-clock execution time in microseconds (floored at 1 so
 //     slices stay visible), which makes hot handlers literally wider.
 //   - Schedules and cancellations are instant ("i") events on tids 2 and 3.
+//   - Logical spans (request lifetimes) are complete ("X") slices on tid 4
+//     whose dur is VIRTUAL elapsed time — a request's slice spans arrival
+//     to completion on the simulation clock.
 //
 // Traces of large runs are bounded two ways: SampleEvery records only every
 // Nth event of each kind, and MaxEvents hard-caps the file; both are
@@ -32,7 +35,7 @@ type ChromeTracer struct {
 
 	written int
 	dropped uint64
-	seen    [3]uint64 // per-kind observation counts for sampling
+	seen    [4]uint64 // per-kind observation counts for sampling
 	closed  bool
 }
 
@@ -41,6 +44,7 @@ const (
 	kindFired = iota
 	kindScheduled
 	kindCanceled
+	kindSpan
 )
 
 // NewChromeTracer starts a trace on w. sampleEvery < 1 means record every
@@ -62,6 +66,7 @@ func NewChromeTracer(w io.Writer, sampleEvery, maxEvents int) *ChromeTracer {
 	t.meta(`{"name":"thread_name","ph":"M","pid":1,"tid":1,"args":{"name":"fired"}}`)
 	t.meta(`{"name":"thread_name","ph":"M","pid":1,"tid":2,"args":{"name":"scheduled"}}`)
 	t.meta(`{"name":"thread_name","ph":"M","pid":1,"tid":3,"args":{"name":"canceled"}}`)
+	t.meta(`{"name":"thread_name","ph":"M","pid":1,"tid":4,"args":{"name":"spans"}}`)
 	return t
 }
 
@@ -127,6 +132,21 @@ func (t *ChromeTracer) EventCanceled(id uint64, l string, now float64) {
 		label(l), now*1e6, id)
 }
 
+// Span records a logical interval [start, end] in virtual seconds as a
+// complete slice; dur is virtual elapsed time (floored at 1 µs so slices
+// stay visible). It implements the des.SpanTracer extension structurally.
+func (t *ChromeTracer) Span(l string, start, end float64) {
+	if !t.admit(kindSpan) {
+		return
+	}
+	dur := (end - start) * 1e6
+	if dur < 1 {
+		dur = 1
+	}
+	fmt.Fprintf(t.w, `{"name":%q,"ph":"X","pid":1,"tid":4,"ts":%.3f,"dur":%.3f}`+",\n",
+		label(l), start*1e6, dur)
+}
+
 // Written returns the number of event records emitted so far.
 func (t *ChromeTracer) Written() int {
 	if t == nil {
@@ -145,8 +165,8 @@ func (t *ChromeTracer) Close() error {
 	// Final metadata record: how much of the stream this trace covers.
 	// No trailing comma — it is the last element of the JSON array.
 	fmt.Fprintf(t.w,
-		`{"name":"trace_coverage","ph":"M","pid":1,"tid":0,"args":{"fired_seen":%d,"scheduled_seen":%d,"canceled_seen":%d,"records_written":%d,"dropped_at_cap":%d,"sample_every":%d}}`+"\n",
-		t.seen[kindFired], t.seen[kindScheduled], t.seen[kindCanceled], t.written, t.dropped, t.sampleEvery)
+		`{"name":"trace_coverage","ph":"M","pid":1,"tid":0,"args":{"fired_seen":%d,"scheduled_seen":%d,"canceled_seen":%d,"spans_seen":%d,"records_written":%d,"dropped_at_cap":%d,"sample_every":%d}}`+"\n",
+		t.seen[kindFired], t.seen[kindScheduled], t.seen[kindCanceled], t.seen[kindSpan], t.written, t.dropped, t.sampleEvery)
 	t.w.WriteString("]\n")
 	return t.w.Flush()
 }

@@ -36,9 +36,9 @@ func TestChromeTracerValidJSONUnderCap(t *testing.T) {
 	if tr.Written() != 3 {
 		t.Fatalf("Written() = %d, want 3", tr.Written())
 	}
-	// 4 metadata headers + 3 events + 1 coverage trailer.
-	if len(events) != 8 {
-		t.Fatalf("got %d records, want 8", len(events))
+	// 5 metadata headers + 3 events + 1 coverage trailer.
+	if len(events) != 9 {
+		t.Fatalf("got %d records, want 9", len(events))
 	}
 }
 

@@ -1,0 +1,292 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Decision tracing. Every policy action the simulator executes — spinning a
+// disk down or up, migrating a file, re-homing a file after a failure,
+// pacing a rebuild — can emit one typed Decision record carrying the
+// virtual time, the cause the policy declared, the cost the simulator
+// predicted when the action was taken, and (once known) the cost actually
+// observed. The log is the substrate for counterfactual replay: records are
+// numbered by a monotone sequence, and a replay run can force a single
+// numbered decision to be skipped and measure the energy/AFR/latency delta
+// of that one choice.
+//
+// Like every other telemetry handle, a nil *DecisionLog is a valid no-op
+// sink: Append on nil returns 0 and records nothing, so instrumented code
+// needs no branches beyond the nil check it already performs.
+
+// Decision kinds emitted by the simulator.
+const (
+	DecisionSpinDown    = "spin-down"
+	DecisionSpinUp      = "spin-up"
+	DecisionMigrate     = "migrate"
+	DecisionReassign    = "reassign-file"
+	DecisionRebuildPace = "rebuild-pace"
+)
+
+// Decision is one policy action. Predicted* fields are filled when the
+// action is taken; Observed* fields when its outcome resolves (a parked
+// disk spins back up, a migration's write leg lands, a rebuild drains).
+type Decision struct {
+	// Seq is the 1-based position of this record in the log; it is the
+	// stable handle -override addresses.
+	Seq uint64 `json:"seq"`
+	// T is the virtual time the decision was taken, in seconds.
+	T float64 `json:"t"`
+	// Epoch is the policy epoch the decision fell in.
+	Epoch int `json:"epoch"`
+	// Kind is one of the Decision* constants.
+	Kind string `json:"kind"`
+	// Cause is the policy's declared reason ("idle-threshold", "heat",
+	// "afr-signal", ...); empty when the policy declared none.
+	Cause string `json:"cause,omitempty"`
+
+	Disk   int     `json:"disk,omitempty"`
+	FileID int     `json:"file_id,omitempty"`
+	From   int     `json:"from,omitempty"`
+	To     int     `json:"to,omitempty"`
+	SizeMB float64 `json:"size_mb,omitempty"`
+
+	// PredictedJ is the energy the action was expected to cost (transition
+	// round trips) or move (migrations), in joules.
+	PredictedJ float64 `json:"predicted_j,omitempty"`
+	// PredictedWaitS is the latency exposure the action was expected to
+	// create (spin-up time a parked disk imposes on its next request, or
+	// a rebuild's expected duration), in seconds.
+	PredictedWaitS float64 `json:"predicted_wait_s,omitempty"`
+	// PredictedSaveW is the power the action was expected to save while it
+	// held (idle power delta of a spin-down), in watts.
+	PredictedSaveW float64 `json:"predicted_save_w,omitempty"`
+
+	// Observed reports whether the outcome fields below are filled.
+	Observed bool `json:"observed,omitempty"`
+	// ObservedJ is the realized net energy effect, in joules (for a
+	// spin-down: energy saved while parked minus the transition round
+	// trip — negative means the park lost energy).
+	ObservedJ float64 `json:"observed_j,omitempty"`
+	// ObservedParkedS is how long the disk actually stayed parked.
+	ObservedParkedS float64 `json:"observed_parked_s,omitempty"`
+	// ObservedWaitS is the realized latency cost (actual spin-up or
+	// rebuild duration), in seconds.
+	ObservedWaitS float64 `json:"observed_wait_s,omitempty"`
+	// WakeRequests counts requests that were queued behind the action when
+	// it resolved (requests that paid the spin-up wait).
+	WakeRequests int `json:"wake_requests,omitempty"`
+
+	// Overridden names the replay override applied to this decision
+	// ("skip"); empty on normal runs.
+	Overridden string `json:"overridden,omitempty"`
+}
+
+// DecisionLog accumulates Decision records in emission order. The zero
+// value is ready to use; a nil log is a no-op sink.
+type DecisionLog struct {
+	recs []Decision
+}
+
+// NewDecisionLog returns an empty log.
+func NewDecisionLog() *DecisionLog { return &DecisionLog{} }
+
+// Append assigns the next sequence number to d, stores it, and returns the
+// sequence number (0 on a nil log).
+func (l *DecisionLog) Append(d Decision) uint64 {
+	if l == nil {
+		return 0
+	}
+	d.Seq = uint64(len(l.recs)) + 1
+	l.recs = append(l.recs, d)
+	return d.Seq
+}
+
+// Resolve applies fn to the record with sequence number seq. Unknown
+// sequence numbers (and nil logs) are ignored.
+func (l *DecisionLog) Resolve(seq uint64, fn func(*Decision)) {
+	if l == nil || seq == 0 || seq > uint64(len(l.recs)) {
+		return
+	}
+	fn(&l.recs[seq-1])
+}
+
+// Len returns the number of records (0 on nil).
+func (l *DecisionLog) Len() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.recs)
+}
+
+// Records returns the backing slice in emission order; callers must not
+// mutate it.
+func (l *DecisionLog) Records() []Decision {
+	if l == nil {
+		return nil
+	}
+	return l.recs
+}
+
+// WriteNDJSON writes one JSON object per record, in sequence order.
+func (l *DecisionLog) WriteNDJSON(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for i := range l.Records() {
+		b, err := json.Marshal(&l.recs[i])
+		if err != nil {
+			return fmt.Errorf("telemetry: decision %d: %w", i+1, err)
+		}
+		bw.Write(b)
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// ReadDecisionNDJSON parses a decision log written by WriteNDJSON.
+func ReadDecisionNDJSON(r io.Reader) (*DecisionLog, error) {
+	l := NewDecisionLog()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var d Decision
+		if err := json.Unmarshal(b, &d); err != nil {
+			return nil, fmt.Errorf("telemetry: decision log line %d: %w", line, err)
+		}
+		if want := uint64(len(l.recs)) + 1; d.Seq != want {
+			return nil, fmt.Errorf("telemetry: decision log line %d: seq %d, want %d", line, d.Seq, want)
+		}
+		l.recs = append(l.recs, d)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("telemetry: decision log: %w", err)
+	}
+	return l, nil
+}
+
+// DecisionLogState is the checkpoint record for a DecisionLog.
+//
+//simlint:checkpoint-for DecisionLog alias=recs:Records
+type DecisionLogState struct {
+	Records []Decision `json:"records"`
+}
+
+// State snapshots the log for a checkpoint.
+func (l *DecisionLog) State() DecisionLogState {
+	if l == nil {
+		return DecisionLogState{}
+	}
+	return DecisionLogState{Records: append([]Decision(nil), l.recs...)}
+}
+
+// SetState restores a snapshot taken by State.
+func (l *DecisionLog) SetState(st DecisionLogState) {
+	if l == nil {
+		return
+	}
+	l.recs = append(l.recs[:0], st.Records...)
+}
+
+// Attribution is a per-request cost decomposition summed over a set of
+// requests: where response time went (queue wait behind other work,
+// spin-up wait behind a parked disk, seek, transfer, degraded re-route
+// penalty) and the service energy those requests consumed.
+type Attribution struct {
+	// Requests is the number of completed user requests attributed.
+	Requests int `json:"requests"`
+	// QueueWaitS is time spent queued behind other operations.
+	QueueWaitS float64 `json:"queue_wait_s"`
+	// SpinupWaitS is time spent waiting for a disk speed transition —
+	// the latency bill of the spin-downs that parked those disks.
+	SpinupWaitS float64 `json:"spinup_wait_s"`
+	// SeekS is positioning time inside service.
+	SeekS float64 `json:"seek_s"`
+	// TransferS is media transfer time inside service.
+	TransferS float64 `json:"transfer_s"`
+	// ServiceEnergyJ is active-power energy consumed serving the requests.
+	ServiceEnergyJ float64 `json:"service_energy_j"`
+	// DegradedPenaltyS is the total response time of requests re-routed
+	// around a failed disk (the reliability bill, in latency form).
+	DegradedPenaltyS float64 `json:"degraded_penalty_s"`
+	// DegradedRequests counts re-routed requests.
+	DegradedRequests int `json:"degraded_requests"`
+	// SpinupWaits counts requests that paid a nonzero spin-up wait.
+	SpinupWaits int `json:"spinup_waits"`
+}
+
+// add accumulates o into a.
+func (a *Attribution) add(o Attribution) {
+	a.Requests += o.Requests
+	a.QueueWaitS += o.QueueWaitS
+	a.SpinupWaitS += o.SpinupWaitS
+	a.SeekS += o.SeekS
+	a.TransferS += o.TransferS
+	a.ServiceEnergyJ += o.ServiceEnergyJ
+	a.DegradedPenaltyS += o.DegradedPenaltyS
+	a.DegradedRequests += o.DegradedRequests
+	a.SpinupWaits += o.SpinupWaits
+}
+
+// sub returns a minus o, field by field.
+func (a Attribution) sub(o Attribution) Attribution {
+	return Attribution{
+		Requests:         a.Requests - o.Requests,
+		QueueWaitS:       a.QueueWaitS - o.QueueWaitS,
+		SpinupWaitS:      a.SpinupWaitS - o.SpinupWaitS,
+		SeekS:            a.SeekS - o.SeekS,
+		TransferS:        a.TransferS - o.TransferS,
+		ServiceEnergyJ:   a.ServiceEnergyJ - o.ServiceEnergyJ,
+		DegradedPenaltyS: a.DegradedPenaltyS - o.DegradedPenaltyS,
+		DegradedRequests: a.DegradedRequests - o.DegradedRequests,
+		SpinupWaits:      a.SpinupWaits - o.SpinupWaits,
+	}
+}
+
+// Add and Delta are the exported accumulation helpers (used by the sweep
+// aggregator; the simulator uses the unexported forms directly).
+func (a *Attribution) Add(o Attribution) { a.add(o) }
+
+// Delta returns a minus o.
+func (a Attribution) Delta(o Attribution) Attribution { return a.sub(o) }
+
+// EpochAttribution is one epoch's slice of the attribution totals.
+type EpochAttribution struct {
+	Epoch int `json:"epoch"`
+	Attribution
+}
+
+// AttributionReport is the run-level rollup attached to results and
+// manifests when decision tracing is on.
+type AttributionReport struct {
+	// Totals decomposes every completed user request in the run.
+	Totals Attribution `json:"totals"`
+	// Epochs holds per-epoch slices of Totals, in epoch order.
+	Epochs []EpochAttribution `json:"epochs,omitempty"`
+
+	// Decisions is the total decision count; the per-kind counters below
+	// partition it.
+	Decisions    int `json:"decisions"`
+	SpinDowns    int `json:"spin_downs,omitempty"`
+	SpinUps      int `json:"spin_ups,omitempty"`
+	Migrations   int `json:"migrations,omitempty"`
+	Reassigns    int `json:"reassigns,omitempty"`
+	RebuildPaces int `json:"rebuild_paces,omitempty"`
+
+	// WakeRequests counts requests that arrived at a parked or parking
+	// disk and had to wait for it to spin up.
+	WakeRequests int `json:"wake_requests,omitempty"`
+	// ParkedSeconds is total low-speed residency bought by spin-down
+	// decisions that have resolved (the disk spun back up).
+	ParkedSeconds float64 `json:"parked_seconds,omitempty"`
+	// ParkNetSavedJ is the realized net energy effect of resolved
+	// spin-downs: idle-power savings while parked minus transition round
+	// trips. Negative means the policy's parks cost energy on net.
+	ParkNetSavedJ float64 `json:"park_net_saved_j,omitempty"`
+}

@@ -1,0 +1,132 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// sampleLog builds a small log exercising every record shape: an observed
+// spin-down, an open (unobserved) spin-up, and a migrate with file routing.
+func sampleLog() *DecisionLog {
+	l := NewDecisionLog()
+	seq := l.Append(Decision{
+		T: 1.5, Epoch: 1, Kind: DecisionSpinDown, Cause: "idle-threshold",
+		Disk: 2, PredictedSaveW: 8.2, PredictedJ: 270, PredictedWaitS: 10.9,
+	})
+	l.Resolve(seq, func(d *Decision) {
+		d.Observed = true
+		d.ObservedParkedS = 42.5
+		d.ObservedJ = 42.5*8.2 - 270
+	})
+	l.Append(Decision{
+		T: 44.0, Epoch: 3, Kind: DecisionSpinUp, Cause: "demand", Disk: 2,
+		PredictedJ: 135, PredictedWaitS: 10.9,
+	})
+	l.Append(Decision{
+		T: 50.0, Epoch: 3, Kind: DecisionMigrate, Cause: "popularity",
+		FileID: 7, From: 2, To: 0, SizeMB: 1.25, PredictedJ: 0.4,
+	})
+	return l
+}
+
+func TestDecisionLogNDJSONRoundTrip(t *testing.T) {
+	l := sampleLog()
+	var buf bytes.Buffer
+	if err := l.WriteNDJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	first := append([]byte(nil), buf.Bytes()...)
+
+	got, err := ReadDecisionNDJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != l.Len() {
+		t.Fatalf("round trip lost records: %d, want %d", got.Len(), l.Len())
+	}
+	var second bytes.Buffer
+	if err := got.WriteNDJSON(&second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second.Bytes()) {
+		t.Fatalf("round trip not bit-identical:\nfirst:\n%s\nsecond:\n%s", first, second.Bytes())
+	}
+	// Sequence numbers were assigned by Append, 1-based and dense.
+	for i, rec := range got.Records() {
+		if rec.Seq != uint64(i)+1 {
+			t.Fatalf("record %d has seq %d", i, rec.Seq)
+		}
+	}
+	if rec := got.Records()[0]; !rec.Observed || rec.ObservedParkedS != 42.5 {
+		t.Fatalf("observed outcome lost in round trip: %+v", rec)
+	}
+}
+
+func TestReadDecisionNDJSONRejectsBadSeq(t *testing.T) {
+	in := `{"seq":1,"t":1,"kind":"spin-down"}
+{"seq":3,"t":2,"kind":"spin-up"}
+`
+	if _, err := ReadDecisionNDJSON(strings.NewReader(in)); err == nil {
+		t.Fatal("gap in sequence numbers accepted")
+	} else if !strings.Contains(err.Error(), "seq 3, want 2") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+}
+
+// A nil *DecisionLog is a full no-op sink, like every other telemetry handle.
+func TestNilDecisionLogIsNoOp(t *testing.T) {
+	var l *DecisionLog
+	if seq := l.Append(Decision{Kind: DecisionSpinDown}); seq != 0 {
+		t.Fatalf("nil Append returned seq %d", seq)
+	}
+	l.Resolve(1, func(*Decision) { t.Fatal("resolver ran on nil log") })
+	if l.Len() != 0 || l.Records() != nil {
+		t.Fatal("nil log reports contents")
+	}
+	if st := l.State(); len(st.Records) != 0 {
+		t.Fatal("nil log snapshot non-empty")
+	}
+	l.SetState(DecisionLogState{Records: []Decision{{Seq: 1}}}) // must not panic
+}
+
+func TestDecisionLogStateRoundTrip(t *testing.T) {
+	l := sampleLog()
+	st := l.State()
+
+	// The snapshot is a copy: later appends must not leak into it.
+	l.Append(Decision{T: 99, Kind: DecisionReassign})
+	if len(st.Records) != 3 {
+		t.Fatalf("snapshot grew with the log: %d records", len(st.Records))
+	}
+
+	restored := NewDecisionLog()
+	restored.SetState(st)
+	var want, got bytes.Buffer
+	if err := sampleLog().WriteNDJSON(&want); err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.WriteNDJSON(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want.Bytes(), got.Bytes()) {
+		t.Fatalf("restored log differs:\nwant:\n%s\ngot:\n%s", want.String(), got.String())
+	}
+	// Appending to the restored log continues the sequence.
+	if seq := restored.Append(Decision{Kind: DecisionSpinUp}); seq != 4 {
+		t.Fatalf("post-restore Append assigned seq %d, want 4", seq)
+	}
+}
+
+func TestAttributionAddDelta(t *testing.T) {
+	a := Attribution{Requests: 10, QueueWaitS: 1.5, SpinupWaitS: 0.5, SeekS: 2, TransferS: 1, ServiceEnergyJ: 100, DegradedRequests: 2, DegradedPenaltyS: 0.7, SpinupWaits: 3}
+	b := Attribution{Requests: 4, QueueWaitS: 0.5, SeekS: 1, ServiceEnergyJ: 40, SpinupWaits: 1}
+	sum := a
+	sum.Add(b)
+	if sum.Requests != 14 || sum.ServiceEnergyJ != 140 || sum.SpinupWaits != 4 {
+		t.Fatalf("Add wrong: %+v", sum)
+	}
+	if d := sum.Delta(b); d != a {
+		t.Fatalf("Delta did not invert Add: %+v != %+v", d, a)
+	}
+}

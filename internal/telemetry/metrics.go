@@ -136,6 +136,14 @@ func (h *Histogram) Mean() float64 {
 	return h.sum / float64(h.count)
 }
 
+// Max returns the largest observation (0 when empty or nil).
+func (h *Histogram) Max() float64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	return h.max
+}
+
 // Quantile estimates the q-th quantile (q in [0,1]) by linear interpolation
 // within the bucket holding the target rank. The first bucket's lower edge is
 // the observed minimum and the overflow bucket's upper edge the observed
@@ -273,8 +281,9 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 }
 
 // histogramJSON is the dump schema of one histogram: counts[i] pairs with
-// bounds[i]; the final extra count is the overflow bucket. P50/P95/P99 are
-// interpolated quantile estimates (see Histogram.Quantile).
+// bounds[i]; the final extra count is the overflow bucket. P50/P95/P99/P999
+// are interpolated quantile estimates (see Histogram.Quantile); Max is the
+// exact observed maximum.
 type histogramJSON struct {
 	Count  uint64    `json:"count"`
 	Sum    float64   `json:"sum"`
@@ -283,6 +292,7 @@ type histogramJSON struct {
 	P50    float64   `json:"p50"`
 	P95    float64   `json:"p95"`
 	P99    float64   `json:"p99"`
+	P999   float64   `json:"p999"`
 	Bounds []float64 `json:"bounds"`
 	Counts []uint64  `json:"counts"`
 }
@@ -316,6 +326,7 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 				P50:    h.Quantile(0.50),
 				P95:    h.Quantile(0.95),
 				P99:    h.Quantile(0.99),
+				P999:   h.Quantile(0.999),
 				Bounds: h.bounds,
 				Counts: h.counts,
 			}

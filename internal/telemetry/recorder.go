@@ -23,6 +23,8 @@ type Config struct {
 	// TraceMaxEvents hard-caps the Chrome trace record count; values < 1
 	// mean the default of 1,000,000.
 	TraceMaxEvents int
+	// TraceDecisions enables the policy decision log (decisions.ndjson).
+	TraceDecisions bool
 }
 
 // Recorder bundles the telemetry sinks one simulation writes to: a metrics
@@ -35,6 +37,10 @@ type Recorder struct {
 	Metrics *Registry
 	// Progress, when non-nil, receives phase/progress/done lines.
 	Progress *Progress
+	// Decisions, when non-nil, receives one record per policy decision;
+	// Close writes it to decisions.ndjson when the recorder has a
+	// directory.
+	Decisions *DecisionLog
 
 	series *SeriesWriter
 	tracer *ChromeTracer
@@ -78,6 +84,9 @@ func Open(cfg Config) (*Recorder, error) {
 			return nil, err
 		}
 		r.tracer = NewChromeTracer(tf, cfg.TraceSampleEvery, cfg.TraceMaxEvents)
+	}
+	if cfg.TraceDecisions {
+		r.Decisions = NewDecisionLog()
 	}
 	return r, nil
 }
@@ -137,6 +146,15 @@ func (r *Recorder) Close() error {
 			keep(err)
 		} else {
 			keep(r.Metrics.WriteJSON(f))
+			keep(f.Close())
+		}
+	}
+	if r.dir != "" && r.Decisions != nil {
+		f, err := atomicio.Create(filepath.Join(r.dir, "decisions.ndjson"))
+		if err != nil {
+			keep(err)
+		} else {
+			keep(r.Decisions.WriteNDJSON(f))
 			keep(f.Close())
 		}
 	}
