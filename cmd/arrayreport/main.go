@@ -10,6 +10,8 @@
 //	arrayreport check -baseline BENCH_runs.json -store runs
 //	arrayreport baseline -store runs -out BENCH_runs.json
 //	arrayreport html -store runs -out report.html
+//	arrayreport perf -store runs
+//	arrayreport perf -store runs fig7-light
 //
 // diff and check exit 1 when any metric is out of tolerance, so both work as
 // CI regression gates; the default diff tolerance is 0 (exact equality),
@@ -19,7 +21,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"path/filepath"
 	"sort"
@@ -28,14 +29,20 @@ import (
 
 	"repro/internal/atomicio"
 	"repro/internal/runstore"
+	"repro/internal/telemetry"
 )
 
+// logg is the shared leveled logger; main rebinds it from the global flags
+// before dispatching to a subcommand.
+var logg = telemetry.NewLogger("arrayreport", nil, telemetry.LogInfo)
+
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("arrayreport: ")
 	version := flag.Bool("version", false, "print build information and exit")
+	verbose := flag.Bool("v", false, "verbose logging (include debug lines)")
+	quiet := flag.Bool("quiet", false, "log errors only")
 	flag.Usage = usage
 	flag.Parse()
+	logg = telemetry.NewLogger("arrayreport", nil, telemetry.LevelFromFlags(*quiet, *verbose))
 	if *version {
 		fmt.Println(runstore.VersionLine("arrayreport"))
 		return
@@ -59,18 +66,20 @@ func main() {
 		err = cmdBaseline(args)
 	case "html":
 		err = cmdHTML(args)
+	case "perf":
+		err = cmdPerf(args)
 	default:
 		fmt.Fprintf(os.Stderr, "arrayreport: unknown command %q\n\n", cmd)
 		usage()
 		os.Exit(2)
 	}
 	if err != nil {
-		log.Fatal(err)
+		logg.Fatal(err)
 	}
 }
 
 func usage() {
-	fmt.Fprint(os.Stderr, `usage: arrayreport [-version] <command> [flags] [args]
+	fmt.Fprint(os.Stderr, `usage: arrayreport [-version] [-v] [-quiet] <command> [flags] [args]
 
 commands:
   list      list the runs in a store
@@ -79,6 +88,7 @@ commands:
   check     gate runs against a committed baseline file (exit 1 on breach)
   baseline  regenerate a baseline file from a store's runs
   html      render a self-contained HTML report of a store
+  perf      show self-performance accounting (wall, events/s, allocs, GC)
 
 run 'arrayreport <command> -h' for the flags of one command.
 `)
@@ -352,4 +362,102 @@ func cmdHTML(args []string) error {
 	}
 	fmt.Printf("wrote %s: %d run(s)\n", *out, len(runs))
 	return nil
+}
+
+// cmdPerf renders the self-performance section recorded in manifests. With a
+// run ref it prints that run's sample plus its per-cell table; without one it
+// prints a trend view — every run in the store that carries perf data, sorted
+// by CreatedAt — so regressions in wall-clock or allocation volume are
+// visible across a store's history.
+func cmdPerf(args []string) error {
+	fs := flag.NewFlagSet("perf", flag.ExitOnError)
+	storeDir := fs.String("store", "runs", "run store directory")
+	fs.Parse(args)
+	if fs.NArg() > 1 {
+		return fmt.Errorf("perf takes at most one run ref, got %d", fs.NArg())
+	}
+	if fs.NArg() == 1 {
+		m, err := resolveRun(*storeDir, fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		return renderRunPerf(m)
+	}
+	st, err := runstore.Open(*storeDir)
+	if err != nil {
+		return err
+	}
+	runs, warnings, err := st.ListChecked()
+	if err != nil {
+		return err
+	}
+	for _, w := range warnings {
+		logg.Errorf("warning: %s", w)
+	}
+	// Trend view: oldest first, so the latest run reads at the bottom next
+	// to your prompt.
+	sort.Slice(runs, func(i, j int) bool {
+		if runs[i].CreatedAt != runs[j].CreatedAt {
+			return runs[i].CreatedAt < runs[j].CreatedAt
+		}
+		return runs[i].ID() < runs[j].ID()
+	})
+	withPerf := 0
+	fmt.Printf("%-28s %10s %12s %14s %12s %8s %9s  %s\n",
+		"run", "wall_s", "sim_s", "events/s", "alloc_mb", "gc", "gc_ms", "created")
+	for _, m := range runs {
+		if m.Perf == nil || m.Perf.Run == nil {
+			continue
+		}
+		withPerf++
+		fmt.Println(perfRow(m.ID(), *m.Perf.Run) + "  " + m.CreatedAt)
+	}
+	if withPerf == 0 {
+		fmt.Printf("no perf data in %s (recorded by runs newer than the perf section)\n", st.Root())
+	} else if skipped := len(runs) - withPerf; skipped > 0 {
+		logg.Debugf("skipped %d run(s) without a perf section", skipped)
+	}
+	return nil
+}
+
+func renderRunPerf(m *runstore.Manifest) error {
+	if m.Perf == nil {
+		return fmt.Errorf("run %s has no perf section (recorded before self-performance accounting)", m.ID())
+	}
+	fmt.Printf("run:     %s\n", m.ID())
+	if m.CreatedAt != "" {
+		fmt.Printf("created: %s\n", m.CreatedAt)
+	}
+	fmt.Printf("\n%-28s %10s %12s %14s %12s %8s %9s\n",
+		"", "wall_s", "sim_s", "events/s", "alloc_mb", "gc", "gc_ms")
+	if m.Perf.Run != nil {
+		fmt.Println(perfRow("total", *m.Perf.Run))
+	}
+	keys := make([]string, 0, len(m.Perf.Cells))
+	for k := range m.Perf.Cells {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	shared := false
+	for _, k := range keys {
+		s := m.Perf.Cells[k]
+		fmt.Println(perfRow("cell."+k, s))
+		shared = shared || s.SharedProcess
+	}
+	if shared {
+		fmt.Println("\nnote: * marks cells measured while parallel cells shared the process —")
+		fmt.Println("their alloc/GC deltas are process-wide upper bounds, not exclusive costs.")
+	}
+	return nil
+}
+
+// perfRow formats one PerfSample under the shared perf column header. A
+// trailing '*' on the name marks a shared-process sample.
+func perfRow(name string, s runstore.PerfSample) string {
+	if s.SharedProcess {
+		name += "*"
+	}
+	return fmt.Sprintf("%-28s %10.2f %12.0f %14.0f %12.2f %8.0f %9.2f",
+		name, s.WallSeconds, s.SimSeconds, s.EventsPerWallSecond,
+		s.AllocBytes/(1<<20), s.GCCycles, s.GCPauseSeconds*1e3)
 }

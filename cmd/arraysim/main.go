@@ -17,7 +17,6 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -31,8 +30,10 @@ import (
 	diskarray "repro"
 	"repro/internal/atomicio"
 	"repro/internal/checkpoint"
+	"repro/internal/des"
 	"repro/internal/experiment"
 	"repro/internal/faults"
+	"repro/internal/opsserver"
 	"repro/internal/runstore"
 	"repro/internal/telemetry"
 )
@@ -59,8 +60,6 @@ type manifestConfig struct {
 }
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("arraysim: ")
 	var (
 		policyName = flag.String("policy", "read", "policy: read | maid | pdc | always-on | drpm | read-replica | striped")
 		disks      = flag.Int("disks", 10, "number of disks")
@@ -69,7 +68,9 @@ func main() {
 		tracePath  = flag.String("trace", "", "replay a trace file instead of generating one")
 		seed       = flag.Int64("seed", 1, "generator seed")
 		epochs     = flag.Int("epochs", 24, "policy epochs across the trace")
-		verbose    = flag.Bool("v", true, "print the per-disk table")
+		table      = flag.Bool("table", true, "print the per-disk table")
+		verbose    = flag.Bool("v", false, "verbose logging (include debug lines)")
+		quiet      = flag.Bool("quiet", false, "log errors only")
 		timeline   = flag.Bool("timeline", false, "print a power/speed/queue timeline")
 
 		runsDir      = flag.String("runs-dir", "", "record this run in a run store: manifest.json plus telemetry artifacts under <runs-dir>/<name>-<digest>/")
@@ -84,6 +85,7 @@ func main() {
 		replayDir    = flag.String("replay-decisions", "", "counterfactual replay: re-run the run recorded in this run directory (manifest.json + decisions.ndjson) and verify it reproduces, or perturb it with -override")
 		overrideArg  = flag.String("override", "", "with -replay-decisions, force one recorded decision: <seq>:skip suppresses the decision and reports the energy/AFR/p99 delta")
 		progress     = flag.Bool("progress", false, "log run phases and sim-time/wall-time progress to stderr")
+		opsAddr      = flag.String("ops-addr", "", "serve the live ops plane (/metrics, /progress, /healthz) on this address, e.g. 127.0.0.1:9100, while the run executes")
 		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile   = flag.String("memprofile", "", "write a heap profile to this file")
 		runtimeTrace = flag.String("runtime-trace", "", "write a Go runtime execution trace to this file")
@@ -104,6 +106,7 @@ func main() {
 		rebuildHours = flag.Float64("rebuild-hours", 0, "Weibull rebuild-duration scale in hours (0 = fixed -rebuild-mbps pacing; requires -faults)")
 	)
 	flag.Parse()
+	logg := telemetry.NewLogger("arraysim", nil, telemetry.LevelFromFlags(*quiet, *verbose))
 
 	if *version {
 		fmt.Println(runstore.VersionLine("arraysim"))
@@ -169,7 +172,8 @@ func main() {
 		// manifest; any flag that would change it contradicts the point.
 		allowed := map[string]bool{
 			"replay-decisions": true, "override": true,
-			"checkpoint-every": true, "v": true, "progress": true,
+			"checkpoint-every": true, "table": true, "progress": true,
+			"v": true, "quiet": true, "ops-addr": true,
 		}
 		var clash []string
 		for name := range explicit {
@@ -182,7 +186,7 @@ func main() {
 			usageErr("-replay-decisions derives the run configuration from the recorded manifest; drop -%s", strings.Join(clash, ", -"))
 		}
 		if err := runReplay(*replayDir, *overrideArg, *ckptEvery); err != nil {
-			log.Fatal(err)
+			logg.Fatal(err)
 		}
 		return
 	}
@@ -212,20 +216,20 @@ func main() {
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile) //simlint:allow atomicwrite -- pprof streams into a live file; a torn profile from a crashed run is acceptable debug output
 		if err != nil {
-			log.Fatal(err)
+			logg.Fatal(err)
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			log.Fatal(err)
+			logg.Fatal(err)
 		}
 		defer func() { pprof.StopCPUProfile(); f.Close() }()
 	}
 	if *runtimeTrace != "" {
 		f, err := os.Create(*runtimeTrace) //simlint:allow atomicwrite -- runtime/trace streams into a live file; a torn trace from a crashed run is acceptable debug output
 		if err != nil {
-			log.Fatal(err)
+			logg.Fatal(err)
 		}
 		if err := rtrace.Start(f); err != nil {
-			log.Fatal(err)
+			logg.Fatal(err)
 		}
 		defer func() { rtrace.Stop(); f.Close() }()
 	}
@@ -235,15 +239,15 @@ func main() {
 		}
 		f, err := atomicio.Create(*memprofile)
 		if err != nil {
-			log.Fatal(err)
+			logg.Fatal(err)
 		}
 		runtime.GC()
 		if err := pprof.WriteHeapProfile(f); err != nil {
 			f.Abort()
-			log.Fatal(err)
+			logg.Fatal(err)
 		}
 		if err := f.Close(); err != nil {
-			log.Fatal(err)
+			logg.Fatal(err)
 		}
 	}()
 
@@ -292,7 +296,7 @@ func main() {
 		if faultCfg != nil {
 			fcm, err := runstore.ToJSONMap(*faultCfg)
 			if err != nil {
-				log.Fatal(err)
+				logg.Fatal(err)
 			}
 			mc.Faults = fcm
 			mc.Spares = *spares
@@ -302,7 +306,7 @@ func main() {
 					Level: diskarray.RAIDLevel(*raidLevel), StripeWidth: *stripeWidth,
 				})
 				if err != nil {
-					log.Fatal(err)
+					logg.Fatal(err)
 				}
 				mc.RAID = rcm
 			}
@@ -310,15 +314,15 @@ func main() {
 		var err error
 		manifest, err = runstore.New("arraysim", *runName, mc)
 		if err != nil {
-			log.Fatal(err)
+			logg.Fatal(err)
 		}
 		store, err = runstore.Open(*runsDir)
 		if err != nil {
-			log.Fatal(err)
+			logg.Fatal(err)
 		}
 		runDir, err = store.RunDir(manifest)
 		if err != nil {
-			log.Fatal(err)
+			logg.Fatal(err)
 		}
 		if *telemetryDir == "" {
 			*telemetryDir = runDir
@@ -335,31 +339,61 @@ func main() {
 			TraceDecisions:   *traceDec,
 		})
 		if err != nil {
-			log.Fatal(err)
+			logg.Fatal(err)
 		}
 	}
 	var prog *telemetry.Progress
 	if *progress {
-		prog = telemetry.NewProgress(log.Default(), 2*time.Second)
+		prog = telemetry.NewProgress(logg, 2*time.Second)
 		if rec == nil {
 			rec = &telemetry.Recorder{}
 		}
 		rec.Progress = prog
 	}
 
+	// The live ops plane: a read-only HTTP server over lock-free snapshots.
+	// Attaching Live/Watch is observation-only — the run is bit-identical
+	// with or without -ops-addr.
+	var (
+		srv   *opsserver.Server
+		watch *des.Watch
+	)
+	if *opsAddr != "" {
+		live := telemetry.NewLive()
+		watch = des.NewWatch()
+		if rec == nil {
+			rec = &telemetry.Recorder{}
+		}
+		rec.Live = live
+		var err error
+		srv, err = opsserver.Start(opsserver.Options{
+			Addr:  *opsAddr,
+			Tool:  "arraysim",
+			Run:   *runName,
+			Live:  live,
+			Watch: watch,
+			Log:   logg,
+		})
+		if err != nil {
+			logg.Fatal(err)
+		}
+		defer srv.Close()
+	}
+
+	perfCap := runstore.StartPerf()
 	prog.Phase("load-trace")
 	trace, err := buildTrace(*tracePath, *requests, *intensity, *seed)
 	if err != nil {
-		log.Fatal(err)
+		logg.Fatal(err)
 	}
 	stats, err := trace.ComputeStats()
 	if err != nil {
-		log.Fatal(err)
+		logg.Fatal(err)
 	}
 
 	pol, err := experiment.NewPolicy(diskarray.PolicyKind(*policyName))
 	if err != nil {
-		log.Fatal(err)
+		logg.Fatal(err)
 	}
 
 	simCfg := diskarray.SimConfig{
@@ -382,6 +416,7 @@ func main() {
 		simCfg.SampleInterval = stats.Duration / 48
 	}
 	simCfg.Telemetry = rec
+	simCfg.Watch = watch
 	if *ckptEvery > 0 {
 		simCfg.Checkpoint = &diskarray.CheckpointSpec{
 			EverySimSeconds: *ckptEvery,
@@ -396,24 +431,23 @@ func main() {
 		env, err := checkpoint.Read(ckptPath)
 		if err != nil {
 			rec.Close()
-			log.Fatalf("resume: %v", err)
+			logg.Fatalf("resume: %v", err)
 		}
 		if env.Tool != "arraysim" {
 			rec.Close()
-			log.Fatalf("resume: %s was written by %q, not arraysim", ckptPath, env.Tool)
+			logg.Fatalf("resume: %s was written by %q, not arraysim", ckptPath, env.Tool)
 		}
 		if env.ConfigDigest != manifest.ConfigDigest {
 			rec.Close()
-			log.Fatalf("resume: %s was taken under config digest %s, current flags digest to %s — rerun with the original flags",
+			logg.Fatalf("resume: %s was taken under config digest %s, current flags digest to %s — rerun with the original flags",
 				ckptPath, env.ConfigDigest, manifest.ConfigDigest)
 		}
 		prog.Phase("resume")
-		fmt.Fprintf(os.Stderr, "arraysim: resuming from %s (t=%.1f s, %d events fired)\n",
-			ckptPath, env.SimTime, env.EventsFired)
+		logg.Infof("resuming from %s (t=%.1f s, %d events fired)", ckptPath, env.SimTime, env.EventsFired)
 		res, err = diskarray.ResumeSimulation(simCfg, env.State)
 		if err != nil {
 			rec.Close()
-			log.Fatal(err)
+			logg.Fatal(err)
 		}
 	} else {
 		prog.Phase("simulate")
@@ -421,15 +455,19 @@ func main() {
 		res, err = diskarray.Simulate(simCfg)
 		if err != nil {
 			rec.Close()
-			log.Fatal(err)
+			logg.Fatal(err)
 		}
 	}
 	prog.Done("simulate", res.Duration, res.EventsFired)
+	perf := perfCap.Sample(res.Duration, res.EventsFired, false)
+	if srv != nil {
+		srv.MarkDone()
+	}
 	if err := rec.Close(); err != nil {
-		log.Fatal(err)
+		logg.Fatal(err)
 	}
 	if rec.Dir() != "" {
-		fmt.Fprintf(os.Stderr, "arraysim: telemetry written to %s\n", rec.Dir())
+		logg.Infof("telemetry written to %s", rec.Dir())
 	}
 	if store != nil {
 		manifest.Seed = *seed
@@ -441,13 +479,14 @@ func main() {
 		}
 		manifest.Summary = runstore.SummaryFromResult(res, *withFaults)
 		manifest.Attribution = res.Attribution
+		manifest.Perf = &runstore.Perf{Run: &perf}
 		manifest.CreatedAt = start.UTC().Format(time.RFC3339)
 		manifest.WallSeconds = time.Since(start).Seconds()
 		dir, err := store.Write(manifest)
 		if err != nil {
-			log.Fatal(err)
+			logg.Fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "arraysim: run recorded in %s\n", dir)
+		logg.Infof("run recorded in %s", dir)
 	}
 
 	fmt.Printf("policy %s on %d disks — %d requests over %.0f s\n\n",
@@ -501,7 +540,7 @@ func main() {
 		diskarray.RenderTimeline(os.Stdout, res.Timeline, 24)
 	}
 
-	if *verbose {
+	if *table {
 		fmt.Printf("\n%4s %8s %6s %11s %8s %8s %9s %7s\n",
 			"disk", "util%", "trans", "trans/day", "temp°C", "AFR%", "requests", "final")
 		for _, d := range res.PerDisk {

@@ -15,7 +15,6 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"regexp"
 	"strconv"
@@ -23,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/atomicio"
+	"repro/internal/telemetry"
 )
 
 // benchFile mirrors the committed BENCH_telemetry.json schema.
@@ -49,28 +49,29 @@ type benchLine struct {
 var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("benchjson: ")
 	var (
 		out     = flag.String("out", "", "write the JSON baseline to this file (default stdout)")
 		command = flag.String("command", "go test -run '^$' -bench . -benchmem ./...", "regeneration command recorded in the file")
+		verbose = flag.Bool("v", false, "verbose logging (include debug lines)")
+		quiet   = flag.Bool("quiet", false, "log errors only")
 	)
 	flag.Parse()
+	logg := telemetry.NewLogger("benchjson", nil, telemetry.LevelFromFlags(*quiet, *verbose))
 	if flag.NArg() > 0 {
-		log.Fatalf("unexpected positional arguments %q (benchmark output is read from stdin)", flag.Args())
+		logg.Fatalf("unexpected positional arguments %q (benchmark output is read from stdin)", flag.Args())
 	}
 
 	bf, err := parse(bufio.NewScanner(os.Stdin), *command)
 	if err != nil {
-		log.Fatal(err)
+		logg.Fatal(err)
 	}
 	if len(bf.Benchmarks) == 0 {
-		log.Fatal("no benchmark lines on stdin — pipe `go test -bench . -benchmem` output in")
+		logg.Fatal("no benchmark lines on stdin — pipe `go test -bench . -benchmem` output in")
 	}
 
 	raw, err := json.MarshalIndent(bf, "", "  ")
 	if err != nil {
-		log.Fatal(err)
+		logg.Fatal(err)
 	}
 	raw = append(raw, '\n')
 	if *out == "" {
@@ -79,16 +80,16 @@ func main() {
 	}
 	f, err := atomicio.Create(*out)
 	if err != nil {
-		log.Fatal(err)
+		logg.Fatal(err)
 	}
 	if _, err := f.Write(raw); err != nil {
 		f.Abort()
-		log.Fatal(err)
+		logg.Fatal(err)
 	}
 	if err := f.Close(); err != nil {
-		log.Fatal(err)
+		logg.Fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(bf.Benchmarks), *out)
+	logg.Infof("wrote %d benchmarks to %s", len(bf.Benchmarks), *out)
 }
 
 // parse consumes go test output line by line. Benchmark result lines start

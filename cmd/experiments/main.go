@@ -12,7 +12,6 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -23,30 +22,49 @@ import (
 
 	"repro/internal/atomicio"
 	"repro/internal/experiment"
+	"repro/internal/opsserver"
 	"repro/internal/reliability"
 	"repro/internal/runstore"
 	"repro/internal/telemetry"
 )
 
+// logg is the command-wide leveled logger (level set from -quiet/-v).
+var logg = telemetry.NewLogger("experiments", nil, telemetry.LogInfo)
+
 // recordSweep writes one sweep condition's manifest into the run store,
 // stamping wall time. No-op when the store is nil (-runs-dir unset).
 func recordSweep(store *runstore.Store, name string, cfg experiment.SweepConfig,
-	res *experiment.SweepResult, start time.Time) {
+	res *experiment.SweepResult, start time.Time, pc runstore.PerfCapture) {
 	if store == nil {
 		return
 	}
 	m, err := experiment.SweepManifest(name, cfg, res)
 	if err != nil {
-		log.Fatal(err)
+		logg.Fatal(err)
 	}
 	m.CreatedAt = start.UTC().Format(time.RFC3339)
 	m.WallSeconds = time.Since(start).Seconds()
+	// The sweep-level perf sample aggregates every cell: total virtual time
+	// and events over the sweep's wall-clock and runtime deltas.
+	var simSeconds float64
+	var events uint64
+	for _, c := range res.Cells {
+		if c.Result != nil {
+			simSeconds += c.Result.Duration
+			events += c.Result.EventsFired
+		}
+	}
+	run := pc.Sample(simSeconds, events, false)
+	if m.Perf == nil {
+		m.Perf = &runstore.Perf{}
+	}
+	m.Perf.Run = &run
 	dir, err := store.Write(m)
 	if err != nil {
-		log.Fatal(err)
+		logg.Fatal(err)
 	}
 	writeDecisionLogs(dir, res)
-	fmt.Fprintf(os.Stderr, "experiments: run %s recorded in %s\n", name, dir)
+	logg.Infof("run %s recorded in %s", name, dir)
 }
 
 // writeDecisionLogs persists each traced cell's decision log next to the
@@ -63,14 +81,14 @@ func writeDecisionLogs(dir string, res *experiment.SweepResult) {
 		}
 		f, err := atomicio.Create(filepath.Join(dir, name))
 		if err != nil {
-			log.Fatal(err)
+			logg.Fatal(err)
 		}
 		if err := cell.Decisions.WriteNDJSON(f); err != nil {
 			f.Close()
-			log.Fatal(err)
+			logg.Fatal(err)
 		}
 		if err := f.Close(); err != nil {
-			log.Fatal(err)
+			logg.Fatal(err)
 		}
 	}
 }
@@ -91,7 +109,7 @@ func skipRecorded(store *runstore.Store, name string, cfg experiment.SweepConfig
 	if err != nil || m.Status == string(experiment.CellFailed) {
 		return false
 	}
-	fmt.Fprintf(os.Stderr, "experiments: resume: skipping %s (already recorded as %s)\n", name, id)
+	logg.Infof("resume: skipping %s (already recorded as %s)", name, id)
 	return true
 }
 
@@ -103,8 +121,6 @@ func main() {
 // cells that ultimately failed (capped at 125), zero on full success — so
 // deferred profile writers still flush on the failure path.
 func run() int {
-	log.SetFlags(0)
-	log.SetPrefix("experiments: ")
 	var (
 		fig      = flag.String("fig", "all", "figure to regenerate: 2b | 3b | 4a | 4b | 5 | derive | 7 | 7a | 7b | 7c | faults | raidloss | ablations | calibration | all")
 		scale    = flag.Float64("scale", 0.05, "trace scale for Figure 7 sweeps (1 = full day)")
@@ -120,11 +136,15 @@ func run() int {
 		version  = flag.Bool("version", false, "print build information and exit")
 
 		progress     = flag.Bool("progress", false, "log sweep phases and per-cell progress to stderr")
+		opsAddr      = flag.String("ops-addr", "", "serve the live ops plane (/metrics, /progress, /healthz) on this address, e.g. 127.0.0.1:9100, while the sweeps run")
+		verbose      = flag.Bool("v", false, "verbose logging (include debug lines)")
+		quiet        = flag.Bool("quiet", false, "log errors only")
 		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile   = flag.String("memprofile", "", "write a heap profile to this file")
 		runtimeTrace = flag.String("runtime-trace", "", "write a Go runtime execution trace to this file")
 	)
 	flag.Parse()
+	logg = telemetry.NewLogger("experiments", nil, telemetry.LevelFromFlags(*quiet, *verbose))
 
 	if *version {
 		fmt.Println(runstore.VersionLine("experiments"))
@@ -135,7 +155,7 @@ func run() int {
 		*scale = 1
 	}
 	if *retries < 0 {
-		log.Fatal("-retries must be >= 0")
+		logg.Fatal("-retries must be >= 0")
 	}
 
 	var store *runstore.Store
@@ -143,33 +163,33 @@ func run() int {
 		var err error
 		store, err = runstore.Open(*runsDir)
 		if err != nil {
-			log.Fatal(err)
+			logg.Fatal(err)
 		}
 	}
 	if *resume && store == nil {
-		log.Fatal("-resume requires -runs-dir (resume skips conditions by their recorded manifests)")
+		logg.Fatal("-resume requires -runs-dir (resume skips conditions by their recorded manifests)")
 	}
 	if *traceDec && store == nil {
-		log.Fatal("-trace-decisions requires -runs-dir (decision logs are recorded next to the sweep manifests)")
+		logg.Fatal("-trace-decisions requires -runs-dir (decision logs are recorded next to the sweep manifests)")
 	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile) //simlint:allow atomicwrite -- pprof streams into a live file; a torn profile from a crashed run is acceptable debug output
 		if err != nil {
-			log.Fatal(err)
+			logg.Fatal(err)
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			log.Fatal(err)
+			logg.Fatal(err)
 		}
 		defer func() { pprof.StopCPUProfile(); f.Close() }()
 	}
 	if *runtimeTrace != "" {
 		f, err := os.Create(*runtimeTrace) //simlint:allow atomicwrite -- runtime/trace streams into a live file; a torn trace from a crashed run is acceptable debug output
 		if err != nil {
-			log.Fatal(err)
+			logg.Fatal(err)
 		}
 		if err := rtrace.Start(f); err != nil {
-			log.Fatal(err)
+			logg.Fatal(err)
 		}
 		defer func() { rtrace.Stop(); f.Close() }()
 	}
@@ -179,21 +199,54 @@ func run() int {
 		}
 		f, err := atomicio.Create(*memprofile)
 		if err != nil {
-			log.Fatal(err)
+			logg.Fatal(err)
 		}
 		runtime.GC()
 		if err := pprof.WriteHeapProfile(f); err != nil {
 			f.Abort()
-			log.Fatal(err)
+			logg.Fatal(err)
 		}
 		if err := f.Close(); err != nil {
-			log.Fatal(err)
+			logg.Fatal(err)
 		}
 	}()
 
 	var prog *telemetry.Progress
 	if *progress {
-		prog = telemetry.NewProgress(log.Default(), 2*time.Second)
+		prog = telemetry.NewProgress(logg, 2*time.Second)
+	}
+
+	// One ops server for the whole invocation: each sweep condition installs
+	// its tracker via SetSweep, so /progress and /metrics follow whichever
+	// sweep is currently running. Observation-only — results are
+	// bit-identical with or without -ops-addr.
+	var srv *opsserver.Server
+	if *opsAddr != "" {
+		var err error
+		srv, err = opsserver.Start(opsserver.Options{
+			Addr: *opsAddr,
+			Tool: "experiments",
+			Log:  logg,
+		})
+		if err != nil {
+			logg.Fatal(err)
+		}
+		defer srv.Close()
+	}
+	// runSweep attaches a fresh tracker (when the ops plane is up) and runs
+	// the condition.
+	runSweep := func(name string, cfg *experiment.SweepConfig) (*experiment.SweepResult, error) {
+		if srv != nil {
+			par := cfg.Parallelism
+			if par <= 0 {
+				par = runtime.NumCPU()
+			}
+			track := telemetry.NewSweepTracker(cfg.CellKeys(), par)
+			cfg.Track = track
+			srv.SetSweep(track)
+			srv.SetRun(name, nil, nil)
+		}
+		return experiment.RunSweep(*cfg)
 	}
 
 	var csvW io.Writer
@@ -202,7 +255,7 @@ func run() int {
 		// sweep finishes, so a crashed run never leaves a torn artifact.
 		f, err := atomicio.Create(*csvPath)
 		if err != nil {
-			log.Fatal(err)
+			logg.Fatal(err)
 		}
 		defer f.Close()
 		csvW = f
@@ -225,35 +278,35 @@ func run() int {
 	if want("2b") {
 		pts, err := experiment.Fig2bTemperatureFunction(model, *steps)
 		if err != nil {
-			log.Fatal(err)
+			logg.Fatal(err)
 		}
 		experiment.RenderFunctionTable(os.Stdout, pts, "temp_C",
 			"Figure 2b — temperature-reliability function (3-year-old drives)")
 		fmt.Println()
 		if csvW != nil {
 			if err := experiment.WriteFunctionCSV(csvW, pts, "temp_c"); err != nil {
-				log.Fatal(err)
+				logg.Fatal(err)
 			}
 		}
 	}
 	if want("3b") {
 		pts, err := experiment.Fig3bUtilizationFunction(model, *steps)
 		if err != nil {
-			log.Fatal(err)
+			logg.Fatal(err)
 		}
 		experiment.RenderFunctionTable(os.Stdout, pts, "util",
 			"Figure 3b — utilization-reliability function (4-year-old drives)")
 		fmt.Println()
 		if csvW != nil {
 			if err := experiment.WriteFunctionCSV(csvW, pts, "utilization"); err != nil {
-				log.Fatal(err)
+				logg.Fatal(err)
 			}
 		}
 	}
 	if want("4a") {
 		pts, err := experiment.Fig4aIDEMAAdder(model, *steps)
 		if err != nil {
-			log.Fatal(err)
+			logg.Fatal(err)
 		}
 		experiment.RenderFunctionTable(os.Stdout, pts, "startstops/day",
 			"Figure 4a — IDEMA spindle start/stop failure-rate adder")
@@ -262,21 +315,21 @@ func run() int {
 	if want("4b") {
 		pts, err := experiment.Fig4bFrequencyFunction(model, *steps)
 		if err != nil {
-			log.Fatal(err)
+			logg.Fatal(err)
 		}
 		experiment.RenderFunctionTable(os.Stdout, pts, "transitions/day",
 			"Figure 4b — frequency-reliability function (Eq. 3, ½ × Figure 4a)")
 		fmt.Println()
 		if csvW != nil {
 			if err := experiment.WriteFunctionCSV(csvW, pts, "transitions_per_day"); err != nil {
-				log.Fatal(err)
+				logg.Fatal(err)
 			}
 		}
 	}
 	if want("5") {
 		at40, at50, err := experiment.Fig5Surfaces(model, 7, 9)
 		if err != nil {
-			log.Fatal(err)
+			logg.Fatal(err)
 		}
 		experiment.RenderSurfaceTable(os.Stdout, at40, "Figure 5a — PRESS surface at 40 °C (AFR%)")
 		fmt.Println()
@@ -328,15 +381,16 @@ func run() int {
 				continue
 			}
 			start := time.Now()
-			res, err := experiment.RunSweep(cfg)
+			pc := runstore.StartPerf()
+			res, err := runSweep(condName, &cfg)
 			if res == nil {
-				log.Fatal(err)
+				logg.Fatal(err)
 			}
 			if err != nil {
-				log.Printf("sweep %s: %v", condName, err)
+				logg.Errorf("sweep %s: %v", condName, err)
 				failedCells += len(res.FailedCells())
 			}
-			recordSweep(store, condName, cfg, res, start)
+			recordSweep(store, condName, cfg, res, start, pc)
 			fmt.Printf("Figure 7 — %s workload (scale %.3g, %s)\n\n",
 				cond.name, *scale, time.Since(start).Round(time.Millisecond))
 			panels := []struct {
@@ -353,17 +407,17 @@ func run() int {
 					continue
 				}
 				if err := experiment.RenderSweepTable(os.Stdout, res, p.metric, p.title); err != nil {
-					log.Fatal(err)
+					logg.Fatal(err)
 				}
 				if err := experiment.RenderImprovements(os.Stdout, res, p.metric, experiment.KindREAD); err != nil {
-					log.Fatal(err)
+					logg.Fatal(err)
 				}
 				fmt.Println()
 			}
 			if csvW != nil {
 				fmt.Fprintf(csvW, "# figure 7, %s workload\n", cond.name)
 				if err := experiment.WriteSweepCSV(csvW, res); err != nil {
-					log.Fatal(err)
+					logg.Fatal(err)
 				}
 			}
 		}
@@ -384,15 +438,16 @@ func run() int {
 		}
 		if !*resume || !skipRecorded(store, faultsName, cfg) {
 			start := time.Now()
-			res, err := experiment.RunSweep(cfg)
+			pc := runstore.StartPerf()
+			res, err := runSweep(faultsName, &cfg)
 			if res == nil {
-				log.Fatal(err)
+				logg.Fatal(err)
 			}
 			if err != nil {
-				log.Printf("sweep %s: %v", faultsName, err)
+				logg.Errorf("sweep %s: %v", faultsName, err)
 				failedCells += len(res.FailedCells())
 			}
-			recordSweep(store, faultsName, cfg, res, start)
+			recordSweep(store, faultsName, cfg, res, start, pc)
 			fmt.Printf("Fault sweep — energy vs observed data loss (scale %.3g, accel %.0g, %d spare(s), %s)\n\n",
 				*scale, experiment.FaultSweepAcceleration, cfg.Spares, time.Since(start).Round(time.Millisecond))
 			experiment.RenderFaultSummary(os.Stdout, res,
@@ -401,7 +456,7 @@ func run() int {
 			if csvW != nil {
 				fmt.Fprintf(csvW, "# fault sweep\n")
 				if err := experiment.WriteSweepCSV(csvW, res); err != nil {
-					log.Fatal(err)
+					logg.Fatal(err)
 				}
 			}
 		}
@@ -422,15 +477,16 @@ func run() int {
 		}
 		if !*resume || !skipRecorded(store, raidName, cfg) {
 			start := time.Now()
-			res, err := experiment.RunSweep(cfg)
+			pc := runstore.StartPerf()
+			res, err := runSweep(raidName, &cfg)
 			if res == nil {
-				log.Fatal(err)
+				logg.Fatal(err)
 			}
 			if err != nil {
-				log.Printf("sweep %s: %v", raidName, err)
+				logg.Errorf("sweep %s: %v", raidName, err)
 				failedCells += len(res.FailedCells())
 			}
-			recordSweep(store, raidName, cfg, res, start)
+			recordSweep(store, raidName, cfg, res, start, pc)
 			fmt.Printf("RAID-loss sweep — MTTDL per RAID organization × energy policy (scale %.3g, accel %.0g, %d spare(s), %s)\n\n",
 				*scale, experiment.RAIDLossAcceleration, cfg.Spares, time.Since(start).Round(time.Millisecond))
 			experiment.RenderRAIDLoss(os.Stdout, res,
@@ -439,7 +495,7 @@ func run() int {
 			if csvW != nil {
 				fmt.Fprintf(csvW, "# raidloss sweep\n")
 				if err := experiment.WriteSweepCSV(csvW, res); err != nil {
-					log.Fatal(err)
+					logg.Fatal(err)
 				}
 			}
 		}
@@ -448,7 +504,7 @@ func run() int {
 	if want("calibration") {
 		pts, err := experiment.IntensityScan(experiment.AblationConfig{Scale: *scale}, nil, nil)
 		if err != nil {
-			log.Fatal(err)
+			logg.Fatal(err)
 		}
 		experiment.RenderIntensityScan(os.Stdout, pts,
 			"Calibration — metrics vs arrival intensity (10 disks)")
@@ -462,20 +518,20 @@ func run() int {
 		}
 		caps, err := experiment.TransitionCapAblation(acfg, nil)
 		if err != nil {
-			log.Fatal(err)
+			logg.Fatal(err)
 		}
 		experiment.RenderVariants(os.Stdout, caps,
 			"Ablation — READ transition cap S (the 65/day question)")
 		fmt.Println()
 		design, err := experiment.READDesignAblation(acfg)
 		if err != nil {
-			log.Fatal(err)
+			logg.Fatal(err)
 		}
 		experiment.RenderVariants(os.Stdout, design, "Ablation — READ design elements")
 		fmt.Println()
 		panel, err := experiment.BaselinePanelAblation(acfg)
 		if err != nil {
-			log.Fatal(err)
+			logg.Fatal(err)
 		}
 		experiment.RenderVariants(os.Stdout, panel, "Panel — every policy, one workload")
 		fmt.Println()
@@ -484,12 +540,15 @@ func run() int {
 	if !want("2b") && !want("3b") && !want("4a") && !want("4b") && !want("5") &&
 		!want("derive") && !want("ablations") && !want("calibration") && !want("faults") &&
 		!want("raidloss") && !want("7", "7a", "7b", "7c") {
-		log.Fatalf("unknown figure %q; valid: %s", *fig,
+		logg.Fatalf("unknown figure %q; valid: %s", *fig,
 			strings.Join([]string{"2b", "3b", "4a", "4b", "5", "derive", "7", "7a", "7b", "7c", "faults", "raidloss", "ablations", "calibration", "all"}, " | "))
 	}
 
+	if srv != nil {
+		srv.MarkDone()
+	}
 	if failedCells > 0 {
-		log.Printf("%d sweep cell(s) failed after all retries", failedCells)
+		logg.Errorf("%d sweep cell(s) failed after all retries", failedCells)
 		return min(failedCells, 125)
 	}
 	return 0

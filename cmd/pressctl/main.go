@@ -12,17 +12,15 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 
 	"repro/internal/experiment"
 	"repro/internal/reliability"
 	"repro/internal/runstore"
+	"repro/internal/telemetry"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("pressctl: ")
 	var (
 		tempC   = flag.Float64("temp", 50, "operating temperature in °C")
 		util    = flag.Float64("util", 0.5, "disk utilization in [0,1]")
@@ -32,8 +30,11 @@ func main() {
 		budget  = flag.Float64("budget", 0, "print the max transitions/day whose AFR adder stays under this many points, then exit")
 		ocr     = flag.Bool("ocr-eq3", false, "use the literal OCR reading of Equation 3 instead of the reconstructed fit")
 		version = flag.Bool("version", false, "print build information and exit")
+		verbose = flag.Bool("v", false, "verbose logging (include debug lines)")
+		quiet   = flag.Bool("quiet", false, "log errors only")
 	)
 	flag.Parse()
+	logg := telemetry.NewLogger("pressctl", nil, telemetry.LevelFromFlags(*quiet, *verbose))
 
 	if *version {
 		fmt.Println(runstore.VersionLine("pressctl"))
@@ -57,7 +58,7 @@ func main() {
 	case "mean-factor":
 		opts = append(opts, reliability.WithIntegrationMode(reliability.MeanFactor))
 	default:
-		log.Fatalf("unknown mode %q", *mode)
+		logg.Fatalf("unknown mode %q", *mode)
 	}
 	model := reliability.NewModel(opts...)
 
@@ -70,7 +71,7 @@ func main() {
 	factors := reliability.Factors{TempC: *tempC, Utilization: *util, TransitionsPerDay: *freq}
 	afr, err := model.DiskAFR(factors)
 	if err != nil {
-		log.Fatal(err)
+		logg.Fatal(err)
 	}
 	fmt.Printf("temperature %.1f °C      -> AFR %.3f%%\n", *tempC, model.TempAFR(*tempC))
 	fmt.Printf("utilization %.1f%%       -> AFR %.3f%%\n", *util*100, model.UtilAFR(*util))

@@ -23,16 +23,20 @@ import (
 	"os"
 
 	"repro/internal/analysis/simlint"
+	"repro/internal/telemetry"
 )
 
 func main() {
 	list := flag.Bool("list", false, "list the analyzers in the suite and exit")
 	dir := flag.String("dir", ".", "module directory to resolve patterns in")
+	verbose := flag.Bool("v", false, "verbose logging (include debug lines)")
+	quiet := flag.Bool("quiet", false, "log errors only")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: simlint [-list] [-dir module] [packages]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: simlint [-list] [-v] [-quiet] [-dir module] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	logg := telemetry.NewLogger("simlint", nil, telemetry.LevelFromFlags(*quiet, *verbose))
 
 	if *list {
 		for _, a := range simlint.All() {
@@ -43,15 +47,16 @@ func main() {
 
 	diags, loader, err := simlint.Run(*dir, flag.Args()...)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
+		logg.Errorf("%v", err)
 		os.Exit(2)
 	}
+	logg.Debugf("analyzed %s", *dir)
 	for _, d := range diags {
 		pos := loader.Fset().Position(d.Pos)
 		fmt.Printf("%s: %s [%s]\n", pos, d.Message, d.Analyzer)
 	}
 	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "simlint: %d violation(s)\n", len(diags))
+		logg.Errorf("%d violation(s)", len(diags))
 		os.Exit(1)
 	}
 }

@@ -11,17 +11,15 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 
 	"repro/internal/atomicio"
 	"repro/internal/runstore"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("tracegen: ")
 	var (
 		files    = flag.Int("files", 4079, "number of files (paper: 4079)")
 		requests = flag.Int("requests", 1480081, "number of requests (paper: 1480081)")
@@ -35,8 +33,11 @@ func main() {
 		convert  = flag.String("convert", "", "convert a Common Log Format access log into a trace")
 		stats    = flag.Bool("stats", false, "print summary statistics")
 		version  = flag.Bool("version", false, "print build information and exit")
+		verbose  = flag.Bool("v", false, "verbose logging (include debug lines)")
+		quiet    = flag.Bool("quiet", false, "log errors only")
 	)
 	flag.Parse()
+	logg := telemetry.NewLogger("tracegen", nil, telemetry.LevelFromFlags(*quiet, *verbose))
 
 	if *version {
 		fmt.Println(runstore.VersionLine("tracegen"))
@@ -48,26 +49,26 @@ func main() {
 	if *convert != "" {
 		f, err := os.Open(*convert)
 		if err != nil {
-			log.Fatal(err)
+			logg.Fatal(err)
 		}
 		var skipped int
 		tr, skipped, err = workload.ParseCommonLog(f)
 		f.Close()
 		if err != nil {
-			log.Fatal(err)
+			logg.Fatal(err)
 		}
 		if skipped > 0 {
-			log.Printf("skipped %d unparsable lines", skipped)
+			logg.Infof("skipped %d unparsable lines", skipped)
 		}
 	} else if *in != "" {
 		f, err := os.Open(*in)
 		if err != nil {
-			log.Fatal(err)
+			logg.Fatal(err)
 		}
 		tr, err = workload.ReadTrace(f)
 		f.Close()
 		if err != nil {
-			log.Fatal(err)
+			logg.Fatal(err)
 		}
 	} else {
 		cfg := workload.GenConfig{
@@ -89,14 +90,14 @@ func main() {
 		}
 		tr, err = workload.Generate(cfg)
 		if err != nil {
-			log.Fatal(err)
+			logg.Fatal(err)
 		}
 	}
 
 	if *stats || *out == "" {
 		st, err := tr.ComputeStats()
 		if err != nil {
-			log.Fatal(err)
+			logg.Fatal(err)
 		}
 		fmt.Printf("files:              %d\n", st.Files)
 		fmt.Printf("requests:           %d\n", st.Requests)
@@ -112,15 +113,15 @@ func main() {
 	if *out != "" {
 		f, err := atomicio.Create(*out)
 		if err != nil {
-			log.Fatal(err)
+			logg.Fatal(err)
 		}
 		if err := workload.WriteTrace(f, tr); err != nil {
 			f.Abort()
-			log.Fatal(err)
+			logg.Fatal(err)
 		}
 		if err := f.Close(); err != nil {
-			log.Fatal(err)
+			logg.Fatal(err)
 		}
-		log.Printf("wrote %s", *out)
+		logg.Infof("wrote %s", *out)
 	}
 }

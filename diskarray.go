@@ -31,7 +31,6 @@ package diskarray
 
 import (
 	"io"
-	"log"
 	"time"
 
 	"repro/internal/array"
@@ -276,6 +275,16 @@ type TelemetryDiskSample = telemetry.DiskSample
 // TelemetryProgress is a rate-limited structured progress logger.
 type TelemetryProgress = telemetry.Progress
 
+// TelemetryLogger is the leveled logger all commands and progress
+// reporting write through (error/info/debug, -quiet/-v mapping).
+type TelemetryLogger = telemetry.Logger
+
+// NewTelemetryLogger builds a leveled logger named like the producing
+// tool. A nil writer defaults to stderr.
+func NewTelemetryLogger(name string, w io.Writer, level telemetry.LogLevel) *TelemetryLogger {
+	return telemetry.NewLogger(name, w, level)
+}
+
 // OpenTelemetry creates the telemetry output directory and returns a
 // recorder writing into it. Close the recorder after the run to flush the
 // series files and write metrics.json.
@@ -286,7 +295,7 @@ func OpenTelemetry(cfg TelemetryConfig) (*TelemetryRecorder, error) {
 // NewTelemetryProgress builds a progress logger that writes through l at
 // most once per `every` (rate-limiting applies to Tick/Stepf; phase
 // boundaries always log).
-func NewTelemetryProgress(l *log.Logger, every time.Duration) *TelemetryProgress {
+func NewTelemetryProgress(l *TelemetryLogger, every time.Duration) *TelemetryProgress {
 	return telemetry.NewProgress(l, every)
 }
 

@@ -58,6 +58,9 @@ func TestScopeMapping(t *testing.T) {
 		{"repro/internal/runstore", "maporder", true},
 		{"repro/internal/runstore", "detrand", false},
 		{"repro/internal/experiment", "maporder", true},
+		// The ops server renders the golden-tested OpenMetrics exposition.
+		{"repro/internal/opsserver", "maporder", true},
+		{"repro/internal/opsserver", "detrand", false},
 		// Artifact writers get atomicwrite; atomicio itself is exempt.
 		{"repro/internal/runstore", "atomicwrite", true},
 		{"repro/internal/checkpoint", "atomicwrite", true},

@@ -52,11 +52,13 @@ var deterministicPkgs = []string{
 	"internal/telemetry",
 }
 
-// rendererPkgs produce artifacts that are diffed bit-for-bit across runs;
-// map-ordered rendering would make identical runs appear different.
+// rendererPkgs produce artifacts that are diffed bit-for-bit across runs —
+// or, for the ops server, a golden-tested exposition; map-ordered rendering
+// would make identical state render differently.
 var rendererPkgs = []string{
 	"internal/runstore",
 	"internal/experiment",
+	"internal/opsserver",
 }
 
 // artifactPkgs write files a crash-recovery reader later trusts; they must

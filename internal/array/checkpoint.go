@@ -223,10 +223,11 @@ type raidCkptState struct {
 // The ignored fields are re-supplied or rebuilt on restore: cfg and files
 // come back from the caller's CheckpointSpec, eng is reconstructed and its
 // state carried as Clock/Seq/Fired, opaqueLive is zero by construction (a
-// snapshot is never written while an opaque continuation is live), and
-// failure aborts the run before a checkpoint could be taken.
+// snapshot is never written while an opaque continuation is live), live is
+// observation-only (re-cached from cfg.Telemetry on restore), and failure
+// aborts the run before a checkpoint could be taken.
 //
-//simlint:checkpoint-for sim ignore=cfg,eng,files,opaqueLive,failure alias=met:Metrics,flt:Faults,trc:Trace
+//simlint:checkpoint-for sim ignore=cfg,eng,files,opaqueLive,failure,live alias=met:Metrics,flt:Faults,trc:Trace
 type simState struct {
 	Clock         float64                     `json:"clock"`
 	Seq           uint64                      `json:"seq"`

@@ -70,6 +70,12 @@ type Config struct {
 	// sampler reads exclusively through non-mutating snapshot accessors and
 	// schedules no events of its own.
 	Telemetry *telemetry.Recorder
+	// Watch, when non-nil, receives the engine's live position (virtual
+	// time, events fired, pending queue depth, watchdog streak) through a
+	// lock-free snapshot an ops server can read concurrently. Like
+	// Telemetry it is observation-only: results are bit-identical with or
+	// without it, and a nil watch costs the hot path one nil check.
+	Watch *des.Watch
 	// Checkpoint, when non-nil with a positive interval, snapshots the
 	// complete simulation state periodically so an interrupted run can be
 	// resumed bit-identically (see checkpoint.go). Nil disables the
@@ -412,6 +418,11 @@ type sim struct {
 
 	met simMetrics // nil handles (no-ops) unless cfg.Telemetry is set
 
+	// live is the ops-plane snapshot publisher, cached from
+	// cfg.Telemetry.Live (nil when off: every publish is then a single
+	// nil-receiver check and zero allocations).
+	live *telemetry.Live
+
 	flt *faultState // nil unless fault injection is enabled
 
 	// trc is the decision-tracing state; nil unless the telemetry recorder
@@ -450,6 +461,7 @@ func newSim(cfg Config) (*sim, error) {
 	}
 	if cfg.Telemetry != nil {
 		s.met = newSimMetrics(cfg.Telemetry.Metrics)
+		s.live = cfg.Telemetry.Live
 		if tr := cfg.Telemetry.Tracer(); tr != nil {
 			s.eng.SetTracer(tr)
 		}
@@ -457,6 +469,7 @@ func newSim(cfg Config) (*sim, error) {
 			s.trc = newTraceState(&cfg)
 		}
 	}
+	s.eng.SetWatch(cfg.Watch)
 	for _, f := range cfg.Trace.Files {
 		s.files[f.ID] = f
 	}
@@ -547,6 +560,7 @@ func (s *sim) finish() (*Result, error) {
 		return nil, fmt.Errorf("array: %w (policy %q, %d disks, %d/%d requests delivered)",
 			watchdogErr, s.cfg.Policy.Name(), len(s.disks), s.nextReq, len(s.cfg.Trace.Requests))
 	}
+	s.cfg.Watch.MarkDone()
 	return s.collect()
 }
 
@@ -718,6 +732,7 @@ func (s *sim) complete(d int, o op, now float64) {
 		s.respHist.Add(resp)
 		s.met.completions.Inc()
 		s.met.respLatency.Observe(resp)
+		s.live.Tick(now, s.eng.Fired(), s.respStream.N(), uint64(s.nextReq))
 		s.eng.EmitSpan(labelRequestSpan, o.arrival, now)
 		ctx := &Context{s: s}
 		s.setHook(hookRequestComplete)
@@ -740,6 +755,7 @@ func (s *sim) complete(d int, o op, now float64) {
 			s.respHist.Add(resp)
 			s.met.completions.Inc()
 			s.met.respLatency.Observe(resp)
+			s.live.Tick(now, s.eng.Fired(), s.respStream.N(), uint64(s.nextReq))
 			s.eng.EmitSpan(labelRequestSpan, o.stripe.arrival, now)
 			if s.trc != nil {
 				s.attributeStripe(&o, now)

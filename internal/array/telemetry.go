@@ -64,6 +64,12 @@ func (s *sim) sampleDisks(now float64, epoch int) {
 	if rec == nil {
 		return
 	}
+	var (
+		energyJ            float64
+		worstAFR           float64
+		queueDepth         uint64
+		disksHigh, disksLo uint64
+	)
 	for i, ds := range s.disks {
 		snap := ds.disk.Snapshot(now)
 		temp := ds.temp.PeekMeanTemp(now)
@@ -75,7 +81,15 @@ func (s *sim) sampleDisks(now float64, epoch int) {
 		speed := "low"
 		if snap.Speed == diskmodel.High {
 			speed = "high"
+			disksHigh++
+		} else {
+			disksLo++
 		}
+		energyJ += snap.EnergyJ
+		if afr > worstAFR {
+			worstAFR = afr
+		}
+		queueDepth += uint64(ds.queueLen())
 		if err := rec.RecordDiskSample(telemetry.DiskSample{
 			T:           now,
 			Epoch:       epoch,
@@ -96,4 +110,7 @@ func (s *sim) sampleDisks(now float64, epoch int) {
 	}
 	s.met.simTime.Set(now)
 	s.met.eventsFired.Set(float64(s.eng.Fired()))
+	// Epoch-cadence ops-plane aggregates, piggybacking on the disk walk
+	// above. No-op (one nil check) when the recorder carries no Live.
+	s.live.PublishEpoch(uint64(epoch), energyJ, worstAFR, queueDepth, disksHigh, disksLo)
 }

@@ -11,6 +11,7 @@ import (
 	"strconv"
 	"testing"
 
+	"repro/internal/des"
 	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
@@ -175,6 +176,50 @@ func TestTelemetryMetricsMatchResult(t *testing.T) {
 	}
 	if got := rec.Metrics.Gauge("sim.events_fired").Value(); got != float64(res.EventsFired) {
 		t.Fatalf("sim.events_fired gauge = %v, want %d", got, res.EventsFired)
+	}
+}
+
+// The ops plane inherits the central telemetry invariant: attaching a Live
+// publisher and an engine Watch changes nothing about the result, and the
+// handles end the run agreeing with it.
+func TestOpsPlaneOnOffResultsIdentical(t *testing.T) {
+	off := telemetryRun(t, nil)
+
+	live := telemetry.NewLive()
+	watch := des.NewWatch()
+	tr := tinyTrace(t, 40, 3000, 0.02)
+	on, err := Run(Config{
+		Disks:          4,
+		Trace:          tr,
+		Policy:         &spinDownPolicy{h: 2},
+		EpochSeconds:   10,
+		SampleInterval: 5,
+		Telemetry:      &telemetry.Recorder{Live: live},
+		Watch:          watch,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(off, on) {
+		t.Fatalf("ops plane changed the result:\noff: %+v\non:  %+v", off, on)
+	}
+
+	ws := watch.Snapshot()
+	if ws.Fired != on.EventsFired {
+		t.Errorf("watch fired = %d, want %d", ws.Fired, on.EventsFired)
+	}
+	if !ws.Done {
+		t.Error("watch not marked done after a successful run")
+	}
+	ls := live.Snapshot()
+	if ls.Requests != uint64(on.Requests) {
+		t.Errorf("live requests = %d, want %d", ls.Requests, on.Requests)
+	}
+	if ls.DisksHigh+ls.DisksLow != 4 {
+		t.Errorf("live spin-state counts %d+%d, want 4 disks", ls.DisksHigh, ls.DisksLow)
+	}
+	if ls.EnergyJ <= 0 || ls.SimSeconds <= 0 {
+		t.Errorf("live aggregates not published: energy %v, sim time %v", ls.EnergyJ, ls.SimSeconds)
 	}
 }
 

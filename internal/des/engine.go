@@ -106,14 +106,16 @@ func (h *eventHeap) Pop() any {
 // Engine is a discrete-event simulation engine. The zero value is ready to
 // use and starts at virtual time zero.
 type Engine struct {
-	now     float64
-	seq     uint64
-	queue   eventHeap
-	pending map[EventID]*event
-	fired   uint64
-	stopped bool
-	tracer  Tracer
-	spans   SpanTracer // tracer's SpanTracer side, cached; nil when absent
+	now       float64
+	seq       uint64
+	queue     eventHeap
+	pending   map[EventID]*event
+	fired     uint64
+	stopped   bool
+	tracer    Tracer
+	spans     SpanTracer // tracer's SpanTracer side, cached; nil when absent
+	watch     *Watch     // live ops view; nil when no observer is attached
+	lastLabel string     // label of the most recently fired event
 }
 
 // SetTracer installs (or, with nil, removes) the engine's activity tracer.
@@ -131,6 +133,11 @@ func (e *Engine) EmitSpan(label string, start, end float64) {
 		e.spans.Span(label, start, end)
 	}
 }
+
+// SetWatch installs (or, with nil, removes) a lock-free live view updated by
+// RunGuarded after every fired event. With no watch installed the run loop
+// pays one nil check per event and allocates nothing.
+func (e *Engine) SetWatch(w *Watch) { e.watch = w }
 
 // New returns an engine with its clock at zero.
 func New() *Engine {
@@ -246,6 +253,7 @@ func (e *Engine) Step() bool {
 		delete(e.pending, EventID(ev.seq))
 		e.now = ev.time
 		e.fired++
+		e.lastLabel = ev.label
 		if tr := e.tracer; tr != nil {
 			start := time.Now() //simlint:allow detrand -- wall-clock handler timing feeds the trace file only, never simulation state
 			ev.handler(e)
@@ -276,23 +284,34 @@ func (e *Engine) RunGuarded(stallLimit uint64) error {
 	if stallLimit == 0 {
 		return errors.New("des: watchdog stall limit must be positive")
 	}
+	e.watch.setLimit(stallLimit)
 	e.stopped = false
 	var streak uint64
 	last := math.Inf(-1)
 	for !e.stopped {
 		if !e.Step() {
+			e.watch.publish(e.now, e.fired, uint64(len(e.pending)), streak, e.lastLabel)
 			return nil
 		}
 		if e.now != last {
 			last = e.now
 			streak = 1
-			continue
+		} else {
+			streak++
 		}
-		streak++
+		if w := e.watch; w != nil {
+			w.publish(e.now, e.fired, uint64(len(e.pending)), streak, e.lastLabel)
+		}
 		if streak >= stallLimit {
-			return fmt.Errorf(
-				"des: watchdog: event loop stalled — %d consecutive events at t=%v without progress (total fired %d, pending %d)",
-				streak, e.now, e.fired, len(e.pending))
+			serr := &StallError{
+				Streak:    streak,
+				SimTime:   e.now,
+				Fired:     e.fired,
+				Pending:   len(e.pending),
+				LastLabel: e.lastLabel,
+			}
+			e.watch.setStall(serr)
+			return serr
 		}
 	}
 	return nil

@@ -18,9 +18,11 @@ import (
 	"time"
 
 	"repro/internal/array"
+	"repro/internal/des"
 	"repro/internal/faults"
 	"repro/internal/policy"
 	"repro/internal/reliability"
+	"repro/internal/runstore"
 	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
@@ -142,6 +144,12 @@ type SweepConfig struct {
 	// never changes a cell's results — so like Progress it is an execution
 	// knob, deliberately excluded from the sweep's manifest digest.
 	TraceDecisions bool
+	// Track, when non-nil, receives the sweep's live per-cell state for the
+	// ops plane (pending/running/done/failed/retried, watchdog positions,
+	// ETA). Build it with telemetry.NewSweepTracker(cfg.CellKeys(), ...).
+	// Like Progress it is observation-only and excluded from the digest;
+	// results are bit-identical with or without it.
+	Track *telemetry.SweepTracker
 }
 
 // DefaultSweepConfig returns the paper's light-workload sweep at a reduced
@@ -282,9 +290,51 @@ type Cell struct {
 	Attempts int
 	// Err holds the final attempt's error when Status is CellFailed.
 	Err string
+	// Stall is the structured watchdog record when the final attempt died
+	// to the event-loop stall detector; nil for any other failure (and for
+	// successes). It carries the stalling event's label, virtual time, and
+	// queue depth — the /healthz payload and the sweep manifest's failure
+	// markers both read it.
+	Stall *des.StallError
+	// Perf is the cell's self-performance sample (wall-clock, events/s,
+	// allocation and GC deltas of the successful attempt). It feeds the
+	// manifest's perf section, never the diffed metric set.
+	Perf *runstore.PerfSample
 	// Decisions is the cell's decision log when the sweep ran with
 	// TraceDecisions; nil otherwise.
 	Decisions *telemetry.DecisionLog
+}
+
+// Key is the cell's ops-plane and manifest identity:
+// "<policy>[.<raid>].<disks>" — the same segments the manifest's
+// "cell.<...>.<metric>" Summary.Extra keys use.
+func (c Cell) Key() string { return cellKey(c.Policy, c.RAID, c.Disks) }
+
+func cellKey(p PolicyKind, raid array.RAIDLevel, disks int) string {
+	if raid != "" {
+		return fmt.Sprintf("%s.%s.%d", p, raid, disks)
+	}
+	return fmt.Sprintf("%s.%d", p, disks)
+}
+
+// CellKeys enumerates the sweep's cell identities in execution-grid order,
+// for building a telemetry.SweepTracker before the sweep starts. The order
+// matches RunSweep's job grid (disks-major, then RAID level, then policy).
+func (c SweepConfig) CellKeys() []string {
+	c.setDefaults()
+	raids := c.RAIDLevels
+	if len(raids) == 0 {
+		raids = []array.RAIDLevel{""}
+	}
+	keys := make([]string, 0, len(c.DiskCounts)*len(raids)*len(c.Policies))
+	for _, n := range c.DiskCounts {
+		for _, r := range raids {
+			for _, p := range c.Policies {
+				keys = append(keys, cellKey(p, r, n))
+			}
+		}
+	}
+	return keys
 }
 
 // SweepResult is the full policy × array-size grid.
@@ -313,7 +363,7 @@ var testCellHook func(kind PolicyKind, disks int)
 // cell — the policy, the simulator, the hook — is converted into an error
 // with the stack attached, so one broken cell cannot take down the sweep's
 // worker pool.
-func runCellOnce(cfg *SweepConfig, trace *workload.Trace, epoch float64, disks int, kind PolicyKind, raid array.RAIDLevel) (res *array.Result, dlog *telemetry.DecisionLog, err error) {
+func runCellOnce(cfg *SweepConfig, trace *workload.Trace, epoch float64, disks int, kind PolicyKind, raid array.RAIDLevel, live *telemetry.Live, watch *des.Watch) (res *array.Result, dlog *telemetry.DecisionLog, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			res, dlog = nil, nil
@@ -336,12 +386,22 @@ func runCellOnce(cfg *SweepConfig, trace *workload.Trace, epoch float64, disks i
 		Spares:       cfg.Spares,
 		RebuildMBps:  cfg.RebuildMBps,
 		StallLimit:   cfg.StallLimit,
+		Watch:        watch,
 	}
 	if cfg.TraceDecisions {
 		// An in-memory recorder carrying only the decision log: the cell's
 		// metrics artifacts are unchanged, and the caller drains the log.
 		dlog = telemetry.NewDecisionLog()
 		acfg.Telemetry = &telemetry.Recorder{Decisions: dlog}
+	}
+	if live != nil {
+		// The ops plane wants this cell's live counters. Reuse the decision
+		// recorder when tracing is also on; both are observation-only, so
+		// results stay bit-identical either way.
+		if acfg.Telemetry == nil {
+			acfg.Telemetry = &telemetry.Recorder{}
+		}
+		acfg.Telemetry.Live = live
 	}
 	if cfg.Faults != nil {
 		fc := *cfg.Faults
@@ -435,6 +495,10 @@ func RunSweep(cfg SweepConfig) (*SweepResult, error) {
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			cell := Cell{Disks: j.disks, Policy: j.policy, RAID: j.raid}
+			key := cell.Key()
+			shared := cfg.Parallelism > 1
+			var lastErr error
+			var lastWall float64
 			for attempt := 1; attempt <= cfg.MaxAttempts; attempt++ {
 				cell.Attempts = attempt
 				if attempt > 1 {
@@ -442,22 +506,41 @@ func RunSweep(cfg SweepConfig) (*SweepResult, error) {
 					cfg.Progress.Stepf("sweep: retrying disks=%d policy=%s%s (attempt %d/%d)",
 						j.disks, j.policy, raidSuffix(j.raid), attempt, cfg.MaxAttempts)
 				}
-				res, dlog, err := runCellOnce(&cfg, trace, epoch, j.disks, j.policy, j.raid)
+				// Fresh per-attempt ops handles (nil when no tracker): the
+				// array publishes its live position through them, and the
+				// /progress and /healthz endpoints read them concurrently.
+				live, watch := cfg.Track.StartCell(key)
+				pc := runstore.StartPerf()
+				res, dlog, err := runCellOnce(&cfg, trace, epoch, j.disks, j.policy, j.raid, live, watch)
 				if err != nil {
+					lastErr = err
+					lastWall = pc.Sample(0, 0, shared).WallSeconds
 					cell.Err = fmt.Sprintf("disks=%d policy=%s%s: %v", j.disks, j.policy, raidSuffix(j.raid), err)
+					if attempt < cfg.MaxAttempts {
+						cfg.Track.CellRetrying(key, err)
+					}
 					continue
 				}
+				perf := pc.Sample(res.Duration, res.EventsFired, shared)
+				cell.Perf = &perf
 				cell.Result = res
 				cell.Decisions = dlog
 				cell.Err = ""
+				cell.Stall = nil
 				cell.Status = CellOK
 				if attempt > 1 {
 					cell.Status = CellRetried
 				}
+				cfg.Track.CellDone(key, perf.WallSeconds, res.EventsFired)
 				break
 			}
 			if cell.Result == nil {
 				cell.Status = CellFailed
+				var serr *des.StallError
+				if errors.As(lastErr, &serr) {
+					cell.Stall = serr
+				}
+				cfg.Track.CellFailed(key, lastErr, lastWall)
 			}
 			cells[j.idx] = cell
 			if cell.Status == CellFailed {

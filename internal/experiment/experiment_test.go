@@ -3,10 +3,12 @@ package experiment
 import (
 	"bytes"
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 
 	"repro/internal/reliability"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -82,6 +84,77 @@ func TestRunSweepProducesFullGrid(t *testing.T) {
 		}
 		if c.Result.Requests == 0 {
 			t.Fatalf("cell %d/%s served no requests", c.Disks, c.Policy)
+		}
+	}
+}
+
+// The ops-plane tracker is observation-only: a tracked sweep produces the
+// same grid, every cell ends done, per-cell perf samples are recorded, and
+// the manifest carries them in its perf section without touching Summary.
+func TestRunSweepWithTrackerRecordsLifecycleAndPerf(t *testing.T) {
+	cfg := tinySweep()
+	track := telemetry.NewSweepTracker(cfg.CellKeys(), cfg.Parallelism)
+	cfg.Track = track
+	res, err := RunSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := track.Snapshot()
+	if snap.Total != len(res.Cells) || snap.Done != len(res.Cells) {
+		t.Fatalf("tracker sees %d/%d done, want %d/%d", snap.Done, snap.Total, len(res.Cells), len(res.Cells))
+	}
+	if snap.ETASeconds != 0 {
+		t.Errorf("finished sweep ETA = %v, want 0", snap.ETASeconds)
+	}
+	for _, c := range res.Cells {
+		if c.Perf == nil {
+			t.Fatalf("cell %s has no perf sample", c.Key())
+		}
+		if c.Perf.Events != float64(c.Result.EventsFired) {
+			t.Errorf("cell %s perf events %v != result events %d", c.Key(), c.Perf.Events, c.Result.EventsFired)
+		}
+		if c.Perf.WallSeconds <= 0 {
+			t.Errorf("cell %s perf wall %v", c.Key(), c.Perf.WallSeconds)
+		}
+	}
+
+	m, err := SweepManifest("track-test", cfg, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Perf == nil || len(m.Perf.Cells) != len(res.Cells) {
+		t.Fatalf("manifest perf cells = %v, want %d entries", m.Perf, len(res.Cells))
+	}
+	for _, c := range res.Cells {
+		if _, ok := m.Perf.Cells[c.Key()]; !ok {
+			t.Errorf("manifest perf missing cell %s", c.Key())
+		}
+	}
+	// Perf must not leak into the diffed metric set.
+	for k := range m.Summary.Metrics() {
+		if strings.Contains(k, "wall") || strings.Contains(k, "alloc") || strings.Contains(k, "gc_") {
+			t.Errorf("perf-looking metric %q in diffed summary", k)
+		}
+	}
+}
+
+// A tracked sweep and an untracked sweep of the same config remain
+// bit-identical — the ops plane never perturbs results.
+func TestSweepTrackerOnOffResultsIdentical(t *testing.T) {
+	cfg := tinySweep()
+	plain, err := RunSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracked := tinySweep()
+	tracked.Track = telemetry.NewSweepTracker(tracked.CellKeys(), 2)
+	got, err := RunSweep(tracked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain.Cells {
+		if !reflect.DeepEqual(plain.Cells[i].Result, got.Cells[i].Result) {
+			t.Fatalf("cell %s diverged under tracking", plain.Cells[i].Key())
 		}
 	}
 }

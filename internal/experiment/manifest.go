@@ -48,13 +48,14 @@ func SweepManifest(name string, cfg SweepConfig, res *SweepResult) (*runstore.Ma
 	sum.Extra = make(map[string]float64, 4*len(res.Cells))
 	status := string(CellOK)
 	okCells := 0
+	perfCells := make(map[string]runstore.PerfSample)
 	for _, c := range res.Cells {
-		prefix := fmt.Sprintf("cell.%s.%d.", c.Policy, c.Disks)
-		if c.RAID != "" {
-			// The RAID segment appears only on RAID-axis sweeps, so the cell
-			// keys (and therefore diffs against pre-RAID manifests) of plain
-			// sweeps are unchanged.
-			prefix = fmt.Sprintf("cell.%s.%s.%d.", c.Policy, c.RAID, c.Disks)
+		// The RAID segment appears only on RAID-axis sweeps, so the cell
+		// keys (and therefore diffs against pre-RAID manifests) of plain
+		// sweeps are unchanged.
+		prefix := "cell." + c.Key() + "."
+		if c.Perf != nil {
+			perfCells[c.Key()] = *c.Perf
 		}
 		if c.Attempts > 0 {
 			sum.Extra[prefix+"attempts"] = float64(c.Attempts)
@@ -122,6 +123,12 @@ func SweepManifest(name string, cfg SweepConfig, res *SweepResult) (*runstore.Ma
 	m.Summary = sum
 	m.Status = status
 	m.Attribution = aggregateAttribution(res.Cells)
+	if len(perfCells) > 0 {
+		// Per-cell self-performance rides outside Summary (like
+		// Attribution): wall-clocks differ run to run by construction and
+		// must never join the diffed metric set. The caller fills Perf.Run.
+		m.Perf = &runstore.Perf{Cells: perfCells}
+	}
 	return m, nil
 }
 

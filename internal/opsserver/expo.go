@@ -1,0 +1,112 @@
+package opsserver
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the OpenMetrics text exposition media type served on
+// /metrics. Prometheus scrapers negotiate it; curl just sees text.
+const ContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// Label is one name="value" pair on a sample.
+type Label struct {
+	Name, Value string
+}
+
+// Sample is one exposition line inside a family.
+type Sample struct {
+	Labels []Label
+	Value  float64
+}
+
+// Family is one OpenMetrics metric family. For counters the family is named
+// without the `_total` suffix (per the OpenMetrics spec) and the encoder
+// appends `_total` to each sample line.
+type Family struct {
+	Name    string
+	Type    string // "gauge" or "counter"
+	Help    string
+	Samples []Sample
+}
+
+// escapeHelp escapes a HELP string per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// formatValue renders a sample value. OpenMetrics accepts Go's shortest
+// round-trip float syntax, including exponent form.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// renderLabels renders a sorted {a="b",c="d"} block ("" when unlabeled).
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, l.Name, escapeLabel(l.Value))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WriteExposition renders the families in OpenMetrics text format: families
+// sorted by name, samples sorted by their rendered label block, terminated
+// by the mandatory `# EOF`. Every ordering decision is explicit — the output
+// is byte-stable for a fixed input, which the golden-file test pins and
+// simlint's maporder analyzer (this package is in its renderer scope)
+// enforces structurally.
+func WriteExposition(w io.Writer, fams []Family) error {
+	sorted := append([]Family(nil), fams...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	for _, f := range sorted {
+		if len(f.Samples) == 0 {
+			continue
+		}
+		if f.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.Name, escapeHelp(f.Help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.Name, f.Type); err != nil {
+			return err
+		}
+		name := f.Name
+		if f.Type == "counter" {
+			name += "_total"
+		}
+		lines := make([]string, 0, len(f.Samples))
+		for _, s := range f.Samples {
+			lines = append(lines, fmt.Sprintf("%s%s %s\n", name, renderLabels(s.Labels), formatValue(s.Value)))
+		}
+		sort.Strings(lines)
+		for _, line := range lines {
+			if _, err := io.WriteString(w, line); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := io.WriteString(w, "# EOF\n")
+	return err
+}

@@ -184,6 +184,11 @@ type Manifest struct {
 	// join the diff metric set — a traced and an untraced run of the same
 	// configuration still diff clean at tolerance 0.
 	Attribution *telemetry.AttributionReport `json:"attribution,omitempty"`
+	// Perf is the self-performance accounting section (wall-clock,
+	// events/s, allocation and GC deltas) for the run and, on sweeps, each
+	// cell. Like Attribution it rides outside Summary: performance varies
+	// run to run by construction and must never join the diffed metric set.
+	Perf *Perf `json:"perf,omitempty"`
 	// Artifacts lists the telemetry files present in the run directory
 	// (disks.csv, disks.ndjson, metrics.json, trace.json).
 	Artifacts []string `json:"artifacts,omitempty"`

@@ -1,0 +1,81 @@
+package runstore
+
+import (
+	"runtime"
+	"time"
+)
+
+// PerfSample is one self-performance accounting record: how fast one run (or
+// one sweep cell) executed and what it cost the Go runtime. Perf data rides
+// in the manifest's `perf` section, *outside* Summary — like Attribution, it
+// never joins the diffed metric set, so two bit-identical simulations with
+// different wall-clocks still diff clean at tolerance 0.
+type PerfSample struct {
+	// WallSeconds is the wall-clock duration of the run.
+	WallSeconds float64 `json:"wall_seconds"`
+	// SimSeconds is the virtual time simulated.
+	SimSeconds float64 `json:"sim_seconds,omitempty"`
+	// Events is the DES event count executed.
+	Events float64 `json:"events,omitempty"`
+	// EventsPerWallSecond is the simulated-event throughput.
+	EventsPerWallSecond float64 `json:"events_per_wall_second,omitempty"`
+	// AllocBytes / Mallocs are runtime.MemStats deltas (TotalAlloc,
+	// Mallocs) across the run.
+	AllocBytes float64 `json:"alloc_bytes,omitempty"`
+	Mallocs    float64 `json:"mallocs,omitempty"`
+	// GCPauseSeconds / GCCycles are the GC stop-the-world pause total and
+	// completed-cycle count accrued during the run.
+	GCPauseSeconds float64 `json:"gc_pause_seconds,omitempty"`
+	GCCycles       float64 `json:"gc_cycles,omitempty"`
+	// SharedProcess marks samples taken while other work shared the
+	// process — parallel sweep cells overlap, and runtime.MemStats is
+	// process-wide, so their memory/GC deltas are upper bounds, not
+	// exclusive attributions. Wall-clock and event counts remain exact.
+	SharedProcess bool `json:"shared_process,omitempty"`
+}
+
+// Perf is the manifest's self-performance section: one sample for the whole
+// run/sweep and, for sweeps, one per cell keyed like the Summary.Extra cell
+// metrics ("<policy>[.<raid>].<disks>").
+type Perf struct {
+	Run   *PerfSample           `json:"run,omitempty"`
+	Cells map[string]PerfSample `json:"cells,omitempty"`
+}
+
+// PerfCapture marks the start of a measured region. Value semantics: copy it
+// per cell, call Sample at the end.
+type PerfCapture struct {
+	start time.Time
+	ms    runtime.MemStats
+}
+
+// StartPerf snapshots the wall clock and runtime stats at region entry.
+func StartPerf() PerfCapture {
+	var c PerfCapture
+	c.start = time.Now()
+	runtime.ReadMemStats(&c.ms)
+	return c
+}
+
+// Sample closes the region: wall-clock elapsed, simulated time and events
+// attributed to it, and the runtime deltas since StartPerf. sharedProcess
+// should be true when other work (parallel cells) ran concurrently.
+func (c PerfCapture) Sample(simSeconds float64, events uint64, sharedProcess bool) PerfSample {
+	wall := time.Since(c.start).Seconds()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s := PerfSample{
+		WallSeconds:    wall,
+		SimSeconds:     simSeconds,
+		Events:         float64(events),
+		AllocBytes:     float64(ms.TotalAlloc - c.ms.TotalAlloc),
+		Mallocs:        float64(ms.Mallocs - c.ms.Mallocs),
+		GCPauseSeconds: float64(ms.PauseTotalNs-c.ms.PauseTotalNs) / 1e9,
+		GCCycles:       float64(ms.NumGC - c.ms.NumGC),
+		SharedProcess:  sharedProcess,
+	}
+	if wall > 0 {
+		s.EventsPerWallSecond = s.Events / wall
+	}
+	return s
+}

@@ -1,0 +1,72 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestLoggerLevels(t *testing.T) {
+	cases := []struct {
+		level LogLevel
+		want  []string // substrings expected in output, in order
+		skip  []string // substrings that must be absent
+	}{
+		{LogError, []string{"x: error: boom"}, []string{"info-line", "debug-line"}},
+		{LogInfo, []string{"x: info-line", "x: error: boom"}, []string{"debug-line"}},
+		{LogDebug, []string{"x: debug: debug-line", "x: info-line", "x: error: boom"}, nil},
+	}
+	for _, c := range cases {
+		var buf bytes.Buffer
+		l := NewLogger("x", &buf, c.level)
+		l.Debugf("debug-line")
+		l.Infof("info-line")
+		l.Errorf("boom")
+		out := buf.String()
+		for _, w := range c.want {
+			if !strings.Contains(out, w) {
+				t.Errorf("level %d: output missing %q:\n%s", c.level, w, out)
+			}
+		}
+		for _, s := range c.skip {
+			if strings.Contains(out, s) {
+				t.Errorf("level %d: output should not contain %q:\n%s", c.level, s, out)
+			}
+		}
+	}
+}
+
+func TestLevelFromFlags(t *testing.T) {
+	if LevelFromFlags(true, true) != LogError {
+		t.Error("-quiet must win over -v")
+	}
+	if LevelFromFlags(false, true) != LogDebug {
+		t.Error("-v alone should yield LogDebug")
+	}
+	if LevelFromFlags(false, false) != LogInfo {
+		t.Error("no flags should yield LogInfo")
+	}
+}
+
+func TestLoggerFatalUsesInjectedExit(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger("x", &buf, LogError)
+	code := -1
+	l.exit = func(c int) { code = c }
+	l.Fatalf("dead: %d", 7)
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1", code)
+	}
+	if !strings.Contains(buf.String(), "x: error: dead: 7") {
+		t.Fatalf("fatal line missing: %q", buf.String())
+	}
+}
+
+func TestLoggerNilSafe(t *testing.T) {
+	var l *Logger
+	l.Infof("dropped")
+	l.Debugf("dropped")
+	if l.Level() != LogInfo {
+		t.Error("nil logger should report the default level")
+	}
+}

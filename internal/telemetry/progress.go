@@ -3,7 +3,6 @@ package telemetry
 //simlint:allowfile detrand -- progress logging measures real-world pace by design; it is observationally pure and never feeds simulation state
 
 import (
-	"log"
 	"sync"
 	"time"
 )
@@ -11,10 +10,13 @@ import (
 // Progress is a structured, rate-limited progress logger for long runs:
 // phase transitions, periodic sim-time/wall-time status, and completion
 // lines. It is goroutine-safe (sweep cells log from worker goroutines) and
-// a nil *Progress is a valid no-op sink.
+// a nil *Progress is a valid no-op sink. Lines go through the shared leveled
+// Logger at info level, so progress output and other log lines never
+// interleave mid-line.
 type Progress struct {
 	mu    sync.Mutex
-	log   *log.Logger
+	log   *Logger
+	now   func() time.Time // injectable for clock-skew tests
 	start time.Time
 	every time.Duration
 	last  time.Time
@@ -22,15 +24,24 @@ type Progress struct {
 
 // NewProgress returns a progress logger writing through l, emitting
 // rate-limited lines at most once per `every` (zero means 2 s).
-func NewProgress(l *log.Logger, every time.Duration) *Progress {
+func NewProgress(l *Logger, every time.Duration) *Progress {
 	if every <= 0 {
 		every = 2 * time.Second
 	}
-	return &Progress{log: l, start: time.Now(), every: every}
+	return &Progress{log: l, now: time.Now, start: time.Now(), every: every}
+}
+
+// setClock replaces the wall-clock source, for tests that simulate skew.
+// Callers must not have other goroutines using p concurrently.
+func (p *Progress) setClock(now func() time.Time) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.now = now
+	p.start = now()
 }
 
 func (p *Progress) elapsed() time.Duration {
-	return time.Since(p.start).Round(time.Millisecond)
+	return p.now().Sub(p.start).Round(time.Millisecond)
 }
 
 // Phase logs a run-phase transition unconditionally.
@@ -40,14 +51,21 @@ func (p *Progress) Phase(name string) {
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.log.Printf("phase %s (t+%s)", name, p.elapsed())
+	p.log.Infof("phase %s (t+%s)", name, p.elapsed())
 }
 
 // allow reports whether a rate-limited line may be emitted now. Callers must
 // hold p.mu.
+//
+// The limiter is hardened against wall-clock skew: if the clock stepped
+// backwards since the last emission (NTP correction, VM migration), the
+// window is reset and the line allowed — otherwise a single backward jump
+// would silence progress output until real time crawled past the stale
+// high-water mark.
 func (p *Progress) allow() bool {
-	now := time.Now()
-	if now.Sub(p.last) < p.every {
+	now := p.now()
+	since := now.Sub(p.last)
+	if since >= 0 && since < p.every {
 		return false
 	}
 	p.last = now
@@ -65,12 +83,12 @@ func (p *Progress) Tick(simSeconds float64, fired uint64) {
 	if !p.allow() {
 		return
 	}
-	wall := time.Since(p.start).Seconds()
+	wall := p.now().Sub(p.start).Seconds()
 	ratio := 0.0
 	if wall > 0 {
 		ratio = simSeconds / wall
 	}
-	p.log.Printf("progress sim=%.1fs events=%d speedup=%.0fx (t+%s)",
+	p.log.Infof("progress sim=%.1fs events=%d speedup=%.0fx (t+%s)",
 		simSeconds, fired, ratio, p.elapsed())
 }
 
@@ -85,7 +103,7 @@ func (p *Progress) Stepf(format string, args ...any) {
 	if !p.allow() {
 		return
 	}
-	p.log.Printf(format, args...)
+	p.log.Infof(format, args...)
 }
 
 // Done logs a completion line unconditionally: the phase that finished, the
@@ -96,11 +114,11 @@ func (p *Progress) Done(name string, simSeconds float64, fired uint64) {
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	wall := time.Since(p.start).Seconds()
+	wall := p.now().Sub(p.start).Seconds()
 	ratio := 0.0
 	if wall > 0 {
 		ratio = simSeconds / wall
 	}
-	p.log.Printf("done %s sim=%.1fs events=%d speedup=%.0fx (t+%s)",
+	p.log.Infof("done %s sim=%.1fs events=%d speedup=%.0fx (t+%s)",
 		name, simSeconds, fired, ratio, p.elapsed())
 }

@@ -2,7 +2,6 @@ package telemetry
 
 import (
 	"bytes"
-	"log"
 	"strings"
 	"sync"
 	"testing"
@@ -23,7 +22,7 @@ func progressLines(buf *bytes.Buffer) []string {
 // first (the limiter starts open), with the rest suppressed.
 func TestProgressTickRateLimitsBurst(t *testing.T) {
 	var buf bytes.Buffer
-	p := NewProgress(log.New(&buf, "", 0), time.Hour)
+	p := NewProgress(NewLogger("test", &buf, LogInfo), time.Hour)
 	for i := 0; i < 1000; i++ {
 		p.Tick(float64(i), uint64(i))
 	}
@@ -39,7 +38,7 @@ func TestProgressTickRateLimitsBurst(t *testing.T) {
 // Stepf shares the same limiter as Tick.
 func TestProgressStepfSharesLimiter(t *testing.T) {
 	var buf bytes.Buffer
-	p := NewProgress(log.New(&buf, "", 0), time.Hour)
+	p := NewProgress(NewLogger("test", &buf, LogInfo), time.Hour)
 	p.Tick(1, 1) // consumes the open slot
 	for i := 0; i < 100; i++ {
 		p.Stepf("cell %d", i)
@@ -52,7 +51,7 @@ func TestProgressStepfSharesLimiter(t *testing.T) {
 // Phase and Done are unconditional: they always log, burst or not.
 func TestProgressPhaseAndDoneAlwaysLog(t *testing.T) {
 	var buf bytes.Buffer
-	p := NewProgress(log.New(&buf, "", 0), time.Hour)
+	p := NewProgress(NewLogger("test", &buf, LogInfo), time.Hour)
 	p.Phase("a")
 	p.Phase("b")
 	p.Done("b", 100, 42)
@@ -68,7 +67,7 @@ func TestProgressPhaseAndDoneAlwaysLog(t *testing.T) {
 // After the window elapses, the next Tick is allowed again.
 func TestProgressAllowsAfterInterval(t *testing.T) {
 	var buf bytes.Buffer
-	p := NewProgress(log.New(&buf, "", 0), 10*time.Millisecond)
+	p := NewProgress(NewLogger("test", &buf, LogInfo), 10*time.Millisecond)
 	p.Tick(1, 1)
 	p.Tick(2, 2) // suppressed
 	time.Sleep(25 * time.Millisecond)
@@ -82,7 +81,7 @@ func TestProgressAllowsAfterInterval(t *testing.T) {
 // disabling the limiter.
 func TestProgressZeroIntervalDefaults(t *testing.T) {
 	var buf bytes.Buffer
-	p := NewProgress(log.New(&buf, "", 0), 0)
+	p := NewProgress(NewLogger("test", &buf, LogInfo), 0)
 	for i := 0; i < 50; i++ {
 		p.Tick(float64(i), 0)
 	}
@@ -104,7 +103,7 @@ func TestProgressNilSafe(t *testing.T) {
 // the detector, and the hour-long window still admits exactly one line.
 func TestProgressConcurrentBurst(t *testing.T) {
 	var buf bytes.Buffer
-	p := NewProgress(log.New(&buf, "", 0), time.Hour)
+	p := NewProgress(NewLogger("test", &buf, LogInfo), time.Hour)
 	var wg sync.WaitGroup
 	for g := 0; g < 8; g++ {
 		wg.Add(1)
@@ -119,5 +118,81 @@ func TestProgressConcurrentBurst(t *testing.T) {
 	wg.Wait()
 	if lines := progressLines(&buf); len(lines) != 1 {
 		t.Fatalf("concurrent burst emitted %d lines, want 1", len(lines))
+	}
+}
+
+// fakeClock is a settable wall clock for skew tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+// A backward wall-clock step (NTP correction, VM migration) must reset the
+// limiter window, not silence progress until real time crawls past the stale
+// high-water mark.
+func TestProgressBackwardClockSkewResetsLimiter(t *testing.T) {
+	var buf bytes.Buffer
+	clk := &fakeClock{t: time.Unix(1000000, 0)}
+	p := NewProgress(NewLogger("test", &buf, LogInfo), time.Second)
+	p.setClock(clk.now)
+
+	p.Tick(1, 1) // limiter starts open
+	clk.advance(-time.Hour)
+	p.Tick(2, 2) // backward jump: window resets, line allowed
+	if lines := progressLines(&buf); len(lines) != 2 {
+		t.Fatalf("backward skew suppressed output: %d lines, want 2:\n%s", len(lines), buf.String())
+	}
+	// The reset re-arms the limiter at the *new* (earlier) time: the next
+	// tick inside the window is suppressed, and one past it is allowed.
+	p.Tick(3, 3)
+	clk.advance(1500 * time.Millisecond)
+	p.Tick(4, 4)
+	if lines := progressLines(&buf); len(lines) != 3 {
+		t.Fatalf("limiter did not re-arm after skew reset: %d lines, want 3:\n%s", len(lines), buf.String())
+	}
+}
+
+// A forward jump simply opens the window, exactly as real elapsed time
+// would; the limiter keeps pacing from the jumped-to instant.
+func TestProgressForwardClockSkewOpensWindow(t *testing.T) {
+	var buf bytes.Buffer
+	clk := &fakeClock{t: time.Unix(1000000, 0)}
+	p := NewProgress(NewLogger("test", &buf, LogInfo), time.Minute)
+	p.setClock(clk.now)
+
+	p.Tick(1, 1)
+	p.Tick(2, 2) // suppressed: same instant
+	clk.advance(48 * time.Hour)
+	p.Tick(3, 3) // allowed: window long past
+	p.Tick(4, 4) // suppressed again at the new instant
+	if lines := progressLines(&buf); len(lines) != 2 {
+		t.Fatalf("forward skew handling wrong: %d lines, want 2:\n%s", len(lines), buf.String())
+	}
+}
+
+// A frozen clock (zero elapsed between calls) suppresses everything after
+// the first line — time standing still must not flood the log.
+func TestProgressFrozenClockStaysLimited(t *testing.T) {
+	var buf bytes.Buffer
+	clk := &fakeClock{t: time.Unix(1000000, 0)}
+	p := NewProgress(NewLogger("test", &buf, LogInfo), time.Second)
+	p.setClock(clk.now)
+	for i := 0; i < 100; i++ {
+		p.Tick(float64(i), uint64(i))
+	}
+	if lines := progressLines(&buf); len(lines) != 1 {
+		t.Fatalf("frozen clock emitted %d lines, want 1", len(lines))
 	}
 }

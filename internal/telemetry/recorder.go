@@ -41,6 +41,10 @@ type Recorder struct {
 	// Close writes it to decisions.ndjson when the recorder has a
 	// directory.
 	Decisions *DecisionLog
+	// Live, when non-nil, receives the lock-free ops-plane snapshot the
+	// simulation publishes for /metrics and /progress. Nil (the default)
+	// keeps the hot path at one nil check and zero allocations.
+	Live *Live
 
 	series *SeriesWriter
 	tracer *ChromeTracer

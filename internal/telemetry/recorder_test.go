@@ -4,7 +4,6 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
-	"log"
 	"os"
 	"path/filepath"
 	"strings"
@@ -190,7 +189,7 @@ func TestChromeTracerNilAndClosed(t *testing.T) {
 
 func TestProgressLogging(t *testing.T) {
 	var buf bytes.Buffer
-	p := NewProgress(log.New(&buf, "", 0), time.Hour)
+	p := NewProgress(NewLogger("test", &buf, LogInfo), time.Hour)
 	p.Phase("simulate")
 	p.Tick(10, 100) // first tick: admitted immediately
 	p.Tick(20, 200) // inside the rate window: suppressed
@@ -213,7 +212,7 @@ func TestProgressLogging(t *testing.T) {
 
 func TestProgressRateLimitAdmitsAfterInterval(t *testing.T) {
 	var buf bytes.Buffer
-	p := NewProgress(log.New(&buf, "", 0), time.Nanosecond)
+	p := NewProgress(NewLogger("test", &buf, LogInfo), time.Nanosecond)
 	time.Sleep(10 * time.Microsecond)
 	p.Tick(1, 1)
 	if !strings.Contains(buf.String(), "progress sim=1.0s events=1") {

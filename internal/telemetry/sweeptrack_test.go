@@ -1,0 +1,93 @@
+package telemetry
+
+import (
+	"testing"
+
+	"repro/internal/des"
+)
+
+func TestSweepTrackerLifecycle(t *testing.T) {
+	tr := NewSweepTracker([]string{"a", "b", "c"}, 2)
+	s := tr.Snapshot()
+	if s.Total != 3 || s.Pending != 3 || s.ETASeconds != -1 {
+		t.Fatalf("fresh tracker snapshot %+v", s)
+	}
+
+	live, watch := tr.StartCell("a")
+	if live == nil || watch == nil {
+		t.Fatal("StartCell returned nil handles")
+	}
+	live.Tick(5, 500, 100, 101)
+	s = tr.Snapshot()
+	if s.Running != 1 || s.Pending != 2 {
+		t.Fatalf("after start: %+v", s)
+	}
+	if row := s.Cells[0]; row.Cell != "a" || row.State != CellStateRunning || row.SimSeconds != 5 {
+		t.Fatalf("running row %+v", row)
+	}
+
+	tr.CellDone("a", 2.0, 12345)
+	s = tr.Snapshot()
+	if s.Done != 1 || s.ETASeconds < 0 {
+		t.Fatalf("after done: %+v (ETA must exist once a cell completed)", s)
+	}
+	if s.Cells[0].Events != 12345 || s.Cells[0].WallSeconds != 2.0 {
+		t.Fatalf("done row %+v", s.Cells[0])
+	}
+
+	// b fails once (retried), then terminally.
+	tr.StartCell("b")
+	stall := &des.StallError{Streak: 9, LastLabel: "spin"}
+	tr.CellRetrying("b", stall)
+	s = tr.Snapshot()
+	if s.Retried != 1 || s.Cells[1].State != CellStateRetried {
+		t.Fatalf("after retry: %+v", s)
+	}
+	if s.Cells[1].Stall == nil || s.Cells[1].Stall.LastLabel != "spin" {
+		t.Fatalf("stall record not extracted: %+v", s.Cells[1])
+	}
+	tr.StartCell("b")
+	tr.CellFailed("b", stall, 1.5)
+	s = tr.Snapshot()
+	if s.Failed != 1 || s.Cells[1].Attempts != 2 {
+		t.Fatalf("after terminal failure: %+v", s)
+	}
+
+	tr.StartCell("c")
+	tr.CellDone("c", 4.0, 100)
+	s = tr.Snapshot()
+	if s.Done != 2 || s.Running != 0 || s.Pending != 0 {
+		t.Fatalf("final state: %+v", s)
+	}
+	// All cells resolved: remaining work is zero.
+	if s.ETASeconds != 0 {
+		t.Fatalf("ETA %v at sweep end, want 0", s.ETASeconds)
+	}
+}
+
+func TestSweepTrackerETAUsesMeanWallClock(t *testing.T) {
+	tr := NewSweepTracker([]string{"a", "b", "c", "d", "e"}, 1)
+	tr.StartCell("a")
+	tr.CellDone("a", 10, 1)
+	tr.StartCell("b")
+	tr.CellDone("b", 20, 1)
+	s := tr.Snapshot()
+	// Mean completed wall-clock is 15 s; three pending cells on one lane.
+	if s.ETASeconds != 45 {
+		t.Fatalf("ETA %v, want 45 (3 pending × 15 s mean / 1 lane)", s.ETASeconds)
+	}
+}
+
+func TestSweepTrackerNilSafe(t *testing.T) {
+	var tr *SweepTracker
+	live, watch := tr.StartCell("x")
+	if live != nil || watch != nil {
+		t.Fatal("nil tracker must return nil handles")
+	}
+	tr.CellDone("x", 1, 1)
+	tr.CellRetrying("x", nil)
+	tr.CellFailed("x", nil, 1)
+	if s := tr.Snapshot(); s.Total != 0 || s.ETASeconds != -1 {
+		t.Fatalf("nil tracker snapshot %+v", s)
+	}
+}
