@@ -22,10 +22,12 @@ lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/simlint ./...
 
-# fuzz exercises the trace codec from the committed seed corpus
-# (internal/workload/testdata/fuzz) for a short, CI-sized budget.
+# fuzz exercises the trace and decision codecs from their committed seed
+# corpora (internal/{workload,telemetry}/testdata/fuzz) for a short,
+# CI-sized budget.
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzTraceCodec -fuzztime=20s ./internal/workload
+	$(GO) test -run='^$$' -fuzz=FuzzDecisionCodec -fuzztime=20s ./internal/telemetry
 
 # bench regenerates both committed benchmark baselines:
 #   BENCH_telemetry.json — micro-benchmark trajectory (ns/op, allocs/op,

@@ -276,7 +276,13 @@ func cmdCheck(args []string) error {
 		}
 		status := "ok"
 		if res.Breached() {
-			status = "BREACH"
+			// Name the breached keys on the status line itself: a CI log
+			// truncated to one line per run must still say WHAT broke.
+			keys := runstore.BreachedMetrics(res.Deltas)
+			if len(keys) > 5 {
+				keys = append(keys[:5], fmt.Sprintf("+%d more", len(keys)-5))
+			}
+			status = "BREACH [" + strings.Join(keys, ", ") + "]"
 			breached = true
 		}
 		fmt.Printf("%s: %s (tol %g)\n", m.ID(), status, bf.DefaultTolerance)

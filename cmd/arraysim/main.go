@@ -33,6 +33,7 @@ import (
 	"repro/internal/des"
 	"repro/internal/experiment"
 	"repro/internal/faults"
+	"repro/internal/flagcheck"
 	"repro/internal/opsserver"
 	"repro/internal/runstore"
 	"repro/internal/telemetry"
@@ -161,7 +162,13 @@ func main() {
 	case *raidLevel == "" && explicit["stripe-width"]:
 		usageErr("-stripe-width requires -raid")
 	}
+	if err := flagcheck.Choice("policy", *policyName, flagcheck.Strings(experiment.AllPolicyKinds())...); err != nil {
+		usageErr("%v", err)
+	}
 	if *raidLevel != "" {
+		if err := flagcheck.Choice("raid", *raidLevel, flagcheck.Strings(diskarray.RAIDLevels())...); err != nil {
+			usageErr("%v", err)
+		}
 		rc := diskarray.RAIDConfig{Level: diskarray.RAIDLevel(*raidLevel), StripeWidth: *stripeWidth}
 		if err := rc.Validate(*disks); err != nil {
 			usageErr("%v", err)

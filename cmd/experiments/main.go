@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/atomicio"
 	"repro/internal/experiment"
+	"repro/internal/flagcheck"
 	"repro/internal/opsserver"
 	"repro/internal/reliability"
 	"repro/internal/runstore"
@@ -93,6 +94,73 @@ func writeDecisionLogs(dir string, res *experiment.SweepResult) {
 	}
 }
 
+// recordFleetSweep writes one fleet sweep condition's manifest into the run
+// store, mirroring recordSweep.
+func recordFleetSweep(store *runstore.Store, name string, cfg experiment.FleetSweepConfig,
+	res *experiment.FleetSweepResult, start time.Time, pc runstore.PerfCapture) {
+	if store == nil {
+		return
+	}
+	m, err := experiment.FleetManifest(name, cfg, res)
+	if err != nil {
+		logg.Fatal(err)
+	}
+	m.CreatedAt = start.UTC().Format(time.RFC3339)
+	m.WallSeconds = time.Since(start).Seconds()
+	var simSeconds float64
+	var events uint64
+	for _, c := range res.Cells {
+		if c.Result != nil {
+			simSeconds += c.Result.Duration
+			events += c.Result.EventsFired
+		}
+	}
+	run := pc.Sample(simSeconds, events, false)
+	if m.Perf == nil {
+		m.Perf = &runstore.Perf{}
+	}
+	m.Perf.Run = &run
+	dir, err := store.Write(m)
+	if err != nil {
+		logg.Fatal(err)
+	}
+	for _, cell := range res.Cells {
+		if cell.Decisions == nil {
+			continue
+		}
+		name := fmt.Sprintf("decisions-fleet-%s-%s-%d.ndjson", cell.Policy, cell.Routing, cell.Arrays)
+		f, err := atomicio.Create(filepath.Join(dir, name))
+		if err != nil {
+			logg.Fatal(err)
+		}
+		if err := cell.Decisions.WriteNDJSON(f); err != nil {
+			f.Close()
+			logg.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			logg.Fatal(err)
+		}
+	}
+	logg.Infof("run %s recorded in %s", name, dir)
+}
+
+// skipRecordedFleet mirrors skipRecorded for fleet sweep conditions.
+func skipRecordedFleet(store *runstore.Store, name string, cfg experiment.FleetSweepConfig) bool {
+	if store == nil {
+		return false
+	}
+	id, err := experiment.FleetManifestID(name, cfg)
+	if err != nil {
+		return false
+	}
+	m, err := runstore.ReadManifest(filepath.Join(store.Root(), id))
+	if err != nil || m.Status == string(experiment.CellFailed) {
+		return false
+	}
+	logg.Infof("resume: skipping %s (already recorded as %s)", name, id)
+	return true
+}
+
 // skipRecorded reports whether the store already holds a manifest for this
 // sweep condition — same name, same config digest — whose status is not
 // "failed". A -resume driver uses it to skip work a previous (possibly
@@ -113,6 +181,14 @@ func skipRecorded(store *runstore.Store, name string, cfg experiment.SweepConfig
 	return true
 }
 
+// validFigures is the closed set -fig accepts; "all" runs everything except
+// the fleet sweep, which multiplies the workload by the fleet size and is
+// requested explicitly.
+var validFigures = []string{
+	"2b", "3b", "4a", "4b", "5", "derive", "7", "7a", "7b", "7c",
+	"faults", "raidloss", "fleet", "ablations", "calibration", "all",
+}
+
 func main() {
 	os.Exit(run())
 }
@@ -122,7 +198,7 @@ func main() {
 // deferred profile writers still flush on the failure path.
 func run() int {
 	var (
-		fig      = flag.String("fig", "all", "figure to regenerate: 2b | 3b | 4a | 4b | 5 | derive | 7 | 7a | 7b | 7c | faults | raidloss | ablations | calibration | all")
+		fig      = flag.String("fig", "all", "figure to regenerate: "+strings.Join(validFigures, " | "))
 		scale    = flag.Float64("scale", 0.05, "trace scale for Figure 7 sweeps (1 = full day)")
 		full     = flag.Bool("full", false, "shorthand for -scale 1 (the full 1.48M-request day)")
 		heavy    = flag.Bool("heavy", false, "run Figure 7 under the heavy workload condition")
@@ -149,6 +225,9 @@ func run() int {
 	if *version {
 		fmt.Println(runstore.VersionLine("experiments"))
 		return 0
+	}
+	if err := flagcheck.Choice("fig", *fig, validFigures...); err != nil {
+		logg.Fatal(err)
 	}
 
 	if *full {
@@ -537,11 +616,55 @@ func run() int {
 		fmt.Println()
 	}
 
-	if !want("2b") && !want("3b") && !want("4a") && !want("4b") && !want("5") &&
-		!want("derive") && !want("ablations") && !want("calibration") && !want("faults") &&
-		!want("raidloss") && !want("7", "7a", "7b", "7c") {
-		logg.Fatalf("unknown figure %q; valid: %s", *fig,
-			strings.Join([]string{"2b", "3b", "4a", "4b", "5", "derive", "7", "7a", "7b", "7c", "faults", "raidloss", "ablations", "calibration", "all"}, " | "))
+	// The fleet sweep runs only when asked for by name: every cell simulates
+	// a whole fleet on one engine, so "all" deliberately excludes it.
+	if *fig == "fleet" {
+		cfg := experiment.DefaultFleetSweepConfig()
+		cfg.Scale = *scale
+		if *heavy {
+			cfg.Intensity = experiment.HeavyIntensity
+		}
+		cfg.CellAttempts = 1 + *retries
+		cfg.Progress = prog
+		cfg.TraceDecisions = *traceDec
+		fleetName := "fleet-light"
+		if *heavy {
+			fleetName = "fleet-heavy"
+		}
+		if !*resume || !skipRecordedFleet(store, fleetName, cfg) {
+			if srv != nil {
+				par := cfg.Parallelism
+				if par <= 0 {
+					par = runtime.NumCPU()
+				}
+				track := telemetry.NewSweepTracker(cfg.CellKeys(), par)
+				cfg.Track = track
+				srv.SetSweep(track)
+				srv.SetRun(fleetName, nil, nil)
+			}
+			start := time.Now()
+			pc := runstore.StartPerf()
+			res, err := experiment.RunFleetSweep(cfg)
+			if res == nil {
+				logg.Fatal(err)
+			}
+			if err != nil {
+				logg.Errorf("sweep %s: %v", fleetName, err)
+				failedCells += len(res.FailedCells())
+			}
+			recordFleetSweep(store, fleetName, cfg, res, start, pc)
+			fmt.Printf("Fleet sweep — routing × policy over fleet sizes (scale %.3g, replicas %d, %s)\n\n",
+				*scale, cfg.Replicas, time.Since(start).Round(time.Millisecond))
+			experiment.RenderFleetSummary(os.Stdout, res,
+				"Fleet resilience — deadlines, retries, hedging, failover")
+			fmt.Println()
+			if csvW != nil {
+				fmt.Fprintf(csvW, "# fleet sweep\n")
+				if err := experiment.WriteFleetCSV(csvW, res); err != nil {
+					logg.Fatal(err)
+				}
+			}
+		}
 	}
 
 	if srv != nil {

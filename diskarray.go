@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"repro/internal/array"
+	"repro/internal/cluster"
 	"repro/internal/diskmodel"
 	"repro/internal/experiment"
 	"repro/internal/faults"
@@ -193,6 +194,9 @@ const (
 	Repl2 = array.Repl2
 	Repl3 = array.Repl3
 )
+
+// RAIDLevels lists the accepted organizations, in documentation order.
+func RAIDLevels() []RAIDLevel { return array.RAIDLevels() }
 
 // RAIDConfig organizes the array into redundancy groups so data loss
 // requires a failure *combination* — overlapping disk failures, or a latent
@@ -451,3 +455,60 @@ func DefaultRAIDLossSweepConfig() SweepConfig { return experiment.DefaultRAIDLos
 
 // RunSweep executes a policy comparison sweep (Figures 7a/7b/7c).
 func RunSweep(cfg SweepConfig) (*SweepResult, error) { return experiment.RunSweep(cfg) }
+
+// FleetConfig describes a multi-array cluster simulation: N arrays on one
+// shared-clock DES, mapped into a rack/enclosure failure-domain topology,
+// with a routing tier (deadlines, capped-backoff retries, hedged requests,
+// health gating, cross-array failover) in front and correlated faults (rack
+// power shocks, vintage hazard multipliers) underneath.
+type FleetConfig = cluster.Config
+
+// FleetResult is the fleet-level outcome: router-measured latency, the
+// resilience counters, and each member array's standalone result.
+type FleetResult = cluster.Result
+
+// FleetTopology maps arrays into racks (power domains) and enclosures.
+type FleetTopology = cluster.Topology
+
+// FleetCheckpointSpec configures periodic whole-fleet snapshots.
+type FleetCheckpointSpec = cluster.CheckpointSpec
+
+// RoutingPolicy selects which replica serves an attempt.
+type RoutingPolicy = cluster.RoutingPolicy
+
+// The routing policies the fleet router implements.
+const (
+	RoutingRoundRobin  = cluster.RoundRobin
+	RoutingLeastLoaded = cluster.LeastLoaded
+	RoutingAFRAware    = cluster.AFRAware
+)
+
+// RoutingPolicies lists the accepted routing policies.
+func RoutingPolicies() []RoutingPolicy { return cluster.RoutingPolicies() }
+
+// ShockConfig parameterizes per-rack power-shock injection.
+type ShockConfig = faults.ShockConfig
+
+// SimulateFleet runs a fleet to completion. Like Simulate, results are a
+// pure function of the configuration.
+func SimulateFleet(cfg FleetConfig) (*FleetResult, error) { return cluster.Run(cfg) }
+
+// ResumeFleet reconstructs a fleet from a checkpoint payload produced under
+// the same configuration and runs it to completion.
+func ResumeFleet(cfg FleetConfig, state []byte) (*FleetResult, error) {
+	return cluster.Resume(cfg, state)
+}
+
+// FleetSweepConfig parameterizes a fleet-size × routing × policy sweep.
+type FleetSweepConfig = experiment.FleetSweepConfig
+
+// FleetSweepResult is the fleet sweep's cell grid.
+type FleetSweepResult = experiment.FleetSweepResult
+
+// DefaultFleetSweepConfig returns an interactive-scale fleet comparison.
+func DefaultFleetSweepConfig() FleetSweepConfig { return experiment.DefaultFleetSweepConfig() }
+
+// RunFleetSweep executes a fleet comparison sweep.
+func RunFleetSweep(cfg FleetSweepConfig) (*FleetSweepResult, error) {
+	return experiment.RunFleetSweep(cfg)
+}

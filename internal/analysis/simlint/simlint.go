@@ -39,6 +39,7 @@ const modulePath = "repro"
 // entropy, and map-order effects are forbidden here.
 var deterministicPkgs = []string{
 	"internal/array",
+	"internal/cluster",
 	"internal/des",
 	"internal/policy",
 	"internal/faults",

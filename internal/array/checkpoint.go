@@ -106,6 +106,29 @@ type contState struct {
 	SizeMB      float64 `json:"size_mb,omitempty"`
 	NextIssue   float64 `json:"next_issue,omitempty"`
 	RemainingMB float64 `json:"remaining_mb,omitempty"`
+	ReqID       uint64  `json:"req_id,omitempty"`
+	Attempt     int     `json:"attempt,omitempty"`
+}
+
+// encodeCont serializes a continuation, rejecting the opaque kind.
+func encodeCont(c *cont) (*contState, error) {
+	if c == nil {
+		return nil, nil
+	}
+	if c.kind == contOpaque {
+		return nil, fmt.Errorf("array: opaque continuation cannot be checkpointed")
+	}
+	return &contState{
+		Kind:        c.kind,
+		FileID:      c.fileID,
+		To:          c.to,
+		Disk:        c.disk,
+		SizeMB:      c.sizeMB,
+		NextIssue:   c.nextIssue,
+		RemainingMB: c.remainingMB,
+		ReqID:       c.reqID,
+		Attempt:     c.attempt,
+	}, nil
 }
 
 // opState is the serializable form of an op. Stripe is an index into
@@ -133,20 +156,24 @@ type opState struct {
 //
 //simlint:checkpoint-for stripeJob
 type stripeState struct {
-	FileID    int     `json:"file_id"`
-	Arrival   float64 `json:"arrival"`
-	Remaining int     `json:"remaining"`
-	Lost      bool    `json:"lost,omitempty"`
+	FileID    int        `json:"file_id"`
+	Arrival   float64    `json:"arrival"`
+	Remaining int        `json:"remaining"`
+	Lost      bool       `json:"lost,omitempty"`
+	Done      *contState `json:"done,omitempty"`
 }
 
 // savedEvent is one pending DES event: its absolute fire time plus the
 // eventRecord payload. Events are saved in ascending original-sequence
 // order; restoring re-schedules them in that order so same-instant FIFO
-// ties break identically.
+// ties break identically. Seq carries the engine's original sequence number
+// so a cluster restore can merge-sort the pending sets of several owners
+// (router + members) of one shared engine back into the global order.
 //
 //simlint:checkpoint-for eventRecord
 type savedEvent struct {
 	Time        float64  `json:"time"`
+	Seq         uint64   `json:"seq,omitempty"`
 	Kind        string   `json:"kind"`
 	Disk        int      `json:"disk,omitempty"`
 	Gen         uint64   `json:"gen,omitempty"`
@@ -227,7 +254,7 @@ type raidCkptState struct {
 // observation-only (re-cached from cfg.Telemetry on restore), and failure
 // aborts the run before a checkpoint could be taken.
 //
-//simlint:checkpoint-for sim ignore=cfg,eng,files,opaqueLive,failure,live alias=met:Metrics,flt:Faults,trc:Trace
+//simlint:checkpoint-for sim ignore=cfg,eng,files,opaqueLive,failure,live,host alias=met:Metrics,flt:Faults,trc:Trace
 type simState struct {
 	Clock         float64                     `json:"clock"`
 	Seq           uint64                      `json:"seq"`
@@ -258,6 +285,7 @@ type simState struct {
 type stripeTable struct {
 	ids  map[*stripeJob]int
 	list []stripeState
+	err  error // first continuation-encoding failure, surfaced by buildState
 }
 
 func (t *stripeTable) id(j *stripeJob) int {
@@ -269,8 +297,12 @@ func (t *stripeTable) id(j *stripeJob) int {
 	}
 	id := len(t.list)
 	t.ids[j] = id
+	done, err := encodeCont(j.done)
+	if err != nil && t.err == nil {
+		t.err = err
+	}
 	t.list = append(t.list, stripeState{
-		FileID: j.fileID, Arrival: j.arrival, Remaining: j.remaining, Lost: j.lost,
+		FileID: j.fileID, Arrival: j.arrival, Remaining: j.remaining, Lost: j.lost, Done: done,
 	})
 	return id
 }
@@ -289,20 +321,11 @@ func (t *stripeTable) encodeOp(o op) (opState, error) {
 		WaitSpin: o.waitSpin,
 		SvcDur:   o.svcDur,
 	}
-	if o.done != nil {
-		if o.done.kind == contOpaque {
-			return opState{}, fmt.Errorf("array: opaque continuation cannot be checkpointed")
-		}
-		st.Done = &contState{
-			Kind:        o.done.kind,
-			FileID:      o.done.fileID,
-			To:          o.done.to,
-			Disk:        o.done.disk,
-			SizeMB:      o.done.sizeMB,
-			NextIssue:   o.done.nextIssue,
-			RemainingMB: o.done.remainingMB,
-		}
+	done, err := encodeCont(o.done)
+	if err != nil {
+		return opState{}, err
 	}
+	st.Done = done
 	return st, nil
 }
 
@@ -372,11 +395,17 @@ func (s *sim) buildState() (*simState, error) {
 	for _, id := range s.eng.PendingIDs() {
 		rec, ok := s.events[id]
 		if !ok {
+			if s.host != nil {
+				// Shared engine: this pending event belongs to another owner
+				// (the router or a sibling member), which saves it itself.
+				continue
+			}
 			return nil, fmt.Errorf("array: pending event %d has no record; cannot checkpoint", id)
 		}
 		t, _ := s.eng.EventTime(id)
 		se := savedEvent{
 			Time:        t,
+			Seq:         uint64(id),
 			Kind:        rec.Kind,
 			Disk:        rec.Disk,
 			Gen:         rec.Gen,
@@ -397,6 +426,9 @@ func (s *sim) buildState() (*simState, error) {
 			se.Op = &os
 		}
 		st.Events = append(st.Events, se)
+	}
+	if table.err != nil {
+		return nil, table.err
 	}
 	st.Stripes = table.list
 
@@ -480,7 +512,7 @@ func decodeCont(cs *contState) (*cont, error) {
 		return nil, nil
 	}
 	switch cs.Kind {
-	case contMigrateRead, contMigrateWrite, contRebuild, contScrub:
+	case contMigrateRead, contMigrateWrite, contRebuild, contScrub, contFleet:
 	case contOpaque:
 		return nil, fmt.Errorf("array: opaque continuation in checkpoint")
 	default:
@@ -494,8 +526,30 @@ func decodeCont(cs *contState) (*cont, error) {
 		sizeMB:      cs.SizeMB,
 		nextIssue:   cs.NextIssue,
 		remainingMB: cs.RemainingMB,
+		reqID:       cs.ReqID,
+		attempt:     cs.Attempt,
 	}, nil
 }
+
+// RestoredEvent is one pending DES event decoded from a checkpoint but not
+// yet re-scheduled. Resume schedules its own events directly; a cluster
+// restore first merge-sorts the RestoredEvents of every owner of the shared
+// engine (router + members) by Seq, then schedules them in that global order
+// so same-instant FIFO ties break exactly as in the original run.
+type RestoredEvent struct {
+	// Seq is the event's sequence number in the original engine.
+	Seq uint64
+	// Time is the event's absolute virtual fire time.
+	Time float64
+
+	s   *sim
+	rec eventRecord
+}
+
+// Schedule re-schedules the event onto its sim's engine. Calls must happen
+// between the engine's BeginRestore and FinishRestore, in ascending Seq
+// order across all owners.
+func (re RestoredEvent) Schedule() error { return re.s.at(re.Time, re.rec) }
 
 // Resume reconstructs a simulation from a checkpoint payload produced under
 // the same configuration and runs it to completion. The policy is NOT
@@ -514,10 +568,6 @@ func Resume(cfg Config, stateJSON []byte) (*Result, error) {
 	if err := json.Unmarshal(stateJSON, &st); err != nil {
 		return nil, fmt.Errorf("array: resume: parse state: %w", err)
 	}
-	pol, ok := cfg.Policy.(CheckpointablePolicy)
-	if !ok {
-		return nil, fmt.Errorf("array: resume: policy %q does not support checkpointing", cfg.Policy.Name())
-	}
 	if cfg.Checkpoint == nil {
 		// A snapshot with pending checkpoint ticks must keep the original
 		// cadence, or EventsFired (and the whole event sequence) diverges
@@ -528,23 +578,57 @@ func Resume(cfg Config, stateJSON []byte) (*Result, error) {
 			}
 		}
 	}
+	s, evs, err := restoreSim(cfg, &st, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.eng.BeginRestore(st.Clock); err != nil {
+		return nil, fmt.Errorf("array: resume: %w", err)
+	}
+	for _, re := range evs {
+		if err := re.Schedule(); err != nil {
+			return nil, fmt.Errorf("array: resume: re-schedule %s@%v: %w", re.rec.Kind, re.Time, err)
+		}
+	}
+	if err := s.eng.FinishRestore(st.Seq, st.Fired); err != nil {
+		return nil, fmt.Errorf("array: resume: %w", err)
+	}
+	return s.finish()
+}
+
+// restoreSim rebuilds a sim from a decoded checkpoint payload: disks,
+// queues, counters, policy, faults, and telemetry are restored, and the
+// saved pending events are decoded into RestoredEvents (in saved order,
+// which is ascending original Seq) for the caller to schedule. The engine is
+// NOT touched — the caller brackets Schedule calls with BeginRestore and
+// FinishRestore, which lets a cluster restore interleave the events of
+// several sims sharing one engine.
+func restoreSim(cfg Config, st *simState, eng *des.Engine, host Host) (*sim, []RestoredEvent, error) {
+	pol, ok := cfg.Policy.(CheckpointablePolicy)
+	if !ok {
+		return nil, nil, fmt.Errorf("array: resume: policy %q does not support checkpointing", cfg.Policy.Name())
+	}
 	if st.PolicyName != cfg.Policy.Name() {
-		return nil, fmt.Errorf("array: resume: checkpoint was taken under policy %q, config has %q",
+		return nil, nil, fmt.Errorf("array: resume: checkpoint was taken under policy %q, config has %q",
 			st.PolicyName, cfg.Policy.Name())
 	}
 	if len(st.Disks) != cfg.Disks {
-		return nil, fmt.Errorf("array: resume: checkpoint has %d disks, config has %d",
+		return nil, nil, fmt.Errorf("array: resume: checkpoint has %d disks, config has %d",
 			len(st.Disks), cfg.Disks)
 	}
-	s, err := newSim(cfg)
+	s, err := newSimOn(cfg, eng, host)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	stripes := make([]*stripeJob, len(st.Stripes))
 	for i, ss := range st.Stripes {
+		done, err := decodeCont(ss.Done)
+		if err != nil {
+			return nil, nil, err
+		}
 		stripes[i] = &stripeJob{
-			fileID: ss.FileID, arrival: ss.Arrival, remaining: ss.Remaining, lost: ss.Lost,
+			fileID: ss.FileID, arrival: ss.Arrival, remaining: ss.Remaining, lost: ss.Lost, done: done,
 		}
 	}
 	decodeOp := func(os opState) (op, error) {
@@ -594,14 +678,14 @@ func Resume(cfg Config, stateJSON []byte) (*Result, error) {
 		for _, os := range dc.FG {
 			o, err := decodeOp(os)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			ds.fg.push(o)
 		}
 		for _, os := range dc.BG {
 			o, err := decodeOp(os)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			ds.bg.push(o)
 		}
@@ -623,25 +707,25 @@ func Resume(cfg Config, stateJSON []byte) (*Result, error) {
 	}
 	s.respStream.SetState(st.RespStream)
 	if err := s.respHist.SetState(st.RespHist); err != nil {
-		return nil, fmt.Errorf("array: resume: %w", err)
+		return nil, nil, fmt.Errorf("array: resume: %w", err)
 	}
 	s.timeline = st.Timeline
 
 	if err := pol.LoadState(st.Policy); err != nil {
-		return nil, fmt.Errorf("array: resume: policy %q load: %w", pol.Name(), err)
+		return nil, nil, fmt.Errorf("array: resume: policy %q load: %w", pol.Name(), err)
 	}
 
 	faultsOn := cfg.Faults != nil && cfg.Faults.Enabled
 	switch {
 	case st.Faults != nil && !faultsOn:
-		return nil, fmt.Errorf("array: resume: checkpoint has fault state but faults are disabled")
+		return nil, nil, fmt.Errorf("array: resume: checkpoint has fault state but faults are disabled")
 	case st.Faults == nil && faultsOn:
-		return nil, fmt.Errorf("array: resume: faults enabled but checkpoint has no fault state")
+		return nil, nil, fmt.Errorf("array: resume: faults enabled but checkpoint has no fault state")
 	case st.Faults != nil:
 		fcfg := cfg.Faults.Normalized()
 		inj, err := faults.RestoreInjector(fcfg, st.Faults.Injector)
 		if err != nil {
-			return nil, fmt.Errorf("array: resume: %w", err)
+			return nil, nil, fmt.Errorf("array: resume: %w", err)
 		}
 		s.flt = &faultState{
 			cfg:            fcfg,
@@ -664,13 +748,13 @@ func Resume(cfg Config, stateJSON []byte) (*Result, error) {
 		}
 		switch {
 		case st.Faults.RAID != nil && !cfg.RAID.Enabled():
-			return nil, fmt.Errorf("array: resume: checkpoint has RAID state but no RAID organization is configured")
+			return nil, nil, fmt.Errorf("array: resume: checkpoint has RAID state but no RAID organization is configured")
 		case st.Faults.RAID == nil && cfg.RAID.Enabled():
-			return nil, fmt.Errorf("array: resume: RAID organization configured but checkpoint has no RAID state")
+			return nil, nil, fmt.Errorf("array: resume: RAID organization configured but checkpoint has no RAID state")
 		case st.Faults.RAID != nil:
 			raid, err := newRAIDState(cfg.RAID, cfg.Disks)
 			if err != nil {
-				return nil, fmt.Errorf("array: resume: %w", err)
+				return nil, nil, fmt.Errorf("array: resume: %w", err)
 			}
 			raid.losses = st.Faults.RAID.Losses
 			raid.lseLosses = st.Faults.RAID.LSELosses
@@ -686,16 +770,14 @@ func Resume(cfg Config, stateJSON []byte) (*Result, error) {
 	}
 	switch {
 	case st.Trace != nil && s.trc == nil:
-		return nil, fmt.Errorf("array: resume: checkpoint has decision-trace state but the recorder has no DecisionLog")
+		return nil, nil, fmt.Errorf("array: resume: checkpoint has decision-trace state but the recorder has no DecisionLog")
 	case st.Trace == nil && s.trc != nil:
-		return nil, fmt.Errorf("array: resume: decision tracing enabled but checkpoint has no trace state")
+		return nil, nil, fmt.Errorf("array: resume: decision tracing enabled but checkpoint has no trace state")
 	case st.Trace != nil:
 		s.trc.restore(st.Trace)
 	}
 
-	if err := s.eng.BeginRestore(st.Clock); err != nil {
-		return nil, fmt.Errorf("array: resume: %w", err)
-	}
+	evs := make([]RestoredEvent, 0, len(st.Events))
 	for _, se := range st.Events {
 		rec := eventRecord{
 			Kind:        se.Kind,
@@ -713,16 +795,11 @@ func Resume(cfg Config, stateJSON []byte) (*Result, error) {
 		if se.Op != nil {
 			o, err := decodeOp(*se.Op)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			rec.Op = &o
 		}
-		if err := s.at(se.Time, rec); err != nil {
-			return nil, fmt.Errorf("array: resume: re-schedule %s@%v: %w", se.Kind, se.Time, err)
-		}
+		evs = append(evs, RestoredEvent{Seq: se.Seq, Time: se.Time, s: s, rec: rec})
 	}
-	if err := s.eng.FinishRestore(st.Seq, st.Fired); err != nil {
-		return nil, fmt.Errorf("array: resume: %w", err)
-	}
-	return s.finish()
+	return s, evs, nil
 }

@@ -92,6 +92,7 @@ const (
 	contRebuild      = "rebuild-chunk"
 	contScrub        = "scrub-pass"
 	contOpaque       = "opaque"
+	contFleet        = "fleet-done"
 )
 
 // cont is the serializable continuation run when an op completes, replacing
@@ -105,6 +106,8 @@ type cont struct {
 	sizeMB      float64
 	nextIssue   float64
 	remainingMB float64
+	reqID       uint64            // contFleet: cluster request the op belongs to
+	attempt     int               // contFleet: the request's attempt ordinal
 	fn          func(now float64) // contOpaque only
 }
 
@@ -274,9 +277,20 @@ func (s *sim) runCont(c *cont, now float64) {
 	case contOpaque:
 		s.opaqueLive--
 		c.fn(now)
+	case contFleet:
+		s.hostDone(c, now, false)
 	default:
 		s.fail(fmt.Errorf("array: unknown continuation kind %q", c.kind))
 	}
+}
+
+// hostDone reports a cluster-submitted request's resolution to the host.
+func (s *sim) hostDone(c *cont, now float64, lost bool) {
+	if s.host == nil {
+		s.fail(fmt.Errorf("array: fleet continuation without a host"))
+		return
+	}
+	s.host.RequestDone(c.reqID, c.attempt, now, lost)
 }
 
 // dropCont releases bookkeeping for a continuation whose op was discarded

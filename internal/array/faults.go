@@ -139,7 +139,7 @@ func (s *sim) onFaultTick(e *des.Engine) {
 // chain instead dies with the trace — once the last arrival has been
 // delivered no further passes start and the in-flight work drains normally.
 func (s *sim) scrubChainLives() bool {
-	return s.nextReq < len(s.cfg.Trace.Requests)
+	return s.arrivalsRemain()
 }
 
 // onScrubTick starts disk d's next scrub pass: a background read of the
@@ -298,16 +298,24 @@ func (s *sim) routeAroundFailure(d int, o op) {
 	s.loseOp(o)
 }
 
-// loseOp records a user request (or striped chunk) whose data is gone.
+// loseOp records a user request (or striped chunk) whose data is gone. A
+// fleet continuation is reported lost immediately so the cluster router can
+// fail the attempt over to another replica without waiting for a timeout.
 func (s *sim) loseOp(o op) {
 	switch o.kind {
 	case opUser:
 		s.flt.lostRequests++
+		if o.done != nil && o.done.kind == contFleet {
+			s.hostDone(o.done, s.eng.Now(), true)
+		}
 	case opChunk:
 		o.stripe.lost = true
 		o.stripe.remaining--
 		if o.stripe.remaining == 0 {
 			s.flt.lostRequests++
+			if o.stripe.done != nil {
+				s.hostDone(o.stripe.done, s.eng.Now(), true)
+			}
 		}
 	}
 }

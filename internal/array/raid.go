@@ -27,6 +27,11 @@ const (
 	Repl3 RAIDLevel = "repl3"
 )
 
+// RAIDLevels lists the accepted organizations, in documentation order.
+func RAIDLevels() []RAIDLevel {
+	return []RAIDLevel{RAID5, RAID6, Repl2, Repl3}
+}
+
 // RAIDConfig selects the redundancy organization overlaid on the array.
 // The zero value disables the layer entirely.
 type RAIDConfig struct {

@@ -326,7 +326,8 @@ type stripeJob struct {
 	fileID    int
 	arrival   float64
 	remaining int
-	lost      bool // a chunk was lost to a failure: the request is lost
+	lost      bool  // a chunk was lost to a failure: the request is lost
+	done      *cont // fleet continuation run when the request resolves; nil = none
 }
 
 // fifo is a slice-backed queue with amortized compaction.
@@ -437,6 +438,12 @@ type sim struct {
 	// while it is nonzero.
 	opaqueLive int
 
+	// host is non-nil when this sim is a fleet member driven by a cluster
+	// router over a shared engine (see member.go): arrivals come from
+	// Member.Submit instead of the trace, liveness questions defer to the
+	// host, and contFleet continuations report completions back to it.
+	host Host
+
 	failure error // sticky abort (queue explosion etc.)
 }
 
@@ -445,13 +452,26 @@ type sim struct {
 // the event queue are filled in by the caller (fresh for Run, from a
 // snapshot for Resume).
 func newSim(cfg Config) (*sim, error) {
+	return newSimOn(cfg, nil, nil)
+}
+
+// newSimOn is newSim with an optional shared engine and host for fleet
+// members. When eng is non-nil the sim schedules onto it instead of owning
+// one, and leaves the engine's tracer/watch alone — the cluster that owns
+// the engine installs those exactly once.
+func newSimOn(cfg Config, eng *des.Engine, host Host) (*sim, error) {
 	hist, err := stats.NewLatencyHistogram(-6, 5, 50)
 	if err != nil {
 		return nil, err
 	}
+	shared := eng != nil
+	if eng == nil {
+		eng = des.New()
+	}
 	s := &sim{
 		cfg:       cfg,
-		eng:       des.New(),
+		eng:       eng,
+		host:      host,
 		files:     make(map[int]workload.File, len(cfg.Trace.Files)),
 		place:     make(map[int]int, len(cfg.Trace.Files)),
 		counts:    make(map[int]int),
@@ -462,14 +482,16 @@ func newSim(cfg Config) (*sim, error) {
 	if cfg.Telemetry != nil {
 		s.met = newSimMetrics(cfg.Telemetry.Metrics)
 		s.live = cfg.Telemetry.Live
-		if tr := cfg.Telemetry.Tracer(); tr != nil {
+		if tr := cfg.Telemetry.Tracer(); tr != nil && !shared {
 			s.eng.SetTracer(tr)
 		}
 		if cfg.Telemetry.Decisions != nil {
 			s.trc = newTraceState(&cfg)
 		}
 	}
-	s.eng.SetWatch(cfg.Watch)
+	if !shared {
+		s.eng.SetWatch(cfg.Watch)
+	}
 	for _, f := range cfg.Trace.Files {
 		s.files[f.ID] = f
 	}
@@ -610,6 +632,12 @@ func (s *sim) onArrival(e *des.Engine) {
 
 // dispatchStriped fans a request out as equal chunks, one per target disk.
 func (s *sim) dispatchStriped(fileID int, sizeMB, arrival float64, targets []int) {
+	s.dispatchStripedDone(fileID, sizeMB, arrival, targets, nil)
+}
+
+// dispatchStripedDone is dispatchStriped with a fleet continuation attached
+// to the stripe job; done runs once, when the whole request resolves.
+func (s *sim) dispatchStripedDone(fileID int, sizeMB, arrival float64, targets []int, done *cont) {
 	for _, d := range targets {
 		if d < 0 || d >= len(s.disks) {
 			s.fail(fmt.Errorf("array: policy %q striped file %d to invalid disk %d",
@@ -617,7 +645,7 @@ func (s *sim) dispatchStriped(fileID int, sizeMB, arrival float64, targets []int
 			return
 		}
 	}
-	job := &stripeJob{fileID: fileID, arrival: arrival, remaining: len(targets)}
+	job := &stripeJob{fileID: fileID, arrival: arrival, remaining: len(targets), done: done}
 	chunk := sizeMB / float64(len(targets))
 	for _, d := range targets {
 		s.enqueue(d, op{kind: opChunk, fileID: fileID, sizeMB: chunk, arrival: arrival, stripe: job})
@@ -745,6 +773,9 @@ func (s *sim) complete(d int, o op, now float64) {
 			// outstanding chunk resolves, the whole request counts lost.
 			if o.stripe.remaining == 0 {
 				s.flt.lostRequests++
+				if o.stripe.done != nil {
+					s.hostDone(o.stripe.done, now, true)
+				}
 			}
 			break
 		}
@@ -764,6 +795,9 @@ func (s *sim) complete(d int, o op, now float64) {
 			s.setHook(hookRequestComplete)
 			s.cfg.Policy.OnRequestComplete(ctx, o.stripe.fileID, d)
 			s.endHook()
+			if o.stripe.done != nil {
+				s.runCont(o.stripe.done, now)
+			}
 		}
 	case opBackground:
 		s.backgroundOps++
@@ -773,12 +807,26 @@ func (s *sim) complete(d int, o op, now float64) {
 	}
 }
 
+// arrivalsRemain reports whether more foreground arrivals can still occur:
+// undelivered trace requests for a standalone run, or whatever the host
+// knows about the fleet's arrival stream for a member.
+func (s *sim) arrivalsRemain() bool {
+	if s.host != nil {
+		return s.host.ArrivalsRemain()
+	}
+	return s.nextReq < len(s.cfg.Trace.Requests)
+}
+
 // workRemains reports whether the simulation can still produce activity:
-// undelivered trace arrivals or queued/in-service operations. Idle timers
-// are pointless (and would keep the event loop alive forever) once it is
-// false.
+// undelivered arrivals or queued/in-service operations. Idle timers are
+// pointless (and would keep the event loop alive forever) once it is false.
+// A fleet member defers to its host, which sees the whole fleet: another
+// array's retry may yet land here, so local quiescence proves nothing.
 func (s *sim) workRemains() bool {
-	if s.nextReq < len(s.cfg.Trace.Requests) {
+	if s.host != nil {
+		return s.host.FleetWorkRemains()
+	}
+	if s.arrivalsRemain() {
 		return true
 	}
 	return s.busyDisks() > 0
@@ -827,7 +875,7 @@ func (s *sim) onEpoch(e *des.Engine) {
 	// Epochs exist to adapt placement to the live request stream; once
 	// the trace is exhausted there is nothing to adapt to, and post-trace
 	// migrations would only stretch the run and dilute utilization.
-	if s.nextReq >= len(s.cfg.Trace.Requests) {
+	if !s.arrivalsRemain() {
 		return
 	}
 	s.epochs++

@@ -27,6 +27,7 @@ const (
 	hookIdleTimeout     = "idle-threshold"
 	hookDiskFailure     = "disk-failure"
 	hookDiskRepair      = "disk-repair"
+	hookDomainShock     = "domain-shock"
 )
 
 // Override actions accepted in Config.DecisionOverrides.

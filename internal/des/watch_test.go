@@ -2,6 +2,7 @@ package des
 
 import (
 	"errors"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -135,5 +136,37 @@ func TestWatchNilSafe(t *testing.T) {
 	e.MustSchedule(0, func(*Engine) {})
 	if err := e.RunGuarded(10); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestStallErrorFormatAndFields pins the watchdog error's message shape and
+// field round-trip: ops surfaces (/healthz, sweep-cell failure markers)
+// report these fields verbatim, and existing callers match on the
+// "event loop stalled" phrasing.
+func TestStallErrorFormatAndFields(t *testing.T) {
+	e := &StallError{
+		Streak:    1000,
+		SimTime:   86400.5,
+		Fired:     123456,
+		Pending:   7,
+		LastLabel: "rebuild-step",
+	}
+	msg := e.Error()
+	for _, want := range []string{
+		"event loop stalled",
+		"1000 consecutive events",
+		"t=86400.5",
+		`last event "rebuild-step"`,
+		"total fired 123456",
+		"pending 7",
+	} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("StallError message %q missing %q", msg, want)
+		}
+	}
+	// An unlabeled stall renders the empty label explicitly rather than
+	// dropping the clause.
+	if msg := (&StallError{}).Error(); !strings.Contains(msg, `last event ""`) {
+		t.Fatalf("zero StallError message %q does not render the empty label", msg)
 	}
 }

@@ -502,7 +502,7 @@ func RunSweep(cfg SweepConfig) (*SweepResult, error) {
 			for attempt := 1; attempt <= cfg.MaxAttempts; attempt++ {
 				cell.Attempts = attempt
 				if attempt > 1 {
-					time.Sleep(cfg.RetryBaseDelay << uint(attempt-2))
+					time.Sleep(retryDelay(cfg.RetryBaseDelay, cfg.Workload.Seed, j.idx, attempt))
 					cfg.Progress.Stepf("sweep: retrying disks=%d policy=%s%s (attempt %d/%d)",
 						j.disks, j.policy, raidSuffix(j.raid), attempt, cfg.MaxAttempts)
 				}
@@ -559,6 +559,16 @@ func RunSweep(cfg SweepConfig) (*SweepResult, error) {
 			len(failed), len(cells), failed[0].Err)
 	}
 	return res, nil
+}
+
+// retryDelay computes the backoff before a cell's attempt-th try (attempt ≥
+// 2): exponential doubling from base, spread to [0.5×, 1.5×) by a pure hash
+// of (seed, cell index, attempt). No RNG state exists, so the retry schedule
+// is a function of the sweep configuration alone — identical on every run of
+// the same sweep, including a run resumed after a crash.
+func retryDelay(base time.Duration, seed int64, cell, attempt int) time.Duration {
+	d := base << uint(attempt-2)
+	return time.Duration(float64(d) * (0.5 + faults.Jitter01(seed, uint64(cell), uint64(attempt))))
 }
 
 // raidSuffix renders a RAID level for progress/error lines: empty when the

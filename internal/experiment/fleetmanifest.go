@@ -1,0 +1,205 @@
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/runstore"
+)
+
+// FleetManifestConfig is the digested configuration block of one fleet sweep
+// condition. Execution knobs (Parallelism, CellAttempts, RetryBaseDelay,
+// Progress, Track, TraceDecisions) are deliberately excluded: they never
+// change results.
+type FleetManifestConfig struct {
+	ArrayCounts       []int                   `json:"array_counts"`
+	Routings          []cluster.RoutingPolicy `json:"routings"`
+	Policies          []PolicyKind            `json:"policies"`
+	Replicas          int                     `json:"replicas"`
+	Racks             int                     `json:"racks"`
+	EnclosuresPerRack int                     `json:"enclosures_per_rack"`
+	Disks             int                     `json:"disks"`
+	Workload          map[string]any          `json:"workload"`
+	Scale             float64                 `json:"scale"`
+	Intensity         float64                 `json:"intensity"`
+	EpochSeconds      float64                 `json:"epoch_seconds,omitempty"`
+	EpochsPerTrace    int                     `json:"epochs_per_trace,omitempty"`
+
+	DeadlineSeconds      float64 `json:"deadline_seconds,omitempty"`
+	MaxAttempts          int     `json:"max_attempts,omitempty"`
+	RetryBaseSeconds     float64 `json:"retry_base_seconds,omitempty"`
+	RetryCapSeconds      float64 `json:"retry_cap_seconds,omitempty"`
+	RetryJitterFrac      float64 `json:"retry_jitter_frac,omitempty"`
+	HedgeAfterP99Mult    float64 `json:"hedge_after_p99_mult,omitempty"`
+	HedgeFallbackSeconds float64 `json:"hedge_fallback_seconds,omitempty"`
+	MaxBacklog           int     `json:"max_backlog,omitempty"`
+	Seed                 int64   `json:"seed,omitempty"`
+
+	Shocks     map[string]any `json:"shocks,omitempty"`
+	Faults     map[string]any `json:"faults,omitempty"`
+	Spares     int            `json:"spares,omitempty"`
+	StallLimit uint64         `json:"stall_limit,omitempty"`
+}
+
+// FleetManifest condenses one finished fleet sweep condition into a runstore
+// manifest: the digested configuration, an aggregate summary with the fleet
+// resilience counters, and every cell's headline metrics flattened into
+// Summary.Extra under "cell.fleet.<policy>.<routing>.<arrays>.<metric>" keys,
+// so arrayreport diff compares fleets cell by cell.
+func FleetManifest(name string, cfg FleetSweepConfig, res *FleetSweepResult) (*runstore.Manifest, error) {
+	m, err := newFleetManifest(name, cfg)
+	if err != nil {
+		return nil, err
+	}
+	cfg.setDefaults()
+
+	faultsOn := cfg.Faults != nil && cfg.Faults.Enabled
+	var sum runstore.Summary
+	sum.Extra = make(map[string]float64, 8*len(res.Cells))
+	status := string(CellOK)
+	okCells := 0
+	perfCells := make(map[string]runstore.PerfSample)
+	for _, c := range res.Cells {
+		prefix := "cell." + c.Key() + "."
+		if c.Perf != nil {
+			perfCells[c.Key()] = *c.Perf
+		}
+		if c.Attempts > 0 {
+			sum.Extra[prefix+"attempts"] = float64(c.Attempts)
+		}
+		if c.Status == CellFailed || c.Result == nil {
+			sum.Extra[prefix+"failed"] = 1
+			status = string(CellFailed)
+			continue
+		}
+		if c.Status == CellRetried && status != string(CellFailed) {
+			status = string(CellRetried)
+		}
+		okCells++
+		cs := FleetSummary(c.Result, faultsOn)
+		sum.EnergyJ += cs.EnergyJ
+		sum.ArrayAFRPct += cs.ArrayAFRPct
+		sum.MeanResponseS += cs.MeanResponseS
+		sum.P50ResponseS += cs.P50ResponseS
+		sum.P95ResponseS += cs.P95ResponseS
+		sum.P99ResponseS += cs.P99ResponseS
+		sum.P999ResponseS += cs.P999ResponseS
+		if cs.MaxResponseS > sum.MaxResponseS {
+			sum.MaxResponseS = cs.MaxResponseS
+		}
+		sum.TransitionsPerDay += cs.TransitionsPerDay
+		sum.Requests += cs.Requests
+		sum.EventsFired += cs.EventsFired
+		sum.FleetOn = true
+		sum.FleetArrays += cs.FleetArrays
+		sum.FleetServed += cs.FleetServed
+		sum.FleetRetries += cs.FleetRetries
+		sum.FleetHedges += cs.FleetHedges
+		sum.FleetHedgeWins += cs.FleetHedgeWins
+		sum.FleetFailovers += cs.FleetFailovers
+		sum.FleetTimeouts += cs.FleetTimeouts
+		sum.FleetDeferred += cs.FleetDeferred
+		sum.FleetShed += cs.FleetShed
+		sum.FleetFailedRequests += cs.FleetFailedRequests
+		sum.FleetShocks += cs.FleetShocks
+		sum.FleetLostRequests += cs.FleetLostRequests
+		if faultsOn {
+			sum.FaultsOn = true
+			sum.DiskFailures += cs.DiskFailures
+			sum.DataLossEvents += cs.DataLossEvents
+		}
+		sum.Extra[prefix+"energy_j"] = cs.EnergyJ
+		sum.Extra[prefix+"worst_afr_pct"] = cs.ArrayAFRPct
+		sum.Extra[prefix+"mean_response_s"] = cs.MeanResponseS
+		sum.Extra[prefix+"p99_response_s"] = cs.P99ResponseS
+		sum.Extra[prefix+"events_fired"] = cs.EventsFired
+		sum.Extra[prefix+"served"] = cs.FleetServed
+		sum.Extra[prefix+"retries"] = cs.FleetRetries
+		sum.Extra[prefix+"hedges"] = cs.FleetHedges
+		sum.Extra[prefix+"hedge_wins"] = cs.FleetHedgeWins
+		sum.Extra[prefix+"failovers"] = cs.FleetFailovers
+		sum.Extra[prefix+"timeouts"] = cs.FleetTimeouts
+		sum.Extra[prefix+"deferred"] = cs.FleetDeferred
+		sum.Extra[prefix+"shed"] = cs.FleetShed
+		sum.Extra[prefix+"failed_requests"] = cs.FleetFailedRequests
+		sum.Extra[prefix+"shocks"] = cs.FleetShocks
+		sum.Extra[prefix+"lost_requests"] = cs.FleetLostRequests
+		if faultsOn {
+			sum.Extra[prefix+"disk_failures"] = cs.DiskFailures
+			sum.Extra[prefix+"data_loss_events"] = cs.DataLossEvents
+		}
+	}
+	// Intensive metrics average over completed cells; energy, requests,
+	// events, and every counter stay extensive (sums).
+	if n := float64(okCells); n > 0 {
+		sum.ArrayAFRPct /= n
+		sum.MeanResponseS /= n
+		sum.P50ResponseS /= n
+		sum.P95ResponseS /= n
+		sum.P99ResponseS /= n
+		sum.P999ResponseS /= n
+		sum.TransitionsPerDay /= n
+	}
+	m.Summary = sum
+	m.Status = status
+	if len(perfCells) > 0 {
+		m.Perf = &runstore.Perf{Cells: perfCells}
+	}
+	return m, nil
+}
+
+// newFleetManifest builds the manifest shell — digested config, seed, axes —
+// without the summary block, shared by FleetManifest and FleetManifestID.
+func newFleetManifest(name string, cfg FleetSweepConfig) (*runstore.Manifest, error) {
+	cfg.setDefaults()
+	mc := FleetManifestConfig{
+		ArrayCounts:          cfg.ArrayCounts,
+		Routings:             cfg.Routings,
+		Policies:             cfg.Policies,
+		Replicas:             cfg.Replicas,
+		Racks:                cfg.Racks,
+		EnclosuresPerRack:    cfg.EnclosuresPerRack,
+		Disks:                cfg.Disks,
+		Workload:             asMap(cfg.Workload),
+		Scale:                cfg.Scale,
+		Intensity:            cfg.Intensity,
+		EpochSeconds:         cfg.EpochSeconds,
+		EpochsPerTrace:       cfg.EpochsPerTrace,
+		DeadlineSeconds:      cfg.DeadlineSeconds,
+		MaxAttempts:          cfg.MaxAttempts,
+		RetryBaseSeconds:     cfg.RetryBaseSeconds,
+		RetryCapSeconds:      cfg.RetryCapSeconds,
+		RetryJitterFrac:      cfg.RetryJitterFrac,
+		HedgeAfterP99Mult:    cfg.HedgeAfterP99Mult,
+		HedgeFallbackSeconds: cfg.HedgeFallbackSeconds,
+		MaxBacklog:           cfg.MaxBacklog,
+		Seed:                 cfg.Seed,
+		Spares:               cfg.Spares,
+		StallLimit:           cfg.StallLimit,
+	}
+	if cfg.Shocks.Active() {
+		mc.Shocks = asMap(cfg.Shocks)
+	}
+	if cfg.Faults != nil {
+		mc.Faults = asMap(*cfg.Faults)
+	}
+	m, err := runstore.New("experiments", name, mc)
+	if err != nil {
+		return nil, err
+	}
+	m.Seed = cfg.Workload.Seed
+	m.Policy = policyList(cfg.Policies)
+	m.Workload = fmt.Sprintf("fleet scale %g intensity %g", cfg.Scale, cfg.Intensity)
+	return m, nil
+}
+
+// FleetManifestID computes the run-store ID a fleet sweep condition would be
+// recorded under, without running it; the resumable driver uses it to skip
+// already-recorded conditions.
+func FleetManifestID(name string, cfg FleetSweepConfig) (string, error) {
+	m, err := newFleetManifest(name, cfg)
+	if err != nil {
+		return "", err
+	}
+	return m.ID(), nil
+}

@@ -1,0 +1,166 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/runstore"
+)
+
+// tinyFleetConfig is a seconds-scale fleet sweep: 2 cells, small trace.
+func tinyFleetConfig() FleetSweepConfig {
+	cfg := DefaultFleetSweepConfig()
+	cfg.ArrayCounts = []int{2}
+	cfg.Routings = []cluster.RoutingPolicy{cluster.RoundRobin, cluster.LeastLoaded}
+	cfg.Policies = []PolicyKind{KindREAD}
+	cfg.Scale = 0.002
+	cfg.Seed = 7
+	return cfg
+}
+
+func TestFleetCellKeys(t *testing.T) {
+	cfg := tinyFleetConfig()
+	keys := cfg.CellKeys()
+	want := []string{"fleet.read.round-robin.2", "fleet.read.least-loaded.2"}
+	if len(keys) != len(want) {
+		t.Fatalf("CellKeys = %v, want %v", keys, want)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("CellKeys = %v, want %v", keys, want)
+		}
+	}
+}
+
+// TestRunFleetSweepDeterministic runs the same sweep twice and requires
+// every cell's summary metrics to be bit-identical — the property the CI
+// fleet determinism gate enforces end-to-end through the CLI.
+func TestRunFleetSweepDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet sweep in -short mode")
+	}
+	run := func() map[string]float64 {
+		res, err := RunFleetSweep(tinyFleetConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := map[string]float64{}
+		for _, c := range res.Cells {
+			s := FleetSummary(c.Result, false)
+			for k, v := range s.Metrics() {
+				out[c.Key()+"."+k] = v
+			}
+		}
+		return out
+	}
+	a, b := run(), run()
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("metric sets differ in size: %d vs %d", len(a), len(b))
+	}
+	for k, av := range a {
+		if bv, ok := b[k]; !ok || av != bv {
+			t.Fatalf("metric %s drifted across identical sweeps: %v vs %v", k, av, bv)
+		}
+	}
+}
+
+// TestFleetManifestShape pins the manifest contract: stable digest for a
+// fixed config, per-cell Extra keys under the cell.<key>. prefix, and the
+// FleetOn typed block filled.
+func TestFleetManifestShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet sweep in -short mode")
+	}
+	cfg := tinyFleetConfig()
+	res, err := RunFleetSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := FleetManifest("fleet-test", cfg, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id1, err := FleetManifestID("fleet-test", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ID() != id1 {
+		t.Fatalf("FleetManifestID %s != manifest ID %s", id1, m.ID())
+	}
+	// Execution knobs must not move the digest.
+	cfg2 := cfg
+	cfg2.Parallelism = 7
+	cfg2.CellAttempts = 3
+	id2, err := FleetManifestID("fleet-test", cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id1 != id2 {
+		t.Fatal("execution knobs changed the fleet manifest digest")
+	}
+	// Axis changes must move it.
+	cfg3 := cfg
+	cfg3.Seed = 99
+	id3, err := FleetManifestID("fleet-test", cfg3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id1 == id3 {
+		t.Fatal("seed change did not move the fleet manifest digest")
+	}
+
+	if !m.Summary.FleetOn || m.Summary.FleetArrays == 0 {
+		t.Fatalf("fleet summary block not filled: %+v", m.Summary)
+	}
+	for _, key := range []string{
+		"cell.fleet.read.round-robin.2.attempts",
+		"cell.fleet.read.round-robin.2.served",
+		"cell.fleet.read.least-loaded.2.energy_j",
+		"cell.fleet.read.least-loaded.2.p99_response_s",
+	} {
+		if _, ok := m.Summary.Extra[key]; !ok {
+			t.Fatalf("manifest Extra lacks %q (keys: %d)", key, len(m.Summary.Extra))
+		}
+	}
+
+	// The CSV and rendered table carry one row per cell.
+	var csv strings.Builder
+	if err := WriteFleetCSV(&csv, res); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(csv.String(), "\n"); n != 1+len(res.Cells) {
+		t.Fatalf("fleet CSV has %d lines, want %d", n, 1+len(res.Cells))
+	}
+}
+
+// TestFleetSummaryMapsResult spot-checks the Result → Summary field mapping.
+func TestFleetSummaryMapsResult(t *testing.T) {
+	r := &cluster.Result{
+		Arrays: 4, Routing: cluster.AFRAware,
+		Duration: 100, EventsFired: 999,
+		Requests: 50, Served: 48, MeanResponse: 0.01, P99Response: 0.05,
+		Retries: 7, Hedges: 3, HedgeWins: 1, Failovers: 2, Timeouts: 9,
+		Deferred: 4, Shed: 1, Failed: 1, ShocksInjected: 5,
+		EnergyJ: 1234, WorstAFR: 13.5, DiskFailures: 2, LostRequests: 6,
+	}
+	s := FleetSummary(r, false)
+	if !s.FleetOn || s.FleetArrays != 4 || s.FleetServed != 48 ||
+		s.FleetRetries != 7 || s.FleetHedges != 3 || s.FleetHedgeWins != 1 ||
+		s.FleetFailovers != 2 || s.FleetTimeouts != 9 || s.FleetDeferred != 4 ||
+		s.FleetShed != 1 || s.FleetFailedRequests != 1 || s.FleetShocks != 5 ||
+		s.FleetLostRequests != 6 {
+		t.Fatalf("fleet block mis-mapped: %+v", s)
+	}
+	if s.EnergyJ != 1234 || s.ArrayAFRPct != 13.5 || s.Requests != 50 ||
+		s.EventsFired != 999 || s.P99ResponseS != 0.05 {
+		t.Fatalf("scalar block mis-mapped: %+v", s)
+	}
+	if s.FaultsOn {
+		t.Fatal("faults-off summary set FaultsOn")
+	}
+	var zero runstore.Summary
+	if s.DiskFailures != zero.DiskFailures {
+		t.Fatal("faults-off summary leaked disk failures")
+	}
+}

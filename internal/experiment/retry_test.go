@@ -1,0 +1,64 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRetryDelayDeterministic pins the property the SIGKILL+resume drill
+// depends on: the backoff schedule for a given (seed, cell, attempt) is a
+// pure function, so a sweep killed mid-retry and restarted computes the
+// exact same delays — no wall-clock or process state leaks in.
+func TestRetryDelayDeterministic(t *testing.T) {
+	base := 100 * time.Millisecond
+	for cell := 0; cell < 4; cell++ {
+		for attempt := 2; attempt <= 5; attempt++ {
+			a := retryDelay(base, 42, cell, attempt)
+			b := retryDelay(base, 42, cell, attempt)
+			if a != b {
+				t.Fatalf("retryDelay(seed=42, cell=%d, attempt=%d) not deterministic: %v vs %v",
+					cell, attempt, a, b)
+			}
+		}
+	}
+}
+
+// TestRetryDelayBounds checks the jittered delay stays inside
+// [0.5, 1.5) × the doubled base: exponential growth with bounded,
+// seeded jitter.
+func TestRetryDelayBounds(t *testing.T) {
+	base := 100 * time.Millisecond
+	for seed := int64(1); seed <= 20; seed++ {
+		for attempt := 2; attempt <= 6; attempt++ {
+			d := retryDelay(base, seed, 3, attempt)
+			scaled := base << uint(attempt-2)
+			lo := time.Duration(float64(scaled) * 0.5)
+			hi := time.Duration(float64(scaled) * 1.5)
+			if d < lo || d > hi {
+				t.Fatalf("retryDelay(seed=%d, attempt=%d) = %v outside [%v, %v]",
+					seed, attempt, d, lo, hi)
+			}
+		}
+	}
+}
+
+// TestRetryDelayVariesAcrossCellsAndSeeds guards against a degenerate jitter
+// hash: distinct cells (and distinct seeds) must not all collapse onto the
+// same delay, or every failing cell in a sweep retries in lockstep.
+func TestRetryDelayVariesAcrossCellsAndSeeds(t *testing.T) {
+	base := 100 * time.Millisecond
+	byCell := map[time.Duration]bool{}
+	for cell := 0; cell < 16; cell++ {
+		byCell[retryDelay(base, 7, cell, 2)] = true
+	}
+	if len(byCell) < 8 {
+		t.Fatalf("16 cells produced only %d distinct delays", len(byCell))
+	}
+	bySeed := map[time.Duration]bool{}
+	for seed := int64(0); seed < 16; seed++ {
+		bySeed[retryDelay(base, seed, 0, 2)] = true
+	}
+	if len(bySeed) < 8 {
+		t.Fatalf("16 seeds produced only %d distinct delays", len(bySeed))
+	}
+}

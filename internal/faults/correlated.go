@@ -1,0 +1,112 @@
+package faults
+
+// Correlated fault injection: the failure machinery in this package treats
+// disks as independent, but production failures are not — racks share power,
+// enclosures share cooling, and drives from one manufacturing vintage share
+// latent defects. Two mechanisms layer correlation on top of the existing
+// Weibull/LSE hazard integration without touching its draw stream:
+//
+//   - Domain shocks: a seeded renewal process of rack power events. Each
+//     shock takes a whole failure domain down for a sampled outage, during
+//     which the cluster forces the domain's disks into an emergency
+//     spin-down; on restore every disk spins back up ("re-heat"). The extra
+//     transition churn feeds straight into each disk's PRESS AFR, so the
+//     paper's frequency→reliability term now has a common-cause driver.
+//   - Vintage multipliers: a per-array constant scaling of the Weibull and
+//     LSE hazard (Config.HazardMultiplier), modeling a bad drive batch. It
+//     composes multiplicatively with live PRESS scaling.
+//
+// Shock times are pure functions of (seed, domain, index) via a splitmix64
+// hash — no RNG state exists, so checkpointing the schedule reduces to
+// checkpointing the per-domain next-shock index, and replaying never
+// perturbs the injector's draw log.
+
+import (
+	"fmt"
+	"math"
+)
+
+// ShockConfig parameterizes the per-domain power-shock renewal process.
+type ShockConfig struct {
+	// Enabled turns domain shocks on; the zero value injects none.
+	Enabled bool `json:"Enabled,omitempty"`
+	// Seed drives the schedule hash. Domains with the same seed still see
+	// independent schedules (the domain index is hashed in).
+	Seed int64 `json:"Seed,omitempty"`
+	// MeanIntervalSeconds is the mean virtual time between shocks in one
+	// domain (exponential inter-arrivals). Zero disables shocks even when
+	// Enabled is set, matching the omitempty-zero digest convention.
+	MeanIntervalSeconds float64 `json:"MeanIntervalSeconds,omitempty"`
+	// MeanOutageSeconds is the mean outage duration (exponential). Zero
+	// means 60 virtual seconds.
+	MeanOutageSeconds float64 `json:"MeanOutageSeconds,omitempty"`
+}
+
+// Active reports whether the configuration produces any shocks.
+func (c ShockConfig) Active() bool {
+	return c.Enabled && c.MeanIntervalSeconds > 0
+}
+
+// Validate reports the first unusable parameter.
+func (c ShockConfig) Validate() error {
+	switch {
+	case c.MeanIntervalSeconds < 0 || math.IsNaN(c.MeanIntervalSeconds):
+		return fmt.Errorf("faults: shock mean interval %v must be non-negative", c.MeanIntervalSeconds)
+	case c.MeanOutageSeconds < 0 || math.IsNaN(c.MeanOutageSeconds):
+		return fmt.Errorf("faults: shock mean outage %v must be non-negative", c.MeanOutageSeconds)
+	}
+	return nil
+}
+
+// Shock is one scheduled domain power event.
+type Shock struct {
+	// Domain is the failure-domain index the shock hits.
+	Domain int
+	// Index is the shock's ordinal within its domain (0-based).
+	Index int
+	// Start and End delimit the outage in virtual seconds.
+	Start, End float64
+}
+
+// ShockAt returns domain's k-th shock. It is a pure function of the
+// configuration: calling it in any order, from any restore point, yields the
+// identical schedule. Cost is O(k) per call; callers iterate k monotonically
+// and cache, so the amortized cost per shock is O(1).
+func (c ShockConfig) ShockAt(domain, k int) Shock {
+	start := 0.0
+	for i := 0; i <= k; i++ {
+		start += expDraw(hash01(c.Seed, uint64(domain), uint64(i), 0x1)) * c.MeanIntervalSeconds
+	}
+	mean := c.MeanOutageSeconds
+	if mean <= 0 {
+		mean = 60
+	}
+	dur := expDraw(hash01(c.Seed, uint64(domain), uint64(k), 0x2)) * mean
+	return Shock{Domain: domain, Index: k, Start: start, End: start + dur}
+}
+
+// expDraw maps a uniform u in (0,1] to a unit-mean exponential variate.
+func expDraw(u float64) float64 { return -math.Log(u) }
+
+// hash01 maps (seed, a, b, stream) to a uniform float in (0, 1] via a
+// splitmix64 finalizer chain. The open-at-zero interval keeps -log(u) finite.
+func hash01(seed int64, a, b, stream uint64) float64 {
+	x := splitmix64(uint64(seed) ^ splitmix64(a^splitmix64(b^splitmix64(stream))))
+	// 53 high bits → uniform in [0,1); flip to (0,1].
+	return 1 - float64(x>>11)/float64(1<<53)
+}
+
+// splitmix64 is the SplitMix64 finalizer: a bijective avalanche mix.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Jitter01 exposes the deterministic uniform hash for callers that need
+// seeded jitter outside shock scheduling (retry backoff in the cluster
+// router): a pure function of its inputs, safe to replay across resumes.
+func Jitter01(seed int64, a, b uint64) float64 {
+	return hash01(seed, a, b, 0x3)
+}

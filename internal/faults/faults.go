@@ -105,6 +105,13 @@ type Config struct {
 	// duration in hours from this Weibull instead of pacing the rebuild
 	// at the array's fixed MB/s rate. The exemplar uses β = 1, η = 12 h.
 	RebuildTime *reliability.Weibull `json:"RebuildTime,omitempty"`
+	// HazardMultiplier is a constant scaling of the whole-disk and LSE
+	// hazard — the vintage-batch knob for correlated fleet faults: arrays
+	// built from a bad drive batch carry a multiplier above 1. It composes
+	// multiplicatively with live PRESS scaling. Zero means 1 (and is
+	// omitted from JSON, so configurations that predate it digest
+	// identically).
+	HazardMultiplier float64 `json:"HazardMultiplier,omitempty"`
 }
 
 // Default returns an enabled configuration with the package defaults:
@@ -196,6 +203,9 @@ func (c Config) Normalized() Config {
 	if c.CheckIntervalSeconds == 0 {
 		c.CheckIntervalSeconds = 60
 	}
+	if c.HazardMultiplier == 0 {
+		c.HazardMultiplier = 1
+	}
 	return c
 }
 
@@ -222,6 +232,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("faults: negative fixed repair time %v", c.FixedRepairHours)
 	case c.LSERatePerHour < 0 || math.IsNaN(c.LSERatePerHour):
 		return fmt.Errorf("faults: negative LSE rate %v per hour", c.LSERatePerHour)
+	case c.HazardMultiplier < 0 || math.IsNaN(c.HazardMultiplier):
+		return fmt.Errorf("faults: negative hazard multiplier %v", c.HazardMultiplier)
 	case c.ScrubIOMB < 0 || math.IsNaN(c.ScrubIOMB):
 		return fmt.Errorf("faults: negative scrub I/O volume %v MB", c.ScrubIOMB)
 	}
@@ -386,7 +398,7 @@ func (in *Injector) Advance(to float64, scale func(disk int) float64) []Failure 
 		if s <= 0 || math.IsNaN(s) {
 			continue
 		}
-		eff := in.cfg.rateBoost(s)
+		eff := in.cfg.rateBoost(s * in.cfg.HazardMultiplier)
 		a := in.cumHazardTerm((in.now - d.birth) / 3600)
 		b := in.cumHazardTerm((to - d.birth) / 3600)
 		dh := eff * (b - a)
@@ -454,7 +466,7 @@ func (in *Injector) AdvanceLSE(to float64, scale func(disk int) float64) []LSEve
 			continue
 		}
 		// Poisson intensity per virtual second under acceleration.
-		rate := in.cfg.rateBoost(in.cfg.LSERatePerHour*s) / 3600
+		rate := in.cfg.rateBoost(in.cfg.LSERatePerHour*s*in.cfg.HazardMultiplier) / 3600
 		t := in.lseNow
 		for {
 			cross := t + (d.lseThreshold-d.lseCum)/rate

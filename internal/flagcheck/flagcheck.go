@@ -1,0 +1,33 @@
+// Package flagcheck validates enumerated command-line flag values. Every
+// command that accepts a closed set of choices (-policy, -raid, -fig,
+// -routing) funnels through Choice, so a typo always produces the same
+// shape of error — naming the flag, the rejected value, and the full list
+// of accepted values — instead of a bare "unknown X".
+package flagcheck
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Choice returns nil when got is one of valid, and otherwise an error of the
+// form `invalid -name "got": valid values: a | b | c`. An empty valid set is
+// a programming error and always rejects.
+func Choice(name, got string, valid ...string) error {
+	for _, v := range valid {
+		if got == v {
+			return nil
+		}
+	}
+	return fmt.Errorf("invalid -%s %q: valid values: %s", name, got, strings.Join(valid, " | "))
+}
+
+// Strings converts a slice of any string-kinded type (PolicyKind,
+// RoutingPolicy, RAIDLevel, ...) into the []string Choice wants.
+func Strings[T ~string](vals []T) []string {
+	out := make([]string, len(vals))
+	for i, v := range vals {
+		out[i] = string(v)
+	}
+	return out
+}

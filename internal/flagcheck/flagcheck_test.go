@@ -1,0 +1,57 @@
+package flagcheck
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChoice(t *testing.T) {
+	cases := []struct {
+		name    string
+		flag    string
+		got     string
+		valid   []string
+		wantErr string // substring; empty means accept
+	}{
+		{"exact match", "policy", "read", []string{"read", "maid", "pdc"}, ""},
+		{"last entry", "policy", "pdc", []string{"read", "maid", "pdc"}, ""},
+		{"typo rejected", "policy", "raed", []string{"read", "maid", "pdc"},
+			`invalid -policy "raed": valid values: read | maid | pdc`},
+		{"case sensitive", "raid", "RAID5", []string{"raid5", "raid6"},
+			`invalid -raid "RAID5"`},
+		{"empty value rejected", "fig", "", []string{"7", "all"},
+			`invalid -fig ""`},
+		{"empty valid set rejects", "x", "anything", nil, `invalid -x "anything"`},
+		{"prefix is not a match", "routing", "round", []string{"round-robin"},
+			`valid values: round-robin`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := Choice(tc.flag, tc.got, tc.valid...)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Choice(%q, %q) = %v, want nil", tc.flag, tc.got, err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("Choice(%q, %q) = nil, want error containing %q", tc.flag, tc.got, tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Choice(%q, %q) = %q, want substring %q", tc.flag, tc.got, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+type kind string
+
+func TestStrings(t *testing.T) {
+	got := Strings([]kind{"a", "b"})
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Strings = %v", got)
+	}
+	if err := Choice("k", "b", Strings([]kind{"a", "b"})...); err != nil {
+		t.Fatalf("Choice through Strings: %v", err)
+	}
+}

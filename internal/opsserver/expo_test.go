@@ -77,6 +77,11 @@ func newGoldenServer(t *testing.T) *Server {
 	cellLive.Tick(1800, 25000, 9000, 9001)
 	// maid.4 stays pending.
 
+	fleet := telemetry.NewFleetLive(2)
+	fleet.PublishCounters(3600, 40010, 39990, 12, 4, 1, 2, 15, 3, 5, 0, 1)
+	fleet.PublishArray(0, telemetry.ArrayHealthy, 3, 0, false, 1.875)
+	fleet.PublishArray(1, telemetry.ArrayDraining, 17, 1, true, 6.25)
+
 	s := &Server{
 		opts: Options{
 			Tool:  "experiments",
@@ -84,6 +89,7 @@ func newGoldenServer(t *testing.T) *Server {
 			Live:  live,
 			Watch: watch,
 			Sweep: tr,
+			Fleet: fleet,
 		},
 		now: now,
 		readMemStats: func(ms *runtime.MemStats) {

@@ -1,6 +1,7 @@
 package opsserver
 
 import (
+	"fmt"
 	"runtime"
 )
 
@@ -77,6 +78,58 @@ func (s *Server) families(opts Options) []Family {
 				Help:    "1 once the watchdog has tripped.",
 				Samples: []Sample{{Value: stalled}}},
 		)
+	}
+
+	if opts.Fleet != nil {
+		fs := opts.Fleet.Snapshot()
+		counters := []struct {
+			name string
+			help string
+			v    uint64
+		}{
+			{"fleet_requests", "Fleet requests arrived at the router.", fs.Requests},
+			{"fleet_served", "Fleet requests served (first successful completion).", fs.Served},
+			{"fleet_retries", "Retry attempts issued after a timeout.", fs.Retries},
+			{"fleet_hedges", "Hedged attempts issued.", fs.Hedges},
+			{"fleet_hedge_wins", "Requests whose hedge finished first.", fs.HedgeWins},
+			{"fleet_failovers", "Attempts re-issued to a replica after data loss.", fs.Failovers},
+			{"fleet_timeouts", "Attempts that exceeded their deadline.", fs.Timeouts},
+			{"fleet_deferred", "Attempts deferred by backpressure.", fs.Deferred},
+			{"fleet_shed", "Requests dropped without service.", fs.Shed},
+			{"fleet_failed", "Requests that exhausted every attempt and replica.", fs.Failed},
+			{"fleet_shocks", "Rack power shocks injected.", fs.Shocks},
+		}
+		fams = append(fams, Family{Name: "fleet_virtual_seconds", Type: "gauge",
+			Help:    "Simulated (virtual) time reached by the shared fleet clock.",
+			Samples: []Sample{{Value: fs.SimSeconds}}})
+		for _, c := range counters {
+			fams = append(fams, Family{Name: c.name, Type: "counter",
+				Help: c.help, Samples: []Sample{{Value: float64(c.v)}}})
+		}
+		health := Family{Name: "fleet_array_health", Type: "gauge",
+			Help: "Constant 1 per array; the health label is the router's current gate state."}
+		backlog := Family{Name: "fleet_array_backlog", Type: "gauge",
+			Help: "Foreground requests queued on the array."}
+		failedDisks := Family{Name: "fleet_array_failed_disks", Type: "gauge",
+			Help: "Member disks currently failed."}
+		rebuilding := Family{Name: "fleet_array_rebuilding", Type: "gauge",
+			Help: "1 while any member disk is rebuilding."}
+		afr := Family{Name: "fleet_array_worst_afr_percent", Type: "gauge",
+			Help: "Worst per-disk annualized failure rate on the array."}
+		for i, a := range fs.PerArray {
+			key := []Label{{"array", fmt.Sprint(i)}}
+			health.Samples = append(health.Samples, Sample{
+				Labels: []Label{{"array", fmt.Sprint(i)}, {"health", a.Health}}, Value: 1})
+			backlog.Samples = append(backlog.Samples, Sample{Labels: key, Value: float64(a.Backlog)})
+			failedDisks.Samples = append(failedDisks.Samples, Sample{Labels: key, Value: float64(a.FailedDisks)})
+			reb := 0.0
+			if a.Rebuilding {
+				reb = 1
+			}
+			rebuilding.Samples = append(rebuilding.Samples, Sample{Labels: key, Value: reb})
+			afr.Samples = append(afr.Samples, Sample{Labels: key, Value: a.WorstAFRPct})
+		}
+		fams = append(fams, health, backlog, failedDisks, rebuilding, afr)
 	}
 
 	if opts.Sweep != nil {

@@ -49,6 +49,9 @@ type Options struct {
 	Watch *des.Watch
 	// Sweep is the sweep tracker (experiments); nil for single runs.
 	Sweep *telemetry.SweepTracker
+	// Fleet is the fleet live view (fleetsim): router counters and
+	// per-array health rows; nil for single-array runs and sweeps.
+	Fleet *telemetry.FleetLive
 	// Log receives server lifecycle lines; nil is silent.
 	Log *telemetry.Logger
 	// StaleAfter is how long the event counters may sit still (while not
@@ -142,6 +145,16 @@ func (s *Server) SetRun(name string, live *telemetry.Live, watch *des.Watch) {
 	s.opts.Run = name
 	s.opts.Live = live
 	s.opts.Watch = watch
+}
+
+// SetFleet swaps the fleet live view the server reports.
+func (s *Server) SetFleet(f *telemetry.FleetLive) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.opts.Fleet = f
 }
 
 // MarkDone flags the workload finished: /healthz keeps answering 200 with
@@ -302,6 +315,34 @@ type progressReport struct {
 	ElapsedSeconds float64                  `json:"elapsed_seconds"`
 	Live           *liveReport              `json:"live,omitempty"`
 	Sweep          *telemetry.SweepSnapshot `json:"sweep,omitempty"`
+	Fleet          *fleetReport             `json:"fleet,omitempty"`
+}
+
+// fleetReport mirrors telemetry.FleetSnapshot with JSON names.
+type fleetReport struct {
+	SimSeconds float64            `json:"sim_seconds"`
+	Requests   uint64             `json:"requests"`
+	Served     uint64             `json:"served"`
+	Retries    uint64             `json:"retries"`
+	Hedges     uint64             `json:"hedges"`
+	HedgeWins  uint64             `json:"hedge_wins"`
+	Failovers  uint64             `json:"failovers"`
+	Timeouts   uint64             `json:"timeouts"`
+	Deferred   uint64             `json:"deferred"`
+	Shed       uint64             `json:"shed"`
+	Failed     uint64             `json:"failed"`
+	Shocks     uint64             `json:"shocks"`
+	PerArray   []fleetArrayReport `json:"per_array"`
+}
+
+// fleetArrayReport is one array's row in a fleetReport.
+type fleetArrayReport struct {
+	Array       int     `json:"array"`
+	Health      string  `json:"health"`
+	Backlog     uint64  `json:"backlog"`
+	FailedDisks uint64  `json:"failed_disks"`
+	Rebuilding  bool    `json:"rebuilding,omitempty"`
+	WorstAFRPct float64 `json:"worst_afr_pct"`
 }
 
 // liveReport mirrors telemetry.LiveSnapshot with JSON names.
@@ -352,6 +393,34 @@ func (s *Server) progress(opts Options) progressReport {
 	if opts.Sweep != nil {
 		snap := opts.Sweep.Snapshot()
 		rep.Sweep = &snap
+	}
+	if opts.Fleet != nil {
+		fs := opts.Fleet.Snapshot()
+		fr := &fleetReport{
+			SimSeconds: fs.SimSeconds,
+			Requests:   fs.Requests,
+			Served:     fs.Served,
+			Retries:    fs.Retries,
+			Hedges:     fs.Hedges,
+			HedgeWins:  fs.HedgeWins,
+			Failovers:  fs.Failovers,
+			Timeouts:   fs.Timeouts,
+			Deferred:   fs.Deferred,
+			Shed:       fs.Shed,
+			Failed:     fs.Failed,
+			Shocks:     fs.Shocks,
+		}
+		for i, a := range fs.PerArray {
+			fr.PerArray = append(fr.PerArray, fleetArrayReport{
+				Array:       i,
+				Health:      a.Health,
+				Backlog:     a.Backlog,
+				FailedDisks: a.FailedDisks,
+				Rebuilding:  a.Rebuilding,
+				WorstAFRPct: a.WorstAFRPct,
+			})
+		}
+		rep.Fleet = fr
 	}
 	return rep
 }

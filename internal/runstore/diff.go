@@ -109,6 +109,19 @@ func Breaches(deltas []Delta) int {
 	return n
 }
 
+// BreachedMetrics lists the names of the out-of-tolerance metrics, in the
+// deltas' (sorted) order — so a gate can say WHICH baseline key breached on
+// its status line, not just that one did.
+func BreachedMetrics(deltas []Delta) []string {
+	var names []string
+	for _, d := range deltas {
+		if d.Breach {
+			names = append(names, d.Metric)
+		}
+	}
+	return names
+}
+
 // RenderDeltas writes the aligned per-metric comparison table. With onlyBreaches
 // it prints breaching rows only (plus a summary line either way).
 func RenderDeltas(w io.Writer, deltas []Delta, onlyBreaches bool) {

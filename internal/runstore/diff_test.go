@@ -123,3 +123,22 @@ func TestRenderDeltas(t *testing.T) {
 		t.Fatalf("unexpected render:\n%s", out)
 	}
 }
+
+func TestBreachedMetricsNamesTheKeys(t *testing.T) {
+	a, b := baseSummary(), baseSummary()
+	b.EnergyJ *= 2
+	b.Extra = map[string]float64{"cell.read.6.attempts": 2}
+	got := BreachedMetrics(Diff(a, b, Tolerances{}))
+	want := []string{"cell.read.6.attempts", "energy_j"}
+	if len(got) != len(want) {
+		t.Fatalf("breached keys = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("breached keys = %v, want %v (sorted)", got, want)
+		}
+	}
+	if n := BreachedMetrics(Diff(a, a, Tolerances{})); len(n) != 0 {
+		t.Fatalf("clean diff returned breached keys %v", n)
+	}
+}

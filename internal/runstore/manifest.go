@@ -58,6 +58,25 @@ type Summary struct {
 	RAIDLossEvents float64 `json:"raid_loss_events,omitempty"`
 	MTTDLEstHours  float64 `json:"mttdl_est_hours,omitempty"`
 
+	// FleetOn gates the multi-array cluster metrics: the routing tier's
+	// resilience counters exist only when a run simulated a fleet, so a
+	// single-array run never diffs against them. FleetLostRequests counts
+	// member-level losses BEFORE failover recovery; FleetFailedRequests
+	// counts requests the fleet ultimately failed to serve.
+	FleetOn             bool    `json:"fleet_on,omitempty"`
+	FleetArrays         float64 `json:"fleet_arrays,omitempty"`
+	FleetServed         float64 `json:"fleet_served,omitempty"`
+	FleetRetries        float64 `json:"fleet_retries,omitempty"`
+	FleetHedges         float64 `json:"fleet_hedges,omitempty"`
+	FleetHedgeWins      float64 `json:"fleet_hedge_wins,omitempty"`
+	FleetFailovers      float64 `json:"fleet_failovers,omitempty"`
+	FleetTimeouts       float64 `json:"fleet_timeouts,omitempty"`
+	FleetDeferred       float64 `json:"fleet_deferred,omitempty"`
+	FleetShed           float64 `json:"fleet_shed,omitempty"`
+	FleetFailedRequests float64 `json:"fleet_failed_requests,omitempty"`
+	FleetShocks         float64 `json:"fleet_shocks,omitempty"`
+	FleetLostRequests   float64 `json:"fleet_lost_requests,omitempty"`
+
 	// Extra holds additional named metrics (e.g. per-cell values of a sweep
 	// condition, keyed "cell.<policy>.<disks>.<metric>"). Extra keys must not
 	// collide with the JSON names of the fixed fields above.
@@ -136,6 +155,20 @@ func (s Summary) Metrics() map[string]float64 {
 	if s.RAIDOn {
 		out["raid_loss_events"] = s.RAIDLossEvents
 		out["mttdl_est_hours"] = s.MTTDLEstHours
+	}
+	if s.FleetOn {
+		out["fleet_arrays"] = s.FleetArrays
+		out["fleet_served"] = s.FleetServed
+		out["fleet_retries"] = s.FleetRetries
+		out["fleet_hedges"] = s.FleetHedges
+		out["fleet_hedge_wins"] = s.FleetHedgeWins
+		out["fleet_failovers"] = s.FleetFailovers
+		out["fleet_timeouts"] = s.FleetTimeouts
+		out["fleet_deferred"] = s.FleetDeferred
+		out["fleet_shed"] = s.FleetShed
+		out["fleet_failed_requests"] = s.FleetFailedRequests
+		out["fleet_shocks"] = s.FleetShocks
+		out["fleet_lost_requests"] = s.FleetLostRequests
 	}
 	for k, v := range s.Extra {
 		out[k] = v

@@ -77,3 +77,36 @@ func TestVersionLine(t *testing.T) {
 		t.Fatalf("version line %q", line)
 	}
 }
+
+// TestSummaryMetricsFleetGating mirrors the faults-on gating test for the
+// fleet block: fleet keys appear in the flattened metric map only when
+// FleetOn is set, so single-array baselines never grow fleet keys.
+func TestSummaryMetricsFleetGating(t *testing.T) {
+	s := Summary{EnergyJ: 100, Requests: 10, FleetRetries: 5}
+	if _, ok := s.Metrics()["fleet_retries"]; ok {
+		t.Fatal("fleet-off metrics map includes fleet_retries")
+	}
+	s.FleetOn = true
+	s.FleetArrays = 4
+	s.FleetServed = 9
+	s.FleetHedges = 2
+	s.FleetFailovers = 1
+	s.FleetTimeouts = 7
+	s.FleetDeferred = 3
+	s.FleetShed = 1
+	s.FleetFailedRequests = 1
+	s.FleetShocks = 6
+	s.FleetLostRequests = 2
+	s.FleetHedgeWins = 1
+	m := s.Metrics()
+	for k, want := range map[string]float64{
+		"fleet_arrays": 4, "fleet_served": 9, "fleet_retries": 5,
+		"fleet_hedges": 2, "fleet_hedge_wins": 1, "fleet_failovers": 1,
+		"fleet_timeouts": 7, "fleet_deferred": 3, "fleet_shed": 1,
+		"fleet_failed_requests": 1, "fleet_shocks": 6, "fleet_lost_requests": 2,
+	} {
+		if m[k] != want {
+			t.Fatalf("metric %s = %v, want %v", k, m[k], want)
+		}
+	}
+}

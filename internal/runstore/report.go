@@ -255,6 +255,10 @@ type reportRunView struct {
 	MeanMs, P95Ms, P99Ms, P999Ms, MaxMs string
 	TransPerDay                         string
 	LSEErrors, RAIDLosses, MTTDLEst     string
+	FleetArrays, FleetRetries           string
+	FleetHedges, FleetFailovers         string
+	FleetTimeouts, FleetShed            string
+	FleetFailed, FleetShocks            string
 	UtilSVG, AFRSVG                     template.HTML
 	HasSeries                           bool
 	Attr                                *attributionView
@@ -289,7 +293,10 @@ type reportView struct {
 	// ShowReliability adds the LSE / RAID-loss / MTTDL columns; set when at
 	// least one run recorded them, so feature-off reports are unchanged.
 	ShowReliability bool
-	Runs            []reportRunView
+	// ShowFleet adds the cluster routing-tier columns (arrays, retries,
+	// hedges, failovers, ...) when at least one run is a fleet.
+	ShowFleet bool
+	Runs      []reportRunView
 }
 
 var reportTmpl = template.Must(template.New("report").Parse(`<!DOCTYPE html>
@@ -312,8 +319,8 @@ code { background: #f4f4f4; padding: .1rem .3rem; border-radius: 3px; }
 
 <h2>Runs</h2>
 <table>
-<tr><th>run</th><th>tool</th><th>policy</th><th>workload</th><th>energy (kJ)</th><th>AFR (%)</th><th>mean (ms)</th><th>p95 (ms)</th><th>p99 (ms)</th><th>p999 (ms)</th><th>max (ms)</th><th>trans/day</th>{{if .ShowReliability}}<th>LSEs</th><th>RAID losses</th><th>MTTDL est (h)</th>{{end}}</tr>
-{{range .Runs}}<tr><td><code>{{.ID}}</code></td><td>{{.Tool}}</td><td>{{.Policy}}</td><td>{{.Workload}}</td><td>{{.EnergyKJ}}</td><td>{{.AFRPct}}</td><td>{{.MeanMs}}</td><td>{{.P95Ms}}</td><td>{{.P99Ms}}</td><td>{{.P999Ms}}</td><td>{{.MaxMs}}</td><td>{{.TransPerDay}}</td>{{if $.ShowReliability}}<td>{{.LSEErrors}}</td><td>{{.RAIDLosses}}</td><td>{{.MTTDLEst}}</td>{{end}}</tr>
+<tr><th>run</th><th>tool</th><th>policy</th><th>workload</th><th>energy (kJ)</th><th>AFR (%)</th><th>mean (ms)</th><th>p95 (ms)</th><th>p99 (ms)</th><th>p999 (ms)</th><th>max (ms)</th><th>trans/day</th>{{if .ShowReliability}}<th>LSEs</th><th>RAID losses</th><th>MTTDL est (h)</th>{{end}}{{if .ShowFleet}}<th>arrays</th><th>retries</th><th>hedges</th><th>failovers</th><th>timeouts</th><th>shed</th><th>failed</th><th>shocks</th>{{end}}</tr>
+{{range .Runs}}<tr><td><code>{{.ID}}</code></td><td>{{.Tool}}</td><td>{{.Policy}}</td><td>{{.Workload}}</td><td>{{.EnergyKJ}}</td><td>{{.AFRPct}}</td><td>{{.MeanMs}}</td><td>{{.P95Ms}}</td><td>{{.P99Ms}}</td><td>{{.P999Ms}}</td><td>{{.MaxMs}}</td><td>{{.TransPerDay}}</td>{{if $.ShowReliability}}<td>{{.LSEErrors}}</td><td>{{.RAIDLosses}}</td><td>{{.MTTDLEst}}</td>{{end}}{{if $.ShowFleet}}<td>{{.FleetArrays}}</td><td>{{.FleetRetries}}</td><td>{{.FleetHedges}}</td><td>{{.FleetFailovers}}</td><td>{{.FleetTimeouts}}</td><td>{{.FleetShed}}</td><td>{{.FleetFailed}}</td><td>{{.FleetShocks}}</td>{{end}}</tr>
 {{end}}</table>
 
 {{range .Runs}}{{if .Attr}}
@@ -387,7 +394,11 @@ func WriteHTMLReport(w io.Writer, title string, runs []*ReportRun) error {
 			LSEErrors:   "-",
 			RAIDLosses:  "-",
 			MTTDLEst:    "-",
-			HasSeries:   len(r.Series) > 0,
+			FleetArrays: "-", FleetRetries: "-",
+			FleetHedges: "-", FleetFailovers: "-",
+			FleetTimeouts: "-", FleetShed: "-",
+			FleetFailed: "-", FleetShocks: "-",
+			HasSeries: len(r.Series) > 0,
 		}
 		if m.Summary.LSEOn {
 			view.ShowReliability = true
@@ -399,6 +410,18 @@ func WriteHTMLReport(w io.Writer, title string, runs []*ReportRun) error {
 			if m.Summary.MTTDLEstHours > 0 {
 				rv.MTTDLEst = strconv.FormatFloat(m.Summary.MTTDLEstHours, 'g', 4, 64)
 			}
+		}
+		if m.Summary.FleetOn {
+			view.ShowFleet = true
+			count := func(v float64) string { return strconv.FormatFloat(v, 'f', 0, 64) }
+			rv.FleetArrays = count(m.Summary.FleetArrays)
+			rv.FleetRetries = count(m.Summary.FleetRetries)
+			rv.FleetHedges = count(m.Summary.FleetHedges)
+			rv.FleetFailovers = count(m.Summary.FleetFailovers)
+			rv.FleetTimeouts = count(m.Summary.FleetTimeouts)
+			rv.FleetShed = count(m.Summary.FleetShed)
+			rv.FleetFailed = count(m.Summary.FleetFailedRequests)
+			rv.FleetShocks = count(m.Summary.FleetShocks)
 		}
 		if a := m.Attribution; a != nil {
 			sec := func(v float64) string { return strconv.FormatFloat(v, 'f', 2, 64) }

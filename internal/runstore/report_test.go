@@ -112,3 +112,47 @@ func TestWriteHTMLReportNoSeries(t *testing.T) {
 		t.Fatal("report missing run row")
 	}
 }
+
+// TestWriteHTMLReportFleetColumns checks the fleet routing-tier columns
+// appear exactly when a run is a fleet, mirroring the ShowReliability
+// gating: single-array reports are unchanged.
+func TestWriteHTMLReportFleetColumns(t *testing.T) {
+	single := testManifest(t, "solo", 1)
+	var buf strings.Builder
+	if err := WriteHTMLReport(&buf, "r", []*ReportRun{{Manifest: single}}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "<th>failovers</th>") {
+		t.Fatal("fleet columns shown for a non-fleet report")
+	}
+
+	fleet := testManifest(t, "fleet", 2)
+	fleet.Summary.FleetOn = true
+	fleet.Summary.FleetArrays = 4
+	fleet.Summary.FleetRetries = 12
+	fleet.Summary.FleetHedges = 3
+	fleet.Summary.FleetFailovers = 2
+	fleet.Summary.FleetTimeouts = 15
+	fleet.Summary.FleetShed = 5
+	fleet.Summary.FleetFailedRequests = 1
+	fleet.Summary.FleetShocks = 6
+	buf.Reset()
+	if err := WriteHTMLReport(&buf, "r", []*ReportRun{{Manifest: single}, {Manifest: fleet}}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"<th>arrays</th>", "<th>retries</th>", "<th>hedges</th>",
+		"<th>failovers</th>", "<th>timeouts</th>", "<th>shed</th>",
+		"<th>failed</th>", "<th>shocks</th>",
+		"<td>4</td>", "<td>12</td>",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fleet report lacks %q", want)
+		}
+	}
+	// The non-fleet row renders dashes under the fleet columns.
+	if !strings.Contains(out, "<td>-</td>") {
+		t.Fatal("non-fleet row should render '-' in fleet columns")
+	}
+}

@@ -21,13 +21,18 @@ import (
 // sink: Append on nil returns 0 and records nothing, so instrumented code
 // needs no branches beyond the nil check it already performs.
 
-// Decision kinds emitted by the simulator.
+// Decision kinds emitted by the simulator. The first block comes from the
+// single-array policy layer; the second from the cluster routing tier.
 const (
 	DecisionSpinDown    = "spin-down"
 	DecisionSpinUp      = "spin-up"
 	DecisionMigrate     = "migrate"
 	DecisionReassign    = "reassign-file"
 	DecisionRebuildPace = "rebuild-pace"
+
+	DecisionRetry    = "retry"
+	DecisionHedge    = "hedge"
+	DecisionFailover = "failover"
 )
 
 // Decision is one policy action. Predicted* fields are filled when the

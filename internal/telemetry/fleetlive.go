@@ -1,0 +1,174 @@
+package telemetry
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Array health states the cluster router publishes. Strings rather than an
+// enum so the ops plane can emit them verbatim as label values.
+const (
+	ArrayHealthy  = "healthy"
+	ArrayDraining = "draining"
+	ArrayEjected  = "ejected"
+)
+
+// FleetLive is the fleet-level analogue of Live: a seqlock-guarded snapshot
+// the cluster router (the only writer — the whole fleet runs on one engine
+// goroutine) publishes for the ops plane. Counters are request-fresh; the
+// per-array health rows refresh whenever the router evaluates an array for a
+// routing decision. A nil *FleetLive is a valid no-op sink.
+type FleetLive struct {
+	seq atomic.Uint64
+
+	simTime   atomic.Uint64 // math.Float64bits
+	requests  atomic.Uint64
+	served    atomic.Uint64
+	retries   atomic.Uint64
+	hedges    atomic.Uint64
+	hedgeWins atomic.Uint64
+	failovers atomic.Uint64
+	timeouts  atomic.Uint64
+	deferred  atomic.Uint64
+	shed      atomic.Uint64
+	failed    atomic.Uint64
+	shocks    atomic.Uint64
+
+	arrays []fleetArraySlot
+}
+
+type fleetArraySlot struct {
+	health      atomic.Uint64 // 0 healthy, 1 draining, 2 ejected
+	backlog     atomic.Uint64
+	failedDisks atomic.Uint64
+	rebuilding  atomic.Uint64 // bool
+	worstAFR    atomic.Uint64 // math.Float64bits
+}
+
+// FleetArraySnapshot is one array's row in a FleetSnapshot.
+type FleetArraySnapshot struct {
+	Health      string
+	Backlog     uint64
+	FailedDisks uint64
+	Rebuilding  bool
+	WorstAFRPct float64
+}
+
+// FleetSnapshot is one consistent reading of a FleetLive.
+type FleetSnapshot struct {
+	SimSeconds float64
+	Requests   uint64
+	Served     uint64
+	Retries    uint64
+	Hedges     uint64
+	HedgeWins  uint64
+	Failovers  uint64
+	Timeouts   uint64
+	Deferred   uint64
+	Shed       uint64
+	Failed     uint64
+	Shocks     uint64
+	PerArray   []FleetArraySnapshot
+}
+
+// NewFleetLive returns a fleet view with a fixed number of array rows.
+func NewFleetLive(arrays int) *FleetLive {
+	return &FleetLive{arrays: make([]fleetArraySlot, arrays)}
+}
+
+// PublishCounters publishes the router's request-path counters. Single
+// writer only.
+func (f *FleetLive) PublishCounters(simSeconds float64, requests, served, retries, hedges, hedgeWins, failovers, timeouts, deferred, shed, failed, shocks uint64) {
+	if f == nil {
+		return
+	}
+	f.seq.Add(1)
+	f.simTime.Store(math.Float64bits(simSeconds))
+	f.requests.Store(requests)
+	f.served.Store(served)
+	f.retries.Store(retries)
+	f.hedges.Store(hedges)
+	f.hedgeWins.Store(hedgeWins)
+	f.failovers.Store(failovers)
+	f.timeouts.Store(timeouts)
+	f.deferred.Store(deferred)
+	f.shed.Store(shed)
+	f.failed.Store(failed)
+	f.shocks.Store(shocks)
+	f.seq.Add(1)
+}
+
+// PublishArray refreshes one array's health row. Single writer only; health
+// must be one of the Array* constants.
+func (f *FleetLive) PublishArray(i int, health string, backlog, failedDisks int, rebuilding bool, worstAFRPct float64) {
+	if f == nil || i < 0 || i >= len(f.arrays) {
+		return
+	}
+	code := uint64(0)
+	switch health {
+	case ArrayDraining:
+		code = 1
+	case ArrayEjected:
+		code = 2
+	}
+	reb := uint64(0)
+	if rebuilding {
+		reb = 1
+	}
+	s := &f.arrays[i]
+	f.seq.Add(1)
+	s.health.Store(code)
+	s.backlog.Store(uint64(backlog))
+	s.failedDisks.Store(uint64(failedDisks))
+	s.rebuilding.Store(reb)
+	s.worstAFR.Store(math.Float64bits(worstAFRPct))
+	f.seq.Add(1)
+}
+
+// Snapshot returns a consistent view. Safe from any goroutine; nil yields
+// the zero snapshot.
+func (f *FleetLive) Snapshot() FleetSnapshot {
+	if f == nil {
+		return FleetSnapshot{}
+	}
+	var s FleetSnapshot
+	for {
+		s1 := f.seq.Load()
+		if s1%2 != 0 {
+			continue
+		}
+		s.SimSeconds = math.Float64frombits(f.simTime.Load())
+		s.Requests = f.requests.Load()
+		s.Served = f.served.Load()
+		s.Retries = f.retries.Load()
+		s.Hedges = f.hedges.Load()
+		s.HedgeWins = f.hedgeWins.Load()
+		s.Failovers = f.failovers.Load()
+		s.Timeouts = f.timeouts.Load()
+		s.Deferred = f.deferred.Load()
+		s.Shed = f.shed.Load()
+		s.Failed = f.failed.Load()
+		s.Shocks = f.shocks.Load()
+		s.PerArray = make([]FleetArraySnapshot, len(f.arrays))
+		for i := range f.arrays {
+			a := &f.arrays[i]
+			h := ArrayHealthy
+			switch a.health.Load() {
+			case 1:
+				h = ArrayDraining
+			case 2:
+				h = ArrayEjected
+			}
+			s.PerArray[i] = FleetArraySnapshot{
+				Health:      h,
+				Backlog:     a.backlog.Load(),
+				FailedDisks: a.failedDisks.Load(),
+				Rebuilding:  a.rebuilding.Load() == 1,
+				WorstAFRPct: math.Float64frombits(a.worstAFR.Load()),
+			}
+		}
+		if f.seq.Load() == s1 {
+			return s
+		}
+	}
+}

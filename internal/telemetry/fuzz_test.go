@@ -1,0 +1,59 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzDecisionCodec feeds arbitrary bytes through ReadDecisionNDJSON. The
+// parser must never panic, and whenever it accepts an input, the log must
+// survive a WriteNDJSON/ReadDecisionNDJSON round trip record-identically —
+// counterfactual replay addresses decisions by sequence number through this
+// codec, so a lossy round trip would silently replay the wrong decision.
+func FuzzDecisionCodec(f *testing.F) {
+	f.Add([]byte(`{"seq":1,"t":10.5,"epoch":2,"kind":"spin-down","cause":"idle-threshold","disk":3,"predicted_j":12.5}` + "\n" +
+		`{"seq":2,"t":11,"kind":"spin-up","disk":3,"observed":true,"observed_j":-4.25,"wake_requests":2}` + "\n"))
+	f.Add([]byte(`{"seq":1,"t":0.125,"kind":"retry","cause":"deadline","file_id":7,"from":1,"to":2}` + "\n"))
+	f.Add([]byte(`{"seq":1,"kind":"hedge","overridden":"skip"}` + "\n\n" + `{"seq":2,"kind":"failover"}` + "\n"))
+	f.Add([]byte(`{"seq":2,"kind":"migrate"}` + "\n"))     // wrong first seq
+	f.Add([]byte(`{"seq":1}` + "\n" + `{"seq":3}` + "\n")) // gap
+	f.Add([]byte(`{"seq":1,"t":"not a number"}` + "\n"))   // type mismatch
+	f.Add([]byte(`{"seq":1,"t":1e999}` + "\n"))            // float overflow
+	f.Add([]byte("not json\n"))
+	f.Add([]byte(""))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		l, err := ReadDecisionNDJSON(bytes.NewReader(data))
+		if err != nil {
+			if l != nil {
+				t.Fatal("ReadDecisionNDJSON returned both a log and an error")
+			}
+			return
+		}
+		// Accepted input: sequence numbers must be dense from 1 and the log
+		// must round-trip exactly.
+		for i, d := range l.Records() {
+			if d.Seq != uint64(i)+1 {
+				t.Fatalf("record %d accepted with seq %d", i, d.Seq)
+			}
+		}
+		var buf strings.Builder
+		if err := l.WriteNDJSON(&buf); err != nil {
+			t.Fatalf("WriteNDJSON of an accepted log failed: %v", err)
+		}
+		back, err := ReadDecisionNDJSON(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("re-reading the written log failed: %v", err)
+		}
+		if back.Len() != l.Len() {
+			t.Fatalf("round trip changed length: %d vs %d", l.Len(), back.Len())
+		}
+		for i := range l.Records() {
+			if l.Records()[i] != back.Records()[i] {
+				t.Fatalf("record %d changed in round trip:\n%+v\nvs\n%+v",
+					i+1, l.Records()[i], back.Records()[i])
+			}
+		}
+	})
+}
