@@ -36,7 +36,18 @@ fuzz:
 #     checks with `arrayreport check`
 # Run it after a deliberate performance or metrics change and commit the
 # diff; CI never regenerates these files.
+#
+# The guard refuses to regenerate baselines from a dirty working tree
+# (changes to the BENCH_*.json files themselves are fine): a baseline must
+# describe exactly one committed tree, or the numbers are unattributable.
+# Override with BENCH_ALLOW_DIRTY=1 for local experiments you won't commit.
 bench:
+	@if [ -z "$$BENCH_ALLOW_DIRTY" ] && \
+		! git diff --quiet HEAD -- . ':!BENCH_telemetry.json' ':!BENCH_runs.json'; then \
+		echo "bench: working tree has uncommitted changes beyond BENCH_*.json;"; \
+		echo "bench: commit them first so the baseline maps to one tree,"; \
+		echo "bench: or set BENCH_ALLOW_DIRTY=1 to override."; \
+		exit 1; fi
 	$(GO) test -run='^$$' -bench=. -benchmem ./... \
 		| $(GO) run ./cmd/benchjson -out BENCH_telemetry.json
 	rm -rf .bench-runs

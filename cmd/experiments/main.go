@@ -209,6 +209,7 @@ func run() int {
 		traceDec = flag.Bool("trace-decisions", false, "trace every policy decision: attribution rollups land in the sweep manifests and per-cell decisions-*.ndjson logs in the run directories (requires -runs-dir)")
 		resume   = flag.Bool("resume", false, "skip sweep conditions already recorded with an ok status in -runs-dir")
 		retries  = flag.Int("retries", 0, "extra attempts per failed sweep cell (exponential backoff between attempts)")
+		workers  = flag.Int("workers", 0, "sweep worker-pool size; 0 means one worker per CPU. Results are bit-identical for every value — -workers=1 is the sequential reference the CI identity gate diffs against")
 		version  = flag.Bool("version", false, "print build information and exit")
 
 		progress     = flag.Bool("progress", false, "log sweep phases and per-cell progress to stderr")
@@ -315,6 +316,7 @@ func run() int {
 	// runSweep attaches a fresh tracker (when the ops plane is up) and runs
 	// the condition.
 	runSweep := func(name string, cfg *experiment.SweepConfig) (*experiment.SweepResult, error) {
+		cfg.Parallelism = *workers
 		if srv != nil {
 			par := cfg.Parallelism
 			if par <= 0 {
@@ -625,6 +627,7 @@ func run() int {
 			cfg.Intensity = experiment.HeavyIntensity
 		}
 		cfg.CellAttempts = 1 + *retries
+		cfg.Parallelism = *workers
 		cfg.Progress = prog
 		cfg.TraceDecisions = *traceDec
 		fleetName := "fleet-light"

@@ -1,0 +1,94 @@
+package engineaffinity_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/engineaffinity"
+	"repro/internal/analysis/framework"
+	"repro/internal/analysis/load"
+)
+
+func TestEngineAffinity(t *testing.T) {
+	analysistest.Run(t, "testdata", engineaffinity.Analyzer, "a")
+}
+
+// TestExemptNeedsReason pins the reasonless-directive behavior the fixture
+// cannot express (a want comment cannot share a line with the directive
+// comment): //simlint:affinity-exempt without `-- <reason>` is itself a
+// finding, and it does not suppress the cross-goroutine call it sits on.
+func TestExemptNeedsReason(t *testing.T) {
+	const src = `package b
+
+import "des"
+
+func leak(eng *des.Engine, out chan<- float64) {
+	go func() {
+		out <- eng.Now() //simlint:affinity-exempt
+	}()
+}
+`
+	fset := token.NewFileSet()
+	loader := load.NewLoader("testdata")
+
+	desSrc, err := os.ReadFile("testdata/src/des/des.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	desFile, err := parser.ParseFile(fset, "des/des.go", desSrc, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	desPkg, _, errs, err := loader.CheckFiles("des", fset, []*ast.File{desFile}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range errs {
+		t.Fatalf("type error in des fixture: %v", e)
+	}
+
+	file, err := parser.ParseFile(fset, "b/b.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, info, errs, err := loader.CheckFiles("b", fset, []*ast.File{file}, func(path string) (*types.Package, error) {
+		if path == "des" {
+			return desPkg, nil
+		}
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range errs {
+		t.Fatalf("type error: %v", e)
+	}
+
+	diags, err := framework.Run(engineaffinity.Analyzer, fset, []*ast.File{file}, pkg, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawDirective, sawCall bool
+	for _, d := range diags {
+		switch {
+		case strings.Contains(d.Message, "affinity-exempt directive without a reason"):
+			sawDirective = true
+		case strings.Contains(d.Message, "cross-goroutine call to (des.Engine).Now"):
+			sawCall = true
+		default:
+			t.Errorf("unexpected diagnostic: %s", d.Message)
+		}
+	}
+	if !sawDirective {
+		t.Errorf("reasonless directive was not reported; got %v", diags)
+	}
+	if !sawCall {
+		t.Errorf("reasonless directive suppressed the cross-goroutine call; got %v", diags)
+	}
+}

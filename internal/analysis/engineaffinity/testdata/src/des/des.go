@@ -1,0 +1,18 @@
+// Package des is a miniature stand-in for repro/internal/des for the
+// engineaffinity fixtures.
+package des
+
+// Engine is the goroutine-affine simulation kernel.
+type Engine struct{ now float64 }
+
+// Now returns the virtual clock.
+func (e *Engine) Now() float64 { return e.now }
+
+// Fired returns the event count.
+func (e *Engine) Fired() uint64 { return 0 }
+
+// Watch is the seqlock-mediated live view; cross-goroutine reads go here.
+type Watch struct{ v uint64 }
+
+// Snapshot returns a coherent view.
+func (w *Watch) Snapshot() uint64 { return w.v }

@@ -1,0 +1,9 @@
+// Package policy is a miniature stand-in for repro/internal/policy for the
+// engineaffinity fixtures: every named type here is goroutine-affine state.
+package policy
+
+// FPT is a stateful placement policy.
+type FPT struct{ epoch int }
+
+// OnEpoch advances the policy's internal state.
+func (p *FPT) OnEpoch() { p.epoch++ }

@@ -1,0 +1,65 @@
+// Package telemetry is a miniature stand-in for repro/internal/telemetry
+// for the engineaffinity fixtures: affine handles plus mediated views.
+package telemetry
+
+// Registry hands out handles; goroutine-affine.
+type Registry struct{ n int }
+
+// Counter returns the named counter handle.
+func (r *Registry) Counter(name string) *Counter { return &Counter{} }
+
+// Counter is an affine metric handle.
+type Counter struct{ v uint64 }
+
+// Inc increments the counter.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v++
+	}
+}
+
+// Histogram is an affine distribution handle.
+type Histogram struct{ sum float64 }
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h != nil {
+		h.sum += v
+	}
+}
+
+// DecisionLog is the affine decision recorder.
+type DecisionLog struct{ n int }
+
+// Append records one decision.
+func (l *DecisionLog) Append(v int) {
+	if l != nil {
+		l.n++
+	}
+}
+
+// Live is the seqlock-published view; safe cross-goroutine.
+type Live struct{ v uint64 }
+
+// Snapshot returns a coherent view.
+func (l *Live) Snapshot() uint64 { return l.v }
+
+// SweepTracker tracks cells under a mutex; safe cross-goroutine.
+type SweepTracker struct{ n int }
+
+// CellDone marks one cell finished.
+func (t *SweepTracker) CellDone(key string) {
+	if t != nil {
+		t.n++
+	}
+}
+
+// Logger is mutex-serialized; safe cross-goroutine.
+type Logger struct{ n int }
+
+// Infof logs at the default level.
+func (l *Logger) Infof(format string, args ...any) {
+	if l != nil {
+		l.n++
+	}
+}

@@ -1,0 +1,96 @@
+package framework
+
+// Escape-analysis integration. The hotalloc analyzer reasons about
+// allocation-inducing constructs syntactically, but syntax alone overcounts:
+// a composite literal passed by value never touches the heap, and the
+// compiler's inliner rescues many closures. To keep findings honest, the
+// driver runs `go build -gcflags=<pkg>=-m=2` and feeds the compiler's own
+// escape diagnostics to the pass; an analyzer then only reports a
+// syntactic candidate when the compiler confirms a heap allocation on that
+// line. Passes without escape data (the analysistest fixture runner) report
+// on syntax alone, which is what the `// want` fixtures pin down.
+
+import (
+	"bufio"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// EscapeIndex records, per source line, whether the compiler reported a heap
+// allocation there. Lines are keyed by file base name + line number: within
+// one package base names are unique, and the compiler emits module-relative
+// paths while the analysis fset holds absolute ones, so the base name is the
+// stable common suffix.
+type EscapeIndex struct {
+	lines map[string]bool
+}
+
+// escapeKey builds the lookup key for one position.
+func escapeKey(file string, line int) string {
+	return filepath.Base(file) + ":" + strconv.Itoa(line)
+}
+
+// HeapAllocAt reports whether the compiler flagged a heap allocation on the
+// given file/line. A nil index reports false for every position.
+func (x *EscapeIndex) HeapAllocAt(file string, line int) bool {
+	if x == nil {
+		return false
+	}
+	return x.lines[escapeKey(file, line)]
+}
+
+// Len returns the number of distinct lines with recorded heap allocations.
+func (x *EscapeIndex) Len() int {
+	if x == nil {
+		return 0
+	}
+	return len(x.lines)
+}
+
+// ParseEscapes builds an index from raw `go build -gcflags=-m=2` output.
+// The diagnostics of interest all carry a file:line:col: prefix and one of
+// the compiler's heap phrases:
+//
+//	internal/des/engine.go:213:9: &event{...} escapes to heap:
+//	internal/array/sim.go:765:10: moved to heap: ctx
+//
+// Everything else (-m=2 is chatty: inlining decisions, "does not escape",
+// parameter leak notes) is ignored.
+func ParseEscapes(output string) *EscapeIndex {
+	idx := &EscapeIndex{lines: make(map[string]bool)}
+	sc := bufio.NewScanner(strings.NewReader(output))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.Contains(line, "escapes to heap") && !strings.Contains(line, "moved to heap") {
+			continue
+		}
+		file, ln, ok := splitPosPrefix(line)
+		if !ok {
+			continue
+		}
+		idx.lines[escapeKey(file, ln)] = true
+	}
+	return idx
+}
+
+// splitPosPrefix extracts the file and line from a "file.go:line:col: ..."
+// compiler diagnostic; ok is false for lines without that shape.
+func splitPosPrefix(s string) (file string, line int, ok bool) {
+	i := strings.Index(s, ".go:")
+	if i < 0 {
+		return "", 0, false
+	}
+	file = strings.TrimSpace(s[:i+len(".go")])
+	rest := s[i+len(".go:"):]
+	j := strings.IndexByte(rest, ':')
+	if j < 0 {
+		return "", 0, false
+	}
+	n, err := strconv.Atoi(rest[:j])
+	if err != nil || n <= 0 {
+		return "", 0, false
+	}
+	return file, n, true
+}

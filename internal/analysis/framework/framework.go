@@ -35,8 +35,25 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// Escapes is the compiler's escape-analysis view of the package when the
+	// driver supplied one (see ParseEscapes); nil when unavailable, e.g. in
+	// the analysistest fixture runner. Analyzers that validate allocation
+	// findings use HeapAllocAt and fall back to syntax-only reporting on nil.
+	Escapes *EscapeIndex
+
 	diags    []Diagnostic
 	suppress *suppressions
+}
+
+// HeapAllocAt reports whether the compiler confirmed a heap allocation at
+// pos. With no escape data attached it reports defaultTo, so analyzers can
+// choose to trust syntax alone in fixture mode.
+func (p *Pass) HeapAllocAt(pos token.Pos, defaultTo bool) bool {
+	if p.Escapes == nil {
+		return defaultTo
+	}
+	position := p.Fset.Position(pos)
+	return p.Escapes.HeapAllocAt(position.Filename, position.Line)
 }
 
 // Diagnostic is one finding.
@@ -80,7 +97,14 @@ func (p *Pass) Diagnostics() []Diagnostic {
 
 // Run executes a over one package and returns the surviving diagnostics.
 func Run(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+	return RunWithEscapes(a, fset, files, pkg, info, nil)
+}
+
+// RunWithEscapes is Run with compiler escape-analysis data attached to the
+// pass (nil esc behaves exactly like Run).
+func RunWithEscapes(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, esc *EscapeIndex) ([]Diagnostic, error) {
 	pass := NewPass(a, fset, files, pkg, info)
+	pass.Escapes = esc
 	if err := a.Run(pass); err != nil {
 		return nil, fmt.Errorf("%s: %w", a.Name, err)
 	}

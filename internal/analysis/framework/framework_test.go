@@ -1,0 +1,169 @@
+package framework_test
+
+import (
+	"go/ast"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/framework"
+	"repro/internal/analysis/load"
+)
+
+// toycall is a minimal analyzer used to pin framework behavior independent
+// of any real contract: it flags every call to a function whose name starts
+// with "boom", unwrapping generic instantiation (IndexExpr/IndexListExpr)
+// in callee position.
+var toycall = &framework.Analyzer{
+	Name: "toycall",
+	Doc:  "flags calls to boom* functions (framework test fixture)",
+	Run: func(pass *framework.Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fun := call.Fun
+				switch x := fun.(type) {
+				case *ast.IndexExpr:
+					fun = x.X
+				case *ast.IndexListExpr:
+					fun = x.X
+				}
+				var name string
+				switch x := fun.(type) {
+				case *ast.Ident:
+					name = x.Name
+				case *ast.SelectorExpr:
+					name = x.Sel.Name
+				}
+				if strings.HasPrefix(name, "boom") {
+					pass.Reportf(call.Pos(), "call to %s", name)
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+// TestGenericsFixture pins the framework on type-parameterized code: the
+// loader type-checks generic declarations and instantiations, and findings
+// inside a generic body are reported once at the declaration, not once per
+// instantiation.
+func TestGenericsFixture(t *testing.T) {
+	analysistest.Run(t, "testdata", toycall, "generics")
+}
+
+// TestAllowOnSameLine pins directive placement: a //simlint:allow trailing
+// the finding's own line suppresses it, the `all` analyzer name matches any
+// analyzer, and the directive's reach (own line plus the next) ends there.
+func TestAllowOnSameLine(t *testing.T) {
+	analysistest.Run(t, "testdata", toycall, "sameline")
+}
+
+// TestVendorAndStdlibScopeExclusion pins the loader's scope model: `./...`
+// never matches a vendor tree, standard-library dependencies come back
+// DepOnly-only (not as analyzable roots), and therefore a driver that
+// analyzes what Load returns touches exactly the module's own code.
+func TestVendorAndStdlibScopeExclusion(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module scopetest\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "a", "a.go"), `package a
+
+import "strings"
+
+func boom() {}
+
+func f() string {
+	boom()
+	return strings.ToUpper("x")
+}
+`)
+	// A vendor tree with its own boom() calls: if pattern expansion ever
+	// descended into it, the diagnostic count below would change.
+	writeFile(t, filepath.Join(dir, "vendor", "v", "v.go"), `package v
+
+func boomVendored() {}
+
+func g() { boomVendored() }
+`)
+
+	loader := load.NewLoader(dir)
+	pkgs, err := loader.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Path != "scopetest/a" {
+		paths := make([]string, len(pkgs))
+		for i, p := range pkgs {
+			paths[i] = p.Path
+		}
+		t.Fatalf("Load(./...) matched %v, want exactly [scopetest/a]", paths)
+	}
+	pkg := pkgs[0]
+	if pkg.DepOnly {
+		t.Fatal("matched package marked DepOnly")
+	}
+	if pkg.TypesInfo == nil {
+		t.Fatal("matched package has no TypesInfo")
+	}
+	if len(pkg.TypeErrors) > 0 {
+		t.Fatalf("type errors: %v", pkg.TypeErrors)
+	}
+	diags, err := framework.Run(toycall, pkg.Fset, pkg.Files, pkg.Types, pkg.TypesInfo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1 (the module's own boom call)", len(diags))
+	}
+	if got := pkg.Fset.Position(diags[0].Pos).Filename; filepath.Base(got) != "a.go" {
+		t.Fatalf("diagnostic anchored in %s, want the module's a.go", got)
+	}
+}
+
+// TestParseEscapes pins the -m=2 parser: heap lines are indexed by
+// basename:line (the compiler emits module-relative paths, the analysis
+// fset absolute ones), non-allocation chatter is ignored, and a nil index
+// is always a miss.
+func TestParseEscapes(t *testing.T) {
+	esc := framework.ParseEscapes(`# repro/internal/des
+/root/repo/internal/des/engine.go:100:9: &event{} escapes to heap:
+internal/des/engine.go:120:6: moved to heap: o
+engine.go:130:2: inlining call to foo
+not a position line: escapes to heap mentioned without file
+`)
+	if esc.Len() != 2 {
+		t.Fatalf("indexed %d lines, want 2", esc.Len())
+	}
+	if !esc.HeapAllocAt("/any/abs/path/engine.go", 100) {
+		t.Error("absolute-path escape line not found by basename")
+	}
+	if !esc.HeapAllocAt("engine.go", 120) {
+		t.Error("moved-to-heap line not indexed")
+	}
+	if esc.HeapAllocAt("engine.go", 130) {
+		t.Error("inlining chatter indexed as a heap allocation")
+	}
+	if esc.HeapAllocAt("other.go", 100) {
+		t.Error("wrong basename matched")
+	}
+	var nilIdx *framework.EscapeIndex
+	if nilIdx.HeapAllocAt("engine.go", 100) {
+		t.Error("nil index reported a heap allocation")
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

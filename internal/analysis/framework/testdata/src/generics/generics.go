@@ -1,0 +1,41 @@
+// Package generics pins the framework on type-parameterized code: the
+// loader type-checks generic declarations and instantiations, findings
+// inside a generic body are reported once at the declaration (not once per
+// instantiation), and a generic callee behind an explicit instantiation
+// (IndexExpr) is still recognized.
+package generics
+
+func boom() {}
+
+func boomOf[T any](v T) T { return v }
+
+// Pair is a generic container; the framework must traverse its methods
+// with type parameters in scope.
+type Pair[T any] struct{ a, b T }
+
+func (p Pair[T]) First() T {
+	boom() // want `call to boom`
+	return p.a
+}
+
+func apply[T any](v T, f func(T) T) T {
+	boom() // want `call to boom`
+	return f(v)
+}
+
+func use() {
+	p := Pair[int]{a: 1, b: 2}
+	q := Pair[string]{a: "x", b: "y"}
+	// Two instantiations of the same generic body: the boom inside First
+	// is reported once, at its declaration, not here.
+	_ = p.First()
+	_ = q.First()
+	_ = apply(1, func(i int) int {
+		boom() // want `call to boom`
+		return i
+	})
+	// Explicitly instantiated generic callee: the callee is an IndexExpr,
+	// not an Ident, and must still be unwrapped.
+	_ = boomOf[int](3)       // want `call to boomOf`
+	_ = boomOf[Pair[int]](p) // want `call to boomOf`
+}

@@ -1,0 +1,31 @@
+// Package sameline pins //simlint:allow placement: a directive trailing
+// the finding's own line suppresses exactly that finding, `all` matches any
+// analyzer, the directive's reach is its own line plus the next, and a
+// directive naming a different analyzer suppresses nothing.
+package sameline
+
+func boom() {}
+
+func sameLine() {
+	boom() // want `call to boom`
+	boom() //simlint:allow toycall -- fixture: same-line directive suppresses this finding
+	_ = 0  // spacer: the directive above also covers this (finding-free) line
+	boom() // want `call to boom`
+}
+
+func allKeyword() {
+	boom() //simlint:allow all -- fixture: the all keyword suppresses any analyzer
+	_ = 0  // spacer
+	boom() // want `call to boom`
+}
+
+func precedingLine() {
+	//simlint:allow toycall -- fixture: a directive on its own line covers the next line
+	boom()
+	boom() // want `call to boom`
+}
+
+func wrongAnalyzer() {
+	//simlint:allow detrand -- fixture: names a different analyzer, suppresses nothing
+	boom() // want `call to boom`
+}

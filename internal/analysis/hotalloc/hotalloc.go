@@ -1,0 +1,303 @@
+// Package hotalloc implements the simlint analyzer that keeps annotated hot
+// paths allocation-free (DESIGN.md §16).
+//
+// A function whose doc comment carries the directive
+//
+//	//simlint:hotpath
+//
+// declares that it runs once per simulated event (or per disk per epoch) and
+// must not allocate in steady state. The analyzer flags the
+// allocation-inducing constructs inside such functions:
+//
+//   - function literals (a closure allocates its capture frame);
+//   - escaping composite literals and new(T);
+//   - interface boxing: passing a non-pointer concrete value to an
+//     interface-typed parameter;
+//   - fmt calls and non-constant string concatenation;
+//   - append to a slice declared in the function without preallocated
+//     capacity.
+//
+// Syntax overcounts — a by-value composite literal or an inlined closure
+// never touches the heap — so the driver feeds the pass the compiler's
+// `go build -gcflags=-m=2` escape output (framework.ParseEscapes) and the
+// escape-validated checks only fire when the compiler confirms a heap
+// allocation on that line. Without escape data (the analysistest fixture
+// runner) those checks trust the syntax, which is what the fixtures pin.
+//
+// A steady-state-free construct on a cold sub-path (freelist growth, error
+// reporting) is waived with `//simlint:allow hotalloc -- reason`.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer is the hotalloc check.
+var Analyzer = &framework.Analyzer{
+	Name: "hotalloc",
+	Doc:  "flag allocation-inducing constructs in //simlint:hotpath functions, validated against the compiler's escape analysis",
+	Run:  run,
+}
+
+const directive = "//simlint:hotpath"
+
+func run(pass *framework.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotpath(fd) {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// isHotpath reports whether the function's doc comment carries the hotpath
+// directive.
+func isHotpath(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if c.Text == directive || strings.HasPrefix(c.Text, directive+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+func checkFunc(pass *framework.Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	// prealloc records slice variables assigned from make(...) — appends to
+	// those are amortized by the reserved capacity.
+	prealloc := make(map[types.Object]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok || len(asg.Lhs) != len(asg.Rhs) {
+			return true
+		}
+		for i, rhs := range asg.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok || !isBuiltin(pass, call.Fun, "make") || len(call.Args) < 2 {
+				continue
+			}
+			if id, ok := asg.Lhs[i].(*ast.Ident); ok {
+				if obj := objOf(pass, id); obj != nil {
+					prealloc[obj] = true
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			if pass.HeapAllocAt(x.Pos(), true) {
+				pass.Reportf(x.Pos(), "closure allocation in hot path %s; hoist the closure out of the hot path or replace it with a method value cached at construction", name)
+			}
+			return false // the literal runs elsewhere; its body is not this hot path
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if _, ok := x.X.(*ast.CompositeLit); ok && pass.HeapAllocAt(x.Pos(), true) {
+					pass.Reportf(x.Pos(), "escaping composite literal in hot path %s; reuse a cached instance or a freelist instead of allocating per event", name)
+					return false
+				}
+			}
+		case *ast.CompositeLit:
+			// By-value literals are only a finding when the compiler proves
+			// they escape; without escape data they pass.
+			if pass.HeapAllocAt(x.Pos(), false) {
+				pass.Reportf(x.Pos(), "escaping composite literal in hot path %s; reuse a cached instance or a freelist instead of allocating per event", name)
+				return false
+			}
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD && isNonConstString(pass, x) {
+				pass.Reportf(x.Pos(), "string concatenation in hot path %s allocates; precompute the string or record components separately", name)
+			}
+		case *ast.AssignStmt:
+			if x.Tok == token.ADD_ASSIGN && len(x.Lhs) == 1 {
+				if t := pass.TypesInfo.TypeOf(x.Lhs[0]); t != nil && isString(t) {
+					pass.Reportf(x.Pos(), "string concatenation in hot path %s allocates; precompute the string or record components separately", name)
+				}
+			}
+		case *ast.CallExpr:
+			checkCall(pass, name, prealloc, x)
+		}
+		return true
+	})
+}
+
+func checkCall(pass *framework.Pass, name string, prealloc map[types.Object]bool, call *ast.CallExpr) {
+	// fmt calls allocate for formatting and box every operand.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if pkg, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok && pkg.Imported().Path() == "fmt" {
+				pass.Reportf(call.Pos(), "fmt.%s in hot path %s allocates; format on the cold path or record raw fields", sel.Sel.Name, name)
+				return
+			}
+		}
+	}
+	// new(T) allocates by definition (modulo escape analysis).
+	if isBuiltin(pass, call.Fun, "new") && pass.HeapAllocAt(call.Pos(), true) {
+		pass.Reportf(call.Pos(), "new(...) in hot path %s; reuse a cached instance or a freelist instead of allocating per event", name)
+		return
+	}
+	// append to a slice declared here without capacity grows on the hot path.
+	if isBuiltin(pass, call.Fun, "append") && len(call.Args) > 0 {
+		if id, ok := call.Args[0].(*ast.Ident); ok {
+			if obj := objOf(pass, id); obj != nil && !prealloc[obj] && declaredWithin(obj, call, pass) {
+				pass.Reportf(call.Pos(), "append to un-preallocated slice %s in hot path %s; size it with make(..., 0, n) up front", id.Name, name)
+			}
+		}
+		return
+	}
+	// Interface boxing: a non-pointer concrete argument bound to an
+	// interface parameter allocates unless escape analysis rescues it.
+	sig := signatureOf(pass, call)
+	if sig == nil {
+		return
+	}
+	for i, arg := range call.Args {
+		pt := paramTypeAt(sig, i)
+		if pt == nil {
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		at := pass.TypesInfo.TypeOf(arg)
+		if at == nil || !boxes(at) {
+			continue
+		}
+		if pass.HeapAllocAt(arg.Pos(), true) {
+			pass.Reportf(arg.Pos(), "interface boxing of %s argument in hot path %s allocates; pass a pointer or restructure the call", at.String(), name)
+		}
+	}
+}
+
+// boxes reports whether storing a value of type t in an interface requires a
+// heap copy: pointer-shaped kinds (pointers, channels, maps, funcs, unsafe
+// pointers) and interfaces do not.
+func boxes(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature, *types.Interface:
+		return false
+	case *types.Basic:
+		b := t.Underlying().(*types.Basic)
+		if b.Kind() == types.UnsafePointer || b.Kind() == types.UntypedNil {
+			return false
+		}
+	}
+	return true
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isNonConstString(pass *framework.Pass, x *ast.BinaryExpr) bool {
+	t := pass.TypesInfo.TypeOf(x)
+	if t == nil || !isString(t) {
+		return false
+	}
+	// Constant folding handles all-constant concatenations at compile time.
+	if tv, ok := pass.TypesInfo.Types[x]; ok && tv.Value != nil {
+		return false
+	}
+	return true
+}
+
+func isBuiltin(pass *framework.Pass, fun ast.Expr, name string) bool {
+	id, ok := fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+func objOf(pass *framework.Pass, id *ast.Ident) types.Object {
+	if obj := pass.TypesInfo.Uses[id]; obj != nil {
+		return obj
+	}
+	return pass.TypesInfo.Defs[id]
+}
+
+// declaredWithin reports whether obj is declared in the same function body
+// the call appears in — appends to fields or parameters amortize across
+// calls and stay unflagged.
+func declaredWithin(obj types.Object, call *ast.CallExpr, pass *framework.Pass) bool {
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return false
+	}
+	// Parameters and results live at the function signature; a variable
+	// declared in the body sits strictly before the call and after the
+	// function's opening position. The cheap proxy: local scope parent is a
+	// block scope, not the package scope, and the object is not a parameter.
+	if v.Pkg() == nil || v.Parent() == v.Pkg().Scope() {
+		return false
+	}
+	sig := enclosingFuncType(pass, call)
+	if sig != nil && v.Pos() >= sig.Pos() && v.Pos() <= sig.End() {
+		return false // parameter or named result
+	}
+	return true
+}
+
+// enclosingFuncType finds the type of the function declaration containing
+// pos, for parameter detection.
+func enclosingFuncType(pass *framework.Pass, call *ast.CallExpr) *ast.FuncType {
+	for _, f := range pass.Files {
+		if f.Pos() <= call.Pos() && call.Pos() <= f.End() {
+			var ft *ast.FuncType
+			ast.Inspect(f, func(n ast.Node) bool {
+				if fd, ok := n.(*ast.FuncDecl); ok {
+					if fd.Pos() <= call.Pos() && call.Pos() <= fd.End() {
+						ft = fd.Type
+					}
+				}
+				return true
+			})
+			return ft
+		}
+	}
+	return nil
+}
+
+// signatureOf resolves the static signature of a call, or nil for builtins,
+// conversions, and dynamic calls the checker cannot see through.
+func signatureOf(pass *framework.Pass, call *ast.CallExpr) *types.Signature {
+	t := pass.TypesInfo.TypeOf(call.Fun)
+	sig, _ := t.(*types.Signature)
+	return sig
+}
+
+// paramTypeAt returns the type of parameter i, expanding the variadic tail.
+func paramTypeAt(sig *types.Signature, i int) types.Type {
+	params := sig.Params()
+	n := params.Len()
+	if n == 0 {
+		return nil
+	}
+	if sig.Variadic() && i >= n-1 {
+		last := params.At(n - 1).Type()
+		if sl, ok := last.(*types.Slice); ok {
+			return sl.Elem()
+		}
+		return nil
+	}
+	if i >= n {
+		return nil
+	}
+	return params.At(i).Type()
+}

@@ -1,0 +1,67 @@
+package hotalloc_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/framework"
+	"repro/internal/analysis/hotalloc"
+	"repro/internal/analysis/load"
+)
+
+func TestHotalloc(t *testing.T) {
+	analysistest.Run(t, "testdata", hotalloc.Analyzer, "a")
+}
+
+// TestEscapeValidation pins the escape-validated mode the fixture runner
+// cannot exercise: with compiler escape data attached, an address-taken
+// composite literal is only reported when the compiler confirmed the heap
+// allocation, and a by-value literal the compiler moved to the heap is
+// reported even though syntax alone would pass it.
+func TestEscapeValidation(t *testing.T) {
+	const src = `package p
+
+type ev struct{ t float64 }
+
+type eng struct{ last *ev }
+
+//simlint:hotpath
+func hot(e *eng, t float64) {
+	rescued := &ev{t: t}
+	_ = rescued.t
+	e.last = &ev{t: t}
+}
+`
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := load.NewLoader(".")
+	pkg, info, errs, err := loader.CheckFiles("p", fset, []*ast.File{file}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range errs {
+		t.Fatalf("type error: %v", e)
+	}
+
+	// The compiler view: only the literal on line 11 (stored into the
+	// struct) escapes; the first one is rescued to the stack.
+	esc := framework.ParseEscapes("p.go:11:11: &ev{...} escapes to heap\n")
+	diags, err := framework.RunWithEscapes(hotalloc.Analyzer, fset, []*ast.File{file}, pkg, info, esc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %v", len(diags), diags)
+	}
+	pos := fset.Position(diags[0].Pos)
+	if pos.Line != 11 || !strings.Contains(diags[0].Message, "escaping composite literal") {
+		t.Fatalf("unexpected diagnostic %s: %s", pos, diags[0].Message)
+	}
+}

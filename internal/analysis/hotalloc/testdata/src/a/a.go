@@ -1,0 +1,81 @@
+// Package a exercises the hotalloc analyzer in syntax mode (no escape data
+// attached, as in this fixture runner): address-taken composite literals,
+// new(T), closures, fmt calls, string concatenation, interface boxing, and
+// un-preallocated appends inside //simlint:hotpath functions are flagged;
+// by-value literals, preallocated appends, field appends, pointer arguments,
+// waived sites, and unannotated functions are not.
+package a
+
+import "fmt"
+
+type event struct {
+	time float64
+	seq  uint64
+}
+
+type engine struct {
+	queue []*event
+	free  []*event
+	log   []string
+}
+
+func sink(v any) { _ = v }
+
+func sinkPtr(p *event) { _ = p }
+
+// fire is the annotated hot path: one call per simulated event.
+//
+//simlint:hotpath
+func fire(e *engine, t float64, seq uint64, tag string) {
+	ev := &event{time: t, seq: seq} // want `escaping composite literal in hot path fire`
+	p := new(event)                 // want `new\(\.\.\.\) in hot path fire`
+	h := func() { sinkPtr(ev) }     // want `closure allocation in hot path fire`
+	h()
+	msg := fmt.Sprintf("event %d", seq) // want `fmt\.Sprintf in hot path fire allocates`
+	label := "fire:" + tag              // want `string concatenation in hot path fire allocates`
+	label += tag                        // want `string concatenation in hot path fire allocates`
+	sink(seq)                           // want `interface boxing of uint64 argument in hot path fire`
+	sinkPtr(p)
+	var trace []string
+	trace = append(trace, msg) // want `append to un-preallocated slice trace in hot path fire`
+	_ = trace
+	_ = label
+}
+
+// steady is the allocation-free shape the hot path should take: by-value
+// records, preallocated or field-backed appends, pointer arguments, and
+// constant strings.
+//
+//simlint:hotpath
+func steady(e *engine, ev *event, scratch []*event) {
+	rec := event{time: ev.time, seq: ev.seq} // by value: no heap
+	_ = rec
+	e.queue = append(e.queue, ev) // field-backed: amortized elsewhere
+	pre := make([]*event, 0, 8)
+	pre = append(pre, ev) // preallocated: legal
+	_ = pre
+	scratch = append(scratch, ev) // parameter-backed: caller owns sizing
+	_ = scratch
+	sinkPtr(ev)           // pointer argument: no boxing
+	const label = "fire:" // constant strings fold at compile time
+	_ = label + "x"
+}
+
+// waived documents a deliberate cold-path allocation inside a hot function.
+//
+//simlint:hotpath
+func waived(e *engine) *event {
+	if len(e.free) == 0 {
+		return &event{} //simlint:allow hotalloc -- fixture: freelist grow path, cold by construction
+	}
+	ev := e.free[len(e.free)-1]
+	e.free = e.free[:len(e.free)-1]
+	return ev
+}
+
+// cold is unannotated: the same constructs pass without comment.
+func cold(seq uint64) *event {
+	_ = fmt.Sprintf("event %d", seq)
+	sink(seq)
+	return &event{seq: seq}
+}

@@ -121,7 +121,17 @@ func (l *Loader) check(lp *listPackage) (*Package, error) {
 		return nil, nil
 	}
 	if prev, ok := l.pkgs[lp.ImportPath]; ok {
-		return prev, nil
+		// A package first seen as a dependency was checked with
+		// IgnoreFuncBodies and has no TypesInfo; when a later pattern names
+		// it as a root it must be re-checked in full, or the analyzers would
+		// silently skip it. The fresh result replaces the memoized one, and
+		// since `go list -deps` emits dependencies before dependents, later
+		// dependents resolve against the upgraded package.
+		if !prev.DepOnly || lp.DepOnly {
+			return prev, nil
+		}
+		delete(l.pkgs, lp.ImportPath)
+		delete(l.typ, lp.ImportPath)
 	}
 	if len(lp.CgoFiles) > 0 {
 		return nil, fmt.Errorf("load: %s uses cgo; run with CGO_ENABLED=0", lp.ImportPath)
@@ -171,6 +181,23 @@ func (l *Loader) check(lp *listPackage) (*Package, error) {
 	l.typ[lp.ImportPath] = tpkg
 	l.pkgs[lp.ImportPath] = pkg
 	return pkg, nil
+}
+
+// EscapeOutput runs the compiler's escape analysis over one package and
+// returns the raw -m=2 diagnostics for framework.ParseEscapes. The gcflags
+// pattern restricts -m=2 to the target package, so dependencies compile
+// quietly and (usually) from cache; the go tool replays the compiler output
+// on cache hits, so repeated calls are cheap and deterministic.
+func EscapeOutput(dir, pkgPath string) (string, error) {
+	cmd := exec.Command("go", "build", "-o", os.DevNull, "-gcflags="+pkgPath+"=-m=2", pkgPath)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var out bytes.Buffer
+	cmd.Stderr = &out
+	if err := cmd.Run(); err != nil {
+		return "", fmt.Errorf("load: go build -gcflags=-m=2 %s: %v\n%s", pkgPath, err, out.String())
+	}
+	return out.String(), nil
 }
 
 // Import returns the type-checked package for an import path, running

@@ -1,0 +1,12 @@
+package sharedcapture_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/sharedcapture"
+)
+
+func TestSharedCapture(t *testing.T) {
+	analysistest.Run(t, "testdata", sharedcapture.Analyzer, "a")
+}

@@ -1,0 +1,19 @@
+// Package des is a miniature stand-in for repro/internal/des: just enough
+// surface for the sharedcapture fixtures to type-check. The analyzer matches
+// it by package path suffix, exactly as it matches the real package.
+package des
+
+// Engine is a goroutine-affine simulation kernel.
+type Engine struct{ now float64 }
+
+// Step fires one event.
+func (e *Engine) Step() bool { return false }
+
+// Now returns the virtual clock.
+func (e *Engine) Now() float64 { return e.now }
+
+// Watch is the seqlock-mediated live view; safe to share across goroutines.
+type Watch struct{ v uint64 }
+
+// Snapshot returns a coherent view.
+func (w *Watch) Snapshot() uint64 { return w.v }

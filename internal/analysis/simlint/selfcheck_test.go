@@ -72,6 +72,21 @@ func TestScopeMapping(t *testing.T) {
 		{"repro/internal/analysis/load", "ckptcover", true},
 		{"repro/internal/analysis/load", "nilhandle", true},
 		{"repro/examples/quickstart", "atomicwrite", false},
+		// sharedcapture polices the goroutine-spawning sweep runners only.
+		{"repro/internal/experiment", "sharedcapture", true},
+		{"repro/internal/cluster", "sharedcapture", true},
+		{"repro/internal/des", "sharedcapture", false},
+		{"repro/internal/opsserver", "sharedcapture", false},
+		// engineaffinity covers every multi-goroutine handle holder.
+		{"repro/internal/experiment", "engineaffinity", true},
+		{"repro/internal/cluster", "engineaffinity", true},
+		{"repro/internal/opsserver", "engineaffinity", true},
+		{"repro/cmd/experiments", "engineaffinity", true},
+		{"repro/internal/des", "engineaffinity", false},
+		// hotalloc is global; it acts only on annotated functions.
+		{"repro/internal/des", "hotalloc", true},
+		{"repro/internal/array", "hotalloc", true},
+		{"repro/examples/quickstart", "hotalloc", true},
 	}
 	for _, c := range cases {
 		if got := has(c.pkg, c.analyzer); got != c.want {

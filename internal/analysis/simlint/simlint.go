@@ -16,20 +16,38 @@
 //     commands.
 //   - ckptcover and nilhandle are global: directives and telemetry handles
 //     can appear anywhere.
+//
+// Concurrency scope (see DESIGN.md §16 "Concurrency contract"):
+//
+//   - sharedcapture guards the packages that spawn per-cell goroutines
+//     (experiment, cluster): closures launched there must not capture
+//     mutable state shared across cells.
+//   - engineaffinity covers every package that both holds engine/telemetry
+//     handles and runs more than one goroutine (experiment, cluster, the
+//     ops server, and the commands).
+//   - hotalloc is global but acts only on functions annotated
+//     //simlint:hotpath; its syntactic findings are validated against the
+//     compiler's own escape analysis (-gcflags=-m=2) wherever a package
+//     carries the annotation.
 package simlint
 
 import (
 	"fmt"
+	"go/ast"
+	"go/token"
 	"sort"
 	"strings"
 
 	"repro/internal/analysis/atomicwrite"
 	"repro/internal/analysis/ckptcover"
 	"repro/internal/analysis/detrand"
+	"repro/internal/analysis/engineaffinity"
 	"repro/internal/analysis/framework"
+	"repro/internal/analysis/hotalloc"
 	"repro/internal/analysis/load"
 	"repro/internal/analysis/maporder"
 	"repro/internal/analysis/nilhandle"
+	"repro/internal/analysis/sharedcapture"
 )
 
 // modulePath is the repository's module path (go.mod).
@@ -72,6 +90,23 @@ var artifactPkgs = []string{
 	"cmd",
 }
 
+// concurrencyPkgs spawn the per-cell goroutines of the parallel sweep
+// runners; sharedcapture polices what their closures may capture.
+var concurrencyPkgs = []string{
+	"internal/experiment",
+	"internal/cluster",
+}
+
+// affinityPkgs hold engine/telemetry handles while running more than one
+// goroutine; engineaffinity confines affine state to its constructing
+// goroutine there.
+var affinityPkgs = []string{
+	"internal/experiment",
+	"internal/cluster",
+	"internal/opsserver",
+	"cmd",
+}
+
 // All returns every analyzer in the suite, for -list and documentation.
 func All() []*framework.Analyzer {
 	return []*framework.Analyzer{
@@ -80,6 +115,9 @@ func All() []*framework.Analyzer {
 		ckptcover.Analyzer,
 		atomicwrite.Analyzer,
 		nilhandle.Analyzer,
+		sharedcapture.Analyzer,
+		engineaffinity.Analyzer,
+		hotalloc.Analyzer,
 	}
 }
 
@@ -107,10 +145,33 @@ func AnalyzersFor(pkgPath string) []*framework.Analyzer {
 	if inScope(pkgPath, artifactPkgs) && pkgPath != modulePath+"/internal/atomicio" {
 		as = append(as, atomicwrite.Analyzer)
 	}
-	// Global contracts. ckptcover only acts on declared directives and
-	// nilhandle skips the telemetry implementation itself.
-	as = append(as, ckptcover.Analyzer, nilhandle.Analyzer)
+	if inScope(pkgPath, concurrencyPkgs) {
+		as = append(as, sharedcapture.Analyzer)
+	}
+	if inScope(pkgPath, affinityPkgs) {
+		as = append(as, engineaffinity.Analyzer)
+	}
+	// Global contracts. ckptcover only acts on declared directives,
+	// nilhandle skips the telemetry implementation itself, and hotalloc
+	// acts only on //simlint:hotpath-annotated functions.
+	as = append(as, ckptcover.Analyzer, nilhandle.Analyzer, hotalloc.Analyzer)
 	return as
+}
+
+// hasHotpathDirective reports whether any file in the package annotates a
+// function with //simlint:hotpath — only then is the compiler's escape
+// analysis worth running for the package.
+func hasHotpathDirective(files []*ast.File) bool {
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if strings.HasPrefix(c.Text, "//simlint:hotpath") {
+					return true
+				}
+			}
+		}
+	}
+	return false
 }
 
 // Run loads the given patterns relative to dir and applies the suite,
@@ -134,8 +195,19 @@ func Run(dir string, patterns ...string) ([]framework.Diagnostic, *load.Loader, 
 		if pkg.TypesInfo == nil {
 			continue
 		}
+		// Escape data is only gathered for packages that annotate a hot
+		// path: the extra compile is pointless elsewhere, and hotalloc
+		// degrades to syntax-only checks without it.
+		var esc *framework.EscapeIndex
+		if hasHotpathDirective(pkg.Files) {
+			out, err := load.EscapeOutput(dir, pkg.Path)
+			if err != nil {
+				return nil, loader, fmt.Errorf("simlint: escape analysis for %s: %w", pkg.Path, err)
+			}
+			esc = framework.ParseEscapes(out)
+		}
 		for _, a := range AnalyzersFor(pkg.Path) {
-			ds, err := framework.Run(a, pkg.Fset, pkg.Files, pkg.Types, pkg.TypesInfo)
+			ds, err := framework.RunWithEscapes(a, pkg.Fset, pkg.Files, pkg.Types, pkg.TypesInfo, esc)
 			if err != nil {
 				return nil, loader, fmt.Errorf("simlint: %s on %s: %w", a.Name, pkg.Path, err)
 			}
@@ -153,5 +225,28 @@ func Run(dir string, patterns ...string) ([]framework.Diagnostic, *load.Loader, 
 		}
 		return diags[i].Analyzer < diags[j].Analyzer
 	})
-	return diags, loader, nil
+	return Dedupe(diags, fset), loader, nil
+}
+
+// Dedupe collapses diagnostics that share analyzer, position, and message.
+// Duplicates arise when a package is matched by more than one pattern or a
+// file-level finding is reported per type instantiation; the suite's output
+// is a set, not a multiset. The input must already be position-sorted.
+func Dedupe(diags []framework.Diagnostic, fset *token.FileSet) []framework.Diagnostic {
+	out := diags[:0]
+	type key struct {
+		analyzer, file, msg string
+		line, col           int
+	}
+	seen := make(map[key]bool, len(diags))
+	for _, d := range diags {
+		p := fset.Position(d.Pos)
+		k := key{d.Analyzer, p.Filename, d.Message, p.Line, p.Column}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, d)
+	}
+	return out
 }

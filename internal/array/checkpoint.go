@@ -251,10 +251,12 @@ type raidCkptState struct {
 // come back from the caller's CheckpointSpec, eng is reconstructed and its
 // state carried as Clock/Seq/Fired, opaqueLive is zero by construction (a
 // snapshot is never written while an opaque continuation is live), live is
-// observation-only (re-cached from cfg.Telemetry on restore), and failure
-// aborts the run before a checkpoint could be taken.
+// observation-only (re-cached from cfg.Telemetry on restore), failure
+// aborts the run before a checkpoint could be taken, and ctx/dispatchH are
+// stateless singletons rebuilt by newSimOn (ctx carries only the sim
+// pointer; dispatchH re-reads the restored events table by FiringID).
 //
-//simlint:checkpoint-for sim ignore=cfg,eng,files,opaqueLive,failure,live,host alias=met:Metrics,flt:Faults,trc:Trace
+//simlint:checkpoint-for sim ignore=cfg,eng,files,opaqueLive,failure,live,host,ctx,dispatchH alias=met:Metrics,flt:Faults,trc:Trace
 type simState struct {
 	Clock         float64                     `json:"clock"`
 	Seq           uint64                      `json:"seq"`

@@ -112,18 +112,17 @@ type cont struct {
 }
 
 // at schedules rec at absolute virtual time t and registers it in the
-// record table; the wrapper removes the table entry when the event fires.
+// record table. Every record is scheduled with the sim's one cached
+// dispatch handler, which looks the record up by the engine's FiringID and
+// removes the table entry when the event fires — so scheduling an event
+// allocates no per-event closure.
+//
+//simlint:hotpath
 func (s *sim) at(t float64, rec eventRecord) error {
-	var id des.EventID
-	h := func(e *des.Engine) {
-		delete(s.events, id)
-		s.dispatch(rec, e)
-	}
-	eid, err := s.eng.AtLabeled(t, recLabel(rec.Kind), h)
+	id, err := s.eng.AtLabeled(t, recLabel(rec.Kind), s.dispatchH)
 	if err != nil {
 		return err
 	}
-	id = eid
 	s.events[id] = rec
 	return nil
 }
@@ -226,7 +225,7 @@ func (s *sim) onIdleTimer(d int, deadline, timeout float64, rearm bool) {
 			return
 		}
 	}
-	ctx := &Context{s: s}
+	ctx := s.ctx
 	s.setHook(hookIdleTimeout)
 	s.cfg.Policy.OnIdleTimeout(ctx, d)
 	s.endHook()

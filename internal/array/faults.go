@@ -239,7 +239,7 @@ func (s *sim) failDisk(d int, at float64) {
 	if fp, ok := s.cfg.Policy.(FailureAwarePolicy); ok {
 		f.inFailover = true
 		s.setHook(hookDiskFailure)
-		fp.OnDiskFailure(&Context{s: s}, d)
+		fp.OnDiskFailure(s.ctx, d)
 		s.endHook()
 		f.inFailover = false
 	}
@@ -354,7 +354,7 @@ func (s *sim) repairDisk(d int) {
 
 	if fp, ok := s.cfg.Policy.(FailureAwarePolicy); ok {
 		s.setHook(hookDiskRepair)
-		fp.OnDiskRepair(&Context{s: s}, d)
+		fp.OnDiskRepair(s.ctx, d)
 		s.endHook()
 	}
 

@@ -86,7 +86,7 @@ func NewMember(cfg Config, eng *des.Engine, host Host, firstArrival func() error
 		s.disks[i].temp = thermal.NewTracker(cfg.Thermal, diskmodel.High)
 	}
 
-	ctx := &Context{s: s}
+	ctx := s.ctx
 	if err := cfg.Policy.Init(ctx); err != nil {
 		return nil, fmt.Errorf("array: policy init: %w", err)
 	}
@@ -143,7 +143,7 @@ func (m *Member) Submit(reqID uint64, attempt, fileID int, arrival float64) {
 	}
 	s.counts[fileID]++
 	s.met.arrivals.Inc()
-	ctx := &Context{s: s}
+	ctx := s.ctx
 	s.setHook(hookArrival)
 	defer s.endHook()
 
@@ -255,7 +255,7 @@ func (m *Member) ForceSpeedAll(target diskmodel.Speed, cause string) {
 	if s.failure != nil {
 		return
 	}
-	ctx := &Context{s: s}
+	ctx := s.ctx
 	s.setHook(hookDomainShock)
 	defer s.endHook()
 	for d := range s.disks {

@@ -433,6 +433,14 @@ type sim struct {
 	// events mirrors the engine's pending queue as serializable records
 	// (events.go); entries are removed as events fire.
 	events map[des.EventID]eventRecord
+	// dispatchH is the one engine handler every record is scheduled with;
+	// it keys the record table by the engine's FiringID. Caching it here
+	// means `at` allocates no per-event closure.
+	dispatchH des.Handler
+	// ctx is the one Context handed to policy callbacks. Context carries
+	// only the sim pointer, so a single cached instance replaces a heap
+	// allocation at every callback site.
+	ctx *Context
 	// opaqueLive counts in-flight non-serializable continuations (policy
 	// callbacks from Context.EnqueueWrite); checkpoint writes are skipped
 	// while it is nonzero.
@@ -479,6 +487,13 @@ func newSimOn(cfg Config, eng *des.Engine, host Host) (*sim, error) {
 		migrating: make(map[int]bool),
 		events:    make(map[des.EventID]eventRecord),
 	}
+	s.ctx = &Context{s: s}
+	s.dispatchH = func(e *des.Engine) {
+		id := e.FiringID()
+		rec := s.events[id]
+		delete(s.events, id)
+		s.dispatch(rec, e)
+	}
 	if cfg.Telemetry != nil {
 		s.met = newSimMetrics(cfg.Telemetry.Metrics)
 		s.live = cfg.Telemetry.Live
@@ -520,7 +535,7 @@ func Run(cfg Config) (*Result, error) {
 		s.disks[i].temp = thermal.NewTracker(cfg.Thermal, diskmodel.High)
 	}
 
-	ctx := &Context{s: s}
+	ctx := s.ctx
 	if err := cfg.Policy.Init(ctx); err != nil {
 		return nil, fmt.Errorf("array: policy init: %w", err)
 	}
@@ -611,7 +626,7 @@ func (s *sim) onArrival(e *des.Engine) {
 		return
 	}
 	s.counts[req.FileID]++
-	ctx := &Context{s: s}
+	ctx := s.ctx
 	s.setHook(hookArrival)
 	defer s.endHook()
 
@@ -694,6 +709,8 @@ func (s *sim) checkQueue(disk int) bool {
 }
 
 // kick lets disk d start its next action if it is free.
+//
+//simlint:hotpath
 func (s *sim) kick(d int) {
 	ds := s.disks[d]
 	if ds.failed {
@@ -749,6 +766,10 @@ func (s *sim) kick(d int) {
 	s.armIdleTimer(d)
 }
 
+// complete retires a finished op: response-time accounting, policy
+// callback, and continuation dispatch. One call per completed request.
+//
+//simlint:hotpath
 func (s *sim) complete(d int, o op, now float64) {
 	if s.trc != nil && o.kind != opBackground {
 		s.attributeCompletion(d, &o, now)
@@ -762,7 +783,7 @@ func (s *sim) complete(d int, o op, now float64) {
 		s.met.respLatency.Observe(resp)
 		s.live.Tick(now, s.eng.Fired(), s.respStream.N(), uint64(s.nextReq))
 		s.eng.EmitSpan(labelRequestSpan, o.arrival, now)
-		ctx := &Context{s: s}
+		ctx := s.ctx
 		s.setHook(hookRequestComplete)
 		s.cfg.Policy.OnRequestComplete(ctx, o.fileID, d)
 		s.endHook()
@@ -791,7 +812,7 @@ func (s *sim) complete(d int, o op, now float64) {
 			if s.trc != nil {
 				s.attributeStripe(&o, now)
 			}
-			ctx := &Context{s: s}
+			ctx := s.ctx
 			s.setHook(hookRequestComplete)
 			s.cfg.Policy.OnRequestComplete(ctx, o.stripe.fileID, d)
 			s.endHook()
@@ -881,7 +902,7 @@ func (s *sim) onEpoch(e *des.Engine) {
 	s.epochs++
 	s.met.epochs.Inc()
 	s.migsThisEpoch = 0
-	ctx := &Context{s: s}
+	ctx := s.ctx
 	s.setHook(hookEpoch)
 	s.cfg.Policy.OnEpoch(ctx)
 	s.endHook()

@@ -59,6 +59,8 @@ const (
 // virtual time now. It reads only snapshot (non-mutating) accessors, so
 // sampling never perturbs the simulation: a run with telemetry enabled is
 // result-identical to the same run with it disabled, not merely close.
+//
+//simlint:hotpath
 func (s *sim) sampleDisks(now float64, epoch int) {
 	rec := s.cfg.Telemetry
 	if rec == nil {

@@ -12,7 +12,6 @@
 package des
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math"
@@ -70,37 +69,102 @@ type event struct {
 	index    int // heap index, -1 once popped
 }
 
+// eventHeap is a binary min-heap ordered by (time, seq), flattened into
+// direct sift methods rather than container/heap: the interface-based API
+// boxes every element through `any` and cannot be inlined, and push/pop is
+// the kernel's innermost loop. Index maintenance mirrors container/heap so
+// Remove-by-index still works for Cancel.
 type eventHeap []*event
 
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].time != h[j].time {
 		return h[i].time < h[j].time
 	}
 	return h[i].seq < h[j].seq
 }
 
-func (h eventHeap) Swap(i, j int) {
+func (h eventHeap) swap(i, j int) {
 	h[i], h[j] = h[j], h[i]
 	h[i].index = i
 	h[j].index = j
 }
 
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
+// siftUp restores the heap property after an insertion at index i.
+//
+//simlint:hotpath
+func (h eventHeap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
 }
 
-func (h *eventHeap) Pop() any {
+// siftDown restores the heap property after the element at index i shrank
+// in priority. It reports whether the element moved.
+//
+//simlint:hotpath
+func (h eventHeap) siftDown(i int) bool {
+	start := i
+	n := len(h)
+	for {
+		left := 2*i + 1
+		if left >= n || left < 0 { // left < 0 after int overflow
+			break
+		}
+		child := left
+		if right := left + 1; right < n && h.less(right, left) {
+			child = right
+		}
+		if !h.less(child, i) {
+			break
+		}
+		h.swap(i, child)
+		i = child
+	}
+	return i > start
+}
+
+// push inserts ev, maintaining heap order.
+//
+//simlint:hotpath
+func (h *eventHeap) push(ev *event) {
+	ev.index = len(*h)
+	*h = append(*h, ev)
+	h.siftUp(ev.index)
+}
+
+// pop removes and returns the earliest event.
+//
+//simlint:hotpath
+func (h *eventHeap) pop() *event {
 	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
+	n := len(old) - 1
+	old.swap(0, n)
+	ev := old[n]
+	old[n] = nil
 	ev.index = -1
-	*h = old[:n-1]
+	*h = old[:n]
+	h.siftDown(0)
 	return ev
+}
+
+// remove deletes the event at index i (container/heap.Remove, inlined).
+func (h *eventHeap) remove(i int) {
+	old := *h
+	n := len(old) - 1
+	if i != n {
+		old.swap(i, n)
+	}
+	old[n].index = -1
+	old[n] = nil
+	*h = old[:n]
+	if i < n && !(*h).siftDown(i) {
+		(*h).siftUp(i)
+	}
 }
 
 // Engine is a discrete-event simulation engine. The zero value is ready to
@@ -109,6 +173,8 @@ type Engine struct {
 	now       float64
 	seq       uint64
 	queue     eventHeap
+	free      []*event // recycled event records; see alloc/recycle
+	firing    EventID  // ID of the event whose handler is running; 0 between events
 	pending   map[EventID]*event
 	fired     uint64
 	stopped   bool
@@ -116,6 +182,31 @@ type Engine struct {
 	spans     SpanTracer // tracer's SpanTracer side, cached; nil when absent
 	watch     *Watch     // live ops view; nil when no observer is attached
 	lastLabel string     // label of the most recently fired event
+}
+
+// alloc returns a zeroed event record, reusing a recycled one when
+// available so steady-state scheduling allocates nothing.
+//
+//simlint:hotpath
+func (e *Engine) alloc() *event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		*ev = event{}
+		return ev
+	}
+	return &event{} //simlint:allow hotalloc -- freelist grow path: runs once per peak-queue-depth slot, then never again
+}
+
+// recycle returns a popped event record to the freelist. The caller must
+// hold the only reference: records are recycled after their handler ran or
+// after cancellation, and EventIDs never dangle because identity lives in
+// the pending map, not the record.
+//
+//simlint:hotpath
+func (e *Engine) recycle(ev *event) {
+	e.free = append(e.free, ev)
 }
 
 // SetTracer installs (or, with nil, removes) the engine's activity tracer.
@@ -200,18 +291,23 @@ func (e *Engine) At(t float64, h Handler) (EventID, error) {
 	return e.AtLabeled(t, "", h)
 }
 
-// AtLabeled is At with a tracer label.
+// AtLabeled is At with a tracer label. It is the kernel's scheduling hot
+// path: one call per simulated event, allocation-free in steady state
+// thanks to the event freelist.
+//
+//simlint:hotpath
 func (e *Engine) AtLabeled(t float64, label string, h Handler) (EventID, error) {
 	if h == nil {
 		return 0, errors.New("des: nil handler")
 	}
 	if t < e.now || math.IsNaN(t) {
-		return 0, fmt.Errorf("des: schedule time %v is before now %v", t, e.now)
+		return 0, fmt.Errorf("des: schedule time %v is before now %v", t, e.now) //simlint:allow hotalloc -- error branch: fires once on a caller bug, never in steady state
 	}
 	e.ensure()
 	e.seq++
-	ev := &event{time: t, seq: e.seq, handler: h, label: label}
-	heap.Push(&e.queue, ev)
+	ev := e.alloc()
+	ev.time, ev.seq, ev.handler, ev.label = t, e.seq, h, label
+	e.queue.push(ev)
 	id := EventID(ev.seq)
 	e.pending[id] = ev
 	if e.tracer != nil {
@@ -229,11 +325,15 @@ func (e *Engine) Cancel(id EventID) bool {
 	}
 	delete(e.pending, id)
 	ev.canceled = true
-	if ev.index >= 0 {
-		heap.Remove(&e.queue, ev.index)
-	}
 	if e.tracer != nil {
 		e.tracer.EventCanceled(ev.seq, ev.label, e.now)
+	}
+	// A pending event is always still queued (index >= 0); the guard only
+	// protects against a record popped concurrently, which cannot happen
+	// on this single-threaded engine.
+	if ev.index >= 0 {
+		e.queue.remove(ev.index)
+		e.recycle(ev)
 	}
 	return true
 }
@@ -243,28 +343,43 @@ func (e *Engine) Cancel(id EventID) bool {
 func (e *Engine) Stop() { e.stopped = true }
 
 // Step fires the single earliest pending event, advancing the clock to its
-// timestamp. It reports false when the queue is empty.
+// timestamp. It reports false when the queue is empty. While the handler
+// runs, FiringID reports the event's ID; the record itself is recycled to
+// the freelist once the handler (and tracer) are done with it.
+//
+//simlint:hotpath
 func (e *Engine) Step() bool {
-	for e.queue.Len() > 0 {
-		ev := heap.Pop(&e.queue).(*event)
+	for len(e.queue) > 0 {
+		ev := e.queue.pop()
 		if ev.canceled {
+			e.recycle(ev)
 			continue
 		}
-		delete(e.pending, EventID(ev.seq))
+		id := EventID(ev.seq)
+		delete(e.pending, id)
 		e.now = ev.time
 		e.fired++
 		e.lastLabel = ev.label
+		e.firing = id
 		if tr := e.tracer; tr != nil {
 			start := time.Now() //simlint:allow detrand -- wall-clock handler timing feeds the trace file only, never simulation state
 			ev.handler(e)
 			tr.EventFired(ev.seq, ev.label, ev.time, time.Since(start).Nanoseconds()) //simlint:allow detrand -- see above
-			return true
+		} else {
+			ev.handler(e)
 		}
-		ev.handler(e)
+		e.firing = 0
+		e.recycle(ev)
 		return true
 	}
 	return false
 }
+
+// FiringID returns the ID of the event whose handler is currently running,
+// or 0 between events. Dispatchers that demultiplex one shared handler over
+// many scheduled events key their lookup on it, which lets them schedule a
+// single cached closure instead of allocating one closure per event.
+func (e *Engine) FiringID() EventID { return e.firing }
 
 // Run fires events until the queue drains or Stop is called.
 func (e *Engine) Run() {
@@ -403,9 +518,9 @@ func (e *Engine) FinishRestore(seq, fired uint64) error {
 
 // peek returns the timestamp of the earliest live event.
 func (e *Engine) peek() (float64, bool) {
-	for e.queue.Len() > 0 {
+	for len(e.queue) > 0 {
 		if e.queue[0].canceled {
-			heap.Pop(&e.queue)
+			e.recycle(e.queue.pop())
 			continue
 		}
 		return e.queue[0].time, true

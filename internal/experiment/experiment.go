@@ -461,12 +461,6 @@ func RunSweep(cfg SweepConfig) (*SweepResult, error) {
 		epoch = duration / float64(cfg.EpochsPerTrace)
 	}
 
-	type job struct {
-		idx    int
-		disks  int
-		policy PolicyKind
-		raid   array.RAIDLevel
-	}
 	// With no RAID axis the single empty level keeps the job grid — and
 	// therefore cell ordering and manifest keys — identical to a pre-RAID
 	// sweep.
@@ -474,11 +468,11 @@ func RunSweep(cfg SweepConfig) (*SweepResult, error) {
 	if len(raids) == 0 {
 		raids = []array.RAIDLevel{""}
 	}
-	var jobs []job
+	var jobs []sweepJob
 	for _, n := range cfg.DiskCounts {
 		for _, r := range raids {
 			for _, p := range cfg.Policies {
-				jobs = append(jobs, job{idx: len(jobs), disks: n, policy: p, raid: r})
+				jobs = append(jobs, sweepJob{idx: len(jobs), disks: n, policy: p, raid: r})
 			}
 		}
 	}
@@ -486,72 +480,31 @@ func RunSweep(cfg SweepConfig) (*SweepResult, error) {
 	cfg.Progress.Phase(fmt.Sprintf("sweep: run %d cells", len(jobs)))
 	var done atomic.Int64
 
-	sem := make(chan struct{}, cfg.Parallelism)
-	var wg sync.WaitGroup
-	for _, j := range jobs {
-		wg.Add(1)
-		go func(j job) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			cell := Cell{Disks: j.disks, Policy: j.policy, RAID: j.raid}
-			key := cell.Key()
-			shared := cfg.Parallelism > 1
-			var lastErr error
-			var lastWall float64
-			for attempt := 1; attempt <= cfg.MaxAttempts; attempt++ {
-				cell.Attempts = attempt
-				if attempt > 1 {
-					time.Sleep(retryDelay(cfg.RetryBaseDelay, cfg.Workload.Seed, j.idx, attempt))
-					cfg.Progress.Stepf("sweep: retrying disks=%d policy=%s%s (attempt %d/%d)",
-						j.disks, j.policy, raidSuffix(j.raid), attempt, cfg.MaxAttempts)
-				}
-				// Fresh per-attempt ops handles (nil when no tracker): the
-				// array publishes its live position through them, and the
-				// /progress and /healthz endpoints read them concurrently.
-				live, watch := cfg.Track.StartCell(key)
-				pc := runstore.StartPerf()
-				res, dlog, err := runCellOnce(&cfg, trace, epoch, j.disks, j.policy, j.raid, live, watch)
-				if err != nil {
-					lastErr = err
-					lastWall = pc.Sample(0, 0, shared).WallSeconds
-					cell.Err = fmt.Sprintf("disks=%d policy=%s%s: %v", j.disks, j.policy, raidSuffix(j.raid), err)
-					if attempt < cfg.MaxAttempts {
-						cfg.Track.CellRetrying(key, err)
-					}
-					continue
-				}
-				perf := pc.Sample(res.Duration, res.EventsFired, shared)
-				cell.Perf = &perf
-				cell.Result = res
-				cell.Decisions = dlog
-				cell.Err = ""
-				cell.Stall = nil
-				cell.Status = CellOK
-				if attempt > 1 {
-					cell.Status = CellRetried
-				}
-				cfg.Track.CellDone(key, perf.WallSeconds, res.EventsFired)
-				break
-			}
-			if cell.Result == nil {
-				cell.Status = CellFailed
-				var serr *des.StallError
-				if errors.As(lastErr, &serr) {
-					cell.Stall = serr
-				}
-				cfg.Track.CellFailed(key, lastErr, lastWall)
-			}
-			cells[j.idx] = cell
-			if cell.Status == CellFailed {
-				cfg.Progress.Stepf("sweep: cell %d/%d FAILED (disks=%d policy=%s%s, %d attempts)",
-					done.Add(1), len(jobs), j.disks, j.policy, raidSuffix(j.raid), cell.Attempts)
-				return
-			}
-			cfg.Progress.Stepf("sweep: cell %d/%d done (disks=%d policy=%s%s, %d events)",
-				done.Add(1), len(jobs), j.disks, j.policy, raidSuffix(j.raid), cell.Result.EventsFired)
-		}(j)
+	// Bounded worker pool: exactly min(Parallelism, len(jobs)) goroutines
+	// drain a job channel. Each worker owns one cell end-to-end (engine,
+	// RNG, telemetry are constructed inside runSweepCell), results land at
+	// the cell's own grid index, and the grid — and therefore the manifest
+	// — is bit-identical to a -workers=1 run; only the interleaving of
+	// progress lines varies.
+	workers := cfg.Parallelism
+	if workers > len(jobs) {
+		workers = len(jobs)
 	}
+	jobCh := make(chan sweepJob)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobCh {
+				cells[j.idx] = runSweepCell(&cfg, trace, epoch, j, len(jobs), &done)
+			}
+		}()
+	}
+	for _, j := range jobs {
+		jobCh <- j
+	}
+	close(jobCh)
 	wg.Wait()
 	res := &SweepResult{Config: cfg, Cells: cells}
 	if failed := res.FailedCells(); len(failed) > 0 {
@@ -559,6 +512,79 @@ func RunSweep(cfg SweepConfig) (*SweepResult, error) {
 			len(failed), len(cells), failed[0].Err)
 	}
 	return res, nil
+}
+
+// sweepJob identifies one cell of the sweep grid: its grid index and the
+// (disks, policy, raid) coordinates.
+type sweepJob struct {
+	idx    int
+	disks  int
+	policy PolicyKind
+	raid   array.RAIDLevel
+}
+
+// runSweepCell runs one sweep cell to completion on the calling goroutine,
+// retrying per the sweep's attempt policy. The cell owns its engine, RNG,
+// and telemetry end-to-end — runCellOnce constructs all three fresh per
+// attempt — so concurrent cells share only the read-only config and trace,
+// plus the mutex/seqlock-mediated progress and tracker handles.
+func runSweepCell(cfg *SweepConfig, trace *workload.Trace, epoch float64, j sweepJob, total int, done *atomic.Int64) Cell {
+	cell := Cell{Disks: j.disks, Policy: j.policy, RAID: j.raid}
+	key := cell.Key()
+	shared := cfg.Parallelism > 1
+	var lastErr error
+	var lastWall float64
+	for attempt := 1; attempt <= cfg.MaxAttempts; attempt++ {
+		cell.Attempts = attempt
+		if attempt > 1 {
+			time.Sleep(retryDelay(cfg.RetryBaseDelay, cfg.Workload.Seed, j.idx, attempt))
+			cfg.Progress.Stepf("sweep: retrying disks=%d policy=%s%s (attempt %d/%d)",
+				j.disks, j.policy, raidSuffix(j.raid), attempt, cfg.MaxAttempts)
+		}
+		// Fresh per-attempt ops handles (nil when no tracker): the
+		// array publishes its live position through them, and the
+		// /progress and /healthz endpoints read them concurrently.
+		live, watch := cfg.Track.StartCell(key)
+		pc := runstore.StartPerf()
+		res, dlog, err := runCellOnce(cfg, trace, epoch, j.disks, j.policy, j.raid, live, watch)
+		if err != nil {
+			lastErr = err
+			lastWall = pc.Sample(0, 0, shared).WallSeconds
+			cell.Err = fmt.Sprintf("disks=%d policy=%s%s: %v", j.disks, j.policy, raidSuffix(j.raid), err)
+			if attempt < cfg.MaxAttempts {
+				cfg.Track.CellRetrying(key, err)
+			}
+			continue
+		}
+		perf := pc.Sample(res.Duration, res.EventsFired, shared)
+		cell.Perf = &perf
+		cell.Result = res
+		cell.Decisions = dlog
+		cell.Err = ""
+		cell.Stall = nil
+		cell.Status = CellOK
+		if attempt > 1 {
+			cell.Status = CellRetried
+		}
+		cfg.Track.CellDone(key, perf.WallSeconds, res.EventsFired)
+		break
+	}
+	if cell.Result == nil {
+		cell.Status = CellFailed
+		var serr *des.StallError
+		if errors.As(lastErr, &serr) {
+			cell.Stall = serr
+		}
+		cfg.Track.CellFailed(key, lastErr, lastWall)
+	}
+	if cell.Status == CellFailed {
+		cfg.Progress.Stepf("sweep: cell %d/%d FAILED (disks=%d policy=%s%s, %d attempts)",
+			done.Add(1), total, j.disks, j.policy, raidSuffix(j.raid), cell.Attempts)
+	} else {
+		cfg.Progress.Stepf("sweep: cell %d/%d done (disks=%d policy=%s%s, %d events)",
+			done.Add(1), total, j.disks, j.policy, raidSuffix(j.raid), cell.Result.EventsFired)
+	}
+	return cell
 }
 
 // retryDelay computes the backoff before a cell's attempt-th try (attempt ≥

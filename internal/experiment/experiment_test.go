@@ -364,6 +364,38 @@ func TestSweepDeterminism(t *testing.T) {
 	}
 }
 
+// TestSweepWorkerCountIdentity pins the worker pool's core contract: the
+// sweep grid is bit-identical for every worker count. Everything except the
+// wall-clock perf sample — results, decision logs, statuses, attempt counts
+// — must deep-compare equal between a sequential run and a pooled one.
+func TestSweepWorkerCountIdentity(t *testing.T) {
+	seq := tinySweep()
+	seq.Parallelism = 1
+	par := tinySweep()
+	par.Parallelism = 4
+
+	a, err := RunSweep(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSweep(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Cells) != len(b.Cells) {
+		t.Fatalf("grid sizes differ: %d vs %d", len(a.Cells), len(b.Cells))
+	}
+	for i := range a.Cells {
+		ca, cb := a.Cells[i], b.Cells[i]
+		// Perf carries wall-clock readings, the one legitimately
+		// nondeterministic field; everything else must match exactly.
+		ca.Perf, cb.Perf = nil, nil
+		if !reflect.DeepEqual(ca, cb) {
+			t.Errorf("cell %d (disks=%d policy=%s) differs between -workers=1 and -workers=4", i, ca.Disks, ca.Policy)
+		}
+	}
+}
+
 // TestPaperShapeCriteria is the executable statement of the reproduction
 // targets: on the light-workload sweep READ must win all three metrics on
 // average, with AFR improvements in the paper's tens-of-percent range.

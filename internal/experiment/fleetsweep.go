@@ -376,17 +376,11 @@ func RunFleetSweep(cfg FleetSweepConfig) (*FleetSweepResult, error) {
 		epoch = duration / float64(cfg.EpochsPerTrace)
 	}
 
-	type job struct {
-		idx     int
-		arrays  int
-		routing cluster.RoutingPolicy
-		policy  PolicyKind
-	}
-	var jobs []job
+	var jobs []fleetJob
 	for _, n := range cfg.ArrayCounts {
 		for _, r := range cfg.Routings {
 			for _, p := range cfg.Policies {
-				jobs = append(jobs, job{idx: len(jobs), arrays: n, routing: r, policy: p})
+				jobs = append(jobs, fleetJob{idx: len(jobs), arrays: n, routing: r, policy: p})
 			}
 		}
 	}
@@ -394,69 +388,29 @@ func RunFleetSweep(cfg FleetSweepConfig) (*FleetSweepResult, error) {
 	cfg.Progress.Phase(fmt.Sprintf("fleet: run %d cells", len(jobs)))
 	var done atomic.Int64
 
-	sem := make(chan struct{}, cfg.Parallelism)
-	var wg sync.WaitGroup
-	for _, j := range jobs {
-		wg.Add(1)
-		go func(j job) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			cell := FleetCell{Arrays: j.arrays, Routing: j.routing, Policy: j.policy}
-			key := cell.Key()
-			shared := cfg.Parallelism > 1
-			var lastErr error
-			var lastWall float64
-			for attempt := 1; attempt <= cfg.CellAttempts; attempt++ {
-				cell.Attempts = attempt
-				if attempt > 1 {
-					time.Sleep(retryDelay(cfg.RetryBaseDelay, cfg.Seed, j.idx, attempt))
-					cfg.Progress.Stepf("fleet: retrying arrays=%d routing=%s policy=%s (attempt %d/%d)",
-						j.arrays, j.routing, j.policy, attempt, cfg.CellAttempts)
-				}
-				_, watch := cfg.Track.StartCell(key)
-				pc := runstore.StartPerf()
-				res, dlog, err := runFleetCellOnce(&cfg, trace, epoch, j.arrays, j.routing, j.policy, watch)
-				if err != nil {
-					lastErr = err
-					lastWall = pc.Sample(0, 0, shared).WallSeconds
-					cell.Err = fmt.Sprintf("arrays=%d routing=%s policy=%s: %v", j.arrays, j.routing, j.policy, err)
-					if attempt < cfg.CellAttempts {
-						cfg.Track.CellRetrying(key, err)
-					}
-					continue
-				}
-				perf := pc.Sample(res.Duration, res.EventsFired, shared)
-				cell.Perf = &perf
-				cell.Result = res
-				cell.Decisions = dlog
-				cell.Err = ""
-				cell.Stall = nil
-				cell.Status = CellOK
-				if attempt > 1 {
-					cell.Status = CellRetried
-				}
-				cfg.Track.CellDone(key, perf.WallSeconds, res.EventsFired)
-				break
-			}
-			if cell.Result == nil {
-				cell.Status = CellFailed
-				var serr *des.StallError
-				if errors.As(lastErr, &serr) {
-					cell.Stall = serr
-				}
-				cfg.Track.CellFailed(key, lastErr, lastWall)
-			}
-			cells[j.idx] = cell
-			if cell.Status == CellFailed {
-				cfg.Progress.Stepf("fleet: cell %d/%d FAILED (arrays=%d routing=%s policy=%s, %d attempts)",
-					done.Add(1), len(jobs), j.arrays, j.routing, j.policy, cell.Attempts)
-				return
-			}
-			cfg.Progress.Stepf("fleet: cell %d/%d done (arrays=%d routing=%s policy=%s, %d events)",
-				done.Add(1), len(jobs), j.arrays, j.routing, j.policy, cell.Result.EventsFired)
-		}(j)
+	// Bounded worker pool, mirroring RunSweep: min(Parallelism, len(jobs))
+	// workers drain a job channel, each cell owns its engine/RNG/telemetry
+	// end-to-end inside runFleetSweepCell, and results land at the cell's
+	// own grid index so the manifest is independent of worker count.
+	workers := cfg.Parallelism
+	if workers > len(jobs) {
+		workers = len(jobs)
 	}
+	jobCh := make(chan fleetJob)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobCh {
+				cells[j.idx] = runFleetSweepCell(&cfg, trace, epoch, j, len(jobs), &done)
+			}
+		}()
+	}
+	for _, j := range jobs {
+		jobCh <- j
+	}
+	close(jobCh)
 	wg.Wait()
 	res := &FleetSweepResult{Config: cfg, Cells: cells}
 	if failed := res.FailedCells(); len(failed) > 0 {
@@ -464,6 +418,73 @@ func RunFleetSweep(cfg FleetSweepConfig) (*FleetSweepResult, error) {
 			len(failed), len(cells), failed[0].Err)
 	}
 	return res, nil
+}
+
+// fleetJob identifies one cell of the fleet sweep grid.
+type fleetJob struct {
+	idx     int
+	arrays  int
+	routing cluster.RoutingPolicy
+	policy  PolicyKind
+}
+
+// runFleetSweepCell runs one fleet cell to completion on the calling
+// goroutine, retrying per the sweep's attempt policy; see runSweepCell for
+// the ownership contract.
+func runFleetSweepCell(cfg *FleetSweepConfig, trace *workload.Trace, epoch float64, j fleetJob, total int, done *atomic.Int64) FleetCell {
+	cell := FleetCell{Arrays: j.arrays, Routing: j.routing, Policy: j.policy}
+	key := cell.Key()
+	shared := cfg.Parallelism > 1
+	var lastErr error
+	var lastWall float64
+	for attempt := 1; attempt <= cfg.CellAttempts; attempt++ {
+		cell.Attempts = attempt
+		if attempt > 1 {
+			time.Sleep(retryDelay(cfg.RetryBaseDelay, cfg.Seed, j.idx, attempt))
+			cfg.Progress.Stepf("fleet: retrying arrays=%d routing=%s policy=%s (attempt %d/%d)",
+				j.arrays, j.routing, j.policy, attempt, cfg.CellAttempts)
+		}
+		_, watch := cfg.Track.StartCell(key)
+		pc := runstore.StartPerf()
+		res, dlog, err := runFleetCellOnce(cfg, trace, epoch, j.arrays, j.routing, j.policy, watch)
+		if err != nil {
+			lastErr = err
+			lastWall = pc.Sample(0, 0, shared).WallSeconds
+			cell.Err = fmt.Sprintf("arrays=%d routing=%s policy=%s: %v", j.arrays, j.routing, j.policy, err)
+			if attempt < cfg.CellAttempts {
+				cfg.Track.CellRetrying(key, err)
+			}
+			continue
+		}
+		perf := pc.Sample(res.Duration, res.EventsFired, shared)
+		cell.Perf = &perf
+		cell.Result = res
+		cell.Decisions = dlog
+		cell.Err = ""
+		cell.Stall = nil
+		cell.Status = CellOK
+		if attempt > 1 {
+			cell.Status = CellRetried
+		}
+		cfg.Track.CellDone(key, perf.WallSeconds, res.EventsFired)
+		break
+	}
+	if cell.Result == nil {
+		cell.Status = CellFailed
+		var serr *des.StallError
+		if errors.As(lastErr, &serr) {
+			cell.Stall = serr
+		}
+		cfg.Track.CellFailed(key, lastErr, lastWall)
+	}
+	if cell.Status == CellFailed {
+		cfg.Progress.Stepf("fleet: cell %d/%d FAILED (arrays=%d routing=%s policy=%s, %d attempts)",
+			done.Add(1), total, j.arrays, j.routing, j.policy, cell.Attempts)
+	} else {
+		cfg.Progress.Stepf("fleet: cell %d/%d done (arrays=%d routing=%s policy=%s, %d events)",
+			done.Add(1), total, j.arrays, j.routing, j.policy, cell.Result.EventsFired)
+	}
+	return cell
 }
 
 // FleetSummary condenses one cluster result into the manifest summary block,
